@@ -1,0 +1,128 @@
+//! Criterion benches for the simulator substrate itself: executor event
+//! throughput, NIC datapath rate, and IPoIB stack rate. These guard the
+//! harness's own performance (a slow simulator means slow experiments).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cord_core::prelude::*;
+use cord_sim::sync::channel;
+use cord_sim::{Sim, SimDuration};
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("timer_events_100k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.block_on(async move {
+                for _ in 0..100_000u32 {
+                    s.sleep(SimDuration::from_ns(10)).await;
+                }
+            });
+            black_box(sim.timer_fires())
+        })
+    });
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("channel_pingpong_100k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            let (tx1, rx1) = channel::<u32>();
+            let (tx2, rx2) = channel::<u32>();
+            sim.block_on(async move {
+                let echo = s.spawn(async move {
+                    while let Ok(v) = rx1.recv().await {
+                        if tx2.try_send(v).is_err() {
+                            break;
+                        }
+                    }
+                });
+                for i in 0..100_000u32 {
+                    tx1.try_send(i).unwrap();
+                    rx2.recv().await.unwrap();
+                }
+                drop(tx1);
+                echo.await;
+            });
+        })
+    });
+    g.finish();
+}
+
+fn bench_nic_datapath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nic");
+    g.sample_size(10);
+    g.bench_function("rc_send_4k_x1000", |b| {
+        b.iter(|| {
+            let fabric = Fabric::builder(system_l()).build();
+            let ca = fabric.new_context(0, Dataplane::Bypass);
+            let cb = fabric.new_context(1, Dataplane::Bypass);
+            fabric.block_on(async move {
+                let scq = ca.create_cq(2048).await;
+                let rcq_a = ca.create_cq(2048).await;
+                let scq_b = cb.create_cq(2048).await;
+                let rcq = cb.create_cq(2048).await;
+                let qa = ca.create_qp(Transport::Rc, &scq, &rcq_a).await;
+                let qb = cb.create_qp(Transport::Rc, &scq_b, &rcq).await;
+                connect_rc_pair(&qa, &qb).await.unwrap();
+                let src = ca.alloc(4096, 1);
+                let dst = cb.alloc(4096, 0);
+                let mra = ca.reg_mr(src, Access::all()).await;
+                let mrb = cb.reg_mr(dst, Access::all()).await;
+                for i in 0..1000u64 {
+                    qb.post_recv(RecvWqe::new(
+                        WrId(i),
+                        Sge {
+                            addr: dst.addr,
+                            len: 4096,
+                            lkey: mrb.lkey,
+                        },
+                    ))
+                    .await
+                    .unwrap();
+                    qa.post_send(SendWqe::send(
+                        WrId(i),
+                        Sge {
+                            addr: src.addr,
+                            len: 4096,
+                            lkey: mra.lkey,
+                        },
+                    ))
+                    .await
+                    .unwrap();
+                    black_box(qb.recv_cq().wait_one().await);
+                    qa.send_cq().wait_one().await;
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+fn bench_ipoib(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ipoib");
+    g.sample_size(10);
+    g.bench_function("socket_64k_x100", |b| {
+        b.iter(|| {
+            let fabric = Fabric::builder(system_l()).with_ipoib().build();
+            let c0 = fabric.new_core(0);
+            let c1 = fabric.new_core(1);
+            let a = fabric.ipoib(0).socket();
+            let bsock = fabric.ipoib(1).socket();
+            let ba = bsock.addr();
+            fabric.block_on(async move {
+                let data = vec![7u8; 65536];
+                for _ in 0..100 {
+                    a.send_to(&c0, ba, &data).await.unwrap();
+                    black_box(bsock.recv(&c1).await);
+                }
+            });
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(engine, bench_executor, bench_nic_datapath, bench_ipoib);
+criterion_main!(engine);

@@ -1,0 +1,147 @@
+//! Criterion benches: one group per paper table/figure, running scaled-down
+//! versions of each experiment. Criterion measures the *wall-clock* cost of
+//! regenerating each result (the simulated values themselves are printed by
+//! the `fig*` binaries); these benches both track harness performance and
+//! serve as continuously-exercised versions of every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cord_hw::{system_a, system_l};
+use cord_mpi::MpiTransport;
+use cord_npb::{run_benchmark, Bench, Class};
+use cord_perftest::{run_test, EmuKnobs, TestOp, TestSpec};
+use cord_verbs::Dataplane;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("lat_baseline_4k", |b| {
+        b.iter(|| {
+            black_box(run_test(
+                system_l(),
+                TestSpec::new(TestOp::SendLat).size(4096).iters(30).warmup(5),
+                1,
+            ))
+        })
+    });
+    g.bench_function("lat_no_zero_copy_1m", |b| {
+        b.iter(|| {
+            black_box(run_test(
+                system_l(),
+                TestSpec::new(TestOp::SendLat)
+                    .size(1 << 20)
+                    .iters(20)
+                    .warmup(4)
+                    .knobs(EmuKnobs::no_zero_copy()),
+                1,
+            ))
+        })
+    });
+    g.bench_function("bw_no_busy_polling_64k", |b| {
+        b.iter(|| {
+            black_box(run_test(
+                system_l(),
+                TestSpec::new(TestOp::SendBw)
+                    .size(65536)
+                    .iters(120)
+                    .knobs(EmuKnobs::no_busy_polling()),
+                1,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for (op, label) in [
+        (TestOp::ReadLat, "read"),
+        (TestOp::WriteLat, "write"),
+        (TestOp::SendLat, "send"),
+    ] {
+        g.bench_function(format!("overhead_{label}_cord_cord"), |b| {
+            b.iter(|| {
+                black_box(run_test(
+                    system_l(),
+                    TestSpec::new(op)
+                        .size(4096)
+                        .iters(30)
+                        .warmup(5)
+                        .modes(Dataplane::Cord, Dataplane::Cord),
+                    1,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for size in [64usize, 4096, 32768] {
+        g.bench_function(format!("send_bw_cord_{size}"), |b| {
+            b.iter(|| {
+                black_box(run_test(
+                    system_l(),
+                    TestSpec::new(TestOp::SendBw)
+                        .size(size)
+                        .iters(200)
+                        .modes(Dataplane::Cord, Dataplane::Cord),
+                    1,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("system_a_send_lat_overhead", |b| {
+        b.iter(|| {
+            let base = run_test(
+                system_a(),
+                TestSpec::new(TestOp::SendLat).size(4096).iters(30).warmup(5),
+                5,
+            );
+            let cord = run_test(
+                system_a(),
+                TestSpec::new(TestOp::SendLat)
+                    .size(4096)
+                    .iters(30)
+                    .warmup(5)
+                    .modes(Dataplane::Cord, Dataplane::Cord),
+                5,
+            );
+            black_box(cord.lat_avg_us - base.lat_avg_us)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for (bench, label) in [(Bench::Mg, "mg"), (Bench::Cg, "cg")] {
+        g.bench_function(format!("npb_{label}_class_s_cord"), |b| {
+            b.iter(|| {
+                black_box(run_benchmark(
+                    system_a(),
+                    bench,
+                    Class::S,
+                    4,
+                    MpiTransport::Verbs(Dataplane::Cord),
+                    3,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig1, bench_fig3, bench_fig4, bench_fig5, bench_fig6);
+criterion_main!(figures);

@@ -1,0 +1,289 @@
+//! CPU core execution model.
+//!
+//! A [`Core`] turns abstract work (user compute, kernel entries, memcpy)
+//! into virtual-time delays, applying the DVFS factor and virtualization
+//! jitter. It also feeds the DVFS governor the kernel-time fraction that
+//! drives the paper's "system calls interact with DVFS" effect.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use cord_sim::{Sim, SimDuration};
+
+use crate::dvfs::Dvfs;
+use crate::machine::{CpuSpec, MachineSpec};
+use crate::noise::Noise;
+
+/// Identifies a core within a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CoreId {
+    pub node: usize,
+    pub core: usize,
+}
+
+/// One CPU core; cheap to clone (handles share state).
+#[derive(Clone)]
+pub struct Core {
+    sim: Sim,
+    pub id: CoreId,
+    spec: Rc<CpuSpec>,
+    dvfs: Dvfs,
+    noise: Noise,
+    kpti: bool,
+    busy_total: Rc<Cell<SimDuration>>,
+    kernel_total: Rc<Cell<SimDuration>>,
+    syscalls: Rc<Cell<u64>>,
+}
+
+impl Core {
+    pub fn new(sim: &Sim, id: CoreId, machine: &MachineSpec, dvfs: Dvfs, noise: Noise) -> Self {
+        Core {
+            sim: sim.clone(),
+            id,
+            spec: Rc::new(machine.cpu.clone()),
+            dvfs,
+            noise,
+            kpti: machine.kpti,
+            busy_total: Rc::new(Cell::new(SimDuration::ZERO)),
+            kernel_total: Rc::new(Cell::new(SimDuration::ZERO)),
+            syscalls: Rc::new(Cell::new(0)),
+        }
+    }
+
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    async fn burn(&self, d: SimDuration, kernel: bool) {
+        let scaled = self.dvfs.scale(d);
+        self.sim.sleep(scaled).await;
+        self.busy_total.set(self.busy_total.get() + scaled);
+        if kernel {
+            self.kernel_total.set(self.kernel_total.get() + scaled);
+        }
+        self.dvfs.record(
+            scaled,
+            if kernel { scaled } else { SimDuration::ZERO },
+        );
+    }
+
+    /// Burn user-mode CPU time.
+    pub async fn compute(&self, d: SimDuration) {
+        self.burn(d, false).await;
+    }
+
+    /// Burn user-mode CPU time given in nanoseconds.
+    pub async fn compute_ns(&self, ns: f64) {
+        self.burn(SimDuration::from_ns_f64(ns), false).await;
+    }
+
+    /// Burn kernel-mode CPU time (jittered under virtualization).
+    pub async fn kernel_work(&self, d: SimDuration) {
+        let jittered = self.noise.kernel_cost(d);
+        self.burn(jittered, true).await;
+    }
+
+    /// A minimal syscall round trip (the paper's `getppid` knob).
+    pub async fn syscall_roundtrip(&self) {
+        self.syscalls.set(self.syscalls.get() + 1);
+        let mut cost = SimDuration::from_ns_f64(self.spec.syscall_ns);
+        if self.kpti {
+            cost += SimDuration::from_ns_f64(self.spec.kpti_extra_ns);
+        }
+        self.kernel_work(cost).await;
+    }
+
+    /// One CoRD data-plane crossing: user→kernel transition plus argument
+    /// handling. Driver work is billed separately by the kernel driver.
+    pub async fn cord_crossing(&self) {
+        self.syscalls.set(self.syscalls.get() + 1);
+        let mut cost = SimDuration::from_ns_f64(self.spec.cord_crossing_ns);
+        if self.kpti {
+            cost += SimDuration::from_ns_f64(self.spec.kpti_extra_ns);
+        }
+        self.kernel_work(cost).await;
+    }
+
+    /// A control-plane ioctl (QP/CQ/MR creation).
+    pub async fn ioctl(&self) {
+        self.syscalls.set(self.syscalls.get() + 1);
+        let mut cost = SimDuration::from_ns_f64(self.spec.ioctl_ns);
+        if self.kpti {
+            cost += SimDuration::from_ns_f64(self.spec.kpti_extra_ns);
+        }
+        self.kernel_work(cost).await;
+    }
+
+    /// Copy `bytes` through the CPU. Buffers larger than the LLC stream
+    /// from DRAM at the (lower) cold rate.
+    pub async fn memcpy(&self, bytes: usize) {
+        let rate = if bytes <= self.spec.llc_bytes {
+            self.spec.memcpy_gbps
+        } else {
+            self.spec.memcpy_cold_gbps
+        };
+        let d = SimDuration::from_ns_f64(self.spec.memcpy_setup_ns)
+            + cord_sim::copy_time(bytes as u64, rate);
+        self.burn(d, false).await;
+    }
+
+    /// Blocked-wakeup path: interrupt delivery plus scheduler wakeup.
+    /// Billed as kernel time (it is).
+    pub async fn interrupt_wakeup(&self) {
+        let cost = SimDuration::from_ns_f64(self.spec.interrupt_ns + self.spec.wakeup_ns);
+        self.kernel_work(cost).await;
+    }
+
+    /// Account CPU time that already elapsed while this core busy-polled
+    /// (the simulator parks pollers instead of spinning through virtual
+    /// time, but the DVFS governor must still see the core as busy).
+    /// `kernel_frac` is the fraction of the spin spent inside the kernel
+    /// (≈0 for bypass polling, ≈0.9 for CoRD poll syscalls) — this is the
+    /// lever behind the paper's "system calls interact with DVFS" effect.
+    pub fn account_spin(&self, d: SimDuration, kernel_frac: f64) {
+        debug_assert!((0.0..=1.0).contains(&kernel_frac));
+        self.busy_total.set(self.busy_total.get() + d);
+        let k = d.mul_f64(kernel_frac);
+        self.kernel_total.set(self.kernel_total.get() + k);
+        self.dvfs.record(d, k);
+    }
+
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total.get()
+    }
+
+    pub fn kernel_total(&self) -> SimDuration {
+        self.kernel_total.get()
+    }
+
+    pub fn syscall_count(&self) -> u64 {
+        self.syscalls.get()
+    }
+
+    pub fn dvfs(&self) -> &Dvfs {
+        &self.dvfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::system_l;
+    use cord_sim::SimTime;
+
+    fn mk_core(sim: &Sim) -> Core {
+        let m = system_l();
+        let dvfs = Dvfs::new(sim, m.dvfs.clone());
+        Core::new(
+            sim,
+            CoreId { node: 0, core: 0 },
+            &m,
+            dvfs,
+            Noise::disabled(),
+        )
+    }
+
+    #[test]
+    fn compute_advances_time_exactly() {
+        let sim = Sim::new();
+        let core = mk_core(&sim);
+        let t = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                core.compute(SimDuration::from_us(3)).await;
+                sim.now()
+            }
+        });
+        assert_eq!(t, SimTime::ZERO + SimDuration::from_us(3));
+    }
+
+    #[test]
+    fn syscall_costs_track_spec() {
+        let sim = Sim::new();
+        let core = mk_core(&sim);
+        let spec_ns = core.spec().syscall_ns;
+        let t = sim.block_on({
+            let sim = sim.clone();
+            let core = core.clone();
+            async move {
+                core.syscall_roundtrip().await;
+                sim.now()
+            }
+        });
+        assert_eq!(t.as_ns_f64(), spec_ns);
+        assert_eq!(core.syscall_count(), 1);
+    }
+
+    #[test]
+    fn kpti_adds_cost() {
+        let sim = Sim::new();
+        let mut m = system_l();
+        m.kpti = true;
+        let dvfs = Dvfs::new(&sim, m.dvfs.clone());
+        let core = Core::new(&sim, CoreId { node: 0, core: 0 }, &m, dvfs, Noise::disabled());
+        let t = sim.block_on({
+            let sim = sim.clone();
+            let core = core.clone();
+            async move {
+                core.syscall_roundtrip().await;
+                sim.now()
+            }
+        });
+        assert_eq!(t.as_ns_f64(), m.cpu.syscall_ns + m.cpu.kpti_extra_ns);
+    }
+
+    #[test]
+    fn accounting_splits_user_and_kernel() {
+        let sim = Sim::new();
+        let core = mk_core(&sim);
+        sim.block_on({
+            let core = core.clone();
+            async move {
+                core.compute(SimDuration::from_us(10)).await;
+                core.kernel_work(SimDuration::from_us(5)).await;
+            }
+        });
+        assert_eq!(core.busy_total(), SimDuration::from_us(15));
+        assert_eq!(core.kernel_total(), SimDuration::from_us(5));
+    }
+
+    #[test]
+    fn memcpy_scales_with_size() {
+        let sim = Sim::new();
+        let core = mk_core(&sim);
+        let t = sim.block_on({
+            let sim = sim.clone();
+            let core = core.clone();
+            async move {
+                core.memcpy(1 << 20).await;
+                sim.now()
+            }
+        });
+        // 1 MiB at 14 GB/s ≈ 74.9 µs + 20 ns setup.
+        let us = t.as_us_f64();
+        assert!((70.0..80.0).contains(&us), "memcpy 1MiB = {us} µs");
+    }
+
+    #[test]
+    fn turbo_speeds_up_kernel_heavy_core() {
+        let sim = Sim::new();
+        let mut m = system_l();
+        m.dvfs.turbo = true;
+        let dvfs = Dvfs::new(&sim, m.dvfs.clone());
+        let core = Core::new(&sim, CoreId { node: 0, core: 0 }, &m, dvfs, Noise::disabled());
+        sim.block_on({
+            let core = core.clone();
+            async move {
+                // Warm the governor with kernel-heavy work.
+                for _ in 0..20 {
+                    core.kernel_work(SimDuration::from_us(20)).await;
+                }
+            }
+        });
+        assert!(core.dvfs().freq_factor() > 1.02);
+    }
+}

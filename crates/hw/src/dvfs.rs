@@ -1,0 +1,138 @@
+//! DVFS / Turbo Boost governor model.
+//!
+//! The paper observes (§5) that CoRD *marginally outperforms* kernel bypass
+//! in large-message bandwidth tests and on EP/CG when Turbo Boost is
+//! enabled, and attributes this to system calls interacting with DVFS: a
+//! core that periodically enters the kernel presents a lighter sustained
+//! power signature than one spinning in a userspace poll loop, letting the
+//! package sustain a slightly higher boost bin.
+//!
+//! We model exactly that: each core tracks an EWMA of the fraction of its
+//! busy time spent on kernel entries; the frequency factor rises linearly
+//! with that fraction up to `turbo_headroom`. With turbo disabled the
+//! factor is pinned to 1.0.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use cord_sim::{Sim, SimDuration, SimTime};
+
+use crate::machine::DvfsSpec;
+
+/// Per-core DVFS state. Cloneable handle.
+#[derive(Clone)]
+pub struct Dvfs {
+    sim: Sim,
+    spec: DvfsSpec,
+    /// EWMA of kernel-time fraction of busy time, in [0, 1].
+    kernel_frac: Rc<Cell<f64>>,
+    last_update: Rc<Cell<SimTime>>,
+}
+
+impl Dvfs {
+    pub fn new(sim: &Sim, spec: DvfsSpec) -> Self {
+        Dvfs {
+            sim: sim.clone(),
+            spec,
+            kernel_frac: Rc::new(Cell::new(0.0)),
+            last_update: Rc::new(Cell::new(SimTime::ZERO)),
+        }
+    }
+
+    /// Record `busy` time of which `kernel` was spent in-kernel.
+    pub fn record(&self, busy: SimDuration, kernel: SimDuration) {
+        if !self.spec.turbo || busy.is_zero() {
+            return;
+        }
+        let frac = (kernel.as_ps() as f64 / busy.as_ps() as f64).min(1.0);
+        // EWMA with weight proportional to the observed interval length.
+        let w = (busy.as_ps() as f64 / self.spec.ewma_window.as_ps() as f64).min(1.0);
+        let old = self.kernel_frac.get();
+        self.kernel_frac.set(old * (1.0 - w) + frac * w);
+        self.last_update.set(self.sim.now());
+    }
+
+    /// Current frequency factor: durations are *divided* by this, so
+    /// factor > 1 means faster execution.
+    pub fn freq_factor(&self) -> f64 {
+        if !self.spec.turbo {
+            return 1.0;
+        }
+        1.0 + self.spec.turbo_headroom * self.kernel_frac.get()
+    }
+
+    /// Scale a nominal duration by the current frequency.
+    pub fn scale(&self, d: SimDuration) -> SimDuration {
+        let f = self.freq_factor();
+        if f == 1.0 {
+            d
+        } else {
+            d.mul_f64(1.0 / f)
+        }
+    }
+
+    pub fn kernel_fraction(&self) -> f64 {
+        self.kernel_frac.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(turbo: bool) -> DvfsSpec {
+        DvfsSpec {
+            turbo,
+            turbo_headroom: 0.03,
+            ewma_window: SimDuration::from_us(50),
+        }
+    }
+
+    #[test]
+    fn disabled_turbo_is_identity() {
+        let sim = Sim::new();
+        let d = Dvfs::new(&sim, spec(false));
+        d.record(SimDuration::from_us(100), SimDuration::from_us(100));
+        assert_eq!(d.freq_factor(), 1.0);
+        assert_eq!(d.scale(SimDuration::from_ns(1000)), SimDuration::from_ns(1000));
+    }
+
+    #[test]
+    fn kernel_heavy_load_boosts() {
+        let sim = Sim::new();
+        let d = Dvfs::new(&sim, spec(true));
+        // Saturate the EWMA with kernel-heavy intervals.
+        for _ in 0..10 {
+            d.record(SimDuration::from_us(100), SimDuration::from_us(50));
+        }
+        let f = d.freq_factor();
+        assert!(f > 1.01 && f <= 1.03, "factor {f}");
+        // Scaled durations shrink.
+        let scaled = d.scale(SimDuration::from_ns(1000));
+        assert!(scaled < SimDuration::from_ns(1000));
+    }
+
+    #[test]
+    fn pure_userspace_spin_no_boost() {
+        let sim = Sim::new();
+        let d = Dvfs::new(&sim, spec(true));
+        for _ in 0..10 {
+            d.record(SimDuration::from_us(100), SimDuration::ZERO);
+        }
+        assert_eq!(d.freq_factor(), 1.0);
+    }
+
+    #[test]
+    fn ewma_decays_towards_new_regime() {
+        let sim = Sim::new();
+        let d = Dvfs::new(&sim, spec(true));
+        for _ in 0..10 {
+            d.record(SimDuration::from_us(100), SimDuration::from_us(100));
+        }
+        let boosted = d.freq_factor();
+        for _ in 0..10 {
+            d.record(SimDuration::from_us(100), SimDuration::ZERO);
+        }
+        assert!(d.freq_factor() < boosted);
+    }
+}

@@ -1,0 +1,237 @@
+//! Network fabric model.
+//!
+//! Nodes are connected by full-duplex point-to-point links (the paper's
+//! system L is two nodes back-to-back; system A is two VMs across a cloud
+//! fabric, modelled as a higher-propagation link). Each node has an egress
+//! serializer at line rate; frames arrive at the destination's ingress
+//! channel after serialization + propagation. Loopback frames (same node)
+//! pass through the NIC's internal path and skip propagation.
+//!
+//! The fabric is generic over the frame payload so `cord-nic` can ship its
+//! packet type through it without a dependency cycle.
+
+use cord_sim::sync::{channel, Receiver, Sender};
+use cord_sim::{FifoResource, Sim, SimDuration};
+
+use crate::machine::LinkSpec;
+
+/// A frame in flight: destination node + opaque payload.
+pub struct Frame<T> {
+    pub src: usize,
+    pub dst: usize,
+    pub wire_bytes: usize,
+    pub payload: T,
+}
+
+/// Shared fabric connecting `n` nodes.
+pub struct Fabric<T> {
+    sim: Sim,
+    spec: LinkSpec,
+    egress: Vec<FifoResource>,
+    ingress_tx: Vec<Sender<Frame<T>>>,
+}
+
+impl<T: 'static> Fabric<T> {
+    /// Build a fabric; returns the fabric and each node's ingress receiver.
+    pub fn new(sim: &Sim, spec: LinkSpec, nodes: usize) -> (Self, Vec<Receiver<Frame<T>>>) {
+        let mut egress = Vec::with_capacity(nodes);
+        let mut ingress_tx = Vec::with_capacity(nodes);
+        let mut ingress_rx = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            egress.push(FifoResource::new(sim));
+            let (tx, rx) = channel();
+            ingress_tx.push(tx);
+            ingress_rx.push(rx);
+        }
+        (
+            Fabric {
+                sim: sim.clone(),
+                spec,
+                egress,
+                ingress_tx,
+            },
+            ingress_rx,
+        )
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.egress.len()
+    }
+
+    pub fn spec(&self) -> &LinkSpec {
+        &self.spec
+    }
+
+    /// Serialization time for `wire_bytes` at line rate.
+    pub fn serialize_time(&self, wire_bytes: usize) -> SimDuration {
+        cord_sim::transmission_time(wire_bytes as u64, self.spec.gbps)
+    }
+
+    /// Transmit a frame. Serializes on the source's egress port (FIFO at
+    /// line rate), then delivers to the destination after propagation.
+    /// Returns immediately; the frame arrives asynchronously.
+    pub fn transmit(&self, frame: Frame<T>) {
+        assert!(frame.src < self.nodes() && frame.dst < self.nodes());
+        let ser = self.serialize_time(frame.wire_bytes);
+        let grant = self.egress[frame.src].enqueue(ser);
+        let prop = if frame.src == frame.dst {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_ns_f64(self.spec.propagation_ns)
+        };
+        let arrive = grant.end + prop;
+        let tx = self.ingress_tx[frame.dst].clone();
+        self.sim.schedule_at(arrive, move |_| {
+            // Receiver dropped means the node shut down; frame is lost,
+            // which is fine (UD semantics) — RC recovers via higher layers.
+            let _ = tx.try_send(frame);
+        });
+    }
+
+    /// Egress utilization of a node's port.
+    pub fn egress_utilization(&self, node: usize) -> f64 {
+        self.egress[node].utilization()
+    }
+
+    /// Frames serialized by a node's egress port.
+    pub fn egress_frames(&self, node: usize) -> u64 {
+        self.egress[node].served()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LinkSpec {
+        LinkSpec {
+            gbps: 100.0, // 80 ps/B
+            propagation_ns: 200.0,
+        }
+    }
+
+    #[test]
+    fn frame_arrives_after_serialization_and_propagation() {
+        let sim = Sim::new();
+        let (fab, mut rx) = Fabric::<u32>::new(&sim, spec(), 2);
+        let rx1 = rx.remove(1);
+        let t = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                fab.transmit(Frame {
+                    src: 0,
+                    dst: 1,
+                    wire_bytes: 1000,
+                    payload: 7,
+                });
+                let f = rx1.recv().await.unwrap();
+                assert_eq!(f.payload, 7);
+                sim.now()
+            }
+        });
+        // 1000 B * 80 ps + 200 ns = 80 + 200.
+        assert_eq!(t.as_ns_f64(), 280.0);
+    }
+
+    #[test]
+    fn egress_serializes_back_to_back_frames() {
+        let sim = Sim::new();
+        let (fab, mut rx) = Fabric::<u32>::new(&sim, spec(), 2);
+        let rx1 = rx.remove(1);
+        let times = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                for i in 0..3 {
+                    fab.transmit(Frame {
+                        src: 0,
+                        dst: 1,
+                        wire_bytes: 1250, // 100 ns each
+                        payload: i,
+                    });
+                }
+                let mut out = Vec::new();
+                for _ in 0..3 {
+                    let f = rx1.recv().await.unwrap();
+                    out.push((f.payload, sim.now().as_ns_f64()));
+                }
+                out
+            }
+        });
+        assert_eq!(times[0], (0, 300.0));
+        assert_eq!(times[1], (1, 400.0));
+        assert_eq!(times[2], (2, 500.0));
+    }
+
+    #[test]
+    fn loopback_skips_propagation() {
+        let sim = Sim::new();
+        let (fab, mut rx) = Fabric::<u32>::new(&sim, spec(), 2);
+        let rx0 = rx.remove(0);
+        let t = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                fab.transmit(Frame {
+                    src: 0,
+                    dst: 0,
+                    wire_bytes: 1250,
+                    payload: 1,
+                });
+                rx0.recv().await.unwrap();
+                sim.now()
+            }
+        });
+        assert_eq!(t.as_ns_f64(), 100.0);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let sim = Sim::new();
+        let (fab, mut rx) = Fabric::<u32>::new(&sim, spec(), 2);
+        let rx1 = rx.remove(1);
+        let rx0 = rx.remove(0);
+        let t = sim.block_on({
+            let sim = sim.clone();
+            async move {
+                fab.transmit(Frame {
+                    src: 0,
+                    dst: 1,
+                    wire_bytes: 1250,
+                    payload: 1,
+                });
+                fab.transmit(Frame {
+                    src: 1,
+                    dst: 0,
+                    wire_bytes: 1250,
+                    payload: 2,
+                });
+                rx1.recv().await.unwrap();
+                let t1 = sim.now();
+                rx0.recv().await.unwrap();
+                (t1, sim.now())
+            }
+        });
+        // Full duplex: both arrive at 300 ns.
+        assert_eq!(t.0.as_ns_f64(), 300.0);
+        assert_eq!(t.1.as_ns_f64(), 300.0);
+    }
+
+    #[test]
+    fn utilization_counts_only_busy_time() {
+        let sim = Sim::new();
+        let (fab, _rx) = Fabric::<u32>::new(&sim, spec(), 2);
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                fab.transmit(Frame {
+                    src: 0,
+                    dst: 1,
+                    wire_bytes: 1250,
+                    payload: 0,
+                });
+                sim.sleep(SimDuration::from_ns(1000)).await;
+                assert!((fab.egress_utilization(0) - 0.1).abs() < 1e-9);
+                assert_eq!(fab.egress_frames(0), 1);
+            }
+        });
+    }
+}

@@ -1,0 +1,400 @@
+//! Machine presets and calibration constants.
+//!
+//! Every cost in the reproduction lives here, with the paper observation it
+//! was calibrated against. The two presets mirror the paper's testbeds:
+//!
+//! * **System L** (§5): two nodes, Intel i5-4590 4-core, ConnectX-6 Dx RoCE,
+//!   back-to-back, 100 Gbit/s effective, Turbo Boost *disabled*, KPTI off.
+//! * **System A** (§5): Azure HB120 VMs, EPYC 7V73X (120 cores passed),
+//!   virtualized ConnectX-6 InfiniBand at 200 Gbit/s, Turbo/DVFS active
+//!   (provider-controlled), KPTI off (hardware Meltdown mitigation).
+
+use cord_sim::SimDuration;
+
+/// CPU cost model. All values are core-cycles-equivalent virtual time at the
+/// nominal frequency; DVFS scales them at execution time.
+#[derive(Debug, Clone)]
+pub struct CpuSpec {
+    /// Number of cores per node available to benchmark processes.
+    pub cores: usize,
+    /// Minimal user→kernel→user round trip (the paper's `getppid`
+    /// emulation of "no kernel bypass": +70 ns on system L, Fig. 1a).
+    pub syscall_ns: f64,
+    /// One CoRD data-plane crossing: syscall + argument marshalling into the
+    /// kernel driver (§4: ioctl-style serialization done minimally).
+    pub cord_crossing_ns: f64,
+    /// Kernel-side driver work per CoRD data-plane op (ring the doorbell,
+    /// validate the user's verbs objects).
+    pub cord_driver_ns: f64,
+    /// Control-plane ioctl (create QP/CQ/MR): serialization heavy, but off
+    /// the critical path (§4).
+    pub ioctl_ns: f64,
+    /// Extra cost per kernel entry when KPTI page-table switching is on.
+    pub kpti_extra_ns: f64,
+    /// Interrupt delivery latency (NIC EQ → core).
+    pub interrupt_ns: f64,
+    /// Scheduler wakeup from blocked epoll/completion-channel wait.
+    pub wakeup_ns: f64,
+    /// Sustained memcpy bandwidth for cache-resident buffers, GB/s (used by
+    /// the no-zero-copy knob and the socket/IPoIB stacks).
+    pub memcpy_gbps: f64,
+    /// Streaming memcpy bandwidth once the working set exceeds the LLC
+    /// (DRAM-bound), GB/s. This is what obstructs large-message bandwidth
+    /// in Fig. 1b's no-zero-copy series.
+    pub memcpy_cold_gbps: f64,
+    /// Last-level cache size in bytes (warm/cold memcpy threshold).
+    pub llc_bytes: usize,
+    /// Fixed per-memcpy-call overhead.
+    pub memcpy_setup_ns: f64,
+    /// User-space work to build + post one WQE (bypass path).
+    pub post_wqe_ns: f64,
+    /// User-space cost of one CQ poll that finds nothing.
+    pub poll_empty_ns: f64,
+    /// User-space cost of consuming one CQE.
+    pub poll_cqe_ns: f64,
+}
+
+/// NIC cost/feature model (ConnectX-6-class).
+#[derive(Debug, Clone)]
+pub struct NicSpec {
+    /// MMIO doorbell write (posted write, CPU-side cost).
+    pub doorbell_ns: f64,
+    /// NIC processing per WQE (fetch, parse, schedule).
+    pub wqe_proc_ns: f64,
+    /// NIC TX pipeline occupancy per packet (segmentation pacing).
+    pub tx_pkt_ns: f64,
+    /// NIC processing per packet on RX.
+    pub rx_pkt_ns: f64,
+    /// Path MTU in bytes (RoCE/IB 4096).
+    pub mtu: usize,
+    /// Per-packet wire header overhead in bytes (Eth+IP+UDP+BTH for RoCE).
+    pub header_bytes: usize,
+    /// Max inline data the *bypass* user driver pushes in the WQE
+    /// (avoids the DMA payload fetch for small sends).
+    pub inline_cap: usize,
+    /// Whether the CoRD kernel driver supports inline sends. The paper's
+    /// prototype does NOT (§5: source of system A's bimodal overhead).
+    pub cord_inline: bool,
+    /// CPU cost per inline byte (copied into the WQE by the poster).
+    pub inline_byte_ns: f64,
+    /// Send-queue / recv-queue depth per QP.
+    pub sq_depth: usize,
+    pub rq_depth: usize,
+    /// Completion-queue depth.
+    pub cq_depth: usize,
+    /// Maximum outstanding RDMA reads per QP (IB `max_rd_atomic`).
+    pub max_rd_atomic: usize,
+}
+
+/// PCIe / DMA model.
+#[derive(Debug, Clone)]
+pub struct PcieSpec {
+    /// One-way DMA transaction latency (request to first data).
+    pub dma_latency_ns: f64,
+    /// Streaming DMA bandwidth, GB/s.
+    pub dma_gbps: f64,
+}
+
+/// Link model (one full-duplex point-to-point port per node).
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Line rate in Gbit/s.
+    pub gbps: f64,
+    /// Propagation + switch traversal, one way.
+    pub propagation_ns: f64,
+}
+
+/// DVFS / Turbo Boost model.
+#[derive(Debug, Clone)]
+pub struct DvfsSpec {
+    /// Turbo enabled? (System L disables it; system A cannot.)
+    pub turbo: bool,
+    /// Maximum speedup factor the governor can grant (e.g. 0.03 = 3%).
+    pub turbo_headroom: f64,
+    /// EWMA time constant for the kernel-time fraction estimate.
+    pub ewma_window: SimDuration,
+}
+
+/// IPoIB (IP-over-InfiniBand) stack cost model. IPoIB is the paper's
+/// "functionally equivalent competitor" (§5): the kernel is on the data
+/// path, but with the *whole* network stack rather than CoRD's thin driver.
+#[derive(Debug, Clone)]
+pub struct IpoibSpec {
+    /// Datagram-mode MTU (IB 4K MTU minus IPoIB encapsulation).
+    pub mtu: usize,
+    /// Kernel TX stack work per packet on the sender's core, ns.
+    pub tx_pkt_ns: f64,
+    /// Node-wide TX serialization per packet (qdisc + netdev xmit under the
+    /// single IPoIB device lock), ns. This sets the node's IPoIB TX
+    /// ceiling: 2044 B / qdisc_ns.
+    pub qdisc_ns: f64,
+    /// Kernel RX (softirq) work per packet, ns.
+    pub rx_pkt_ns: f64,
+    /// sendmsg() syscall entry/argument cost, ns.
+    pub sendmsg_ns: f64,
+    /// recvmsg()/epoll return path cost, ns.
+    pub recvmsg_ns: f64,
+    /// Number of RX queues (softirq contexts) — multiqueue IPoIB.
+    pub rx_queues: usize,
+    /// NAPI poll batch size (packets per interrupt).
+    pub napi_batch: usize,
+}
+
+/// Virtualization noise model (system A only).
+#[derive(Debug, Clone)]
+pub struct NoiseSpec {
+    /// Enable jitter injection.
+    pub enabled: bool,
+    /// Lognormal sigma applied to syscall/interrupt costs.
+    pub sigma: f64,
+    /// Probability of a hypervisor preemption on a kernel entry.
+    pub preempt_prob: f64,
+    /// Cost of one such preemption, ns.
+    pub preempt_ns: f64,
+}
+
+/// Complete machine description; one per simulated cluster.
+#[derive(Debug, Clone)]
+pub struct MachineSpec {
+    pub name: &'static str,
+    pub nodes: usize,
+    pub cpu: CpuSpec,
+    pub nic: NicSpec,
+    pub pcie: PcieSpec,
+    pub link: LinkSpec,
+    pub ipoib: IpoibSpec,
+    pub dvfs: DvfsSpec,
+    pub noise: NoiseSpec,
+    /// Kernel page-table isolation (both testbeds disable it, §5).
+    pub kpti: bool,
+}
+
+/// System L: i5-4590 + ConnectX-6 Dx RoCE, 100 Gbit/s effective,
+/// back-to-back, turbo off, KPTI off. Calibrated against Fig. 1a's baseline
+/// row (0.99 µs @16 B, 1.95 µs @4 KiB, 86 µs @1 MiB) and Fig. 4's message
+/// rates (~12 M/s small messages, ~370 k/s @32 KiB).
+pub fn system_l() -> MachineSpec {
+    MachineSpec {
+        name: "L",
+        nodes: 2,
+        cpu: CpuSpec {
+            cores: 4,
+            syscall_ns: 70.0,
+            cord_crossing_ns: 220.0,
+            cord_driver_ns: 80.0,
+            ioctl_ns: 1800.0,
+            kpti_extra_ns: 350.0,
+            interrupt_ns: 2600.0,
+            wakeup_ns: 500.0,
+            memcpy_gbps: 14.0,
+            memcpy_cold_gbps: 6.5,
+            llc_bytes: 6 << 20, // i5-4590: 6 MiB LLC
+            memcpy_setup_ns: 20.0,
+            post_wqe_ns: 30.0,
+            poll_empty_ns: 15.0,
+            poll_cqe_ns: 15.0,
+        },
+        nic: NicSpec {
+            doorbell_ns: 45.0,
+            wqe_proc_ns: 40.0,
+            tx_pkt_ns: 20.0,
+            rx_pkt_ns: 35.0,
+            mtu: 4096,
+            header_bytes: 66,
+            inline_cap: 220,
+            cord_inline: false,
+            inline_byte_ns: 0.12,
+            sq_depth: 256,
+            rq_depth: 512,
+            cq_depth: 4096,
+            max_rd_atomic: 16,
+        },
+        pcie: PcieSpec {
+            dma_latency_ns: 210.0,
+            dma_gbps: 13.0,
+        },
+        link: LinkSpec {
+            gbps: 100.0,
+            propagation_ns: 300.0,
+        },
+        ipoib: IpoibSpec {
+            mtu: 2044,
+            tx_pkt_ns: 650.0,
+            qdisc_ns: 560.0, // ≈29 Gbit/s node ceiling
+            rx_pkt_ns: 750.0,
+            sendmsg_ns: 400.0,
+            recvmsg_ns: 450.0,
+            rx_queues: 2,
+            napi_batch: 64,
+        },
+        dvfs: DvfsSpec {
+            turbo: false,
+            turbo_headroom: 0.03,
+            ewma_window: SimDuration::from_us(50),
+        },
+        noise: NoiseSpec {
+            enabled: false,
+            sigma: 0.0,
+            preempt_prob: 0.0,
+            preempt_ns: 0.0,
+        },
+        kpti: false,
+    }
+}
+
+/// System A: Azure HB120 (EPYC 7V73X, 120 cores) with virtualized
+/// ConnectX-6 InfiniBand at 200 Gbit/s. Virtualization makes kernel entries
+/// slower and noisier; turbo is on (cloud policy); bypass inline sends reach
+/// 1 KiB while the CoRD prototype has none — the source of the paper's
+/// bimodal Fig. 5a overhead.
+pub fn system_a() -> MachineSpec {
+    MachineSpec {
+        name: "A",
+        nodes: 2,
+        cpu: CpuSpec {
+            cores: 120,
+            syscall_ns: 110.0,
+            cord_crossing_ns: 320.0,
+            cord_driver_ns: 100.0,
+            ioctl_ns: 2600.0,
+            kpti_extra_ns: 350.0,
+            interrupt_ns: 3200.0,
+            wakeup_ns: 600.0,
+            memcpy_gbps: 18.0,
+            memcpy_cold_gbps: 14.0,
+            llc_bytes: 512 << 20, // EPYC 7V73X: 3D V-cache, effectively huge
+            memcpy_setup_ns: 20.0,
+            post_wqe_ns: 28.0,
+            poll_empty_ns: 14.0,
+            poll_cqe_ns: 14.0,
+        },
+        nic: NicSpec {
+            doorbell_ns: 55.0,
+            wqe_proc_ns: 35.0,
+            tx_pkt_ns: 18.0,
+            rx_pkt_ns: 30.0,
+            mtu: 4096,
+            header_bytes: 40, // IB LRH+BTH etc.
+            inline_cap: 1024,
+            cord_inline: false,
+            inline_byte_ns: 0.10,
+            sq_depth: 256,
+            rq_depth: 512,
+            cq_depth: 4096,
+            max_rd_atomic: 16,
+        },
+        pcie: PcieSpec {
+            dma_latency_ns: 260.0,
+            dma_gbps: 24.0,
+        },
+        link: LinkSpec {
+            gbps: 200.0,
+            propagation_ns: 600.0, // through the cloud fabric
+        },
+        ipoib: IpoibSpec {
+            mtu: 2044,
+            tx_pkt_ns: 900.0,
+            qdisc_ns: 520.0, // ≈31 Gbit/s node ceiling
+            rx_pkt_ns: 1100.0,
+            sendmsg_ns: 1400.0,
+            recvmsg_ns: 1600.0,
+            rx_queues: 2,
+            napi_batch: 64,
+        },
+        dvfs: DvfsSpec {
+            turbo: true,
+            turbo_headroom: 0.035,
+            ewma_window: SimDuration::from_us(50),
+        },
+        noise: NoiseSpec {
+            enabled: true,
+            sigma: 0.18,
+            preempt_prob: 0.002,
+            preempt_ns: 9000.0,
+        },
+        kpti: false,
+    }
+}
+
+impl MachineSpec {
+    /// Wire time for `bytes` of payload in one packet, including headers.
+    pub fn wire_time(&self, payload_bytes: usize) -> SimDuration {
+        cord_sim::transmission_time((payload_bytes + self.nic.header_bytes) as u64, self.link.gbps)
+    }
+
+    /// DMA streaming time for `bytes` (excluding transaction latency).
+    pub fn dma_stream_time(&self, bytes: usize) -> SimDuration {
+        cord_sim::copy_time(bytes as u64, self.pcie.dma_gbps)
+    }
+
+    /// memcpy time for `bytes` including fixed setup; bandwidth depends on
+    /// whether the buffer fits in the LLC.
+    pub fn memcpy_time(&self, bytes: usize) -> SimDuration {
+        let rate = if bytes <= self.cpu.llc_bytes {
+            self.cpu.memcpy_gbps
+        } else {
+            self.cpu.memcpy_cold_gbps
+        };
+        SimDuration::from_ns_f64(self.cpu.memcpy_setup_ns)
+            + cord_sim::copy_time(bytes as u64, rate)
+    }
+
+    /// Number of MTU-sized fragments for a message of `len` bytes.
+    /// Zero-length messages still occupy one packet.
+    pub fn fragments(&self, len: usize) -> usize {
+        if len == 0 {
+            1
+        } else {
+            len.div_ceil(self.nic.mtu)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_the_paper_says() {
+        let l = system_l();
+        let a = system_a();
+        assert!(!l.dvfs.turbo && a.dvfs.turbo, "turbo: L off, A on");
+        assert!(!l.noise.enabled && a.noise.enabled, "noise: A only");
+        assert!(a.link.gbps > l.link.gbps, "A has 200G, L 100G");
+        assert!(
+            a.cpu.cord_crossing_ns > l.cpu.cord_crossing_ns,
+            "virtualized kernel entries are slower"
+        );
+        assert!(a.nic.inline_cap > l.nic.inline_cap);
+        assert!(!l.nic.cord_inline && !a.nic.cord_inline, "prototype lacks inline (§5)");
+        assert!(!l.kpti && !a.kpti, "KPTI disabled on both (§5)");
+    }
+
+    #[test]
+    fn wire_time_matches_line_rate() {
+        let l = system_l();
+        // 4096+66 bytes at 100 Gbit/s = 4162*80 ps.
+        assert_eq!(l.wire_time(4096).as_ps(), 4162 * 80);
+    }
+
+    #[test]
+    fn fragment_math() {
+        let l = system_l();
+        assert_eq!(l.fragments(0), 1);
+        assert_eq!(l.fragments(1), 1);
+        assert_eq!(l.fragments(4096), 1);
+        assert_eq!(l.fragments(4097), 2);
+        assert_eq!(l.fragments(1 << 20), 256);
+    }
+
+    #[test]
+    fn memcpy_time_tracks_paper_no_zc_overhead() {
+        // Fig. 1a: no-zero-copy adds ~143 µs at 1 MiB (one copy per side,
+        // two sides on the latency path).
+        let l = system_l();
+        let per_side = l.memcpy_time(1 << 20);
+        let both = per_side + per_side;
+        let us = both.as_us_f64();
+        assert!((130.0..160.0).contains(&us), "both-sides copy = {us} µs");
+    }
+}

@@ -1,0 +1,107 @@
+//! Virtualization jitter model (system A).
+//!
+//! The paper reports system A's per-message overhead as "larger, with higher
+//! variation" (§5) — a virtualized kernel entry sometimes takes a detour
+//! through the hypervisor. We model each kernel-entry cost as a lognormal
+//! multiple of its nominal value plus a rare, expensive preemption.
+
+use cord_sim::{DetRng, SimDuration};
+
+use crate::machine::NoiseSpec;
+
+/// Jitter source; cheap to clone (shares the RNG stream).
+#[derive(Clone)]
+pub struct Noise {
+    spec: NoiseSpec,
+    rng: DetRng,
+}
+
+impl Noise {
+    pub fn new(spec: NoiseSpec, rng: DetRng) -> Self {
+        Noise { spec, rng }
+    }
+
+    /// A disabled source (system L).
+    pub fn disabled() -> Self {
+        Noise {
+            spec: NoiseSpec {
+                enabled: false,
+                sigma: 0.0,
+                preempt_prob: 0.0,
+                preempt_ns: 0.0,
+            },
+            rng: DetRng::from_seed(0),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.spec.enabled
+    }
+
+    /// Jitter a nominal kernel-entry cost.
+    pub fn kernel_cost(&self, nominal: SimDuration) -> SimDuration {
+        if !self.spec.enabled {
+            return nominal;
+        }
+        // Lognormal with median == nominal.
+        let factor = self.rng.lognormal(0.0, self.spec.sigma);
+        let mut d = nominal.mul_f64(factor);
+        if self.spec.preempt_prob > 0.0 && self.rng.uniform() < self.spec.preempt_prob {
+            d += SimDuration::from_ns_f64(self.spec.preempt_ns);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_identity() {
+        let n = Noise::disabled();
+        let d = SimDuration::from_ns(500);
+        for _ in 0..10 {
+            assert_eq!(n.kernel_cost(d), d);
+        }
+    }
+
+    #[test]
+    fn enabled_jitters_around_nominal() {
+        let n = Noise::new(
+            NoiseSpec {
+                enabled: true,
+                sigma: 0.2,
+                preempt_prob: 0.0,
+                preempt_ns: 0.0,
+            },
+            DetRng::from_seed(42),
+        );
+        let nominal = SimDuration::from_ns(1000);
+        let samples: Vec<f64> = (0..5000).map(|_| n.kernel_cost(nominal).as_ns_f64()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // Lognormal mean = exp(sigma^2/2) * median ≈ 1.02 * 1000.
+        assert!((mean - 1020.0).abs() < 40.0, "mean {mean}");
+        assert!(samples.iter().any(|&s| s > 1200.0));
+        assert!(samples.iter().any(|&s| s < 850.0));
+    }
+
+    #[test]
+    fn preemptions_appear_at_configured_rate() {
+        let n = Noise::new(
+            NoiseSpec {
+                enabled: true,
+                sigma: 0.01,
+                preempt_prob: 0.05,
+                preempt_ns: 50_000.0,
+            },
+            DetRng::from_seed(7),
+        );
+        let nominal = SimDuration::from_ns(100);
+        let preempted = (0..10_000)
+            .filter(|_| n.kernel_cost(nominal) > SimDuration::from_ns(10_000))
+            .count();
+        let rate = preempted as f64 / 10_000.0;
+        assert!((rate - 0.05).abs() < 0.01, "rate {rate}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # cord-kern — OS kernel model
+//!
+//! Three pieces:
+//!
+//! * [`driver`]: the **CoRD kernel driver** — the paper's contribution.
+//!   Data-plane verbs become system calls; the kernel interposes a
+//!   [`policy::PolicyChain`] and then drives the same NIC doorbells the
+//!   bypass path would. No interrupts, no copies, no asynchrony (§4).
+//! * [`policy`] + [`policies`]: the interposition framework and six
+//!   concrete policies (rate limiting, security filtering, quotas,
+//!   priority QoS, observability, dataplane freeze for migration).
+//! * [`ipoib`]: the IP-over-InfiniBand stack — the paper's
+//!   functionally-equivalent competitor, with the full kernel network
+//!   stack on the data path (Fig. 6's 2× slowdown case).
+
+pub mod driver;
+pub mod ipoib;
+pub mod policies;
+pub mod policy;
+
+pub use driver::Kernel;
+pub use ipoib::{IpoibError, IpoibStack, SockAddr, Socket};
+pub use policies::{
+    FreezePolicy, ObservePolicy, QosClass, QosPolicy, QpStats, QuotaPolicy, RateLimitPolicy,
+    SecurityPolicy,
+};
+pub use policy::{CordPolicy, PolicyChain, PolicyCtx, PolicyDecision};

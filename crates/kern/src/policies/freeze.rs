@@ -1,0 +1,107 @@
+//! Dataplane freeze: the OS pauses a QP's sends without application
+//! cooperation — the primitive behind transparent live migration of RDMA
+//! applications (the authors' MigrOS line of work, §1 [69]), which kernel
+//! bypass makes impossible because the OS never sees the dataplane.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+use cord_nic::SendWqe;
+use cord_sim::SimDuration;
+
+use crate::policy::{CordPolicy, PolicyCtx, PolicyDecision};
+
+pub struct FreezePolicy {
+    frozen: RefCell<HashSet<u32>>,
+    /// Re-check interval while frozen.
+    poll_interval: SimDuration,
+}
+
+impl Default for FreezePolicy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FreezePolicy {
+    pub fn new() -> Self {
+        FreezePolicy {
+            frozen: RefCell::new(HashSet::new()),
+            poll_interval: SimDuration::from_us(5),
+        }
+    }
+
+    /// Pause all sends on a QP.
+    pub fn freeze(&self, qpn: u32) {
+        self.frozen.borrow_mut().insert(qpn);
+    }
+
+    /// Resume a QP.
+    pub fn unfreeze(&self, qpn: u32) {
+        self.frozen.borrow_mut().remove(&qpn);
+    }
+
+    pub fn is_frozen(&self, qpn: u32) -> bool {
+        self.frozen.borrow().contains(&qpn)
+    }
+}
+
+impl CordPolicy for FreezePolicy {
+    fn name(&self) -> &'static str {
+        "freeze"
+    }
+
+    fn on_post_send(&self, ctx: &PolicyCtx, _wqe: &SendWqe) -> PolicyDecision {
+        if self.is_frozen(ctx.qpn.0) {
+            PolicyDecision::Delay(self.poll_interval)
+        } else {
+            PolicyDecision::Allow
+        }
+    }
+
+    fn cost(&self) -> SimDuration {
+        SimDuration::from_ns(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_nic::{LKey, QpNum, Sge, WrId};
+    use cord_sim::SimTime;
+
+    fn ctx(qpn: u32) -> PolicyCtx {
+        PolicyCtx {
+            node: 0,
+            qpn: QpNum(qpn),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn wqe() -> SendWqe {
+        SendWqe::send(
+            WrId(1),
+            Sge {
+                addr: 0x1_0000,
+                len: 8,
+                lkey: LKey(1),
+            },
+        )
+    }
+
+    #[test]
+    fn freeze_delays_unfreeze_allows() {
+        let p = FreezePolicy::new();
+        assert_eq!(p.on_post_send(&ctx(1), &wqe()), PolicyDecision::Allow);
+        p.freeze(1);
+        assert!(p.is_frozen(1));
+        assert!(matches!(
+            p.on_post_send(&ctx(1), &wqe()),
+            PolicyDecision::Delay(_)
+        ));
+        // Other QPs unaffected.
+        assert_eq!(p.on_post_send(&ctx(2), &wqe()), PolicyDecision::Allow);
+        p.unfreeze(1);
+        assert_eq!(p.on_post_send(&ctx(1), &wqe()), PolicyDecision::Allow);
+    }
+}

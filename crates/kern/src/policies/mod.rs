@@ -1,0 +1,17 @@
+//! Concrete CoRD policies (§3: "CoRD policies should be powerful enough to
+//! implement QoS, security, and isolation similarly to other dataplane
+//! interception techniques").
+
+mod freeze;
+mod observe;
+mod qos;
+mod quota;
+mod rate_limit;
+mod security;
+
+pub use freeze::FreezePolicy;
+pub use observe::{ObservePolicy, QpStats};
+pub use qos::{QosClass, QosPolicy};
+pub use quota::QuotaPolicy;
+pub use rate_limit::RateLimitPolicy;
+pub use security::SecurityPolicy;

@@ -1,0 +1,153 @@
+//! Observability: per-QP traffic accounting, visible to the OS without any
+//! application cooperation — the eBPF-style monitoring the paper cites
+//! (§1 [3]) that kernel bypass forecloses entirely.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use cord_nic::{Cqe, Opcode, SendWqe};
+use cord_sim::SimDuration;
+
+use crate::policy::{CordPolicy, PolicyCtx, PolicyDecision};
+
+/// Per-QP counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QpStats {
+    pub posts: u64,
+    pub bytes_posted: u64,
+    pub sends: u64,
+    pub writes: u64,
+    pub reads: u64,
+    pub completions: u64,
+    pub errors: u64,
+}
+
+#[derive(Default)]
+pub struct ObservePolicy {
+    stats: RefCell<HashMap<u32, QpStats>>,
+}
+
+impl ObservePolicy {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot a QP's counters.
+    pub fn stats(&self, qpn: u32) -> QpStats {
+        self.stats.borrow().get(&qpn).copied().unwrap_or_default()
+    }
+
+    /// All QPs with activity.
+    pub fn all(&self) -> Vec<(u32, QpStats)> {
+        let mut v: Vec<_> = self
+            .stats
+            .borrow()
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+}
+
+impl CordPolicy for ObservePolicy {
+    fn name(&self) -> &'static str {
+        "observe"
+    }
+
+    fn on_post_send(&self, ctx: &PolicyCtx, wqe: &SendWqe) -> PolicyDecision {
+        let mut stats = self.stats.borrow_mut();
+        let s = stats.entry(ctx.qpn.0).or_default();
+        s.posts += 1;
+        s.bytes_posted += wqe.sge.len as u64;
+        match wqe.opcode {
+            Opcode::Send => s.sends += 1,
+            Opcode::RdmaWrite => s.writes += 1,
+            Opcode::RdmaRead => s.reads += 1,
+        }
+        PolicyDecision::Allow
+    }
+
+    fn on_completions(&self, ctx: &PolicyCtx, cqes: &[Cqe]) {
+        let mut stats = self.stats.borrow_mut();
+        let s = stats.entry(ctx.qpn.0).or_default();
+        for c in cqes {
+            s.completions += 1;
+            if !c.status.is_ok() {
+                s.errors += 1;
+            }
+        }
+    }
+
+    fn cost(&self) -> SimDuration {
+        SimDuration::from_ns(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_nic::{CqeOpcode, CqeStatus, LKey, QpNum, RKey, Sge, WrId};
+    use cord_sim::SimTime;
+
+    fn ctx(qpn: u32) -> PolicyCtx {
+        PolicyCtx {
+            node: 0,
+            qpn: QpNum(qpn),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn sge(len: usize) -> Sge {
+        Sge {
+            addr: 0x1_0000,
+            len,
+            lkey: LKey(1),
+        }
+    }
+
+    #[test]
+    fn counts_by_opcode_and_bytes() {
+        let p = ObservePolicy::new();
+        p.on_post_send(&ctx(1), &SendWqe::send(WrId(1), sge(100)));
+        p.on_post_send(&ctx(1), &SendWqe::write(WrId(2), sge(200), 0x2000, RKey(1)));
+        p.on_post_send(&ctx(1), &SendWqe::read(WrId(3), sge(300), 0x2000, RKey(1)));
+        let s = p.stats(1);
+        assert_eq!(s.posts, 3);
+        assert_eq!(s.bytes_posted, 600);
+        assert_eq!((s.sends, s.writes, s.reads), (1, 1, 1));
+    }
+
+    #[test]
+    fn completions_and_errors_tracked() {
+        let p = ObservePolicy::new();
+        let ok = Cqe {
+            wr_id: WrId(1),
+            status: CqeStatus::Success,
+            opcode: CqeOpcode::Send,
+            byte_len: 8,
+            qp: QpNum(1),
+            imm: None,
+            src_qp: None,
+            src_node: None,
+        };
+        let mut bad = ok;
+        bad.status = CqeStatus::RemoteAccessErr;
+        p.on_completions(&ctx(1), &[ok, bad]);
+        let s = p.stats(1);
+        assert_eq!(s.completions, 2);
+        assert_eq!(s.errors, 1);
+    }
+
+    #[test]
+    fn stats_are_per_qp_and_sorted() {
+        let p = ObservePolicy::new();
+        p.on_post_send(&ctx(7), &SendWqe::send(WrId(1), sge(1)));
+        p.on_post_send(&ctx(3), &SendWqe::send(WrId(1), sge(1)));
+        let all = p.all();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, 3);
+        assert_eq!(all[1].0, 7);
+        assert_eq!(p.stats(99), QpStats::default());
+    }
+}

@@ -1,0 +1,147 @@
+//! Priority QoS: low-priority QPs are briefly stalled while high-priority
+//! traffic is active, giving latency-sensitive flows the NIC first — the
+//! Justitia-style multi-tenancy control of §1 [90], done with two branch
+//! instructions in the kernel instead of dedicated arbitration cores.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use cord_nic::SendWqe;
+use cord_sim::{SimDuration, SimTime};
+
+use crate::policy::{CordPolicy, PolicyCtx, PolicyDecision};
+
+/// Priority class of a QP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QosClass {
+    High,
+    Low,
+}
+
+pub struct QosPolicy {
+    classes: RefCell<HashMap<u32, QosClass>>,
+    /// Most recent high-priority activity.
+    last_high: Cell<SimTime>,
+    /// Low-priority ops within this window of high activity are stalled.
+    guard_window: SimDuration,
+    /// How long a stalled low-priority op waits.
+    penalty: SimDuration,
+    cost: SimDuration,
+}
+
+impl QosPolicy {
+    pub fn new(guard_window: SimDuration, penalty: SimDuration) -> Self {
+        QosPolicy {
+            classes: RefCell::new(HashMap::new()),
+            last_high: Cell::new(SimTime::ZERO),
+            guard_window,
+            penalty,
+            cost: SimDuration::from_ns(10),
+        }
+    }
+
+    pub fn classify(&self, qpn: u32, class: QosClass) {
+        self.classes.borrow_mut().insert(qpn, class);
+    }
+
+    fn class_of(&self, qpn: u32) -> QosClass {
+        self.classes
+            .borrow()
+            .get(&qpn)
+            .copied()
+            .unwrap_or(QosClass::High)
+    }
+}
+
+impl CordPolicy for QosPolicy {
+    fn name(&self) -> &'static str {
+        "qos"
+    }
+
+    fn on_post_send(&self, ctx: &PolicyCtx, _wqe: &SendWqe) -> PolicyDecision {
+        match self.class_of(ctx.qpn.0) {
+            QosClass::High => {
+                self.last_high.set(ctx.now);
+                PolicyDecision::Allow
+            }
+            QosClass::Low => {
+                let since = ctx.now.saturating_since(self.last_high.get());
+                if self.last_high.get() > SimTime::ZERO && since < self.guard_window {
+                    PolicyDecision::Delay(self.penalty)
+                } else {
+                    PolicyDecision::Allow
+                }
+            }
+        }
+    }
+
+    fn cost(&self) -> SimDuration {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_nic::{LKey, QpNum, Sge, WrId};
+
+    fn ctx(qpn: u32, at_ns: u64) -> PolicyCtx {
+        PolicyCtx {
+            node: 0,
+            qpn: QpNum(qpn),
+            now: SimTime(at_ns * 1000),
+        }
+    }
+
+    fn wqe() -> SendWqe {
+        SendWqe::send(
+            WrId(1),
+            Sge {
+                addr: 0x1_0000,
+                len: 8,
+                lkey: LKey(1),
+            },
+        )
+    }
+
+    fn policy() -> QosPolicy {
+        let p = QosPolicy::new(SimDuration::from_us(10), SimDuration::from_us(2));
+        p.classify(1, QosClass::High);
+        p.classify(2, QosClass::Low);
+        p
+    }
+
+    #[test]
+    fn high_priority_always_allowed() {
+        let p = policy();
+        assert_eq!(p.on_post_send(&ctx(1, 0), &wqe()), PolicyDecision::Allow);
+        assert_eq!(p.on_post_send(&ctx(1, 5), &wqe()), PolicyDecision::Allow);
+    }
+
+    #[test]
+    fn low_priority_stalled_during_high_activity() {
+        let p = policy();
+        p.on_post_send(&ctx(1, 1000), &wqe());
+        assert_eq!(
+            p.on_post_send(&ctx(2, 2000), &wqe()),
+            PolicyDecision::Delay(SimDuration::from_us(2))
+        );
+        // After the guard window, low priority flows again.
+        assert_eq!(
+            p.on_post_send(&ctx(2, 20_000), &wqe()),
+            PolicyDecision::Allow
+        );
+    }
+
+    #[test]
+    fn unclassified_defaults_to_high() {
+        let p = policy();
+        assert_eq!(p.on_post_send(&ctx(42, 0), &wqe()), PolicyDecision::Allow);
+    }
+
+    #[test]
+    fn low_priority_unaffected_before_any_high_traffic() {
+        let p = policy();
+        assert_eq!(p.on_post_send(&ctx(2, 5), &wqe()), PolicyDecision::Allow);
+    }
+}

@@ -1,0 +1,138 @@
+//! Outstanding-operation quota (isolation): caps how many un-reaped work
+//! requests a QP may have in flight, bounding the NIC resources one tenant
+//! can monopolize (the MasQ/FreeFlow-style isolation of §1 [30, 44]).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use cord_nic::{Cqe, SendWqe};
+use cord_sim::SimDuration;
+
+use crate::policy::{CordPolicy, PolicyCtx, PolicyDecision};
+
+pub struct QuotaPolicy {
+    max_outstanding: usize,
+    in_flight: RefCell<HashMap<u32, usize>>,
+    cost: SimDuration,
+}
+
+impl QuotaPolicy {
+    pub fn new(max_outstanding: usize) -> Self {
+        assert!(max_outstanding > 0);
+        QuotaPolicy {
+            max_outstanding,
+            in_flight: RefCell::new(HashMap::new()),
+            cost: SimDuration::from_ns(12),
+        }
+    }
+
+    pub fn outstanding(&self, qpn: u32) -> usize {
+        self.in_flight.borrow().get(&qpn).copied().unwrap_or(0)
+    }
+}
+
+impl CordPolicy for QuotaPolicy {
+    fn name(&self) -> &'static str {
+        "quota"
+    }
+
+    fn on_post_send(&self, ctx: &PolicyCtx, _wqe: &SendWqe) -> PolicyDecision {
+        let mut map = self.in_flight.borrow_mut();
+        let n = map.entry(ctx.qpn.0).or_insert(0);
+        if *n >= self.max_outstanding {
+            return PolicyDecision::Deny("outstanding-op quota exceeded");
+        }
+        *n += 1;
+        PolicyDecision::Allow
+    }
+
+    fn on_completions(&self, ctx: &PolicyCtx, cqes: &[Cqe]) {
+        let mut map = self.in_flight.borrow_mut();
+        for cqe in cqes {
+            // Only send-side completions release quota; the ctx QP owns the CQ.
+            if !matches!(cqe.opcode, cord_nic::CqeOpcode::Recv | cord_nic::CqeOpcode::RecvWithImm)
+            {
+                if let Some(n) = map.get_mut(&ctx.qpn.0) {
+                    *n = n.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    fn cost(&self) -> SimDuration {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_nic::{CqeOpcode, CqeStatus, LKey, QpNum, Sge, WrId};
+    use cord_sim::SimTime;
+
+    fn ctx() -> PolicyCtx {
+        PolicyCtx {
+            node: 0,
+            qpn: QpNum(3),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn wqe() -> SendWqe {
+        SendWqe::send(
+            WrId(1),
+            Sge {
+                addr: 0x1_0000,
+                len: 8,
+                lkey: LKey(1),
+            },
+        )
+    }
+
+    fn send_cqe() -> Cqe {
+        Cqe {
+            wr_id: WrId(1),
+            status: CqeStatus::Success,
+            opcode: CqeOpcode::Send,
+            byte_len: 8,
+            qp: QpNum(3),
+            imm: None,
+            src_qp: None,
+            src_node: None,
+        }
+    }
+
+    #[test]
+    fn quota_binds_then_releases() {
+        let p = QuotaPolicy::new(2);
+        assert_eq!(p.on_post_send(&ctx(), &wqe()), PolicyDecision::Allow);
+        assert_eq!(p.on_post_send(&ctx(), &wqe()), PolicyDecision::Allow);
+        assert!(matches!(
+            p.on_post_send(&ctx(), &wqe()),
+            PolicyDecision::Deny(_)
+        ));
+        assert_eq!(p.outstanding(3), 2);
+        p.on_completions(&ctx(), &[send_cqe()]);
+        assert_eq!(p.outstanding(3), 1);
+        assert_eq!(p.on_post_send(&ctx(), &wqe()), PolicyDecision::Allow);
+    }
+
+    #[test]
+    fn recv_completions_do_not_release_send_quota() {
+        let p = QuotaPolicy::new(1);
+        assert_eq!(p.on_post_send(&ctx(), &wqe()), PolicyDecision::Allow);
+        let mut recv = send_cqe();
+        recv.opcode = CqeOpcode::Recv;
+        p.on_completions(&ctx(), &[recv]);
+        assert_eq!(p.outstanding(3), 1);
+    }
+
+    #[test]
+    fn quotas_are_per_qp() {
+        let p = QuotaPolicy::new(1);
+        let mut c2 = ctx();
+        c2.qpn = QpNum(9);
+        assert_eq!(p.on_post_send(&ctx(), &wqe()), PolicyDecision::Allow);
+        assert_eq!(p.on_post_send(&c2, &wqe()), PolicyDecision::Allow);
+    }
+}

@@ -1,0 +1,163 @@
+//! Token-bucket rate limiting of a tenant's RDMA traffic — the
+//! fine-grained resource control the paper cites FreeFlow/Justitia for
+//! (§1, [30, 44]), impossible with kernel bypass.
+
+use std::cell::RefCell;
+
+use cord_nic::SendWqe;
+use cord_sim::{SimDuration, SimTime};
+
+use crate::policy::{CordPolicy, PolicyCtx, PolicyDecision};
+
+struct Bucket {
+    /// Tokens currently available.
+    tokens: f64,
+    capacity: f64,
+    /// Tokens added per second of virtual time.
+    rate_per_s: f64,
+    last_refill: SimTime,
+}
+
+impl Bucket {
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_s).min(self.capacity);
+        self.last_refill = now;
+    }
+
+    /// Try to spend `amount`; on failure return the wait until possible.
+    fn spend(&mut self, now: SimTime, amount: f64) -> Option<SimDuration> {
+        self.refill(now);
+        if self.tokens >= amount {
+            self.tokens -= amount;
+            None
+        } else {
+            let deficit = amount - self.tokens;
+            let secs = deficit / self.rate_per_s;
+            Some(SimDuration::from_ns_f64(secs * 1e9))
+        }
+    }
+}
+
+/// Rate-limits bytes/s and messages/s for every QP it is attached to.
+pub struct RateLimitPolicy {
+    bytes: RefCell<Bucket>,
+    msgs: RefCell<Bucket>,
+    cost: SimDuration,
+}
+
+impl RateLimitPolicy {
+    /// `gbps` payload bandwidth budget, `msgs_per_s` message-rate budget.
+    /// Burst capacity is 1 ms worth of budget.
+    pub fn new(gbps: f64, msgs_per_s: f64) -> Self {
+        let bytes_per_s = gbps * 1e9 / 8.0;
+        RateLimitPolicy {
+            bytes: RefCell::new(Bucket {
+                tokens: bytes_per_s / 1000.0,
+                capacity: bytes_per_s / 1000.0,
+                rate_per_s: bytes_per_s,
+                last_refill: SimTime::ZERO,
+            }),
+            msgs: RefCell::new(Bucket {
+                tokens: msgs_per_s / 1000.0,
+                capacity: msgs_per_s / 1000.0,
+                rate_per_s: msgs_per_s,
+                last_refill: SimTime::ZERO,
+            }),
+            cost: SimDuration::from_ns(15),
+        }
+    }
+}
+
+impl CordPolicy for RateLimitPolicy {
+    fn name(&self) -> &'static str {
+        "rate-limit"
+    }
+
+    fn on_post_send(&self, ctx: &PolicyCtx, wqe: &SendWqe) -> PolicyDecision {
+        let d1 = self.msgs.borrow_mut().spend(ctx.now, 1.0);
+        if let Some(d) = d1 {
+            return PolicyDecision::Delay(d);
+        }
+        let d2 = self
+            .bytes
+            .borrow_mut()
+            .spend(ctx.now, wqe.sge.len as f64);
+        if let Some(d) = d2 {
+            return PolicyDecision::Delay(d);
+        }
+        PolicyDecision::Allow
+    }
+
+    fn cost(&self) -> SimDuration {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_nic::{LKey, QpNum, Sge, WrId};
+
+    fn ctx(at_us: u64) -> PolicyCtx {
+        PolicyCtx {
+            node: 0,
+            qpn: QpNum(1),
+            now: SimTime(at_us * 1_000_000),
+        }
+    }
+
+    fn wqe(len: usize) -> SendWqe {
+        SendWqe::send(
+            WrId(1),
+            Sge {
+                addr: 0x1_0000,
+                len,
+                lkey: LKey(1),
+            },
+        )
+    }
+
+    #[test]
+    fn within_budget_allows() {
+        let p = RateLimitPolicy::new(1.0, 1_000_000.0); // 1 Gbit/s, 1M msg/s
+        for _ in 0..10 {
+            assert_eq!(p.on_post_send(&ctx(0), &wqe(1000)), PolicyDecision::Allow);
+        }
+    }
+
+    #[test]
+    fn byte_budget_exhaustion_delays() {
+        let p = RateLimitPolicy::new(0.008, 1e9); // 1 MB/s => 1000 B burst (1 ms)
+        assert_eq!(p.on_post_send(&ctx(0), &wqe(1000)), PolicyDecision::Allow);
+        match p.on_post_send(&ctx(0), &wqe(1000)) {
+            PolicyDecision::Delay(d) => {
+                // Need 1000 B at 1 MB/s = 1 ms.
+                assert!((d.as_us_f64() - 1000.0).abs() < 1.0, "{d}");
+            }
+            other => panic!("expected delay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_refills_over_time() {
+        let p = RateLimitPolicy::new(0.008, 1e9); // 1 MB/s
+        assert_eq!(p.on_post_send(&ctx(0), &wqe(1000)), PolicyDecision::Allow);
+        // 2 ms later the bucket has refilled (capped at capacity).
+        assert_eq!(
+            p.on_post_send(&ctx(2000), &wqe(1000)),
+            PolicyDecision::Allow
+        );
+    }
+
+    #[test]
+    fn message_rate_limit_binds_independently() {
+        let p = RateLimitPolicy::new(100.0, 2000.0); // 2 k msg/s => 2 msg burst
+        assert_eq!(p.on_post_send(&ctx(0), &wqe(1)), PolicyDecision::Allow);
+        assert_eq!(p.on_post_send(&ctx(0), &wqe(1)), PolicyDecision::Allow);
+        assert!(matches!(
+            p.on_post_send(&ctx(0), &wqe(1)),
+            PolicyDecision::Delay(_)
+        ));
+    }
+}

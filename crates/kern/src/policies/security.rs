@@ -1,0 +1,167 @@
+//! Security filtering of RDMA operations — the OS-level enforcement the
+//! paper motivates with ReDMArk/sRDMA-class attacks (§1 [55, 72, 76, 80]):
+//! with kernel bypass the OS cannot see (let alone veto) a single RDMA op;
+//! under CoRD every op is checked here.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+
+use cord_nic::{Opcode, SendWqe};
+use cord_sim::SimDuration;
+
+use crate::policy::{CordPolicy, PolicyCtx, PolicyDecision};
+
+/// Deny rules for a tenant's QPs.
+#[derive(Default)]
+pub struct SecurityPolicy {
+    /// Opcodes that are forbidden (e.g. deny all one-sided reads).
+    deny_ops: RefCell<HashSet<DenyOp>>,
+    /// Maximum message size; 0 = unlimited.
+    max_msg: RefCell<usize>,
+    /// Remote address windows allowed for one-sided ops (empty = any).
+    allowed_windows: RefCell<Vec<(u64, u64)>>,
+    cost: SimDuration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DenyOp {
+    Send,
+    Write,
+    Read,
+}
+
+fn deny_key(op: Opcode) -> DenyOp {
+    match op {
+        Opcode::Send => DenyOp::Send,
+        Opcode::RdmaWrite => DenyOp::Write,
+        Opcode::RdmaRead => DenyOp::Read,
+    }
+}
+
+impl SecurityPolicy {
+    pub fn new() -> Self {
+        SecurityPolicy {
+            cost: SimDuration::from_ns(20),
+            ..Default::default()
+        }
+    }
+
+    /// Forbid an opcode.
+    pub fn deny_op(self, op: Opcode) -> Self {
+        self.deny_ops.borrow_mut().insert(deny_key(op));
+        self
+    }
+
+    /// Cap message sizes.
+    pub fn max_message(self, bytes: usize) -> Self {
+        *self.max_msg.borrow_mut() = bytes;
+        self
+    }
+
+    /// Restrict one-sided ops to remote windows `[base, base+len)`.
+    pub fn allow_remote_window(self, base: u64, len: u64) -> Self {
+        self.allowed_windows.borrow_mut().push((base, base + len));
+        self
+    }
+}
+
+impl CordPolicy for SecurityPolicy {
+    fn name(&self) -> &'static str {
+        "security"
+    }
+
+    fn on_post_send(&self, _ctx: &PolicyCtx, wqe: &SendWqe) -> PolicyDecision {
+        if self.deny_ops.borrow().contains(&deny_key(wqe.opcode)) {
+            return PolicyDecision::Deny("opcode forbidden");
+        }
+        let cap = *self.max_msg.borrow();
+        if cap != 0 && wqe.sge.len > cap {
+            return PolicyDecision::Deny("message too large");
+        }
+        if let Some((raddr, _)) = wqe.remote {
+            let windows = self.allowed_windows.borrow();
+            if !windows.is_empty() {
+                let end = raddr + wqe.sge.len as u64;
+                let ok = windows.iter().any(|&(lo, hi)| raddr >= lo && end <= hi);
+                if !ok {
+                    return PolicyDecision::Deny("remote address outside allowed window");
+                }
+            }
+        }
+        PolicyDecision::Allow
+    }
+
+    fn cost(&self) -> SimDuration {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_nic::{LKey, QpNum, RKey, Sge, WrId};
+    use cord_sim::SimTime;
+
+    fn ctx() -> PolicyCtx {
+        PolicyCtx {
+            node: 0,
+            qpn: QpNum(1),
+            now: SimTime::ZERO,
+        }
+    }
+
+    fn sge(len: usize) -> Sge {
+        Sge {
+            addr: 0x1_0000,
+            len,
+            lkey: LKey(1),
+        }
+    }
+
+    #[test]
+    fn denies_configured_opcode() {
+        let p = SecurityPolicy::new().deny_op(Opcode::RdmaRead);
+        let read = SendWqe::read(WrId(1), sge(64), 0x2000, RKey(1));
+        assert_eq!(
+            p.on_post_send(&ctx(), &read),
+            PolicyDecision::Deny("opcode forbidden")
+        );
+        let send = SendWqe::send(WrId(2), sge(64));
+        assert_eq!(p.on_post_send(&ctx(), &send), PolicyDecision::Allow);
+    }
+
+    #[test]
+    fn message_size_cap() {
+        let p = SecurityPolicy::new().max_message(4096);
+        assert_eq!(
+            p.on_post_send(&ctx(), &SendWqe::send(WrId(1), sge(4096))),
+            PolicyDecision::Allow
+        );
+        assert_eq!(
+            p.on_post_send(&ctx(), &SendWqe::send(WrId(1), sge(4097))),
+            PolicyDecision::Deny("message too large")
+        );
+    }
+
+    #[test]
+    fn remote_window_enforced() {
+        let p = SecurityPolicy::new().allow_remote_window(0x10_000, 0x1000);
+        let inside = SendWqe::write(WrId(1), sge(256), 0x10_100, RKey(1));
+        assert_eq!(p.on_post_send(&ctx(), &inside), PolicyDecision::Allow);
+        let straddles = SendWqe::write(WrId(1), sge(0x1000), 0x10_800, RKey(1));
+        assert!(matches!(
+            p.on_post_send(&ctx(), &straddles),
+            PolicyDecision::Deny(_)
+        ));
+        let outside = SendWqe::write(WrId(1), sge(8), 0x20_000, RKey(1));
+        assert!(matches!(
+            p.on_post_send(&ctx(), &outside),
+            PolicyDecision::Deny(_)
+        ));
+        // Two-sided sends carry no remote address: unaffected.
+        assert_eq!(
+            p.on_post_send(&ctx(), &SendWqe::send(WrId(2), sge(64))),
+            PolicyDecision::Allow
+        );
+    }
+}

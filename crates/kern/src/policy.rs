@@ -1,0 +1,202 @@
+//! CoRD policy framework.
+//!
+//! The whole point of routing the data plane through the kernel (§3) is
+//! that the OS can interpose *lightweight, non-blocking* policies on every
+//! operation: QoS, security, isolation, observability. A [`PolicyChain`]
+//! is consulted by the kernel driver on each `post_send`/`post_recv`, and
+//! notified of completions on each `poll_cq`.
+//!
+//! Policies must be non-blocking: they may `Allow`, `Deny`, or impose a
+//! bounded `Delay` (e.g. a rate limiter waiting for bucket refill), but
+//! they can never park an operation indefinitely.
+
+use std::rc::Rc;
+
+use cord_nic::{Cqe, QpNum, SendWqe};
+use cord_sim::{SimDuration, SimTime};
+
+/// Context handed to policy hooks.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyCtx {
+    pub node: usize,
+    pub qpn: QpNum,
+    pub now: SimTime,
+}
+
+/// Outcome of a policy check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyDecision {
+    /// Proceed.
+    Allow,
+    /// Reject the operation; the verb returns `PolicyDenied`.
+    Deny(&'static str),
+    /// Stall the operation for the given time, then re-evaluate.
+    Delay(SimDuration),
+}
+
+/// A kernel-level CoRD policy.
+pub trait CordPolicy {
+    fn name(&self) -> &'static str;
+
+    /// Interpose a send-side work request.
+    fn on_post_send(&self, _ctx: &PolicyCtx, _wqe: &SendWqe) -> PolicyDecision {
+        PolicyDecision::Allow
+    }
+
+    /// Interpose a receive-side work request.
+    fn on_post_recv(&self, _ctx: &PolicyCtx) -> PolicyDecision {
+        PolicyDecision::Allow
+    }
+
+    /// Observe completions as they are reaped.
+    fn on_completions(&self, _ctx: &PolicyCtx, _cqes: &[Cqe]) {}
+
+    /// Fixed nominal kernel cost this policy adds to every interposed op.
+    fn cost(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+}
+
+/// An ordered chain of policies; evaluated front to back, first Deny wins.
+#[derive(Clone, Default)]
+pub struct PolicyChain {
+    policies: Vec<Rc<dyn CordPolicy>>,
+}
+
+impl PolicyChain {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, p: Rc<dyn CordPolicy>) {
+        self.policies.push(p);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// Total fixed cost of the chain.
+    pub fn cost(&self) -> SimDuration {
+        self.policies.iter().map(|p| p.cost()).sum()
+    }
+
+    /// Evaluate send hooks: first non-Allow short-circuits.
+    pub fn check_post_send(&self, ctx: &PolicyCtx, wqe: &SendWqe) -> PolicyDecision {
+        for p in &self.policies {
+            match p.on_post_send(ctx, wqe) {
+                PolicyDecision::Allow => continue,
+                other => return other,
+            }
+        }
+        PolicyDecision::Allow
+    }
+
+    pub fn check_post_recv(&self, ctx: &PolicyCtx) -> PolicyDecision {
+        for p in &self.policies {
+            match p.on_post_recv(ctx) {
+                PolicyDecision::Allow => continue,
+                other => return other,
+            }
+        }
+        PolicyDecision::Allow
+    }
+
+    pub fn notify_completions(&self, ctx: &PolicyCtx, cqes: &[Cqe]) {
+        for p in &self.policies {
+            p.on_completions(ctx, cqes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_nic::{LKey, Sge, WrId};
+    use std::cell::Cell;
+
+    fn wqe() -> SendWqe {
+        SendWqe::send(
+            WrId(1),
+            Sge {
+                addr: 0x1_0000,
+                len: 64,
+                lkey: LKey(1),
+            },
+        )
+    }
+
+    fn ctx() -> PolicyCtx {
+        PolicyCtx {
+            node: 0,
+            qpn: QpNum(1),
+            now: SimTime::ZERO,
+        }
+    }
+
+    struct Always(PolicyDecision, Cell<u32>);
+    impl CordPolicy for Always {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn on_post_send(&self, _: &PolicyCtx, _: &SendWqe) -> PolicyDecision {
+            self.1.set(self.1.get() + 1);
+            self.0
+        }
+        fn cost(&self) -> SimDuration {
+            SimDuration::from_ns(10)
+        }
+    }
+
+    #[test]
+    fn empty_chain_allows() {
+        let c = PolicyChain::new();
+        assert_eq!(c.check_post_send(&ctx(), &wqe()), PolicyDecision::Allow);
+        assert_eq!(c.cost(), SimDuration::ZERO);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn first_deny_short_circuits() {
+        let mut c = PolicyChain::new();
+        let a = Rc::new(Always(PolicyDecision::Allow, Cell::new(0)));
+        let d = Rc::new(Always(PolicyDecision::Deny("nope"), Cell::new(0)));
+        let never = Rc::new(Always(PolicyDecision::Allow, Cell::new(0)));
+        c.push(a.clone());
+        c.push(d.clone());
+        c.push(never.clone());
+        assert_eq!(
+            c.check_post_send(&ctx(), &wqe()),
+            PolicyDecision::Deny("nope")
+        );
+        assert_eq!(a.1.get(), 1);
+        assert_eq!(d.1.get(), 1);
+        assert_eq!(never.1.get(), 0, "later policies not evaluated");
+    }
+
+    #[test]
+    fn chain_cost_sums() {
+        let mut c = PolicyChain::new();
+        c.push(Rc::new(Always(PolicyDecision::Allow, Cell::new(0))));
+        c.push(Rc::new(Always(PolicyDecision::Allow, Cell::new(0))));
+        assert_eq!(c.cost(), SimDuration::from_ns(20));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn delay_propagates() {
+        let mut c = PolicyChain::new();
+        c.push(Rc::new(Always(
+            PolicyDecision::Delay(SimDuration::from_us(1)),
+            Cell::new(0),
+        )));
+        assert_eq!(
+            c.check_post_send(&ctx(), &wqe()),
+            PolicyDecision::Delay(SimDuration::from_us(1))
+        );
+    }
+}

@@ -1,0 +1,226 @@
+//! Collective operations, built on tagged point-to-point.
+//!
+//! Algorithms are the textbook ones MPICH/Open MPI default to at these
+//! scales: dissemination barrier, binomial broadcast, recursive-doubling
+//! allreduce (with a reduce+bcast fallback for non-powers of two), ring
+//! allgather, and pairwise-exchange all-to-all.
+
+use bytes::Bytes;
+
+use crate::rank::Comm;
+
+/// Reduction operators over f64 vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    fn apply(self, acc: &mut [f64], other: &[f64]) {
+        assert_eq!(acc.len(), other.len());
+        for (a, b) in acc.iter_mut().zip(other) {
+            match self {
+                ReduceOp::Sum => *a += b,
+                ReduceOp::Max => *a = a.max(*b),
+                ReduceOp::Min => *a = a.min(*b),
+            }
+        }
+    }
+}
+
+fn to_bytes(v: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+fn from_bytes(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Per-element reduction CPU cost, ns (one FLOP + load/store each).
+const REDUCE_NS_PER_ELEM: f64 = 0.6;
+
+/// Collective tags live in a reserved namespace above user tags.
+const TAG_BASE: u32 = 0xC011_0000;
+
+impl Comm {
+    /// Dissemination barrier: ⌈log2 P⌉ rounds.
+    pub async fn barrier(&self, epoch: u32) -> () {
+        let p = self.size();
+        let r = self.rank();
+        let mut k = 1usize;
+        let mut round = 0u32;
+        while k < p {
+            let dst = (r + k) % p;
+            let src = (r + p - k % p) % p;
+            let tag = TAG_BASE.wrapping_add(0x100 + epoch.wrapping_mul(64) + round);
+            self.sendrecv(dst, tag, &[], src, tag).await;
+            k <<= 1;
+            round += 1;
+        }
+    }
+
+    /// Binomial-tree broadcast from `root`. Every rank returns the data.
+    pub async fn bcast(&self, root: usize, epoch: u32, data: Option<&[u8]>) -> Bytes {
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p; // virtual rank, root = 0
+        let tag = TAG_BASE.wrapping_add(0x200).wrapping_add(epoch);
+        let mut buf: Option<Bytes> = data.map(Bytes::copy_from_slice);
+        if vr == 0 {
+            assert!(buf.is_some(), "root must supply data");
+        }
+        // Receive from the parent.
+        if vr != 0 {
+            let mut mask = 1usize;
+            while mask < p {
+                if vr & mask != 0 {
+                    let parent = (vr - mask + root) % p;
+                    buf = Some(self.recv(parent, tag).await);
+                    break;
+                }
+                mask <<= 1;
+            }
+        }
+        // Forward to children.
+        let data = buf.expect("received or root");
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                break;
+            }
+            mask <<= 1;
+        }
+        let mut child_mask = mask >> 1;
+        let mut sends = Vec::new();
+        while child_mask > 0 {
+            let child_vr = vr + child_mask;
+            if child_vr < p {
+                let child = (child_vr + root) % p;
+                sends.push(self.isend(child, tag, data.to_vec()));
+            }
+            child_mask >>= 1;
+        }
+        for s in sends {
+            s.await;
+        }
+        data
+    }
+
+    /// Allreduce over f64 vectors (recursive doubling when P is a power of
+    /// two, reduce-to-0 + bcast otherwise).
+    pub async fn allreduce(&self, epoch: u32, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let p = self.size();
+        if p.is_power_of_two() {
+            self.allreduce_rd(epoch, vals, op).await
+        } else {
+            let reduced = self.reduce(0, epoch, vals, op).await;
+            // Internal bcast epoch lives in its own namespace so it cannot
+            // collide with a user bcast of the same epoch.
+            let wire = self
+                .bcast(0, 0x4000 + epoch, reduced.as_ref().map(|v| to_bytes(v)).as_deref())
+                .await;
+            from_bytes(&wire)
+        }
+    }
+
+    async fn allreduce_rd(&self, epoch: u32, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let p = self.size();
+        let r = self.rank();
+        let mut acc = vals.to_vec();
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        while mask < p {
+            let partner = r ^ mask;
+            let tag = TAG_BASE.wrapping_add(0x300 + epoch.wrapping_mul(64) + round);
+            let theirs = self.sendrecv(partner, tag, &to_bytes(&acc), partner, tag).await;
+            let theirs = from_bytes(&theirs);
+            // Reduction compute cost.
+            self.compute_ns(REDUCE_NS_PER_ELEM * acc.len() as f64).await;
+            op.apply(&mut acc, &theirs);
+            mask <<= 1;
+            round += 1;
+        }
+        acc
+    }
+
+    /// Binomial-tree reduce to `root`; only the root gets `Some`.
+    pub async fn reduce(
+        &self,
+        root: usize,
+        epoch: u32,
+        vals: &[f64],
+        op: ReduceOp,
+    ) -> Option<Vec<f64>> {
+        let p = self.size();
+        let vr = (self.rank() + p - root) % p;
+        let tag = TAG_BASE.wrapping_add(0x400).wrapping_add(epoch);
+        let mut acc = vals.to_vec();
+        let mut mask = 1usize;
+        while mask < p {
+            if vr & mask != 0 {
+                let parent = (vr - mask + root) % p;
+                self.send(parent, tag, &to_bytes(&acc)).await;
+                return None;
+            }
+            let child_vr = vr + mask;
+            if child_vr < p {
+                let child = (child_vr + root) % p;
+                let theirs = from_bytes(&self.recv(child, tag).await);
+                self.compute_ns(REDUCE_NS_PER_ELEM * acc.len() as f64).await;
+                op.apply(&mut acc, &theirs);
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// Ring allgather: every rank contributes `mine`, all get all chunks.
+    pub async fn allgather(&self, epoch: u32, mine: &[u8]) -> Vec<Bytes> {
+        let p = self.size();
+        let r = self.rank();
+        let tag = TAG_BASE.wrapping_add(0x500).wrapping_add(epoch);
+        let mut chunks: Vec<Option<Bytes>> = vec![None; p];
+        chunks[r] = Some(Bytes::copy_from_slice(mine));
+        let right = (r + 1) % p;
+        let left = (r + p - 1) % p;
+        let mut cursor = r;
+        for _ in 0..p - 1 {
+            let outgoing = chunks[cursor].clone().expect("have current chunk");
+            let incoming = self.sendrecv(right, tag, &outgoing, left, tag).await;
+            cursor = (cursor + p - 1) % p;
+            chunks[cursor] = Some(incoming);
+        }
+        chunks.into_iter().map(|c| c.expect("ring complete")).collect()
+    }
+
+    /// Pairwise-exchange all-to-all with per-destination payloads.
+    /// `sends[d]` goes to rank `d`; returns what every rank sent to us.
+    pub async fn alltoallv(&self, epoch: u32, sends: Vec<Vec<u8>>) -> Vec<Bytes> {
+        let p = self.size();
+        let r = self.rank();
+        assert_eq!(sends.len(), p);
+        let tag = TAG_BASE.wrapping_add(0x600).wrapping_add(epoch);
+        let mut recvs: Vec<Option<Bytes>> = vec![None; p];
+        recvs[r] = Some(Bytes::from(sends[r].clone()));
+        for step in 1..p {
+            // Pairwise: talk to (r + step) while receiving from (r - step).
+            let dst = (r + step) % p;
+            let src = (r + p - step) % p;
+            let got = self
+                .sendrecv(dst, tag.wrapping_add(step as u32), &sends[dst], src, tag.wrapping_add(step as u32))
+                .await;
+            recvs[src] = Some(got);
+        }
+        recvs
+            .into_iter()
+            .map(|c| c.expect("exchange complete"))
+            .collect()
+    }
+}

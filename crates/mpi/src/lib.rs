@@ -1,0 +1,22 @@
+//! # cord-mpi — a minimal MPI over the simulated fabric
+//!
+//! The substrate for the paper's NPB evaluation (Fig. 6): tagged blocking
+//! and nonblocking point-to-point (eager copy-in/copy-out below 2 KiB,
+//! zero-copy RDMA-write rendezvous above), the collectives the NPB kernels
+//! need, and three interchangeable transports:
+//!
+//! * `MpiTransport::Verbs(Dataplane::Bypass)` — classical RDMA,
+//! * `MpiTransport::Verbs(Dataplane::Cord)` — the converged dataplane,
+//! * `MpiTransport::Ipoib` — sockets over the kernel network stack.
+//!
+//! Shared-memory communication is deliberately absent: the paper bars the
+//! MPI library from using it "to amplify the network effects" (§5), so
+//! same-node ranks talk through the NIC loopback exactly as the paper's
+//! runs did.
+
+pub mod collectives;
+pub mod rank;
+pub mod wire;
+
+pub use collectives::ReduceOp;
+pub use rank::{create_world, Comm, MpiTransport, EAGER_MAX};

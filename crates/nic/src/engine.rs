@@ -1,0 +1,1210 @@
+//! The NIC engine: TX scheduler, RX pipeline, and DMA orchestration.
+//!
+//! ## TX path
+//! `post_send` validates and enqueues the WQE, then rings the doorbell
+//! (a [`Notify`]). A single TX scheduler task round-robins across QPs with
+//! pending work at *burst* granularity (up to [`TX_BURST`] fragments), so a
+//! multi-megabyte message cannot head-of-line-block other QPs — matching how
+//! ConnectX hardware interleaves QP schedules.
+//!
+//! Each fragment's payload is fetched by DMA ([`DmaEngine::enqueue`], FIFO,
+//! pipelined) and the frame enters the fabric when the fetch completes. A
+//! window semaphore bounds in-flight fragments so the scheduler paces at
+//! the bottleneck (DMA or wire) rate instead of queueing unboundedly.
+//!
+//! ## RX path
+//! A single RX task serializes per-packet processing, validates memory
+//! access (MR table), lands payloads via DMA, and generates CQEs/ACKs *at
+//! the DMA completion instant* — data is visible in memory before its
+//! completion, the ordering RDMA applications rely on.
+
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use cord_hw::link::{Fabric, Frame};
+use cord_hw::{DmaDir, DmaEngine, MachineSpec};
+use cord_sim::sync::{Notify, Receiver, Semaphore};
+use cord_sim::{FifoResource, Sim, SimDuration, SimTime, Trace, TraceCategory};
+
+use crate::cq::{Cq, Cqe, CqeOpcode, CqeStatus};
+use crate::mr::{MrError, MrTable};
+use crate::packet::{NakReason, Packet, PacketKind};
+use crate::qp::{PendingAck, PendingRead, Qp, RecvAssembly, TxProgress};
+use crate::types::{CqId, NodeId, Opcode, QpNum, QpState, Transport, VerbsError};
+use crate::wqe::{RecvWqe, SendWqe};
+
+/// Max fragments a QP may transmit before yielding to the round-robin ring.
+pub const TX_BURST: u32 = 32;
+
+/// Max in-flight (DMA-fetched but not yet on the wire) TX fragments.
+pub const TX_WINDOW: usize = 64;
+
+pub(crate) struct NicInner {
+    sim: Sim,
+    pub node: NodeId,
+    pub spec: MachineSpec,
+    fabric: Rc<Fabric<Packet>>,
+    rx: RefCell<Option<Receiver<Frame<Packet>>>>,
+    qps: RefCell<HashMap<u32, Rc<RefCell<Qp>>>>,
+    next_qpn: Cell<u32>,
+    next_cq: Cell<u32>,
+    pub mrs: MrTable,
+    pub dma: DmaEngine,
+    tx_pipeline: FifoResource,
+    rx_pipeline: FifoResource,
+    tx_ring: RefCell<VecDeque<QpNum>>,
+    tx_notify: Notify,
+    tx_window: Semaphore,
+    started: Cell<bool>,
+    trace: Trace,
+    /// Packets handled by the RX pipeline (diagnostics).
+    rx_packets: Cell<u64>,
+}
+
+/// A simulated RDMA NIC. Cheap to clone.
+#[derive(Clone)]
+pub struct Nic {
+    inner: Rc<NicInner>,
+}
+
+impl Nic {
+    pub fn new(
+        sim: &Sim,
+        spec: &MachineSpec,
+        node: NodeId,
+        fabric: Rc<Fabric<Packet>>,
+        rx: Receiver<Frame<Packet>>,
+        trace: Trace,
+    ) -> Self {
+        let nic = Nic {
+            inner: Rc::new(NicInner {
+                sim: sim.clone(),
+                node,
+                spec: spec.clone(),
+                fabric,
+                rx: RefCell::new(Some(rx)),
+                qps: RefCell::new(HashMap::new()),
+                next_qpn: Cell::new(0),
+                next_cq: Cell::new(0),
+                mrs: MrTable::new(),
+                dma: DmaEngine::new(sim, spec.pcie.clone()),
+                tx_pipeline: FifoResource::new(sim),
+                rx_pipeline: FifoResource::new(sim),
+                tx_ring: RefCell::new(VecDeque::new()),
+                tx_notify: Notify::new(),
+                tx_window: Semaphore::new(TX_WINDOW),
+                started: Cell::new(false),
+                trace,
+                rx_packets: Cell::new(0),
+            }),
+        };
+        nic.start();
+        nic
+    }
+
+    /// Spawn the TX and RX tasks (idempotent).
+    fn start(&self) {
+        if self.inner.started.replace(true) {
+            return;
+        }
+        let tx_inner = Rc::clone(&self.inner);
+        self.inner.sim.spawn(async move {
+            tx_loop(tx_inner).await;
+        });
+        let rx_inner = Rc::clone(&self.inner);
+        self.inner.sim.spawn(async move {
+            rx_loop(rx_inner).await;
+        });
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.inner.node
+    }
+
+    pub fn spec(&self) -> &MachineSpec {
+        &self.inner.spec
+    }
+
+    pub fn mr_table(&self) -> &MrTable {
+        &self.inner.mrs
+    }
+
+    pub fn rx_packets(&self) -> u64 {
+        self.inner.rx_packets.get()
+    }
+
+    /// Create a completion queue.
+    pub fn create_cq(&self, capacity: usize) -> Cq {
+        let id = self.inner.next_cq.get();
+        self.inner.next_cq.set(id + 1);
+        Cq::new(CqId(id), capacity)
+    }
+
+    /// Create a queue pair in the RESET state.
+    pub fn create_qp(&self, transport: Transport, send_cq: Cq, recv_cq: Cq) -> QpNum {
+        let n = self.inner.next_qpn.get() + 1;
+        self.inner.next_qpn.set(n);
+        let qpn = QpNum(n);
+        let qp = Qp::new(
+            qpn,
+            transport,
+            send_cq,
+            recv_cq,
+            self.inner.spec.nic.sq_depth,
+            self.inner.spec.nic.rq_depth,
+            self.inner.spec.nic.max_rd_atomic,
+        );
+        self.inner
+            .qps
+            .borrow_mut()
+            .insert(n, Rc::new(RefCell::new(qp)));
+        qpn
+    }
+
+    fn qp(&self, qpn: QpNum) -> Result<Rc<RefCell<Qp>>, VerbsError> {
+        self.inner
+            .qps
+            .borrow()
+            .get(&qpn.0)
+            .cloned()
+            .ok_or(VerbsError::UnknownQp(qpn))
+    }
+
+    /// Full RESET→INIT→RTR→RTS transition (the common CM handshake result).
+    pub fn connect(&self, qpn: QpNum, peer: Option<(NodeId, QpNum)>) -> Result<(), VerbsError> {
+        let qp = self.qp(qpn)?;
+        let mut qp = qp.borrow_mut();
+        qp.to_init()?;
+        qp.to_rtr(peer)?;
+        qp.to_rts()
+    }
+
+    /// Individual state transitions (for tests of the state machine).
+    pub fn modify_to_init(&self, qpn: QpNum) -> Result<(), VerbsError> {
+        self.qp(qpn)?.borrow_mut().to_init()
+    }
+
+    pub fn modify_to_rtr(
+        &self,
+        qpn: QpNum,
+        peer: Option<(NodeId, QpNum)>,
+    ) -> Result<(), VerbsError> {
+        self.qp(qpn)?.borrow_mut().to_rtr(peer)
+    }
+
+    pub fn modify_to_rts(&self, qpn: QpNum) -> Result<(), VerbsError> {
+        self.qp(qpn)?.borrow_mut().to_rts()
+    }
+
+    pub fn qp_state(&self, qpn: QpNum) -> Result<QpState, VerbsError> {
+        Ok(self.qp(qpn)?.borrow().state)
+    }
+
+    pub fn qp_transport(&self, qpn: QpNum) -> Result<Transport, VerbsError> {
+        Ok(self.qp(qpn)?.borrow().transport)
+    }
+
+    /// (tx_msgs, rx_msgs, tx_bytes, rx_bytes) counters for a QP.
+    pub fn qp_counters(&self, qpn: QpNum) -> Result<(u64, u64, u64, u64), VerbsError> {
+        let qp = self.qp(qpn)?;
+        let qp = qp.borrow();
+        Ok((qp.tx_msgs, qp.rx_msgs, qp.tx_bytes, qp.rx_bytes))
+    }
+
+    /// Post a send work request and ring the doorbell. CPU-side costs
+    /// (WQE build, MMIO write) are billed by the calling driver layer.
+    pub fn post_send(&self, qpn: QpNum, mut wqe: SendWqe, inline_allowed: bool) -> Result<(), VerbsError> {
+        let qp_rc = self.qp(qpn)?;
+        {
+            let mut qp = qp_rc.borrow_mut();
+            // Capture inline payload at post time if the driver requested it
+            // and the NIC supports it at this size.
+            if inline_allowed
+                && wqe.opcode == Opcode::Send
+                && wqe.sge.len <= self.inner.spec.nic.inline_cap
+            {
+                if let Ok(mr) = self
+                    .inner
+                    .mrs
+                    .check_local(wqe.sge.lkey, wqe.sge.addr, wqe.sge.len, false)
+                {
+                    if let Ok(data) = mr.mem.read(wqe.sge.addr, wqe.sge.len) {
+                        wqe.inline_data = Some(data);
+                    }
+                }
+            }
+            qp.push_send(wqe, self.inner.spec.nic.mtu)?;
+        }
+        self.ring(qpn);
+        Ok(())
+    }
+
+    /// Post a receive work request.
+    pub fn post_recv(&self, qpn: QpNum, wqe: RecvWqe) -> Result<(), VerbsError> {
+        let qp_rc = self.qp(qpn)?;
+        let result = qp_rc.borrow_mut().push_recv(wqe);
+        result
+    }
+
+    /// Add a QP to the TX ring if it is not there already.
+    fn ring(&self, qpn: QpNum) {
+        ring_qp(&self.inner, qpn);
+    }
+
+    /// Test/diagnostic access to the raw QP (crate-internal).
+    #[doc(hidden)]
+    pub fn qp_handle(&self, qpn: QpNum) -> Option<Rc<RefCell<Qp>>> {
+        self.inner.qps.borrow().get(&qpn.0).cloned()
+    }
+}
+
+fn ring_qp(inner: &Rc<NicInner>, qpn: QpNum) {
+    let Some(qp_rc) = inner.qps.borrow().get(&qpn.0).cloned() else {
+        return;
+    };
+    let mut qp = qp_rc.borrow_mut();
+    if !qp.in_ring {
+        qp.in_ring = true;
+        inner.tx_ring.borrow_mut().push_back(qpn);
+        inner.tx_notify.notify_one();
+    }
+}
+
+fn transmit(inner: &Rc<NicInner>, pkt: Packet) {
+    let wire = pkt.wire_bytes(inner.spec.nic.header_bytes);
+    inner.trace.record(inner.sim.now(), TraceCategory::Link, || {
+        format!(
+            "tx node{} qp{} -> node{} qp{} {:?} ({} B wire)",
+            pkt.src_node, pkt.src_qpn.0, pkt.dst_node, pkt.dst_qpn.0, kind_name(&pkt.kind), wire
+        )
+    });
+    inner.fabric.transmit(Frame {
+        src: pkt.src_node,
+        dst: pkt.dst_node,
+        wire_bytes: wire,
+        payload: pkt,
+    });
+}
+
+fn kind_name(k: &PacketKind) -> &'static str {
+    match k {
+        PacketKind::SendFrag { .. } => "SendFrag",
+        PacketKind::WriteFrag { .. } => "WriteFrag",
+        PacketKind::ReadReq { .. } => "ReadReq",
+        PacketKind::ReadResp { .. } => "ReadResp",
+        PacketKind::Ack { .. } => "Ack",
+        PacketKind::Nak { .. } => "Nak",
+    }
+}
+
+fn push_cqe(cq: &Cq, cqe: Cqe) {
+    cq.push(cqe);
+}
+
+/// Size of a CQE on the wire to host memory.
+const CQE_BYTES: usize = 64;
+
+/// Deliver a CQE the way hardware does: a DMA write into the CQ ring. The
+/// ToHost DMA FIFO both delays visibility by the transaction latency
+/// (≈0.2 µs on the latency path) and keeps CQEs ordered after the payload
+/// writes that precede them.
+fn deliver_cqe(inner: &Rc<NicInner>, cq: &Cq, cqe: Cqe) {
+    let at = inner.dma.enqueue(DmaDir::ToHost, CQE_BYTES);
+    let cq = cq.clone();
+    inner.sim.schedule_at(at, move |_| cq.push(cqe));
+}
+
+fn flush_qp(inner: &Rc<NicInner>, qp: &mut Qp) {
+    let (sq, rq) = qp.enter_error();
+    for w in sq {
+        if w.signaled {
+            push_cqe(
+                &qp.send_cq,
+                Cqe {
+                    wr_id: w.wr_id,
+                    status: CqeStatus::WrFlushErr,
+                    opcode: w.opcode.into(),
+                    byte_len: 0,
+                    qp: qp.num,
+                    imm: None,
+                    src_qp: None,
+                    src_node: None,
+                },
+            );
+        }
+    }
+    for r in rq {
+        push_cqe(
+            &qp.recv_cq,
+            Cqe {
+                wr_id: r.wr_id,
+                status: CqeStatus::WrFlushErr,
+                opcode: CqeOpcode::Recv,
+                byte_len: 0,
+                qp: qp.num,
+                imm: None,
+                src_qp: None,
+                src_node: None,
+            },
+        );
+    }
+    inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
+        format!("qp{} entered ERROR, queues flushed", qp.num.0)
+    });
+}
+
+/// ===================== TX scheduler =====================
+async fn tx_loop(inner: Rc<NicInner>) {
+    loop {
+        let qpn = loop {
+            let head = inner.tx_ring.borrow_mut().pop_front();
+            match head {
+                Some(q) => break q,
+                None => inner.tx_notify.notified().await,
+            }
+        };
+        process_burst(&inner, qpn).await;
+    }
+}
+
+/// Process up to [`TX_BURST`] fragments for one QP, then yield.
+async fn process_burst(inner: &Rc<NicInner>, qpn: QpNum) {
+    let Some(qp_rc) = inner.qps.borrow().get(&qpn.0).cloned() else {
+        return;
+    };
+    let mut budget = TX_BURST;
+
+    while budget > 0 {
+        // Ensure there is an in-progress WQE, starting a new one if needed.
+        let has_progress = qp_rc.borrow().tx.is_some();
+        if !has_progress {
+            let started = start_next_wqe(inner, &qp_rc).await;
+            match started {
+                StartOutcome::Started => {}
+                StartOutcome::NothingToDo => {
+                    qp_rc.borrow_mut().in_ring = false;
+                    return;
+                }
+                StartOutcome::StalledOnReads => {
+                    let mut qp = qp_rc.borrow_mut();
+                    qp.stalled_rd = true;
+                    qp.in_ring = false;
+                    return;
+                }
+                StartOutcome::Consumed(cost) => {
+                    // A WQE that needed no segmentation (read request or an
+                    // erroring WQE): bill its pipeline cost and continue.
+                    budget = budget.saturating_sub(cost);
+                    continue;
+                }
+            }
+        }
+        // Emit fragments.
+        budget = emit_fragments(inner, &qp_rc, budget).await;
+    }
+
+    // Budget exhausted: requeue if work remains.
+    let mut qp = qp_rc.borrow_mut();
+    if qp.tx.is_some() || !qp.sq.is_empty() {
+        inner.tx_ring.borrow_mut().push_back(qpn);
+        inner.tx_notify.notify_one();
+    } else {
+        qp.in_ring = false;
+    }
+}
+
+enum StartOutcome {
+    Started,
+    NothingToDo,
+    StalledOnReads,
+    /// WQE fully handled during start (no fragments); burn `n` budget.
+    Consumed(u32),
+}
+
+async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartOutcome {
+    // Peek first: reads may stall without consuming the WQE.
+    {
+        let qp = qp_rc.borrow();
+        match qp.sq.front() {
+            None => return StartOutcome::NothingToDo,
+            Some(w)
+                if w.opcode == Opcode::RdmaRead
+                    && qp.outstanding_reads >= qp.max_rd_atomic =>
+            {
+                return StartOutcome::StalledOnReads;
+            }
+            Some(_) => {}
+        }
+    }
+    // Per-WQE NIC processing cost.
+    inner
+        .tx_pipeline
+        .use_for(SimDuration::from_ns_f64(inner.spec.nic.wqe_proc_ns))
+        .await;
+
+    let (wqe, msg_id, peer) = {
+        let mut qp = qp_rc.borrow_mut();
+        let Some(wqe) = qp.sq.pop_front() else {
+            return StartOutcome::NothingToDo;
+        };
+        let msg_id = qp.alloc_msg_id();
+        let peer = qp.peer;
+        (wqe, msg_id, peer)
+    };
+
+    // Local memory validation: TX fetch for sends/writes, local landing
+    // (needs LOCAL_WRITE) for reads.
+    let needs_write = wqe.opcode == Opcode::RdmaRead;
+    let mr = match inner
+        .mrs
+        .check_local(wqe.sge.lkey, wqe.sge.addr, wqe.sge.len, needs_write)
+    {
+        Ok(mr) => mr,
+        Err(_) => {
+            let mut qp = qp_rc.borrow_mut();
+            push_cqe(
+                &qp.send_cq,
+                Cqe {
+                    wr_id: wqe.wr_id,
+                    status: CqeStatus::LocalProtErr,
+                    opcode: wqe.opcode.into(),
+                    byte_len: 0,
+                    qp: qp.num,
+                    imm: None,
+                    src_qp: None,
+                    src_node: None,
+                },
+            );
+            if qp.transport == Transport::Rc {
+                flush_qp(inner, &mut qp);
+            }
+            return StartOutcome::Consumed(1);
+        }
+    };
+
+    match wqe.opcode {
+        Opcode::RdmaRead => {
+            let (raddr, rkey) = wqe.remote.expect("validated at post");
+            let (dst_node, dst_qpn) = peer.expect("RC read on connected QP");
+            {
+                let mut qp = qp_rc.borrow_mut();
+                qp.outstanding_reads += 1;
+                qp.pending_reads.insert(
+                    msg_id,
+                    PendingRead {
+                        wr_id: wqe.wr_id,
+                        signaled: wqe.signaled,
+                        addr: wqe.sge.addr,
+                        len: wqe.sge.len,
+                        lkey: wqe.sge.lkey,
+                    },
+                );
+            }
+            let src_qpn = qp_rc.borrow().num;
+            transmit(
+                inner,
+                Packet {
+                    src_node: inner.node,
+                    dst_node,
+                    src_qpn,
+                    dst_qpn,
+                    kind: PacketKind::ReadReq {
+                        msg_id,
+                        raddr,
+                        rkey,
+                        len: wqe.sge.len,
+                    },
+                },
+            );
+            StartOutcome::Consumed(1)
+        }
+        Opcode::Send | Opcode::RdmaWrite => {
+            let nfrags = inner.spec.fragments(wqe.sge.len) as u32;
+            qp_rc.borrow_mut().tx = Some(TxProgress {
+                wqe,
+                msg_id,
+                next_frag: 0,
+                nfrags,
+                mem: mr.mem,
+            });
+            StartOutcome::Started
+        }
+    }
+}
+
+/// Emit fragments for the current progress until done or out of budget.
+/// Returns the remaining budget.
+async fn emit_fragments(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, mut budget: u32) -> u32 {
+    loop {
+        if budget == 0 {
+            return 0;
+        }
+        // Snapshot fragment parameters without holding the borrow.
+        let (wqe, msg_id, frag, nfrags, mem, qpn, peer, transport) = {
+            let qp = qp_rc.borrow();
+            let Some(tx) = &qp.tx else { return budget };
+            (
+                tx.wqe.clone(),
+                tx.msg_id,
+                tx.next_frag,
+                tx.nfrags,
+                tx.mem.clone(),
+                qp.num,
+                qp.peer,
+                qp.transport,
+            )
+        };
+        let mtu = inner.spec.nic.mtu;
+        let offset = frag as usize * mtu;
+        let frag_len = (wqe.sge.len - offset).min(mtu);
+        let last = frag + 1 == nfrags;
+
+        // Respect the in-flight window so we pace at the bottleneck.
+        inner.tx_window.acquire(1).await;
+
+        // Fetch payload: inline data was captured at post time; otherwise a
+        // DMA read whose completion gates the frame's entry to the fabric.
+        let (payload, ready): (Bytes, SimTime) = if let Some(inline) = &wqe.inline_data {
+            (
+                inline.slice(offset..offset + frag_len),
+                inner.sim.now(),
+            )
+        } else {
+            let data = mem
+                .read(wqe.sge.addr + offset as u64, frag_len)
+                .expect("range validated at WQE start");
+            (data, inner.dma.enqueue(DmaDir::FromHost, frag_len))
+        };
+
+        let (dst_node, dst_qpn) = match transport {
+            Transport::Rc => peer.expect("RC connected"),
+            Transport::Ud => {
+                let d = wqe.ud_dest.expect("validated at post");
+                (d.node, d.qpn)
+            }
+        };
+        let kind = match wqe.opcode {
+            Opcode::Send => PacketKind::SendFrag {
+                msg_id,
+                frag,
+                nfrags,
+                total_len: wqe.sge.len,
+                offset,
+                payload,
+                imm: wqe.imm,
+            },
+            Opcode::RdmaWrite => {
+                let (raddr, rkey) = wqe.remote.expect("validated at post");
+                PacketKind::WriteFrag {
+                    msg_id,
+                    frag,
+                    nfrags,
+                    total_len: wqe.sge.len,
+                    raddr,
+                    rkey,
+                    offset,
+                    payload,
+                    imm: wqe.imm,
+                }
+            }
+            Opcode::RdmaRead => unreachable!("reads have no fragments"),
+        };
+        let pkt = Packet {
+            src_node: inner.node,
+            dst_node,
+            src_qpn: qpn,
+            dst_qpn,
+            kind,
+        };
+
+        // Transmit when the payload is on-NIC; release the window then.
+        let inner2 = Rc::clone(inner);
+        let qp2 = Rc::clone(qp_rc);
+        let wr_id = wqe.wr_id;
+        let signaled = wqe.signaled;
+        let opcode = wqe.opcode;
+        let total_len = wqe.sge.len;
+        inner.sim.schedule_at(ready, move |_| {
+            transmit(&inner2, pkt);
+            inner2.tx_window.release(1);
+            if last {
+                let mut qp = qp2.borrow_mut();
+                qp.tx_msgs += 1;
+                qp.tx_bytes += total_len as u64;
+                match transport {
+                    Transport::Ud => {
+                        // UD: local completion once the NIC owns the data.
+                        if signaled {
+                            let cqe = Cqe {
+                                wr_id,
+                                status: CqeStatus::Success,
+                                opcode: opcode.into(),
+                                byte_len: total_len,
+                                qp: qp.num,
+                                imm: None,
+                                src_qp: None,
+                                src_node: None,
+                            };
+                            let cq = qp.send_cq.clone();
+                            drop(qp);
+                            deliver_cqe(&inner2, &cq, cqe);
+                            return;
+                        }
+                    }
+                    Transport::Rc => {
+                        qp.pending_acks.insert(
+                            msg_id,
+                            PendingAck {
+                                wr_id,
+                                signaled,
+                                opcode,
+                                byte_len: total_len,
+                            },
+                        );
+                    }
+                }
+            }
+        });
+
+        // Pace the scheduler: per-packet pipeline occupancy.
+        inner
+            .tx_pipeline
+            .use_for(SimDuration::from_ns_f64(inner.spec.nic.tx_pkt_ns))
+            .await;
+
+        budget -= 1;
+        let mut qp = qp_rc.borrow_mut();
+        if last {
+            qp.tx = None;
+            return budget;
+        } else if let Some(tx) = &mut qp.tx {
+            tx.next_frag += 1;
+        }
+    }
+}
+
+/// ===================== RX pipeline =====================
+async fn rx_loop(inner: Rc<NicInner>) {
+    let rx = inner.rx.borrow_mut().take().expect("rx taken once");
+    loop {
+        let Ok(frame) = rx.recv().await else { return };
+        inner
+            .rx_pipeline
+            .use_for(SimDuration::from_ns_f64(inner.spec.nic.rx_pkt_ns))
+            .await;
+        inner.rx_packets.set(inner.rx_packets.get() + 1);
+        handle_packet(&inner, frame.payload);
+    }
+}
+
+fn nak(inner: &Rc<NicInner>, pkt: &Packet, msg_id: u64, reason: NakReason) {
+    transmit(
+        inner,
+        Packet {
+            src_node: inner.node,
+            dst_node: pkt.src_node,
+            src_qpn: pkt.dst_qpn,
+            dst_qpn: pkt.src_qpn,
+            kind: PacketKind::Nak { msg_id, reason },
+        },
+    );
+}
+
+fn ack(inner: &Rc<NicInner>, pkt: &Packet, msg_id: u64) {
+    transmit(
+        inner,
+        Packet {
+            src_node: inner.node,
+            dst_node: pkt.src_node,
+            src_qpn: pkt.dst_qpn,
+            dst_qpn: pkt.src_qpn,
+            kind: PacketKind::Ack { msg_id },
+        },
+    );
+}
+
+fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
+    let Some(qp_rc) = inner.qps.borrow().get(&pkt.dst_qpn.0).cloned() else {
+        return; // stale packet to a destroyed QP
+    };
+    match pkt.kind.clone() {
+        PacketKind::SendFrag {
+            msg_id,
+            frag,
+            nfrags,
+            total_len,
+            offset,
+            payload,
+            imm,
+        } => handle_send_frag(
+            inner, &qp_rc, &pkt, msg_id, frag, nfrags, total_len, offset, payload, imm,
+        ),
+        PacketKind::WriteFrag {
+            msg_id,
+            frag,
+            nfrags,
+            total_len,
+            raddr,
+            rkey,
+            offset,
+            payload,
+            imm,
+        } => handle_write_frag(
+            inner, &qp_rc, &pkt, msg_id, frag, nfrags, total_len, raddr, rkey, offset, payload,
+            imm,
+        ),
+        PacketKind::ReadReq {
+            msg_id,
+            raddr,
+            rkey,
+            len,
+        } => handle_read_req(inner, &qp_rc, &pkt, msg_id, raddr, rkey, len),
+        PacketKind::ReadResp {
+            msg_id,
+            frag,
+            nfrags,
+            offset,
+            payload,
+        } => handle_read_resp(inner, &qp_rc, &pkt, msg_id, frag, nfrags, offset, payload),
+        PacketKind::Ack { msg_id } => handle_ack(inner, &qp_rc, msg_id),
+        PacketKind::Nak { msg_id, reason } => handle_nak(inner, &qp_rc, msg_id, reason),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_send_frag(
+    inner: &Rc<NicInner>,
+    qp_rc: &Rc<RefCell<Qp>>,
+    pkt: &Packet,
+    msg_id: u64,
+    frag: u32,
+    nfrags: u32,
+    total_len: usize,
+    offset: usize,
+    payload: Bytes,
+    imm: Option<u32>,
+) {
+    let transport = qp_rc.borrow().transport;
+    if frag == 0 {
+        // Start of a message: bind a receive WQE.
+        let popped = qp_rc.borrow_mut().rq.pop_front();
+        let Some(rwqe) = popped else {
+            if transport == Transport::Rc {
+                nak(inner, pkt, msg_id, NakReason::Rnr);
+            }
+            return; // UD silently drops
+        };
+        if total_len > rwqe.sge.len {
+            push_cqe(
+                &qp_rc.borrow().recv_cq,
+                Cqe {
+                    wr_id: rwqe.wr_id,
+                    status: CqeStatus::LocalProtErr,
+                    opcode: CqeOpcode::Recv,
+                    byte_len: 0,
+                    qp: qp_rc.borrow().num,
+                    imm: None,
+                    src_qp: None,
+                    src_node: None,
+                },
+            );
+            if transport == Transport::Rc {
+                nak(inner, pkt, msg_id, NakReason::LengthError);
+            }
+            return;
+        }
+        let mr = match inner
+            .mrs
+            .check_local(rwqe.sge.lkey, rwqe.sge.addr, rwqe.sge.len, true)
+        {
+            Ok(mr) => mr,
+            Err(_) => {
+                push_cqe(
+                    &qp_rc.borrow().recv_cq,
+                    Cqe {
+                        wr_id: rwqe.wr_id,
+                        status: CqeStatus::LocalProtErr,
+                        opcode: CqeOpcode::Recv,
+                        byte_len: 0,
+                        qp: qp_rc.borrow().num,
+                        imm: None,
+                        src_qp: None,
+                        src_node: None,
+                    },
+                );
+                if transport == Transport::Rc {
+                    nak(inner, pkt, msg_id, NakReason::Rnr);
+                }
+                return;
+            }
+        };
+        qp_rc.borrow_mut().cur_recv = Some(RecvAssembly {
+            msg_id,
+            wqe: rwqe,
+            received: 0,
+            total_len,
+            mem: mr.mem,
+        });
+    }
+
+    let last = frag + 1 == nfrags;
+    let (dst_addr, mem, rwr_id) = {
+        let mut qp = qp_rc.borrow_mut();
+        let Some(asm) = &mut qp.cur_recv else { return };
+        if asm.msg_id != msg_id {
+            return; // stale fragment of an aborted message
+        }
+        asm.received += payload.len();
+        let out = (
+            asm.wqe.sge.addr + offset as u64,
+            asm.mem.clone(),
+            asm.wqe.wr_id,
+        );
+        // RC delivers in order: once the last fragment has *arrived* the
+        // slot can host the next message, even though this message's DMA
+        // completion (and CQE) is still in flight.
+        if last {
+            qp.cur_recv = None;
+        }
+        out
+    };
+
+    let dma_done = inner.dma.enqueue(DmaDir::ToHost, payload.len());
+    let inner2 = Rc::clone(inner);
+    let qp2 = Rc::clone(qp_rc);
+    let pkt2 = pkt.clone();
+    inner.sim.schedule_at(dma_done, move |_| {
+        mem.write(dst_addr, &payload).expect("validated landing zone");
+        if last {
+            let mut qp = qp2.borrow_mut();
+            qp.rx_msgs += 1;
+            qp.rx_bytes += total_len as u64;
+            let cqe = Cqe {
+                wr_id: rwr_id,
+                status: CqeStatus::Success,
+                opcode: if imm.is_some() {
+                    CqeOpcode::RecvWithImm
+                } else {
+                    CqeOpcode::Recv
+                },
+                byte_len: total_len,
+                qp: qp.num,
+                imm,
+                src_qp: Some(pkt2.src_qpn),
+                src_node: Some(pkt2.src_node),
+            };
+            let recv_cq = qp.recv_cq.clone();
+            let is_rc = qp.transport == Transport::Rc;
+            drop(qp);
+            deliver_cqe(&inner2, &recv_cq, cqe);
+            if is_rc {
+                ack(&inner2, &pkt2, msg_id);
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_write_frag(
+    inner: &Rc<NicInner>,
+    qp_rc: &Rc<RefCell<Qp>>,
+    pkt: &Packet,
+    msg_id: u64,
+    frag: u32,
+    nfrags: u32,
+    total_len: usize,
+    raddr: u64,
+    rkey: crate::types::RKey,
+    offset: usize,
+    payload: Bytes,
+    imm: Option<u32>,
+) {
+    if qp_rc.borrow().drop_msg == Some(msg_id) {
+        if frag + 1 == nfrags {
+            qp_rc.borrow_mut().drop_msg = None;
+        }
+        return;
+    }
+    let mr = if frag == 0 {
+        match inner.mrs.check_remote(rkey, raddr, total_len, true) {
+            Ok(mr) => mr,
+            Err(_) => {
+                if nfrags > 1 {
+                    qp_rc.borrow_mut().drop_msg = Some(msg_id);
+                }
+                nak(inner, pkt, msg_id, NakReason::RemoteAccess);
+                return;
+            }
+        }
+    } else {
+        // Range for the whole message was validated on fragment 0.
+        match inner.mrs.check_remote(rkey, raddr + offset as u64, payload.len(), true) {
+            Ok(mr) => mr,
+            Err(_) => {
+                nak(inner, pkt, msg_id, NakReason::RemoteAccess);
+                return;
+            }
+        }
+    };
+
+    let last = frag + 1 == nfrags;
+    let dma_done = inner.dma.enqueue(DmaDir::ToHost, payload.len());
+    let inner2 = Rc::clone(inner);
+    let qp2 = Rc::clone(qp_rc);
+    let pkt2 = pkt.clone();
+    let dst = raddr + offset as u64;
+    inner.sim.schedule_at(dma_done, move |_| {
+        mr.mem.write(dst, &payload).expect("validated remote range");
+        if last {
+            {
+                let mut qp = qp2.borrow_mut();
+                qp.rx_msgs += 1;
+                qp.rx_bytes += total_len as u64;
+            }
+            if let Some(imm) = imm {
+                // Write-with-immediate consumes a receive WQE.
+                let popped = qp2.borrow_mut().rq.pop_front();
+                match popped {
+                    Some(rwqe) => {
+                        let (cq, cqe) = {
+                            let qp = qp2.borrow();
+                            (
+                                qp.recv_cq.clone(),
+                                Cqe {
+                                    wr_id: rwqe.wr_id,
+                                    status: CqeStatus::Success,
+                                    opcode: CqeOpcode::RecvWithImm,
+                                    byte_len: total_len,
+                                    qp: qp.num,
+                                    imm: Some(imm),
+                                    src_qp: Some(pkt2.src_qpn),
+                                    src_node: Some(pkt2.src_node),
+                                },
+                            )
+                        };
+                        deliver_cqe(&inner2, &cq, cqe);
+                    }
+                    None => {
+                        nak(&inner2, &pkt2, msg_id, NakReason::Rnr);
+                        return;
+                    }
+                }
+            }
+            ack(&inner2, &pkt2, msg_id);
+        }
+    });
+}
+
+fn handle_read_req(
+    inner: &Rc<NicInner>,
+    qp_rc: &Rc<RefCell<Qp>>,
+    pkt: &Packet,
+    msg_id: u64,
+    raddr: u64,
+    rkey: crate::types::RKey,
+    len: usize,
+) {
+    let mr = match inner.mrs.check_remote(rkey, raddr, len, false) {
+        Ok(mr) => mr,
+        Err(e) => {
+            let reason = match e {
+                MrError::OutOfRange => NakReason::RemoteAccess,
+                _ => NakReason::RemoteAccess,
+            };
+            nak(inner, pkt, msg_id, reason);
+            return;
+        }
+    };
+    {
+        let mut qp = qp_rc.borrow_mut();
+        qp.rx_msgs += 1;
+        qp.rx_bytes += len as u64;
+    }
+    // Stream the response: one task per read (responder CPU stays idle —
+    // the property Fig. 3 depends on).
+    let inner2 = Rc::clone(inner);
+    let pkt2 = pkt.clone();
+    inner.sim.spawn(async move {
+        let mtu = inner2.spec.nic.mtu;
+        let nfrags = inner2.spec.fragments(len) as u32;
+        for frag in 0..nfrags {
+            let offset = frag as usize * mtu;
+            let flen = (len - offset).min(mtu);
+            inner2.tx_window.acquire(1).await;
+            let payload = mr
+                .mem
+                .read(raddr + offset as u64, flen)
+                .expect("validated remote range");
+            let ready = inner2.dma.enqueue(DmaDir::FromHost, flen);
+            let inner3 = Rc::clone(&inner2);
+            let resp = Packet {
+                src_node: inner2.node,
+                dst_node: pkt2.src_node,
+                src_qpn: pkt2.dst_qpn,
+                dst_qpn: pkt2.src_qpn,
+                kind: PacketKind::ReadResp {
+                    msg_id,
+                    frag,
+                    nfrags,
+                    offset,
+                    payload,
+                },
+            };
+            inner2.sim.schedule_at(ready, move |_| {
+                transmit(&inner3, resp);
+                inner3.tx_window.release(1);
+            });
+            inner2
+                .tx_pipeline
+                .use_for(SimDuration::from_ns_f64(inner2.spec.nic.tx_pkt_ns))
+                .await;
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_read_resp(
+    inner: &Rc<NicInner>,
+    qp_rc: &Rc<RefCell<Qp>>,
+    _pkt: &Packet,
+    msg_id: u64,
+    frag: u32,
+    nfrags: u32,
+    offset: usize,
+    payload: Bytes,
+) {
+    let pr = {
+        let qp = qp_rc.borrow();
+        match qp.pending_reads.get(&msg_id) {
+            Some(pr) => pr.clone(),
+            None => return,
+        }
+    };
+    let mr = match inner
+        .mrs
+        .check_local(pr.lkey, pr.addr + offset as u64, payload.len(), true)
+    {
+        Ok(mr) => mr,
+        Err(_) => {
+            // Landing buffer vanished mid-read: error completion.
+            let mut qp = qp_rc.borrow_mut();
+            qp.pending_reads.remove(&msg_id);
+            qp.outstanding_reads -= 1;
+            push_cqe(
+                &qp.send_cq,
+                Cqe {
+                    wr_id: pr.wr_id,
+                    status: CqeStatus::LocalProtErr,
+                    opcode: CqeOpcode::RdmaRead,
+                    byte_len: 0,
+                    qp: qp.num,
+                    imm: None,
+                    src_qp: None,
+                    src_node: None,
+                },
+            );
+            return;
+        }
+    };
+    let last = frag + 1 == nfrags;
+    let dma_done = inner.dma.enqueue(DmaDir::ToHost, payload.len());
+    let inner2 = Rc::clone(inner);
+    let qp2 = Rc::clone(qp_rc);
+    let dst = pr.addr + offset as u64;
+    inner.sim.schedule_at(dma_done, move |_| {
+        mr.mem.write(dst, &payload).expect("validated landing zone");
+        if last {
+            let qpn = {
+                let mut qp = qp2.borrow_mut();
+                qp.pending_reads.remove(&msg_id);
+                qp.outstanding_reads -= 1;
+                qp.tx_msgs += 1;
+                qp.tx_bytes += pr.len as u64;
+                if pr.signaled {
+                    let cqe = Cqe {
+                        wr_id: pr.wr_id,
+                        status: CqeStatus::Success,
+                        opcode: CqeOpcode::RdmaRead,
+                        byte_len: pr.len,
+                        qp: qp.num,
+                        imm: None,
+                        src_qp: None,
+                        src_node: None,
+                    };
+                    deliver_cqe(&inner2, &qp.send_cq.clone(), cqe);
+                }
+                if qp.stalled_rd {
+                    qp.stalled_rd = false;
+                    Some(qp.num)
+                } else {
+                    None
+                }
+            };
+            if let Some(qpn) = qpn {
+                ring_qp(&inner2, qpn);
+            }
+        }
+    });
+}
+
+fn handle_ack(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64) {
+    let mut qp = qp_rc.borrow_mut();
+    if let Some(pa) = qp.pending_acks.remove(&msg_id) {
+        if pa.signaled {
+            let cqe = Cqe {
+                wr_id: pa.wr_id,
+                status: CqeStatus::Success,
+                opcode: pa.opcode.into(),
+                byte_len: pa.byte_len,
+                qp: qp.num,
+                imm: None,
+                src_qp: None,
+                src_node: None,
+            };
+            let cq = qp.send_cq.clone();
+            drop(qp);
+            deliver_cqe(inner, &cq, cqe);
+        }
+    }
+}
+
+fn handle_nak(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64, reason: NakReason) {
+    let mut qp = qp_rc.borrow_mut();
+    let status = match reason {
+        NakReason::Rnr => CqeStatus::RnrRetryExceeded,
+        NakReason::RemoteAccess | NakReason::LengthError => CqeStatus::RemoteAccessErr,
+    };
+    if let Some(pa) = qp.pending_acks.remove(&msg_id) {
+        push_cqe(
+            &qp.send_cq,
+            Cqe {
+                wr_id: pa.wr_id,
+                status,
+                opcode: pa.opcode.into(),
+                byte_len: 0,
+                qp: qp.num,
+                imm: None,
+                src_qp: None,
+                src_node: None,
+            },
+        );
+    } else if let Some(pr) = qp.pending_reads.remove(&msg_id) {
+        qp.outstanding_reads -= 1;
+        push_cqe(
+            &qp.send_cq,
+            Cqe {
+                wr_id: pr.wr_id,
+                status,
+                opcode: CqeOpcode::RdmaRead,
+                byte_len: 0,
+                qp: qp.num,
+                imm: None,
+                src_qp: None,
+                src_node: None,
+            },
+        );
+    }
+    flush_qp(inner, &mut qp);
+}

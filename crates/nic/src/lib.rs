@@ -1,0 +1,49 @@
+//! # cord-nic — ConnectX-style RDMA NIC model
+//!
+//! A queue-pair/CQE-accurate NIC on the `cord-sim` discrete-event engine:
+//!
+//! * memory regions with lkey/rkey protection ([`mr`]),
+//! * RC and UD queue pairs with the IB state machine ([`qp`]),
+//! * two-sided send/recv and one-sided RDMA read/write with MTU
+//!   segmentation, DMA pipelining, per-message coalesced ACKs ([`engine`]),
+//! * inline sends (bypass only — the CoRD prototype lacks them, §5 of the
+//!   paper),
+//! * completion queues with polling and event (interrupt) consumption
+//!   ([`cq`]).
+//!
+//! Payloads are real bytes moved end-to-end, so data integrity is testable
+//! across segmentation and reassembly.
+
+pub mod cq;
+pub mod engine;
+pub mod mr;
+pub mod packet;
+pub mod qp;
+pub mod types;
+pub mod wqe;
+
+pub use cq::{Cq, Cqe, CqeOpcode, CqeStatus};
+pub use engine::{Nic, TX_BURST, TX_WINDOW};
+pub use mr::{Mr, MrError, MrTable};
+pub use packet::{NakReason, Packet, PacketKind};
+pub use types::{
+    Access, CqId, LKey, NodeId, Opcode, QpNum, QpState, RKey, Transport, VerbsError, WrId,
+};
+pub use wqe::{RecvWqe, SendWqe, Sge, UdDest};
+
+use std::rc::Rc;
+
+use cord_hw::link::Fabric;
+use cord_hw::MachineSpec;
+use cord_sim::{Sim, Trace};
+
+/// Build `spec.nodes` NICs connected by one fabric (test/bench helper and
+/// the building block `cord-core::Fabric` wraps).
+pub fn build_cluster(sim: &Sim, spec: &MachineSpec, trace: Trace) -> Vec<Nic> {
+    let (fabric, rxs) = Fabric::new(sim, spec.link.clone(), spec.nodes);
+    let fabric = Rc::new(fabric);
+    rxs.into_iter()
+        .enumerate()
+        .map(|(node, rx)| Nic::new(sim, spec, node, Rc::clone(&fabric), rx, trace.clone()))
+        .collect()
+}

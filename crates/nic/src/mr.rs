@@ -1,0 +1,265 @@
+//! Memory-region table with lkey/rkey protection.
+//!
+//! The paper relies on this NIC property (§4): "If the application passes an
+//! invalid address, the NIC returns an error but does not access any memory
+//! that was not explicitly provided to the application." Every DMA the
+//! engine performs goes through [`MrTable::check_local`] /
+//! [`MrTable::check_remote`] first; a failed check produces an error
+//! completion and touches no guest memory.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use cord_hw::{GuestMem, MemRegion};
+
+use crate::types::{Access, LKey, RKey};
+
+/// Why an MR check failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrError {
+    UnknownKey,
+    OutOfRange,
+    AccessViolation,
+}
+
+/// One registered memory region.
+#[derive(Clone)]
+pub struct Mr {
+    pub lkey: LKey,
+    pub rkey: RKey,
+    pub region: MemRegion,
+    pub access: Access,
+    /// The owning process's memory arena; DMA resolves through this.
+    pub mem: GuestMem,
+}
+
+impl Mr {
+    fn covers(&self, addr: u64, len: usize) -> bool {
+        addr >= self.region.addr && addr + len as u64 <= self.region.end()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    by_lkey: HashMap<u32, Mr>,
+    by_rkey: HashMap<u32, u32>, // rkey -> lkey
+    next_key: u32,
+}
+
+/// Per-NIC registry of memory regions.
+#[derive(Clone, Default)]
+pub struct MrTable {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl MrTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `region` of `mem` with the given permissions.
+    pub fn register(&self, mem: GuestMem, region: MemRegion, access: Access) -> Mr {
+        let mut inner = self.inner.borrow_mut();
+        inner.next_key += 1;
+        let lkey = inner.next_key;
+        inner.next_key += 1;
+        let rkey = inner.next_key;
+        let mr = Mr {
+            lkey: LKey(lkey),
+            rkey: RKey(rkey),
+            region,
+            access,
+            mem,
+        };
+        inner.by_lkey.insert(lkey, mr.clone());
+        inner.by_rkey.insert(rkey, lkey);
+        mr
+    }
+
+    /// Deregister by lkey. Returns whether the MR existed.
+    pub fn deregister(&self, lkey: LKey) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(mr) = inner.by_lkey.remove(&lkey.0) {
+            inner.by_rkey.remove(&mr.rkey.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Validate a local access (TX payload fetch needs no flag; RX landing
+    /// needs LOCAL_WRITE).
+    pub fn check_local(
+        &self,
+        lkey: LKey,
+        addr: u64,
+        len: usize,
+        write: bool,
+    ) -> Result<Mr, MrError> {
+        let inner = self.inner.borrow();
+        let mr = inner.by_lkey.get(&lkey.0).ok_or(MrError::UnknownKey)?;
+        if !mr.covers(addr, len) {
+            return Err(MrError::OutOfRange);
+        }
+        if write && !mr.access.contains(Access::LOCAL_WRITE) {
+            return Err(MrError::AccessViolation);
+        }
+        Ok(mr.clone())
+    }
+
+    /// Validate a remote access (RDMA read needs REMOTE_READ, write needs
+    /// REMOTE_WRITE).
+    pub fn check_remote(
+        &self,
+        rkey: RKey,
+        addr: u64,
+        len: usize,
+        write: bool,
+    ) -> Result<Mr, MrError> {
+        let inner = self.inner.borrow();
+        let lkey = inner.by_rkey.get(&rkey.0).ok_or(MrError::UnknownKey)?;
+        let mr = inner.by_lkey.get(lkey).ok_or(MrError::UnknownKey)?;
+        if !mr.covers(addr, len) {
+            return Err(MrError::OutOfRange);
+        }
+        let need = if write {
+            Access::REMOTE_WRITE
+        } else {
+            Access::REMOTE_READ
+        };
+        if !mr.access.contains(need) {
+            return Err(MrError::AccessViolation);
+        }
+        Ok(mr.clone())
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.borrow().by_lkey.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (MrTable, GuestMem, Mr) {
+        let t = MrTable::new();
+        let mem = GuestMem::new();
+        let r = mem.alloc(4096, 0);
+        let mr = t.register(mem.clone(), r, Access::all());
+        (t, mem, mr)
+    }
+
+    #[test]
+    fn register_and_check_in_range() {
+        let (t, _mem, mr) = setup();
+        assert!(t.check_local(mr.lkey, mr.region.addr, 4096, true).is_ok());
+        assert!(t
+            .check_local(mr.lkey, mr.region.addr + 100, 100, false)
+            .is_ok());
+        assert!(t.check_remote(mr.rkey, mr.region.addr, 1, true).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_is_rejected() {
+        let (t, _mem, mr) = setup();
+        assert_eq!(
+            t.check_local(mr.lkey, mr.region.addr, 4097, false).err(),
+            Some(MrError::OutOfRange)
+        );
+        assert_eq!(
+            t.check_remote(mr.rkey, mr.region.addr + 4000, 200, false).err(),
+            Some(MrError::OutOfRange)
+        );
+        // Address below the region.
+        assert_eq!(
+            t.check_local(mr.lkey, mr.region.addr - 1, 1, false).err(),
+            Some(MrError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let (t, _mem, mr) = setup();
+        assert_eq!(
+            t.check_local(LKey(9999), mr.region.addr, 1, false).err(),
+            Some(MrError::UnknownKey)
+        );
+        assert_eq!(
+            t.check_remote(RKey(9999), mr.region.addr, 1, false).err(),
+            Some(MrError::UnknownKey)
+        );
+        // lkey and rkey namespaces are distinct: an lkey value is not an rkey.
+        assert_eq!(
+            t.check_remote(RKey(mr.lkey.0), mr.region.addr, 1, false).err(),
+            Some(MrError::UnknownKey)
+        );
+    }
+
+    #[test]
+    fn permissions_are_enforced() {
+        let t = MrTable::new();
+        let mem = GuestMem::new();
+        let r = mem.alloc(128, 0);
+        let mr = t.register(mem.clone(), r, Access::LOCAL_WRITE);
+        // No remote permissions at all.
+        assert_eq!(
+            t.check_remote(mr.rkey, r.addr, 8, false).err(),
+            Some(MrError::AccessViolation)
+        );
+        assert_eq!(
+            t.check_remote(mr.rkey, r.addr, 8, true).err(),
+            Some(MrError::AccessViolation)
+        );
+        // Read-only remote region rejects writes.
+        let r2 = mem.alloc(128, 0);
+        let mr2 = t.register(mem.clone(), r2, Access::LOCAL_WRITE.union(Access::REMOTE_READ));
+        assert!(t.check_remote(mr2.rkey, r2.addr, 8, false).is_ok());
+        assert_eq!(
+            t.check_remote(mr2.rkey, r2.addr, 8, true).err(),
+            Some(MrError::AccessViolation)
+        );
+        // A region without LOCAL_WRITE cannot be a receive buffer.
+        let r3 = mem.alloc(128, 0);
+        let mr3 = t.register(mem, r3, Access::default());
+        assert_eq!(
+            t.check_local(mr3.lkey, r3.addr, 8, true).err(),
+            Some(MrError::AccessViolation)
+        );
+        assert!(t.check_local(mr3.lkey, r3.addr, 8, false).is_ok());
+    }
+
+    #[test]
+    fn deregister_invalidates_both_keys() {
+        let (t, _mem, mr) = setup();
+        assert!(t.deregister(mr.lkey));
+        assert!(!t.deregister(mr.lkey), "double dereg");
+        assert_eq!(
+            t.check_local(mr.lkey, mr.region.addr, 1, false).err(),
+            Some(MrError::UnknownKey)
+        );
+        assert_eq!(
+            t.check_remote(mr.rkey, mr.region.addr, 1, false).err(),
+            Some(MrError::UnknownKey)
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn keys_are_unique_across_registrations() {
+        let t = MrTable::new();
+        let mem = GuestMem::new();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let r = mem.alloc(16, 0);
+            let mr = t.register(mem.clone(), r, Access::all());
+            assert!(seen.insert(mr.lkey.0));
+            assert!(seen.insert(mr.rkey.0));
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Queue pairs: state machine, work queues, and in-flight transfer state.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::cq::Cq;
+use crate::types::{NodeId, Opcode, QpNum, QpState, Transport, VerbsError, WrId};
+use crate::wqe::{RecvWqe, SendWqe};
+
+/// Sender-side record awaiting an ACK/NAK (RC sends and writes).
+#[derive(Debug, Clone)]
+pub struct PendingAck {
+    pub wr_id: WrId,
+    pub signaled: bool,
+    pub opcode: Opcode,
+    pub byte_len: usize,
+}
+
+/// Requester-side record of an outstanding RDMA read.
+#[derive(Debug, Clone)]
+pub struct PendingRead {
+    pub wr_id: WrId,
+    pub signaled: bool,
+    /// Local landing zone.
+    pub addr: u64,
+    pub len: usize,
+    pub lkey: crate::types::LKey,
+}
+
+/// Responder-side reassembly of the in-progress inbound send (RC is
+/// strictly ordered per QP, so one slot suffices).
+#[derive(Clone)]
+pub struct RecvAssembly {
+    pub msg_id: u64,
+    pub wqe: RecvWqe,
+    pub received: usize,
+    pub total_len: usize,
+    /// Landing arena resolved from the receive WQE's lkey.
+    pub mem: cord_hw::GuestMem,
+}
+
+/// TX progress of the WQE currently being segmented.
+#[derive(Clone)]
+pub struct TxProgress {
+    pub wqe: SendWqe,
+    pub msg_id: u64,
+    pub next_frag: u32,
+    pub nfrags: u32,
+    /// Source arena resolved from the WQE's lkey.
+    pub mem: cord_hw::GuestMem,
+}
+
+/// A queue pair.
+pub struct Qp {
+    pub num: QpNum,
+    pub transport: Transport,
+    pub state: QpState,
+    pub send_cq: Cq,
+    pub recv_cq: Cq,
+    /// Connected peer (RC only).
+    pub peer: Option<(NodeId, QpNum)>,
+    pub sq: VecDeque<SendWqe>,
+    pub rq: VecDeque<RecvWqe>,
+    pub sq_depth: usize,
+    pub rq_depth: usize,
+    pub next_msg_id: u64,
+    /// The WQE currently being transmitted (burst-resumable).
+    pub tx: Option<TxProgress>,
+    /// Whether this QP sits in the NIC's round-robin TX ring.
+    pub in_ring: bool,
+    /// TX stalled on the outstanding-read limit.
+    pub stalled_rd: bool,
+    pub outstanding_reads: usize,
+    pub max_rd_atomic: usize,
+    pub pending_acks: HashMap<u64, PendingAck>,
+    pub pending_reads: HashMap<u64, PendingRead>,
+    pub cur_recv: Option<RecvAssembly>,
+    /// Inbound write message currently being dropped after a NAK.
+    pub drop_msg: Option<u64>,
+    /// Counters for observability (exported by the CoRD stats policy).
+    pub tx_msgs: u64,
+    pub rx_msgs: u64,
+    pub tx_bytes: u64,
+    pub rx_bytes: u64,
+}
+
+impl Qp {
+    pub fn new(
+        num: QpNum,
+        transport: Transport,
+        send_cq: Cq,
+        recv_cq: Cq,
+        sq_depth: usize,
+        rq_depth: usize,
+        max_rd_atomic: usize,
+    ) -> Self {
+        Qp {
+            num,
+            transport,
+            state: QpState::Reset,
+            send_cq,
+            recv_cq,
+            peer: None,
+            sq: VecDeque::new(),
+            rq: VecDeque::new(),
+            sq_depth,
+            rq_depth,
+            next_msg_id: 1,
+            tx: None,
+            in_ring: false,
+            stalled_rd: false,
+            outstanding_reads: 0,
+            max_rd_atomic,
+            pending_acks: HashMap::new(),
+            pending_reads: HashMap::new(),
+            cur_recv: None,
+            drop_msg: None,
+            tx_msgs: 0,
+            rx_msgs: 0,
+            tx_bytes: 0,
+            rx_bytes: 0,
+        }
+    }
+
+    /// RESET → INIT (`ibv_modify_qp` with pkey/port).
+    pub fn to_init(&mut self) -> Result<(), VerbsError> {
+        match self.state {
+            QpState::Reset => {
+                self.state = QpState::Init;
+                Ok(())
+            }
+            s => Err(VerbsError::InvalidState {
+                expected: "RESET",
+                actual: s,
+            }),
+        }
+    }
+
+    /// INIT → RTR; RC requires the remote endpoint.
+    pub fn to_rtr(&mut self, peer: Option<(NodeId, QpNum)>) -> Result<(), VerbsError> {
+        match self.state {
+            QpState::Init => {
+                if self.transport == Transport::Rc && peer.is_none() {
+                    return Err(VerbsError::MissingRemoteInfo);
+                }
+                self.peer = peer;
+                self.state = QpState::Rtr;
+                Ok(())
+            }
+            s => Err(VerbsError::InvalidState {
+                expected: "INIT",
+                actual: s,
+            }),
+        }
+    }
+
+    /// RTR → RTS.
+    pub fn to_rts(&mut self) -> Result<(), VerbsError> {
+        match self.state {
+            QpState::Rtr => {
+                self.state = QpState::Rts;
+                Ok(())
+            }
+            s => Err(VerbsError::InvalidState {
+                expected: "RTR",
+                actual: s,
+            }),
+        }
+    }
+
+    /// Validate and enqueue a send WQE. Does not ring the doorbell.
+    pub fn push_send(&mut self, wqe: SendWqe, mtu: usize) -> Result<(), VerbsError> {
+        if self.state != QpState::Rts {
+            return Err(VerbsError::InvalidState {
+                expected: "RTS",
+                actual: self.state,
+            });
+        }
+        if self.sq.len() >= self.sq_depth {
+            return Err(VerbsError::QueueFull);
+        }
+        match self.transport {
+            Transport::Ud => {
+                if wqe.opcode != Opcode::Send {
+                    return Err(VerbsError::OpNotSupported {
+                        op: wqe.opcode,
+                        transport: Transport::Ud,
+                    });
+                }
+                if wqe.sge.len > mtu {
+                    return Err(VerbsError::MessageTooLong {
+                        len: wqe.sge.len,
+                        max: mtu,
+                    });
+                }
+                if wqe.ud_dest.is_none() {
+                    return Err(VerbsError::MissingDestination);
+                }
+            }
+            Transport::Rc => {
+                if wqe.opcode != Opcode::Send && wqe.remote.is_none() {
+                    return Err(VerbsError::MissingRemoteInfo);
+                }
+            }
+        }
+        self.sq.push_back(wqe);
+        Ok(())
+    }
+
+    /// Validate and enqueue a receive WQE.
+    pub fn push_recv(&mut self, wqe: RecvWqe) -> Result<(), VerbsError> {
+        // Receives may be posted from INIT onwards (IB allows posting in
+        // INIT; they only complete once RTR).
+        match self.state {
+            QpState::Init | QpState::Rtr | QpState::Rts => {}
+            s => {
+                return Err(VerbsError::InvalidState {
+                    expected: "INIT/RTR/RTS",
+                    actual: s,
+                })
+            }
+        }
+        if self.rq.len() >= self.rq_depth {
+            return Err(VerbsError::QueueFull);
+        }
+        self.rq.push_back(wqe);
+        Ok(())
+    }
+
+    pub fn alloc_msg_id(&mut self) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        id
+    }
+
+    /// Move to the error state; remaining queued WQEs flush with errors.
+    /// Returns the flushed send WQEs (the engine emits flush CQEs).
+    pub fn enter_error(&mut self) -> (Vec<SendWqe>, Vec<RecvWqe>) {
+        self.state = QpState::Error;
+        let sq = self.sq.drain(..).collect();
+        let rq = self.rq.drain(..).collect();
+        (sq, rq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::Cq;
+    use crate::types::{CqId, LKey, RKey};
+    use crate::wqe::{Sge, UdDest};
+
+    fn mk_qp(t: Transport) -> Qp {
+        Qp::new(
+            QpNum(1),
+            t,
+            Cq::new(CqId(0), 64),
+            Cq::new(CqId(1), 64),
+            4,
+            4,
+            16,
+        )
+    }
+
+    fn sge(len: usize) -> Sge {
+        Sge {
+            addr: 0x1_0000,
+            len,
+            lkey: LKey(1),
+        }
+    }
+
+    #[test]
+    fn state_machine_happy_path() {
+        let mut qp = mk_qp(Transport::Rc);
+        assert_eq!(qp.state, QpState::Reset);
+        qp.to_init().unwrap();
+        qp.to_rtr(Some((1, QpNum(2)))).unwrap();
+        qp.to_rts().unwrap();
+        assert_eq!(qp.state, QpState::Rts);
+        assert_eq!(qp.peer, Some((1, QpNum(2))));
+    }
+
+    #[test]
+    fn state_machine_rejects_skips() {
+        let mut qp = mk_qp(Transport::Rc);
+        assert!(qp.to_rtr(Some((1, QpNum(2)))).is_err());
+        assert!(qp.to_rts().is_err());
+        qp.to_init().unwrap();
+        assert!(qp.to_init().is_err(), "double INIT");
+        assert!(qp.to_rts().is_err(), "INIT→RTS skips RTR");
+    }
+
+    #[test]
+    fn rc_rtr_requires_peer() {
+        let mut qp = mk_qp(Transport::Rc);
+        qp.to_init().unwrap();
+        assert_eq!(qp.to_rtr(None), Err(VerbsError::MissingRemoteInfo));
+        // UD needs no peer.
+        let mut ud = mk_qp(Transport::Ud);
+        ud.to_init().unwrap();
+        ud.to_rtr(None).unwrap();
+    }
+
+    #[test]
+    fn post_send_requires_rts() {
+        let mut qp = mk_qp(Transport::Rc);
+        qp.to_init().unwrap();
+        let err = qp.push_send(SendWqe::send(WrId(1), sge(16)), 4096);
+        assert!(matches!(err, Err(VerbsError::InvalidState { .. })));
+    }
+
+    #[test]
+    fn sq_depth_enforced() {
+        let mut qp = mk_qp(Transport::Rc);
+        qp.to_init().unwrap();
+        qp.to_rtr(Some((1, QpNum(2)))).unwrap();
+        qp.to_rts().unwrap();
+        for i in 0..4 {
+            qp.push_send(SendWqe::send(WrId(i), sge(16)), 4096).unwrap();
+        }
+        assert_eq!(
+            qp.push_send(SendWqe::send(WrId(9), sge(16)), 4096),
+            Err(VerbsError::QueueFull)
+        );
+    }
+
+    #[test]
+    fn ud_restrictions() {
+        let mut qp = mk_qp(Transport::Ud);
+        qp.to_init().unwrap();
+        qp.to_rtr(None).unwrap();
+        qp.to_rts().unwrap();
+        // RDMA ops rejected.
+        let w = SendWqe::write(WrId(1), sge(16), 0x2000, RKey(1));
+        assert!(matches!(
+            qp.push_send(w, 4096),
+            Err(VerbsError::OpNotSupported { .. })
+        ));
+        // Over-MTU rejected.
+        let big = SendWqe::send(WrId(2), sge(5000)).with_ud_dest(UdDest {
+            node: 1,
+            qpn: QpNum(3),
+        });
+        assert!(matches!(
+            qp.push_send(big, 4096),
+            Err(VerbsError::MessageTooLong { .. })
+        ));
+        // Missing destination rejected.
+        let nodest = SendWqe::send(WrId(3), sge(64));
+        assert_eq!(
+            qp.push_send(nodest, 4096),
+            Err(VerbsError::MissingDestination)
+        );
+        // Valid UD send accepted.
+        let ok = SendWqe::send(WrId(4), sge(64)).with_ud_dest(UdDest {
+            node: 1,
+            qpn: QpNum(3),
+        });
+        qp.push_send(ok, 4096).unwrap();
+    }
+
+    #[test]
+    fn rc_one_sided_requires_remote() {
+        let mut qp = mk_qp(Transport::Rc);
+        qp.to_init().unwrap();
+        qp.to_rtr(Some((1, QpNum(2)))).unwrap();
+        qp.to_rts().unwrap();
+        let mut w = SendWqe::write(WrId(1), sge(16), 0x2000, RKey(1));
+        w.remote = None;
+        assert_eq!(qp.push_send(w, 4096), Err(VerbsError::MissingRemoteInfo));
+    }
+
+    #[test]
+    fn recv_posting_allowed_from_init() {
+        let mut qp = mk_qp(Transport::Rc);
+        qp.to_init().unwrap();
+        qp.push_recv(RecvWqe::new(WrId(1), sge(64))).unwrap();
+        // But not in RESET.
+        let mut fresh = mk_qp(Transport::Rc);
+        assert!(fresh.push_recv(RecvWqe::new(WrId(1), sge(64))).is_err());
+    }
+
+    #[test]
+    fn error_state_flushes_queues() {
+        let mut qp = mk_qp(Transport::Rc);
+        qp.to_init().unwrap();
+        qp.to_rtr(Some((1, QpNum(2)))).unwrap();
+        qp.to_rts().unwrap();
+        qp.push_send(SendWqe::send(WrId(1), sge(16)), 4096).unwrap();
+        qp.push_recv(RecvWqe::new(WrId(2), sge(16))).unwrap();
+        let (sq, rq) = qp.enter_error();
+        assert_eq!(sq.len(), 1);
+        assert_eq!(rq.len(), 1);
+        assert_eq!(qp.state, QpState::Error);
+        assert!(qp
+            .push_send(SendWqe::send(WrId(3), sge(16)), 4096)
+            .is_err());
+    }
+
+    #[test]
+    fn msg_ids_are_unique() {
+        let mut qp = mk_qp(Transport::Rc);
+        let a = qp.alloc_msg_id();
+        let b = qp.alloc_msg_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,180 @@
+//! Identifiers, transports, opcodes, access flags, and error types shared
+//! across the NIC model.
+
+use std::fmt;
+
+/// Queue-pair number, unique per NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QpNum(pub u32);
+
+/// Completion-queue id, unique per NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CqId(pub u32);
+
+/// Local memory key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LKey(pub u32);
+
+/// Remote memory key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RKey(pub u32);
+
+/// Caller-chosen work-request id, returned in the CQE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WrId(pub u64);
+
+/// Address of a NIC in the fabric (node index).
+pub type NodeId = usize;
+
+/// IB transport service types used by the paper (§5: RC and UD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Reliable Connection: ordered, acked, supports one-sided ops.
+    Rc,
+    /// Unreliable Datagram: single-MTU messages, no acks, send/recv only.
+    Ud,
+}
+
+impl fmt::Display for Transport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Transport::Rc => write!(f, "RC"),
+            Transport::Ud => write!(f, "UD"),
+        }
+    }
+}
+
+/// Send-side operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Two-sided send (consumes a receive WQE at the responder).
+    Send,
+    /// One-sided write into remote memory (optionally with immediate).
+    RdmaWrite,
+    /// One-sided read from remote memory.
+    RdmaRead,
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opcode::Send => write!(f, "Send"),
+            Opcode::RdmaWrite => write!(f, "Write"),
+            Opcode::RdmaRead => write!(f, "Read"),
+        }
+    }
+}
+
+/// Memory-region access permissions (subset of `ibv_access_flags`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Access(pub u8);
+
+impl Access {
+    pub const LOCAL_WRITE: Access = Access(1);
+    pub const REMOTE_READ: Access = Access(2);
+    pub const REMOTE_WRITE: Access = Access(4);
+
+    /// Everything; the common perftest registration.
+    pub fn all() -> Access {
+        Access(1 | 2 | 4)
+    }
+
+    pub fn local_only() -> Access {
+        Access::LOCAL_WRITE
+    }
+
+    pub fn contains(self, other: Access) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    pub fn union(self, other: Access) -> Access {
+        Access(self.0 | other.0)
+    }
+}
+
+/// QP state machine states (subset of the IB spec's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QpState {
+    Reset,
+    Init,
+    /// Ready to receive.
+    Rtr,
+    /// Ready to send (fully operational).
+    Rts,
+    /// Fatal error: all further work requests complete with flush errors.
+    Error,
+}
+
+/// Errors returned synchronously by verb calls (not via CQEs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerbsError {
+    /// QP is in the wrong state for this operation.
+    InvalidState { expected: &'static str, actual: QpState },
+    /// Send/recv queue is full.
+    QueueFull,
+    /// Unknown object id.
+    UnknownQp(QpNum),
+    UnknownCq(CqId),
+    /// Message exceeds the transport's limit (UD: one MTU).
+    MessageTooLong { len: usize, max: usize },
+    /// Operation not supported on this transport (e.g. RDMA on UD).
+    OpNotSupported { op: Opcode, transport: Transport },
+    /// The lkey does not exist or does not cover the posted range.
+    InvalidLKey,
+    /// Missing remote address/rkey for a one-sided op.
+    MissingRemoteInfo,
+    /// Missing destination for a UD send.
+    MissingDestination,
+    /// Denied by a CoRD policy (kernel interposition).
+    PolicyDenied(&'static str),
+}
+
+impl fmt::Display for VerbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerbsError::InvalidState { expected, actual } => {
+                write!(f, "invalid QP state: expected {expected}, got {actual:?}")
+            }
+            VerbsError::QueueFull => write!(f, "work queue full"),
+            VerbsError::UnknownQp(q) => write!(f, "unknown QP {q:?}"),
+            VerbsError::UnknownCq(c) => write!(f, "unknown CQ {c:?}"),
+            VerbsError::MessageTooLong { len, max } => {
+                write!(f, "message of {len} B exceeds transport max {max} B")
+            }
+            VerbsError::OpNotSupported { op, transport } => {
+                write!(f, "{op} not supported on {transport}")
+            }
+            VerbsError::InvalidLKey => write!(f, "invalid lkey or range"),
+            VerbsError::MissingRemoteInfo => write!(f, "one-sided op without remote addr/rkey"),
+            VerbsError::MissingDestination => write!(f, "UD send without destination"),
+            VerbsError::PolicyDenied(p) => write!(f, "denied by CoRD policy: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for VerbsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_flag_algebra() {
+        let a = Access::LOCAL_WRITE.union(Access::REMOTE_READ);
+        assert!(a.contains(Access::LOCAL_WRITE));
+        assert!(a.contains(Access::REMOTE_READ));
+        assert!(!a.contains(Access::REMOTE_WRITE));
+        assert!(Access::all().contains(a));
+        assert!(!Access::default().contains(Access::LOCAL_WRITE));
+    }
+
+    #[test]
+    fn displays_are_compact() {
+        assert_eq!(Transport::Rc.to_string(), "RC");
+        assert_eq!(Opcode::RdmaRead.to_string(), "Read");
+        assert_eq!(
+            format!("{}", VerbsError::MessageTooLong { len: 5000, max: 4096 }),
+            "message of 5000 B exceeds transport max 4096 B"
+        );
+    }
+}

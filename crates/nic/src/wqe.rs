@@ -1,0 +1,162 @@
+//! Work-queue elements: what gets posted to send and receive queues.
+
+use bytes::Bytes;
+
+use crate::types::{LKey, NodeId, Opcode, QpNum, RKey, WrId};
+
+/// A scatter/gather entry (we model a single SGE per WQE, like perftest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sge {
+    pub addr: u64,
+    pub len: usize,
+    pub lkey: LKey,
+}
+
+/// Destination of a UD send (address handle + remote QPN).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdDest {
+    pub node: NodeId,
+    pub qpn: QpNum,
+}
+
+/// A send work request.
+#[derive(Debug, Clone)]
+pub struct SendWqe {
+    pub wr_id: WrId,
+    pub opcode: Opcode,
+    pub sge: Sge,
+    /// Remote address/rkey for one-sided operations.
+    pub remote: Option<(u64, RKey)>,
+    /// Destination for UD sends.
+    pub ud_dest: Option<UdDest>,
+    /// Immediate data (RDMA write-with-imm or send-with-imm).
+    pub imm: Option<u32>,
+    /// Request a CQE on completion.
+    pub signaled: bool,
+    /// Inline payload captured at post time (bypass fast path for small
+    /// sends; the CoRD prototype lacks this, §5).
+    pub inline_data: Option<Bytes>,
+}
+
+impl SendWqe {
+    /// A signaled two-sided send.
+    pub fn send(wr_id: WrId, sge: Sge) -> Self {
+        SendWqe {
+            wr_id,
+            opcode: Opcode::Send,
+            sge,
+            remote: None,
+            ud_dest: None,
+            imm: None,
+            signaled: true,
+            inline_data: None,
+        }
+    }
+
+    /// A signaled RDMA write.
+    pub fn write(wr_id: WrId, sge: Sge, raddr: u64, rkey: RKey) -> Self {
+        SendWqe {
+            wr_id,
+            opcode: Opcode::RdmaWrite,
+            sge,
+            remote: Some((raddr, rkey)),
+            ud_dest: None,
+            imm: None,
+            signaled: true,
+            inline_data: None,
+        }
+    }
+
+    /// A signaled RDMA read.
+    pub fn read(wr_id: WrId, sge: Sge, raddr: u64, rkey: RKey) -> Self {
+        SendWqe {
+            wr_id,
+            opcode: Opcode::RdmaRead,
+            sge,
+            remote: Some((raddr, rkey)),
+            ud_dest: None,
+            imm: None,
+            signaled: true,
+            inline_data: None,
+        }
+    }
+
+    pub fn with_imm(mut self, imm: u32) -> Self {
+        self.imm = Some(imm);
+        self
+    }
+
+    pub fn with_ud_dest(mut self, dest: UdDest) -> Self {
+        self.ud_dest = Some(dest);
+        self
+    }
+
+    pub fn unsignaled(mut self) -> Self {
+        self.signaled = false;
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.sge.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sge.len == 0
+    }
+}
+
+/// A receive work request.
+#[derive(Debug, Clone)]
+pub struct RecvWqe {
+    pub wr_id: WrId,
+    pub sge: Sge,
+}
+
+impl RecvWqe {
+    pub fn new(wr_id: WrId, sge: Sge) -> Self {
+        RecvWqe { wr_id, sge }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sge() -> Sge {
+        Sge {
+            addr: 0x1_0000,
+            len: 4096,
+            lkey: LKey(1),
+        }
+    }
+
+    #[test]
+    fn builders_set_opcode_and_remote() {
+        let s = SendWqe::send(WrId(1), sge());
+        assert_eq!(s.opcode, Opcode::Send);
+        assert!(s.remote.is_none());
+        assert!(s.signaled);
+
+        let w = SendWqe::write(WrId(2), sge(), 0x2000, RKey(9));
+        assert_eq!(w.opcode, Opcode::RdmaWrite);
+        assert_eq!(w.remote, Some((0x2000, RKey(9))));
+
+        let r = SendWqe::read(WrId(3), sge(), 0x3000, RKey(9));
+        assert_eq!(r.opcode, Opcode::RdmaRead);
+    }
+
+    #[test]
+    fn modifiers_compose() {
+        let s = SendWqe::send(WrId(1), sge())
+            .with_imm(0xDEAD)
+            .with_ud_dest(UdDest {
+                node: 1,
+                qpn: QpNum(7),
+            })
+            .unsignaled();
+        assert_eq!(s.imm, Some(0xDEAD));
+        assert_eq!(s.ud_dest.unwrap().qpn, QpNum(7));
+        assert!(!s.signaled);
+        assert_eq!(s.len(), 4096);
+    }
+}

@@ -1,0 +1,24 @@
+use cord_core::prelude::system_a;
+use cord_mpi::MpiTransport;
+use cord_npb::{run_benchmark, Bench, Class};
+use cord_core::prelude::Dataplane;
+
+fn main() {
+    let ranks = 32;
+    println!("{:>4} {:>10} {:>10} {:>10} | {:>6} {:>6} | per-rank Gb/s, msg/s (RDMA)", "", "RDMA us", "CoRD rel", "IPoIB rel", "", "");
+    for bench in Bench::ALL {
+        let r = |t| run_benchmark(system_a(), bench, Class::A, ranks, t, 42);
+        let rdma = r(MpiTransport::Verbs(Dataplane::Bypass));
+        let cord = r(MpiTransport::Verbs(Dataplane::Cord));
+        let ipoib = r(MpiTransport::Ipoib);
+        println!(
+            "{:>4} {:>10.0} {:>10.3} {:>10.3} | {:>8.3} {:>8.0}",
+            bench.label(),
+            rdma.runtime_us,
+            cord.runtime_us / rdma.runtime_us,
+            ipoib.runtime_us / rdma.runtime_us,
+            rdma.gbit_per_rank,
+            rdma.msgs_per_rank_s,
+        );
+    }
+}

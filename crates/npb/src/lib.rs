@@ -1,0 +1,20 @@
+//! # cord-npb — NAS Parallel Benchmark communication skeletons
+//!
+//! The workload half of the paper's Fig. 6: the eight MPI NPB kernels
+//! (IS, EP, MG, FT, LU, CG, BT, SP) expressed as communication skeletons
+//! over `cord-mpi`, runnable over RDMA (bypass), CoRD, or IPoIB.
+//!
+//! The paper's characterizations these skeletons reproduce (§5):
+//! * IS and SP: simultaneously data- and message-intensive — IPoIB's worst
+//!   cases (up to 2× slowdown);
+//! * EP: communicates very little — all transports tie;
+//! * CG: few large messages — small IPoIB penalty, slight CoRD *boost*
+//!   with turbo enabled (DVFS interaction);
+//! * CoRD: near-zero overhead on every kernel.
+
+pub mod kernels;
+pub mod model;
+pub mod runner;
+
+pub use model::{grid_2d, Bench, Class};
+pub use runner::{run_benchmark, run_iter, BenchResult};

@@ -1,0 +1,156 @@
+//! Benchmark identities, problem classes, and scaling rules.
+//!
+//! The kernels are *communication skeletons*: each reproduces its NPB
+//! namesake's communication structure (who talks to whom, how often, how
+//! many bytes) with compute phases modelled as calibrated virtual-time
+//! delays. Problem sizes follow the NPB class tables, uniformly scaled
+//! down (documented per kernel) so a full Fig. 6 campaign simulates in
+//! seconds; relative runtimes — the figure's y-axis — are preserved.
+
+/// NPB problem classes (subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Tiny smoke-test size.
+    S,
+    A,
+    B,
+}
+
+impl Class {
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::S => "S",
+            Class::A => "A",
+            Class::B => "B",
+        }
+    }
+}
+
+/// The eight MPI NPB benchmarks the paper runs (Fig. 6, left to right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bench {
+    /// Integer sort: bucket histogram + all-to-all key exchange.
+    /// Data- and message-intensive (the paper's worst case for IPoIB).
+    Is,
+    /// Embarrassingly parallel: almost no communication.
+    Ep,
+    /// Multigrid: halo exchanges across V-cycle levels.
+    Mg,
+    /// 3D FFT: global transposes (all-to-all of the whole grid).
+    Ft,
+    /// SSOR wavefront: many small pipelined neighbor messages.
+    Lu,
+    /// Conjugate gradient: few large exchanges + tiny dot-product
+    /// allreduces (sees a slight boost under CoRD with turbo, §5).
+    Cg,
+    /// Block-tridiagonal ADI: face exchanges in three dimensions.
+    Bt,
+    /// Scalar-pentadiagonal ADI: like BT but more, smaller messages
+    /// (simultaneously data- and message-intensive, §5).
+    Sp,
+}
+
+impl Bench {
+    pub const ALL: [Bench; 8] = [
+        Bench::Is,
+        Bench::Ep,
+        Bench::Mg,
+        Bench::Ft,
+        Bench::Lu,
+        Bench::Cg,
+        Bench::Bt,
+        Bench::Sp,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Bench::Is => "IS",
+            Bench::Ep => "EP",
+            Bench::Mg => "MG",
+            Bench::Ft => "FT",
+            Bench::Lu => "LU",
+            Bench::Cg => "CG",
+            Bench::Bt => "BT",
+            Bench::Sp => "SP",
+        }
+    }
+
+    /// Timed iterations (scaled down from the NPB defaults; each kernel's
+    /// per-iteration pattern is complete, so fewer repetitions change only
+    /// statistical smoothing, not the communication/compute ratio).
+    pub fn default_iters(self, class: Class) -> usize {
+        let base = match self {
+            Bench::Is => 10,
+            Bench::Ep => 4,
+            Bench::Mg => 4,
+            Bench::Ft => 6,
+            Bench::Lu => 20,
+            Bench::Cg => 12,
+            Bench::Bt => 12,
+            Bench::Sp => 24,
+        };
+        match class {
+            Class::S => base.min(3),
+            _ => base,
+        }
+    }
+
+    /// Pick a legal rank count near `want` ("Each benchmark has limitations
+    /// on the number of processes allowed for a run", §5): BT/SP need a
+    /// square, LU a 2D grid, the rest a power of two.
+    pub fn ranks_near(self, want: usize) -> usize {
+        match self {
+            Bench::Bt | Bench::Sp => {
+                let mut s = 1;
+                while (s + 1) * (s + 1) <= want {
+                    s += 1;
+                }
+                s * s
+            }
+            _ => want.next_power_of_two() >> if want.is_power_of_two() { 0 } else { 1 },
+        }
+    }
+}
+
+/// 2D process grid (rows × cols) with rows ≥ cols, rows*cols = p.
+pub fn grid_2d(p: usize) -> (usize, usize) {
+    let mut cols = (p as f64).sqrt() as usize;
+    while cols > 1 && p % cols != 0 {
+        cols -= 1;
+    }
+    (p / cols, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_constraints() {
+        assert_eq!(Bench::Bt.ranks_near(36), 36);
+        assert_eq!(Bench::Bt.ranks_near(40), 36);
+        assert_eq!(Bench::Sp.ranks_near(10), 9);
+        assert_eq!(Bench::Is.ranks_near(32), 32);
+        assert_eq!(Bench::Lu.ranks_near(33), 32);
+    }
+
+    #[test]
+    fn grid_factorization() {
+        assert_eq!(grid_2d(32), (8, 4));
+        assert_eq!(grid_2d(36), (6, 6));
+        assert_eq!(grid_2d(7), (7, 1));
+        assert_eq!(grid_2d(16), (4, 4));
+    }
+
+    #[test]
+    fn labels_cover_fig6() {
+        let labels: Vec<&str> = Bench::ALL.iter().map(|b| b.label()).collect();
+        assert_eq!(labels, ["IS", "EP", "MG", "FT", "LU", "CG", "BT", "SP"]);
+    }
+
+    #[test]
+    fn iters_scale_with_class() {
+        assert!(Bench::Lu.default_iters(Class::S) <= 3);
+        assert_eq!(Bench::Lu.default_iters(Class::A), 20);
+    }
+}

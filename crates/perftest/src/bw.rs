@@ -1,0 +1,179 @@
+//! Bandwidth tests: windowed pipelines of sends, writes, or reads
+//! (perftest's `--tx-depth` model).
+
+use cord_core::prelude::*;
+
+use crate::harness::{setup_pair, Ep};
+use crate::spec::{Measurement, TestOp, TestSpec};
+
+/// Server-side receive repost batch (perftest reposts in chunks; the
+/// `ibv_post_recv` list API amortizes one doorbell/syscall over the batch).
+const RECV_BATCH: usize = 32;
+
+/// Two-sided bandwidth. Throughput is measured at the *receiver* (the
+/// number perftest reports), which keeps UD honest: a UD sender's local
+/// completions outrun the wire.
+pub async fn send_bw(fabric: &Fabric, spec: TestSpec) -> Measurement {
+    let (client, server) = setup_pair(fabric, &spec).await;
+    let total = spec.iters;
+    let size = spec.size;
+    let wait = Ep::wait_mode(&spec);
+    let sim = fabric.sim().clone();
+
+    // The UD client addresses the server QP explicitly.
+    let ud_dest = match spec.transport {
+        Transport::Rc => None,
+        Transport::Ud => Some((server.qp.node(), server.qp.qpn())),
+    };
+
+    // Server preposts a full ring of receives.
+    let prepost = server.qp.ctx().nic().spec().nic.rq_depth.min(total + spec.window);
+    let wqes: Vec<RecvWqe> = (0..prepost)
+        .map(|i| RecvWqe::new(WrId(i as u64), server.rx_sge(size.max(1))))
+        .collect();
+    server.qp.post_recv_batch(wqes).await.unwrap();
+
+    // Server: consume receives, repost in batches, report elapsed time.
+    let server_spec = spec.clone();
+    let server_task = fabric.spawn({
+        let sim = sim.clone();
+        async move {
+            let spec = server_spec;
+            let mut done = 0usize;
+            let mut consumed_since_repost = 0usize;
+            let t0 = sim.now();
+            while done < total {
+                let cqes = server.qp.recv_cq().wait_cqes(1, Ep::wait_mode(&spec)).await;
+                let mut got = cqes.len();
+                // Drain whatever else is ready without extra waits.
+                got += server.qp.recv_cq().poll(RECV_BATCH).await.len();
+                done += got;
+                consumed_since_repost += got;
+                if spec.knobs.extra_copy {
+                    for _ in 0..got {
+                        server.ctx.core().memcpy(spec.size).await;
+                    }
+                }
+                if consumed_since_repost >= RECV_BATCH && done < total {
+                    let wqes: Vec<RecvWqe> = (0..consumed_since_repost)
+                        .map(|i| RecvWqe::new(WrId(i as u64), server.rx_sge(spec.size.max(1))))
+                        .collect();
+                    server.qp.post_recv_batch(wqes).await.unwrap();
+                    consumed_since_repost = 0;
+                }
+            }
+            sim.now().since(t0).as_us_f64()
+        }
+    });
+
+    // Client: keep `window` sends outstanding.
+    let client_task = fabric.spawn({
+        let spec = spec.clone();
+        let server_qp = ud_dest;
+        async move {
+            let mut posted = 0usize;
+            let mut completed = 0usize;
+            let mut outstanding = 0usize;
+            while completed < total {
+                while outstanding < spec.window && posted < total {
+                    if spec.knobs.dummy_syscall {
+                        client.ctx.core().syscall_roundtrip().await;
+                    }
+                    if spec.knobs.extra_copy {
+                        client.ctx.core().memcpy(spec.size).await;
+                    }
+                    let wqe = SendWqe::send(WrId(posted as u64), client.tx_sge(spec.size));
+                    let wqe = match &server_qp {
+                        Some((node, qpn)) => wqe.with_ud_dest(UdDest {
+                            node: *node,
+                            qpn: *qpn,
+                        }),
+                        None => wqe,
+                    };
+                    client.qp.post_send(wqe).await.unwrap();
+                    posted += 1;
+                    outstanding += 1;
+                }
+                let got = client
+                    .qp
+                    .send_cq()
+                    .wait_cqes(1, Ep::wait_mode(&spec))
+                    .await
+                    .len()
+                    + client.qp.send_cq().poll(spec.window).await.len();
+                completed += got;
+                outstanding -= got;
+            }
+        }
+    });
+
+    let elapsed_us = server_task.await;
+    client_task.await;
+    let _ = wait;
+    Measurement::from_bandwidth(spec.op, size, total, elapsed_us)
+}
+
+/// One-sided bandwidth (writes or reads): client-driven, server passive.
+pub async fn onesided_bw(fabric: &Fabric, spec: TestSpec) -> Measurement {
+    assert!(matches!(spec.op, TestOp::WriteBw | TestOp::ReadBw));
+    let (client, server) = setup_pair(fabric, &spec).await;
+    let total = spec.iters;
+    let size = spec.size.max(1);
+    let sim = fabric.sim().clone();
+    let remote_rx = (server.rx.addr, server.rx_mr.rkey);
+    let remote_tx = (server.tx.addr, server.tx_mr.rkey);
+
+    let t0 = sim.now();
+    let mut posted = 0usize;
+    let mut completed = 0usize;
+    let mut outstanding = 0usize;
+    while completed < total {
+        while outstanding < spec.window && posted < total {
+            if spec.knobs.dummy_syscall {
+                client.ctx.core().syscall_roundtrip().await;
+            }
+            if spec.knobs.extra_copy {
+                client.ctx.core().memcpy(size).await;
+            }
+            let wqe = match spec.op {
+                TestOp::WriteBw => SendWqe::write(
+                    WrId(posted as u64),
+                    client.tx_sge(size),
+                    remote_rx.0,
+                    remote_rx.1,
+                ),
+                TestOp::ReadBw => SendWqe::read(
+                    WrId(posted as u64),
+                    Sge {
+                        addr: client.rx.addr,
+                        len: size,
+                        lkey: client.rx_mr.lkey,
+                    },
+                    remote_tx.0,
+                    remote_tx.1,
+                ),
+                _ => unreachable!(),
+            };
+            client.qp.post_send(wqe).await.unwrap();
+            posted += 1;
+            outstanding += 1;
+        }
+        let got = client
+            .qp
+            .send_cq()
+            .wait_cqes(1, Ep::wait_mode(&spec))
+            .await
+            .len()
+            + client.qp.send_cq().poll(spec.window).await.len();
+        completed += got;
+        outstanding -= got;
+        if spec.knobs.extra_copy && spec.op == TestOp::ReadBw {
+            for _ in 0..got {
+                client.ctx.core().memcpy(size).await;
+            }
+        }
+    }
+    let elapsed_us = sim.now().since(t0).as_us_f64();
+    drop(server);
+    Measurement::from_bandwidth(spec.op, size, total, elapsed_us)
+}

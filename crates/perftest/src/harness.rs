@@ -1,0 +1,111 @@
+//! Endpoint setup shared by the latency and bandwidth tests.
+
+use cord_core::prelude::*;
+
+use crate::spec::TestSpec;
+
+/// One side of a perftest run: context, QP, and registered TX/RX buffers.
+pub struct Ep {
+    pub ctx: Context,
+    pub qp: UserQp,
+    /// Source buffer (sends/writes read from here; reads land here).
+    pub tx: MemRegion,
+    pub tx_mr: cord_verbs::Mr,
+    /// Sink buffer (receives land here; peers write here).
+    pub rx: MemRegion,
+    pub rx_mr: cord_verbs::Mr,
+}
+
+impl Ep {
+    pub fn tx_sge(&self, len: usize) -> Sge {
+        Sge {
+            addr: self.tx.addr,
+            len,
+            lkey: self.tx_mr.lkey,
+        }
+    }
+
+    pub fn rx_sge(&self, len: usize) -> Sge {
+        Sge {
+            addr: self.rx.addr,
+            len,
+            lkey: self.rx_mr.lkey,
+        }
+    }
+
+    /// Completion wait strategy per the spec's knobs.
+    pub fn wait_mode(spec: &TestSpec) -> CompletionWait {
+        if spec.knobs.event_driven {
+            CompletionWait::Event
+        } else {
+            CompletionWait::BusyPoll
+        }
+    }
+}
+
+/// Build a connected client/server pair per the spec. The client lives on
+/// node 0, the server on node 1 (back-to-back, like system L).
+pub async fn setup_pair(fabric: &Fabric, spec: &TestSpec) -> (Ep, Ep) {
+    let client_ctx = fabric.new_context(0, spec.client_mode);
+    let server_ctx = fabric.new_context(1, spec.server_mode);
+    let mk = |ctx: Context, spec: &TestSpec| {
+        let size = spec.size.max(1);
+        let tx = ctx.alloc(size, 0xA5);
+        let rx = ctx.alloc(size, 0x00);
+        (ctx, tx, rx)
+    };
+    let (cc, ctx_tx, ctx_rx) = mk(client_ctx, spec);
+    let (sc, srv_tx, srv_rx) = mk(server_ctx, spec);
+
+    let c_tx_mr = cc.reg_mr(ctx_tx, Access::all()).await;
+    let c_rx_mr = cc.reg_mr(ctx_rx, Access::all()).await;
+    let s_tx_mr = sc.reg_mr(srv_tx, Access::all()).await;
+    let s_rx_mr = sc.reg_mr(srv_rx, Access::all()).await;
+
+    let c_scq = cc.create_cq(4096).await;
+    let c_rcq = cc.create_cq(4096).await;
+    let s_scq = sc.create_cq(4096).await;
+    let s_rcq = sc.create_cq(4096).await;
+
+    let qc = cc.create_qp(spec.transport, &c_scq, &c_rcq).await;
+    let qs = sc.create_qp(spec.transport, &s_scq, &s_rcq).await;
+    match spec.transport {
+        Transport::Rc => {
+            connect_rc_pair(&qc, &qs).await.unwrap();
+        }
+        Transport::Ud => {
+            activate_ud(&qc).await.unwrap();
+            activate_ud(&qs).await.unwrap();
+        }
+    }
+
+    (
+        Ep {
+            ctx: cc,
+            qp: qc,
+            tx: ctx_tx,
+            tx_mr: c_tx_mr,
+            rx: ctx_rx,
+            rx_mr: c_rx_mr,
+        },
+        Ep {
+            ctx: sc,
+            qp: qs,
+            tx: srv_tx,
+            tx_mr: s_tx_mr,
+            rx: srv_rx,
+            rx_mr: s_rx_mr,
+        },
+    )
+}
+
+/// Attach the UD destination (peer node + QPN) to a send WQE when needed.
+pub fn route(spec: &TestSpec, wqe: SendWqe, peer: &UserQp) -> SendWqe {
+    match spec.transport {
+        Transport::Rc => wqe,
+        Transport::Ud => wqe.with_ud_dest(UdDest {
+            node: peer.node(),
+            qpn: peer.qpn(),
+        }),
+    }
+}

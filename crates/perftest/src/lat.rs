@@ -1,0 +1,240 @@
+//! Latency tests: `send_lat` (ping-pong), `write_lat` (memory polling),
+//! `read_lat` (server CPU idle). Mirrors perftest 4.5 semantics (§5).
+
+use cord_core::prelude::*;
+use cord_sim::{Sim, SimDuration};
+
+use crate::harness::{route, setup_pair, Ep};
+use crate::spec::{Measurement, TestSpec};
+
+/// Memory-polling granularity for `write_lat` (a cached load loop).
+const MEM_POLL_NS: u64 = 25;
+
+/// Spin on a guest-memory byte until it equals `expect`; spin time is
+/// accounted to the core for DVFS purposes.
+async fn poll_memory(sim: &Sim, core: &Core, mem: &GuestMem, addr: u64, expect: u8) {
+    let start = sim.now();
+    loop {
+        let v = mem.read(addr, 1).expect("registered buffer")[0];
+        if v == expect {
+            break;
+        }
+        sim.sleep(SimDuration::from_ns(MEM_POLL_NS)).await;
+    }
+    let spun = sim.now().since(start);
+    if !spun.is_zero() {
+        core.account_spin(spun, 0.0);
+    }
+}
+
+/// Apply the per-operation emulation knobs on the posting side.
+async fn apply_post_knobs(spec: &TestSpec, ep: &Ep) {
+    if spec.knobs.dummy_syscall {
+        ep.ctx.core().syscall_roundtrip().await;
+    }
+    if spec.knobs.extra_copy {
+        ep.ctx.core().memcpy(spec.size).await;
+    }
+}
+
+/// Two-sided send/receive ping-pong; reports half round-trip per iteration.
+pub async fn send_lat(fabric: &Fabric, spec: TestSpec) -> Measurement {
+    let (client, server) = setup_pair(fabric, &spec).await;
+    let total = spec.iters + spec.warmup;
+    let wait = Ep::wait_mode(&spec);
+    let size = spec.size;
+
+    // Both sides prepost one receive.
+    client
+        .qp
+        .post_recv(RecvWqe::new(WrId(0), client.rx_sge(size.max(1))))
+        .await
+        .unwrap();
+    server
+        .qp
+        .post_recv(RecvWqe::new(WrId(0), server.rx_sge(size.max(1))))
+        .await
+        .unwrap();
+
+    // Server: echo loop.
+    let server_spec = spec.clone();
+    let client_qp_for_server = client.qp.clone();
+    let server_qp = server.qp.clone();
+    let server_task = fabric.spawn(async move {
+        let spec = server_spec;
+        for i in 0..total {
+            let _cqe = server.qp.recv_cq().wait_cqes(1, Ep::wait_mode(&spec)).await;
+            if spec.knobs.extra_copy {
+                server.ctx.core().memcpy(spec.size).await;
+            }
+            // Repost before answering so the next ping always finds a WQE.
+            server
+                .qp
+                .post_recv(RecvWqe::new(WrId(i as u64), server.rx_sge(spec.size.max(1))))
+                .await
+                .unwrap();
+            apply_post_knobs(&spec, &server).await;
+            let wqe = SendWqe::send(WrId(i as u64), server.tx_sge(spec.size)).unsignaled();
+            let wqe = route(&spec, wqe, &client_qp_for_server);
+            server.qp.post_send(wqe).await.unwrap();
+        }
+    });
+
+    // Client: ping, await pong, sample.
+    let sim = fabric.sim().clone();
+    let mut samples = Vec::with_capacity(spec.iters);
+    for i in 0..total {
+        let t0 = sim.now();
+        apply_post_knobs(&spec, &client).await;
+        let wqe = SendWqe::send(WrId(i as u64), client.tx_sge(size)).unsignaled();
+        let wqe = route(&spec, wqe, &server_qp);
+        client.qp.post_send(wqe).await.unwrap();
+        let _pong = client.qp.recv_cq().wait_cqes(1, wait).await;
+        if spec.knobs.extra_copy {
+            client.ctx.core().memcpy(size).await;
+        }
+        client
+            .qp
+            .post_recv(RecvWqe::new(WrId(i as u64), client.rx_sge(size.max(1))))
+            .await
+            .unwrap();
+        if i >= spec.warmup {
+            // Half round trip, as perftest reports.
+            samples.push(sim.now().since(t0).as_us_f64() / 2.0);
+        }
+    }
+    server_task.await;
+    Measurement::from_latency_samples(spec.op, size, samples)
+}
+
+/// RDMA-write ping-pong: each side writes a tagged byte into the peer's
+/// buffer and memory-polls its own buffer for the answer (perftest's
+/// `write_lat` protocol — both CPUs are active, which is why CoRD costs
+/// show up on both sides in Fig. 3).
+pub async fn write_lat(fabric: &Fabric, spec: TestSpec) -> Measurement {
+    let (client, server) = setup_pair(fabric, &spec).await;
+    let total = spec.iters + spec.warmup;
+    let size = spec.size.max(1);
+    let tag_off = (size - 1) as u64;
+
+    // Server side: poll for tag, echo it back.
+    let server_spec = spec.clone();
+    let sim_s = fabric.sim().clone();
+    let client_rx = (client.rx.addr, client.rx_mr.rkey);
+    let server_rx = (server.rx.addr, server.rx_mr.rkey);
+    let server_task = fabric.spawn(async move {
+        let spec = server_spec;
+        let size = spec.size.max(1);
+        for i in 0..total {
+            let tag = (i % 255 + 1) as u8;
+            poll_memory(
+                &sim_s,
+                server.ctx.core(),
+                server.ctx.mem(),
+                server.rx.addr + tag_off,
+                tag,
+            )
+            .await;
+            // Stamp our own buffer and write it back.
+            server
+                .ctx
+                .mem()
+                .write(server.tx.addr + tag_off, &[tag])
+                .unwrap();
+            apply_post_knobs(&spec, &server).await;
+            server
+                .qp
+                .post_send(SendWqe::write(
+                    WrId(i as u64),
+                    server.tx_sge(size),
+                    client_rx.0,
+                    client_rx.1,
+                ))
+                .await
+                .unwrap();
+            // Reap our own write completion (perftest drains the send CQ
+            // each iteration — under CoRD this is a poll system call).
+            let _ = server.qp.send_cq().poll(4).await;
+        }
+    });
+
+    let sim = fabric.sim().clone();
+    let mut samples = Vec::with_capacity(spec.iters);
+    for i in 0..total {
+        let tag = (i % 255 + 1) as u8;
+        let t0 = sim.now();
+        client
+            .ctx
+            .mem()
+            .write(client.tx.addr + tag_off, &[tag])
+            .unwrap();
+        apply_post_knobs(&spec, &client).await;
+        client
+            .qp
+            .post_send(SendWqe::write(
+                WrId(i as u64),
+                client.tx_sge(size),
+                server_rx.0,
+                server_rx.1,
+            ))
+            .await
+            .unwrap();
+        poll_memory(
+            &sim,
+            client.ctx.core(),
+            client.ctx.mem(),
+            client.rx.addr + tag_off,
+            tag,
+        )
+        .await;
+        let _ = client.qp.send_cq().poll(4).await;
+        if i >= spec.warmup {
+            samples.push(sim.now().since(t0).as_us_f64() / 2.0);
+        }
+    }
+    server_task.await;
+    Measurement::from_latency_samples(spec.op, spec.size, samples)
+}
+
+/// RDMA-read loop: the client pulls from the server; the server CPU never
+/// participates (the Fig. 3 case where server-side CoRD adds zero cost).
+pub async fn read_lat(fabric: &Fabric, spec: TestSpec) -> Measurement {
+    let (client, server) = setup_pair(fabric, &spec).await;
+    let total = spec.iters + spec.warmup;
+    let size = spec.size.max(1);
+    let wait = Ep::wait_mode(&spec);
+    let sim = fabric.sim().clone();
+    let remote = (server.tx.addr, server.tx_mr.rkey);
+    let mut samples = Vec::with_capacity(spec.iters);
+    for i in 0..total {
+        let t0 = sim.now();
+        apply_post_knobs(&spec, &client).await;
+        client
+            .qp
+            .post_send(SendWqe::read(
+                WrId(i as u64),
+                // Reads land in the client's RX buffer.
+                Sge {
+                    addr: client.rx.addr,
+                    len: size,
+                    lkey: client.rx_mr.lkey,
+                },
+                remote.0,
+                remote.1,
+            ))
+            .await
+            .unwrap();
+        let cqe = client.qp.send_cq().wait_cqes(1, wait).await;
+        debug_assert_eq!(cqe[0].status, CqeStatus::Success);
+        if spec.knobs.extra_copy {
+            client.ctx.core().memcpy(size).await;
+        }
+        if i >= spec.warmup {
+            // Reads are inherently round trips; perftest reports the full
+            // op latency.
+            samples.push(sim.now().since(t0).as_us_f64());
+        }
+    }
+    drop(server);
+    Measurement::from_latency_samples(spec.op, spec.size, samples)
+}

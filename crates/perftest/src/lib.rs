@@ -1,0 +1,23 @@
+//! # cord-perftest — the perftest 4.5 benchmark suite, reproduced
+//!
+//! The paper measures CoRD with the `linux-rdma/perftest` suite (§5). This
+//! crate reimplements the tests it uses over the simulated fabric:
+//!
+//! * [`spec::TestOp::SendLat`] / `WriteLat` / `ReadLat` — ping-pong
+//!   latency, reported as half round trip (full op for reads),
+//! * [`spec::TestOp::SendBw`] / `WriteBw` / `ReadBw` — windowed bandwidth
+//!   and message rate,
+//! * all over RC or UD, with the client and server dataplane chosen
+//!   independently (Fig. 3's BP/CoRD matrix), and
+//! * the Fig. 1 "technique removal" knobs ([`spec::EmuKnobs`]): extra
+//!   copy (no zero-copy), dummy syscall (no kernel bypass), event-driven
+//!   completions (no busy-polling).
+
+pub mod bw;
+pub mod harness;
+pub mod lat;
+pub mod runner;
+pub mod spec;
+
+pub use runner::{run_on, run_test};
+pub use spec::{EmuKnobs, Measurement, TestOp, TestSpec};

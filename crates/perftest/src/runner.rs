@@ -1,0 +1,30 @@
+//! Test dispatch: build a fabric, run one test, return its measurement.
+
+use cord_core::prelude::*;
+use cord_hw::MachineSpec;
+
+use crate::bw::{onesided_bw, send_bw};
+use crate::lat::{read_lat, send_lat, write_lat};
+use crate::spec::{Measurement, TestOp, TestSpec};
+
+/// Run one test on a fresh fabric built from `machine` with `seed`.
+pub fn run_test(machine: MachineSpec, spec: TestSpec, seed: u64) -> Measurement {
+    let fabric = Fabric::builder(machine).seed(seed).build();
+    run_on(&fabric, spec)
+}
+
+/// Run one test on an existing fabric (lets callers pre-install policies).
+pub fn run_on(fabric: &Fabric, spec: TestSpec) -> Measurement {
+    // Safety-net against accidental busy loops in benchmark logic.
+    fabric.sim().set_max_polls(2_000_000_000);
+    let f = fabric.clone();
+    fabric.block_on(async move {
+        match spec.op {
+            TestOp::SendLat => send_lat(&f, spec).await,
+            TestOp::WriteLat => write_lat(&f, spec).await,
+            TestOp::ReadLat => read_lat(&f, spec).await,
+            TestOp::SendBw => send_bw(&f, spec).await,
+            TestOp::WriteBw | TestOp::ReadBw => onesided_bw(&f, spec).await,
+        }
+    })
+}

@@ -1,0 +1,270 @@
+//! Test specifications and measurement results.
+
+use cord_verbs::{Dataplane, Transport};
+use serde::Serialize;
+
+/// Which perftest binary this models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TestOp {
+    /// `ib_send_lat`: two-sided ping-pong.
+    SendLat,
+    /// `ib_write_lat`: RDMA-write ping-pong with memory polling.
+    WriteLat,
+    /// `ib_read_lat`: RDMA-read loop (server CPU idle).
+    ReadLat,
+    /// `ib_send_bw`: windowed two-sided bandwidth.
+    SendBw,
+    /// `ib_write_bw`: windowed one-sided write bandwidth.
+    WriteBw,
+    /// `ib_read_bw`: windowed one-sided read bandwidth.
+    ReadBw,
+}
+
+impl TestOp {
+    pub fn is_latency(self) -> bool {
+        matches!(self, TestOp::SendLat | TestOp::WriteLat | TestOp::ReadLat)
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            TestOp::SendLat => "send_lat",
+            TestOp::WriteLat => "write_lat",
+            TestOp::ReadLat => "read_lat",
+            TestOp::SendBw => "send_bw",
+            TestOp::WriteBw => "write_bw",
+            TestOp::ReadBw => "read_bw",
+        }
+    }
+}
+
+/// The paper's Fig. 1 "technique removal" knobs (§2): each emulates taking
+/// one performance-enabling technique away from classical RDMA.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct EmuKnobs {
+    /// "No zero-copy": an extra memcpy when sending / after receiving.
+    pub extra_copy: bool,
+    /// "No kernel bypass": a `getppid`-style syscall per posted operation.
+    pub dummy_syscall: bool,
+    /// "No busy-polling": event-driven completion waits (interrupts).
+    pub event_driven: bool,
+}
+
+impl EmuKnobs {
+    pub const BASELINE: EmuKnobs = EmuKnobs {
+        extra_copy: false,
+        dummy_syscall: false,
+        event_driven: false,
+    };
+
+    pub fn no_zero_copy() -> Self {
+        EmuKnobs {
+            extra_copy: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn no_kernel_bypass() -> Self {
+        EmuKnobs {
+            dummy_syscall: true,
+            ..Default::default()
+        }
+    }
+
+    pub fn no_busy_polling() -> Self {
+        EmuKnobs {
+            event_driven: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// A complete test configuration.
+#[derive(Debug, Clone)]
+pub struct TestSpec {
+    pub op: TestOp,
+    pub transport: Transport,
+    /// Message size in bytes.
+    pub size: usize,
+    /// Measured iterations (after warmup).
+    pub iters: usize,
+    /// Warmup iterations (not recorded).
+    pub warmup: usize,
+    /// Outstanding operations for bandwidth tests (perftest `--tx-depth`).
+    pub window: usize,
+    pub client_mode: Dataplane,
+    pub server_mode: Dataplane,
+    pub knobs: EmuKnobs,
+}
+
+impl TestSpec {
+    /// perftest-like defaults: RC send latency, 4 KiB, bypass both sides.
+    pub fn new(op: TestOp) -> Self {
+        TestSpec {
+            op,
+            transport: Transport::Rc,
+            size: 4096,
+            iters: if op.is_latency() { 200 } else { 400 },
+            warmup: 20,
+            window: 128,
+            client_mode: Dataplane::Bypass,
+            server_mode: Dataplane::Bypass,
+            knobs: EmuKnobs::BASELINE,
+        }
+    }
+
+    pub fn transport(mut self, t: Transport) -> Self {
+        self.transport = t;
+        self
+    }
+
+    pub fn size(mut self, s: usize) -> Self {
+        self.size = s;
+        self
+    }
+
+    pub fn iters(mut self, n: usize) -> Self {
+        self.iters = n;
+        self
+    }
+
+    pub fn warmup(mut self, n: usize) -> Self {
+        self.warmup = n;
+        self
+    }
+
+    pub fn window(mut self, w: usize) -> Self {
+        self.window = w;
+        self
+    }
+
+    pub fn modes(mut self, client: Dataplane, server: Dataplane) -> Self {
+        self.client_mode = client;
+        self.server_mode = server;
+        self
+    }
+
+    pub fn knobs(mut self, k: EmuKnobs) -> Self {
+        self.knobs = k;
+        self
+    }
+}
+
+/// Result of one test run. Latency tests fill the latency fields;
+/// bandwidth tests fill throughput fields.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    pub op: TestOp,
+    pub size: usize,
+    pub iters: usize,
+    /// Mean one-way latency (send) / op latency (read/write), µs.
+    pub lat_avg_us: f64,
+    pub lat_median_us: f64,
+    pub lat_p99_us: f64,
+    pub lat_min_us: f64,
+    pub lat_max_us: f64,
+    /// Raw per-iteration samples, µs (for bimodality analysis, Fig. 5a).
+    pub samples_us: Vec<f64>,
+    /// Payload throughput, Gbit/s.
+    pub bw_gbps: f64,
+    /// Message rate, million messages per second.
+    pub mrate_mps: f64,
+    /// Total measured virtual time, µs.
+    pub elapsed_us: f64,
+}
+
+impl Measurement {
+    pub(crate) fn from_latency_samples(op: TestOp, size: usize, samples_us: Vec<f64>) -> Self {
+        assert!(!samples_us.is_empty());
+        let mut sorted = samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let avg = sorted.iter().sum::<f64>() / n as f64;
+        let pick = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Measurement {
+            op,
+            size,
+            iters: n,
+            lat_avg_us: avg,
+            lat_median_us: pick(0.5),
+            lat_p99_us: pick(0.99),
+            lat_min_us: sorted[0],
+            lat_max_us: sorted[n - 1],
+            samples_us,
+            bw_gbps: 0.0,
+            mrate_mps: 0.0,
+            elapsed_us: 0.0,
+        }
+    }
+
+    pub(crate) fn from_bandwidth(
+        op: TestOp,
+        size: usize,
+        iters: usize,
+        elapsed_us: f64,
+    ) -> Self {
+        let secs = elapsed_us / 1e6;
+        let bytes = (size as f64) * (iters as f64);
+        Measurement {
+            op,
+            size,
+            iters,
+            lat_avg_us: 0.0,
+            lat_median_us: 0.0,
+            lat_p99_us: 0.0,
+            lat_min_us: 0.0,
+            lat_max_us: 0.0,
+            samples_us: Vec::new(),
+            bw_gbps: bytes * 8.0 / secs / 1e9,
+            mrate_mps: (iters as f64) / secs / 1e6,
+            elapsed_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let s = TestSpec::new(TestOp::SendBw)
+            .transport(Transport::Ud)
+            .size(64)
+            .iters(1000)
+            .window(32)
+            .modes(Dataplane::Cord, Dataplane::Bypass)
+            .knobs(EmuKnobs::no_zero_copy());
+        assert_eq!(s.transport, Transport::Ud);
+        assert_eq!(s.size, 64);
+        assert_eq!(s.window, 32);
+        assert_eq!(s.client_mode, Dataplane::Cord);
+        assert!(s.knobs.extra_copy);
+    }
+
+    #[test]
+    fn latency_stats_from_samples() {
+        let samples = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        let m = Measurement::from_latency_samples(TestOp::SendLat, 16, samples);
+        assert_eq!(m.lat_avg_us, 22.0);
+        assert_eq!(m.lat_median_us, 3.0);
+        assert_eq!(m.lat_min_us, 1.0);
+        assert_eq!(m.lat_max_us, 100.0);
+        assert_eq!(m.lat_p99_us, 100.0);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        // 1000 msgs of 1 MiB in 1 s => 8.39 Gbit/s, 0.001 M msg/s.
+        let m = Measurement::from_bandwidth(TestOp::SendBw, 1 << 20, 1000, 1e6);
+        assert!((m.bw_gbps - 8.388608).abs() < 1e-6);
+        assert!((m.mrate_mps - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn knob_constructors() {
+        assert!(EmuKnobs::no_zero_copy().extra_copy);
+        assert!(EmuKnobs::no_kernel_bypass().dummy_syscall);
+        assert!(EmuKnobs::no_busy_polling().event_driven);
+        assert_eq!(EmuKnobs::BASELINE, EmuKnobs::default());
+    }
+}

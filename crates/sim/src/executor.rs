@@ -1,0 +1,643 @@
+//! A deterministic, single-threaded, virtual-time async executor.
+//!
+//! Every simulated entity — CPU cores, NIC pipelines, kernel threads,
+//! benchmark processes — is an async task. Time only advances when no task is
+//! runnable, by jumping the virtual clock to the next pending timer. The
+//! executor is fully deterministic: with the same seed and task structure,
+//! two runs produce identical event interleavings and identical virtual-time
+//! results.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+use parking_lot::Mutex;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a spawned task within one [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(pub u64);
+
+/// Wakers push runnable task ids here. It lives behind an `Arc` because the
+/// `Waker` contract requires `Send + Sync`, even though this executor never
+/// leaves its thread; `parking_lot::Mutex` keeps the uncontended cost tiny.
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+enum TimerAction {
+    /// Wake a parked future (e.g. `sleep`).
+    Wake(Waker),
+    /// Run an arbitrary callback at the scheduled instant.
+    Call(Box<dyn FnOnce(&Sim)>),
+}
+
+struct TimerEntry {
+    at: SimTime,
+    seq: u64,
+    cancelled: Option<Rc<Cell<bool>>>,
+    action: TimerAction,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Inner {
+    now: Cell<SimTime>,
+    timer_seq: Cell<u64>,
+    next_task: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    tasks: RefCell<HashMap<TaskId, Rc<RefCell<Option<LocalFuture>>>>>,
+    ready: Arc<ReadyQueue>,
+    /// Total number of task polls executed; a cheap progress metric.
+    polls: Cell<u64>,
+    /// Fired timer count.
+    timer_fires: Cell<u64>,
+    /// Safety valve against runaway simulations (0 = unlimited).
+    max_polls: Cell<u64>,
+}
+
+/// Handle to the simulation. Cheap to clone; all clones share the same
+/// virtual clock, timer wheel, and task set.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<Inner>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    pub fn new() -> Self {
+        Sim {
+            inner: Rc::new(Inner {
+                now: Cell::new(SimTime::ZERO),
+                timer_seq: Cell::new(0),
+                next_task: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                tasks: RefCell::new(HashMap::new()),
+                ready: Arc::new(ReadyQueue {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                polls: Cell::new(0),
+                timer_fires: Cell::new(0),
+                max_polls: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.inner.now.get()
+    }
+
+    /// Number of task polls executed so far (progress/diagnostics).
+    pub fn polls(&self) -> u64 {
+        self.inner.polls.get()
+    }
+
+    /// Number of timers fired so far.
+    pub fn timer_fires(&self) -> u64 {
+        self.inner.timer_fires.get()
+    }
+
+    /// Abort the run with a panic after this many task polls (0 = unlimited).
+    /// Used by tests to catch accidental busy loops.
+    pub fn set_max_polls(&self, max: u64) {
+        self.inner.max_polls.set(max);
+    }
+
+    /// Spawn a task. The future starts running at the next executor step.
+    pub fn spawn<F, T>(&self, fut: F) -> JoinHandle<T>
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let id = TaskId(self.inner.next_task.get());
+        self.inner.next_task.set(id.0 + 1);
+
+        let join = Rc::new(RefCell::new(JoinState {
+            result: None,
+            waker: None,
+            finished: false,
+        }));
+        let join2 = Rc::clone(&join);
+        let wrapped: LocalFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut st = join2.borrow_mut();
+            st.result = Some(out);
+            st.finished = true;
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        });
+        self.inner
+            .tasks
+            .borrow_mut()
+            .insert(id, Rc::new(RefCell::new(Some(wrapped))));
+        self.inner.ready.push(id);
+        JoinHandle { id, state: join }
+    }
+
+    /// Register a timer that wakes `waker` at instant `at`.
+    /// Returns a cancellation flag shared with the timer wheel.
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> Rc<Cell<bool>> {
+        let cancelled = Rc::new(Cell::new(false));
+        let seq = self.inner.timer_seq.get();
+        self.inner.timer_seq.set(seq + 1);
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            at,
+            seq,
+            cancelled: Some(Rc::clone(&cancelled)),
+            action: TimerAction::Wake(waker),
+        }));
+        cancelled
+    }
+
+    /// Run `f` at virtual instant `at`.
+    pub fn schedule_at<F: FnOnce(&Sim) + 'static>(&self, at: SimTime, f: F) {
+        assert!(at >= self.now(), "scheduling into the past");
+        let seq = self.inner.timer_seq.get();
+        self.inner.timer_seq.set(seq + 1);
+        self.inner.timers.borrow_mut().push(Reverse(TimerEntry {
+            at,
+            seq,
+            cancelled: None,
+            action: TimerAction::Call(Box::new(f)),
+        }));
+    }
+
+    /// Run `f` after virtual delay `d`.
+    pub fn schedule_after<F: FnOnce(&Sim) + 'static>(&self, d: SimDuration, f: F) {
+        self.schedule_at(self.now() + d, f);
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let slot = match self.inner.tasks.borrow().get(&id) {
+            Some(s) => Rc::clone(s),
+            None => return, // already completed
+        };
+        // Take the future out of the slot so the task can spawn/wake others
+        // (including itself) while being polled.
+        let fut = slot.borrow_mut().take();
+        let mut fut = match fut {
+            Some(f) => f,
+            None => return, // concurrently polled (duplicate ready entry)
+        };
+        let n = self.inner.polls.get() + 1;
+        self.inner.polls.set(n);
+        let max = self.inner.max_polls.get();
+        if max != 0 && n > max {
+            panic!("sim: exceeded max_polls={max} — runaway simulation?");
+        }
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.inner.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.inner.tasks.borrow_mut().remove(&id);
+            }
+            Poll::Pending => {
+                *slot.borrow_mut() = Some(fut);
+            }
+        }
+    }
+
+    /// Execute one scheduler step: drain runnable tasks, then fire the next
+    /// timer (advancing the clock). Returns `false` when nothing remains.
+    fn step(&self) -> bool {
+        let mut progressed = false;
+        while let Some(id) = self.inner.ready.pop() {
+            progressed = true;
+            self.poll_task(id);
+        }
+        // Fire due timers.
+        loop {
+            let entry = {
+                let mut timers = self.inner.timers.borrow_mut();
+                match timers.peek() {
+                    None => break,
+                    Some(Reverse(e)) => {
+                        if let Some(c) = &e.cancelled {
+                            if c.get() {
+                                timers.pop();
+                                continue;
+                            }
+                        }
+                        // Fire one timer then go back to draining tasks, so
+                        // same-instant wakeups interleave deterministically.
+                        if progressed && e.at > self.now() {
+                            break;
+                        }
+                        timers.pop().map(|Reverse(e)| e)
+                    }
+                }
+            };
+            let Some(entry) = entry else { break };
+            debug_assert!(entry.at >= self.now(), "timer in the past");
+            self.inner.now.set(entry.at);
+            self.inner.timer_fires.set(self.inner.timer_fires.get() + 1);
+            match entry.action {
+                TimerAction::Wake(w) => w.wake(),
+                TimerAction::Call(f) => f(self),
+            }
+            return true;
+        }
+        progressed
+    }
+
+    /// Run until no runnable tasks and no timers remain.
+    pub fn run(&self) {
+        while self.step() {}
+    }
+
+    /// Drive the simulation until `handle` completes and return its output.
+    ///
+    /// Panics if the simulation runs out of events first (deadlock) — that is
+    /// always a bug in the model, and an early loud failure beats a hang.
+    pub fn run_until<T: 'static>(&self, handle: JoinHandle<T>) -> T {
+        loop {
+            if handle.state.borrow().finished {
+                return handle
+                    .state
+                    .borrow_mut()
+                    .result
+                    .take()
+                    .expect("join result already taken");
+            }
+            if !self.step() {
+                panic!(
+                    "sim deadlock: root task pending, {} tasks alive, no timers (t={})",
+                    self.inner.tasks.borrow().len(),
+                    self.now()
+                );
+            }
+        }
+    }
+
+    /// Convenience: spawn `fut` and run the simulation to its completion.
+    pub fn block_on<F, T>(&self, fut: F) -> T
+    where
+        F: Future<Output = T> + 'static,
+        T: 'static,
+    {
+        let h = self.spawn(fut);
+        self.run_until(h)
+    }
+
+    /// Number of live (spawned, not yet finished) tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.tasks.borrow().len()
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    finished: bool,
+}
+
+/// Awaitable handle to a spawned task's result.
+pub struct JoinHandle<T> {
+    id: TaskId,
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().finished
+    }
+}
+
+impl<T: 'static> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if st.finished {
+            Poll::Ready(st.result.take().expect("JoinHandle polled after completion"))
+        } else {
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    at: SimTime,
+    registered: Option<Rc<Cell<bool>>>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.at {
+            // Mark any registered timer dead so the wheel can skip it.
+            if let Some(c) = self.registered.take() {
+                c.set(true);
+            }
+            return Poll::Ready(());
+        }
+        if self.registered.is_none() {
+            let c = self.sim.register_timer(self.at, cx.waker().clone());
+            self.registered = Some(c);
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(c) = self.registered.take() {
+            c.set(true);
+        }
+    }
+}
+
+impl Sim {
+    /// Sleep for `d` of virtual time.
+    pub fn sleep(&self, d: SimDuration) -> Sleep {
+        self.sleep_until(self.now() + d)
+    }
+
+    /// Sleep until virtual instant `at` (returns immediately if past).
+    pub fn sleep_until(&self, at: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            at,
+            registered: None,
+        }
+    }
+
+    /// Yield to other runnable tasks without advancing time.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+}
+
+/// Future that yields once, then completes.
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration as D;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            s.sleep(D::from_us(5)).await;
+            s.now()
+        });
+        assert_eq!(t, SimTime::ZERO + D::from_us(5));
+    }
+
+    #[test]
+    fn sequential_sleeps_accumulate() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let t = sim.block_on(async move {
+            for _ in 0..10 {
+                s.sleep(D::from_ns(100)).await;
+            }
+            s.now()
+        });
+        assert_eq!(t.as_ps(), 10 * 100_000);
+    }
+
+    #[test]
+    fn parallel_tasks_overlap_in_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let total = sim.block_on(async move {
+            let a = s.spawn({
+                let s = s.clone();
+                async move {
+                    s.sleep(D::from_us(10)).await;
+                    s.now()
+                }
+            });
+            let b = s.spawn({
+                let s = s.clone();
+                async move {
+                    s.sleep(D::from_us(7)).await;
+                    s.now()
+                }
+            });
+            (a.await, b.await)
+        });
+        // Both slept concurrently: the run finishes at max, not sum.
+        assert_eq!(total.0.as_ps(), 10_000_000);
+        assert_eq!(total.1.as_ps(), 7_000_000);
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_fifo_tiebreak() {
+        let sim = Sim::new();
+        let log: Rc<RefCell<Vec<u32>>> = Rc::default();
+        for (i, d) in [(0u32, 5u64), (1, 3), (2, 5), (3, 1)] {
+            let log = Rc::clone(&log);
+            sim.schedule_at(SimTime(d * 1000), move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        // Sorted by time; equal instants keep registration order (0 before 2).
+        assert_eq!(*log.borrow(), vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn schedule_after_uses_current_now() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let hit = Rc::new(Cell::new(SimTime::ZERO));
+        let hit2 = Rc::clone(&hit);
+        sim.block_on(async move {
+            s.sleep(D::from_us(1)).await;
+            let h = Rc::clone(&hit2);
+            s.schedule_after(D::from_us(2), move |sim| h.set(sim.now()));
+            s.sleep(D::from_us(5)).await;
+        });
+        assert_eq!(hit.get().as_ps(), 3_000_000);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let v = sim.block_on(async move {
+            let h = s.spawn(async { 41 + 1 });
+            h.await
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn yield_now_interleaves_tasks() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let l1 = Rc::clone(&log);
+        let l2 = Rc::clone(&log);
+        sim.block_on(async move {
+            let s2 = s.clone();
+            let a = s.spawn({
+                let s = s.clone();
+                async move {
+                    l1.borrow_mut().push("a1");
+                    s.yield_now().await;
+                    l1.borrow_mut().push("a2");
+                }
+            });
+            let b = s2.spawn(async move {
+                l2.borrow_mut().push("b1");
+            });
+            a.await;
+            b.await;
+        });
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sim deadlock")]
+    fn deadlock_detected() {
+        let sim = Sim::new();
+        sim.block_on(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn dropped_sleep_cancels_timer() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.block_on(async move {
+            let long = s.sleep(D::from_secs(100));
+            drop(long);
+            s.sleep(D::from_ns(1)).await;
+        });
+        // The cancelled 100 s timer must not hold the clock hostage.
+        sim.run();
+        assert!(sim.now() < SimTime::ZERO + D::from_secs(1));
+    }
+
+    #[test]
+    fn determinism_same_structure_same_trace() {
+        fn run_once() -> Vec<u64> {
+            let sim = Sim::new();
+            let s = sim.clone();
+            let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+            let l = Rc::clone(&log);
+            sim.block_on(async move {
+                let mut handles = Vec::new();
+                for i in 0..8u64 {
+                    let s2 = s.clone();
+                    let l2 = Rc::clone(&l);
+                    handles.push(s.spawn(async move {
+                        s2.sleep(D::from_ns(100 * (8 - i))).await;
+                        l2.borrow_mut().push(i);
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+            });
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_polls")]
+    fn max_polls_guards_against_busy_loops() {
+        let sim = Sim::new();
+        sim.set_max_polls(1000);
+        let s = sim.clone();
+        sim.block_on(async move {
+            loop {
+                s.yield_now().await;
+            }
+        });
+    }
+}

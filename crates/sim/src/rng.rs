@@ -1,0 +1,177 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component (virtualization jitter, workload generators)
+//! draws from its own stream derived from a master seed and a stream label,
+//! so adding a component never perturbs the draws of the others.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step; good avalanche for deriving per-stream seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn hash_label(label: &str) -> u64 {
+    // FNV-1a, stable across runs/platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Factory for deterministic per-component RNG streams.
+#[derive(Clone)]
+pub struct RngFactory {
+    master: u64,
+}
+
+impl RngFactory {
+    pub fn new(master_seed: u64) -> Self {
+        RngFactory {
+            master: master_seed,
+        }
+    }
+
+    pub fn master_seed(&self) -> u64 {
+        self.master
+    }
+
+    /// Derive the stream named `label`.
+    pub fn stream(&self, label: &str) -> DetRng {
+        let seed = splitmix64(self.master ^ hash_label(label));
+        DetRng {
+            rng: Rc::new(RefCell::new(SmallRng::seed_from_u64(seed))),
+        }
+    }
+
+    /// Derive an indexed stream (e.g. one per rank).
+    pub fn stream_indexed(&self, label: &str, index: u64) -> DetRng {
+        let seed = splitmix64(splitmix64(self.master ^ hash_label(label)) ^ index);
+        DetRng {
+            rng: Rc::new(RefCell::new(SmallRng::seed_from_u64(seed))),
+        }
+    }
+}
+
+/// A clonable handle to one deterministic stream.
+#[derive(Clone)]
+pub struct DetRng {
+    rng: Rc<RefCell<SmallRng>>,
+}
+
+impl DetRng {
+    pub fn from_seed(seed: u64) -> Self {
+        DetRng {
+            rng: Rc::new(RefCell::new(SmallRng::seed_from_u64(seed))),
+        }
+    }
+
+    pub fn next_u64(&self) -> u64 {
+        self.rng.borrow_mut().gen()
+    }
+
+    /// Uniform in [0, 1).
+    pub fn uniform(&self) -> f64 {
+        self.rng.borrow_mut().gen::<f64>()
+    }
+
+    /// Uniform integer in [lo, hi).
+    pub fn uniform_range(&self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo);
+        self.rng.borrow_mut().gen_range(lo..hi)
+    }
+
+    /// Standard normal via Box–Muller.
+    pub fn normal(&self) -> f64 {
+        let mut rng = self.rng.borrow_mut();
+        loop {
+            let u1: f64 = rng.gen::<f64>();
+            if u1 <= f64::EPSILON {
+                continue;
+            }
+            let u2: f64 = rng.gen::<f64>();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+
+    /// Lognormal with the given location/scale of the underlying normal.
+    pub fn lognormal(&self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Exponential with the given mean.
+    pub fn exponential(&self, mean: f64) -> f64 {
+        let u: f64 = self.uniform();
+        -mean * (1.0 - u).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let f1 = RngFactory::new(42);
+        let f2 = RngFactory::new(42);
+        let a = f1.stream("jitter");
+        let b = f2.stream("jitter");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_decorrelate() {
+        let f = RngFactory::new(42);
+        let a = f.stream("alpha");
+        let b = f.stream("beta");
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn indexed_streams_are_distinct() {
+        let f = RngFactory::new(7);
+        let a = f.stream_indexed("rank", 0);
+        let b = f.stream_indexed("rank", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let r = DetRng::from_seed(123);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_is_sane() {
+        let r = DetRng::from_seed(5);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let r = DetRng::from_seed(9);
+        for _ in 0..1000 {
+            let v = r.uniform_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Log-linear (HDR-style) histogram over `u64` values.
+//!
+//! Buckets are base-2 with 32 linear sub-buckets per octave, giving a
+//! worst-case quantile error of ~3% over the full u64 range with a small
+//! fixed footprint. Values are picoseconds in latency use, bytes elsewhere.
+
+const SUB_BITS: u32 = 5; // 32 sub-buckets per power of two
+const SUB: u64 = 1 << SUB_BITS;
+
+/// HDR-style histogram with ~3% relative quantile error.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as u64; // floor(log2 v) >= SUB_BITS
+    let sub = (v >> (exp - SUB_BITS as u64)) - SUB; // top SUB_BITS+1 bits minus leading 1
+    ((exp + 1 - SUB_BITS as u64) * SUB + SUB + sub) as usize - SUB as usize
+}
+
+/// Representative (midpoint) value for a bucket index.
+fn bucket_value(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let octave = (idx - SUB) / SUB;
+    let sub = (idx - SUB) % SUB;
+    let base = SUB << octave; // 2^(SUB_BITS+octave)
+    let width = 1u64 << octave;
+    base + sub * width + width / 2
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        // 64 octaves * 32 sub-buckets is a safe upper bound.
+        Histogram {
+            counts: vec![0; (SUB as usize) * 66],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        let idx = bucket_index(v);
+        self.counts[idx] += n;
+        self.total += n;
+        self.sum += (v as u128) * (n as u128);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in [0, 1]. Exact min/max at the extremes.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.total == 0 {
+            return 0;
+        }
+        if q <= 0.0 {
+            return self.min();
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return bucket_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn median(&self) -> u64 {
+        self.quantile(0.5)
+    }
+
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Iterate non-empty buckets as (representative value, count).
+    pub fn iter_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_value(i), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        for v in 0..32u64 {
+            // Quantiles over uniform 0..32 hit each value exactly.
+            let q = (v as f64 + 1.0) / 32.0;
+            assert_eq!(h.quantile(q), v);
+        }
+    }
+
+    #[test]
+    fn quantile_relative_error_bounded() {
+        let mut h = Histogram::new();
+        // Log-spaced values across 6 decades.
+        let mut v: f64 = 1.0;
+        let mut values = Vec::new();
+        while v < 1e12 {
+            h.record(v as u64);
+            values.push(v as u64);
+            v *= 1.07;
+        }
+        values.sort_unstable();
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let exact = values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
+            let approx = h.quantile(q);
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel < 0.04, "q={q} exact={exact} approx={approx} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = Histogram::new();
+        h.record(17);
+        h.record(123_456_789);
+        assert_eq!(h.quantile(0.0), 17);
+        assert_eq!(h.quantile(1.0), 123_456_789);
+        assert_eq!(h.min(), 17);
+        assert_eq!(h.max(), 123_456_789);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn merge_matches_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i * i + 1;
+            c.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.quantile(0.5), c.quantile(0.5));
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(555, 10);
+        for _ in 0..10 {
+            b.record(555);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_bounded() {
+        let mut v = 1u64;
+        while v < u64::MAX / 4 {
+            let idx = bucket_index(v);
+            let rep = bucket_value(idx);
+            let err = (rep as i128 - v as i128).unsigned_abs() as f64;
+            assert!(
+                err <= (v as f64) * 0.033 + 1.0,
+                "v={v} rep={rep} idx={idx}"
+            );
+            v = v.wrapping_mul(3) / 2 + 1;
+        }
+    }
+}

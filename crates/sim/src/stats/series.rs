@@ -1,0 +1,139 @@
+//! Labelled (x, y) series used by the figure harnesses to accumulate and
+//! print sweep results in the same rows/columns the paper reports.
+
+/// One point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    pub x: f64,
+    pub y: f64,
+}
+
+/// A named series of sweep points (e.g. "Send/RC relative throughput").
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<SeriesPoint>,
+}
+
+impl Series {
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push(SeriesPoint { x, y });
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Linear interpolation of y at `x`; clamps outside the domain.
+    /// Points must be pushed in increasing x order.
+    pub fn interpolate(&self, x: f64) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if x <= self.points[0].x {
+            return Some(self.points[0].y);
+        }
+        if x >= self.points[self.points.len() - 1].x {
+            return Some(self.points[self.points.len() - 1].y);
+        }
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if x >= a.x && x <= b.x {
+                let t = (x - a.x) / (b.x - a.x);
+                return Some(a.y + t * (b.y - a.y));
+            }
+        }
+        None
+    }
+
+    /// Smallest x at which y first crosses `level` (linear interpolation),
+    /// scanning left to right. Used to locate crossover points
+    /// (e.g. "message size at which CoRD reaches 99% of bypass").
+    pub fn crossing(&self, level: f64) -> Option<f64> {
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if (a.y < level && b.y >= level) || (a.y > level && b.y <= level) {
+                if (b.y - a.y).abs() < f64::EPSILON {
+                    return Some(a.x);
+                }
+                let t = (level - a.y) / (b.y - a.y);
+                return Some(a.x + t * (b.x - a.x));
+            }
+        }
+        None
+    }
+
+    pub fn max_y(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.y).fold(None, |acc, y| {
+            Some(match acc {
+                None => y,
+                Some(m) => m.max(y),
+            })
+        })
+    }
+
+    pub fn min_y(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.y).fold(None, |acc, y| {
+            Some(match acc {
+                None => y,
+                Some(m) => m.min(y),
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Series {
+        let mut s = Series::new("ramp");
+        for i in 0..=10 {
+            s.push(i as f64, (i * 2) as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn interpolate_inside_and_outside() {
+        let s = ramp();
+        assert_eq!(s.interpolate(2.5), Some(5.0));
+        assert_eq!(s.interpolate(-4.0), Some(0.0));
+        assert_eq!(s.interpolate(100.0), Some(20.0));
+        assert_eq!(Series::new("e").interpolate(1.0), None);
+    }
+
+    #[test]
+    fn crossing_finds_level() {
+        let s = ramp();
+        assert_eq!(s.crossing(7.0), Some(3.5));
+        assert_eq!(s.crossing(100.0), None);
+    }
+
+    #[test]
+    fn crossing_descending() {
+        let mut s = Series::new("down");
+        s.push(0.0, 10.0);
+        s.push(10.0, 0.0);
+        assert_eq!(s.crossing(5.0), Some(5.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let s = ramp();
+        assert_eq!(s.max_y(), Some(20.0));
+        assert_eq!(s.min_y(), Some(0.0));
+        assert_eq!(Series::new("e").max_y(), None);
+    }
+}

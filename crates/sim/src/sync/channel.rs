@@ -1,0 +1,359 @@
+//! Multi-producer, multi-consumer FIFO channels (unbounded and bounded).
+//!
+//! These are the message-passing backbone between simulated components
+//! (CPU→NIC doorbells, NIC RX queues, MPI mailboxes). All waiters are woken
+//! in FIFO order, which keeps the simulation deterministic.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+/// Error returned by `send` when all receivers are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError;
+
+/// Error returned by `recv` when the channel is empty and all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+struct Chan<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    recv_wakers: VecDeque<Waker>,
+    send_wakers: VecDeque<Waker>,
+    senders: usize,
+    receivers: usize,
+}
+
+impl<T> Chan<T> {
+    fn wake_one_recv(&mut self) {
+        if let Some(w) = self.recv_wakers.pop_front() {
+            w.wake();
+        }
+    }
+
+    fn wake_one_send(&mut self) {
+        if let Some(w) = self.send_wakers.pop_front() {
+            w.wake();
+        }
+    }
+
+    fn wake_all(&mut self) {
+        for w in self.recv_wakers.drain(..) {
+            w.wake();
+        }
+        for w in self.send_wakers.drain(..) {
+            w.wake();
+        }
+    }
+}
+
+/// Create an unbounded channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    with_cap(None)
+}
+
+/// Create a bounded channel with capacity `cap` (> 0); `send` suspends while
+/// the queue is full, modelling back-pressure (queue depths, ring buffers).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded channel capacity must be > 0");
+    with_cap(Some(cap))
+}
+
+fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let chan = Rc::new(RefCell::new(Chan {
+        queue: VecDeque::new(),
+        cap,
+        recv_wakers: VecDeque::new(),
+        send_wakers: VecDeque::new(),
+        senders: 1,
+        receivers: 1,
+    }));
+    (
+        Sender {
+            chan: Rc::clone(&chan),
+        },
+        Receiver { chan },
+    )
+}
+
+pub struct Sender<T> {
+    chan: Rc<RefCell<Chan<T>>>,
+}
+
+pub struct Receiver<T> {
+    chan: Rc<RefCell<Chan<T>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan.borrow_mut().senders += 1;
+        Sender {
+            chan: Rc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.chan.borrow_mut().receivers += 1;
+        Receiver {
+            chan: Rc::clone(&self.chan),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut c = self.chan.borrow_mut();
+        c.senders -= 1;
+        if c.senders == 0 {
+            c.wake_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut c = self.chan.borrow_mut();
+        c.receivers -= 1;
+        if c.receivers == 0 {
+            c.wake_all();
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Non-blocking send. For bounded channels, fails with `Err` if full;
+    /// returns the value so the caller can retry or drop it.
+    pub fn try_send(&self, v: T) -> Result<(), T> {
+        let mut c = self.chan.borrow_mut();
+        if c.receivers == 0 {
+            return Err(v);
+        }
+        if let Some(cap) = c.cap {
+            if c.queue.len() >= cap {
+                return Err(v);
+            }
+        }
+        c.queue.push_back(v);
+        c.wake_one_recv();
+        Ok(())
+    }
+
+    /// Send, suspending while a bounded channel is full.
+    pub fn send(&self, v: T) -> Send<'_, T> {
+        Send {
+            sender: self,
+            value: Some(v),
+        }
+    }
+
+    /// Current queue length (diagnostics).
+    pub fn len(&self) -> usize {
+        self.chan.borrow().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.chan.borrow().receivers == 0
+    }
+}
+
+pub struct Send<'a, T> {
+    sender: &'a Sender<T>,
+    value: Option<T>,
+}
+
+impl<T> Future for Send<'_, T> {
+    type Output = Result<(), SendError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // Safety: we never move out of `self` structurally; T: Unpin not
+        // required because we only use Option::take on a field.
+        let this = unsafe { self.get_unchecked_mut() };
+        let v = match this.value.take() {
+            Some(v) => v,
+            None => return Poll::Ready(Ok(())), // polled after completion
+        };
+        let mut c = this.sender.chan.borrow_mut();
+        if c.receivers == 0 {
+            return Poll::Ready(Err(SendError));
+        }
+        if let Some(cap) = c.cap {
+            if c.queue.len() >= cap {
+                this.value = Some(v);
+                c.send_wakers.push_back(cx.waker().clone());
+                return Poll::Pending;
+            }
+        }
+        c.queue.push_back(v);
+        c.wake_one_recv();
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<T> {
+        let mut c = self.chan.borrow_mut();
+        let v = c.queue.pop_front();
+        if v.is_some() {
+            c.wake_one_send();
+        }
+        v
+    }
+
+    /// Receive, suspending until a value or all senders are dropped.
+    pub fn recv(&self) -> Recv<'_, T> {
+        Recv { receiver: self }
+    }
+
+    pub fn len(&self) -> usize {
+        self.chan.borrow().queue.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+pub struct Recv<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Future for Recv<'_, T> {
+    type Output = Result<T, RecvError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut c = self.receiver.chan.borrow_mut();
+        if let Some(v) = c.queue.pop_front() {
+            c.wake_one_send();
+            return Poll::Ready(Ok(v));
+        }
+        if c.senders == 0 {
+            return Poll::Ready(Err(RecvError));
+        }
+        c.recv_wakers.push_back(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration as D;
+
+    #[test]
+    fn unbounded_fifo_order() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        let got = sim.block_on(async move {
+            for i in 0..10 {
+                tx.try_send(i).unwrap();
+            }
+            let mut out = Vec::new();
+            for _ in 0..10 {
+                out.push(rx.recv().await.unwrap());
+            }
+            out
+        });
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_waits_for_sender() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let (tx, rx) = channel::<&'static str>();
+        let v = sim.block_on(async move {
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(D::from_us(3)).await;
+                tx.try_send("hello").unwrap();
+            });
+            let v = rx.recv().await.unwrap();
+            (v, s.now())
+        });
+        assert_eq!(v.0, "hello");
+        assert_eq!(v.1.as_ps(), 3_000_000);
+    }
+
+    #[test]
+    fn bounded_backpressure_blocks_sender() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let (tx, rx) = bounded::<u32>(2);
+        let t = sim.block_on(async move {
+            let s2 = s.clone();
+            let producer = s.spawn(async move {
+                for i in 0..4 {
+                    tx.send(i).await.unwrap();
+                }
+                s2.now()
+            });
+            s.sleep(D::from_us(10)).await;
+            // Two sends fit, two block until we drain.
+            assert_eq!(rx.len(), 2);
+            for _ in 0..4 {
+                rx.recv().await.unwrap();
+                s.sleep(D::from_us(1)).await;
+            }
+            producer.await
+        });
+        assert!(t.as_ps() > 10_000_000);
+    }
+
+    #[test]
+    fn recv_errs_when_senders_dropped() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        tx.try_send(7).unwrap();
+        drop(tx);
+        let out = sim.block_on(async move {
+            let a = rx.recv().await;
+            let b = rx.recv().await;
+            (a, b)
+        });
+        assert_eq!(out.0, Ok(7));
+        assert_eq!(out.1, Err(RecvError));
+    }
+
+    #[test]
+    fn send_errs_when_receiver_dropped() {
+        let sim = Sim::new();
+        let (tx, rx) = channel::<u32>();
+        drop(rx);
+        sim.block_on(async move {
+            assert_eq!(tx.send(1).await, Err(SendError));
+            assert!(tx.try_send(2).is_err());
+        });
+    }
+
+    #[test]
+    fn try_send_respects_capacity() {
+        let (tx, _rx) = bounded::<u32>(1);
+        assert!(tx.try_send(1).is_ok());
+        assert_eq!(tx.try_send(2), Err(2));
+    }
+
+    #[test]
+    fn multiple_receivers_each_get_distinct_values() {
+        let sim = Sim::new();
+        let (tx, rx1) = channel::<u32>();
+        let rx2 = rx1.clone();
+        let sum = sim.block_on(async move {
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            rx1.recv().await.unwrap() + rx2.recv().await.unwrap()
+        });
+        assert_eq!(sum, 3);
+    }
+}

@@ -1,0 +1,9 @@
+//! Task synchronization primitives for the virtual-time executor.
+
+mod channel;
+mod notify;
+mod semaphore;
+
+pub use channel::{bounded, channel, RecvError, Receiver, SendError, Sender};
+pub use notify::Notify;
+pub use semaphore::Semaphore;

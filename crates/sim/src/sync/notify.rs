@@ -1,0 +1,254 @@
+//! Edge/level notification primitive, modelled on `tokio::sync::Notify`.
+//!
+//! Used for completion-queue doorbells and interrupt delivery: a
+//! `notify_one` issued while nobody waits is stored as a permit, so the
+//! wakeup is never lost (matching how a CQE written before the consumer
+//! blocks must still unblock it).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+#[derive(Default)]
+struct Inner {
+    /// Stored wakeup for the next waiter when none is registered.
+    permit: bool,
+    waiters: VecDeque<(u64, Waker)>,
+    next_id: u64,
+}
+
+/// A notification cell; clone to share.
+#[derive(Clone, Default)]
+pub struct Notify {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Notify {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wake one waiter, or store a single permit if none is waiting.
+    pub fn notify_one(&self) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some((_, w)) = inner.waiters.pop_front() {
+            w.wake();
+        } else {
+            inner.permit = true;
+        }
+    }
+
+    /// Wake all currently registered waiters (does not store a permit).
+    pub fn notify_all(&self) {
+        let mut inner = self.inner.borrow_mut();
+        for (_, w) in inner.waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// Wait for a notification.
+    pub fn notified(&self) -> Notified {
+        Notified {
+            notify: self.clone(),
+            id: None,
+        }
+    }
+
+    pub fn waiter_count(&self) -> usize {
+        self.inner.borrow().waiters.len()
+    }
+}
+
+pub struct Notified {
+    notify: Notify,
+    id: Option<u64>,
+}
+
+impl Future for Notified {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.notify.inner.borrow_mut();
+        if let Some(id) = self.id {
+            // If our waker is no longer queued we were woken.
+            if inner.waiters.iter().all(|(wid, _)| *wid != id) {
+                drop(inner);
+                self.id = None;
+                return Poll::Ready(());
+            }
+            // Refresh the waker in place (spurious poll).
+            for (wid, w) in inner.waiters.iter_mut() {
+                if *wid == id {
+                    *w = cx.waker().clone();
+                }
+            }
+            return Poll::Pending;
+        }
+        if inner.permit {
+            inner.permit = false;
+            return Poll::Ready(());
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.waiters.push_back((id, cx.waker().clone()));
+        drop(inner);
+        self.id = Some(id);
+        Poll::Pending
+    }
+}
+
+impl Drop for Notified {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            let mut inner = self.notify.inner.borrow_mut();
+            let before = inner.waiters.len();
+            inner.waiters.retain(|(wid, _)| *wid != id);
+            // If we were already woken (removed from the queue) but never
+            // polled to completion, hand the wakeup to the next waiter so
+            // the notification is not lost.
+            if inner.waiters.len() == before {
+                if let Some((_, w)) = inner.waiters.pop_front() {
+                    w.wake();
+                } else {
+                    inner.permit = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration as D;
+
+    #[test]
+    fn permit_prevents_lost_wakeup() {
+        let sim = Sim::new();
+        let n = Notify::new();
+        n.notify_one();
+        sim.block_on(async move {
+            n.notified().await; // completes immediately via stored permit
+        });
+    }
+
+    #[test]
+    fn notify_wakes_waiter_in_virtual_time() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let n = Notify::new();
+        let n2 = n.clone();
+        let t = sim.block_on(async move {
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(D::from_us(2)).await;
+                n2.notify_one();
+            });
+            n.notified().await;
+            s.now()
+        });
+        assert_eq!(t.as_ps(), 2_000_000);
+    }
+
+    #[test]
+    fn notify_one_wakes_single_waiter_fifo() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let n = Notify::new();
+        let order: Rc<RefCell<Vec<u32>>> = Rc::default();
+        sim.block_on({
+            let n = n.clone();
+            let order = Rc::clone(&order);
+            async move {
+                let mut handles = Vec::new();
+                for i in 0..3u32 {
+                    let n = n.clone();
+                    let order = Rc::clone(&order);
+                    let s2 = s.clone();
+                    handles.push(s.spawn(async move {
+                        n.notified().await;
+                        order.borrow_mut().push(i);
+                        s2.yield_now().await;
+                    }));
+                }
+                s.yield_now().await;
+                assert_eq!(n.waiter_count(), 3);
+                n.notify_one();
+                n.notify_one();
+                n.notify_one();
+                for h in handles {
+                    h.await;
+                }
+            }
+        });
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn notify_all_wakes_everyone() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let n = Notify::new();
+        let count = Rc::new(RefCell::new(0));
+        sim.block_on({
+            let n = n.clone();
+            let count = Rc::clone(&count);
+            async move {
+                let mut handles = Vec::new();
+                for _ in 0..5 {
+                    let n = n.clone();
+                    let count = Rc::clone(&count);
+                    handles.push(s.spawn(async move {
+                        n.notified().await;
+                        *count.borrow_mut() += 1;
+                    }));
+                }
+                s.yield_now().await;
+                n.notify_all();
+                for h in handles {
+                    h.await;
+                }
+            }
+        });
+        assert_eq!(*count.borrow(), 5);
+    }
+
+    #[test]
+    fn dropped_waiter_does_not_swallow_notification() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let n = Notify::new();
+        sim.block_on({
+            let n = n.clone();
+            async move {
+                // Register a waiter, then drop it after it was notified.
+                let mut fut = Box::pin(n.notified());
+                // poll once by racing it against a yield
+                let s2 = s.clone();
+                let poller = s.spawn(async move {
+                    futures_poll_once(&mut fut).await;
+                    drop(fut);
+                });
+                poller.await;
+                n.notify_one();
+                s2.yield_now().await;
+                // The permit must survive the drop of the woken waiter.
+                n.notified().await;
+            }
+        });
+    }
+
+    /// Poll a future exactly once, ignoring the result.
+    async fn futures_poll_once<F: Future + Unpin>(f: &mut F) {
+        use std::task::Poll;
+        std::future::poll_fn(|cx| {
+            let _ = Pin::new(&mut *f).poll(cx);
+            Poll::Ready(())
+        })
+        .await;
+    }
+}

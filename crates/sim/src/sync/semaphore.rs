@@ -1,0 +1,262 @@
+//! Counting semaphore with FIFO fairness.
+//!
+//! Models bounded hardware resources: send-queue depth, outstanding RDMA
+//! reads per QP, NIC processing slots.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::task::{Context, Poll, Waker};
+
+struct Inner {
+    permits: usize,
+    waiters: VecDeque<(u64, usize, Waker)>,
+    next_id: u64,
+}
+
+/// Clonable counting semaphore.
+#[derive(Clone)]
+pub struct Semaphore {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Self {
+        Semaphore {
+            inner: Rc::new(RefCell::new(Inner {
+                permits,
+                waiters: VecDeque::new(),
+                next_id: 0,
+            })),
+        }
+    }
+
+    pub fn available(&self) -> usize {
+        self.inner.borrow().permits
+    }
+
+    /// Acquire `n` permits, suspending until available. FIFO: a large request
+    /// at the queue head blocks later small ones (no starvation).
+    pub fn acquire(&self, n: usize) -> Acquire {
+        Acquire {
+            sem: self.clone(),
+            n,
+            id: None,
+        }
+    }
+
+    /// Try to acquire without waiting.
+    pub fn try_acquire(&self, n: usize) -> bool {
+        let mut inner = self.inner.borrow_mut();
+        if inner.waiters.is_empty() && inner.permits >= n {
+            inner.permits -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Return `n` permits and wake eligible waiters in order.
+    pub fn release(&self, n: usize) {
+        let mut inner = self.inner.borrow_mut();
+        inner.permits += n;
+        // Wake the head waiter(s) that can now proceed.
+        while let Some((_, want, _)) = inner.waiters.front() {
+            if *want <= inner.permits {
+                let (_, want, w) = inner.waiters.pop_front().unwrap();
+                inner.permits -= want;
+                w.wake();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+pub struct Acquire {
+    sem: Semaphore,
+    n: usize,
+    id: Option<u64>,
+}
+
+impl Future for Acquire {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut inner = self.sem.inner.borrow_mut();
+        match self.id {
+            None => {
+                if inner.waiters.is_empty() && inner.permits >= self.n {
+                    inner.permits -= self.n;
+                    Poll::Ready(())
+                } else {
+                    let id = inner.next_id;
+                    inner.next_id += 1;
+                    inner.waiters.push_back((id, self.n, cx.waker().clone()));
+                    drop(inner);
+                    self.id = Some(id);
+                    Poll::Pending
+                }
+            }
+            Some(id) => {
+                // Removed from the queue means permits were transferred to us.
+                if inner.waiters.iter().all(|(wid, _, _)| *wid != id) {
+                    drop(inner);
+                    self.id = None;
+                    Poll::Ready(())
+                } else {
+                    for (wid, _, w) in inner.waiters.iter_mut() {
+                        if *wid == id {
+                            *w = cx.waker().clone();
+                        }
+                    }
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Acquire {
+    fn drop(&mut self) {
+        if let Some(id) = self.id {
+            let mut inner = self.sem.inner.borrow_mut();
+            let before = inner.waiters.len();
+            inner.waiters.retain(|(wid, _, _)| *wid != id);
+            if inner.waiters.len() == before {
+                // We were already granted permits but dropped before
+                // observing them; give them back.
+                drop(inner);
+                self.sem.release(self.n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Sim;
+    use crate::time::SimDuration as D;
+
+    #[test]
+    fn permits_limit_concurrency() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let sem = Semaphore::new(2);
+        let peak = Rc::new(RefCell::new((0usize, 0usize))); // (current, max)
+        sim.block_on({
+            let sem = sem.clone();
+            let peak = Rc::clone(&peak);
+            async move {
+                let mut handles = Vec::new();
+                for _ in 0..6 {
+                    let sem = sem.clone();
+                    let peak = Rc::clone(&peak);
+                    let s2 = s.clone();
+                    handles.push(s.spawn(async move {
+                        sem.acquire(1).await;
+                        {
+                            let mut p = peak.borrow_mut();
+                            p.0 += 1;
+                            p.1 = p.1.max(p.0);
+                        }
+                        s2.sleep(D::from_us(1)).await;
+                        peak.borrow_mut().0 -= 1;
+                        sem.release(1);
+                    }));
+                }
+                for h in handles {
+                    h.await;
+                }
+            }
+        });
+        assert_eq!(peak.borrow().1, 2);
+        assert_eq!(sem.available(), 2);
+    }
+
+    #[test]
+    fn fifo_no_starvation_of_large_request() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let sem = Semaphore::new(2);
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        sim.block_on({
+            let sem = sem.clone();
+            let order = Rc::clone(&order);
+            async move {
+                sem.acquire(2).await; // drain
+                let big = s.spawn({
+                    let sem = sem.clone();
+                    let order = Rc::clone(&order);
+                    async move {
+                        sem.acquire(2).await;
+                        order.borrow_mut().push("big");
+                        sem.release(2);
+                    }
+                });
+                s.yield_now().await;
+                let small = s.spawn({
+                    let sem = sem.clone();
+                    let order = Rc::clone(&order);
+                    async move {
+                        sem.acquire(1).await;
+                        order.borrow_mut().push("small");
+                        sem.release(1);
+                    }
+                });
+                // Release one permit: big (head) still can't run, and small
+                // must NOT overtake it.
+                sem.release(1);
+                s.yield_now().await;
+                assert!(order.borrow().is_empty());
+                sem.release(1);
+                big.await;
+                small.await;
+            }
+        });
+        assert_eq!(*order.borrow(), vec!["big", "small"]);
+    }
+
+    #[test]
+    fn try_acquire_fails_when_drained_or_queued() {
+        let sem = Semaphore::new(1);
+        assert!(sem.try_acquire(1));
+        assert!(!sem.try_acquire(1));
+        sem.release(1);
+        assert!(sem.try_acquire(1));
+    }
+
+    #[test]
+    fn dropped_acquire_returns_granted_permits() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let sem = Semaphore::new(0);
+        sim.block_on({
+            let sem = sem.clone();
+            async move {
+                let h = s.spawn({
+                    let sem = sem.clone();
+                    async move {
+                        let acq = sem.acquire(1);
+                        // Poll once to enqueue, then drop.
+                        let mut acq = Box::pin(acq);
+                        std::future::poll_fn(|cx| {
+                            let _ = acq.as_mut().poll(cx);
+                            std::task::Poll::Ready(())
+                        })
+                        .await;
+                        drop(acq);
+                    }
+                });
+                h.await;
+                sem.release(1);
+                // The permit granted to the dropped waiter must be recovered.
+                s.yield_now().await;
+                assert_eq!(sem.available(), 1);
+            }
+        });
+    }
+}

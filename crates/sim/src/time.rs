@@ -1,0 +1,304 @@
+//! Virtual time.
+//!
+//! The simulation clock counts **picoseconds** in a `u64`. Picosecond
+//! resolution lets bandwidths be expressed as exact integer costs per byte
+//! (100 Gbit/s = 80 ps/B) while still covering ~213 days of virtual time,
+//! far beyond any experiment in this repository.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, in picoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Duration elapsed since `earlier`. Panics in debug builds if
+    /// `earlier` is in the future.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(self >= earlier, "since() across negative span");
+        SimDuration(self.0 - earlier.0)
+    }
+
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        SimDuration(ps)
+    }
+
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Self {
+        SimDuration(ns * 1_000)
+    }
+
+    #[inline]
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us * 1_000_000)
+    }
+
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000_000)
+    }
+
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000_000)
+    }
+
+    /// Build a duration from a fractional nanosecond count (rounds to ps).
+    #[inline]
+    pub fn from_ns_f64(ns: f64) -> Self {
+        debug_assert!(ns >= 0.0, "negative duration");
+        SimDuration((ns * 1e3).round() as u64)
+    }
+
+    #[inline]
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    #[inline]
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    #[inline]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by a non-negative float (used by DVFS frequency factors).
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0, "negative scale");
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", SimDuration(self.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+/// Convert a byte count and a bandwidth in Gbit/s into a serialization delay.
+#[inline]
+pub fn transmission_time(bytes: u64, gbps: f64) -> SimDuration {
+    // ps per byte = 8 bits / (gbps * 1e9 bit/s) * 1e12 ps/s = 8000 / gbps
+    SimDuration(((bytes as f64) * 8000.0 / gbps).round() as u64)
+}
+
+/// Convert a byte count and a bandwidth in GB/s into a duration.
+#[inline]
+pub fn copy_time(bytes: u64, gb_per_s: f64) -> SimDuration {
+    // ps per byte = 1e12 / (gb_per_s * 1e9) = 1000 / gb_per_s
+    SimDuration(((bytes as f64) * 1000.0 / gb_per_s).round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::ZERO + SimDuration::from_us(3);
+        assert_eq!(t.as_ps(), 3_000_000);
+        assert_eq!((t - SimTime::ZERO).as_us_f64(), 3.0);
+        assert_eq!(t.since(SimTime::ZERO), SimDuration::from_us(3));
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_ns(1_000), SimDuration::from_us(1));
+        assert_eq!(SimDuration::from_us(1_000), SimDuration::from_ms(1));
+        assert_eq!(SimDuration::from_ms(1_000), SimDuration::from_secs(1));
+        assert_eq!(SimDuration::from_ns_f64(0.5), SimDuration::from_ps(500));
+    }
+
+    #[test]
+    fn bandwidth_conversions() {
+        // 100 Gbit/s => 80 ps per byte.
+        assert_eq!(transmission_time(1, 100.0), SimDuration::from_ps(80));
+        assert_eq!(transmission_time(4096, 100.0), SimDuration::from_ps(327_680));
+        // 10 GB/s => 100 ps per byte.
+        assert_eq!(copy_time(10, 10.0), SimDuration::from_ps(1000));
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", SimDuration::from_ps(5)), "5ps");
+        assert_eq!(format!("{}", SimDuration::from_ns(5)), "5.000ns");
+        assert_eq!(format!("{}", SimDuration::from_us(5)), "5.000us");
+        assert_eq!(format!("{}", SimDuration::from_ms(5)), "5.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(5)), "5.000s");
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_ns(100);
+        assert_eq!(d.mul_f64(1.5), SimDuration::from_ns(150));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let a = SimDuration::from_ns(1);
+        let b = SimDuration::from_ns(2);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        assert_eq!(SimTime::ZERO.saturating_since(SimTime(5)), SimDuration::ZERO);
+    }
+}

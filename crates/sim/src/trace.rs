@@ -1,0 +1,155 @@
+//! Lightweight event tracing.
+//!
+//! The observability CoRD policy and the test suite both consume this: a
+//! shared, optionally-enabled ring of `(time, category, message)` records.
+//! Disabled tracing costs one branch per call.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// Category of a trace record; coarse filters for tests/tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceCategory {
+    Syscall,
+    Nic,
+    Dma,
+    Link,
+    Policy,
+    Mpi,
+    App,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    pub at: SimTime,
+    pub category: TraceCategory,
+    pub message: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    cap: usize,
+}
+
+/// Shared trace sink.
+#[derive(Clone, Default)]
+pub struct Trace {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Trace {
+    /// A disabled trace; `record` is a no-op.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// An enabled trace retaining up to `cap` records (FIFO eviction).
+    pub fn enabled(cap: usize) -> Self {
+        Trace {
+            inner: Rc::new(RefCell::new(Inner {
+                enabled: true,
+                events: Vec::new(),
+                cap,
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.borrow().enabled
+    }
+
+    pub fn record(&self, at: SimTime, category: TraceCategory, message: impl FnOnce() -> String) {
+        let mut inner = self.inner.borrow_mut();
+        if !inner.enabled {
+            return;
+        }
+        if inner.events.len() >= inner.cap {
+            inner.events.remove(0);
+        }
+        let msg = message();
+        inner.events.push(TraceEvent {
+            at,
+            category,
+            message: msg,
+        });
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all records (clones; intended for tests/tools).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// Count records in a category.
+    pub fn count(&self, category: TraceCategory) -> usize {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .count()
+    }
+
+    pub fn clear(&self) {
+        self.inner.borrow_mut().events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Trace::disabled();
+        t.record(SimTime::ZERO, TraceCategory::Nic, || "x".into());
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_records_and_filters() {
+        let t = Trace::enabled(16);
+        t.record(SimTime(1), TraceCategory::Nic, || "a".into());
+        t.record(SimTime(2), TraceCategory::Syscall, || "b".into());
+        t.record(SimTime(3), TraceCategory::Nic, || "c".into());
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.count(TraceCategory::Nic), 2);
+        assert_eq!(t.count(TraceCategory::Policy), 0);
+        let snap = t.snapshot();
+        assert_eq!(snap[1].message, "b");
+        assert_eq!(snap[1].at, SimTime(2));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let t = Trace::enabled(2);
+        for i in 0..5u64 {
+            t.record(SimTime(i), TraceCategory::App, || format!("{i}"));
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].message, "3");
+        assert_eq!(snap[1].message, "4");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let t = Trace::enabled(8);
+        t.record(SimTime::ZERO, TraceCategory::App, || "x".into());
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

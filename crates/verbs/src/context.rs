@@ -1,0 +1,155 @@
+//! Per-process verbs context.
+
+use cord_hw::{Core, GuestMem, MemRegion};
+use cord_kern::Kernel;
+use cord_nic::{Access, Mr, Nic, Transport};
+
+use crate::cq::UserCq;
+use crate::qp::UserQp;
+
+/// Which dataplane this endpoint uses (§3, Fig. 2b vs 2c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataplane {
+    /// Classical kernel-bypass RDMA.
+    Bypass,
+    /// Converged RDMA Dataplane: every data-plane verb is a system call.
+    Cord,
+}
+
+impl std::fmt::Display for Dataplane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dataplane::Bypass => write!(f, "BP"),
+            Dataplane::Cord => write!(f, "CoRD"),
+        }
+    }
+}
+
+/// A process's verbs context: its CPU core, node kernel, NIC, and memory.
+#[derive(Clone)]
+pub struct Context {
+    core: Core,
+    kernel: Kernel,
+    mem: GuestMem,
+    mode: Dataplane,
+}
+
+impl Context {
+    /// Open a context. `core` is the CPU the process is pinned to;
+    /// `kernel` is its node's kernel (which owns the NIC handle).
+    pub fn open(core: Core, kernel: Kernel, mode: Dataplane) -> Self {
+        Context {
+            core,
+            kernel,
+            mem: GuestMem::new(),
+            mode,
+        }
+    }
+
+    pub fn mode(&self) -> Dataplane {
+        self.mode
+    }
+
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    pub fn nic(&self) -> &Nic {
+        self.kernel.nic()
+    }
+
+    pub fn node(&self) -> usize {
+        self.kernel.node()
+    }
+
+    /// The process's memory arena.
+    pub fn mem(&self) -> &GuestMem {
+        &self.mem
+    }
+
+    /// Allocate and zero a buffer.
+    pub fn alloc(&self, len: usize, fill: u8) -> MemRegion {
+        self.mem.alloc(len, fill)
+    }
+
+    /// Allocate a buffer initialized from `data`.
+    pub fn alloc_from(&self, data: &[u8]) -> MemRegion {
+        self.mem.alloc_from(data)
+    }
+
+    /// Register a memory region (control plane: one ioctl — identical under
+    /// both dataplanes, §4).
+    pub async fn reg_mr(&self, region: MemRegion, access: Access) -> Mr {
+        self.kernel.control_ioctl(&self.core).await;
+        self.nic()
+            .mr_table()
+            .register(self.mem.clone(), region, access)
+    }
+
+    /// Create a completion queue (control plane).
+    pub async fn create_cq(&self, depth: usize) -> UserCq {
+        self.kernel.control_ioctl(&self.core).await;
+        UserCq::new(self.clone(), self.nic().create_cq(depth))
+    }
+
+    /// Create a queue pair (control plane).
+    pub async fn create_qp(&self, transport: Transport, send_cq: &UserCq, recv_cq: &UserCq) -> UserQp {
+        self.kernel.control_ioctl(&self.core).await;
+        let qpn = self
+            .nic()
+            .create_qp(transport, send_cq.raw().clone(), recv_cq.raw().clone());
+        UserQp::new(self.clone(), qpn, transport, send_cq.clone(), recv_cq.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_hw::{system_l, CoreId, Dvfs, Noise};
+    use cord_nic::build_cluster;
+    use cord_sim::{Sim, Trace};
+
+    pub(crate) fn test_ctx(sim: &Sim, mode: Dataplane) -> Context {
+        let spec = system_l();
+        let nics = build_cluster(sim, &spec, Trace::disabled());
+        let kern = Kernel::new(sim, &spec, nics[0].clone(), Trace::disabled());
+        let core = Core::new(
+            sim,
+            CoreId { node: 0, core: 0 },
+            &spec,
+            Dvfs::new(sim, spec.dvfs.clone()),
+            Noise::disabled(),
+        );
+        Context::open(core, kern, mode)
+    }
+
+    #[test]
+    fn control_plane_is_identical_across_modes() {
+        // MR registration costs one ioctl regardless of dataplane (§4).
+        for mode in [Dataplane::Bypass, Dataplane::Cord] {
+            let sim = Sim::new();
+            let ctx = test_ctx(&sim, mode);
+            let spec = system_l();
+            let t = sim.block_on({
+                let ctx = ctx.clone();
+                let sim2 = sim.clone();
+                async move {
+                    let buf = ctx.alloc(4096, 0);
+                    ctx.reg_mr(buf, Access::all()).await;
+                    sim2.now()
+                }
+            });
+            assert_eq!(t.as_ns_f64(), spec.cpu.ioctl_ns, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Dataplane::Bypass.to_string(), "BP");
+        assert_eq!(Dataplane::Cord.to_string(), "CoRD");
+    }
+}

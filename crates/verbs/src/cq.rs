@@ -1,0 +1,299 @@
+//! User-side completion queue wrapper: polling and event-driven waits with
+//! the right CPU billing for each dataplane.
+
+use cord_nic::{Cq, Cqe};
+use cord_sim::SimDuration;
+
+use crate::context::{Context, Dataplane};
+
+/// How a consumer waits for completions (§2's polling vs. interrupts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionWait {
+    /// Busy-poll the CQ (the RDMA default).
+    BusyPoll,
+    /// Arm the CQ and block on the completion channel (one interrupt per
+    /// wakeup — the paper's "no busy-polling" knob).
+    Event,
+}
+
+/// Estimated fraction of a CoRD poll loop iteration spent in the kernel;
+/// feeds the DVFS governor during accounted spin time.
+const CORD_SPIN_KERNEL_FRAC: f64 = 0.9;
+
+/// A user-space CQ handle.
+#[derive(Clone)]
+pub struct UserCq {
+    ctx: Context,
+    cq: Cq,
+}
+
+impl UserCq {
+    pub(crate) fn new(ctx: Context, cq: Cq) -> Self {
+        UserCq { ctx, cq }
+    }
+
+    /// Wrap an existing raw CQ (for middleware such as the MPI layer that
+    /// creates its objects through the control plane directly).
+    pub fn from_raw(ctx: Context, cq: Cq) -> Self {
+        UserCq { ctx, cq }
+    }
+
+    pub fn raw(&self) -> &Cq {
+        &self.cq
+    }
+
+    pub fn len(&self) -> usize {
+        self.cq.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cq.is_empty()
+    }
+
+    /// One `ibv_poll_cq` call: bills CPU per the dataplane, returns up to
+    /// `max` CQEs.
+    pub async fn poll(&self, max: usize) -> Vec<Cqe> {
+        let core = self.ctx.core().clone();
+        match self.ctx.mode() {
+            Dataplane::Bypass => {
+                let spec = core.spec();
+                core.compute_ns(spec.poll_empty_ns).await;
+                let cqes = self.cq.poll(max);
+                if !cqes.is_empty() {
+                    core.compute_ns(spec.poll_cqe_ns * cqes.len() as f64).await;
+                }
+                cqes
+            }
+            Dataplane::Cord => {
+                let cqes = self
+                    .ctx
+                    .kernel()
+                    .cord_poll_cq(&core, &self.cq, max)
+                    .await;
+                if !cqes.is_empty() {
+                    let spec = core.spec();
+                    core.compute_ns(spec.poll_cqe_ns * cqes.len() as f64).await;
+                }
+                cqes
+            }
+        }
+    }
+
+    /// Collect exactly `n` completions using the given wait strategy.
+    ///
+    /// Busy-polling is simulated without spinning through virtual time:
+    /// the waiter parks on the CQ's push notification, then performs one
+    /// more (billed) poll — which reproduces the detection-granularity
+    /// latency of a real poll loop — and retroactively accounts the spin
+    /// time to the core so the DVFS governor sees a hot core.
+    pub async fn wait_cqes(&self, n: usize, wait: CompletionWait) -> Vec<Cqe> {
+        let mut out = Vec::with_capacity(n);
+        let core = self.ctx.core().clone();
+        loop {
+            let got = self.poll(n - out.len()).await;
+            out.extend(got);
+            if out.len() >= n {
+                return out;
+            }
+            match wait {
+                CompletionWait::BusyPoll => {
+                    let start = core.sim().now();
+                    self.cq.wait_push().await;
+                    let spun = core.sim().now().since(start);
+                    if !spun.is_zero() {
+                        let kfrac = match self.ctx.mode() {
+                            Dataplane::Bypass => 0.0,
+                            Dataplane::Cord => CORD_SPIN_KERNEL_FRAC,
+                        };
+                        core.account_spin(spun, kfrac);
+                    }
+                }
+                CompletionWait::Event => {
+                    self.cq.arm();
+                    // Double-check after arming (the classic race).
+                    if self.cq.is_empty() {
+                        self.cq.wait_event().await;
+                    }
+                    core.interrupt_wakeup().await;
+                }
+            }
+        }
+    }
+
+    /// Convenience: wait for one completion, busy-polling.
+    pub async fn wait_one(&self) -> Cqe {
+        self.wait_cqes(1, CompletionWait::BusyPoll)
+            .await
+            .pop()
+            .expect("wait_cqes returns n")
+    }
+
+    /// One empty-poll's worth of virtual time at this dataplane — the
+    /// detection granularity of a busy-poll loop (used by latency harnesses
+    /// for reporting, not billed here).
+    pub fn poll_period(&self) -> SimDuration {
+        let spec = self.ctx.core().spec();
+        match self.ctx.mode() {
+            Dataplane::Bypass => SimDuration::from_ns_f64(spec.poll_empty_ns),
+            Dataplane::Cord => SimDuration::from_ns_f64(
+                spec.cord_crossing_ns + spec.cord_driver_ns + spec.poll_empty_ns,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Dataplane;
+    use cord_hw::{system_l, CoreId, Dvfs, Noise};
+    use cord_kern::Kernel;
+    use cord_nic::{build_cluster, CqeOpcode, CqeStatus, QpNum, WrId};
+    use cord_sim::{Sim, Trace};
+
+    fn ctx(sim: &Sim, mode: Dataplane) -> Context {
+        let spec = system_l();
+        let nics = build_cluster(sim, &spec, Trace::disabled());
+        let kern = Kernel::new(sim, &spec, nics[0].clone(), Trace::disabled());
+        let core = cord_hw::Core::new(
+            sim,
+            CoreId { node: 0, core: 0 },
+            &spec,
+            Dvfs::new(sim, spec.dvfs.clone()),
+            Noise::disabled(),
+        );
+        Context::open(core, kern, mode)
+    }
+
+    fn cqe(wr: u64) -> Cqe {
+        Cqe {
+            wr_id: WrId(wr),
+            status: CqeStatus::Success,
+            opcode: CqeOpcode::Send,
+            byte_len: 0,
+            qp: QpNum(1),
+            imm: None,
+            src_qp: None,
+            src_node: None,
+        }
+    }
+
+    #[test]
+    fn bypass_poll_costs_nanoseconds_cord_costs_a_syscall() {
+        let spec = system_l();
+        let mut costs = Vec::new();
+        for mode in [Dataplane::Bypass, Dataplane::Cord] {
+            let sim = Sim::new();
+            let c = ctx(&sim, mode);
+            let ucq = sim.block_on({
+                let c = c.clone();
+                async move { c.create_cq(64).await }
+            });
+            let before = sim.now();
+            sim.block_on({
+                let ucq = ucq.clone();
+                async move {
+                    let got = ucq.poll(16).await;
+                    assert!(got.is_empty());
+                }
+            });
+            costs.push(sim.now().since(before).as_ns_f64());
+        }
+        assert_eq!(costs[0], spec.cpu.poll_empty_ns);
+        assert_eq!(
+            costs[1],
+            spec.cpu.cord_crossing_ns + spec.cpu.cord_driver_ns
+        );
+    }
+
+    #[test]
+    fn wait_cqes_busy_poll_detects_after_arrival() {
+        let sim = Sim::new();
+        let c = ctx(&sim, Dataplane::Bypass);
+        let ucq = sim.block_on({
+            let c = c.clone();
+            async move { c.create_cq(64).await }
+        });
+        let raw = ucq.raw().clone();
+        let s = sim.clone();
+        let t = sim.block_on({
+            let ucq = ucq.clone();
+            let sim2 = sim.clone();
+            async move {
+                let start = sim2.now();
+                s.spawn({
+                    let s2 = s.clone();
+                    async move {
+                        s2.sleep(SimDuration::from_us(5)).await;
+                        raw.push(cqe(1));
+                    }
+                });
+                let got = ucq.wait_cqes(1, CompletionWait::BusyPoll).await;
+                assert_eq!(got.len(), 1);
+                sim2.now().since(start)
+            }
+        });
+        let us = t.as_us_f64();
+        assert!(us >= 5.0, "cannot detect before arrival");
+        assert!(us < 5.2, "busy-poll detects promptly: {us}");
+    }
+
+    #[test]
+    fn event_wait_adds_interrupt_cost() {
+        let spec = system_l();
+        let sim = Sim::new();
+        let c = ctx(&sim, Dataplane::Bypass);
+        let ucq = sim.block_on({
+            let c = c.clone();
+            async move { c.create_cq(64).await }
+        });
+        let raw = ucq.raw().clone();
+        let s = sim.clone();
+        let t = sim.block_on({
+            let ucq = ucq.clone();
+            let sim2 = sim.clone();
+            async move {
+                s.spawn({
+                    let s2 = s.clone();
+                    async move {
+                        s2.sleep(SimDuration::from_us(5)).await;
+                        raw.push(cqe(1));
+                    }
+                });
+                ucq.wait_cqes(1, CompletionWait::Event).await;
+                sim2.now()
+            }
+        });
+        let us = t.as_us_f64();
+        let floor = 5.0 + (spec.cpu.interrupt_ns + spec.cpu.wakeup_ns) / 1000.0;
+        assert!(us >= floor, "event wait {us} µs >= {floor} µs");
+    }
+
+    #[test]
+    fn spin_time_is_accounted_to_the_core() {
+        let sim = Sim::new();
+        let c = ctx(&sim, Dataplane::Bypass);
+        let core = c.core().clone();
+        let ucq = sim.block_on({
+            let c = c.clone();
+            async move { c.create_cq(64).await }
+        });
+        let raw = ucq.raw().clone();
+        let s = sim.clone();
+        sim.block_on({
+            let ucq = ucq.clone();
+            async move {
+                s.spawn({
+                    let s2 = s.clone();
+                    async move {
+                        s2.sleep(SimDuration::from_us(50)).await;
+                        raw.push(cqe(1));
+                    }
+                });
+                ucq.wait_cqes(1, CompletionWait::BusyPoll).await;
+            }
+        });
+        // The ~50 µs of spinning shows up as busy time.
+        assert!(core.busy_total() >= SimDuration::from_us(50));
+    }
+}

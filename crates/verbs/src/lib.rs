@@ -1,0 +1,31 @@
+//! # cord-verbs — the user-level verbs API
+//!
+//! The "narrow waist" of high-performance networking (§4 of the paper):
+//! contexts, protection of memory regions, completion queues, queue pairs,
+//! `post_send` / `post_recv` / `poll_cq`. The same API runs over two
+//! dataplanes, selected per endpoint:
+//!
+//! * [`Dataplane::Bypass`] — classical RDMA: the user-level driver writes
+//!   WQEs and rings MMIO doorbells directly; inline sends up to the NIC's
+//!   cap; CQ polling is a userspace load.
+//! * [`Dataplane::Cord`] — every data-plane op is a system call into the
+//!   CoRD kernel driver, which interposes policies and then drives the
+//!   same NIC. No inline support (the prototype limitation behind the
+//!   paper's Fig. 5a bimodality).
+//!
+//! Client and server choose modes independently — exactly the BP→CoRD /
+//! CoRD→BP / CoRD→CoRD matrix of Fig. 3.
+
+pub mod context;
+pub mod cq;
+pub mod qp;
+
+pub use context::{Context, Dataplane};
+pub use cq::{CompletionWait, UserCq};
+pub use qp::UserQp;
+
+// Re-export the vocabulary types callers need.
+pub use cord_nic::{
+    Access, Cqe, CqeOpcode, CqeStatus, LKey, Mr, Opcode, QpNum, QpState, RKey, RecvWqe, SendWqe,
+    Sge, Transport, UdDest, VerbsError, WrId,
+};

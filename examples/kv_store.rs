@@ -1,0 +1,174 @@
+//! An RDMA key-value store in the FaRM/HERD style (§4 cites both as
+//! ibverbs consumers): GETs are one-sided RDMA reads of a server-resident
+//! hash table; PUTs are two-sided RPCs. The same store runs over bypass
+//! and over CoRD — the paper's claim is that the switch costs almost
+//! nothing, and here you can watch it cost ~half a microsecond.
+//!
+//! Run with: `cargo run --release --example kv_store`
+
+use cord_core::prelude::*;
+
+const SLOTS: usize = 1024;
+const VAL_LEN: usize = 64;
+const SLOT_LEN: usize = 8 + VAL_LEN; // key + value
+
+/// Direct-mapped table (the demo uses dense keys; a production store would
+/// hash and handle collisions — see HERD's lossy index for the real thing).
+fn slot_of(key: u64) -> usize {
+    key as usize % SLOTS
+}
+
+fn run(mode: Dataplane) -> (f64, f64) {
+    let fabric = Fabric::builder(system_l()).build();
+    let server = fabric.new_context(1, Dataplane::Bypass);
+    let client = fabric.new_context(0, mode);
+    let sim = fabric.sim().clone();
+
+    fabric.block_on(async move {
+        // --- server: registered table + RPC queue pair -------------------
+        let table = server.alloc(SLOTS * SLOT_LEN, 0);
+        let table_mr = server
+            .reg_mr(table, Access::LOCAL_WRITE.union(Access::REMOTE_READ))
+            .await;
+        let s_scq = server.create_cq(256).await;
+        let s_rcq = server.create_cq(256).await;
+        let c_scq = client.create_cq(256).await;
+        let c_rcq = client.create_cq(256).await;
+        let sqp = server.create_qp(Transport::Rc, &s_scq, &s_rcq).await;
+        let cqp = client.create_qp(Transport::Rc, &c_scq, &c_rcq).await;
+        connect_rc_pair(&cqp, &sqp).await.unwrap();
+
+        // RPC buffers for PUTs.
+        let s_rpc = server.alloc(SLOT_LEN, 0);
+        let s_rpc_mr = server.reg_mr(s_rpc, Access::all()).await;
+        let s_ack = server.alloc(8, 0);
+        let s_ack_mr = server.reg_mr(s_ack, Access::all()).await;
+
+        // Server task: take PUT RPCs, install into the table, ack.
+        let server_task = {
+            let server = server.clone();
+            let sqp = sqp.clone();
+            let cqp_n = (cqp.node(), cqp.qpn());
+            sim.spawn(async move {
+                let _ = cqp_n;
+                loop {
+                    sqp.post_recv(RecvWqe::new(
+                        WrId(1),
+                        Sge {
+                            addr: s_rpc.addr,
+                            len: SLOT_LEN,
+                            lkey: s_rpc_mr.lkey,
+                        },
+                    ))
+                    .await
+                    .unwrap();
+                    let cqe = sqp.recv_cq().wait_one().await;
+                    if cqe.status != CqeStatus::Success {
+                        return;
+                    }
+                    // Install key+value into the table slot.
+                    let rpc = server.mem().read(s_rpc.addr, SLOT_LEN).unwrap();
+                    let key = u64::from_le_bytes(rpc[..8].try_into().unwrap());
+                    let slot = table.addr + (slot_of(key) * SLOT_LEN) as u64;
+                    server.core().compute_ns(80.0).await; // hash + install
+                    server.mem().write(slot, &rpc).unwrap();
+                    // Ack.
+                    sqp.post_send(SendWqe::send(
+                        WrId(2),
+                        Sge {
+                            addr: s_ack.addr,
+                            len: 8,
+                            lkey: s_ack_mr.lkey,
+                        },
+                    ))
+                    .await
+                    .unwrap();
+                }
+            })
+        };
+
+        // --- client -------------------------------------------------------
+        let c_buf = client.alloc(SLOT_LEN, 0);
+        let c_mr = client.reg_mr(c_buf, Access::all()).await;
+        let n = 200u64;
+
+        // PUTs (two-sided RPC).
+        let t0 = sim.now();
+        for key in 0..n {
+            client
+                .mem()
+                .write(c_buf.addr, &key.to_le_bytes())
+                .unwrap();
+            client
+                .mem()
+                .write(c_buf.addr + 8, &[key as u8; VAL_LEN])
+                .unwrap();
+            cqp.post_recv(RecvWqe::new(
+                WrId(3),
+                Sge {
+                    addr: c_buf.addr,
+                    len: 8,
+                    lkey: c_mr.lkey,
+                },
+            ))
+            .await
+            .unwrap();
+            // Unsignaled: the server's ack is the completion we care about
+            // (and it keeps the send CQ clean for the GET phase).
+            cqp.post_send(
+                SendWqe::send(
+                    WrId(4),
+                    Sge {
+                        addr: c_buf.addr,
+                        len: SLOT_LEN,
+                        lkey: c_mr.lkey,
+                    },
+                )
+                .unsignaled(),
+            )
+            .await
+            .unwrap();
+            cqp.recv_cq().wait_one().await; // server ack
+        }
+        let put_us = sim.now().since(t0).as_us_f64() / n as f64;
+
+        // GETs (one-sided RDMA read; server CPU idle).
+        let t0 = sim.now();
+        for key in 0..n {
+            let slot = table.addr + (slot_of(key) * SLOT_LEN) as u64;
+            cqp.post_send(SendWqe::read(
+                WrId(5),
+                Sge {
+                    addr: c_buf.addr,
+                    len: SLOT_LEN,
+                    lkey: c_mr.lkey,
+                },
+                slot,
+                table_mr.rkey,
+            ))
+            .await
+            .unwrap();
+            cqp.send_cq().wait_one().await;
+            let got = client.mem().read(c_buf.addr, SLOT_LEN).unwrap();
+            let gk = u64::from_le_bytes(got[..8].try_into().unwrap());
+            assert_eq!(gk, key, "GET returned the PUT value");
+            assert_eq!(got[8], key as u8);
+        }
+        let get_us = sim.now().since(t0).as_us_f64() / n as f64;
+        drop(server_task);
+        (put_us, get_us)
+    })
+}
+
+fn main() {
+    let (put_bp, get_bp) = run(Dataplane::Bypass);
+    let (put_cd, get_cd) = run(Dataplane::Cord);
+    println!("KV store over RDMA (200 PUTs + 200 verified GETs):");
+    println!("  bypass: PUT {put_bp:.2} µs   GET {get_bp:.2} µs");
+    println!("  CoRD:   PUT {put_cd:.2} µs   GET {get_cd:.2} µs");
+    println!(
+        "  CoRD overhead: PUT {:+.2} µs, GET {:+.2} µs — the OS is on the data path for well under a microsecond",
+        put_cd - put_bp,
+        get_cd - get_bp
+    );
+}

@@ -1,0 +1,30 @@
+//! A miniature Fig. 6 campaign: run a subset of the NPB suite at small
+//! scale over all three transports and print relative runtimes.
+//! (For the full 32-rank class-A campaign, use
+//! `cargo run --release -p cord-bench --bin fig6`.)
+//!
+//! Run with: `cargo run --release --example npb_campaign`
+
+use cord_core::prelude::*;
+use cord_mpi::MpiTransport;
+use cord_npb::{run_benchmark, Bench, Class};
+
+fn main() {
+    let ranks = 8;
+    println!("NPB mini-campaign: class S, {ranks} ranks, system A");
+    println!("{:>4} {:>12} {:>10} {:>10}", "", "RDMA µs", "CoRD rel", "IPoIB rel");
+    for bench in [Bench::Is, Bench::Ep, Bench::Cg, Bench::Sp] {
+        let run = |t| run_benchmark(system_a(), bench, Class::S, ranks, t, 11);
+        let rdma = run(MpiTransport::Verbs(Dataplane::Bypass));
+        let cord = run(MpiTransport::Verbs(Dataplane::Cord));
+        let ipoib = run(MpiTransport::Ipoib);
+        println!(
+            "{:>4} {:>12.0} {:>10.3} {:>10.3}",
+            bench.label(),
+            rdma.runtime_us,
+            cord.runtime_us / rdma.runtime_us,
+            ipoib.runtime_us / rdma.runtime_us,
+        );
+    }
+    println!("\nCoRD tracks kernel-bypass RDMA; IPoIB pays for the full network stack.");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: bring up a two-node fabric, connect a CoRD client to a
+//! bypass server, and move real bytes — the smallest end-to-end CoRD
+//! program.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cord_core::prelude::*;
+
+fn main() {
+    // A simulated instance of the paper's system L: two nodes, back-to-back
+    // 100 Gbit/s, ConnectX-6-class NICs.
+    let fabric = Fabric::builder(system_l()).build();
+
+    // The client routes every data-plane verb through the kernel (CoRD);
+    // the server uses classical kernel bypass. Endpoints choose freely.
+    let client = fabric.new_context(0, Dataplane::Cord);
+    let server = fabric.new_context(1, Dataplane::Bypass);
+
+    let elapsed = fabric.block_on(async move {
+        // Control plane (identical under both dataplanes): CQs, QPs, MRs.
+        let c_scq = client.create_cq(64).await;
+        let c_rcq = client.create_cq(64).await;
+        let s_scq = server.create_cq(64).await;
+        let s_rcq = server.create_cq(64).await;
+        let cqp = client.create_qp(Transport::Rc, &c_scq, &c_rcq).await;
+        let sqp = server.create_qp(Transport::Rc, &s_scq, &s_rcq).await;
+        connect_rc_pair(&cqp, &sqp).await.unwrap();
+
+        let msg = b"hello through the kernel!";
+        let src = client.alloc_from(msg);
+        let dst = server.alloc(64, 0);
+        let src_mr = client.reg_mr(src, Access::all()).await;
+        let dst_mr = server.reg_mr(dst, Access::all()).await;
+
+        // Server posts a receive; client sends. Under CoRD, the post_send
+        // below is a system call into the kernel driver — which is exactly
+        // the point: the OS sees (and could police) this operation.
+        sqp.post_recv(RecvWqe::new(
+            WrId(1),
+            Sge {
+                addr: dst.addr,
+                len: dst.len,
+                lkey: dst_mr.lkey,
+            },
+        ))
+        .await
+        .unwrap();
+
+        let t0 = client.core().sim().now();
+        cqp.post_send(SendWqe::send(
+            WrId(2),
+            Sge {
+                addr: src.addr,
+                len: msg.len(),
+                lkey: src_mr.lkey,
+            },
+        ))
+        .await
+        .unwrap();
+
+        let cqe = sqp.recv_cq().wait_one().await;
+        let elapsed = client.core().sim().now().since(t0);
+        assert_eq!(cqe.status, CqeStatus::Success);
+        let got = server.mem().read(dst.addr, msg.len()).unwrap();
+        assert_eq!(&got[..], msg);
+        println!("server received: {:?}", String::from_utf8_lossy(&got));
+        elapsed
+    });
+
+    println!("one-way delivery took {elapsed} of virtual time");
+    println!("(the client's post_send went through the CoRD kernel driver)");
+}

@@ -1,0 +1,11 @@
+//! Root facade crate: re-exports the whole CoRD workspace for the examples
+//! and integration tests. See `cord-core` for the primary API.
+pub use cord_core as core;
+pub use cord_hw as hw;
+pub use cord_kern as kern;
+pub use cord_mpi as mpi;
+pub use cord_nic as nic;
+pub use cord_npb as npb;
+pub use cord_perftest as perftest;
+pub use cord_sim as sim;
+pub use cord_verbs as verbs;

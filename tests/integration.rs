@@ -1,0 +1,235 @@
+//! Cross-crate integration tests: the full stack from the facade down.
+
+use std::rc::Rc;
+
+use cord_core::prelude::*;
+use cord_perftest::{run_on, run_test, TestOp, TestSpec};
+
+/// The paper's §4 security claim, end to end through the user API: an
+/// invalid remote address errors without touching memory, under both
+/// dataplanes.
+#[test]
+fn invalid_remote_access_is_contained_under_both_dataplanes() {
+    for mode in [Dataplane::Bypass, Dataplane::Cord] {
+        let fabric = Fabric::builder(system_l()).build();
+        let attacker = fabric.new_context(0, mode);
+        let victim = fabric.new_context(1, Dataplane::Bypass);
+        fabric.block_on(async move {
+            let a_scq = attacker.create_cq(64).await;
+            let a_rcq = attacker.create_cq(64).await;
+            let v_scq = victim.create_cq(64).await;
+            let v_rcq = victim.create_cq(64).await;
+            let aqp = attacker.create_qp(Transport::Rc, &a_scq, &a_rcq).await;
+            let vqp = victim.create_qp(Transport::Rc, &v_scq, &v_rcq).await;
+            connect_rc_pair(&aqp, &vqp).await.unwrap();
+
+            // The victim registers a secret WITHOUT remote permissions.
+            let secret = victim.alloc_from(b"top secret");
+            let secret_mr = victim.reg_mr(secret, Access::LOCAL_WRITE).await;
+            let probe = attacker.alloc(64, 0);
+            let probe_mr = attacker.reg_mr(probe, Access::all()).await;
+
+            aqp.post_send(SendWqe::read(
+                WrId(1),
+                Sge {
+                    addr: probe.addr,
+                    len: 10,
+                    lkey: probe_mr.lkey,
+                },
+                secret.addr,
+                secret_mr.rkey,
+            ))
+            .await
+            .unwrap();
+            let cqe = aqp.send_cq().wait_one().await;
+            assert_eq!(cqe.status, CqeStatus::RemoteAccessErr, "{mode}");
+            // Nothing leaked into the probe buffer.
+            let leaked = attacker.mem().read(probe.addr, 10).unwrap();
+            assert!(leaked.iter().all(|&b| b == 0), "{mode}");
+        });
+    }
+}
+
+/// The headline claim, end to end: a CoRD endpoint is interposable while a
+/// bypass endpoint is invisible to the OS — with identical wire behaviour.
+#[test]
+fn kernel_sees_cord_traffic_but_not_bypass_traffic() {
+    for (mode, expect_posts) in [(Dataplane::Bypass, 0u64), (Dataplane::Cord, 50)] {
+        let fabric = Fabric::builder(system_l()).build();
+        let spec = TestSpec::new(TestOp::WriteBw)
+            .size(8192)
+            .iters(50)
+            .modes(mode, Dataplane::Bypass);
+        let m = run_on(&fabric, spec);
+        assert!(m.bw_gbps > 0.0);
+        let (posts, _polls, denials) = fabric.kernel(0).counters();
+        assert_eq!(denials, 0);
+        if expect_posts == 0 {
+            assert_eq!(posts, 0, "bypass dataplane is invisible to the kernel");
+        } else {
+            assert!(posts >= expect_posts, "CoRD ops all pass the kernel: {posts}");
+        }
+    }
+}
+
+/// Observability policy sees exactly the traffic a CoRD tenant generates.
+#[test]
+fn observe_policy_accounts_traffic_exactly() {
+    let fabric = Fabric::builder(system_l()).build();
+    let obs = Rc::new(ObservePolicy::new());
+    fabric.kernel(0).add_policy(obs.clone());
+    let iters = 64;
+    let size = 4096;
+    run_on(
+        &fabric,
+        TestSpec::new(TestOp::SendBw)
+            .size(size)
+            .iters(iters)
+            .modes(Dataplane::Cord, Dataplane::Bypass),
+    );
+    let total: u64 = obs.all().iter().map(|(_, s)| s.bytes_posted).sum();
+    assert_eq!(total, (iters * size) as u64);
+}
+
+/// QoS policy: a low-priority tenant is stalled while a high-priority one
+/// is active; latency reflects it.
+#[test]
+fn qos_policy_prioritizes() {
+    let fabric = Fabric::builder(system_l()).build();
+    let qos = Rc::new(QosPolicy::new(
+        SimDuration::from_ms(10),
+        SimDuration::from_us(5),
+    ));
+    fabric.kernel(0).add_policy(qos.clone());
+    let hi = fabric.new_context(0, Dataplane::Cord);
+    let lo = fabric.new_context(0, Dataplane::Cord);
+    let peer = fabric.new_context(1, Dataplane::Bypass);
+    let qos2 = qos.clone();
+    fabric.block_on(async move {
+        let mk = |ctx: Context, peer: Context| async move {
+            let scq = ctx.create_cq(64).await;
+            let rcq = ctx.create_cq(64).await;
+            let p_scq = peer.create_cq(64).await;
+            let p_rcq = peer.create_cq(64).await;
+            let q = ctx.create_qp(Transport::Rc, &scq, &rcq).await;
+            let pq = peer.create_qp(Transport::Rc, &p_scq, &p_rcq).await;
+            connect_rc_pair(&q, &pq).await.unwrap();
+            let buf = ctx.alloc(64, 1);
+            let mr = ctx.reg_mr(buf, Access::all()).await;
+            let rbuf = peer.alloc(64, 0);
+            let rmr = peer.reg_mr(rbuf, Access::all()).await;
+            (q, buf, mr, rbuf, rmr)
+        };
+        let (hq, hbuf, hmr, hr, hrm) = mk(hi.clone(), peer.clone()).await;
+        let (lq, lbuf, lmr, lr, lrm) = mk(lo.clone(), peer.clone()).await;
+        qos2.classify(hq.qpn().0, QosClass::High);
+        qos2.classify(lq.qpn().0, QosClass::Low);
+
+        // High-priority activity...
+        hq.post_send(SendWqe::write(
+            WrId(1),
+            Sge {
+                addr: hbuf.addr,
+                len: 64,
+                lkey: hmr.lkey,
+            },
+            hr.addr,
+            hrm.rkey,
+        ))
+        .await
+        .unwrap();
+        // ...makes the low-priority post stall by the penalty.
+        let sim = lo.core().sim().clone();
+        let t0 = sim.now();
+        lq.post_send(SendWqe::write(
+            WrId(2),
+            Sge {
+                addr: lbuf.addr,
+                len: 64,
+                lkey: lmr.lkey,
+            },
+            lr.addr,
+            lrm.rkey,
+        ))
+        .await
+        .unwrap();
+        let stalled = sim.now().since(t0);
+        assert!(
+            stalled >= SimDuration::from_us(5),
+            "low-priority post stalled only {stalled}"
+        );
+    });
+}
+
+/// Dataplane modes interoperate in all four pairings at the raw verb level
+/// and produce identical payloads.
+#[test]
+fn four_mode_matrix_delivers_identical_bytes() {
+    let reference: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
+    for (cm, sm) in [
+        (Dataplane::Bypass, Dataplane::Bypass),
+        (Dataplane::Bypass, Dataplane::Cord),
+        (Dataplane::Cord, Dataplane::Bypass),
+        (Dataplane::Cord, Dataplane::Cord),
+    ] {
+        let fabric = Fabric::builder(system_a()).build();
+        let a = fabric.new_context(0, cm);
+        let b = fabric.new_context(1, sm);
+        let data = reference.clone();
+        let ok = fabric.block_on(async move {
+            let a_scq = a.create_cq(64).await;
+            let a_rcq = a.create_cq(64).await;
+            let b_scq = b.create_cq(64).await;
+            let b_rcq = b.create_cq(64).await;
+            let qa = a.create_qp(Transport::Rc, &a_scq, &a_rcq).await;
+            let qb = b.create_qp(Transport::Rc, &b_scq, &b_rcq).await;
+            connect_rc_pair(&qa, &qb).await.unwrap();
+            let src = a.alloc_from(&data);
+            let dst = b.alloc(data.len(), 0);
+            let mra = a.reg_mr(src, Access::all()).await;
+            let mrb = b.reg_mr(dst, Access::all()).await;
+            qb.post_recv(RecvWqe::new(
+                WrId(1),
+                Sge {
+                    addr: dst.addr,
+                    len: data.len(),
+                    lkey: mrb.lkey,
+                },
+            ))
+            .await
+            .unwrap();
+            qa.post_send(SendWqe::send(
+                WrId(2),
+                Sge {
+                    addr: src.addr,
+                    len: data.len(),
+                    lkey: mra.lkey,
+                },
+            ))
+            .await
+            .unwrap();
+            qb.recv_cq().wait_one().await;
+            b.mem().read(dst.addr, data.len()).unwrap()[..] == data[..]
+        });
+        assert!(ok, "{cm}->{sm}");
+    }
+}
+
+/// End-to-end determinism across the whole stack: perftest measurements
+/// repeat bit-for-bit with the same seed, and differ with another seed on
+/// the noisy machine.
+#[test]
+fn measurements_are_seed_deterministic() {
+    let spec = || {
+        TestSpec::new(TestOp::SendLat)
+            .size(4096)
+            .iters(30)
+            .warmup(5)
+            .modes(Dataplane::Cord, Dataplane::Cord)
+    };
+    let a = run_test(system_a(), spec(), 1);
+    let b = run_test(system_a(), spec(), 1);
+    let c = run_test(system_a(), spec(), 2);
+    assert_eq!(a.lat_avg_us, b.lat_avg_us);
+    assert_ne!(a.lat_avg_us, c.lat_avg_us, "noise differs across seeds");
+}
