@@ -20,7 +20,10 @@ fn bench_fig1(c: &mut Criterion) {
         b.iter(|| {
             black_box(run_test(
                 system_l(),
-                TestSpec::new(TestOp::SendLat).size(4096).iters(30).warmup(5),
+                TestSpec::new(TestOp::SendLat)
+                    .size(4096)
+                    .iters(30)
+                    .warmup(5),
                 1,
             ))
         })
@@ -105,7 +108,10 @@ fn bench_fig5(c: &mut Criterion) {
         b.iter(|| {
             let base = run_test(
                 system_a(),
-                TestSpec::new(TestOp::SendLat).size(4096).iters(30).warmup(5),
+                TestSpec::new(TestOp::SendLat)
+                    .size(4096)
+                    .iters(30)
+                    .warmup(5),
                 5,
             );
             let cord = run_test(

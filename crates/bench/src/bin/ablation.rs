@@ -34,7 +34,10 @@ fn main() {
             let run = |c, s2| {
                 run_test(
                     system_l(),
-                    TestSpec::new(TestOp::SendBw).size(size).iters(iters).modes(c, s2),
+                    TestSpec::new(TestOp::SendBw)
+                        .size(size)
+                        .iters(iters)
+                        .modes(c, s2),
                     3,
                 )
             };
@@ -54,11 +57,16 @@ fn main() {
     let mut breaking = Vec::new();
     for threshold in [0.95, 0.75, 0.50] {
         // Largest size still degraded below the threshold.
-        let bp = rels.iter().rev().find(|(_, r)| *r < threshold).map(|(s, _)| *s);
+        let bp = rels
+            .iter()
+            .rev()
+            .find(|(_, r)| *r < threshold)
+            .map(|(s, _)| *s);
         println!(
             "CoRD loses >{:.0}% below message size: {}",
             (1.0 - threshold) * 100.0,
-            bp.map(|s| format!("{s} B")).unwrap_or_else(|| "never".into())
+            bp.map(|s| format!("{s} B"))
+                .unwrap_or_else(|| "never".into())
         );
         breaking.push((threshold, bp));
     }
@@ -74,15 +82,16 @@ fn main() {
         let run = |machine: cord_hw::MachineSpec, c, s2| {
             run_test(
                 machine,
-                TestSpec::new(TestOp::SendBw).size(size).iters(iters).modes(c, s2),
+                TestSpec::new(TestOp::SendBw)
+                    .size(size)
+                    .iters(iters)
+                    .modes(c, s2),
                 3,
             )
         };
         use Dataplane::{Bypass as BP, Cord as CD};
         let rel = run(m.clone(), CD, CD).bw_gbps / run(m, BP, BP).bw_gbps;
-        println!(
-            "crossing cost ×{factor:*<4}: CoRD relative throughput at 512 B = {rel:.3}"
-        );
+        println!("crossing cost ×{factor:*<4}: CoRD relative throughput at 512 B = {rel:.3}");
         sensitivity.push((factor, rel));
     }
     println!("(the paper's future work: 'strive for a smaller per-message overhead')");

@@ -94,7 +94,10 @@ fn main() {
                 let iters = iters_for(size, 256 << 20, 100, 2000);
                 let m = run_test(
                     system_l(),
-                    TestSpec::new(TestOp::SendBw).size(size).iters(iters).knobs(knobs),
+                    TestSpec::new(TestOp::SendBw)
+                        .size(size)
+                        .iters(iters)
+                        .knobs(knobs),
                     1,
                 );
                 (size, m.bw_gbps / base)
@@ -120,9 +123,7 @@ fn main() {
         &["size B", "base Gb/s", "no-KB", "no-poll", "no-ZC"],
         &rows,
     );
-    println!(
-        "\nbaseline small-message bandwidth: {baseline_small:.2} Gbit/s (paper: ~1.4)",
-    );
+    println!("\nbaseline small-message bandwidth: {baseline_small:.2} Gbit/s (paper: ~1.4)",);
 
     save_json(
         "fig1",

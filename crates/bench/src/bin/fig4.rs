@@ -44,7 +44,11 @@ fn main() {
                     let run = |c, s2| {
                         run_test(
                             system_l(),
-                            TestSpec::new(op).transport(tr).size(size).iters(iters).modes(c, s2),
+                            TestSpec::new(op)
+                                .transport(tr)
+                                .size(size)
+                                .iters(iters)
+                                .modes(c, s2),
                             1,
                         )
                     };
@@ -78,7 +82,10 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Fig. 4 [{}]: CoRD relative throughput, system L", series.mode),
+            &format!(
+                "Fig. 4 [{}]: CoRD relative throughput, system L",
+                series.mode
+            ),
             &["size B", "rel tput", "bypass Mmsg/s"],
             &rows,
         );

@@ -109,7 +109,11 @@ fn main() {
                 let run = |c, s2| {
                     run_test(
                         system_a(),
-                        TestSpec::new(op).transport(tr).size(size).iters(iters).modes(c, s2),
+                        TestSpec::new(op)
+                            .transport(tr)
+                            .size(size)
+                            .iters(iters)
+                            .modes(c, s2),
                         9,
                     )
                 };

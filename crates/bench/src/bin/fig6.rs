@@ -65,10 +65,24 @@ fn main() {
         })
         .collect();
     print_table(
-        &format!("Fig. 6: NPB relative runtime, system A, class {} ({} ranks wanted)", class.label(), ranks),
-        &["bench", "ranks", "RDMA µs", "CoRD rel", "IPoIB rel", "Gb/s/rank", "msg/s/rank"],
+        &format!(
+            "Fig. 6: NPB relative runtime, system A, class {} ({} ranks wanted)",
+            class.label(),
+            ranks
+        ),
+        &[
+            "bench",
+            "ranks",
+            "RDMA µs",
+            "CoRD rel",
+            "IPoIB rel",
+            "Gb/s/rank",
+            "msg/s/rank",
+        ],
         &rows,
     );
-    println!("\npaper shape: CoRD ≈ 1.0 (EP/CG slightly <1 via DVFS); IPoIB up to 2× (worst: IS, SP)");
+    println!(
+        "\npaper shape: CoRD ≈ 1.0 (EP/CG slightly <1 via DVFS); IPoIB up to 2× (worst: IS, SP)"
+    );
     save_json("fig6", &results);
 }

@@ -1,0 +1,106 @@
+//! `loadgen` — run named multi-tenant traffic scenarios on a simulated
+//! cluster and persist the per-tenant SLO scoreboard.
+//!
+//! ```text
+//! cargo run --release --bin loadgen -- incast
+//! cargo run --release --bin loadgen -- all --nodes 16 --tenants 32
+//! cargo run --release --bin loadgen -- mixed --requests 300 --seed 7
+//! ```
+//!
+//! Results land in `results/loadgen_<scenario>.json`. Runs are
+//! deterministic: the same arguments produce byte-identical JSON.
+
+use cord_bench::{print_table, save_json};
+use cord_workload::scenarios::{self, Scale};
+use cord_workload::{run_scenario, ScenarioReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen <scenario|all> [--nodes N] [--tenants T] [--requests R] [--seed S]\n\
+         scenarios: {}",
+        scenarios::NAMES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Vec<String>, Scale) {
+    let mut args = std::env::args().skip(1);
+    let Some(which) = args.next() else { usage() };
+    if which.starts_with('-') {
+        usage();
+    }
+    let mut scale = Scale::default();
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        let parse = |v: &str| v.parse::<u64>().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--nodes" => scale.nodes = parse(&value).max(2) as usize,
+            "--tenants" => scale.tenants = parse(&value).max(1) as usize,
+            "--requests" => scale.requests = parse(&value).max(1) as usize,
+            "--seed" => scale.seed = parse(&value),
+            _ => usage(),
+        }
+    }
+    let names: Vec<String> = if which == "all" {
+        scenarios::NAMES.iter().map(|s| s.to_string()).collect()
+    } else {
+        vec![which]
+    };
+    (names, scale)
+}
+
+fn show(report: &ScenarioReport) {
+    let rows: Vec<Vec<String>> = report
+        .tenants
+        .iter()
+        .map(|t| {
+            vec![
+                t.tenant.clone(),
+                format!("{}", t.issued),
+                format!("{}", t.completed),
+                format!("{}", t.dropped),
+                format!("{:.2}", t.p50_us),
+                format!("{:.2}", t.p99_us),
+                format!("{:.2}", t.p999_us),
+                format!("{:.3}", t.goodput_gbps),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "{} — {} nodes, {} tenants, {} QPs, {:.3} ms virtual",
+            report.scenario,
+            report.nodes,
+            report.tenants.len(),
+            report.qps_created,
+            report.elapsed_ms
+        ),
+        &[
+            "tenant", "issued", "done", "drop", "p50 µs", "p99 µs", "p999 µs", "Gb/s",
+        ],
+        &rows,
+    );
+    println!(
+        "totals: {} completed, {} policy drops, {:.2} Gbit/s aggregate goodput",
+        report.total_completed, report.total_dropped, report.total_goodput_gbps
+    );
+}
+
+fn main() {
+    let (names, scale) = parse_args();
+    for name in &names {
+        let Some(spec) = scenarios::by_name(name, scale) else {
+            eprintln!("unknown scenario: {name}");
+            usage();
+        };
+        let report = match run_scenario(&spec) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{name}: {e}");
+                std::process::exit(1);
+            }
+        };
+        show(&report);
+        save_json(&format!("loadgen_{name}"), &report);
+    }
+}

@@ -30,11 +30,17 @@ fn lat_with(policies: &str, install: impl Fn(&Kernel)) -> f64 {
     m.lat_avg_us
 }
 
+/// A named policy-chain installer.
+type Install = Box<dyn Fn(&Kernel)>;
+
 fn main() {
     // --- Policy chain costs ----------------------------------------------
     let base = lat_with("none", |_| {});
-    let chains: Vec<(&str, Box<dyn Fn(&Kernel)>)> = vec![
-        ("observe", Box::new(|k: &Kernel| k.add_policy(Rc::new(ObservePolicy::new())))),
+    let chains: Vec<(&str, Install)> = vec![
+        (
+            "observe",
+            Box::new(|k: &Kernel| k.add_policy(Rc::new(ObservePolicy::new()))),
+        ),
         (
             "security",
             Box::new(|k: &Kernel| {
@@ -91,7 +97,9 @@ fn main() {
     // --- Rate limiter actually limits -------------------------------------
     {
         let fabric = Fabric::builder(system_l()).seed(4).build();
-        fabric.kernel(0).add_policy(Rc::new(RateLimitPolicy::new(5.0, 1e9)));
+        fabric
+            .kernel(0)
+            .add_policy(Rc::new(RateLimitPolicy::new(5.0, 1e9)));
         let m = run_on(
             &fabric,
             TestSpec::new(TestOp::SendBw)

@@ -65,10 +65,8 @@ impl Core {
         if kernel {
             self.kernel_total.set(self.kernel_total.get() + scaled);
         }
-        self.dvfs.record(
-            scaled,
-            if kernel { scaled } else { SimDuration::ZERO },
-        );
+        self.dvfs
+            .record(scaled, if kernel { scaled } else { SimDuration::ZERO });
     }
 
     /// Burn user-mode CPU time.
@@ -224,7 +222,13 @@ mod tests {
         let mut m = system_l();
         m.kpti = true;
         let dvfs = Dvfs::new(&sim, m.dvfs.clone());
-        let core = Core::new(&sim, CoreId { node: 0, core: 0 }, &m, dvfs, Noise::disabled());
+        let core = Core::new(
+            &sim,
+            CoreId { node: 0, core: 0 },
+            &m,
+            dvfs,
+            Noise::disabled(),
+        );
         let t = sim.block_on({
             let sim = sim.clone();
             let core = core.clone();
@@ -274,7 +278,13 @@ mod tests {
         let mut m = system_l();
         m.dvfs.turbo = true;
         let dvfs = Dvfs::new(&sim, m.dvfs.clone());
-        let core = Core::new(&sim, CoreId { node: 0, core: 0 }, &m, dvfs, Noise::disabled());
+        let core = Core::new(
+            &sim,
+            CoreId { node: 0, core: 0 },
+            &m,
+            dvfs,
+            Noise::disabled(),
+        );
         sim.block_on({
             let core = core.clone();
             async move {

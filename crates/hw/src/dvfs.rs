@@ -94,7 +94,10 @@ mod tests {
         let d = Dvfs::new(&sim, spec(false));
         d.record(SimDuration::from_us(100), SimDuration::from_us(100));
         assert_eq!(d.freq_factor(), 1.0);
-        assert_eq!(d.scale(SimDuration::from_ns(1000)), SimDuration::from_ns(1000));
+        assert_eq!(
+            d.scale(SimDuration::from_ns(1000)),
+            SimDuration::from_ns(1000)
+        );
     }
 
     #[test]

@@ -319,7 +319,10 @@ pub fn system_a() -> MachineSpec {
 impl MachineSpec {
     /// Wire time for `bytes` of payload in one packet, including headers.
     pub fn wire_time(&self, payload_bytes: usize) -> SimDuration {
-        cord_sim::transmission_time((payload_bytes + self.nic.header_bytes) as u64, self.link.gbps)
+        cord_sim::transmission_time(
+            (payload_bytes + self.nic.header_bytes) as u64,
+            self.link.gbps,
+        )
     }
 
     /// DMA streaming time for `bytes` (excluding transaction latency).
@@ -335,8 +338,7 @@ impl MachineSpec {
         } else {
             self.cpu.memcpy_cold_gbps
         };
-        SimDuration::from_ns_f64(self.cpu.memcpy_setup_ns)
-            + cord_sim::copy_time(bytes as u64, rate)
+        SimDuration::from_ns_f64(self.cpu.memcpy_setup_ns) + cord_sim::copy_time(bytes as u64, rate)
     }
 
     /// Number of MTU-sized fragments for a message of `len` bytes.
@@ -366,7 +368,10 @@ mod tests {
             "virtualized kernel entries are slower"
         );
         assert!(a.nic.inline_cap > l.nic.inline_cap);
-        assert!(!l.nic.cord_inline && !a.nic.cord_inline, "prototype lacks inline (§5)");
+        assert!(
+            !l.nic.cord_inline && !a.nic.cord_inline,
+            "prototype lacks inline (§5)"
+        );
         assert!(!l.kpti && !a.kpti, "KPTI disabled on both (§5)");
     }
 

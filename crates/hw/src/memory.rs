@@ -21,7 +21,10 @@ impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemError::OutOfBounds { addr, len } => {
-                write!(f, "guest memory access out of bounds: addr={addr:#x} len={len}")
+                write!(
+                    f,
+                    "guest memory access out of bounds: addr={addr:#x} len={len}"
+                )
             }
         }
     }

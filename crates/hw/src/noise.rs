@@ -78,7 +78,9 @@ mod tests {
             DetRng::from_seed(42),
         );
         let nominal = SimDuration::from_ns(1000);
-        let samples: Vec<f64> = (0..5000).map(|_| n.kernel_cost(nominal).as_ns_f64()).collect();
+        let samples: Vec<f64> = (0..5000)
+            .map(|_| n.kernel_cost(nominal).as_ns_f64())
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         // Lognormal mean = exp(sigma^2/2) * median ≈ 1.02 * 1000.
         assert!((mean - 1020.0).abs() < 40.0, "mean {mean}");

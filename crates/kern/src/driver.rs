@@ -116,7 +116,10 @@ impl Kernel {
                     self.inner
                         .trace
                         .record(self.inner.sim.now(), TraceCategory::Policy, || {
-                            format!("node{} qp{} post_send denied: {reason}", self.inner.node, qpn.0)
+                            format!(
+                                "node{} qp{} post_send denied: {reason}",
+                                self.inner.node, qpn.0
+                            )
                         });
                     return Err(VerbsError::PolicyDenied(reason));
                 }

@@ -17,7 +17,9 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use cord_hw::{Core, GuestMem, MachineSpec, MemRegion};
-use cord_nic::{Access, Cq, Mr, Nic, QpNum, RecvWqe, SendWqe, Sge, Transport, UdDest, VerbsError, WrId};
+use cord_nic::{
+    Access, Cq, Mr, Nic, QpNum, RecvWqe, SendWqe, Sge, Transport, UdDest, VerbsError, WrId,
+};
 use cord_sim::sync::{channel, Notify, Receiver, Sender};
 use cord_sim::{FifoResource, Sim, SimDuration};
 
@@ -54,6 +56,9 @@ struct SockState {
     notify: Notify,
 }
 
+/// Reassembly key: (src_node, src_sock, msg_id).
+type ReasmKey = (usize, u32, u32);
+
 struct Parsed {
     src_node: usize,
     src_sock: u32,
@@ -85,7 +90,7 @@ struct IpoibInner {
     neighbors: RefCell<HashMap<usize, QpNum>>,
     softirq_tx: Vec<Sender<Parsed>>,
     /// Per-(src_node, src_sock, msg_id) reassembly buffers.
-    reasm: RefCell<HashMap<(usize, u32, u32), (Vec<u8>, usize)>>,
+    reasm: RefCell<HashMap<ReasmKey, (Vec<u8>, usize)>>,
     tx_pkts: Cell<u64>,
     rx_pkts: Cell<u64>,
     /// Node-wide TX serialization (qdisc/netdev lock).
@@ -106,7 +111,15 @@ pub struct Socket {
     state: Rc<SockState>,
 }
 
-fn encode_header(dst_sock: u32, src_sock: u32, msg_id: u32, frag: u16, nfrags: u16, total: u32, flen: u32) -> [u8; HDR] {
+fn encode_header(
+    dst_sock: u32,
+    src_sock: u32,
+    msg_id: u32,
+    frag: u16,
+    nfrags: u16,
+    total: u32,
+    flen: u32,
+) -> [u8; HDR] {
     let mut h = [0u8; HDR];
     h[0..4].copy_from_slice(&dst_sock.to_le_bytes());
     h[4..8].copy_from_slice(&src_sock.to_le_bytes());
@@ -254,7 +267,10 @@ impl IpoibStack {
             queue: RefCell::new(VecDeque::new()),
             notify: Notify::new(),
         });
-        self.inner.sockets.borrow_mut().insert(id, Rc::clone(&state));
+        self.inner
+            .sockets
+            .borrow_mut()
+            .insert(id, Rc::clone(&state));
         Socket {
             stack: self.clone(),
             id,
@@ -278,15 +294,11 @@ impl Socket {
     }
 
     /// Send a message; fragments through the kernel stack.
-    pub async fn send_to(
-        &self,
-        core: &Core,
-        dst: SockAddr,
-        data: &[u8],
-    ) -> Result<(), IpoibError> {
+    pub async fn send_to(&self, core: &Core, dst: SockAddr, data: &[u8]) -> Result<(), IpoibError> {
         let inner = &self.stack.inner;
         let spec = &inner.spec.ipoib;
-        core.kernel_work(SimDuration::from_ns_f64(spec.sendmsg_ns)).await;
+        core.kernel_work(SimDuration::from_ns_f64(spec.sendmsg_ns))
+            .await;
         let dst_qpn = *inner
             .neighbors
             .borrow()
@@ -312,7 +324,8 @@ impl Socket {
             // Kernel copies user data into the pinned skb (no zero-copy).
             core.memcpy(flen + HDR).await;
             // IP + IPoIB stack work on the caller's core.
-            core.kernel_work(SimDuration::from_ns_f64(spec.tx_pkt_ns)).await;
+            core.kernel_work(SimDuration::from_ns_f64(spec.tx_pkt_ns))
+                .await;
             // Node-wide qdisc/xmit serialization: the IPoIB device is one
             // queue; concurrent senders contend here (the node's ceiling).
             inner
@@ -364,7 +377,8 @@ impl Socket {
     pub async fn recv(&self, core: &Core) -> (SockAddr, Bytes) {
         let inner = &self.stack.inner;
         let spec = &inner.spec.ipoib;
-        core.kernel_work(SimDuration::from_ns_f64(spec.recvmsg_ns)).await;
+        core.kernel_work(SimDuration::from_ns_f64(spec.recvmsg_ns))
+            .await;
         loop {
             let popped = self.state.queue.borrow_mut().pop_front();
             if let Some((addr, data)) = popped {
@@ -374,7 +388,8 @@ impl Socket {
             }
             self.state.notify.notified().await;
             // Scheduler wakeup after the blocking wait.
-            core.kernel_work(SimDuration::from_ns_f64(inner.spec.cpu.wakeup_ns)).await;
+            core.kernel_work(SimDuration::from_ns_f64(inner.spec.cpu.wakeup_ns))
+                .await;
         }
     }
 

@@ -39,12 +39,7 @@ impl ObservePolicy {
 
     /// All QPs with activity.
     pub fn all(&self) -> Vec<(u32, QpStats)> {
-        let mut v: Vec<_> = self
-            .stats
-            .borrow()
-            .iter()
-            .map(|(k, v)| (*k, *v))
-            .collect();
+        let mut v: Vec<_> = self.stats.borrow().iter().map(|(k, v)| (*k, *v)).collect();
         v.sort_by_key(|(k, _)| *k);
         v
     }

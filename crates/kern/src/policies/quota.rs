@@ -50,8 +50,10 @@ impl CordPolicy for QuotaPolicy {
         let mut map = self.in_flight.borrow_mut();
         for cqe in cqes {
             // Only send-side completions release quota; the ctx QP owns the CQ.
-            if !matches!(cqe.opcode, cord_nic::CqeOpcode::Recv | cord_nic::CqeOpcode::RecvWithImm)
-            {
+            if !matches!(
+                cqe.opcode,
+                cord_nic::CqeOpcode::Recv | cord_nic::CqeOpcode::RecvWithImm
+            ) {
                 if let Some(n) = map.get_mut(&ctx.qpn.0) {
                     *n = n.saturating_sub(1);
                 }

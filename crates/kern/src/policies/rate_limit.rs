@@ -79,10 +79,7 @@ impl CordPolicy for RateLimitPolicy {
         if let Some(d) = d1 {
             return PolicyDecision::Delay(d);
         }
-        let d2 = self
-            .bytes
-            .borrow_mut()
-            .spend(ctx.now, wqe.sge.len as f64);
+        let d2 = self.bytes.borrow_mut().spend(ctx.now, wqe.sge.len as f64);
         if let Some(d) = d2 {
             return PolicyDecision::Delay(d);
         }

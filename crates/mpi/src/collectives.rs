@@ -124,7 +124,11 @@ impl Comm {
             // Internal bcast epoch lives in its own namespace so it cannot
             // collide with a user bcast of the same epoch.
             let wire = self
-                .bcast(0, 0x4000 + epoch, reduced.as_ref().map(|v| to_bytes(v)).as_deref())
+                .bcast(
+                    0,
+                    0x4000 + epoch,
+                    reduced.as_ref().map(|v| to_bytes(v)).as_deref(),
+                )
                 .await;
             from_bytes(&wire)
         }
@@ -139,7 +143,9 @@ impl Comm {
         while mask < p {
             let partner = r ^ mask;
             let tag = TAG_BASE.wrapping_add(0x300 + epoch.wrapping_mul(64) + round);
-            let theirs = self.sendrecv(partner, tag, &to_bytes(&acc), partner, tag).await;
+            let theirs = self
+                .sendrecv(partner, tag, &to_bytes(&acc), partner, tag)
+                .await;
             let theirs = from_bytes(&theirs);
             // Reduction compute cost.
             self.compute_ns(REDUCE_NS_PER_ELEM * acc.len() as f64).await;
@@ -197,7 +203,10 @@ impl Comm {
             cursor = (cursor + p - 1) % p;
             chunks[cursor] = Some(incoming);
         }
-        chunks.into_iter().map(|c| c.expect("ring complete")).collect()
+        chunks
+            .into_iter()
+            .map(|c| c.expect("ring complete"))
+            .collect()
     }
 
     /// Pairwise-exchange all-to-all with per-destination payloads.
@@ -214,7 +223,13 @@ impl Comm {
             let dst = (r + step) % p;
             let src = (r + p - step) % p;
             let got = self
-                .sendrecv(dst, tag.wrapping_add(step as u32), &sends[dst], src, tag.wrapping_add(step as u32))
+                .sendrecv(
+                    dst,
+                    tag.wrapping_add(step as u32),
+                    &sends[dst],
+                    src,
+                    tag.wrapping_add(step as u32),
+                )
                 .await;
             recvs[src] = Some(got);
         }

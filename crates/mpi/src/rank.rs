@@ -58,6 +58,9 @@ impl std::fmt::Display for MpiTransport {
     }
 }
 
+/// A rendezvous landing zone: the matched receive plus its target region.
+type RndvTarget = (Rc<RecvOp>, MemRegion);
+
 /// A matched-receive completion slot.
 struct RecvOp {
     src: usize,
@@ -100,7 +103,10 @@ struct Matching {
 
 impl Matching {
     fn take_posted(&mut self, src: usize, tag: u32) -> Option<Rc<RecvOp>> {
-        let idx = self.posted.iter().position(|op| op.src == src && op.tag == tag)?;
+        let idx = self
+            .posted
+            .iter()
+            .position(|op| op.src == src && op.tag == tag)?;
         Some(self.posted.swap_remove(idx))
     }
 
@@ -147,7 +153,7 @@ struct VerbsRank {
     rndv_tx: RefCell<Vec<Option<BigBuf>>>,
     rndv_rx: RefCell<Vec<Option<BigBuf>>>,
     /// (src, msg_id) → matched receive awaiting write-with-imm.
-    rndv_inflight: RefCell<HashMap<(usize, u32), (Rc<RecvOp>, MemRegion)>>,
+    rndv_inflight: RefCell<HashMap<(usize, u32), RndvTarget>>,
     /// msg_id → sender-side rendezvous state.
     send_ops: RefCell<HashMap<u32, Rc<SendOp>>>,
     /// CTS outbox drained by a dedicated task (progress must not block).
@@ -224,7 +230,9 @@ impl Comm {
     /// Blocking tagged send.
     pub async fn send(&self, dst: usize, tag: u32, data: &[u8]) {
         assert!(dst < self.inner.size && dst != self.inner.rank);
-        self.inner.bytes_sent.set(self.inner.bytes_sent.get() + data.len() as u64);
+        self.inner
+            .bytes_sent
+            .set(self.inner.bytes_sent.get() + data.len() as u64);
         self.inner.msgs_sent.set(self.inner.msgs_sent.get() + 1);
         if self.inner.ipoib.is_some() {
             self.send_ipoib(dst, tag, data).await;
@@ -311,7 +319,8 @@ impl Comm {
         let region = tx.slots[slot];
         let frame_len = HDR_LEN + payload.len();
         let mem = v.ctx.mem();
-        mem.write(region.addr, &hdr.encode()).expect("slot in arena");
+        mem.write(region.addr, &hdr.encode())
+            .expect("slot in arena");
         if !payload.is_empty() {
             mem.write(region.addr + HDR_LEN as u64, payload)
                 .expect("slot in arena");
@@ -404,9 +413,16 @@ impl Comm {
         // so grow synchronously through the MR table.
         let buf = ensure_big_sync(&v.ctx, &v.rndv_rx, src, len);
         let rkey = v.rndv_rx.borrow()[src].as_ref().unwrap().mr.rkey;
-        v.rndv_inflight
-            .borrow_mut()
-            .insert((src, hdr.msg_id), (op, MemRegion { addr: buf.addr, len }));
+        v.rndv_inflight.borrow_mut().insert(
+            (src, hdr.msg_id),
+            (
+                op,
+                MemRegion {
+                    addr: buf.addr,
+                    len,
+                },
+            ),
+        );
         let cts = Header::cts(hdr.msg_id, len, buf.addr, rkey.0);
         v.outbox.try_send((src, cts)).expect("outbox alive");
     }
@@ -523,14 +539,16 @@ async fn create_verbs_world(fabric: &Fabric, nranks: usize, mode: Dataplane) -> 
     let mut qp_ids = vec![vec![None; nranks]; nranks];
     for a in 0..nranks {
         for b in (a + 1)..nranks {
-            let qa = raw[a]
-                .0
-                .nic()
-                .create_qp(Transport::Rc, raw[a].1.raw().clone(), raw[a].1.raw().clone());
-            let qb = raw[b]
-                .0
-                .nic()
-                .create_qp(Transport::Rc, raw[b].1.raw().clone(), raw[b].1.raw().clone());
+            let qa = raw[a].0.nic().create_qp(
+                Transport::Rc,
+                raw[a].1.raw().clone(),
+                raw[a].1.raw().clone(),
+            );
+            let qb = raw[b].0.nic().create_qp(
+                Transport::Rc,
+                raw[b].1.raw().clone(),
+                raw[b].1.raw().clone(),
+            );
             raw[a]
                 .0
                 .nic()
@@ -551,14 +569,14 @@ async fn create_verbs_world(fabric: &Fabric, nranks: usize, mode: Dataplane) -> 
         let mut tx: Vec<Option<PeerTx>> = Vec::with_capacity(nranks);
         let mut rx_bufs: Vec<Vec<MemRegion>> = Vec::with_capacity(nranks);
         let mut peer_idx = 0usize;
-        for p in 0..nranks {
+        for (p, qp_id) in qp_ids[r].iter().enumerate() {
             if p == r {
                 qps.push(None);
                 tx.push(None);
                 rx_bufs.push(Vec::new());
                 continue;
             }
-            let qpn = qp_ids[r][p].expect("mesh built");
+            let qpn = (*qp_id).expect("mesh built");
             // Wrap the raw QP in the user API (billing per dataplane).
             let uqp = cord_verbs::UserQp::from_raw(
                 ctx.clone(),
@@ -730,11 +748,7 @@ async fn handle_cqe(_sim: &Sim, inner: &Rc<RankInner>, cqe: Cqe) {
             match cqe.opcode {
                 CqeOpcode::Recv => {
                     let buf = v.rx_bufs[peer][slot];
-                    let frame = v
-                        .ctx
-                        .mem()
-                        .read(buf.addr, cqe.byte_len)
-                        .expect("rx ring");
+                    let frame = v.ctx.mem().read(buf.addr, cqe.byte_len).expect("rx ring");
                     // Repost before processing so the ring never starves.
                     repost_rx(v, peer, slot);
                     if let Some((hdr, payload)) = split_frame(&frame) {

@@ -39,7 +39,9 @@ where
 }
 
 fn pattern(len: usize, seed: u8) -> Vec<u8> {
-    (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    (0..len)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+        .collect()
 }
 
 #[test]
@@ -153,44 +155,56 @@ fn many_small_messages_respect_flow_control() {
 #[test]
 fn barrier_synchronizes() {
     for &p in &[2usize, 4, 6] {
-        run_world(MpiTransport::Verbs(Dataplane::Bypass), p, move |c| async move {
-            // Stagger arrival; all must leave after the latest arriver.
-            let delay = (c.rank() as u64) * 50;
-            c.core().sim().sleep(SimDuration::from_us(delay)).await;
-            c.barrier(0).await;
-            let t = c.core().sim().now().as_us_f64();
-            let latest = ((p - 1) as u64 * 50) as f64;
-            assert!(t >= latest, "rank {} left at {t} < {latest}", c.rank());
-        });
+        run_world(
+            MpiTransport::Verbs(Dataplane::Bypass),
+            p,
+            move |c| async move {
+                // Stagger arrival; all must leave after the latest arriver.
+                let delay = (c.rank() as u64) * 50;
+                c.core().sim().sleep(SimDuration::from_us(delay)).await;
+                c.barrier(0).await;
+                let t = c.core().sim().now().as_us_f64();
+                let latest = ((p - 1) as u64 * 50) as f64;
+                assert!(t >= latest, "rank {} left at {t} < {latest}", c.rank());
+            },
+        );
     }
 }
 
 #[test]
 fn bcast_delivers_to_all() {
     for &p in &[2usize, 4, 7] {
-        run_world(MpiTransport::Verbs(Dataplane::Cord), p, move |c| async move {
-            let data = pattern(10_000, 42);
-            let got = if c.rank() == 2 % p {
-                c.bcast(2 % p, 0, Some(&data)).await
-            } else {
-                c.bcast(2 % p, 0, None).await
-            };
-            assert_eq!(&got[..], &data[..]);
-        });
+        run_world(
+            MpiTransport::Verbs(Dataplane::Cord),
+            p,
+            move |c| async move {
+                let data = pattern(10_000, 42);
+                let got = if c.rank() == 2 % p {
+                    c.bcast(2 % p, 0, Some(&data)).await
+                } else {
+                    c.bcast(2 % p, 0, None).await
+                };
+                assert_eq!(&got[..], &data[..]);
+            },
+        );
     }
 }
 
 #[test]
 fn allreduce_sums_across_ranks() {
     for &p in &[2usize, 4, 5, 8] {
-        run_world(MpiTransport::Verbs(Dataplane::Bypass), p, move |c| async move {
-            let mine: Vec<f64> = (0..64).map(|i| (c.rank() * 100 + i) as f64).collect();
-            let out = c.allreduce(0, &mine, ReduceOp::Sum).await;
-            for (i, v) in out.iter().enumerate() {
-                let expect: f64 = (0..p).map(|r| (r * 100 + i) as f64).sum();
-                assert!((v - expect).abs() < 1e-9, "p={p} i={i}: {v} != {expect}");
-            }
-        });
+        run_world(
+            MpiTransport::Verbs(Dataplane::Bypass),
+            p,
+            move |c| async move {
+                let mine: Vec<f64> = (0..64).map(|i| (c.rank() * 100 + i) as f64).collect();
+                let out = c.allreduce(0, &mine, ReduceOp::Sum).await;
+                for (i, v) in out.iter().enumerate() {
+                    let expect: f64 = (0..p).map(|r| (r * 100 + i) as f64).sum();
+                    assert!((v - expect).abs() < 1e-9, "p={p} i={i}: {v} != {expect}");
+                }
+            },
+        );
     }
 }
 
@@ -220,7 +234,9 @@ fn alltoallv_exchanges_distinct_payloads() {
     run_world(MpiTransport::Verbs(Dataplane::Bypass), 4, |c| async move {
         let r = c.rank();
         // sends[d] tagged with (src, dst) identity.
-        let sends: Vec<Vec<u8>> = (0..4).map(|d| pattern(1000 + d * 10, (r * 4 + d) as u8)).collect();
+        let sends: Vec<Vec<u8>> = (0..4)
+            .map(|d| pattern(1000 + d * 10, (r * 4 + d) as u8))
+            .collect();
         let got = c.alltoallv(0, sends).await;
         for (s, chunk) in got.iter().enumerate() {
             assert_eq!(
@@ -280,7 +296,10 @@ fn cord_and_bypass_mpi_latency_gap_is_small() {
     let cd = pingpong(MpiTransport::Verbs(Dataplane::Cord));
     let ip = pingpong(MpiTransport::Ipoib);
     assert!(cd - bp < 3.0, "CoRD ping-pong {cd} µs ~ bypass {bp} µs");
-    assert!(ip > 2.0 * bp, "IPoIB {ip} µs must clearly exceed RDMA {bp} µs");
+    assert!(
+        ip > 2.0 * bp,
+        "IPoIB {ip} µs must clearly exceed RDMA {bp} µs"
+    );
 }
 
 #[test]

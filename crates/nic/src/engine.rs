@@ -215,7 +215,12 @@ impl Nic {
 
     /// Post a send work request and ring the doorbell. CPU-side costs
     /// (WQE build, MMIO write) are billed by the calling driver layer.
-    pub fn post_send(&self, qpn: QpNum, mut wqe: SendWqe, inline_allowed: bool) -> Result<(), VerbsError> {
+    pub fn post_send(
+        &self,
+        qpn: QpNum,
+        mut wqe: SendWqe,
+        inline_allowed: bool,
+    ) -> Result<(), VerbsError> {
         let qp_rc = self.qp(qpn)?;
         {
             let mut qp = qp_rc.borrow_mut();
@@ -225,10 +230,10 @@ impl Nic {
                 && wqe.opcode == Opcode::Send
                 && wqe.sge.len <= self.inner.spec.nic.inline_cap
             {
-                if let Ok(mr) = self
-                    .inner
-                    .mrs
-                    .check_local(wqe.sge.lkey, wqe.sge.addr, wqe.sge.len, false)
+                if let Ok(mr) =
+                    self.inner
+                        .mrs
+                        .check_local(wqe.sge.lkey, wqe.sge.addr, wqe.sge.len, false)
                 {
                     if let Ok(data) = mr.mem.read(wqe.sge.addr, wqe.sge.len) {
                         wqe.inline_data = Some(data);
@@ -274,12 +279,19 @@ fn ring_qp(inner: &Rc<NicInner>, qpn: QpNum) {
 
 fn transmit(inner: &Rc<NicInner>, pkt: Packet) {
     let wire = pkt.wire_bytes(inner.spec.nic.header_bytes);
-    inner.trace.record(inner.sim.now(), TraceCategory::Link, || {
-        format!(
-            "tx node{} qp{} -> node{} qp{} {:?} ({} B wire)",
-            pkt.src_node, pkt.src_qpn.0, pkt.dst_node, pkt.dst_qpn.0, kind_name(&pkt.kind), wire
-        )
-    });
+    inner
+        .trace
+        .record(inner.sim.now(), TraceCategory::Link, || {
+            format!(
+                "tx node{} qp{} -> node{} qp{} {:?} ({} B wire)",
+                pkt.src_node,
+                pkt.src_qpn.0,
+                pkt.dst_node,
+                pkt.dst_qpn.0,
+                kind_name(&pkt.kind),
+                wire
+            )
+        });
     inner.fabric.transmit(Frame {
         src: pkt.src_node,
         dst: pkt.dst_node,
@@ -429,10 +441,7 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
         let qp = qp_rc.borrow();
         match qp.sq.front() {
             None => return StartOutcome::NothingToDo,
-            Some(w)
-                if w.opcode == Opcode::RdmaRead
-                    && qp.outstanding_reads >= qp.max_rd_atomic =>
-            {
+            Some(w) if w.opcode == Opcode::RdmaRead && qp.outstanding_reads >= qp.max_rd_atomic => {
                 return StartOutcome::StalledOnReads;
             }
             Some(_) => {}
@@ -567,10 +576,7 @@ async fn emit_fragments(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, mut budge
         // Fetch payload: inline data was captured at post time; otherwise a
         // DMA read whose completion gates the frame's entry to the fabric.
         let (payload, ready): (Bytes, SimTime) = if let Some(inline) = &wqe.inline_data {
-            (
-                inline.slice(offset..offset + frag_len),
-                inner.sim.now(),
-            )
+            (inline.slice(offset..offset + frag_len), inner.sim.now())
         } else {
             let data = mem
                 .read(wqe.sge.addr + offset as u64, frag_len)
@@ -650,7 +656,6 @@ async fn emit_fragments(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, mut budge
                             let cq = qp.send_cq.clone();
                             drop(qp);
                             deliver_cqe(&inner2, &cq, cqe);
-                            return;
                         }
                     }
                     Transport::Rc => {
@@ -752,8 +757,7 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
             payload,
             imm,
         } => handle_write_frag(
-            inner, &qp_rc, &pkt, msg_id, frag, nfrags, total_len, raddr, rkey, offset, payload,
-            imm,
+            inner, &qp_rc, &pkt, msg_id, frag, nfrags, total_len, raddr, rkey, offset, payload, imm,
         ),
         PacketKind::ReadReq {
             msg_id,
@@ -876,7 +880,8 @@ fn handle_send_frag(
     let qp2 = Rc::clone(qp_rc);
     let pkt2 = pkt.clone();
     inner.sim.schedule_at(dma_done, move |_| {
-        mem.write(dst_addr, &payload).expect("validated landing zone");
+        mem.write(dst_addr, &payload)
+            .expect("validated landing zone");
         if last {
             let mut qp = qp2.borrow_mut();
             qp.rx_msgs += 1;
@@ -940,7 +945,10 @@ fn handle_write_frag(
         }
     } else {
         // Range for the whole message was validated on fragment 0.
-        match inner.mrs.check_remote(rkey, raddr + offset as u64, payload.len(), true) {
+        match inner
+            .mrs
+            .check_remote(rkey, raddr + offset as u64, payload.len(), true)
+        {
             Ok(mr) => mr,
             Err(_) => {
                 nak(inner, pkt, msg_id, NakReason::RemoteAccess);

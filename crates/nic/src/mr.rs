@@ -173,7 +173,8 @@ mod tests {
             Some(MrError::OutOfRange)
         );
         assert_eq!(
-            t.check_remote(mr.rkey, mr.region.addr + 4000, 200, false).err(),
+            t.check_remote(mr.rkey, mr.region.addr + 4000, 200, false)
+                .err(),
             Some(MrError::OutOfRange)
         );
         // Address below the region.
@@ -196,7 +197,8 @@ mod tests {
         );
         // lkey and rkey namespaces are distinct: an lkey value is not an rkey.
         assert_eq!(
-            t.check_remote(RKey(mr.lkey.0), mr.region.addr, 1, false).err(),
+            t.check_remote(RKey(mr.lkey.0), mr.region.addr, 1, false)
+                .err(),
             Some(MrError::UnknownKey)
         );
     }
@@ -218,7 +220,11 @@ mod tests {
         );
         // Read-only remote region rejects writes.
         let r2 = mem.alloc(128, 0);
-        let mr2 = t.register(mem.clone(), r2, Access::LOCAL_WRITE.union(Access::REMOTE_READ));
+        let mr2 = t.register(
+            mem.clone(),
+            r2,
+            Access::LOCAL_WRITE.union(Access::REMOTE_READ),
+        );
         assert!(t.check_remote(mr2.rkey, r2.addr, 8, false).is_ok());
         assert_eq!(
             t.check_remote(mr2.rkey, r2.addr, 8, true).err(),

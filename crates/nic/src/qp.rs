@@ -392,9 +392,7 @@ mod tests {
         assert_eq!(sq.len(), 1);
         assert_eq!(rq.len(), 1);
         assert_eq!(qp.state, QpState::Error);
-        assert!(qp
-            .push_send(SendWqe::send(WrId(3), sge(16)), 4096)
-            .is_err());
+        assert!(qp.push_send(SendWqe::send(WrId(3), sge(16)), 4096).is_err());
     }
 
     #[test]

@@ -109,16 +109,25 @@ pub enum QpState {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerbsError {
     /// QP is in the wrong state for this operation.
-    InvalidState { expected: &'static str, actual: QpState },
+    InvalidState {
+        expected: &'static str,
+        actual: QpState,
+    },
     /// Send/recv queue is full.
     QueueFull,
     /// Unknown object id.
     UnknownQp(QpNum),
     UnknownCq(CqId),
     /// Message exceeds the transport's limit (UD: one MTU).
-    MessageTooLong { len: usize, max: usize },
+    MessageTooLong {
+        len: usize,
+        max: usize,
+    },
     /// Operation not supported on this transport (e.g. RDMA on UD).
-    OpNotSupported { op: Opcode, transport: Transport },
+    OpNotSupported {
+        op: Opcode,
+        transport: Transport,
+    },
     /// The lkey does not exist or does not cover the posted range.
     InvalidLKey,
     /// Missing remote address/rkey for a one-sided op.
@@ -173,7 +182,13 @@ mod tests {
         assert_eq!(Transport::Rc.to_string(), "RC");
         assert_eq!(Opcode::RdmaRead.to_string(), "Read");
         assert_eq!(
-            format!("{}", VerbsError::MessageTooLong { len: 5000, max: 4096 }),
+            format!(
+                "{}",
+                VerbsError::MessageTooLong {
+                    len: 5000,
+                    max: 4096
+                }
+            ),
             "message of 5000 B exceeds transport max 4096 B"
         );
     }

@@ -5,7 +5,7 @@ use cord_nic::{
     build_cluster, Access, Cq, CqeOpcode, CqeStatus, Nic, QpNum, QpState, RecvWqe, SendWqe, Sge,
     Transport, UdDest, VerbsError, WrId,
 };
-use cord_sim::{Sim, SimDuration, Trace};
+use cord_sim::{Sim, Trace};
 
 struct Endpoint {
     nic: Nic,
@@ -378,7 +378,9 @@ fn ud_send_recv_single_mtu() {
     let src = mem_a.alloc_from(&data);
     let dst = mem_b.alloc(4096, 0);
     let mra = nics[0].mr_table().register(mem_a, src, Access::all());
-    let mrb = nics[1].mr_table().register(mem_b.clone(), dst, Access::all());
+    let mrb = nics[1]
+        .mr_table()
+        .register(mem_b.clone(), dst, Access::all());
     nics[1]
         .post_recv(
             qb,

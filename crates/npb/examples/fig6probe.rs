@@ -1,11 +1,14 @@
 use cord_core::prelude::system_a;
+use cord_core::prelude::Dataplane;
 use cord_mpi::MpiTransport;
 use cord_npb::{run_benchmark, Bench, Class};
-use cord_core::prelude::Dataplane;
 
 fn main() {
     let ranks = 32;
-    println!("{:>4} {:>10} {:>10} {:>10} | {:>6} {:>6} | per-rank Gb/s, msg/s (RDMA)", "", "RDMA us", "CoRD rel", "IPoIB rel", "", "");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10} | {:>6} {:>6} | per-rank Gb/s, msg/s (RDMA)",
+        "", "RDMA us", "CoRD rel", "IPoIB rel", "", ""
+    );
     for bench in Bench::ALL {
         let r = |t| run_benchmark(system_a(), bench, Class::A, ranks, t, 42);
         let rdma = r(MpiTransport::Verbs(Dataplane::Bypass));

@@ -33,7 +33,8 @@ pub async fn is_iter(comm: &Comm, class: Class, iter: usize) {
     comm.compute_ns(my_keys as f64 * 4.0).await;
     // Bucket-count allreduce (1024 buckets).
     let buckets = vec![1.0f64; 256];
-    comm.allreduce(iter as u32 * 4, &buckets, ReduceOp::Sum).await;
+    comm.allreduce(iter as u32 * 4, &buckets, ReduceOp::Sum)
+        .await;
     // Key exchange: uniformly distributed keys → keys*4/P bytes per dest.
     let per_dest = (my_keys * 4 / p).max(16);
     let sends: Vec<Vec<u8>> = (0..p).map(|_| payload(per_dest)).collect();
@@ -84,12 +85,15 @@ pub async fn mg_iter(comm: &Comm, class: Class, iter: usize) {
                 continue;
             }
             let tag = (iter * 64 + lvl * 2 + d) as u32;
-            comm.sendrecv(partner, tag, &payload(face), partner, tag).await;
+            comm.sendrecv(partner, tag, &payload(face), partner, tag)
+                .await;
         }
         // Level-local smoothing.
-        comm.compute_ns((dim * dim * dim / p).max(1) as f64 * 3.0).await;
+        comm.compute_ns((dim * dim * dim / p).max(1) as f64 * 3.0)
+            .await;
     }
-    comm.allreduce(iter as u32 * 4 + 3, &[0.0f64; 4], ReduceOp::Sum).await;
+    comm.allreduce(iter as u32 * 4 + 3, &[0.0f64; 4], ReduceOp::Sum)
+        .await;
 }
 
 /// FT — 3D FFT: local FFT passes + a global transpose (all-to-all of the
@@ -103,12 +107,14 @@ pub async fn ft_iter(comm: &Comm, class: Class, iter: usize) {
     let p = comm.size();
     // Local 1-D FFT passes: ~5 N log N flops.
     let n_local = elems / p;
-    comm.compute_ns(n_local as f64 * (elems as f64).log2() * 2.0).await;
+    comm.compute_ns(n_local as f64 * (elems as f64).log2() * 2.0)
+        .await;
     // Transpose: each pair exchanges elems×16/P² bytes (complex doubles).
     let per_dest = (elems * 16 / (p * p)).max(64);
     let sends: Vec<Vec<u8>> = (0..p).map(|_| payload(per_dest)).collect();
     comm.alltoallv(iter as u32, sends).await;
-    comm.compute_ns(n_local as f64 * (elems as f64).log2() * 1.0).await;
+    comm.compute_ns(n_local as f64 * (elems as f64).log2() * 1.0)
+        .await;
 }
 
 /// LU — SSOR wavefront: pipelined small messages to the 2D-grid neighbors
@@ -142,7 +148,8 @@ pub async fn lu_iter(comm: &Comm, class: Class, iter: usize) {
                 comm.recv(src, tag + 1).await;
             }
             // Local relaxation for this stage.
-            comm.compute_ns((n * n * n / p / stages).max(1) as f64 * 65.0).await;
+            comm.compute_ns((n * n * n / p / stages).max(1) as f64 * 65.0)
+                .await;
             let south = my_row.checked_add_signed(-dr).filter(|&x| x < rows);
             let east = my_col.checked_add_signed(-dc).filter(|&x| x < cols);
             let mut sends = Vec::new();
@@ -159,7 +166,8 @@ pub async fn lu_iter(comm: &Comm, class: Class, iter: usize) {
             }
         }
     }
-    comm.allreduce(iter as u32, &[0.0f64; 5], ReduceOp::Max).await;
+    comm.allreduce(iter as u32, &[0.0f64; 5], ReduceOp::Max)
+        .await;
 }
 
 /// CG — conjugate gradient: per inner step a sparse matvec, one large
@@ -195,7 +203,8 @@ pub async fn cg_iter(comm: &Comm, class: Class, iter: usize) {
         };
         if partner != r && partner < p {
             let tag = (iter * 64 + step * 2) as u32;
-            comm.sendrecv(partner, tag, &payload(seg), partner, tag).await;
+            comm.sendrecv(partner, tag, &payload(seg), partner, tag)
+                .await;
         }
         // Dot product.
         comm.allreduce(iter as u32 * 64 + step as u32 * 4, &[1.0], ReduceOp::Sum)
@@ -216,7 +225,14 @@ pub async fn sp_iter(comm: &Comm, class: Class, iter: usize) {
     adi_iter(comm, class, iter, 9, 3.4, 21.0).await;
 }
 
-async fn adi_iter(comm: &Comm, class: Class, iter: usize, comps: usize, face_scale: f64, flop_ns: f64) {
+async fn adi_iter(
+    comm: &Comm,
+    class: Class,
+    iter: usize,
+    comps: usize,
+    face_scale: f64,
+    flop_ns: f64,
+) {
     let n: usize = match class {
         Class::S => 12,
         Class::A => 64,
@@ -228,8 +244,7 @@ async fn adi_iter(comm: &Comm, class: Class, iter: usize, comps: usize, face_sca
     let (my_row, my_col) = (r / cols, r % cols);
     for dim in 0..3usize {
         // Face exchange with both neighbors along this sweep direction.
-        let face =
-            (((n * n * comps * 8) as f64 / (rows * cols) as f64) * face_scale) as usize;
+        let face = (((n * n * comps * 8) as f64 / (rows * cols) as f64) * face_scale) as usize;
         let face = face.max(256);
         let (fwd, bwd) = match dim % 2 {
             0 => {
@@ -246,7 +261,8 @@ async fn adi_iter(comm: &Comm, class: Class, iter: usize, comps: usize, face_sca
         let tag = (iter * 64 + dim * 8) as u32;
         if fwd != r {
             comm.sendrecv(fwd, tag, &payload(face), bwd, tag).await;
-            comm.sendrecv(bwd, tag + 1, &payload(face), fwd, tag + 1).await;
+            comm.sendrecv(bwd, tag + 1, &payload(face), fwd, tag + 1)
+                .await;
         }
         // Sweep solve.
         comm.compute_ns((n * n * n / p) as f64 * flop_ns).await;

@@ -115,7 +115,7 @@ impl Bench {
 /// 2D process grid (rows × cols) with rows ≥ cols, rows*cols = p.
 pub fn grid_2d(p: usize) -> (usize, usize) {
     let mut cols = (p as f64).sqrt() as usize;
-    while cols > 1 && p % cols != 0 {
+    while cols > 1 && !p.is_multiple_of(cols) {
         cols -= 1;
     }
     (p / cols, cols)

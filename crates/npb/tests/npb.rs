@@ -52,9 +52,8 @@ fn rank_constraints_are_applied() {
 /// IPoIB pays heavily on the data-intensive kernel and nothing on EP.
 #[test]
 fn fig6_shape_is_and_ep() {
-    let run = |b: Bench, t: MpiTransport| {
-        run_benchmark(system_a(), b, Class::A, 8, t, 7).runtime_us
-    };
+    let run =
+        |b: Bench, t: MpiTransport| run_benchmark(system_a(), b, Class::A, 8, t, 7).runtime_us;
     use MpiTransport::{Ipoib, Verbs};
     let is_rdma = run(Bench::Is, Verbs(Dataplane::Bypass));
     let is_cord = run(Bench::Is, Verbs(Dataplane::Cord));

@@ -14,7 +14,11 @@ fn main() {
         for size in [16usize, 4096, 1 << 20] {
             let m = run_test(
                 system_l(),
-                TestSpec::new(TestOp::SendLat).size(size).iters(60).warmup(10).knobs(knobs),
+                TestSpec::new(TestOp::SendLat)
+                    .size(size)
+                    .iters(60)
+                    .warmup(10)
+                    .knobs(knobs),
                 1,
             );
             row.push(format!("{:.2}", m.lat_avg_us));
@@ -29,14 +33,27 @@ fn main() {
         (TestOp::SendLat, Transport::Rc, "Send/RC"),
         (TestOp::SendLat, Transport::Ud, "Send/UD"),
     ] {
-        let base = run_test(system_l(), TestSpec::new(op).transport(tr).iters(60).warmup(10), 1).lat_avg_us;
+        let base = run_test(
+            system_l(),
+            TestSpec::new(op).transport(tr).iters(60).warmup(10),
+            1,
+        )
+        .lat_avg_us;
         let mut row = vec![format!("{label} base={base:.2}")];
         for (cm, sm, l2) in [
             (Dataplane::Bypass, Dataplane::Cord, "BP->CD"),
             (Dataplane::Cord, Dataplane::Bypass, "CD->BP"),
             (Dataplane::Cord, Dataplane::Cord, "CD->CD"),
         ] {
-            let m = run_test(system_l(), TestSpec::new(op).transport(tr).iters(60).warmup(10).modes(cm, sm), 1);
+            let m = run_test(
+                system_l(),
+                TestSpec::new(op)
+                    .transport(tr)
+                    .iters(60)
+                    .warmup(10)
+                    .modes(cm, sm),
+                1,
+            );
             row.push(format!("{l2}:{:+.2}", m.lat_avg_us - base));
         }
         println!("{}", row.join("  "));
@@ -45,20 +62,43 @@ fn main() {
     println!("== Fig 4: send_bw RC relative throughput / message rate ==");
     for size in [8usize, 64, 512, 1024, 4096, 32768, 262144] {
         let iters = (200_000_000 / size).clamp(200, 3000);
-        let b = run_test(system_l(), TestSpec::new(TestOp::SendBw).size(size).iters(iters), 1);
+        let b = run_test(
+            system_l(),
+            TestSpec::new(TestOp::SendBw).size(size).iters(iters),
+            1,
+        );
         let c = run_test(
             system_l(),
-            TestSpec::new(TestOp::SendBw).size(size).iters(iters).modes(Dataplane::Cord, Dataplane::Cord),
+            TestSpec::new(TestOp::SendBw)
+                .size(size)
+                .iters(iters)
+                .modes(Dataplane::Cord, Dataplane::Cord),
             1,
         );
         println!(
             "size {:>7}: bypass {:>8.3} Gb/s {:>6.2} M/s | cord rel {:.3}",
-            size, b.bw_gbps, b.mrate_mps, c.bw_gbps / b.bw_gbps
+            size,
+            b.bw_gbps,
+            b.mrate_mps,
+            c.bw_gbps / b.bw_gbps
         );
     }
 
     println!("== System A sanity: send_lat 4KiB overhead ==");
-    let ba = run_test(system_a(), TestSpec::new(TestOp::SendLat).iters(60).warmup(10), 1).lat_avg_us;
-    let ca = run_test(system_a(), TestSpec::new(TestOp::SendLat).iters(60).warmup(10).modes(Dataplane::Cord, Dataplane::Cord), 1).lat_avg_us;
+    let ba = run_test(
+        system_a(),
+        TestSpec::new(TestOp::SendLat).iters(60).warmup(10),
+        1,
+    )
+    .lat_avg_us;
+    let ca = run_test(
+        system_a(),
+        TestSpec::new(TestOp::SendLat)
+            .iters(60)
+            .warmup(10)
+            .modes(Dataplane::Cord, Dataplane::Cord),
+        1,
+    )
+    .lat_avg_us;
     println!("A base {ba:.2} cord {ca:.2} overhead {:+.2}", ca - ba);
 }

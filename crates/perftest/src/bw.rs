@@ -27,7 +27,14 @@ pub async fn send_bw(fabric: &Fabric, spec: TestSpec) -> Measurement {
     };
 
     // Server preposts a full ring of receives.
-    let prepost = server.qp.ctx().nic().spec().nic.rq_depth.min(total + spec.window);
+    let prepost = server
+        .qp
+        .ctx()
+        .nic()
+        .spec()
+        .nic
+        .rq_depth
+        .min(total + spec.window);
     let wqes: Vec<RecvWqe> = (0..prepost)
         .map(|i| RecvWqe::new(WrId(i as u64), server.rx_sge(size.max(1))))
         .collect();

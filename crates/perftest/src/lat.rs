@@ -70,7 +70,10 @@ pub async fn send_lat(fabric: &Fabric, spec: TestSpec) -> Measurement {
             // Repost before answering so the next ping always finds a WQE.
             server
                 .qp
-                .post_recv(RecvWqe::new(WrId(i as u64), server.rx_sge(spec.size.max(1))))
+                .post_recv(RecvWqe::new(
+                    WrId(i as u64),
+                    server.rx_sge(spec.size.max(1)),
+                ))
                 .await
                 .unwrap();
             apply_post_knobs(&spec, &server).await;

@@ -196,12 +196,7 @@ impl Measurement {
         }
     }
 
-    pub(crate) fn from_bandwidth(
-        op: TestOp,
-        size: usize,
-        iters: usize,
-        elapsed_us: f64,
-    ) -> Self {
+    pub(crate) fn from_bandwidth(op: TestOp, size: usize, iters: usize, elapsed_us: f64) -> Self {
         let secs = elapsed_us / 1e6;
         let bytes = (size as f64) * (iters as f64);
         Measurement {

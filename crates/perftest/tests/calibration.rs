@@ -66,7 +66,10 @@ fn fig1a_no_busy_polling_dominates_no_kernel_bypass() {
         poll_cost > 10.0 * kb_cost,
         "interrupts (+{poll_cost} µs) must dwarf syscalls (+{kb_cost} µs)"
     );
-    assert!((2.0..6.0).contains(&poll_cost), "paper: +3.7 µs, got +{poll_cost}");
+    assert!(
+        (2.0..6.0).contains(&poll_cost),
+        "paper: +3.7 µs, got +{poll_cost}"
+    );
 }
 
 /// Fig. 1a: removing zero-copy adds latency proportional to size
@@ -107,13 +110,19 @@ fn fig3_overhead_matrix() {
     // RDMA read with CoRD only on the server: zero overhead — the server
     // CPU does not participate (the paper's cleanest data point).
     let read_bp_cd = over(TestOp::ReadLat, Transport::Rc, BP, CD);
-    assert!(read_bp_cd.abs() < 0.05, "Read BP→CoRD: {read_bp_cd} µs (paper ~0)");
+    assert!(
+        read_bp_cd.abs() < 0.05,
+        "Read BP→CoRD: {read_bp_cd} µs (paper ~0)"
+    );
 
     // Read with CoRD on the client costs the client's syscalls, and the
     // server side adds nothing on top.
     let read_cd_bp = over(TestOp::ReadLat, Transport::Rc, CD, BP);
     let read_cd_cd = over(TestOp::ReadLat, Transport::Rc, CD, CD);
-    assert!((0.2..1.25).contains(&read_cd_bp), "Read CoRD→BP: {read_cd_bp}");
+    assert!(
+        (0.2..1.25).contains(&read_cd_bp),
+        "Read CoRD→BP: {read_cd_bp}"
+    );
     assert!(
         (read_cd_cd - read_cd_bp).abs() < 0.05,
         "server-side CoRD adds nothing to reads: {read_cd_cd} vs {read_cd_bp}"
@@ -123,7 +132,10 @@ fn fig3_overhead_matrix() {
     let s_bp_cd = over(TestOp::SendLat, Transport::Rc, BP, CD);
     let s_cd_bp = over(TestOp::SendLat, Transport::Rc, CD, BP);
     let s_cd_cd = over(TestOp::SendLat, Transport::Rc, CD, CD);
-    assert!((s_bp_cd - s_cd_bp).abs() < 0.1, "equal contribution per side");
+    assert!(
+        (s_bp_cd - s_cd_bp).abs() < 0.1,
+        "equal contribution per side"
+    );
     assert!(
         (s_cd_cd - (s_bp_cd + s_cd_bp)).abs() < 0.15,
         "sides compose additively: {s_cd_cd} vs {}",
@@ -135,12 +147,18 @@ fn fig3_overhead_matrix() {
     // the data path).
     let w_bp_cd = over(TestOp::WriteLat, Transport::Rc, BP, CD);
     let w_cd_cd = over(TestOp::WriteLat, Transport::Rc, CD, CD);
-    assert!(w_bp_cd > 0.03, "server-side write overhead visible: {w_bp_cd}");
+    assert!(
+        w_bp_cd > 0.03,
+        "server-side write overhead visible: {w_bp_cd}"
+    );
     assert!((0.1..1.25).contains(&w_cd_cd), "Write CoRD→CoRD: {w_cd_cd}");
 
     // UD sends behave like RC sends.
     let u_cd_cd = over(TestOp::SendLat, Transport::Ud, CD, CD);
-    assert!((s_cd_cd - u_cd_cd).abs() < 0.2, "UD ≈ RC: {u_cd_cd} vs {s_cd_cd}");
+    assert!(
+        (s_cd_cd - u_cd_cd).abs() < 0.2,
+        "UD ≈ RC: {u_cd_cd} vs {s_cd_cd}"
+    );
 }
 
 /// Fig. 3 caption: "We observed the same numbers for other message sizes"
@@ -160,12 +178,12 @@ fn fig3_overhead_is_size_independent() {
         );
         overheads.push(cord - base);
     }
-    let spread = overheads
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = overheads.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - overheads.iter().cloned().fold(f64::INFINITY, f64::min);
-    assert!(spread < 0.2, "constant overhead across sizes: {overheads:?}");
+    assert!(
+        spread < 0.2,
+        "constant overhead across sizes: {overheads:?}"
+    );
 }
 
 /// Fig. 4: bypass small-message rate ~12 M/s; CoRD degrades small messages
@@ -176,7 +194,10 @@ fn fig4_throughput_shape() {
         let iters = (100_000_000 / size).clamp(150, 1500);
         run_test(
             system_l(),
-            TestSpec::new(TestOp::SendBw).size(size).iters(iters).modes(c, s),
+            TestSpec::new(TestOp::SendBw)
+                .size(size)
+                .iters(iters)
+                .modes(c, s),
             3,
         )
     };
@@ -238,7 +259,10 @@ fn fig5_system_a_overheads() {
     };
     let small = over(256); // below bypass inline cap (1 KiB on A)
     let large = over(8192); // above it
-    assert!(small > large, "missing inline hurts small messages: {small} vs {large}");
+    assert!(
+        small > large,
+        "missing inline hurts small messages: {small} vs {large}"
+    );
     assert!(
         (0.3..2.5).contains(&large) && (0.3..2.8).contains(&small),
         "overheads in Fig. 5a's 0–2 µs band: small {small}, large {large}"

@@ -1,0 +1,185 @@
+//! Minimal vendored stand-in for the `bytes` crate.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! provides the small slice of the `bytes` API the workspace actually uses:
+//! cheaply clonable, immutable, reference-counted byte buffers with
+//! zero-copy sub-slicing.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, Range, RangeFrom, RangeFull, RangeTo};
+use std::rc::Rc;
+
+/// A cheaply clonable, contiguous, immutable chunk of memory.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Rc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub fn new() -> Bytes {
+        Bytes {
+            data: Rc::from(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Copy `src` into a fresh owned buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes::from(src.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Zero-copy sub-slice sharing the same backing storage.
+    pub fn slice(&self, range: impl SliceRange) -> Bytes {
+        let (lo, hi) = range.resolve(self.len());
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Rc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+}
+
+/// Range forms accepted by [`Bytes::slice`].
+pub trait SliceRange {
+    fn resolve(self, len: usize) -> (usize, usize);
+}
+
+impl SliceRange for Range<usize> {
+    fn resolve(self, _len: usize) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+impl SliceRange for RangeFrom<usize> {
+    fn resolve(self, len: usize) -> (usize, usize) {
+        (self.start, len)
+    }
+}
+
+impl SliceRange for RangeTo<usize> {
+    fn resolve(self, _len: usize) -> (usize, usize) {
+        (0, self.end)
+    }
+}
+
+impl SliceRange for RangeFull {
+    fn resolve(self, len: usize) -> (usize, usize) {
+        (0, len)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Rc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_slice() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(&s2[..], &[3, 4]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn equality_and_empty() {
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::from(vec![7, 7]), Bytes::copy_from_slice(&[7, 7]));
+    }
+}

@@ -1,0 +1,121 @@
+//! Minimal vendored stand-in for `criterion` (offline build).
+//!
+//! Keeps the bench sources compiling and producing useful numbers: each
+//! `bench_function` runs its body once for warmup, then times a handful of
+//! iterations with `std::time::Instant` and prints mean wall-clock time.
+//! No statistics engine, no HTML reports.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measured iterations per benchmark (after one warmup run).
+const RUNS: u32 = 3;
+
+/// Throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(&full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { elapsed_ns: 0.0 };
+    f(&mut b); // warmup
+    let mut total = 0.0;
+    for _ in 0..RUNS {
+        b.elapsed_ns = 0.0;
+        f(&mut b);
+        total += b.elapsed_ns;
+    }
+    let mean_ns = total / RUNS as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!(" ({:.2} Melem/s)", n as f64 / mean_ns * 1e3),
+        Throughput::Bytes(n) => format!(" ({:.2} MB/s)", n as f64 / mean_ns * 1e3),
+    });
+    println!(
+        "bench {name}: {:.3} ms/iter{}",
+        mean_ns / 1e6,
+        rate.unwrap_or_default()
+    );
+}
+
+pub struct Bencher {
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed_ns += start.elapsed().as_secs_f64() * 1e9;
+    }
+}
+
+/// Collects bench functions into a runnable group fn, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

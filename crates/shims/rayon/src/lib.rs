@@ -1,0 +1,63 @@
+//! Minimal vendored stand-in for `rayon` (offline build).
+//!
+//! `par_iter()`/`into_par_iter()` return ordinary sequential iterators, so
+//! the benchmark binaries compile unchanged and — as a bonus — run fully
+//! deterministically. The simulator itself is single-threaded (`Rc`-based),
+//! so the only cost is wall-clock time in the figure harnesses.
+
+pub mod prelude {
+    /// `.par_iter()` on slices, arrays, and `Vec` — sequential here.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `.into_par_iter()` — sequential here.
+    pub trait IntoParallelIterator {
+        type Iter: Iterator;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_is_sequential_iter() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let arr = [1u8, 2];
+        assert_eq!(arr.par_iter().count(), 2);
+        assert_eq!((0..4).into_par_iter().sum::<usize>(), 6);
+    }
+}

@@ -1,0 +1,158 @@
+//! Minimal `#[derive(Serialize)]` for the vendored serde shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline). Supports
+//! the two shapes the workspace uses: structs with named fields and enums
+//! with unit variants. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (kind, name, body) = parse_item(input);
+    let code = match kind.as_str() {
+        "struct" => derive_struct(&name, body),
+        "enum" => derive_enum(&name, body),
+        _ => panic!("derive(Serialize): unsupported item kind {kind}"),
+    };
+    code.parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+/// Find `struct`/`enum`, the type name, and the `{ ... }` body, skipping
+/// attributes and visibility.
+fn parse_item(input: TokenStream) -> (String, String, TokenStream) {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next(); // the attribute group
+            }
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => panic!("derive(Serialize): expected type name, got {other:?}"),
+                    };
+                    for tt2 in iter.by_ref() {
+                        match tt2 {
+                            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                                return (kw, name, g.stream());
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ';' => {
+                                panic!("derive(Serialize): tuple/unit structs unsupported");
+                            }
+                            TokenTree::Punct(p) if p.as_char() == '<' => {
+                                panic!("derive(Serialize): generics unsupported");
+                            }
+                            _ => {}
+                        }
+                    }
+                    panic!("derive(Serialize): missing body for {name}");
+                }
+                // `pub`, `pub(crate)` etc. fall through.
+            }
+            _ => {}
+        }
+    }
+    panic!("derive(Serialize): no struct or enum found");
+}
+
+/// Extract named field identifiers from a struct body, skipping attributes,
+/// visibility, and type tokens (tracking `<`/`>` depth so commas inside
+/// generic arguments don't split fields).
+fn struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'outer: while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip a following `(crate)`-style restriction, if any.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                // Consume `: Type` up to the next top-level comma.
+                let mut angle = 0i32;
+                for tt2 in iter.by_ref() {
+                    if let TokenTree::Punct(p) = tt2 {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => continue 'outer,
+                            _ => {}
+                        }
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn derive_struct(name: &str, body: TokenStream) -> String {
+    let fields = struct_fields(body);
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(::std::string::String::from(\"{f}\"), serde::Serialize::to_value(&self.{f}))")
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{\n\
+         \t\tserde::Value::Object(vec![{}])\n\
+         \t}}\n\
+         }}",
+        entries.join(", ")
+    )
+}
+
+/// Extract unit-variant names from an enum body.
+fn enum_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter();
+    let mut expect_name = true;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if expect_name => {
+                variants.push(id.to_string());
+                expect_name = false;
+            }
+            TokenTree::Group(_) => {
+                panic!("derive(Serialize): enum variants with payloads unsupported");
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => expect_name = true,
+            _ => {}
+        }
+    }
+    variants
+}
+
+fn derive_enum(name: &str, body: TokenStream) -> String {
+    let variants = enum_variants(body);
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => serde::Value::Str(::std::string::String::from(\"{v}\"))"))
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> serde::Value {{\n\
+         \t\tmatch self {{ {} }}\n\
+         \t}}\n\
+         }}",
+        arms.join(", ")
+    )
+}

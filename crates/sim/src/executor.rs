@@ -16,7 +16,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::time::{SimDuration, SimTime};
 
@@ -26,18 +26,21 @@ pub struct TaskId(pub u64);
 
 /// Wakers push runnable task ids here. It lives behind an `Arc` because the
 /// `Waker` contract requires `Send + Sync`, even though this executor never
-/// leaves its thread; `parking_lot::Mutex` keeps the uncontended cost tiny.
+/// leaves its thread; the `std` mutex is always uncontended here.
 struct ReadyQueue {
     queue: Mutex<VecDeque<TaskId>>,
 }
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue.lock().push_back(id);
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
     }
 
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().pop_front()
+        self.queue.lock().expect("ready queue poisoned").pop_front()
     }
 }
 
@@ -372,7 +375,11 @@ impl<T: 'static> Future for JoinHandle<T> {
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
         let mut st = self.state.borrow_mut();
         if st.finished {
-            Poll::Ready(st.result.take().expect("JoinHandle polled after completion"))
+            Poll::Ready(
+                st.result
+                    .take()
+                    .expect("JoinHandle polled after completion"),
+            )
         } else {
             st.waker = Some(cx.waker().clone());
             Poll::Pending

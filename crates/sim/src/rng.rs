@@ -7,8 +7,57 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+/// xoshiro256++ core — small, fast, and plenty for simulation jitter.
+/// Implemented locally (the build has no crates.io access for `rand`);
+/// the output stream is fixed by this code and stable across platforms.
+struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Expand a 64-bit seed into the full state with SplitMix64, like
+    /// `rand::SeedableRng::seed_from_u64` does.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = splitmix64_inc(x);
+            splitmix64_mix(x)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn splitmix64_inc(x: u64) -> u64 {
+    x.wrapping_add(0x9E37_79B9_7F4A_7C15)
+}
+
+fn splitmix64_mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// SplitMix64 step; good avalanche for deriving per-stream seeds.
 fn splitmix64(mut x: u64) -> u64 {
@@ -76,29 +125,31 @@ impl DetRng {
     }
 
     pub fn next_u64(&self) -> u64 {
-        self.rng.borrow_mut().gen()
+        self.rng.borrow_mut().next_u64()
     }
 
     /// Uniform in [0, 1).
     pub fn uniform(&self) -> f64 {
-        self.rng.borrow_mut().gen::<f64>()
+        self.rng.borrow_mut().next_f64()
     }
 
     /// Uniform integer in [lo, hi).
     pub fn uniform_range(&self, lo: u64, hi: u64) -> u64 {
         assert!(hi > lo);
-        self.rng.borrow_mut().gen_range(lo..hi)
+        // Rejection-free modulo; the tiny bias is irrelevant for jitter and
+        // workload draws, and determinism is what actually matters here.
+        lo + self.rng.borrow_mut().next_u64() % (hi - lo)
     }
 
     /// Standard normal via Box–Muller.
     pub fn normal(&self) -> f64 {
         let mut rng = self.rng.borrow_mut();
         loop {
-            let u1: f64 = rng.gen::<f64>();
+            let u1: f64 = rng.next_f64();
             if u1 <= f64::EPSILON {
                 continue;
             }
-            let u2: f64 = rng.gen::<f64>();
+            let u2: f64 = rng.next_f64();
             return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         }
     }

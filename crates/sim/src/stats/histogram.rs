@@ -180,7 +180,8 @@ mod tests {
         }
         values.sort_unstable();
         for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
-            let exact = values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
+            let exact =
+                values[((q * values.len() as f64).ceil() as usize - 1).min(values.len() - 1)];
             let approx = h.quantile(q);
             let rel = (approx as f64 - exact as f64).abs() / exact as f64;
             assert!(rel < 0.04, "q={q} exact={exact} approx={approx} rel={rel}");
@@ -249,10 +250,7 @@ mod tests {
             let idx = bucket_index(v);
             let rep = bucket_value(idx);
             let err = (rep as i128 - v as i128).unsigned_abs() as f64;
-            assert!(
-                err <= (v as f64) * 0.033 + 1.0,
-                "v={v} rep={rep} idx={idx}"
-            );
+            assert!(err <= (v as f64) * 0.033 + 1.0, "v={v} rep={rep} idx={idx}");
             v = v.wrapping_mul(3) / 2 + 1;
         }
     }

@@ -4,6 +4,6 @@ mod channel;
 mod notify;
 mod semaphore;
 
-pub use channel::{bounded, channel, RecvError, Receiver, SendError, Sender};
+pub use channel::{bounded, channel, Receiver, RecvError, SendError, Sender};
 pub use notify::Notify;
 pub use semaphore::Semaphore;

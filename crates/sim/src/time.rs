@@ -273,7 +273,10 @@ mod tests {
     fn bandwidth_conversions() {
         // 100 Gbit/s => 80 ps per byte.
         assert_eq!(transmission_time(1, 100.0), SimDuration::from_ps(80));
-        assert_eq!(transmission_time(4096, 100.0), SimDuration::from_ps(327_680));
+        assert_eq!(
+            transmission_time(4096, 100.0),
+            SimDuration::from_ps(327_680)
+        );
         // 10 GB/s => 100 ps per byte.
         assert_eq!(copy_time(10, 10.0), SimDuration::from_ps(1000));
     }
@@ -299,6 +302,9 @@ mod tests {
         let a = SimDuration::from_ns(1);
         let b = SimDuration::from_ns(2);
         assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
-        assert_eq!(SimTime::ZERO.saturating_since(SimTime(5)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::ZERO.saturating_since(SimTime(5)),
+            SimDuration::ZERO
+        );
     }
 }

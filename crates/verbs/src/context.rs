@@ -97,12 +97,23 @@ impl Context {
     }
 
     /// Create a queue pair (control plane).
-    pub async fn create_qp(&self, transport: Transport, send_cq: &UserCq, recv_cq: &UserCq) -> UserQp {
+    pub async fn create_qp(
+        &self,
+        transport: Transport,
+        send_cq: &UserCq,
+        recv_cq: &UserCq,
+    ) -> UserQp {
         self.kernel.control_ioctl(&self.core).await;
         let qpn = self
             .nic()
             .create_qp(transport, send_cq.raw().clone(), recv_cq.raw().clone());
-        UserQp::new(self.clone(), qpn, transport, send_cq.clone(), recv_cq.clone())
+        UserQp::new(
+            self.clone(),
+            qpn,
+            transport,
+            send_cq.clone(),
+            recv_cq.clone(),
+        )
     }
 }
 

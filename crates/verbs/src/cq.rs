@@ -65,11 +65,7 @@ impl UserCq {
                 cqes
             }
             Dataplane::Cord => {
-                let cqes = self
-                    .ctx
-                    .kernel()
-                    .cord_poll_cq(&core, &self.cq, max)
-                    .await;
+                let cqes = self.ctx.kernel().cord_poll_cq(&core, &self.cq, max).await;
                 if !cqes.is_empty() {
                     let spec = core.spec();
                     core.compute_ns(spec.poll_cqe_ns * cqes.len() as f64).await;

@@ -102,12 +102,7 @@ impl UserQp {
                 core.compute_ns(nic_spec.doorbell_ns).await;
                 self.ctx.nic().post_send(self.qpn, wqe, true)
             }
-            Dataplane::Cord => {
-                self.ctx
-                    .kernel()
-                    .cord_post_send(&core, self.qpn, wqe)
-                    .await
-            }
+            Dataplane::Cord => self.ctx.kernel().cord_post_send(&core, self.qpn, wqe).await,
         }
     }
 
@@ -144,12 +139,7 @@ impl UserQp {
                 core.compute_ns(self.ctx.nic().spec().nic.doorbell_ns).await;
                 self.ctx.nic().post_recv(self.qpn, wqe)
             }
-            Dataplane::Cord => {
-                self.ctx
-                    .kernel()
-                    .cord_post_recv(&core, self.qpn, wqe)
-                    .await
-            }
+            Dataplane::Cord => self.ctx.kernel().cord_post_recv(&core, self.qpn, wqe).await,
         }
     }
 }
@@ -315,8 +305,9 @@ mod tests {
         use std::rc::Rc;
         let sim = Sim::new();
         let (ca, cb) = ctx_pair(&sim, Dataplane::Cord, Dataplane::Bypass);
-        ca.kernel()
-            .add_policy(Rc::new(SecurityPolicy::new().deny_op(cord_nic::Opcode::Send)));
+        ca.kernel().add_policy(Rc::new(
+            SecurityPolicy::new().deny_op(cord_nic::Opcode::Send),
+        ));
         let err = sim.block_on({
             let (ca, cb) = (ca.clone(), cb.clone());
             async move {

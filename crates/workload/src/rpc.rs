@@ -1,0 +1,271 @@
+//! The RPC service model: request/response traffic over `SendWqe`/`RecvWqe`
+//! with per-request latency accounting.
+//!
+//! Each tenant connection is one client QP on the tenant's home node paired
+//! with one server QP on a server node (RC) or two activated UD QPs. The
+//! server runs a worker loop (recv → service compute → respond); the client
+//! drives the tenant's arrival process and records sojourn time — scheduled
+//! arrival to response — so open-loop queueing delay counts against the SLO,
+//! exactly like a production latency dashboard would.
+
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use cord_core::Fabric;
+use cord_hw::MemRegion;
+use cord_nic::{CqeStatus, QpNum, RecvWqe, SendWqe, Sge, Transport, UdDest, VerbsError, WrId};
+use cord_sim::{DetRng, SimDuration};
+use cord_verbs::qp::{activate_ud, connect_rc_pair};
+use cord_verbs::{Access, Context, Mr, UserQp};
+
+use crate::spec::{Arrival, SizeDist, TenantSpec};
+use crate::stats::TenantStats;
+
+/// One side of an established connection.
+pub struct Endpoint {
+    pub ctx: Context,
+    pub qp: UserQp,
+    /// Outbound payload buffer (requests / responses are read from here).
+    pub tx: MemRegion,
+    pub tx_mr: Mr,
+    /// Inbound landing buffer.
+    pub rx: MemRegion,
+    pub rx_mr: Mr,
+}
+
+impl Endpoint {
+    fn tx_sge(&self, len: usize) -> Sge {
+        Sge {
+            addr: self.tx.addr,
+            len,
+            lkey: self.tx_mr.lkey,
+        }
+    }
+
+    fn rx_sge(&self) -> Sge {
+        Sge {
+            addr: self.rx.addr,
+            len: self.rx.len,
+            lkey: self.rx_mr.lkey,
+        }
+    }
+}
+
+/// An established client/server connection, with the server's receive
+/// window already preposted (so a client may fire immediately).
+pub struct Connection {
+    pub client: Endpoint,
+    pub server: Endpoint,
+    pub transport: Transport,
+    /// Max requests in flight (the server preposts this many + 1 recvs).
+    pub window: usize,
+}
+
+/// Wire one connection for `tenant` to `server_node`.
+pub async fn establish(fabric: &Fabric, tenant: &TenantSpec, server_node: usize) -> Connection {
+    let window = match tenant.arrival {
+        Arrival::Closed { .. } => 1,
+        Arrival::Open { .. } => tenant.window,
+    };
+    let cctx = fabric.new_context(tenant.home, tenant.dataplane);
+    let sctx = fabric.new_context(server_node, tenant.dataplane);
+
+    async fn mk_ep(ctx: Context, transport: Transport, tx_len: usize, rx_len: usize) -> Endpoint {
+        let tx = ctx.alloc(tx_len, 0xA5);
+        let rx = ctx.alloc(rx_len, 0x00);
+        let tx_mr = ctx.reg_mr(tx, Access::all()).await;
+        let rx_mr = ctx.reg_mr(rx, Access::all()).await;
+        let scq = ctx.create_cq(4096).await;
+        let rcq = ctx.create_cq(4096).await;
+        let qp = ctx.create_qp(transport, &scq, &rcq).await;
+        Endpoint {
+            ctx,
+            qp,
+            tx,
+            tx_mr,
+            rx,
+            rx_mr,
+        }
+    }
+
+    let req_max = tenant.req_size.max();
+    let resp_max = tenant.resp_size.max();
+    let client = mk_ep(cctx, tenant.transport, req_max, resp_max).await;
+    let server = mk_ep(sctx, tenant.transport, resp_max, req_max).await;
+
+    match tenant.transport {
+        Transport::Rc => connect_rc_pair(&client.qp, &server.qp).await.unwrap(),
+        Transport::Ud => {
+            activate_ud(&client.qp).await.unwrap();
+            activate_ud(&server.qp).await.unwrap();
+        }
+    }
+
+    // Prepost the server's receive window before any client traffic exists,
+    // so a full client window can never hit an RNR.
+    for i in 0..window + 1 {
+        server
+            .qp
+            .post_recv(RecvWqe::new(WrId(i as u64), server.rx_sge()))
+            .await
+            .expect("server prepost fits RQ depth");
+    }
+
+    Connection {
+        client,
+        server,
+        transport: tenant.transport,
+        window,
+    }
+}
+
+/// Server worker loop: recv → service compute → respond, forever. The task
+/// parks on its CQ when the scenario drains; it is dropped with the sim.
+pub async fn serve(
+    ep: Endpoint,
+    transport: Transport,
+    resp_size: SizeDist,
+    service_ns: f64,
+    rng: DetRng,
+) {
+    loop {
+        let cqe = ep.qp.recv_cq().wait_one().await;
+        if cqe.status != CqeStatus::Success {
+            continue;
+        }
+        // Replenish the receive credit before anything slow.
+        let _ = ep.qp.post_recv(RecvWqe::new(cqe.wr_id, ep.rx_sge())).await;
+        if service_ns > 0.0 {
+            ep.ctx.core().compute_ns(service_ns).await;
+        }
+        let len = resp_size.sample(&rng);
+        let mut wqe = SendWqe::send(WrId(u64::MAX), ep.tx_sge(len));
+        if transport == Transport::Ud {
+            let (Some(node), Some(qpn)) = (cqe.src_node, cqe.src_qp) else {
+                continue;
+            };
+            wqe = wqe.with_ud_dest(UdDest { node, qpn });
+        }
+        if ep.qp.post_send(wqe).await.is_ok() {
+            ep.qp.send_cq().wait_one().await;
+        }
+    }
+}
+
+/// Per-connection client parameters, cut from a tenant's spec.
+pub struct ClientCfg {
+    /// Server-side (node, QPN), the UD destination.
+    pub peer: (usize, QpNum),
+    pub transport: Transport,
+    pub arrival: Arrival,
+    pub req_size: SizeDist,
+    /// Max requests in flight (open loop).
+    pub window: usize,
+    /// Requests this connection issues.
+    pub nreq: usize,
+}
+
+/// Drive one client connection through `cfg.nreq` requests of the tenant's
+/// arrival process, recording into `stats`.
+pub async fn drive_client(ep: Endpoint, cfg: ClientCfg, stats: Rc<TenantStats>, rng: DetRng) {
+    let ClientCfg {
+        peer,
+        transport,
+        arrival,
+        req_size,
+        window,
+        nreq,
+    } = cfg;
+    let sim = ep.ctx.core().sim().clone();
+    // FIFO of (scheduled arrival, request bytes) for in-flight requests;
+    // RC responses return in order, and closed-loop keeps one in flight.
+    let mut pending: VecDeque<(cord_sim::SimTime, usize)> = VecDeque::new();
+    // A receive posted for a request that was then denied can be reused.
+    let mut recv_credit = false;
+    let mut next_arrival = sim.now();
+
+    for seq in 0..nreq as u64 {
+        match arrival {
+            Arrival::Open { rate_per_s } => {
+                let gap_s = rng.exponential(1.0 / rate_per_s.max(1e-9));
+                next_arrival += SimDuration::from_ns_f64(gap_s * 1e9);
+                if sim.now() < next_arrival {
+                    sim.sleep_until(next_arrival).await;
+                }
+            }
+            Arrival::Closed { think } => {
+                if !think.is_zero() {
+                    let t = rng.exponential(think.as_secs_f64());
+                    sim.sleep(SimDuration::from_ns_f64(t * 1e9)).await;
+                }
+                next_arrival = sim.now();
+            }
+        }
+        let arrival_t = next_arrival;
+        stats.on_issue(sim.now());
+
+        // Open loop: admit at most `window` in flight.
+        while pending.len() >= window {
+            complete_one(&ep, &mut pending, &stats).await;
+        }
+
+        if !recv_credit {
+            ep.qp
+                .post_recv(RecvWqe::new(WrId((1u64 << 32) | seq), ep.rx_sge()))
+                .await
+                .expect("client RQ sized for window");
+        }
+        let req_len = req_size.sample(&rng);
+        let mut wqe = SendWqe::send(WrId(seq), ep.tx_sge(req_len));
+        if transport == Transport::Ud {
+            wqe = wqe.with_ud_dest(UdDest {
+                node: peer.0,
+                qpn: peer.1,
+            });
+        }
+        match ep.qp.post_send(wqe).await {
+            Ok(()) => {
+                pending.push_back((arrival_t, req_len));
+                recv_credit = false;
+            }
+            Err(VerbsError::PolicyDenied(_)) => {
+                stats.on_drop();
+                recv_credit = true;
+            }
+            Err(e) => panic!("client post_send failed: {e}"),
+        }
+        // Reap send completions as we go: frees CQ space and lets CoRD
+        // policies (quota release) observe completions.
+        let _ = ep.qp.send_cq().poll(16).await;
+    }
+
+    while !pending.is_empty() {
+        complete_one(&ep, &mut pending, &stats).await;
+    }
+    // Final send-CQ drain (all sends completed before the last response).
+    loop {
+        let got = ep.qp.send_cq().poll(64).await;
+        if got.is_empty() {
+            break;
+        }
+    }
+}
+
+async fn complete_one(
+    ep: &Endpoint,
+    pending: &mut VecDeque<(cord_sim::SimTime, usize)>,
+    stats: &TenantStats,
+) {
+    let cqe = ep.qp.recv_cq().wait_one().await;
+    let (arrival, req_len) = pending.pop_front().expect("completion without request");
+    if cqe.status == CqeStatus::Success {
+        let sim = ep.ctx.core().sim();
+        stats.on_complete(
+            sim.now(),
+            sim.now().saturating_since(arrival),
+            req_len + cqe.byte_len,
+        );
+    } else {
+        stats.on_drop();
+    }
+}

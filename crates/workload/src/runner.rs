@@ -1,0 +1,150 @@
+//! Scenario orchestration: build a fabric, install per-tenant policies,
+//! wire every connection, run all tenants concurrently, and summarize.
+
+use std::rc::Rc;
+
+use cord_core::Fabric;
+use cord_kern::{QosPolicy, QuotaPolicy, RateLimitPolicy};
+use cord_sim::SimDuration;
+
+use crate::policy::ScopedPolicy;
+use crate::rpc::{drive_client, establish, serve, ClientCfg};
+use crate::spec::ScenarioSpec;
+use crate::stats::{ScenarioReport, TenantStats};
+
+/// QoS guard window / low-priority penalty used when any tenant declares a
+/// QoS class (one `QosPolicy` instance per node).
+const QOS_GUARD: SimDuration = SimDuration::from_us(10);
+const QOS_PENALTY: SimDuration = SimDuration::from_us(2);
+
+/// Execute `spec` to completion and return the per-tenant scoreboard.
+///
+/// Deterministic: the same spec and seed produce identical reports.
+pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
+    spec.validate()?;
+    let mut machine = spec.machine.clone();
+    machine.nodes = spec.nodes;
+    let fabric = Fabric::builder(machine).seed(spec.seed).build();
+    // Guard against accidental busy loops in workload logic.
+    fabric.sim().set_max_polls(4_000_000_000);
+
+    // Node-wide QoS arbitration, when any tenant declares a class.
+    let qos: Vec<Rc<QosPolicy>> = if spec.tenants.iter().any(|t| t.qos.is_some()) {
+        (0..spec.nodes)
+            .map(|n| {
+                let p = Rc::new(QosPolicy::new(QOS_GUARD, QOS_PENALTY));
+                fabric.kernel(n).add_policy(p.clone());
+                p
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let stats: Vec<Rc<TenantStats>> = spec.tenants.iter().map(|_| TenantStats::new()).collect();
+
+    let f = fabric.clone();
+    let tenants = spec.tenants.clone();
+    let stats2 = stats.clone();
+    let (elapsed, qps_created) = fabric.block_on(async move {
+        let rng = f.rng().clone();
+        let mut qps_created = 0usize;
+        let mut clients = Vec::new();
+
+        // Phase 1: establish every connection (server windows preposted),
+        // collecting the client drivers to launch together.
+        for (ti, t) in tenants.iter().enumerate() {
+            // Per-tenant controls, scoped to this tenant's client QPs on
+            // its home-node kernel.
+            let rate = t.rate_limit_gbps.map(|gbps| {
+                // Generous fixed message budget: the tenant knob limits
+                // bytes/s, so the byte bucket is the one meant to bind.
+                let p = ScopedPolicy::new(Rc::new(RateLimitPolicy::new(gbps, 50e6)));
+                f.kernel(t.home).add_policy(p.clone());
+                p
+            });
+            let quota = t.quota.map(|q| {
+                let p = ScopedPolicy::new(Rc::new(QuotaPolicy::new(q)));
+                f.kernel(t.home).add_policy(p.clone());
+                p
+            });
+
+            let nconn = t.connections();
+            let mut conn_idx = 0usize;
+            for &server_node in &t.servers {
+                for _ in 0..t.conns_per_server {
+                    let conn = establish(&f, t, server_node).await;
+                    qps_created += 2;
+                    if let Some(p) = &rate {
+                        p.attach(conn.client.qp.qpn());
+                    }
+                    if let Some(p) = &quota {
+                        p.attach(conn.client.qp.qpn());
+                    }
+                    if let Some(class) = t.qos {
+                        qos[t.home].classify(conn.client.qp.qpn().0, class);
+                        qos[server_node].classify(conn.server.qp.qpn().0, class);
+                    }
+
+                    // Requests are spread round-robin across connections.
+                    let nreq = t.requests / nconn + usize::from(conn_idx < t.requests % nconn);
+                    let peer = (conn.server.qp.node(), conn.server.qp.qpn());
+                    clients.push((
+                        conn,
+                        peer,
+                        ti,
+                        nreq,
+                        rng.stream_indexed(&format!("wl-client-{}", t.name), conn_idx as u64),
+                        rng.stream_indexed(&format!("wl-server-{}", t.name), conn_idx as u64),
+                    ));
+                    conn_idx += 1;
+                }
+            }
+        }
+
+        // Phase 2: launch all servers and clients at one instant, so the
+        // arrival processes of every tenant overlap from t0.
+        let t0 = f.sim().now();
+        let mut handles = Vec::new();
+        for (conn, peer, ti, nreq, crng, srng) in clients {
+            let t = &tenants[ti];
+            f.spawn(serve(
+                conn.server,
+                conn.transport,
+                t.resp_size,
+                t.service_ns,
+                srng,
+            ));
+            handles.push(f.spawn(drive_client(
+                conn.client,
+                ClientCfg {
+                    peer,
+                    transport: conn.transport,
+                    arrival: t.arrival,
+                    req_size: t.req_size,
+                    window: conn.window,
+                    nreq,
+                },
+                Rc::clone(&stats2[ti]),
+                crng,
+            )));
+        }
+        for h in handles {
+            h.await;
+        }
+        (f.sim().now().since(t0), qps_created)
+    });
+
+    let tenants_report = spec
+        .tenants
+        .iter()
+        .zip(&stats)
+        .map(|(t, s)| s.report(&t.name))
+        .collect();
+    Ok(ScenarioReport::summarize(
+        spec,
+        qps_created,
+        elapsed,
+        tenants_report,
+    ))
+}

@@ -1,0 +1,256 @@
+//! Built-in cluster-scale scenarios.
+//!
+//! Every builder takes the same shape knobs — node count, tenant count,
+//! requests per tenant — so the `loadgen` binary and tests can scale one
+//! scenario from a smoke test to a full cluster storm without code changes.
+//! All of them mix CoRD and Bypass tenants (3:1) so policy interposition
+//! runs under contention while bypass traffic shares the same fabric.
+
+use cord_hw::{system_l, MachineSpec};
+use cord_kern::QosClass;
+use cord_nic::Transport;
+use cord_sim::SimDuration;
+use cord_verbs::Dataplane;
+
+use crate::spec::{Arrival, ScenarioSpec, SizeDist, TenantSpec};
+
+/// Names accepted by [`by_name`], in display order.
+pub const NAMES: &[&str] = &["kv-fanout", "incast", "shuffle", "broadcast", "mixed"];
+
+/// Shared scale knobs for the built-in scenarios.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    pub nodes: usize,
+    pub tenants: usize,
+    /// Requests issued per tenant.
+    pub requests: usize,
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            nodes: 16,
+            tenants: 32,
+            requests: 150,
+            seed: 0xC0BD,
+        }
+    }
+}
+
+fn machine() -> MachineSpec {
+    system_l()
+}
+
+/// Every 4th tenant bypasses the kernel — the paper's mixed-dataplane
+/// matrix at cluster scale.
+fn dataplane_for(i: usize) -> Dataplane {
+    if i % 4 == 3 {
+        Dataplane::Bypass
+    } else {
+        Dataplane::Cord
+    }
+}
+
+/// Look up a built-in scenario by name.
+pub fn by_name(name: &str, scale: Scale) -> Option<ScenarioSpec> {
+    match name {
+        "kv-fanout" => Some(kv_fanout(scale)),
+        "incast" => Some(incast(scale)),
+        "shuffle" => Some(shuffle(scale)),
+        "broadcast" => Some(broadcast(scale)),
+        "mixed" => Some(mixed(scale)),
+        _ => None,
+    }
+}
+
+/// KV-store RPC fan-out: every tenant is a front-end issuing small GETs to
+/// four backend shards, closed loop with think time; responses are mostly
+/// small with an occasional large value (the classic bimodal KV mix).
+pub fn kv_fanout(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("kv-fanout", machine(), scale.nodes).seed(scale.seed);
+    for i in 0..scale.tenants {
+        let home = i % scale.nodes;
+        let shards = 4.min(scale.nodes - 1);
+        let servers: Vec<usize> = (1..=shards).map(|k| (home + k) % scale.nodes).collect();
+        let mut t = TenantSpec::new(format!("kv{i:02}"), home, servers);
+        t.dataplane = dataplane_for(i);
+        t.arrival = Arrival::Closed {
+            think: SimDuration::from_us(2),
+        };
+        t.req_size = SizeDist::Fixed(64);
+        t.resp_size = SizeDist::Bimodal {
+            small: 256,
+            large: 8192,
+            large_frac: 0.05,
+        };
+        t.requests = scale.requests;
+        t.service_ns = 200.0;
+        spec = spec.tenant(t);
+    }
+    spec
+}
+
+/// Incast: every tenant funnels large PUTs from its own home node into one
+/// hot aggregator node (node 0), open loop — the classic fan-in burst that
+/// melts switch buffers and tail latency in real clusters.
+pub fn incast(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("incast", machine(), scale.nodes).seed(scale.seed);
+    for i in 0..scale.tenants {
+        let home = 1 + i % (scale.nodes - 1);
+        let mut t = TenantSpec::new(format!("in{i:02}"), home, vec![0]);
+        t.dataplane = dataplane_for(i);
+        t.conns_per_server = 2;
+        t.arrival = Arrival::Open {
+            rate_per_s: 40_000.0,
+        };
+        t.window = 4;
+        t.req_size = SizeDist::Fixed(32 * 1024);
+        t.resp_size = SizeDist::Fixed(16);
+        t.requests = scale.requests;
+        t.service_ns = 100.0;
+        spec = spec.tenant(t);
+    }
+    spec
+}
+
+/// All-to-all shuffle: every tenant moves fixed-size blocks from its home
+/// node to every other node (map→reduce exchange), closed loop at full
+/// tilt. With 32 tenants on 16 nodes this drives ~960 QPs concurrently.
+pub fn shuffle(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("shuffle", machine(), scale.nodes).seed(scale.seed);
+    for i in 0..scale.tenants {
+        let home = i % scale.nodes;
+        let servers: Vec<usize> = (0..scale.nodes).filter(|&n| n != home).collect();
+        let mut t = TenantSpec::new(format!("sh{i:02}"), home, servers);
+        t.dataplane = dataplane_for(i);
+        t.arrival = Arrival::Closed {
+            think: SimDuration::ZERO,
+        };
+        t.req_size = SizeDist::Fixed(16 * 1024);
+        t.resp_size = SizeDist::Fixed(64);
+        t.requests = scale.requests;
+        t.service_ns = 120.0;
+        spec = spec.tenant(t);
+    }
+    spec
+}
+
+/// Broadcast storm: chatty UD control-plane gossip from every tenant to
+/// every other node at a high open-loop rate — lots of tiny datagrams, a
+/// message-rate stress rather than a byte stress.
+pub fn broadcast(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("broadcast", machine(), scale.nodes).seed(scale.seed);
+    for i in 0..scale.tenants {
+        let home = i % scale.nodes;
+        let servers: Vec<usize> = (0..scale.nodes).filter(|&n| n != home).collect();
+        let mut t = TenantSpec::new(format!("bc{i:02}"), home, servers);
+        t.dataplane = dataplane_for(i);
+        t.transport = Transport::Ud;
+        t.arrival = Arrival::Open {
+            rate_per_s: 200_000.0,
+        };
+        t.window = 8;
+        t.req_size = SizeDist::Fixed(512);
+        t.resp_size = SizeDist::Fixed(64);
+        t.requests = scale.requests;
+        t.service_ns = 50.0;
+        spec = spec.tenant(t);
+    }
+    spec
+}
+
+/// Background bulk scan + latency-sensitive foreground mix: even tenants
+/// are high-QoS small-RPC services, odd tenants are low-QoS bulk scanners
+/// held to a 10 Gbit/s rate limit and an outstanding-op quota. The
+/// scoreboard shows whether the kernel kept the foreground's tail intact.
+pub fn mixed(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("mixed", machine(), scale.nodes).seed(scale.seed);
+    for i in 0..scale.tenants {
+        let home = i % scale.nodes;
+        let servers: Vec<usize> = (1..=3.min(scale.nodes - 1))
+            .map(|k| (home + k) % scale.nodes)
+            .collect();
+        let mut t = TenantSpec::new(
+            format!("{}{i:02}", if i % 2 == 0 { "fg" } else { "bg" }),
+            home,
+            servers,
+        );
+        if i % 2 == 0 {
+            // Foreground: latency-sensitive RPC, high priority.
+            t.arrival = Arrival::Closed {
+                think: SimDuration::from_us(1),
+            };
+            t.req_size = SizeDist::Fixed(128);
+            t.resp_size = SizeDist::Fixed(512);
+            t.requests = scale.requests;
+            t.service_ns = 150.0;
+            t.qos = Some(QosClass::High);
+        } else {
+            // Background: bulk scanner, low priority, rate-limited, capped
+            // outstanding ops. Must use CoRD for the controls to bind.
+            t.arrival = Arrival::Open {
+                rate_per_s: 30_000.0,
+            };
+            t.window = 8;
+            t.req_size = SizeDist::Fixed(64 * 1024);
+            t.resp_size = SizeDist::Fixed(32);
+            t.requests = scale.requests / 2;
+            t.service_ns = 300.0;
+            t.qos = Some(QosClass::Low);
+            t.rate_limit_gbps = Some(10.0);
+            t.quota = Some(64);
+        }
+        spec = spec.tenant(t);
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Scale {
+        Scale {
+            nodes: 4,
+            tenants: 4,
+            requests: 8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn all_builtins_validate_at_default_and_small_scale() {
+        for &name in NAMES {
+            let s = by_name(name, Scale::default()).unwrap();
+            s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(s.tenants.len(), 32, "{name}");
+            let s = by_name(name, small()).unwrap();
+            s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        assert!(by_name("nope", small()).is_none());
+    }
+
+    #[test]
+    fn shuffle_reaches_cluster_scale_qp_counts() {
+        let s = shuffle(Scale::default());
+        // 32 tenants × 15 peers × 2 QPs per connection.
+        assert_eq!(s.total_connections() * 2, 960);
+    }
+
+    #[test]
+    fn mixed_splits_roles() {
+        let s = mixed(Scale::default());
+        assert!(s
+            .tenants
+            .iter()
+            .step_by(2)
+            .all(|t| t.qos == Some(QosClass::High)));
+        assert!(s
+            .tenants
+            .iter()
+            .skip(1)
+            .step_by(2)
+            .all(|t| t.rate_limit_gbps.is_some() && t.quota.is_some()));
+    }
+}

@@ -1,0 +1,306 @@
+//! Tenant and scenario specifications.
+//!
+//! A [`ScenarioSpec`] describes one cluster-scale experiment: the fabric
+//! (node count, machine preset, seed) plus a set of [`TenantSpec`]s. Each
+//! tenant is an independent traffic source with its own arrival process,
+//! message-size distributions, transport, dataplane, and optional kernel
+//! policies (QoS class, rate limit, outstanding-op quota).
+
+use cord_hw::MachineSpec;
+use cord_kern::QosClass;
+use cord_nic::Transport;
+use cord_sim::{DetRng, SimDuration};
+use cord_verbs::Dataplane;
+
+/// How a tenant's requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrival {
+    /// Open loop: requests arrive by a Poisson process at `rate_per_s`,
+    /// independent of completions (queueing delay counts toward latency).
+    Open { rate_per_s: f64 },
+    /// Closed loop: each connection keeps one request in flight and thinks
+    /// for `think` between a response and the next request.
+    Closed { think: SimDuration },
+}
+
+/// Message-size distribution (bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeDist {
+    Fixed(usize),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        lo: usize,
+        hi: usize,
+    },
+    /// Lognormal with the underlying normal's location/scale, capped.
+    Lognormal {
+        mu: f64,
+        sigma: f64,
+        cap: usize,
+    },
+    /// `large_frac` of draws are `large`, the rest `small` — the classic
+    /// RPC mix (tiny control messages, occasional bulk payloads).
+    Bimodal {
+        small: usize,
+        large: usize,
+        large_frac: f64,
+    },
+}
+
+impl SizeDist {
+    /// Draw one size; never returns 0.
+    pub fn sample(&self, rng: &DetRng) -> usize {
+        let v = match *self {
+            SizeDist::Fixed(n) => n,
+            SizeDist::Uniform { lo, hi } => {
+                debug_assert!(hi >= lo);
+                rng.uniform_range(lo as u64, hi as u64 + 1) as usize
+            }
+            SizeDist::Lognormal { mu, sigma, cap } => (rng.lognormal(mu, sigma) as usize).min(cap),
+            SizeDist::Bimodal {
+                small,
+                large,
+                large_frac,
+            } => {
+                if rng.uniform() < large_frac {
+                    large
+                } else {
+                    small
+                }
+            }
+        };
+        v.max(1)
+    }
+
+    /// Largest size this distribution can produce (buffer sizing).
+    pub fn max(&self) -> usize {
+        match *self {
+            SizeDist::Fixed(n) => n.max(1),
+            SizeDist::Uniform { hi, .. } => hi.max(1),
+            SizeDist::Lognormal { cap, .. } => cap.max(1),
+            SizeDist::Bimodal { small, large, .. } => small.max(large).max(1),
+        }
+    }
+}
+
+/// One tenant: a traffic source with service-level knobs.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Display name (unique within a scenario).
+    pub name: String,
+    /// Node the tenant's client processes run on.
+    pub home: usize,
+    /// Nodes hosting this tenant's servers; one connection (QP pair) is
+    /// created per server per `conns_per_server`.
+    pub servers: Vec<usize>,
+    pub conns_per_server: usize,
+    pub transport: Transport,
+    /// Which dataplane the tenant's endpoints use. Policies only bind under
+    /// [`Dataplane::Cord`] — a Bypass tenant slips past every control.
+    pub dataplane: Dataplane,
+    pub arrival: Arrival,
+    pub req_size: SizeDist,
+    pub resp_size: SizeDist,
+    /// Total requests the tenant issues (spread round-robin over its
+    /// connections).
+    pub requests: usize,
+    /// Max in-flight requests per connection (open loop only).
+    pub window: usize,
+    /// Server-side compute per request, ns.
+    pub service_ns: f64,
+    /// QoS class, enforced by a node-wide `QosPolicy` when any tenant sets
+    /// one.
+    pub qos: Option<QosClass>,
+    /// Per-tenant token-bucket rate limit (Gbit/s), enforced on the home
+    /// node's kernel for this tenant's QPs only.
+    pub rate_limit_gbps: Option<f64>,
+    /// Per-QP outstanding-op quota on the home node.
+    pub quota: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A sane small-RPC tenant; override fields as needed.
+    pub fn new(name: impl Into<String>, home: usize, servers: Vec<usize>) -> Self {
+        TenantSpec {
+            name: name.into(),
+            home,
+            servers,
+            conns_per_server: 1,
+            transport: Transport::Rc,
+            dataplane: Dataplane::Cord,
+            arrival: Arrival::Closed {
+                think: SimDuration::ZERO,
+            },
+            req_size: SizeDist::Fixed(64),
+            resp_size: SizeDist::Fixed(256),
+            requests: 100,
+            window: 8,
+            service_ns: 150.0,
+            qos: None,
+            rate_limit_gbps: None,
+            quota: None,
+        }
+    }
+
+    /// Number of client connections this tenant opens.
+    pub fn connections(&self) -> usize {
+        self.servers.len() * self.conns_per_server
+    }
+
+    /// Clamp message sizes to one MTU for UD transports and validate node
+    /// indices against the fabric size.
+    pub fn validate(&self, nodes: usize, mtu: usize) -> Result<(), String> {
+        if self.home >= nodes {
+            return Err(format!(
+                "{}: home node {} out of range",
+                self.name, self.home
+            ));
+        }
+        if self.servers.is_empty() {
+            return Err(format!("{}: no server nodes", self.name));
+        }
+        for &s in &self.servers {
+            if s >= nodes {
+                return Err(format!("{}: server node {s} out of range", self.name));
+            }
+            if s == self.home {
+                return Err(format!("{}: server on home node {s}", self.name));
+            }
+        }
+        if self.transport == Transport::Ud
+            && (self.req_size.max() > mtu || self.resp_size.max() > mtu)
+        {
+            return Err(format!(
+                "{}: UD messages must fit one MTU ({mtu} B)",
+                self.name
+            ));
+        }
+        if self.requests == 0 || self.window == 0 || self.conns_per_server == 0 {
+            return Err(format!(
+                "{}: requests/window/conns must be nonzero",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A complete cluster-scale experiment.
+pub struct ScenarioSpec {
+    pub name: String,
+    /// Machine preset the fabric is cloned from; `nodes` overrides the
+    /// preset's node count.
+    pub machine: MachineSpec,
+    pub nodes: usize,
+    pub seed: u64,
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl ScenarioSpec {
+    pub fn new(name: impl Into<String>, machine: MachineSpec, nodes: usize) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            machine,
+            nodes,
+            seed: 0xC0BD,
+            tenants: Vec::new(),
+        }
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn tenant(mut self, t: TenantSpec) -> Self {
+        self.tenants.push(t);
+        self
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes < 2 {
+            return Err("scenario needs at least 2 nodes".into());
+        }
+        if self.tenants.is_empty() {
+            return Err("scenario has no tenants".into());
+        }
+        let mtu = self.machine.nic.mtu;
+        let mut names = std::collections::BTreeSet::new();
+        for t in &self.tenants {
+            t.validate(self.nodes, mtu)?;
+            // Names key RNG streams and report rows; duplicates would give
+            // tenants correlated draws and indistinguishable scoreboards.
+            if !names.insert(t.name.as_str()) {
+                return Err(format!("duplicate tenant name: {}", t.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total client connections (QP pairs) across all tenants.
+    pub fn total_connections(&self) -> usize {
+        self.tenants.iter().map(TenantSpec::connections).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_hw::system_l;
+
+    #[test]
+    fn size_dists_sample_in_range() {
+        let rng = DetRng::from_seed(7);
+        for _ in 0..200 {
+            assert_eq!(SizeDist::Fixed(64).sample(&rng), 64);
+            let u = SizeDist::Uniform { lo: 10, hi: 20 }.sample(&rng);
+            assert!((10..=20).contains(&u));
+            let b = SizeDist::Bimodal {
+                small: 8,
+                large: 4096,
+                large_frac: 0.5,
+            }
+            .sample(&rng);
+            assert!(b == 8 || b == 4096);
+            let l = SizeDist::Lognormal {
+                mu: 5.0,
+                sigma: 1.0,
+                cap: 1000,
+            }
+            .sample(&rng);
+            assert!((1..=1000).contains(&l));
+        }
+    }
+
+    #[test]
+    fn sample_never_returns_zero() {
+        let rng = DetRng::from_seed(3);
+        assert_eq!(SizeDist::Fixed(0).sample(&rng), 1);
+        assert_eq!(SizeDist::Fixed(0).max(), 1);
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let spec = ScenarioSpec::new("t", system_l(), 4).tenant(TenantSpec::new("a", 0, vec![9]));
+        assert!(spec.validate().is_err(), "server out of range");
+
+        let spec = ScenarioSpec::new("t", system_l(), 4).tenant(TenantSpec::new("a", 0, vec![0]));
+        assert!(spec.validate().is_err(), "server on home node");
+
+        let mut ud = TenantSpec::new("a", 0, vec![1]);
+        ud.transport = Transport::Ud;
+        ud.req_size = SizeDist::Fixed(100_000);
+        let spec = ScenarioSpec::new("t", system_l(), 4).tenant(ud);
+        assert!(spec.validate().is_err(), "UD over MTU");
+
+        let spec = ScenarioSpec::new("t", system_l(), 4)
+            .tenant(TenantSpec::new("a", 0, vec![1]))
+            .tenant(TenantSpec::new("a", 1, vec![2]));
+        assert!(spec.validate().is_err(), "duplicate tenant name");
+
+        let spec =
+            ScenarioSpec::new("t", system_l(), 4).tenant(TenantSpec::new("a", 0, vec![1, 2, 3]));
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.total_connections(), 3);
+    }
+}

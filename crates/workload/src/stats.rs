@@ -1,0 +1,215 @@
+//! Per-tenant SLO accounting, built on `cord_sim::stats`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cord_sim::stats::Histogram;
+use cord_sim::{SimDuration, SimTime};
+use serde::Serialize;
+
+/// Mutable per-tenant counters, shared by all of a tenant's connection
+/// tasks via `Rc<TenantStats>`.
+#[derive(Default)]
+pub struct TenantStats {
+    inner: RefCell<StatsInner>,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    latency: Option<Histogram>,
+    issued: u64,
+    completed: u64,
+    dropped: u64,
+    bytes_moved: u64,
+    /// First arrival and last completion, bounding the tenant's active span
+    /// (its goodput denominator — tenants finish at different times).
+    first_issue: Option<SimTime>,
+    last_event: SimTime,
+}
+
+impl TenantStats {
+    pub fn new() -> Rc<TenantStats> {
+        Rc::new(TenantStats::default())
+    }
+
+    pub fn on_issue(&self, now: SimTime) {
+        let mut s = self.inner.borrow_mut();
+        s.issued += 1;
+        s.first_issue.get_or_insert(now);
+        s.last_event = s.last_event.max(now);
+    }
+
+    /// A request finished: `sojourn` is arrival-to-response time (includes
+    /// queueing for open-loop tenants); `bytes` is request + response
+    /// payload.
+    pub fn on_complete(&self, now: SimTime, sojourn: SimDuration, bytes: usize) {
+        let mut s = self.inner.borrow_mut();
+        s.completed += 1;
+        s.bytes_moved += bytes as u64;
+        s.last_event = s.last_event.max(now);
+        s.latency
+            .get_or_insert_with(Histogram::new)
+            .record(sojourn.as_ps());
+    }
+
+    /// A request was refused by a kernel policy (quota, security, ...).
+    pub fn on_drop(&self) {
+        self.inner.borrow_mut().dropped += 1;
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.inner.borrow().completed
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped
+    }
+
+    /// Freeze into a report. Goodput is computed over the tenant's own
+    /// active span (first arrival to last completion), so tenants that
+    /// finish early aren't diluted by a long-running scenario.
+    pub fn report(&self, name: &str) -> TenantReport {
+        let s = self.inner.borrow();
+        let q = |quant: f64| -> f64 {
+            s.latency
+                .as_ref()
+                .map(|h| h.quantile(quant) as f64 / 1e6)
+                .unwrap_or(0.0)
+        };
+        let mean_us = s
+            .latency
+            .as_ref()
+            .map(|h| h.mean() / 1e6)
+            .filter(|m| m.is_finite())
+            .unwrap_or(0.0);
+        let span_s = s
+            .first_issue
+            .map(|t0| s.last_event.saturating_since(t0).as_secs_f64())
+            .unwrap_or(0.0);
+        TenantReport {
+            tenant: name.to_string(),
+            issued: s.issued,
+            completed: s.completed,
+            dropped: s.dropped,
+            p50_us: q(0.50),
+            p99_us: q(0.99),
+            p999_us: q(0.999),
+            mean_us,
+            max_us: s
+                .latency
+                .as_ref()
+                .map(|h| h.max() as f64 / 1e6)
+                .unwrap_or(0.0),
+            bytes_moved: s.bytes_moved,
+            active_ms: span_s * 1e3,
+            goodput_gbps: if span_s > 0.0 {
+                s.bytes_moved as f64 * 8.0 / span_s / 1e9
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Immutable per-tenant scoreboard.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantReport {
+    pub tenant: String,
+    pub issued: u64,
+    pub completed: u64,
+    /// Requests refused by kernel policies.
+    pub dropped: u64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub p999_us: f64,
+    pub mean_us: f64,
+    pub max_us: f64,
+    /// Payload bytes moved (request + response) by completed requests.
+    pub bytes_moved: u64,
+    /// First arrival to last completion, ms.
+    pub active_ms: f64,
+    /// Payload bits moved per second of the tenant's active span.
+    pub goodput_gbps: f64,
+}
+
+/// Whole-scenario result.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioReport {
+    pub scenario: String,
+    pub machine: String,
+    pub nodes: usize,
+    pub seed: u64,
+    pub connections: usize,
+    pub qps_created: usize,
+    pub elapsed_ms: f64,
+    pub total_completed: u64,
+    pub total_dropped: u64,
+    pub total_goodput_gbps: f64,
+    pub tenants: Vec<TenantReport>,
+}
+
+impl ScenarioReport {
+    pub fn summarize(
+        spec: &crate::spec::ScenarioSpec,
+        qps_created: usize,
+        elapsed: SimDuration,
+        tenants: Vec<TenantReport>,
+    ) -> ScenarioReport {
+        let secs = elapsed.as_secs_f64();
+        let total_bytes: u64 = tenants.iter().map(|t| t.bytes_moved).sum();
+        ScenarioReport {
+            scenario: spec.name.clone(),
+            machine: spec.machine.name.to_string(),
+            nodes: spec.nodes,
+            seed: spec.seed,
+            connections: spec.total_connections(),
+            qps_created,
+            elapsed_ms: elapsed.as_us_f64() / 1e3,
+            total_completed: tenants.iter().map(|t| t.completed).sum(),
+            total_dropped: tenants.iter().map(|t| t.dropped).sum(),
+            total_goodput_gbps: if secs > 0.0 {
+                total_bytes as f64 * 8.0 / secs / 1e9
+            } else {
+                0.0
+            },
+            tenants,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_computes_quantiles_and_goodput() {
+        let st = TenantStats::new();
+        st.on_issue(SimTime::ZERO);
+        for i in 1..=100u64 {
+            if i > 1 {
+                st.on_issue(SimTime(i * 1_000_000));
+            }
+            st.on_complete(SimTime(i * 1_000_000), SimDuration::from_us(i), 1000);
+        }
+        st.on_drop();
+        let r = st.report("t0");
+        assert_eq!(r.issued, 100);
+        assert_eq!(r.completed, 100);
+        assert_eq!(r.dropped, 1);
+        assert!((r.p50_us - 50.0).abs() < 3.0, "p50 {}", r.p50_us);
+        assert!((r.p99_us - 99.0).abs() < 4.0, "p99 {}", r.p99_us);
+        // 100 kB over a 100 µs active span = 8 Gbit/s.
+        assert!((r.active_ms - 0.1).abs() < 1e-9, "{}", r.active_ms);
+        assert!((r.goodput_gbps - 8.0).abs() < 0.01, "{}", r.goodput_gbps);
+    }
+
+    #[test]
+    fn empty_stats_report_zeroes() {
+        let st = TenantStats::new();
+        let r = st.report("idle");
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.p99_us, 0.0);
+        assert_eq!(r.mean_us, 0.0);
+        assert_eq!(r.goodput_gbps, 0.0);
+    }
+}

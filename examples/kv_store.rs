@@ -95,10 +95,7 @@ fn run(mode: Dataplane) -> (f64, f64) {
         // PUTs (two-sided RPC).
         let t0 = sim.now();
         for key in 0..n {
-            client
-                .mem()
-                .write(c_buf.addr, &key.to_le_bytes())
-                .unwrap();
+            client.mem().write(c_buf.addr, &key.to_le_bytes()).unwrap();
             client
                 .mem()
                 .write(c_buf.addr + 8, &[key as u8; VAL_LEN])

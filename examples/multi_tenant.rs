@@ -1,0 +1,75 @@
+//! Three tenants sharing one 4-node fabric: a latency-sensitive storefront,
+//! a rate-limited bulk analytics scanner, and a bypass tenant that — being
+//! invisible to the kernel — escapes every control. One scoreboard shows
+//! what the CoRD dataplane buys a multi-tenant operator.
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use cord_core::prelude::*;
+use cord_workload::{run_scenario, Arrival, ScenarioSpec, SizeDist, TenantSpec};
+
+fn main() {
+    let mut store = TenantSpec::new("storefront", 0, vec![1, 2, 3]);
+    store.arrival = Arrival::Closed {
+        think: SimDuration::from_us(2),
+    };
+    store.req_size = SizeDist::Fixed(128);
+    store.resp_size = SizeDist::Bimodal {
+        small: 512,
+        large: 8192,
+        large_frac: 0.1,
+    };
+    store.requests = 300;
+    store.qos = Some(QosClass::High);
+
+    let mut scanner = TenantSpec::new("scanner", 0, vec![2]);
+    scanner.arrival = Arrival::Open {
+        rate_per_s: 50_000.0,
+    };
+    scanner.window = 8;
+    scanner.req_size = SizeDist::Fixed(64 * 1024);
+    scanner.resp_size = SizeDist::Fixed(64);
+    scanner.requests = 150;
+    scanner.qos = Some(QosClass::Low);
+    scanner.rate_limit_gbps = Some(8.0);
+    scanner.quota = Some(16);
+
+    // Same shape as the scanner, but over kernel bypass: the rate limit and
+    // quota are configured yet cannot bind — the paper's motivation.
+    let mut rogue = TenantSpec::new("rogue-bypass", 1, vec![3]);
+    rogue.dataplane = Dataplane::Bypass;
+    rogue.arrival = Arrival::Open {
+        rate_per_s: 50_000.0,
+    };
+    rogue.window = 8;
+    rogue.req_size = SizeDist::Fixed(64 * 1024);
+    rogue.resp_size = SizeDist::Fixed(64);
+    rogue.requests = 150;
+    rogue.rate_limit_gbps = Some(8.0);
+    rogue.quota = Some(16);
+
+    let spec = ScenarioSpec::new("three-tenants", system_l(), 4)
+        .seed(42)
+        .tenant(store)
+        .tenant(scanner)
+        .tenant(rogue);
+
+    let report = run_scenario(&spec).expect("valid scenario");
+    println!(
+        "three tenants, {} nodes, {} QPs, {:.3} ms of cluster time:\n",
+        report.nodes, report.qps_created, report.elapsed_ms
+    );
+    for t in &report.tenants {
+        println!(
+            "  {:13} p50 {:8.2} µs   p99 {:8.2} µs   goodput {:6.3} Gb/s   drops {}",
+            t.tenant, t.p50_us, t.p99_us, t.goodput_gbps, t.dropped
+        );
+    }
+    let scanner = &report.tenants[1];
+    let rogue = &report.tenants[2];
+    println!(
+        "\nthe same 8 Gbit/s limit holds the CoRD scanner to {:.2} Gb/s while the \
+         bypass twin runs at {:.2} Gb/s — only a kernel on the data path can isolate tenants",
+        scanner.goodput_gbps, rogue.goodput_gbps
+    );
+}

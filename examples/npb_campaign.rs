@@ -12,7 +12,10 @@ use cord_npb::{run_benchmark, Bench, Class};
 fn main() {
     let ranks = 8;
     println!("NPB mini-campaign: class S, {ranks} ranks, system A");
-    println!("{:>4} {:>12} {:>10} {:>10}", "", "RDMA µs", "CoRD rel", "IPoIB rel");
+    println!(
+        "{:>4} {:>12} {:>10} {:>10}",
+        "", "RDMA µs", "CoRD rel", "IPoIB rel"
+    );
     for bench in [Bench::Is, Bench::Ep, Bench::Cg, Bench::Sp] {
         let run = |t| run_benchmark(system_a(), bench, Class::S, ranks, t, 11);
         let rdma = run(MpiTransport::Verbs(Dataplane::Bypass));

@@ -81,7 +81,11 @@ fn main() {
         }
         let mut done = 0;
         while done < n {
-            done += tqp.send_cq().wait_cqes(1, CompletionWait::BusyPoll).await.len() as u64;
+            done += tqp
+                .send_cq()
+                .wait_cqes(1, CompletionWait::BusyPoll)
+                .await
+                .len() as u64;
         }
         let secs = sim.now().since(t0).as_secs_f64();
         let gbps = (n as f64 * (256 << 10) as f64 * 8.0) / secs / 1e9;

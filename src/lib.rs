@@ -9,3 +9,4 @@ pub use cord_npb as npb;
 pub use cord_perftest as perftest;
 pub use cord_sim as sim;
 pub use cord_verbs as verbs;
+pub use cord_workload as workload;

@@ -67,7 +67,10 @@ fn kernel_sees_cord_traffic_but_not_bypass_traffic() {
         if expect_posts == 0 {
             assert_eq!(posts, 0, "bypass dataplane is invisible to the kernel");
         } else {
-            assert!(posts >= expect_posts, "CoRD ops all pass the kernel: {posts}");
+            assert!(
+                posts >= expect_posts,
+                "CoRD ops all pass the kernel: {posts}"
+            );
         }
     }
 }

@@ -1,7 +1,12 @@
-//! Property-based tests (proptest) over the DESIGN.md invariants.
+//! Randomized property tests over the DESIGN invariants.
+//!
+//! The crates.io `proptest` engine is unavailable offline, so cases are
+//! generated from the workspace's own deterministic RNG streams: every run
+//! explores the same inputs, failures are trivially reproducible, and no
+//! shrinking machinery is needed because each case prints its inputs.
 
 use cord_core::prelude::*;
-use proptest::prelude::*;
+use cord_sim::DetRng;
 
 /// Run one send of `data` through the given mode pair; return the received
 /// bytes and the completion status.
@@ -48,26 +53,42 @@ fn roundtrip(data: Vec<u8>, cm: Dataplane, sm: Dataplane, seed: u64) -> (Vec<u8>
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Data integrity: arbitrary payloads survive segmentation, DMA, and
-    /// reassembly byte-for-byte, whatever the dataplane pairing.
-    #[test]
-    fn prop_send_delivers_exact_bytes(
-        data in proptest::collection::vec(any::<u8>(), 1..20_000),
-        cm in prop_oneof![Just(Dataplane::Bypass), Just(Dataplane::Cord)],
-        sm in prop_oneof![Just(Dataplane::Bypass), Just(Dataplane::Cord)],
-    ) {
-        let (got, status) = roundtrip(data.clone(), cm, sm, 1);
-        prop_assert_eq!(status, CqeStatus::Success);
-        prop_assert_eq!(got, data);
+fn mode_of(v: u64) -> Dataplane {
+    if v.is_multiple_of(2) {
+        Dataplane::Bypass
+    } else {
+        Dataplane::Cord
     }
+}
 
-    /// CQE conservation + ordering: N signaled sends on one RC QP produce
-    /// exactly N completions, in post order, each successful.
-    #[test]
-    fn prop_completions_conserved_and_ordered(n in 1usize..40, size in 1usize..4096) {
+/// Data integrity: arbitrary payloads survive segmentation, DMA, and
+/// reassembly byte-for-byte, whatever the dataplane pairing.
+#[test]
+fn prop_send_delivers_exact_bytes() {
+    let rng = DetRng::from_seed(0xDA7A);
+    for case in 0..24 {
+        let len = rng.uniform_range(1, 20_000) as usize;
+        let data: Vec<u8> = (0..len).map(|_| rng.uniform_range(0, 256) as u8).collect();
+        let cm = mode_of(rng.next_u64());
+        let sm = mode_of(rng.next_u64());
+        let (got, status) = roundtrip(data.clone(), cm, sm, 1);
+        assert_eq!(
+            status,
+            CqeStatus::Success,
+            "case {case}: {len} B {cm}->{sm}"
+        );
+        assert_eq!(got, data, "case {case}: {len} B {cm}->{sm}");
+    }
+}
+
+/// CQE conservation + ordering: N signaled sends on one RC QP produce
+/// exactly N completions, in post order, each successful.
+#[test]
+fn prop_completions_conserved_and_ordered() {
+    let rng = DetRng::from_seed(0xC0DE);
+    for case in 0..24 {
+        let n = rng.uniform_range(1, 40) as usize;
+        let size = rng.uniform_range(1, 4096) as usize;
         let fabric = Fabric::builder(system_l()).build();
         let a = fabric.new_context(0, Dataplane::Cord);
         let b = fabric.new_context(1, Dataplane::Bypass);
@@ -116,26 +137,36 @@ proptest! {
             let extra = qa.send_cq().poll(8).await;
             ordered && cqes.len() == n && extra.is_empty()
         });
-        prop_assert!(ok);
+        assert!(ok, "case {case}: n={n} size={size}");
     }
+}
 
-    /// Determinism: any (size, seed) config yields identical virtual-time
-    /// results when repeated.
-    #[test]
-    fn prop_runs_are_deterministic(size in 1usize..65_536, seed in 0u64..1000) {
+/// Determinism: any (size, seed) config yields identical virtual-time
+/// results when repeated.
+#[test]
+fn prop_runs_are_deterministic() {
+    let rng = DetRng::from_seed(0x5EED);
+    for case in 0..12 {
+        let size = rng.uniform_range(1, 65_536) as usize;
+        let seed = rng.uniform_range(0, 1000);
         let data = vec![0xA7u8; size];
         let (g1, s1) = roundtrip(data.clone(), Dataplane::Cord, Dataplane::Cord, seed);
         let (g2, s2) = roundtrip(data, Dataplane::Cord, Dataplane::Cord, seed);
-        prop_assert_eq!(s1, s2);
-        prop_assert_eq!(g1, g2);
+        assert_eq!(s1, s2, "case {case}: size={size} seed={seed}");
+        assert_eq!(g1, g2, "case {case}: size={size} seed={seed}");
     }
+}
 
-    /// Policy soundness: with a max-message security policy installed, any
-    /// oversized CoRD send is denied and never reaches the NIC; any
-    /// conforming send succeeds.
-    #[test]
-    fn prop_security_policy_is_sound(len in 1usize..16_384, cap in 1usize..16_384) {
-        use std::rc::Rc;
+/// Policy soundness: with a max-message security policy installed, any
+/// oversized CoRD send is denied and never reaches the NIC; any
+/// conforming send succeeds.
+#[test]
+fn prop_security_policy_is_sound() {
+    use std::rc::Rc;
+    let rng = DetRng::from_seed(0x5EC);
+    for case in 0..24 {
+        let len = rng.uniform_range(1, 16_384) as usize;
+        let cap = rng.uniform_range(1, 16_384) as usize;
         let fabric = Fabric::builder(system_l()).build();
         fabric
             .kernel(0)
@@ -178,10 +209,14 @@ proptest! {
             (res, tx_msgs)
         });
         if len > cap {
-            prop_assert_eq!(out.0, Err(VerbsError::PolicyDenied("message too large")));
-            prop_assert_eq!(out.1, 0, "denied op never reached the NIC");
+            assert_eq!(
+                out.0,
+                Err(VerbsError::PolicyDenied("message too large")),
+                "case {case}: len={len} cap={cap}"
+            );
+            assert_eq!(out.1, 0, "case {case}: denied op never reached the NIC");
         } else {
-            prop_assert!(out.0.is_ok());
+            assert!(out.0.is_ok(), "case {case}: len={len} cap={cap}");
         }
     }
 }
