@@ -5,22 +5,45 @@
 //! cargo run --release --bin loadgen -- incast
 //! cargo run --release --bin loadgen -- all --nodes 16 --tenants 32
 //! cargo run --release --bin loadgen -- mixed --requests 300 --seed 7
+//! cargo run --release --bin loadgen -- dumbbell-incast --cc dcqcn
+//! cargo run --release --bin loadgen -- shuffle --topology fat-tree --cc dcqcn
 //! ```
+//!
+//! `--topology` overrides the scenario's default network shape
+//! (`full-mesh`; `fat-tree` = two-tier, radix sized to `--nodes`;
+//! `dumbbell` = the shared `scenarios::DUMBBELL` bottleneck); `--cc`
+//! selects per-QP congestion control (`none`, `dcqcn` — DCQCN binds to
+//! RC tenants; UD traffic is unaffected). Both are recorded in the
+//! results JSON.
 //!
 //! Results land in `results/loadgen_<scenario>.json`. Runs are
 //! deterministic: the same arguments produce byte-identical JSON.
 
 use cord_bench::{print_table, save_json};
+use cord_net::Topology;
+use cord_nic::CcAlgorithm;
 use cord_workload::scenarios::{self, Scale};
 use cord_workload::{run_scenario, ScenarioReport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen <scenario|all> [--nodes N] [--tenants T] [--requests R] [--seed S]\n\
+         \x20              [--topology full-mesh|fat-tree|dumbbell] [--cc none|dcqcn]\n\
          scenarios: {}",
         scenarios::NAMES.join(", ")
     );
     std::process::exit(2);
+}
+
+/// Resolved once all flags are parsed, so `fat-tree` can size its radix
+/// to the final `--nodes` value.
+fn parse_topology(v: &str, nodes: usize) -> Topology {
+    match v {
+        "full-mesh" => Topology::FullMesh,
+        "fat-tree" => Topology::fat_tree_for(nodes),
+        "dumbbell" => scenarios::DUMBBELL,
+        _ => usage(),
+    }
 }
 
 fn parse_args() -> (Vec<String>, Scale) {
@@ -30,6 +53,7 @@ fn parse_args() -> (Vec<String>, Scale) {
         usage();
     }
     let mut scale = Scale::default();
+    let mut topology = None;
     while let Some(flag) = args.next() {
         let Some(value) = args.next() else { usage() };
         let parse = |v: &str| v.parse::<u64>().unwrap_or_else(|_| usage());
@@ -38,9 +62,12 @@ fn parse_args() -> (Vec<String>, Scale) {
             "--tenants" => scale.tenants = parse(&value).max(1) as usize,
             "--requests" => scale.requests = parse(&value).max(1) as usize,
             "--seed" => scale.seed = parse(&value),
+            "--topology" => topology = Some(value),
+            "--cc" => scale.cc = value.parse::<CcAlgorithm>().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
+    scale.topology = topology.map(|t| parse_topology(&t, scale.nodes));
     let names: Vec<String> = if which == "all" {
         scenarios::NAMES.iter().map(|s| s.to_string()).collect()
     } else {
@@ -68,9 +95,11 @@ fn show(report: &ScenarioReport) {
         .collect();
     print_table(
         &format!(
-            "{} — {} nodes, {} tenants, {} QPs, {:.3} ms virtual",
+            "{} — {} nodes ({}, cc={}), {} tenants, {} QPs, {:.3} ms virtual",
             report.scenario,
             report.nodes,
+            report.topology,
+            report.cc,
             report.tenants.len(),
             report.qps_created,
             report.elapsed_ms

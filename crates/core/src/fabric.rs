@@ -10,6 +10,7 @@ use std::future::Future;
 
 use cord_hw::{Core, CoreId, Dvfs, MachineSpec, Noise};
 use cord_kern::{IpoibStack, Kernel};
+use cord_net::{NetConfig, Topology};
 use cord_nic::Nic;
 use cord_sim::{JoinHandle, RngFactory, Sim, Trace};
 use cord_verbs::{Context, Dataplane};
@@ -20,6 +21,7 @@ pub struct FabricBuilder {
     seed: u64,
     trace: Trace,
     ipoib: bool,
+    net: NetConfig,
 }
 
 impl FabricBuilder {
@@ -29,12 +31,27 @@ impl FabricBuilder {
             seed: 0xC0BD,
             trace: Trace::disabled(),
             ipoib: false,
+            net: NetConfig::default(),
         }
     }
 
     /// Master seed for all random streams (default: fixed).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Network topology connecting the nodes (default: the ideal full
+    /// mesh, the seed's behavior). Keeps the topology's default queue
+    /// knobs; use [`FabricBuilder::net`] to set those too.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.net = NetConfig::for_topology(topology);
+        self
+    }
+
+    /// Full network configuration (topology + ECN threshold + buffers).
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
         self
     }
 
@@ -54,7 +71,7 @@ impl FabricBuilder {
     pub fn build(self) -> Fabric {
         let sim = Sim::new();
         let rng = RngFactory::new(self.seed);
-        let nics = cord_nic::build_cluster(&sim, &self.spec, self.trace.clone());
+        let nics = cord_nic::build_cluster_with(&sim, &self.spec, self.net, self.trace.clone());
         let kernels: Vec<Kernel> = nics
             .iter()
             .map(|nic| Kernel::new(&sim, &self.spec, nic.clone(), self.trace.clone()))

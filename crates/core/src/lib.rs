@@ -29,6 +29,8 @@ pub mod prelude {
         CordPolicy, FreezePolicy, IpoibStack, Kernel, ObservePolicy, PolicyDecision, QosClass,
         QosPolicy, QuotaPolicy, RateLimitPolicy, SecurityPolicy, Socket,
     };
+    pub use cord_net::{EcnConfig, NetConfig, Topology};
+    pub use cord_nic::CcAlgorithm;
     pub use cord_sim::{Sim, SimDuration, SimTime};
     pub use cord_verbs::qp::{activate_ud, connect_rc_pair};
     pub use cord_verbs::{

@@ -7,8 +7,20 @@
 //! channel after serialization + propagation. Loopback frames (same node)
 //! pass through the NIC's internal path and skip propagation.
 //!
+//! The destination's ingress port is a real serializer too: a node's RX
+//! wire can only receive one frame at a time, so frames from many
+//! concurrent senders queue at the receiver (the incast effect) instead of
+//! landing simultaneously. For a single sender the ingress interval is
+//! exactly the egress interval shifted by propagation, so point-to-point
+//! timings are unchanged.
+//!
 //! The fabric is generic over the frame payload so `cord-nic` can ship its
-//! packet type through it without a dependency cycle.
+//! packet type through it without a dependency cycle. Switched topologies
+//! with shared queues live in `cord-net` and reuse [`Frame`]; this module
+//! stays the ideal full mesh.
+//!
+//! Note that `transmit` consults only per-port state in deterministic call
+//! order, so runs are reproducible.
 
 use cord_sim::sync::{channel, Receiver, Sender};
 use cord_sim::{FifoResource, Sim, SimDuration};
@@ -20,6 +32,12 @@ pub struct Frame<T> {
     pub src: usize,
     pub dst: usize,
     pub wire_bytes: usize,
+    /// Flow label for ECMP path selection in switched topologies (the NIC
+    /// derives it from the QP pair). Ignored by the full mesh.
+    pub flow: u64,
+    /// ECN congestion-experienced mark, set by switches whose egress queue
+    /// is over threshold. Always false on the ideal mesh.
+    pub ecn: bool,
     pub payload: T,
 }
 
@@ -28,6 +46,7 @@ pub struct Fabric<T> {
     sim: Sim,
     spec: LinkSpec,
     egress: Vec<FifoResource>,
+    ingress: Vec<FifoResource>,
     ingress_tx: Vec<Sender<Frame<T>>>,
 }
 
@@ -35,10 +54,12 @@ impl<T: 'static> Fabric<T> {
     /// Build a fabric; returns the fabric and each node's ingress receiver.
     pub fn new(sim: &Sim, spec: LinkSpec, nodes: usize) -> (Self, Vec<Receiver<Frame<T>>>) {
         let mut egress = Vec::with_capacity(nodes);
+        let mut ingress = Vec::with_capacity(nodes);
         let mut ingress_tx = Vec::with_capacity(nodes);
         let mut ingress_rx = Vec::with_capacity(nodes);
         for _ in 0..nodes {
             egress.push(FifoResource::new(sim));
+            ingress.push(FifoResource::new(sim));
             let (tx, rx) = channel();
             ingress_tx.push(tx);
             ingress_rx.push(rx);
@@ -48,6 +69,7 @@ impl<T: 'static> Fabric<T> {
                 sim: sim.clone(),
                 spec,
                 egress,
+                ingress,
                 ingress_tx,
             },
             ingress_rx,
@@ -68,23 +90,34 @@ impl<T: 'static> Fabric<T> {
     }
 
     /// Transmit a frame. Serializes on the source's egress port (FIFO at
-    /// line rate), then delivers to the destination after propagation.
+    /// line rate), propagates, then serializes through the destination's
+    /// ingress port — concurrent senders to one node queue there.
     /// Returns immediately; the frame arrives asynchronously.
     pub fn transmit(&self, frame: Frame<T>) {
         assert!(frame.src < self.nodes() && frame.dst < self.nodes());
         let ser = self.serialize_time(frame.wire_bytes);
         let grant = self.egress[frame.src].enqueue(ser);
-        let prop = if frame.src == frame.dst {
-            SimDuration::ZERO
-        } else {
-            SimDuration::from_ns_f64(self.spec.propagation_ns)
-        };
-        let arrive = grant.end + prop;
         let tx = self.ingress_tx[frame.dst].clone();
-        self.sim.schedule_at(arrive, move |_| {
-            // Receiver dropped means the node shut down; frame is lost,
-            // which is fine (UD semantics) — RC recovers via higher layers.
-            let _ = tx.try_send(frame);
+        if frame.src == frame.dst {
+            // Loopback: NIC-internal path, no wire, no ingress port.
+            self.sim.schedule_at(grant.end, move |_| {
+                // Receiver dropped means the node shut down; frame is lost,
+                // which is fine (UD semantics) — RC recovers via higher
+                // layers.
+                let _ = tx.try_send(frame);
+            });
+            return;
+        }
+        // The first bit reaches the destination at grant.start + prop; the
+        // ingress port then receives for one serialization time (ending at
+        // grant.end + prop when the RX wire is idle).
+        let first_bit = grant.start + SimDuration::from_ns_f64(self.spec.propagation_ns);
+        let ingress = self.ingress[frame.dst].clone();
+        self.sim.schedule_at(first_bit, move |sim| {
+            let g = ingress.enqueue(ser);
+            sim.schedule_at(g.end, move |_| {
+                let _ = tx.try_send(frame);
+            });
         });
     }
 
@@ -96,6 +129,11 @@ impl<T: 'static> Fabric<T> {
     /// Frames serialized by a node's egress port.
     pub fn egress_frames(&self, node: usize) -> u64 {
         self.egress[node].served()
+    }
+
+    /// Frames received through a node's ingress port (excludes loopback).
+    pub fn ingress_frames(&self, node: usize) -> u64 {
+        self.ingress[node].served()
     }
 }
 
@@ -110,6 +148,17 @@ mod tests {
         }
     }
 
+    fn frame(src: usize, dst: usize, wire_bytes: usize, payload: u32) -> Frame<u32> {
+        Frame {
+            src,
+            dst,
+            wire_bytes,
+            flow: 0,
+            ecn: false,
+            payload,
+        }
+    }
+
     #[test]
     fn frame_arrives_after_serialization_and_propagation() {
         let sim = Sim::new();
@@ -118,14 +167,10 @@ mod tests {
         let t = sim.block_on({
             let sim = sim.clone();
             async move {
-                fab.transmit(Frame {
-                    src: 0,
-                    dst: 1,
-                    wire_bytes: 1000,
-                    payload: 7,
-                });
+                fab.transmit(frame(0, 1, 1000, 7));
                 let f = rx1.recv().await.unwrap();
                 assert_eq!(f.payload, 7);
+                assert!(!f.ecn);
                 sim.now()
             }
         });
@@ -142,12 +187,7 @@ mod tests {
             let sim = sim.clone();
             async move {
                 for i in 0..3 {
-                    fab.transmit(Frame {
-                        src: 0,
-                        dst: 1,
-                        wire_bytes: 1250, // 100 ns each
-                        payload: i,
-                    });
+                    fab.transmit(frame(0, 1, 1250, i)); // 100 ns each
                 }
                 let mut out = Vec::new();
                 for _ in 0..3 {
@@ -170,12 +210,7 @@ mod tests {
         let t = sim.block_on({
             let sim = sim.clone();
             async move {
-                fab.transmit(Frame {
-                    src: 0,
-                    dst: 0,
-                    wire_bytes: 1250,
-                    payload: 1,
-                });
+                fab.transmit(frame(0, 0, 1250, 1));
                 rx0.recv().await.unwrap();
                 sim.now()
             }
@@ -192,18 +227,8 @@ mod tests {
         let t = sim.block_on({
             let sim = sim.clone();
             async move {
-                fab.transmit(Frame {
-                    src: 0,
-                    dst: 1,
-                    wire_bytes: 1250,
-                    payload: 1,
-                });
-                fab.transmit(Frame {
-                    src: 1,
-                    dst: 0,
-                    wire_bytes: 1250,
-                    payload: 2,
-                });
+                fab.transmit(frame(0, 1, 1250, 1));
+                fab.transmit(frame(1, 0, 1250, 2));
                 rx1.recv().await.unwrap();
                 let t1 = sim.now();
                 rx0.recv().await.unwrap();
@@ -222,16 +247,42 @@ mod tests {
         sim.block_on({
             let sim = sim.clone();
             async move {
-                fab.transmit(Frame {
-                    src: 0,
-                    dst: 1,
-                    wire_bytes: 1250,
-                    payload: 0,
-                });
+                fab.transmit(frame(0, 1, 1250, 0));
                 sim.sleep(SimDuration::from_ns(1000)).await;
                 assert!((fab.egress_utilization(0) - 0.1).abs() < 1e-9);
                 assert_eq!(fab.egress_frames(0), 1);
+                assert_eq!(fab.ingress_frames(1), 1);
             }
         });
+    }
+
+    #[test]
+    fn receiver_ingress_serializes_concurrent_senders() {
+        // N senders fire one frame each at t=0 toward node 0. Their egress
+        // ports are all idle, but node 0's RX wire receives one frame at a
+        // time, so the last arrival grows linearly with fan-in.
+        fn last_arrival(fan_in: usize) -> f64 {
+            let sim = Sim::new();
+            let (fab, mut rx) = Fabric::<u32>::new(&sim, spec(), fan_in + 1);
+            let rx0 = rx.remove(0);
+            sim.block_on({
+                let sim = sim.clone();
+                async move {
+                    for s in 1..=fan_in {
+                        fab.transmit(frame(s, 0, 1250, s as u32)); // 100 ns
+                    }
+                    for _ in 0..fan_in {
+                        rx0.recv().await.unwrap();
+                    }
+                    sim.now().as_ns_f64()
+                }
+            })
+        }
+        // First frame lands at 300 ns; each extra sender adds one 100 ns
+        // serialization on the shared ingress wire.
+        assert_eq!(last_arrival(1), 300.0);
+        assert_eq!(last_arrival(2), 400.0);
+        assert_eq!(last_arrival(8), 1000.0);
+        assert!(last_arrival(16) > last_arrival(8));
     }
 }

@@ -1,0 +1,46 @@
+//! # cord-net — switched topologies, shared queues, and ECN
+//!
+//! The seed reproduction wires nodes back-to-back: `cord-hw`'s fabric is
+//! an ideal full mesh where every frame goes straight from source egress
+//! to destination ingress, so cluster-scale scenarios named after
+//! congestion (incast, shuffle) never actually experience any. This crate
+//! replaces that with explicit topologies and congestion:
+//!
+//! * [`Topology`] — [`Topology::FullMesh`] (the default; byte-identical to
+//!   the seed's behavior), two-tier [`Topology::FatTree`] with ECMP over
+//!   the spines, and [`Topology::Dumbbell`] with a shared bottleneck link.
+//! * [`Network`] — the runtime transport `cord-nic` ships packets
+//!   through: per-output-port FIFO queues, finite buffers with tail drop,
+//!   and ECN marking at a configurable queue-depth threshold
+//!   ([`EcnConfig`]).
+//! * [`RoutePlan`] — pure, unit-testable routing: ECMP hashed on
+//!   `(src, dst, flow)`, so a QP's fragments share one path and RC
+//!   ordering survives multipathing.
+//!
+//! ## The congestion-control loop
+//!
+//! Switches mark frames (this crate) → the receiving NIC echoes a CNP to
+//! the sender → the sender's DCQCN rate limiter cuts its per-QP rate and
+//! recovers on timers (`cord-nic::cc`, gated per QP by
+//! `CcAlgorithm::{None, Dcqcn}`). End to end the loop is deterministic:
+//! the same spec and seed yield byte-identical results.
+//!
+//! ## Knobs
+//!
+//! | Knob | Where | Default |
+//! |---|---|---|
+//! | topology | [`NetConfig::topology`] | `FullMesh` |
+//! | ECN threshold | [`EcnConfig::threshold_bytes`] | 64 KiB |
+//! | port buffer | [`NetConfig::buffer_bytes`] | 16 MiB |
+//! | fat-tree radix | [`Topology::FatTree`] | — (8 in the workload layer) |
+//! | bottleneck rate | [`Topology::Dumbbell`] | — |
+
+pub mod network;
+pub mod route;
+
+pub use network::{EcnConfig, NetConfig, Network};
+pub use route::{ecmp_hash, PortKind, RoutePlan, Topology};
+
+// Re-export the frame type networks carry, so `cord-nic` has one import
+// surface for transport types.
+pub use cord_hw::link::Frame;

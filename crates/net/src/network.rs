@@ -1,0 +1,342 @@
+//! The runtime network: topology-pluggable frame transport.
+//!
+//! [`Network`] is what `cord-nic` transmits through. For
+//! [`Topology::FullMesh`] it delegates to `cord-hw`'s ideal mesh
+//! ([`Fabric`]) so default results stay bit-comparable with the seed
+//! reproduction. For switched topologies it models every switch output
+//! port as a store-and-forward FIFO with a finite shared buffer:
+//!
+//! * **Queueing** — a frame occupies its output port for `wire_bytes` at
+//!   the port's line rate; frames behind it wait. Crossing a switch adds
+//!   one propagation delay per physical link.
+//! * **Finite buffers** — a frame arriving at a port whose queued bytes
+//!   would exceed `buffer_bytes` is tail-dropped (counted per port). RC
+//!   has no retransmit timer in this model, so experiments that want loss
+//!   should use UD or frame-level harnesses; the default buffer is large
+//!   enough that windowed workloads never drop.
+//! * **ECN** — when a frame arrives at a port whose queue is at or above
+//!   `threshold_bytes`, its ECN bit is set (DCQCN-style marking on egress
+//!   queue depth). The receiving NIC echoes a CNP to the sender, which is
+//!   where `cord-nic`'s DCQCN rate limiter reacts.
+//!
+//! Everything is deterministic: routing is a pure hash, queues are
+//! analytic FIFOs, and event scheduling order follows transmit order.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use cord_hw::link::{Fabric, Frame};
+use cord_hw::machine::LinkSpec;
+use cord_sim::sync::{channel, Receiver, Sender};
+use cord_sim::{transmission_time, FifoResource, Sim, SimDuration, SimTime};
+
+use crate::route::{RoutePlan, Topology};
+
+/// ECN marking knobs for switch output ports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EcnConfig {
+    pub enabled: bool,
+    /// Mark arriving frames when the port's queue holds at least this many
+    /// bytes (DCQCN's K threshold).
+    pub threshold_bytes: usize,
+}
+
+impl Default for EcnConfig {
+    fn default() -> Self {
+        EcnConfig {
+            enabled: true,
+            threshold_bytes: 64 << 10,
+        }
+    }
+}
+
+/// Complete network configuration: shape + queue behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    pub topology: Topology,
+    pub ecn: EcnConfig,
+    /// Per-output-port buffer capacity in bytes (tail drop beyond it).
+    pub buffer_bytes: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            topology: Topology::FullMesh,
+            ecn: EcnConfig::default(),
+            buffer_bytes: 16 << 20,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Default queue knobs for a given shape.
+    pub fn for_topology(topology: Topology) -> Self {
+        NetConfig {
+            topology,
+            ..NetConfig::default()
+        }
+    }
+}
+
+/// One switch output port: FIFO serializer + occupancy accounting.
+struct Port {
+    fifo: FifoResource,
+    gbps: f64,
+    queued: Cell<usize>,
+    marks: Cell<u64>,
+    drops: Cell<u64>,
+    forwarded: Cell<u64>,
+}
+
+struct Switched<T> {
+    sim: Sim,
+    spec: LinkSpec,
+    cfg: NetConfig,
+    plan: RoutePlan,
+    host_egress: Vec<FifoResource>,
+    ports: Vec<Port>,
+    ingress_tx: Vec<Sender<Frame<T>>>,
+}
+
+enum Kind<T> {
+    Mesh(Fabric<T>),
+    Switched(Rc<Switched<T>>),
+}
+
+/// Topology-pluggable frame transport connecting `n` nodes.
+pub struct Network<T> {
+    kind: Kind<T>,
+}
+
+impl<T: 'static> Network<T> {
+    /// Build the network; returns it plus each node's ingress receiver.
+    /// Panics if `cfg.topology` fails [`Topology::validate`] — validate
+    /// specs before building.
+    pub fn new(
+        sim: &Sim,
+        spec: LinkSpec,
+        nodes: usize,
+        cfg: NetConfig,
+    ) -> (Self, Vec<Receiver<Frame<T>>>) {
+        cfg.topology
+            .validate(nodes)
+            .expect("topology validated before network build");
+        match cfg.topology {
+            Topology::FullMesh => {
+                let (fab, rxs) = Fabric::new(sim, spec, nodes);
+                (
+                    Network {
+                        kind: Kind::Mesh(fab),
+                    },
+                    rxs,
+                )
+            }
+            _ => {
+                let plan = RoutePlan::new(cfg.topology, nodes);
+                let ports = (0..plan.num_ports())
+                    .map(|i| Port {
+                        fifo: FifoResource::new(sim),
+                        gbps: plan.port_gbps(i, spec.gbps),
+                        queued: Cell::new(0),
+                        marks: Cell::new(0),
+                        drops: Cell::new(0),
+                        forwarded: Cell::new(0),
+                    })
+                    .collect();
+                let mut ingress_tx = Vec::with_capacity(nodes);
+                let mut ingress_rx = Vec::with_capacity(nodes);
+                for _ in 0..nodes {
+                    let (tx, rx) = channel();
+                    ingress_tx.push(tx);
+                    ingress_rx.push(rx);
+                }
+                let sw = Rc::new(Switched {
+                    sim: sim.clone(),
+                    spec,
+                    cfg,
+                    plan,
+                    host_egress: (0..nodes).map(|_| FifoResource::new(sim)).collect(),
+                    ports,
+                    ingress_tx,
+                });
+                (
+                    Network {
+                        kind: Kind::Switched(sw),
+                    },
+                    ingress_rx,
+                )
+            }
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        match &self.kind {
+            Kind::Mesh(f) => f.nodes(),
+            Kind::Switched(s) => s.plan.nodes(),
+        }
+    }
+
+    pub fn spec(&self) -> &LinkSpec {
+        match &self.kind {
+            Kind::Mesh(f) => f.spec(),
+            Kind::Switched(s) => &s.spec,
+        }
+    }
+
+    pub fn topology(&self) -> Topology {
+        match &self.kind {
+            Kind::Mesh(_) => Topology::FullMesh,
+            Kind::Switched(s) => s.cfg.topology,
+        }
+    }
+
+    /// Serialization time for `wire_bytes` at the host link rate.
+    pub fn serialize_time(&self, wire_bytes: usize) -> SimDuration {
+        cord_sim::transmission_time(wire_bytes as u64, self.spec().gbps)
+    }
+
+    /// Transmit a frame; it arrives at the destination asynchronously (or
+    /// is dropped at a full switch buffer).
+    pub fn transmit(&self, frame: Frame<T>) {
+        match &self.kind {
+            Kind::Mesh(f) => f.transmit(frame),
+            Kind::Switched(s) => Switched::transmit(s, frame),
+        }
+    }
+
+    /// Routing plan for switched topologies (`None` on the full mesh).
+    pub fn plan(&self) -> Option<&RoutePlan> {
+        match &self.kind {
+            Kind::Mesh(_) => None,
+            Kind::Switched(s) => Some(&s.plan),
+        }
+    }
+
+    /// Bytes currently queued at a switch output port.
+    ///
+    /// Like every `port_*` accessor, panics on the full mesh (it has no
+    /// switch ports): discover valid indices through [`Network::plan`],
+    /// which is `None` there. The `total_*` accessors are mesh-safe.
+    pub fn port_queued_bytes(&self, port: usize) -> usize {
+        self.switched().ports[port].queued.get()
+    }
+
+    /// Frames ECN-marked at a switch output port (panics on the full
+    /// mesh, see [`Network::port_queued_bytes`]).
+    pub fn port_marks(&self, port: usize) -> u64 {
+        self.switched().ports[port].marks.get()
+    }
+
+    /// Frames tail-dropped at a switch output port (panics on the full
+    /// mesh, see [`Network::port_queued_bytes`]).
+    pub fn port_drops(&self, port: usize) -> u64 {
+        self.switched().ports[port].drops.get()
+    }
+
+    /// Frames accepted (queued for serialization) at a port (panics on
+    /// the full mesh, see [`Network::port_queued_bytes`]).
+    pub fn port_forwarded(&self, port: usize) -> u64 {
+        self.switched().ports[port].forwarded.get()
+    }
+
+    /// Total ECN marks across all switch ports.
+    pub fn total_marks(&self) -> u64 {
+        match &self.kind {
+            Kind::Mesh(_) => 0,
+            Kind::Switched(s) => s.ports.iter().map(|p| p.marks.get()).sum(),
+        }
+    }
+
+    /// Total tail drops across all switch ports.
+    pub fn total_drops(&self) -> u64 {
+        match &self.kind {
+            Kind::Mesh(_) => 0,
+            Kind::Switched(s) => s.ports.iter().map(|p| p.drops.get()).sum(),
+        }
+    }
+
+    fn switched(&self) -> &Switched<T> {
+        match &self.kind {
+            Kind::Mesh(_) => panic!("full mesh has no switch ports"),
+            Kind::Switched(s) => s,
+        }
+    }
+}
+
+impl<T: 'static> Switched<T> {
+    fn transmit(this: &Rc<Self>, frame: Frame<T>) {
+        let nodes = this.plan.nodes();
+        assert!(frame.src < nodes && frame.dst < nodes);
+        let ser = transmission_time(frame.wire_bytes as u64, this.spec.gbps);
+        let grant = this.host_egress[frame.src].enqueue(ser);
+        if frame.src == frame.dst {
+            // Loopback: NIC-internal path, no switches.
+            let tx = this.ingress_tx[frame.dst].clone();
+            this.sim.schedule_at(grant.end, move |_| {
+                let _ = tx.try_send(frame);
+            });
+            return;
+        }
+        // Fixed-size path: routing is on the per-packet hot path, so it
+        // must not allocate.
+        let mut path = [0; RoutePlan::MAX_PATH];
+        let hops = this
+            .plan
+            .route_into(frame.src, frame.dst, frame.flow, &mut path);
+        let at = grant.end + this.prop();
+        Self::hop(Rc::clone(this), frame, (path, hops), 0, at);
+    }
+
+    fn prop(&self) -> SimDuration {
+        SimDuration::from_ns_f64(self.spec.propagation_ns)
+    }
+
+    /// Process hop `i` of the `(ports, len)` path at time `at`: run the
+    /// frame through the port's buffer/ECN checks and serializer, then
+    /// forward or deliver.
+    fn hop(
+        this: Rc<Self>,
+        mut frame: Frame<T>,
+        path: ([usize; RoutePlan::MAX_PATH], usize),
+        i: usize,
+        at: SimTime,
+    ) {
+        let sim = this.sim.clone();
+        sim.schedule_at(at, move |sim| {
+            let idx = path.0[i];
+            let wire = frame.wire_bytes;
+            let grant_end = {
+                let p = &this.ports[idx];
+                if p.queued.get() + wire > this.cfg.buffer_bytes {
+                    p.drops.set(p.drops.get() + 1);
+                    return; // tail drop
+                }
+                if this.cfg.ecn.enabled && p.queued.get() >= this.cfg.ecn.threshold_bytes {
+                    frame.ecn = true;
+                    p.marks.set(p.marks.get() + 1);
+                }
+                p.queued.set(p.queued.get() + wire);
+                p.forwarded.set(p.forwarded.get() + 1);
+                let g = p.fifo.enqueue(transmission_time(wire as u64, p.gbps));
+                g.end
+            };
+            // The frame leaves the buffer when its serialization completes.
+            let drain = Rc::clone(&this);
+            sim.schedule_at(grant_end, move |_| {
+                let p = &drain.ports[idx];
+                p.queued.set(p.queued.get() - wire);
+            });
+            let next_at = grant_end + this.prop();
+            if i + 1 == path.1 {
+                // Last port is the downlink to the destination host.
+                let tx = this.ingress_tx[frame.dst].clone();
+                sim.schedule_at(next_at, move |_| {
+                    let _ = tx.try_send(frame);
+                });
+            } else {
+                Self::hop(Rc::clone(&this), frame, path, i + 1, next_at);
+            }
+        });
+    }
+}

@@ -1,0 +1,423 @@
+//! Topology descriptions and deterministic routing.
+//!
+//! A [`RoutePlan`] turns a [`Topology`] + node count into a flat array of
+//! switch *output ports* and a pure routing function: `route(src, dst,
+//! flow)` returns the sequence of port indices a frame traverses after
+//! leaving the source host's egress link. Pure and side-effect free, so
+//! ECMP determinism is directly unit-testable.
+//!
+//! Path selection is ECMP hashed on `(src, dst, flow)` — the NIC sets the
+//! flow label from the QP pair, so every fragment of a QP's traffic takes
+//! the same path and RC's in-order delivery survives multipathing.
+
+use std::fmt;
+
+/// Network shape connecting the cluster's nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Topology {
+    /// Ideal full mesh — today's back-to-back behavior, the default. Every
+    /// node pair has a dedicated wire; the only shared queue is the
+    /// receiver's ingress port.
+    FullMesh,
+    /// Two-tier leaf/spine fat tree built from `radix`-port switches:
+    /// `radix/2` hosts per leaf, `radix/2` spines, every leaf wired to
+    /// every spine (1:1 oversubscription). Cross-leaf traffic picks a
+    /// spine by ECMP.
+    FatTree { radix: usize },
+    /// Two switches joined by one bottleneck link at `bottleneck_gbps`;
+    /// the first half of the nodes sit on the left switch, the rest on the
+    /// right. All cross traffic shares the bottleneck.
+    Dumbbell { bottleneck_gbps: f64 },
+}
+
+impl Topology {
+    /// The smallest fat tree (even radix, minimum 8) that can host
+    /// `nodes` nodes — radix 8 up to 32 nodes, then growing as needed.
+    pub fn fat_tree_for(nodes: usize) -> Topology {
+        let mut radix = 8;
+        while radix * radix / 2 < nodes {
+            radix += 2;
+        }
+        Topology::FatTree { radix }
+    }
+
+    /// Check the topology can host `nodes` nodes.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        match *self {
+            Topology::FullMesh => Ok(()),
+            Topology::FatTree { radix } => {
+                if radix < 2 || radix % 2 != 0 {
+                    return Err(format!("fat-tree radix must be even and >= 2, got {radix}"));
+                }
+                let leaves = nodes.div_ceil(radix / 2);
+                if leaves > radix {
+                    return Err(format!(
+                        "fat-tree radix {radix} supports at most {} nodes, got {nodes}",
+                        radix * radix / 2
+                    ));
+                }
+                Ok(())
+            }
+            Topology::Dumbbell { bottleneck_gbps } => {
+                if bottleneck_gbps <= 0.0 || bottleneck_gbps.is_nan() {
+                    return Err(format!(
+                        "dumbbell bottleneck must be positive, got {bottleneck_gbps}"
+                    ));
+                }
+                if nodes < 2 {
+                    return Err("dumbbell needs at least 2 nodes".into());
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Topology::FullMesh => write!(f, "full-mesh"),
+            Topology::FatTree { radix } => write!(f, "fat-tree/{radix}"),
+            Topology::Dumbbell { bottleneck_gbps } => {
+                write!(f, "dumbbell/{bottleneck_gbps}g")
+            }
+        }
+    }
+}
+
+/// What one switch output port feeds (diagnostics and rate selection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// Leaf `leaf` uplink toward spine `spine`.
+    LeafUp { leaf: usize, spine: usize },
+    /// Spine `spine` downlink toward leaf `leaf`.
+    SpineDown { spine: usize, leaf: usize },
+    /// Switch downlink toward `host` (last hop).
+    HostDown { host: usize },
+    /// Dumbbell bottleneck, left switch → right switch.
+    BottleneckLr,
+    /// Dumbbell bottleneck, right switch → left switch.
+    BottleneckRl,
+}
+
+/// Port table + routing function for one switched topology instance.
+pub struct RoutePlan {
+    topology: Topology,
+    nodes: usize,
+    ports: Vec<PortKind>,
+    /// Fat tree: hosts per leaf / spine count. Dumbbell: first right-side
+    /// node index.
+    hosts_per_leaf: usize,
+    spines: usize,
+    leaves: usize,
+    split: usize,
+}
+
+/// SplitMix64 finalizer — the deterministic ECMP mixing function.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// ECMP hash over the frame's invariant path key.
+pub fn ecmp_hash(src: usize, dst: usize, flow: u64) -> u64 {
+    mix(mix(mix(flow).wrapping_add(src as u64)).wrapping_add(dst as u64))
+}
+
+impl RoutePlan {
+    /// Build the port table for `topology` over `nodes` nodes. Panics if
+    /// the topology fails [`Topology::validate`] (callers validate first)
+    /// or is [`Topology::FullMesh`] (which has no switches).
+    pub fn new(topology: Topology, nodes: usize) -> RoutePlan {
+        topology.validate(nodes).expect("validated topology");
+        match topology {
+            Topology::FullMesh => panic!("full mesh has no switch ports"),
+            Topology::FatTree { radix } => {
+                let hosts_per_leaf = radix / 2;
+                let spines = radix / 2;
+                let leaves = nodes.div_ceil(hosts_per_leaf);
+                let mut ports = Vec::new();
+                for leaf in 0..leaves {
+                    for spine in 0..spines {
+                        ports.push(PortKind::LeafUp { leaf, spine });
+                    }
+                }
+                for spine in 0..spines {
+                    for leaf in 0..leaves {
+                        ports.push(PortKind::SpineDown { spine, leaf });
+                    }
+                }
+                for host in 0..nodes {
+                    ports.push(PortKind::HostDown { host });
+                }
+                RoutePlan {
+                    topology,
+                    nodes,
+                    ports,
+                    hosts_per_leaf,
+                    spines,
+                    leaves,
+                    split: 0,
+                }
+            }
+            Topology::Dumbbell { .. } => {
+                let split = nodes.div_ceil(2);
+                let mut ports = vec![PortKind::BottleneckLr, PortKind::BottleneckRl];
+                for host in 0..nodes {
+                    ports.push(PortKind::HostDown { host });
+                }
+                RoutePlan {
+                    topology,
+                    nodes,
+                    ports,
+                    hosts_per_leaf: 0,
+                    spines: 0,
+                    leaves: 0,
+                    split,
+                }
+            }
+        }
+    }
+
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn num_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    pub fn port_kind(&self, port: usize) -> PortKind {
+        self.ports[port]
+    }
+
+    /// Line rate of a port given the host link rate.
+    pub fn port_gbps(&self, port: usize, line_gbps: f64) -> f64 {
+        match (self.topology, self.ports[port]) {
+            (
+                Topology::Dumbbell { bottleneck_gbps },
+                PortKind::BottleneckLr | PortKind::BottleneckRl,
+            ) => bottleneck_gbps,
+            _ => line_gbps,
+        }
+    }
+
+    /// Leaf switch a fat-tree host hangs off (fat trees only).
+    pub fn leaf_of(&self, host: usize) -> usize {
+        assert!(
+            matches!(self.topology, Topology::FatTree { .. }),
+            "leaf_of is only meaningful on fat trees"
+        );
+        host / self.hosts_per_leaf
+    }
+
+    /// Port index of the downlink that feeds `host` (the incast hot spot).
+    pub fn host_down_port(&self, host: usize) -> usize {
+        self.ports.len() - self.nodes + host
+    }
+
+    /// Dumbbell: the bottleneck port crossed left→right (`lr = true`) or
+    /// right→left.
+    pub fn bottleneck_port(&self, lr: bool) -> usize {
+        assert!(matches!(self.topology, Topology::Dumbbell { .. }));
+        usize::from(!lr)
+    }
+
+    /// Longest port sequence any topology routes through.
+    pub const MAX_PATH: usize = 3;
+
+    /// Allocation-free routing for the per-packet hot path: fills `out`
+    /// with the port sequence a frame traverses after the source host's
+    /// egress link and returns its length. Deterministic in
+    /// `(src, dst, flow)`.
+    pub fn route_into(
+        &self,
+        src: usize,
+        dst: usize,
+        flow: u64,
+        out: &mut [usize; Self::MAX_PATH],
+    ) -> usize {
+        assert!(src < self.nodes && dst < self.nodes && src != dst);
+        match self.topology {
+            Topology::FullMesh => unreachable!(),
+            Topology::FatTree { .. } => {
+                let (ls, ld) = (self.leaf_of(src), self.leaf_of(dst));
+                if ls == ld {
+                    out[0] = self.host_down_port(dst);
+                    return 1;
+                }
+                let spine = (ecmp_hash(src, dst, flow) % self.spines as u64) as usize;
+                out[0] = ls * self.spines + spine; // leaf up
+                out[1] = self.leaves * self.spines + spine * self.leaves + ld; // spine down
+                out[2] = self.host_down_port(dst);
+                3
+            }
+            Topology::Dumbbell { .. } => {
+                let (src_left, dst_left) = (src < self.split, dst < self.split);
+                if src_left == dst_left {
+                    out[0] = self.host_down_port(dst);
+                    1
+                } else {
+                    out[0] = self.bottleneck_port(src_left);
+                    out[1] = self.host_down_port(dst);
+                    2
+                }
+            }
+        }
+    }
+
+    /// [`RoutePlan::route_into`], returning the path as a `Vec`.
+    pub fn route(&self, src: usize, dst: usize, flow: u64) -> Vec<usize> {
+        let mut out = [0; Self::MAX_PATH];
+        let len = self.route_into(src, dst, flow, &mut out);
+        out[..len].to_vec()
+    }
+
+    /// Number of physical links a frame crosses (host egress + one per
+    /// routed port).
+    pub fn hops(&self, src: usize, dst: usize, flow: u64) -> usize {
+        1 + self.route(src, dst, flow).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_for_scales_radix_with_nodes() {
+        assert_eq!(Topology::fat_tree_for(2), Topology::FatTree { radix: 8 });
+        assert_eq!(Topology::fat_tree_for(16), Topology::FatTree { radix: 8 });
+        assert_eq!(Topology::fat_tree_for(32), Topology::FatTree { radix: 8 });
+        assert_eq!(Topology::fat_tree_for(64), Topology::FatTree { radix: 12 });
+        for nodes in [2usize, 16, 32, 33, 64, 100, 500] {
+            Topology::fat_tree_for(nodes).validate(nodes).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fat trees")]
+    fn leaf_of_rejects_dumbbell_plans() {
+        let p = RoutePlan::new(
+            Topology::Dumbbell {
+                bottleneck_gbps: 25.0,
+            },
+            8,
+        );
+        let _ = p.leaf_of(0);
+    }
+
+    #[test]
+    fn topology_validation() {
+        assert!(Topology::FullMesh.validate(64).is_ok());
+        assert!(Topology::FatTree { radix: 8 }.validate(16).is_ok());
+        assert!(Topology::FatTree { radix: 7 }.validate(4).is_err(), "odd");
+        assert!(Topology::FatTree { radix: 0 }.validate(2).is_err());
+        assert!(
+            Topology::FatTree { radix: 4 }.validate(64).is_err(),
+            "too many nodes for radix"
+        );
+        assert!(Topology::Dumbbell {
+            bottleneck_gbps: 25.0
+        }
+        .validate(8)
+        .is_ok());
+        assert!(Topology::Dumbbell {
+            bottleneck_gbps: 0.0
+        }
+        .validate(8)
+        .is_err());
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Topology::FullMesh.to_string(), "full-mesh");
+        assert_eq!(Topology::FatTree { radix: 8 }.to_string(), "fat-tree/8");
+        assert_eq!(
+            Topology::Dumbbell {
+                bottleneck_gbps: 25.0
+            }
+            .to_string(),
+            "dumbbell/25g"
+        );
+    }
+
+    #[test]
+    fn fat_tree_layout_counts() {
+        let p = RoutePlan::new(Topology::FatTree { radix: 8 }, 16);
+        // 4 leaves × 4 spines up + 4×4 down + 16 host downlinks.
+        assert_eq!(p.num_ports(), 16 + 16 + 16);
+        assert_eq!(p.leaf_of(0), 0);
+        assert_eq!(p.leaf_of(15), 3);
+        assert_eq!(
+            p.port_kind(p.host_down_port(7)),
+            PortKind::HostDown { host: 7 }
+        );
+    }
+
+    #[test]
+    fn ecmp_is_deterministic_and_spreads() {
+        let p = RoutePlan::new(Topology::FatTree { radix: 8 }, 16);
+        // Same key → same path, every time.
+        for flow in 0..32u64 {
+            assert_eq!(p.route(0, 12, flow), p.route(0, 12, flow));
+        }
+        // Different flows between one node pair use more than one spine.
+        let spines: std::collections::BTreeSet<usize> = (0..64u64)
+            .map(|flow| p.route(0, 12, flow)[0]) // leaf-up port encodes spine
+            .collect();
+        assert!(spines.len() > 1, "ECMP never spread: {spines:?}");
+        // Same-leaf traffic takes the one-hop path.
+        assert_eq!(p.route(0, 1, 9).len(), 1);
+        assert_eq!(p.hops(0, 1, 9), 2);
+        assert_eq!(p.hops(0, 12, 9), 4);
+    }
+
+    #[test]
+    fn fat_tree_route_is_consistent() {
+        let p = RoutePlan::new(Topology::FatTree { radix: 8 }, 16);
+        let path = p.route(2, 13, 77);
+        let PortKind::LeafUp { leaf, spine } = p.port_kind(path[0]) else {
+            panic!("first hop must go up");
+        };
+        assert_eq!(leaf, p.leaf_of(2));
+        let PortKind::SpineDown {
+            spine: s2,
+            leaf: l2,
+        } = p.port_kind(path[1])
+        else {
+            panic!("second hop must come down");
+        };
+        assert_eq!(s2, spine, "same spine down as up");
+        assert_eq!(l2, p.leaf_of(13));
+        assert_eq!(p.port_kind(path[2]), PortKind::HostDown { host: 13 });
+    }
+
+    #[test]
+    fn dumbbell_routes_cross_traffic_through_bottleneck() {
+        let p = RoutePlan::new(
+            Topology::Dumbbell {
+                bottleneck_gbps: 25.0,
+            },
+            8,
+        );
+        // Same side: one hop, no bottleneck.
+        assert_eq!(p.route(0, 3, 1), vec![p.host_down_port(3)]);
+        // Cross: bottleneck then downlink, directional ports.
+        assert_eq!(
+            p.route(1, 6, 1),
+            vec![p.bottleneck_port(true), p.host_down_port(6)]
+        );
+        assert_eq!(
+            p.route(6, 1, 1),
+            vec![p.bottleneck_port(false), p.host_down_port(1)]
+        );
+        assert_eq!(p.port_gbps(p.bottleneck_port(true), 100.0), 25.0);
+        assert_eq!(p.port_gbps(p.host_down_port(0), 100.0), 100.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Per-QP congestion control: a DCQCN-style rate limiter.
+//!
+//! The control loop mirrors the RoCEv2 DCQCN algorithm (Zhu et al.,
+//! SIGCOMM'15), simplified where the full spec adds little to a
+//! deterministic simulation:
+//!
+//! * **Marking** — switches in `cord-net` set the frame's ECN bit when an
+//!   output queue is at or above its threshold.
+//! * **Notification** — the receiving NIC echoes a CNP packet to the
+//!   sender, at most one per [`CNP_MIN_INTERVAL`] per QP.
+//! * **Reaction (this module)** — on a CNP the sender raises `alpha`
+//!   (its congestion estimate) and, at most once per
+//!   [`RATE_CUT_MIN_INTERVAL`], multiplicatively cuts its rate:
+//!   `rate *= 1 - alpha/2`, remembering the pre-cut rate as the recovery
+//!   target. Recovery runs on the sim clock in [`TIMER`] periods: the
+//!   first [`FAST_RECOVERY_STAGES`] periods halve the gap to the target
+//!   (fast recovery); afterwards the target itself grows by [`AI_GBPS`]
+//!   per period (additive increase). Quiet periods also decay `alpha`.
+//!   Hyper increase is omitted (it only accelerates the last few percent).
+//!
+//! Timers are evaluated lazily: state advances when the TX scheduler or a
+//! CNP touches the QP, so an idle QP costs nothing. DCQCN is an RC
+//! mechanism: UD receivers never echo CNPs, so UD traffic is never
+//! throttled even with the knob set. The limiter paces data
+//! fragments only — ACKs, NAKs, read requests, and CNPs themselves are
+//! never throttled, and RDMA-read responders are not paced (the paper's
+//! workloads are send/write-driven).
+//!
+//! Everything here is pure state arithmetic on `SimTime`, so the loop is
+//! deterministic end to end.
+
+use std::fmt;
+use std::str::FromStr;
+
+use cord_sim::{SimDuration, SimTime};
+
+/// Per-QP congestion-control algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CcAlgorithm {
+    /// No congestion control: transmit as fast as the NIC pipeline allows
+    /// (the seed's behavior).
+    #[default]
+    None,
+    /// DCQCN: ECN echo as CNPs + multiplicative decrease / timed recovery.
+    Dcqcn,
+}
+
+impl fmt::Display for CcAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcAlgorithm::None => write!(f, "none"),
+            CcAlgorithm::Dcqcn => write!(f, "dcqcn"),
+        }
+    }
+}
+
+impl FromStr for CcAlgorithm {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(CcAlgorithm::None),
+            "dcqcn" => Ok(CcAlgorithm::Dcqcn),
+            other => Err(format!("unknown cc algorithm: {other} (none|dcqcn)")),
+        }
+    }
+}
+
+/// Minimum gap between CNPs echoed for one QP (receiver side).
+pub const CNP_MIN_INTERVAL: SimDuration = SimDuration::from_us(50);
+
+/// Minimum gap between successive multiplicative rate cuts.
+pub const RATE_CUT_MIN_INTERVAL: SimDuration = SimDuration::from_us(50);
+
+/// Period of the merged alpha-decay / rate-increase timer.
+pub const TIMER: SimDuration = SimDuration::from_us(55);
+
+/// Timer periods that halve the gap to the target before additive
+/// increase starts raising the target itself.
+pub const FAST_RECOVERY_STAGES: u32 = 5;
+
+/// Additive increase per timer period once fast recovery completes.
+pub const AI_GBPS: f64 = 2.0;
+
+/// EWMA gain for the congestion estimate `alpha`.
+const G: f64 = 1.0 / 16.0;
+
+/// Timer periods processed per lazy catch-up before snapping to "fully
+/// recovered" (an idle QP converges to line rate well before this).
+const MAX_CATCHUP_PERIODS: u32 = 64;
+
+/// DCQCN sender state for one QP.
+#[derive(Debug, Clone)]
+pub struct Dcqcn {
+    line_gbps: f64,
+    min_gbps: f64,
+    /// Current sending rate.
+    pub rate_gbps: f64,
+    /// Recovery target (the rate before the last cut).
+    pub target_gbps: f64,
+    /// Congestion estimate in [0, 1].
+    pub alpha: f64,
+    /// Earliest instant the next data fragment may enter the wire.
+    pub next_send: SimTime,
+    last_timer: SimTime,
+    last_cut: Option<SimTime>,
+    cnp_since_timer: bool,
+    stage: u32,
+    /// CNPs absorbed (diagnostics).
+    pub cnps: u64,
+    /// Multiplicative cuts taken (diagnostics).
+    pub cuts: u64,
+}
+
+impl Dcqcn {
+    /// Fresh state at line rate.
+    pub fn new(line_gbps: f64, now: SimTime) -> Dcqcn {
+        Dcqcn {
+            line_gbps,
+            min_gbps: line_gbps / 1000.0,
+            rate_gbps: line_gbps,
+            target_gbps: line_gbps,
+            alpha: 1.0,
+            next_send: SimTime::ZERO,
+            last_timer: now,
+            last_cut: None,
+            cnp_since_timer: false,
+            stage: 0,
+            cnps: 0,
+            cuts: 0,
+        }
+    }
+
+    /// Lazily advance the alpha/increase timers to `now`.
+    pub fn advance(&mut self, now: SimTime) {
+        let mut periods = 0;
+        while self.last_timer + TIMER <= now {
+            self.last_timer += TIMER;
+            if self.cnp_since_timer {
+                self.cnp_since_timer = false;
+            } else {
+                self.alpha *= 1.0 - G;
+            }
+            self.stage += 1;
+            if self.stage > FAST_RECOVERY_STAGES {
+                self.target_gbps = (self.target_gbps + AI_GBPS).min(self.line_gbps);
+            }
+            self.rate_gbps = ((self.rate_gbps + self.target_gbps) / 2.0).min(self.line_gbps);
+            periods += 1;
+            if periods >= MAX_CATCHUP_PERIODS {
+                // Long idle (no CNP for > 3.5 ms): snap to fully
+                // recovered, whatever the line rate, and catch the timer
+                // up.
+                self.target_gbps = self.line_gbps;
+                self.rate_gbps = self.line_gbps;
+                self.last_timer = now;
+                break;
+            }
+        }
+    }
+
+    /// React to a congestion notification.
+    pub fn on_cnp(&mut self, now: SimTime) {
+        self.advance(now);
+        self.cnps += 1;
+        self.cnp_since_timer = true;
+        self.alpha = (1.0 - G) * self.alpha + G;
+        let may_cut = self
+            .last_cut
+            .is_none_or(|t| now.since(t) >= RATE_CUT_MIN_INTERVAL);
+        if may_cut {
+            self.target_gbps = self.rate_gbps;
+            self.rate_gbps = (self.rate_gbps * (1.0 - self.alpha / 2.0)).max(self.min_gbps);
+            self.stage = 0;
+            self.last_cut = Some(now);
+            self.cuts += 1;
+        }
+    }
+
+    /// If the QP must wait before launching its next data fragment,
+    /// returns the instant it becomes eligible.
+    pub fn gate(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance(now);
+        (self.next_send > now).then_some(self.next_send)
+    }
+
+    /// Account one `wire_bytes` fragment against the current rate.
+    pub fn charge(&mut self, now: SimTime, wire_bytes: usize) {
+        let gap = SimDuration::from_ns_f64(wire_bytes as f64 * 8.0 / self.rate_gbps);
+        self.next_send = self.next_send.max(now) + gap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINE: f64 = 100.0;
+
+    fn at_us(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_us(us)
+    }
+
+    #[test]
+    fn cc_algorithm_parses_and_displays() {
+        assert_eq!("none".parse::<CcAlgorithm>().unwrap(), CcAlgorithm::None);
+        assert_eq!("dcqcn".parse::<CcAlgorithm>().unwrap(), CcAlgorithm::Dcqcn);
+        assert!("ecn".parse::<CcAlgorithm>().is_err());
+        assert_eq!(CcAlgorithm::Dcqcn.to_string(), "dcqcn");
+        assert_eq!(CcAlgorithm::default(), CcAlgorithm::None);
+    }
+
+    #[test]
+    fn cnp_cuts_rate_multiplicatively() {
+        let mut d = Dcqcn::new(LINE, SimTime::ZERO);
+        d.on_cnp(at_us(1));
+        // alpha ≈ 1 on the first cut: rate halves (at most).
+        assert!(d.rate_gbps < 0.6 * LINE, "rate {}", d.rate_gbps);
+        assert_eq!(d.target_gbps, LINE);
+        assert_eq!((d.cnps, d.cuts), (1, 1));
+    }
+
+    #[test]
+    fn cuts_are_rate_limited() {
+        let mut d = Dcqcn::new(LINE, SimTime::ZERO);
+        d.on_cnp(at_us(1));
+        let after_first = d.rate_gbps;
+        // A storm of CNPs inside the hold-off window cuts only once.
+        for us in 2..40 {
+            d.on_cnp(at_us(us));
+        }
+        assert_eq!(d.cuts, 1);
+        assert_eq!(d.rate_gbps, after_first);
+        // Past the hold-off, the next CNP cuts again.
+        d.on_cnp(at_us(60));
+        assert_eq!(d.cuts, 2);
+        assert!(d.rate_gbps < after_first);
+    }
+
+    #[test]
+    fn fast_recovery_halves_gap_then_additive_increase() {
+        let mut d = Dcqcn::new(LINE, SimTime::ZERO);
+        d.on_cnp(at_us(1));
+        let cut = d.rate_gbps;
+        // One timer period: halfway back to the target.
+        d.advance(at_us(1) + TIMER);
+        assert!((d.rate_gbps - (cut + LINE) / 2.0).abs() < 1e-9);
+        // After fast recovery the target itself starts growing; with the
+        // target already at line rate, rate converges there.
+        d.advance(at_us(2000));
+        assert!(
+            (d.rate_gbps - LINE).abs() < 1e-6,
+            "recovered {}",
+            d.rate_gbps
+        );
+        assert!(d.alpha < 0.2, "alpha decays when quiet: {}", d.alpha);
+    }
+
+    #[test]
+    fn rate_never_falls_below_floor() {
+        let mut d = Dcqcn::new(LINE, SimTime::ZERO);
+        for i in 0..200u64 {
+            d.on_cnp(at_us(1 + i * 60));
+        }
+        assert!(d.rate_gbps >= LINE / 1000.0);
+        assert_eq!(d.cuts, 200);
+    }
+
+    #[test]
+    fn pacing_spaces_fragments_at_the_current_rate() {
+        let mut d = Dcqcn::new(LINE, SimTime::ZERO);
+        d.rate_gbps = 10.0; // 1250 B = 1 µs per fragment
+        let now = at_us(5);
+        assert_eq!(d.gate(now), None, "first fragment unthrottled");
+        d.charge(now, 1250);
+        assert_eq!(d.gate(now), Some(now + SimDuration::from_us(1)));
+        // Back-to-back charges accumulate.
+        d.charge(now, 1250);
+        assert_eq!(d.gate(now), Some(now + SimDuration::from_us(2)));
+        // Once the gap elapses, the gate opens.
+        assert_eq!(d.gate(now + SimDuration::from_us(2)), None);
+    }
+
+    #[test]
+    fn long_idle_catchup_is_bounded_and_converges() {
+        let mut d = Dcqcn::new(LINE, SimTime::ZERO);
+        d.on_cnp(at_us(1));
+        // A full simulated second of idleness — far more periods than the
+        // catch-up bound — must still land at line rate.
+        d.advance(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!((d.rate_gbps - LINE).abs() < 1e-6);
+        // Same on a fast link, where additive increase alone could not
+        // cover the gap within the catch-up bound: the snap must land at
+        // full recovery, not 58 % of line.
+        let mut d = Dcqcn::new(400.0, SimTime::ZERO);
+        for i in 0..10u64 {
+            d.on_cnp(at_us(1 + i * 60));
+        }
+        assert!(d.rate_gbps < 40.0, "deeply cut: {}", d.rate_gbps);
+        d.advance(SimTime::ZERO + SimDuration::from_secs(1));
+        assert!((d.rate_gbps - 400.0).abs() < 1e-6, "{}", d.rate_gbps);
+    }
+}

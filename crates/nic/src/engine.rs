@@ -23,11 +23,13 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use bytes::Bytes;
-use cord_hw::link::{Fabric, Frame};
+use cord_hw::link::Frame;
 use cord_hw::{DmaDir, DmaEngine, MachineSpec};
+use cord_net::Network;
 use cord_sim::sync::{Notify, Receiver, Semaphore};
 use cord_sim::{FifoResource, Sim, SimDuration, SimTime, Trace, TraceCategory};
 
+use crate::cc::{CcAlgorithm, Dcqcn, CNP_MIN_INTERVAL};
 use crate::cq::{Cq, Cqe, CqeOpcode, CqeStatus};
 use crate::mr::{MrError, MrTable};
 use crate::packet::{NakReason, Packet, PacketKind};
@@ -45,7 +47,7 @@ pub(crate) struct NicInner {
     sim: Sim,
     pub node: NodeId,
     pub spec: MachineSpec,
-    fabric: Rc<Fabric<Packet>>,
+    fabric: Rc<Network<Packet>>,
     rx: RefCell<Option<Receiver<Frame<Packet>>>>,
     qps: RefCell<HashMap<u32, Rc<RefCell<Qp>>>>,
     next_qpn: Cell<u32>,
@@ -74,7 +76,7 @@ impl Nic {
         sim: &Sim,
         spec: &MachineSpec,
         node: NodeId,
-        fabric: Rc<Fabric<Packet>>,
+        fabric: Rc<Network<Packet>>,
         rx: Receiver<Frame<Packet>>,
         trace: Trace,
     ) -> Self {
@@ -206,6 +208,44 @@ impl Nic {
         Ok(self.qp(qpn)?.borrow().transport)
     }
 
+    /// Select the QP's congestion-control algorithm. For
+    /// [`CcAlgorithm::Dcqcn`] this arms the sender-side rate limiter at
+    /// line rate *and* enables receiver-side CNP echo for ECN-marked
+    /// arrivals; [`CcAlgorithm::None`] restores the seed's uncontrolled
+    /// behavior.
+    ///
+    /// DCQCN is an RC mechanism (as on real RoCE NICs): on a UD QP the
+    /// knob is accepted but inert — UD receivers never echo CNPs, so UD
+    /// traffic is never throttled.
+    pub fn set_cc(&self, qpn: QpNum, alg: CcAlgorithm) -> Result<(), VerbsError> {
+        let qp = self.qp(qpn)?;
+        let mut qp = qp.borrow_mut();
+        qp.dcqcn = match alg {
+            CcAlgorithm::None => None,
+            CcAlgorithm::Dcqcn => Some(Dcqcn::new(self.inner.spec.link.gbps, self.inner.sim.now())),
+        };
+        Ok(())
+    }
+
+    pub fn qp_cc(&self, qpn: QpNum) -> Result<CcAlgorithm, VerbsError> {
+        Ok(self.qp(qpn)?.borrow().cc())
+    }
+
+    /// Snapshot of a DCQCN QP's `(rate_gbps, cnps, cuts)` (diagnostics).
+    pub fn dcqcn_snapshot(&self, qpn: QpNum) -> Result<Option<(f64, u64, u64)>, VerbsError> {
+        Ok(self
+            .qp(qpn)?
+            .borrow()
+            .dcqcn
+            .as_ref()
+            .map(|d| (d.rate_gbps, d.cnps, d.cuts)))
+    }
+
+    /// The network this NIC transmits through (topology + port stats).
+    pub fn network(&self) -> Rc<Network<Packet>> {
+        Rc::clone(&self.inner.fabric)
+    }
+
     /// (tx_msgs, rx_msgs, tx_bytes, rx_bytes) counters for a QP.
     pub fn qp_counters(&self, qpn: QpNum) -> Result<(u64, u64, u64, u64), VerbsError> {
         let qp = self.qp(qpn)?;
@@ -296,8 +336,16 @@ fn transmit(inner: &Rc<NicInner>, pkt: Packet) {
         src: pkt.src_node,
         dst: pkt.dst_node,
         wire_bytes: wire,
+        flow: flow_label(&pkt),
+        ecn: false,
         payload: pkt,
     });
+}
+
+/// ECMP flow label: all of a QP pair's traffic in one direction shares a
+/// label, so switched topologies keep it on one path (RC stays in order).
+fn flow_label(pkt: &Packet) -> u64 {
+    ((pkt.src_qpn.0 as u64) << 32) | pkt.dst_qpn.0 as u64
 }
 
 fn kind_name(k: &PacketKind) -> &'static str {
@@ -308,6 +356,7 @@ fn kind_name(k: &PacketKind) -> &'static str {
         PacketKind::ReadResp { .. } => "ReadResp",
         PacketKind::Ack { .. } => "Ack",
         PacketKind::Nak { .. } => "Nak",
+        PacketKind::Cnp => "Cnp",
     }
 }
 
@@ -413,8 +462,12 @@ async fn process_burst(inner: &Rc<NicInner>, qpn: QpNum) {
                 }
             }
         }
-        // Emit fragments.
-        budget = emit_fragments(inner, &qp_rc, budget).await;
+        // Emit fragments. `None` means the QP hit its DCQCN pacing gate
+        // and already rescheduled itself — leave it off the ring.
+        match emit_fragments(inner, &qp_rc, budget).await {
+            Some(rem) => budget = rem,
+            None => return,
+        }
     }
 
     // Budget exhausted: requeue if work remains.
@@ -519,6 +572,7 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
                     dst_node,
                     src_qpn,
                     dst_qpn,
+                    ecn: false,
                     kind: PacketKind::ReadReq {
                         msg_id,
                         raddr,
@@ -544,16 +598,42 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
 }
 
 /// Emit fragments for the current progress until done or out of budget.
-/// Returns the remaining budget.
-async fn emit_fragments(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, mut budget: u32) -> u32 {
+/// Returns the remaining budget, or `None` if the QP stalled on its DCQCN
+/// pacing gate (in which case it has left the ring and a timer re-rings it
+/// when the gate opens).
+async fn emit_fragments(
+    inner: &Rc<NicInner>,
+    qp_rc: &Rc<RefCell<Qp>>,
+    mut budget: u32,
+) -> Option<u32> {
     loop {
         if budget == 0 {
-            return 0;
+            return Some(0);
+        }
+        // DCQCN pacing: a rate-limited QP may not launch its next data
+        // fragment before the inter-packet gap at its current rate.
+        let now = inner.sim.now();
+        let gate = {
+            let mut qp = qp_rc.borrow_mut();
+            match qp.dcqcn.as_mut().and_then(|d| d.gate(now)) {
+                Some(at) => {
+                    qp.in_ring = false;
+                    Some((at, qp.num))
+                }
+                None => None,
+            }
+        };
+        if let Some((at, qpn)) = gate {
+            let inner2 = Rc::clone(inner);
+            inner.sim.schedule_at(at, move |_| ring_qp(&inner2, qpn));
+            return None;
         }
         // Snapshot fragment parameters without holding the borrow.
         let (wqe, msg_id, frag, nfrags, mem, qpn, peer, transport) = {
             let qp = qp_rc.borrow();
-            let Some(tx) = &qp.tx else { return budget };
+            let Some(tx) = &qp.tx else {
+                return Some(budget);
+            };
             (
                 tx.wqe.clone(),
                 tx.msg_id,
@@ -569,6 +649,15 @@ async fn emit_fragments(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, mut budge
         let offset = frag as usize * mtu;
         let frag_len = (wqe.sge.len - offset).min(mtu);
         let last = frag + 1 == nfrags;
+
+        // Charge the fragment against the DCQCN rate now that it is
+        // committed (the gate above was open).
+        {
+            let mut qp = qp_rc.borrow_mut();
+            if let Some(d) = qp.dcqcn.as_mut() {
+                d.charge(now, frag_len + inner.spec.nic.header_bytes);
+            }
+        }
 
         // Respect the in-flight window so we pace at the bottleneck.
         inner.tx_window.acquire(1).await;
@@ -622,6 +711,7 @@ async fn emit_fragments(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, mut budge
             dst_node,
             src_qpn: qpn,
             dst_qpn,
+            ecn: false,
             kind,
         };
 
@@ -683,7 +773,7 @@ async fn emit_fragments(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, mut budge
         let mut qp = qp_rc.borrow_mut();
         if last {
             qp.tx = None;
-            return budget;
+            return Some(budget);
         } else if let Some(tx) = &mut qp.tx {
             tx.next_frag += 1;
         }
@@ -700,7 +790,10 @@ async fn rx_loop(inner: Rc<NicInner>) {
             .use_for(SimDuration::from_ns_f64(inner.spec.nic.rx_pkt_ns))
             .await;
         inner.rx_packets.set(inner.rx_packets.get() + 1);
-        handle_packet(&inner, frame.payload);
+        // Surface the fabric's ECN mark in the packet header.
+        let mut pkt = frame.payload;
+        pkt.ecn |= frame.ecn;
+        handle_packet(&inner, pkt);
     }
 }
 
@@ -712,6 +805,7 @@ fn nak(inner: &Rc<NicInner>, pkt: &Packet, msg_id: u64, reason: NakReason) {
             dst_node: pkt.src_node,
             src_qpn: pkt.dst_qpn,
             dst_qpn: pkt.src_qpn,
+            ecn: false,
             kind: PacketKind::Nak { msg_id, reason },
         },
     );
@@ -725,7 +819,38 @@ fn ack(inner: &Rc<NicInner>, pkt: &Packet, msg_id: u64) {
             dst_node: pkt.src_node,
             src_qpn: pkt.dst_qpn,
             dst_qpn: pkt.src_qpn,
+            ecn: false,
             kind: PacketKind::Ack { msg_id },
+        },
+    );
+}
+
+/// Echo a congestion notification for an ECN-marked arrival, if the
+/// receiving QP participates in DCQCN and its per-QP CNP budget allows.
+fn maybe_echo_cnp(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, pkt: &Packet) {
+    let now = inner.sim.now();
+    {
+        let mut qp = qp_rc.borrow_mut();
+        if qp.transport != Transport::Rc || qp.dcqcn.is_none() {
+            return;
+        }
+        let due = qp
+            .last_cnp_tx
+            .is_none_or(|t| now.since(t) >= CNP_MIN_INTERVAL);
+        if !due {
+            return;
+        }
+        qp.last_cnp_tx = Some(now);
+    }
+    transmit(
+        inner,
+        Packet {
+            src_node: inner.node,
+            dst_node: pkt.src_node,
+            src_qpn: pkt.dst_qpn,
+            dst_qpn: pkt.src_qpn,
+            ecn: false,
+            kind: PacketKind::Cnp,
         },
     );
 }
@@ -734,6 +859,11 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
     let Some(qp_rc) = inner.qps.borrow().get(&pkt.dst_qpn.0).cloned() else {
         return; // stale packet to a destroyed QP
     };
+    // Congestion feedback is independent of WQE state: echo a CNP for any
+    // marked data-bearing arrival before normal processing.
+    if pkt.ecn && pkt.is_data() {
+        maybe_echo_cnp(inner, &qp_rc, &pkt);
+    }
     match pkt.kind.clone() {
         PacketKind::SendFrag {
             msg_id,
@@ -774,6 +904,21 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
         } => handle_read_resp(inner, &qp_rc, &pkt, msg_id, frag, nfrags, offset, payload),
         PacketKind::Ack { msg_id } => handle_ack(inner, &qp_rc, msg_id),
         PacketKind::Nak { msg_id, reason } => handle_nak(inner, &qp_rc, msg_id, reason),
+        PacketKind::Cnp => handle_cnp(inner, &qp_rc),
+    }
+}
+
+fn handle_cnp(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) {
+    let now = inner.sim.now();
+    let mut qp = qp_rc.borrow_mut();
+    if let Some(d) = qp.dcqcn.as_mut() {
+        d.on_cnp(now);
+        let (rate, cuts) = (d.rate_gbps, d.cuts);
+        let qpn = qp.num;
+        drop(qp);
+        inner.trace.record(now, TraceCategory::Nic, || {
+            format!("qp{} CNP: rate {rate:.1} Gb/s after {cuts} cuts", qpn.0)
+        });
     }
 }
 
@@ -1052,6 +1197,7 @@ fn handle_read_req(
                 dst_node: pkt2.src_node,
                 src_qpn: pkt2.dst_qpn,
                 dst_qpn: pkt2.src_qpn,
+                ecn: false,
                 kind: PacketKind::ReadResp {
                     msg_id,
                     frag,

@@ -14,6 +14,7 @@
 //! Payloads are real bytes moved end-to-end, so data integrity is testable
 //! across segmentation and reassembly.
 
+pub mod cc;
 pub mod cq;
 pub mod engine;
 pub mod mr;
@@ -22,6 +23,7 @@ pub mod qp;
 pub mod types;
 pub mod wqe;
 
+pub use cc::{CcAlgorithm, Dcqcn, CNP_MIN_INTERVAL};
 pub use cq::{Cq, Cqe, CqeOpcode, CqeStatus};
 pub use engine::{Nic, TX_BURST, TX_WINDOW};
 pub use mr::{Mr, MrError, MrTable};
@@ -33,17 +35,24 @@ pub use wqe::{RecvWqe, SendWqe, Sge, UdDest};
 
 use std::rc::Rc;
 
-use cord_hw::link::Fabric;
 use cord_hw::MachineSpec;
+use cord_net::{NetConfig, Network};
 use cord_sim::{Sim, Trace};
 
-/// Build `spec.nodes` NICs connected by one fabric (test/bench helper and
-/// the building block `cord-core::Fabric` wraps).
+/// Build `spec.nodes` NICs connected by one ideal full-mesh network — the
+/// seed's behavior (test/bench helper and the building block
+/// `cord-core::Fabric` wraps).
 pub fn build_cluster(sim: &Sim, spec: &MachineSpec, trace: Trace) -> Vec<Nic> {
-    let (fabric, rxs) = Fabric::new(sim, spec.link.clone(), spec.nodes);
-    let fabric = Rc::new(fabric);
+    build_cluster_with(sim, spec, NetConfig::default(), trace)
+}
+
+/// Build `spec.nodes` NICs over an explicit network configuration
+/// (topology, ECN thresholds, buffer sizes — see `cord-net`).
+pub fn build_cluster_with(sim: &Sim, spec: &MachineSpec, cfg: NetConfig, trace: Trace) -> Vec<Nic> {
+    let (net, rxs) = Network::new(sim, spec.link.clone(), spec.nodes, cfg);
+    let net = Rc::new(net);
     rxs.into_iter()
         .enumerate()
-        .map(|(node, rx)| Nic::new(sim, spec, node, Rc::clone(&fabric), rx, trace.clone()))
+        .map(|(node, rx)| Nic::new(sim, spec, node, Rc::clone(&net), rx, trace.clone()))
         .collect()
 }

@@ -66,6 +66,9 @@ pub enum PacketKind {
     Ack { msg_id: u64 },
     /// Negative acknowledgement (RC).
     Nak { msg_id: u64, reason: NakReason },
+    /// Congestion notification packet: the receiver's echo of an
+    /// ECN-marked arrival back to the sender (DCQCN's feedback signal).
+    Cnp,
 }
 
 /// One packet on the wire.
@@ -75,6 +78,10 @@ pub struct Packet {
     pub dst_node: NodeId,
     pub src_qpn: QpNum,
     pub dst_qpn: QpNum,
+    /// ECN congestion-experienced bit: false on the wire out, set by the
+    /// fabric's switches, read by the receiving NIC (which echoes a
+    /// [`PacketKind::Cnp`]).
+    pub ecn: bool,
     pub kind: PacketKind,
 }
 
@@ -85,7 +92,10 @@ impl Packet {
             PacketKind::SendFrag { payload, .. }
             | PacketKind::WriteFrag { payload, .. }
             | PacketKind::ReadResp { payload, .. } => payload.len(),
-            PacketKind::ReadReq { .. } | PacketKind::Ack { .. } | PacketKind::Nak { .. } => 0,
+            PacketKind::ReadReq { .. }
+            | PacketKind::Ack { .. }
+            | PacketKind::Nak { .. }
+            | PacketKind::Cnp => 0,
         }
     }
 
@@ -114,6 +124,7 @@ mod tests {
             dst_node: 1,
             src_qpn: QpNum(1),
             dst_qpn: QpNum(2),
+            ecn: false,
             kind,
         }
     }
@@ -147,6 +158,9 @@ mod tests {
             len: 4096,
         });
         assert_eq!(rr.wire_bytes(40), 40);
+        let cnp = pkt(PacketKind::Cnp);
+        assert_eq!(cnp.wire_bytes(66), 66);
+        assert!(!cnp.is_data());
     }
 
     #[test]

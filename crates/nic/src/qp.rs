@@ -2,6 +2,9 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use cord_sim::SimTime;
+
+use crate::cc::{CcAlgorithm, Dcqcn};
 use crate::cq::Cq;
 use crate::types::{NodeId, Opcode, QpNum, QpState, Transport, VerbsError, WrId};
 use crate::wqe::{RecvWqe, SendWqe};
@@ -76,6 +79,11 @@ pub struct Qp {
     pub cur_recv: Option<RecvAssembly>,
     /// Inbound write message currently being dropped after a NAK.
     pub drop_msg: Option<u64>,
+    /// DCQCN sender state (`Some` iff the QP's CC knob is `Dcqcn`). On the
+    /// receive side its presence also enables CNP echo for marked arrivals.
+    pub dcqcn: Option<Dcqcn>,
+    /// Last CNP echoed from this QP (receiver-side CNP rate limiting).
+    pub last_cnp_tx: Option<SimTime>,
     /// Counters for observability (exported by the CoRD stats policy).
     pub tx_msgs: u64,
     pub rx_msgs: u64,
@@ -114,6 +122,8 @@ impl Qp {
             pending_reads: HashMap::new(),
             cur_recv: None,
             drop_msg: None,
+            dcqcn: None,
+            last_cnp_tx: None,
             tx_msgs: 0,
             rx_msgs: 0,
             tx_bytes: 0,
@@ -224,6 +234,15 @@ impl Qp {
         }
         self.rq.push_back(wqe);
         Ok(())
+    }
+
+    /// The QP's congestion-control algorithm.
+    pub fn cc(&self) -> CcAlgorithm {
+        if self.dcqcn.is_some() {
+            CcAlgorithm::Dcqcn
+        } else {
+            CcAlgorithm::None
+        }
     }
 
     pub fn alloc_msg_id(&mut self) -> u64 {

@@ -31,7 +31,7 @@
 //! ```
 //! use cord_workload::{run_scenario, scenarios};
 //!
-//! let scale = scenarios::Scale { nodes: 4, tenants: 4, requests: 10, seed: 1 };
+//! let scale = scenarios::Scale { nodes: 4, tenants: 4, requests: 10, seed: 1, ..Default::default() };
 //! let spec = scenarios::by_name("kv-fanout", scale).unwrap();
 //! let report = run_scenario(&spec).unwrap();
 //! assert_eq!(report.tenants.len(), 4);
@@ -70,6 +70,7 @@ mod tests {
                 tenants: 4,
                 requests: 12,
                 seed: 11,
+                ..Scale::default()
             },
         )
         .unwrap()
@@ -116,6 +117,7 @@ mod tests {
             tenants: 4,
             requests: 12,
             seed: 99,
+            ..Scale::default()
         };
         let spec_b = scenarios::by_name("kv-fanout", scale).unwrap();
         let a = run_scenario(&spec_a).unwrap();

@@ -24,7 +24,11 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
     spec.validate()?;
     let mut machine = spec.machine.clone();
     machine.nodes = spec.nodes;
-    let fabric = Fabric::builder(machine).seed(spec.seed).build();
+    let fabric = Fabric::builder(machine)
+        .seed(spec.seed)
+        .topology(spec.topology)
+        .build();
+    let cc = spec.cc;
     // Guard against accidental busy loops in workload logic.
     fabric.sim().set_max_polls(4_000_000_000);
 
@@ -75,6 +79,10 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
                 for _ in 0..t.conns_per_server {
                     let conn = establish(&f, t, server_node).await;
                     qps_created += 2;
+                    // Scenario-wide congestion control on both endpoints
+                    // (the server side is what echoes CNPs).
+                    f.nic(t.home).set_cc(conn.client.qp.qpn(), cc).unwrap();
+                    f.nic(server_node).set_cc(conn.server.qp.qpn(), cc).unwrap();
                     if let Some(p) = &rate {
                         p.attach(conn.client.qp.qpn());
                     }

@@ -8,14 +8,22 @@
 
 use cord_hw::{system_l, MachineSpec};
 use cord_kern::QosClass;
-use cord_nic::Transport;
+use cord_net::Topology;
+use cord_nic::{CcAlgorithm, Transport};
 use cord_sim::SimDuration;
 use cord_verbs::Dataplane;
 
 use crate::spec::{Arrival, ScenarioSpec, SizeDist, TenantSpec};
 
 /// Names accepted by [`by_name`], in display order.
-pub const NAMES: &[&str] = &["kv-fanout", "incast", "shuffle", "broadcast", "mixed"];
+pub const NAMES: &[&str] = &[
+    "kv-fanout",
+    "incast",
+    "shuffle",
+    "broadcast",
+    "mixed",
+    "dumbbell-incast",
+];
 
 /// Shared scale knobs for the built-in scenarios.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +33,12 @@ pub struct Scale {
     /// Requests issued per tenant.
     pub requests: usize,
     pub seed: u64,
+    /// Override the scenario's default topology (`None` keeps it: a
+    /// fat tree for `incast`/`shuffle`, a dumbbell for `dumbbell-incast`,
+    /// the full mesh elsewhere).
+    pub topology: Option<Topology>,
+    /// Congestion control for every tenant QP.
+    pub cc: CcAlgorithm,
 }
 
 impl Default for Scale {
@@ -34,6 +48,8 @@ impl Default for Scale {
             tenants: 32,
             requests: 150,
             seed: 0xC0BD,
+            topology: None,
+            cc: CcAlgorithm::None,
         }
     }
 }
@@ -41,6 +57,19 @@ impl Default for Scale {
 fn machine() -> MachineSpec {
     system_l()
 }
+
+/// Congestion-prone scenarios default to a switched fabric; the rest keep
+/// the seed-comparable full mesh.
+fn shape(spec: ScenarioSpec, scale: Scale, default: Topology) -> ScenarioSpec {
+    spec.topology(scale.topology.unwrap_or(default))
+        .cc(scale.cc)
+}
+
+/// Dumbbell with the bottleneck at a quarter of the host line rate — the
+/// shape `dumbbell-incast` and loadgen's `--topology dumbbell` share.
+pub const DUMBBELL: Topology = Topology::Dumbbell {
+    bottleneck_gbps: 25.0,
+};
 
 /// Every 4th tenant bypasses the kernel — the paper's mixed-dataplane
 /// matrix at cluster scale.
@@ -60,6 +89,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ScenarioSpec> {
         "shuffle" => Some(shuffle(scale)),
         "broadcast" => Some(broadcast(scale)),
         "mixed" => Some(mixed(scale)),
+        "dumbbell-incast" => Some(dumbbell_incast(scale)),
         _ => None,
     }
 }
@@ -88,12 +118,14 @@ pub fn kv_fanout(scale: Scale) -> ScenarioSpec {
         t.service_ns = 200.0;
         spec = spec.tenant(t);
     }
-    spec
+    shape(spec, scale, Topology::FullMesh)
 }
 
 /// Incast: every tenant funnels large PUTs from its own home node into one
 /// hot aggregator node (node 0), open loop — the classic fan-in burst that
-/// melts switch buffers and tail latency in real clusters.
+/// melts switch buffers and tail latency in real clusters. Runs on a fat
+/// tree by default so the fan-in actually shares the aggregator's
+/// downlink queue.
 pub fn incast(scale: Scale) -> ScenarioSpec {
     let mut spec = ScenarioSpec::new("incast", machine(), scale.nodes).seed(scale.seed);
     for i in 0..scale.tenants {
@@ -111,12 +143,13 @@ pub fn incast(scale: Scale) -> ScenarioSpec {
         t.service_ns = 100.0;
         spec = spec.tenant(t);
     }
-    spec
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
 }
 
 /// All-to-all shuffle: every tenant moves fixed-size blocks from its home
 /// node to every other node (map→reduce exchange), closed loop at full
-/// tilt. With 32 tenants on 16 nodes this drives ~960 QPs concurrently.
+/// tilt. With 32 tenants on 16 nodes this drives ~960 QPs concurrently —
+/// on a fat tree by default, so the exchange contends across the spines.
 pub fn shuffle(scale: Scale) -> ScenarioSpec {
     let mut spec = ScenarioSpec::new("shuffle", machine(), scale.nodes).seed(scale.seed);
     for i in 0..scale.tenants {
@@ -133,7 +166,7 @@ pub fn shuffle(scale: Scale) -> ScenarioSpec {
         t.service_ns = 120.0;
         spec = spec.tenant(t);
     }
-    spec
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
 }
 
 /// Broadcast storm: chatty UD control-plane gossip from every tenant to
@@ -157,7 +190,7 @@ pub fn broadcast(scale: Scale) -> ScenarioSpec {
         t.service_ns = 50.0;
         spec = spec.tenant(t);
     }
-    spec
+    shape(spec, scale, Topology::FullMesh)
 }
 
 /// Background bulk scan + latency-sensitive foreground mix: even tenants
@@ -203,7 +236,35 @@ pub fn mixed(scale: Scale) -> ScenarioSpec {
         }
         spec = spec.tenant(t);
     }
-    spec
+    shape(spec, scale, Topology::FullMesh)
+}
+
+/// Dumbbell incast: every tenant lives on the right half of a dumbbell and
+/// funnels large PUTs across the shared bottleneck into one aggregator on
+/// the left (node 0) — 8→1 at the default scale. The scenario the
+/// CC-vs-no-CC comparison is built around: with `cc = none` the bottleneck
+/// and aggregator downlink queues blow up the tail; with `dcqcn` senders
+/// back off and recover the goodput.
+pub fn dumbbell_incast(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("dumbbell-incast", machine(), scale.nodes).seed(scale.seed);
+    // Right half of the dumbbell: nodes [split, nodes).
+    let split = scale.nodes.div_ceil(2);
+    let right = scale.nodes - split;
+    for i in 0..scale.tenants {
+        let home = split + i % right.max(1);
+        let mut t = TenantSpec::new(format!("db{i:02}"), home, vec![0]);
+        t.dataplane = dataplane_for(i);
+        t.arrival = Arrival::Open {
+            rate_per_s: 40_000.0,
+        };
+        t.window = 4;
+        t.req_size = SizeDist::Fixed(32 * 1024);
+        t.resp_size = SizeDist::Fixed(16);
+        t.requests = scale.requests;
+        t.service_ns = 100.0;
+        spec = spec.tenant(t);
+    }
+    shape(spec, scale, DUMBBELL)
 }
 
 #[cfg(test)]
@@ -216,6 +277,7 @@ mod tests {
             tenants: 4,
             requests: 8,
             seed: 7,
+            ..Scale::default()
         }
     }
 
@@ -229,6 +291,38 @@ mod tests {
             s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
         }
         assert!(by_name("nope", small()).is_none());
+    }
+
+    #[test]
+    fn congestion_prone_builtins_default_to_switched_fabrics() {
+        assert_eq!(
+            incast(Scale::default()).topology,
+            Topology::FatTree { radix: 8 }
+        );
+        assert_eq!(
+            shuffle(Scale::default()).topology,
+            Topology::FatTree { radix: 8 }
+        );
+        assert_eq!(dumbbell_incast(Scale::default()).topology, DUMBBELL);
+        assert_eq!(kv_fanout(Scale::default()).topology, Topology::FullMesh);
+        // Scale overrides both knobs.
+        let over = Scale {
+            topology: Some(Topology::FullMesh),
+            cc: CcAlgorithm::Dcqcn,
+            ..Scale::default()
+        };
+        let s = incast(over);
+        assert_eq!(s.topology, Topology::FullMesh);
+        assert_eq!(s.cc, CcAlgorithm::Dcqcn);
+    }
+
+    #[test]
+    fn dumbbell_incast_keeps_senders_on_the_right() {
+        let s = dumbbell_incast(Scale::default());
+        let split = Scale::default().nodes.div_ceil(2);
+        assert!(s.tenants.iter().all(|t| t.home >= split));
+        assert!(s.tenants.iter().all(|t| t.servers == vec![0]));
+        s.validate().unwrap();
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use cord_hw::MachineSpec;
 use cord_kern::QosClass;
-use cord_nic::Transport;
+use cord_net::Topology;
+use cord_nic::{CcAlgorithm, Transport};
 use cord_sim::{DetRng, SimDuration};
 use cord_verbs::Dataplane;
 
@@ -193,6 +194,13 @@ pub struct ScenarioSpec {
     pub machine: MachineSpec,
     pub nodes: usize,
     pub seed: u64,
+    /// Network shape connecting the nodes (default: ideal full mesh).
+    pub topology: Topology,
+    /// Congestion control applied to every tenant QP (client and server
+    /// side). `Dcqcn` only bites when the topology has shared queues,
+    /// and — like real RoCE NICs — only on RC transport: UD tenants
+    /// (e.g. `broadcast`) run unthrottled whatever this is set to.
+    pub cc: CcAlgorithm,
     pub tenants: Vec<TenantSpec>,
 }
 
@@ -203,12 +211,24 @@ impl ScenarioSpec {
             machine,
             nodes,
             seed: 0xC0BD,
+            topology: Topology::FullMesh,
+            cc: CcAlgorithm::None,
             tenants: Vec::new(),
         }
     }
 
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    pub fn cc(mut self, cc: CcAlgorithm) -> Self {
+        self.cc = cc;
         self
     }
 
@@ -221,6 +241,9 @@ impl ScenarioSpec {
         if self.nodes < 2 {
             return Err("scenario needs at least 2 nodes".into());
         }
+        self.topology
+            .validate(self.nodes)
+            .map_err(|e| format!("{}: {e}", self.name))?;
         if self.tenants.is_empty() {
             return Err("scenario has no tenants".into());
         }

@@ -139,6 +139,10 @@ pub struct ScenarioReport {
     pub machine: String,
     pub nodes: usize,
     pub seed: u64,
+    /// Network shape (e.g. `full-mesh`, `fat-tree/8`, `dumbbell/25g`).
+    pub topology: String,
+    /// Congestion control applied to tenant QPs (`none` or `dcqcn`).
+    pub cc: String,
     pub connections: usize,
     pub qps_created: usize,
     pub elapsed_ms: f64,
@@ -162,6 +166,8 @@ impl ScenarioReport {
             machine: spec.machine.name.to_string(),
             nodes: spec.nodes,
             seed: spec.seed,
+            topology: spec.topology.to_string(),
+            cc: spec.cc.to_string(),
             connections: spec.total_connections(),
             qps_created,
             elapsed_ms: elapsed.as_us_f64() / 1e3,

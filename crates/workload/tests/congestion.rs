@@ -1,0 +1,110 @@
+//! End-to-end congestion scenarios: an 8→1 incast across a dumbbell
+//! bottleneck, under both dataplanes, with and without DCQCN.
+//!
+//! The acceptance contract for the cord-net subsystem:
+//! * congestion is real — with `cc = none`, fan-in makes p99 measurably
+//!   worse than an uncongested single-sender baseline;
+//! * DCQCN is safe — throttled senders still deliver ≥ 80 % of the
+//!   uncontrolled aggregate goodput;
+//! * everything stays deterministic — same spec + seed ⇒ byte-identical
+//!   serialized reports.
+
+use cord_nic::CcAlgorithm;
+use cord_verbs::Dataplane;
+use cord_workload::scenarios::{dumbbell_incast, Scale};
+use cord_workload::{run_scenario, ScenarioReport};
+
+/// 16-node dumbbell, `senders` tenants on the right half, all using one
+/// dataplane, 8→1 into node 0 at the default scale.
+fn incast_report(senders: usize, cc: CcAlgorithm, dataplane: Dataplane) -> ScenarioReport {
+    let scale = Scale {
+        nodes: 16,
+        tenants: senders,
+        requests: 20,
+        seed: 42,
+        cc,
+        ..Scale::default()
+    };
+    let mut spec = dumbbell_incast(scale);
+    for t in &mut spec.tenants {
+        t.dataplane = dataplane;
+    }
+    run_scenario(&spec).unwrap()
+}
+
+fn worst_p99_us(r: &ScenarioReport) -> f64 {
+    r.tenants.iter().map(|t| t.p99_us).fold(0.0, f64::max)
+}
+
+#[test]
+fn incast_tail_blows_up_without_cc_and_dcqcn_keeps_goodput() {
+    for dataplane in [Dataplane::Cord, Dataplane::Bypass] {
+        let baseline = incast_report(1, CcAlgorithm::None, dataplane);
+        let none = incast_report(8, CcAlgorithm::None, dataplane);
+        let dcqcn = incast_report(8, CcAlgorithm::Dcqcn, dataplane);
+
+        // Every request completes in all three configurations.
+        for r in [&baseline, &none, &dcqcn] {
+            assert_eq!(r.total_completed, r.tenants.len() as u64 * 20);
+            assert_eq!(r.total_dropped, 0);
+        }
+
+        // 8→1 through the shared bottleneck must hurt the tail vs the
+        // uncongested single sender.
+        assert!(
+            worst_p99_us(&none) > 2.0 * worst_p99_us(&baseline),
+            "{dataplane:?}: incast p99 {} vs baseline p99 {}",
+            worst_p99_us(&none),
+            worst_p99_us(&baseline),
+        );
+
+        // DCQCN throttles senders yet recovers ≥ 80 % of the uncontrolled
+        // aggregate goodput.
+        assert!(
+            dcqcn.total_goodput_gbps >= 0.8 * none.total_goodput_gbps,
+            "{dataplane:?}: dcqcn {} Gb/s vs uncontrolled {} Gb/s",
+            dcqcn.total_goodput_gbps,
+            none.total_goodput_gbps,
+        );
+
+        // The knobs are recorded for the results JSON.
+        assert_eq!(none.topology, "dumbbell/25g");
+        assert_eq!(none.cc, "none");
+        assert_eq!(dcqcn.cc, "dcqcn");
+    }
+}
+
+#[test]
+fn congested_runs_remain_seed_deterministic() {
+    let a = incast_report(8, CcAlgorithm::Dcqcn, Dataplane::Cord);
+    let b = incast_report(8, CcAlgorithm::Dcqcn, Dataplane::Cord);
+    assert_eq!(
+        serde_json::to_string_pretty(&a).unwrap(),
+        serde_json::to_string_pretty(&b).unwrap()
+    );
+}
+
+#[test]
+fn fat_tree_incast_also_congests() {
+    // The built-in `incast` scenario now defaults to a fat tree; its
+    // aggregator downlink is the shared queue.
+    let tiny = |tenants| {
+        let scale = Scale {
+            nodes: 16,
+            tenants,
+            requests: 15,
+            seed: 7,
+            ..Scale::default()
+        };
+        run_scenario(&cord_workload::scenarios::incast(scale)).unwrap()
+    };
+    let one = tiny(1);
+    let many = tiny(8);
+    assert_eq!(many.topology, "fat-tree/8");
+    assert!(
+        worst_p99_us(&many) > worst_p99_us(&one),
+        "fan-in must queue: {} vs {}",
+        worst_p99_us(&many),
+        worst_p99_us(&one)
+    );
+}

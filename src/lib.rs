@@ -4,6 +4,7 @@ pub use cord_core as core;
 pub use cord_hw as hw;
 pub use cord_kern as kern;
 pub use cord_mpi as mpi;
+pub use cord_net as net;
 pub use cord_nic as nic;
 pub use cord_npb as npb;
 pub use cord_perftest as perftest;
