@@ -1,0 +1,123 @@
+//! Microbenchmarks for the simulator-core primitives: spawn/join
+//! throughput, timer-wheel sleep churn, cancellation storms, and wake
+//! dedup. These isolate executor regressions without running full
+//! scenarios (which mix in NIC/network model cost).
+
+use std::future::Future;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cord_sim::{Sim, SimDuration};
+
+/// Spawn-and-join a burst of trivial tasks (slab reuse, ready-queue ops).
+fn bench_spawn_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("spawn_join_100k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            let total = sim.block_on(async move {
+                let mut acc = 0u64;
+                for i in 0..N {
+                    acc += s.spawn(async move { i }).await;
+                }
+                acc
+            });
+            black_box(total);
+        });
+    });
+    g.finish();
+}
+
+/// One million sequential sleeps: insert + fire + wake + poll per sleep.
+fn bench_sleeps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    const N: u64 = 1_000_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("sleep_1m_sequential", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.block_on(async move {
+                for _ in 0..N {
+                    s.sleep(SimDuration::from_ns(100)).await;
+                }
+            });
+            black_box(sim.timer_fires());
+        });
+    });
+    g.finish();
+}
+
+/// 1000 concurrent sleepers × 1000 rounds with staggered deadlines: the
+/// wheel under a realistically mixed pending set.
+fn bench_concurrent_sleepers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    const TASKS: u64 = 1_000;
+    const ROUNDS: u64 = 1_000;
+    g.throughput(Throughput::Elements(TASKS * ROUNDS));
+    g.bench_function("sleep_1k_tasks_x_1k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.block_on(async move {
+                let mut hs = Vec::new();
+                for t in 0..TASKS {
+                    let s2 = s.clone();
+                    hs.push(s.spawn(async move {
+                        for _ in 0..ROUNDS {
+                            s2.sleep(SimDuration::from_ns(500 + 7 * t)).await;
+                        }
+                    }));
+                }
+                for h in hs {
+                    h.await;
+                }
+            });
+            black_box(sim.timer_fires());
+        });
+    });
+    g.finish();
+}
+
+/// Register sleeps and drop them immediately: O(1) cancel via slot
+/// handles, entry recycling, and no tombstone rot in the wheel.
+fn bench_cancel_storm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("timer_cancel_storm_100k", |b| {
+        b.iter(|| {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.block_on(async move {
+                for i in 0..N {
+                    // Poll once to register, then drop (cancel).
+                    let mut sl = Box::pin(s.sleep(SimDuration::from_us(1 + (i % 64))));
+                    std::future::poll_fn(|cx| {
+                        let _ = sl.as_mut().poll(cx);
+                        std::task::Poll::Ready(())
+                    })
+                    .await;
+                    drop(sl);
+                }
+                // The wheel must be empty again: a single short sleep ends
+                // the run without wading through stale entries.
+                s.sleep(SimDuration::from_ns(1)).await;
+            });
+            black_box(sim.timer_fires());
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spawn_join,
+    bench_sleeps,
+    bench_concurrent_sleepers,
+    bench_cancel_storm
+);
+criterion_main!(benches);

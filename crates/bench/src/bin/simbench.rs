@@ -1,0 +1,181 @@
+//! `simbench` — wall-clock benchmarks of the simulator core on fixed
+//! loadgen scenarios, persisted as the repo's perf trajectory.
+//!
+//! ```text
+//! cargo run --release --bin simbench            # full suite
+//! cargo run --release --bin simbench -- --quick # CI smoke (seconds)
+//! cargo run --release --bin simbench -- incast-dcqcn
+//! ```
+//!
+//! Every named benchmark pins its scenario spec completely (nodes,
+//! tenants, requests, topology, cc, seed), so two builds of the simulator
+//! can be compared run-to-run:
+//!
+//! * `kv-fanout`   — closed-loop small RPC fan-out on the full mesh; the
+//!   message-rate / executor-churn stress.
+//! * `incast-dcqcn` — open-loop 32 KiB fan-in on a fat tree with DCQCN,
+//!   the timer-heavy case (CNP echo gates, rate-limiter pacing gates,
+//!   alpha/recovery timers on every QP).
+//! * `shuffle`     — all-to-all 16 KiB exchange, ~960 concurrent QPs; the
+//!   task-count / ready-queue stress.
+//!
+//! Results land in `results/simbench_<name>.json` (`--quick` writes
+//! `simbench_quick_<name>.json`, so smoke runs never clobber the
+//! committed full-run perf trajectory): wall seconds plus the executor's
+//! own counters (polls/s, timer fires/s). Wall-clock fields are
+//! nondeterministic by nature, so the virtual-time digest every run must
+//! reproduce exactly is written separately to
+//! `results/simbench_digest.txt` — CI runs the bench twice and diffs that
+//! file byte-for-byte.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cord_bench::{print_table, save_json};
+use cord_nic::CcAlgorithm;
+use cord_workload::scenarios::{self, Scale};
+use cord_workload::{run_scenario_instrumented, CoreStats, ScenarioReport, ScenarioSpec};
+
+use serde::Serialize;
+
+/// One benchmark = one fully pinned scenario.
+struct Bench {
+    name: &'static str,
+    spec: ScenarioSpec,
+}
+
+/// The fixed benchmark suite. `quick` divides request counts by 10 so CI
+/// can run the whole suite (twice) in seconds.
+fn suite(quick: bool) -> Vec<Bench> {
+    let req = |n: usize| if quick { (n / 10).max(1) } else { n };
+    let scale = |requests: usize, cc: CcAlgorithm| Scale {
+        requests: req(requests),
+        cc,
+        ..Scale::default()
+    };
+    vec![
+        Bench {
+            name: "kv-fanout",
+            spec: scenarios::kv_fanout(scale(600, CcAlgorithm::None)),
+        },
+        Bench {
+            name: "incast-dcqcn",
+            spec: scenarios::incast(scale(600, CcAlgorithm::Dcqcn)),
+        },
+        Bench {
+            name: "shuffle",
+            spec: scenarios::shuffle(scale(300, CcAlgorithm::None)),
+        },
+    ]
+}
+
+#[derive(Serialize)]
+struct SimbenchReport {
+    bench: String,
+    scenario: String,
+    nodes: usize,
+    tenants: usize,
+    requests_per_tenant: usize,
+    topology: String,
+    cc: String,
+    seed: u64,
+    quick: bool,
+    /// Wall-clock time of `run_scenario` (nondeterministic; excluded from
+    /// the determinism digest).
+    wall_seconds: f64,
+    virtual_ms: f64,
+    polls: u64,
+    timer_fires: u64,
+    polls_per_sec: f64,
+    timer_fires_per_sec: f64,
+    completed: u64,
+    goodput_gbps: f64,
+}
+
+fn run_bench(b: &Bench, quick: bool) -> SimbenchReport {
+    let t0 = Instant::now();
+    let (report, core): (ScenarioReport, CoreStats) =
+        run_scenario_instrumented(&b.spec).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let wall = t0.elapsed().as_secs_f64();
+    SimbenchReport {
+        bench: b.name.to_string(),
+        scenario: report.scenario.clone(),
+        nodes: report.nodes,
+        tenants: b.spec.tenants.len(),
+        requests_per_tenant: b.spec.tenants.first().map_or(0, |t| t.requests),
+        topology: report.topology.clone(),
+        cc: report.cc.clone(),
+        seed: b.spec.seed,
+        quick,
+        wall_seconds: wall,
+        virtual_ms: report.elapsed_ms,
+        polls: core.sim.polls,
+        timer_fires: core.sim.timer_fires,
+        polls_per_sec: core.sim.polls as f64 / wall,
+        timer_fires_per_sec: core.sim.timer_fires as f64 / wall,
+        completed: report.total_completed,
+        goodput_gbps: report.total_goodput_gbps,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: simbench [--quick] [bench ...]\nbenches: kv-fanout, incast-dcqcn, shuffle");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut quick = false;
+    let mut picked: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--quick" => quick = true,
+            s if s.starts_with('-') => usage(),
+            s => picked.push(s.to_string()),
+        }
+    }
+    let benches: Vec<Bench> = suite(quick)
+        .into_iter()
+        .filter(|b| picked.is_empty() || picked.iter().any(|p| p == b.name))
+        .collect();
+    if benches.is_empty() {
+        usage();
+    }
+
+    let mut rows = Vec::new();
+    let mut digest = String::new();
+    for b in &benches {
+        let r = run_bench(b, quick);
+        rows.push(vec![
+            r.bench.clone(),
+            format!("{:.3}", r.wall_seconds),
+            format!("{:.3}", r.virtual_ms),
+            format!("{}", r.polls),
+            format!("{}", r.timer_fires),
+            format!("{:.2e}", r.polls_per_sec),
+            format!("{:.2e}", r.timer_fires_per_sec),
+        ]);
+        // Everything in the digest must be bit-reproducible across runs.
+        writeln!(
+            digest,
+            "{} virtual_ms={} polls={} timer_fires={} completed={} goodput_gbps={}",
+            r.bench, r.virtual_ms, r.polls, r.timer_fires, r.completed, r.goodput_gbps
+        )
+        .unwrap();
+        // Quick smoke runs write under a different name so they never
+        // clobber the committed full-run trajectory files.
+        let prefix = if quick { "simbench_quick" } else { "simbench" };
+        save_json(&format!("{prefix}_{}", r.bench), &r);
+    }
+    print_table(
+        &format!("simbench{}", if quick { " --quick" } else { "" }),
+        &[
+            "bench", "wall s", "virt ms", "polls", "fires", "polls/s", "fires/s",
+        ],
+        &rows,
+    );
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/simbench_digest.txt", &digest).is_ok()
+    {
+        println!("[saved results/simbench_digest.txt]");
+    }
+}

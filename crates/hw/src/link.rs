@@ -22,6 +22,8 @@
 //! Note that `transmit` consults only per-port state in deterministic call
 //! order, so runs are reproducible.
 
+use std::rc::Rc;
+
 use cord_sim::sync::{channel, Receiver, Sender};
 use cord_sim::{FifoResource, Sim, SimDuration};
 
@@ -41,13 +43,19 @@ pub struct Frame<T> {
     pub payload: T,
 }
 
-/// Shared fabric connecting `n` nodes.
-pub struct Fabric<T> {
+struct FabricInner<T> {
     sim: Sim,
     spec: LinkSpec,
     egress: Vec<FifoResource>,
     ingress: Vec<FifoResource>,
     ingress_tx: Vec<Sender<Frame<T>>>,
+}
+
+/// Shared fabric connecting `n` nodes. The state lives behind one `Rc` so
+/// the per-frame delivery closures capture a single reference-count bump
+/// instead of cloning senders and port resources.
+pub struct Fabric<T> {
+    inner: Rc<FabricInner<T>>,
 }
 
 impl<T: 'static> Fabric<T> {
@@ -66,27 +74,29 @@ impl<T: 'static> Fabric<T> {
         }
         (
             Fabric {
-                sim: sim.clone(),
-                spec,
-                egress,
-                ingress,
-                ingress_tx,
+                inner: Rc::new(FabricInner {
+                    sim: sim.clone(),
+                    spec,
+                    egress,
+                    ingress,
+                    ingress_tx,
+                }),
             },
             ingress_rx,
         )
     }
 
     pub fn nodes(&self) -> usize {
-        self.egress.len()
+        self.inner.egress.len()
     }
 
     pub fn spec(&self) -> &LinkSpec {
-        &self.spec
+        &self.inner.spec
     }
 
     /// Serialization time for `wire_bytes` at line rate.
     pub fn serialize_time(&self, wire_bytes: usize) -> SimDuration {
-        cord_sim::transmission_time(wire_bytes as u64, self.spec.gbps)
+        cord_sim::transmission_time(wire_bytes as u64, self.inner.spec.gbps)
     }
 
     /// Transmit a frame. Serializes on the source's egress port (FIFO at
@@ -95,45 +105,51 @@ impl<T: 'static> Fabric<T> {
     /// Returns immediately; the frame arrives asynchronously.
     pub fn transmit(&self, frame: Frame<T>) {
         assert!(frame.src < self.nodes() && frame.dst < self.nodes());
+        let inner = &self.inner;
         let ser = self.serialize_time(frame.wire_bytes);
-        let grant = self.egress[frame.src].enqueue(ser);
-        let tx = self.ingress_tx[frame.dst].clone();
+        let grant = inner.egress[frame.src].enqueue(ser);
+        // Boxed once: the delivery closures then capture a pointer (small
+        // enough for the executor's inline-closure path) instead of the
+        // whole frame.
+        let frame = Box::new(frame);
         if frame.src == frame.dst {
             // Loopback: NIC-internal path, no wire, no ingress port.
-            self.sim.schedule_at(grant.end, move |_| {
+            let fab = Rc::clone(inner);
+            inner.sim.schedule_at(grant.end, move |_| {
                 // Receiver dropped means the node shut down; frame is lost,
                 // which is fine (UD semantics) — RC recovers via higher
                 // layers.
-                let _ = tx.try_send(frame);
+                let _ = fab.ingress_tx[frame.dst].try_send(*frame);
             });
             return;
         }
         // The first bit reaches the destination at grant.start + prop; the
         // ingress port then receives for one serialization time (ending at
         // grant.end + prop when the RX wire is idle).
-        let first_bit = grant.start + SimDuration::from_ns_f64(self.spec.propagation_ns);
-        let ingress = self.ingress[frame.dst].clone();
-        self.sim.schedule_at(first_bit, move |sim| {
-            let g = ingress.enqueue(ser);
+        let first_bit = grant.start + SimDuration::from_ns_f64(inner.spec.propagation_ns);
+        let fab = Rc::clone(inner);
+        inner.sim.schedule_at(first_bit, move |sim| {
+            let ser = cord_sim::transmission_time(frame.wire_bytes as u64, fab.spec.gbps);
+            let g = fab.ingress[frame.dst].enqueue(ser);
             sim.schedule_at(g.end, move |_| {
-                let _ = tx.try_send(frame);
+                let _ = fab.ingress_tx[frame.dst].try_send(*frame);
             });
         });
     }
 
     /// Egress utilization of a node's port.
     pub fn egress_utilization(&self, node: usize) -> f64 {
-        self.egress[node].utilization()
+        self.inner.egress[node].utilization()
     }
 
     /// Frames serialized by a node's egress port.
     pub fn egress_frames(&self, node: usize) -> u64 {
-        self.egress[node].served()
+        self.inner.egress[node].served()
     }
 
     /// Frames received through a node's ingress port (excludes loopback).
     pub fn ingress_frames(&self, node: usize) -> u64 {
-        self.ingress[node].served()
+        self.inner.ingress[node].served()
     }
 }
 

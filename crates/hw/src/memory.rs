@@ -103,8 +103,10 @@ impl GuestMem {
         r
     }
 
-    fn check(&self, addr: u64, len: usize) -> Result<usize, MemError> {
-        let inner = self.inner.borrow();
+    /// Bounds check against an already-borrowed arena (one `RefCell`
+    /// borrow per access, not two — reads and writes are per-fragment hot
+    /// paths).
+    fn check_in(inner: &Inner, addr: u64, len: usize) -> Result<usize, MemError> {
         let err = MemError::OutOfBounds { addr, len };
         if addr < GUEST_BASE {
             return Err(err);
@@ -116,17 +118,21 @@ impl GuestMem {
         Ok(start)
     }
 
+    fn check(&self, addr: u64, len: usize) -> Result<usize, MemError> {
+        Self::check_in(&self.inner.borrow(), addr, len)
+    }
+
     /// Read `len` bytes at `addr` into an owned `Bytes`.
     pub fn read(&self, addr: u64, len: usize) -> Result<Bytes, MemError> {
-        let start = self.check(addr, len)?;
         let inner = self.inner.borrow();
+        let start = Self::check_in(&inner, addr, len)?;
         Ok(Bytes::copy_from_slice(&inner.buf[start..start + len]))
     }
 
     /// Write `data` at `addr`.
     pub fn write(&self, addr: u64, data: &[u8]) -> Result<(), MemError> {
-        let start = self.check(addr, data.len())?;
         let mut inner = self.inner.borrow_mut();
+        let start = Self::check_in(&inner, addr, data.len())?;
         inner.buf[start..start + data.len()].copy_from_slice(data);
         Ok(())
     }

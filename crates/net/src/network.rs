@@ -264,6 +264,18 @@ impl<T: 'static> Network<T> {
     }
 }
 
+/// A frame in transit across the switched fabric, boxed once at
+/// `transmit` so every per-hop event closure captures one pointer (and
+/// stays within the executor's inline-closure budget) instead of copying
+/// the frame and path into each scheduled event.
+struct HopState<T> {
+    frame: Frame<T>,
+    path: [u32; RoutePlan::MAX_PATH],
+    hops: u8,
+    /// Index of the hop currently being processed.
+    i: u8,
+}
+
 impl<T: 'static> Switched<T> {
     fn transmit(this: &Rc<Self>, frame: Frame<T>) {
         let nodes = this.plan.nodes();
@@ -272,40 +284,39 @@ impl<T: 'static> Switched<T> {
         let grant = this.host_egress[frame.src].enqueue(ser);
         if frame.src == frame.dst {
             // Loopback: NIC-internal path, no switches.
-            let tx = this.ingress_tx[frame.dst].clone();
+            let sw = Rc::clone(this);
+            let frame = Box::new(frame);
             this.sim.schedule_at(grant.end, move |_| {
-                let _ = tx.try_send(frame);
+                let _ = sw.ingress_tx[frame.dst].try_send(*frame);
             });
             return;
         }
-        // Fixed-size path: routing is on the per-packet hot path, so it
-        // must not allocate.
         let mut path = [0; RoutePlan::MAX_PATH];
         let hops = this
             .plan
             .route_into(frame.src, frame.dst, frame.flow, &mut path);
         let at = grant.end + this.prop();
-        Self::hop(Rc::clone(this), frame, (path, hops), 0, at);
+        let st = Box::new(HopState {
+            frame,
+            path: path.map(|p| p as u32),
+            hops: hops as u8,
+            i: 0,
+        });
+        Self::hop(Rc::clone(this), st, at);
     }
 
     fn prop(&self) -> SimDuration {
         SimDuration::from_ns_f64(self.spec.propagation_ns)
     }
 
-    /// Process hop `i` of the `(ports, len)` path at time `at`: run the
-    /// frame through the port's buffer/ECN checks and serializer, then
-    /// forward or deliver.
-    fn hop(
-        this: Rc<Self>,
-        mut frame: Frame<T>,
-        path: ([usize; RoutePlan::MAX_PATH], usize),
-        i: usize,
-        at: SimTime,
-    ) {
+    /// Process hop `st.i` of the path at time `at`: run the frame through
+    /// the port's buffer/ECN checks and serializer, then forward or
+    /// deliver.
+    fn hop(this: Rc<Self>, mut st: Box<HopState<T>>, at: SimTime) {
         let sim = this.sim.clone();
         sim.schedule_at(at, move |sim| {
-            let idx = path.0[i];
-            let wire = frame.wire_bytes;
+            let idx = st.path[st.i as usize] as usize;
+            let wire = st.frame.wire_bytes;
             let grant_end = {
                 let p = &this.ports[idx];
                 if p.queued.get() + wire > this.cfg.buffer_bytes {
@@ -313,7 +324,7 @@ impl<T: 'static> Switched<T> {
                     return; // tail drop
                 }
                 if this.cfg.ecn.enabled && p.queued.get() >= this.cfg.ecn.threshold_bytes {
-                    frame.ecn = true;
+                    st.frame.ecn = true;
                     p.marks.set(p.marks.get() + 1);
                 }
                 p.queued.set(p.queued.get() + wire);
@@ -323,19 +334,20 @@ impl<T: 'static> Switched<T> {
             };
             // The frame leaves the buffer when its serialization completes.
             let drain = Rc::clone(&this);
+            let (idx32, wire32) = (idx as u32, wire as u32);
             sim.schedule_at(grant_end, move |_| {
-                let p = &drain.ports[idx];
-                p.queued.set(p.queued.get() - wire);
+                let p = &drain.ports[idx32 as usize];
+                p.queued.set(p.queued.get() - wire32 as usize);
             });
             let next_at = grant_end + this.prop();
-            if i + 1 == path.1 {
+            if st.i + 1 == st.hops {
                 // Last port is the downlink to the destination host.
-                let tx = this.ingress_tx[frame.dst].clone();
                 sim.schedule_at(next_at, move |_| {
-                    let _ = tx.try_send(frame);
+                    let _ = this.ingress_tx[st.frame.dst].try_send(st.frame);
                 });
             } else {
-                Self::hop(Rc::clone(&this), frame, path, i + 1, next_at);
+                st.i += 1;
+                Self::hop(Rc::clone(&this), st, next_at);
             }
         });
     }

@@ -19,7 +19,7 @@
 //! completion, the ordering RDMA applications rely on.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -49,7 +49,10 @@ pub(crate) struct NicInner {
     pub spec: MachineSpec,
     fabric: Rc<Network<Packet>>,
     rx: RefCell<Option<Receiver<Frame<Packet>>>>,
-    qps: RefCell<HashMap<u32, Rc<RefCell<Qp>>>>,
+    /// QP table indexed by QPN (QPNs are dense, starting at 1; index 0 is
+    /// permanently vacant). A direct index beats a hash on the per-packet
+    /// path.
+    qps: RefCell<Vec<Option<Rc<RefCell<Qp>>>>>,
     next_qpn: Cell<u32>,
     next_cq: Cell<u32>,
     pub mrs: MrTable,
@@ -87,7 +90,7 @@ impl Nic {
                 spec: spec.clone(),
                 fabric,
                 rx: RefCell::new(Some(rx)),
-                qps: RefCell::new(HashMap::new()),
+                qps: RefCell::new(vec![None]),
                 next_qpn: Cell::new(0),
                 next_cq: Cell::new(0),
                 mrs: MrTable::new(),
@@ -158,20 +161,14 @@ impl Nic {
             self.inner.spec.nic.rq_depth,
             self.inner.spec.nic.max_rd_atomic,
         );
-        self.inner
-            .qps
-            .borrow_mut()
-            .insert(n, Rc::new(RefCell::new(qp)));
+        let mut qps = self.inner.qps.borrow_mut();
+        debug_assert_eq!(qps.len(), n as usize);
+        qps.push(Some(Rc::new(RefCell::new(qp))));
         qpn
     }
 
     fn qp(&self, qpn: QpNum) -> Result<Rc<RefCell<Qp>>, VerbsError> {
-        self.inner
-            .qps
-            .borrow()
-            .get(&qpn.0)
-            .cloned()
-            .ok_or(VerbsError::UnknownQp(qpn))
+        self.inner.qp_rc(qpn).ok_or(VerbsError::UnknownQp(qpn))
     }
 
     /// Full RESET→INIT→RTR→RTS transition (the common CM handshake result).
@@ -301,12 +298,19 @@ impl Nic {
     /// Test/diagnostic access to the raw QP (crate-internal).
     #[doc(hidden)]
     pub fn qp_handle(&self, qpn: QpNum) -> Option<Rc<RefCell<Qp>>> {
-        self.inner.qps.borrow().get(&qpn.0).cloned()
+        self.inner.qp_rc(qpn)
+    }
+}
+
+impl NicInner {
+    #[inline]
+    fn qp_rc(&self, qpn: QpNum) -> Option<Rc<RefCell<Qp>>> {
+        self.qps.borrow().get(qpn.0 as usize)?.clone()
     }
 }
 
 fn ring_qp(inner: &Rc<NicInner>, qpn: QpNum) {
-    let Some(qp_rc) = inner.qps.borrow().get(&qpn.0).cloned() else {
+    let Some(qp_rc) = inner.qp_rc(qpn) else {
         return;
     };
     let mut qp = qp_rc.borrow_mut();
@@ -432,7 +436,7 @@ async fn tx_loop(inner: Rc<NicInner>) {
 
 /// Process up to [`TX_BURST`] fragments for one QP, then yield.
 async fn process_burst(inner: &Rc<NicInner>, qpn: QpNum) {
-    let Some(qp_rc) = inner.qps.borrow().get(&qpn.0).cloned() else {
+    let Some(qp_rc) = inner.qp_rc(qpn) else {
         return;
     };
     let mut budget = TX_BURST;
@@ -628,47 +632,55 @@ async fn emit_fragments(
             inner.sim.schedule_at(at, move |_| ring_qp(&inner2, qpn));
             return None;
         }
-        // Snapshot fragment parameters without holding the borrow.
-        let (wqe, msg_id, frag, nfrags, mem, qpn, peer, transport) = {
+        // Snapshot fragment parameters without holding the borrow — the
+        // scalars the fragment needs, not a clone of the whole WQE — and
+        // charge the committed fragment against the DCQCN rate in the
+        // same borrow (the gate above was open).
+        let (sge, wr_id, signaled, opcode, imm, remote, ud_dest, inline, msg_id, frag, nfrags) = {
             let qp = qp_rc.borrow();
             let Some(tx) = &qp.tx else {
                 return Some(budget);
             };
             (
-                tx.wqe.clone(),
+                tx.wqe.sge,
+                tx.wqe.wr_id,
+                tx.wqe.signaled,
+                tx.wqe.opcode,
+                tx.wqe.imm,
+                tx.wqe.remote,
+                tx.wqe.ud_dest,
+                tx.wqe.inline_data.clone(),
                 tx.msg_id,
                 tx.next_frag,
                 tx.nfrags,
-                tx.mem.clone(),
-                qp.num,
-                qp.peer,
-                qp.transport,
             )
         };
         let mtu = inner.spec.nic.mtu;
         let offset = frag as usize * mtu;
-        let frag_len = (wqe.sge.len - offset).min(mtu);
+        let frag_len = (sge.len - offset).min(mtu);
         let last = frag + 1 == nfrags;
 
-        // Charge the fragment against the DCQCN rate now that it is
-        // committed (the gate above was open).
-        {
+        let (mem, qpn, peer, transport) = {
             let mut qp = qp_rc.borrow_mut();
             if let Some(d) = qp.dcqcn.as_mut() {
                 d.charge(now, frag_len + inner.spec.nic.header_bytes);
             }
-        }
+            let Some(tx) = &qp.tx else {
+                return Some(budget);
+            };
+            (tx.mem.clone(), qp.num, qp.peer, qp.transport)
+        };
 
         // Respect the in-flight window so we pace at the bottleneck.
         inner.tx_window.acquire(1).await;
 
         // Fetch payload: inline data was captured at post time; otherwise a
         // DMA read whose completion gates the frame's entry to the fabric.
-        let (payload, ready): (Bytes, SimTime) = if let Some(inline) = &wqe.inline_data {
+        let (payload, ready): (Bytes, SimTime) = if let Some(inline) = &inline {
             (inline.slice(offset..offset + frag_len), inner.sim.now())
         } else {
             let data = mem
-                .read(wqe.sge.addr + offset as u64, frag_len)
+                .read(sge.addr + offset as u64, frag_len)
                 .expect("range validated at WQE start");
             (data, inner.dma.enqueue(DmaDir::FromHost, frag_len))
         };
@@ -676,32 +688,32 @@ async fn emit_fragments(
         let (dst_node, dst_qpn) = match transport {
             Transport::Rc => peer.expect("RC connected"),
             Transport::Ud => {
-                let d = wqe.ud_dest.expect("validated at post");
+                let d = ud_dest.expect("validated at post");
                 (d.node, d.qpn)
             }
         };
-        let kind = match wqe.opcode {
+        let kind = match opcode {
             Opcode::Send => PacketKind::SendFrag {
                 msg_id,
                 frag,
                 nfrags,
-                total_len: wqe.sge.len,
+                total_len: sge.len,
                 offset,
                 payload,
-                imm: wqe.imm,
+                imm,
             },
             Opcode::RdmaWrite => {
-                let (raddr, rkey) = wqe.remote.expect("validated at post");
+                let (raddr, rkey) = remote.expect("validated at post");
                 PacketKind::WriteFrag {
                     msg_id,
                     frag,
                     nfrags,
-                    total_len: wqe.sge.len,
+                    total_len: sge.len,
                     raddr,
                     rkey,
                     offset,
                     payload,
-                    imm: wqe.imm,
+                    imm,
                 }
             }
             Opcode::RdmaRead => unreachable!("reads have no fragments"),
@@ -718,10 +730,7 @@ async fn emit_fragments(
         // Transmit when the payload is on-NIC; release the window then.
         let inner2 = Rc::clone(inner);
         let qp2 = Rc::clone(qp_rc);
-        let wr_id = wqe.wr_id;
-        let signaled = wqe.signaled;
-        let opcode = wqe.opcode;
-        let total_len = wqe.sge.len;
+        let total_len = sge.len;
         inner.sim.schedule_at(ready, move |_| {
             transmit(&inner2, pkt);
             inner2.tx_window.release(1);
@@ -797,28 +806,48 @@ async fn rx_loop(inner: Rc<NicInner>) {
     }
 }
 
-fn nak(inner: &Rc<NicInner>, pkt: &Packet, msg_id: u64, reason: NakReason) {
+/// Header fields of a received packet, kept after its payload has been
+/// moved out — everything reply paths (ACK/NAK/CNP, CQE source fields)
+/// need, without cloning whole packets.
+#[derive(Debug, Clone, Copy)]
+struct PktHdr {
+    src_node: NodeId,
+    src_qpn: QpNum,
+    dst_qpn: QpNum,
+}
+
+impl PktHdr {
+    fn of(pkt: &Packet) -> PktHdr {
+        PktHdr {
+            src_node: pkt.src_node,
+            src_qpn: pkt.src_qpn,
+            dst_qpn: pkt.dst_qpn,
+        }
+    }
+}
+
+fn nak(inner: &Rc<NicInner>, hdr: PktHdr, msg_id: u64, reason: NakReason) {
     transmit(
         inner,
         Packet {
             src_node: inner.node,
-            dst_node: pkt.src_node,
-            src_qpn: pkt.dst_qpn,
-            dst_qpn: pkt.src_qpn,
+            dst_node: hdr.src_node,
+            src_qpn: hdr.dst_qpn,
+            dst_qpn: hdr.src_qpn,
             ecn: false,
             kind: PacketKind::Nak { msg_id, reason },
         },
     );
 }
 
-fn ack(inner: &Rc<NicInner>, pkt: &Packet, msg_id: u64) {
+fn ack(inner: &Rc<NicInner>, hdr: PktHdr, msg_id: u64) {
     transmit(
         inner,
         Packet {
             src_node: inner.node,
-            dst_node: pkt.src_node,
-            src_qpn: pkt.dst_qpn,
-            dst_qpn: pkt.src_qpn,
+            dst_node: hdr.src_node,
+            src_qpn: hdr.dst_qpn,
+            dst_qpn: hdr.src_qpn,
             ecn: false,
             kind: PacketKind::Ack { msg_id },
         },
@@ -856,7 +885,7 @@ fn maybe_echo_cnp(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, pkt: &Packet) {
 }
 
 fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
-    let Some(qp_rc) = inner.qps.borrow().get(&pkt.dst_qpn.0).cloned() else {
+    let Some(qp_rc) = inner.qp_rc(pkt.dst_qpn) else {
         return; // stale packet to a destroyed QP
     };
     // Congestion feedback is independent of WQE state: echo a CNP for any
@@ -864,7 +893,10 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
     if pkt.ecn && pkt.is_data() {
         maybe_echo_cnp(inner, &qp_rc, &pkt);
     }
-    match pkt.kind.clone() {
+    // Destructure by value: handlers receive the payload without a clone
+    // and the header fields as a small `Copy` struct.
+    let hdr = PktHdr::of(&pkt);
+    match pkt.kind {
         PacketKind::SendFrag {
             msg_id,
             frag,
@@ -874,7 +906,7 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
             payload,
             imm,
         } => handle_send_frag(
-            inner, &qp_rc, &pkt, msg_id, frag, nfrags, total_len, offset, payload, imm,
+            inner, &qp_rc, hdr, msg_id, frag, nfrags, total_len, offset, payload, imm,
         ),
         PacketKind::WriteFrag {
             msg_id,
@@ -887,21 +919,21 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
             payload,
             imm,
         } => handle_write_frag(
-            inner, &qp_rc, &pkt, msg_id, frag, nfrags, total_len, raddr, rkey, offset, payload, imm,
+            inner, &qp_rc, hdr, msg_id, frag, nfrags, total_len, raddr, rkey, offset, payload, imm,
         ),
         PacketKind::ReadReq {
             msg_id,
             raddr,
             rkey,
             len,
-        } => handle_read_req(inner, &qp_rc, &pkt, msg_id, raddr, rkey, len),
+        } => handle_read_req(inner, &qp_rc, hdr, msg_id, raddr, rkey, len),
         PacketKind::ReadResp {
             msg_id,
             frag,
             nfrags,
             offset,
             payload,
-        } => handle_read_resp(inner, &qp_rc, &pkt, msg_id, frag, nfrags, offset, payload),
+        } => handle_read_resp(inner, &qp_rc, msg_id, frag, nfrags, offset, payload),
         PacketKind::Ack { msg_id } => handle_ack(inner, &qp_rc, msg_id),
         PacketKind::Nak { msg_id, reason } => handle_nak(inner, &qp_rc, msg_id, reason),
         PacketKind::Cnp => handle_cnp(inner, &qp_rc),
@@ -926,7 +958,7 @@ fn handle_cnp(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) {
 fn handle_send_frag(
     inner: &Rc<NicInner>,
     qp_rc: &Rc<RefCell<Qp>>,
-    pkt: &Packet,
+    hdr: PktHdr,
     msg_id: u64,
     frag: u32,
     nfrags: u32,
@@ -941,7 +973,7 @@ fn handle_send_frag(
         let popped = qp_rc.borrow_mut().rq.pop_front();
         let Some(rwqe) = popped else {
             if transport == Transport::Rc {
-                nak(inner, pkt, msg_id, NakReason::Rnr);
+                nak(inner, hdr, msg_id, NakReason::Rnr);
             }
             return; // UD silently drops
         };
@@ -960,7 +992,7 @@ fn handle_send_frag(
                 },
             );
             if transport == Transport::Rc {
-                nak(inner, pkt, msg_id, NakReason::LengthError);
+                nak(inner, hdr, msg_id, NakReason::LengthError);
             }
             return;
         }
@@ -984,7 +1016,7 @@ fn handle_send_frag(
                     },
                 );
                 if transport == Transport::Rc {
-                    nak(inner, pkt, msg_id, NakReason::Rnr);
+                    nak(inner, hdr, msg_id, NakReason::Rnr);
                 }
                 return;
             }
@@ -1023,7 +1055,6 @@ fn handle_send_frag(
     let dma_done = inner.dma.enqueue(DmaDir::ToHost, payload.len());
     let inner2 = Rc::clone(inner);
     let qp2 = Rc::clone(qp_rc);
-    let pkt2 = pkt.clone();
     inner.sim.schedule_at(dma_done, move |_| {
         mem.write(dst_addr, &payload)
             .expect("validated landing zone");
@@ -1042,15 +1073,15 @@ fn handle_send_frag(
                 byte_len: total_len,
                 qp: qp.num,
                 imm,
-                src_qp: Some(pkt2.src_qpn),
-                src_node: Some(pkt2.src_node),
+                src_qp: Some(hdr.src_qpn),
+                src_node: Some(hdr.src_node),
             };
             let recv_cq = qp.recv_cq.clone();
             let is_rc = qp.transport == Transport::Rc;
             drop(qp);
             deliver_cqe(&inner2, &recv_cq, cqe);
             if is_rc {
-                ack(&inner2, &pkt2, msg_id);
+                ack(&inner2, hdr, msg_id);
             }
         }
     });
@@ -1060,7 +1091,7 @@ fn handle_send_frag(
 fn handle_write_frag(
     inner: &Rc<NicInner>,
     qp_rc: &Rc<RefCell<Qp>>,
-    pkt: &Packet,
+    hdr: PktHdr,
     msg_id: u64,
     frag: u32,
     nfrags: u32,
@@ -1084,7 +1115,7 @@ fn handle_write_frag(
                 if nfrags > 1 {
                     qp_rc.borrow_mut().drop_msg = Some(msg_id);
                 }
-                nak(inner, pkt, msg_id, NakReason::RemoteAccess);
+                nak(inner, hdr, msg_id, NakReason::RemoteAccess);
                 return;
             }
         }
@@ -1096,7 +1127,7 @@ fn handle_write_frag(
         {
             Ok(mr) => mr,
             Err(_) => {
-                nak(inner, pkt, msg_id, NakReason::RemoteAccess);
+                nak(inner, hdr, msg_id, NakReason::RemoteAccess);
                 return;
             }
         }
@@ -1106,7 +1137,6 @@ fn handle_write_frag(
     let dma_done = inner.dma.enqueue(DmaDir::ToHost, payload.len());
     let inner2 = Rc::clone(inner);
     let qp2 = Rc::clone(qp_rc);
-    let pkt2 = pkt.clone();
     let dst = raddr + offset as u64;
     inner.sim.schedule_at(dma_done, move |_| {
         mr.mem.write(dst, &payload).expect("validated remote range");
@@ -1132,20 +1162,20 @@ fn handle_write_frag(
                                     byte_len: total_len,
                                     qp: qp.num,
                                     imm: Some(imm),
-                                    src_qp: Some(pkt2.src_qpn),
-                                    src_node: Some(pkt2.src_node),
+                                    src_qp: Some(hdr.src_qpn),
+                                    src_node: Some(hdr.src_node),
                                 },
                             )
                         };
                         deliver_cqe(&inner2, &cq, cqe);
                     }
                     None => {
-                        nak(&inner2, &pkt2, msg_id, NakReason::Rnr);
+                        nak(&inner2, hdr, msg_id, NakReason::Rnr);
                         return;
                     }
                 }
             }
-            ack(&inner2, &pkt2, msg_id);
+            ack(&inner2, hdr, msg_id);
         }
     });
 }
@@ -1153,7 +1183,7 @@ fn handle_write_frag(
 fn handle_read_req(
     inner: &Rc<NicInner>,
     qp_rc: &Rc<RefCell<Qp>>,
-    pkt: &Packet,
+    hdr: PktHdr,
     msg_id: u64,
     raddr: u64,
     rkey: crate::types::RKey,
@@ -1166,7 +1196,7 @@ fn handle_read_req(
                 MrError::OutOfRange => NakReason::RemoteAccess,
                 _ => NakReason::RemoteAccess,
             };
-            nak(inner, pkt, msg_id, reason);
+            nak(inner, hdr, msg_id, reason);
             return;
         }
     };
@@ -1178,7 +1208,6 @@ fn handle_read_req(
     // Stream the response: one task per read (responder CPU stays idle —
     // the property Fig. 3 depends on).
     let inner2 = Rc::clone(inner);
-    let pkt2 = pkt.clone();
     inner.sim.spawn(async move {
         let mtu = inner2.spec.nic.mtu;
         let nfrags = inner2.spec.fragments(len) as u32;
@@ -1194,9 +1223,9 @@ fn handle_read_req(
             let inner3 = Rc::clone(&inner2);
             let resp = Packet {
                 src_node: inner2.node,
-                dst_node: pkt2.src_node,
-                src_qpn: pkt2.dst_qpn,
-                dst_qpn: pkt2.src_qpn,
+                dst_node: hdr.src_node,
+                src_qpn: hdr.dst_qpn,
+                dst_qpn: hdr.src_qpn,
                 ecn: false,
                 kind: PacketKind::ReadResp {
                     msg_id,
@@ -1222,7 +1251,6 @@ fn handle_read_req(
 fn handle_read_resp(
     inner: &Rc<NicInner>,
     qp_rc: &Rc<RefCell<Qp>>,
-    _pkt: &Packet,
     msg_id: u64,
     frag: u32,
     nfrags: u32,

@@ -7,30 +7,86 @@
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::mem::ManuallyDrop;
 use std::ops::{Deref, Range, RangeFrom, RangeFull, RangeTo};
 use std::rc::Rc;
 
+/// Recycled payload buffers. Simulators churn through one buffer per
+/// packet fragment; reusing the backing `Vec`s removes a malloc/free pair
+/// from that path. Only mid-sized buffers are pooled (tiny ones are cheap
+/// to allocate, huge ones are not worth pinning).
+mod pool {
+    use std::cell::RefCell;
+
+    const MIN_CAP: usize = 256;
+    const MAX_CAP: usize = 64 << 10;
+    const MAX_POOLED: usize = 256;
+
+    thread_local! {
+        static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub fn get() -> Vec<u8> {
+        POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+    }
+
+    pub fn put(mut v: Vec<u8>) {
+        if (MIN_CAP..=MAX_CAP).contains(&v.capacity()) {
+            v.clear();
+            POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                if p.len() < MAX_POOLED {
+                    p.push(v);
+                }
+            });
+        }
+    }
+}
+
 /// A cheaply clonable, contiguous, immutable chunk of memory.
-#[derive(Clone)]
+///
+/// Backed by `Rc<Vec<u8>>` rather than `Rc<[u8]>`: converting a `Vec`
+/// into `Rc<[u8]>` copies the bytes into a fresh allocation, and payload
+/// construction is on the simulator's per-fragment hot path. When the
+/// last reference drops, mid-sized backing buffers return to a
+/// thread-local pool for reuse.
 pub struct Bytes {
-    data: Rc<[u8]>,
+    data: ManuallyDrop<Rc<Vec<u8>>>,
     start: usize,
     end: usize,
 }
 
-impl Bytes {
-    /// An empty buffer (no allocation).
-    pub fn new() -> Bytes {
+impl Clone for Bytes {
+    fn clone(&self) -> Bytes {
         Bytes {
-            data: Rc::from(Vec::new()),
-            start: 0,
-            end: 0,
+            data: ManuallyDrop::new(Rc::clone(&self.data)),
+            start: self.start,
+            end: self.end,
         }
     }
+}
 
-    /// Copy `src` into a fresh owned buffer.
+impl Drop for Bytes {
+    fn drop(&mut self) {
+        // Safety: `data` is never touched again after this take.
+        let rc = unsafe { ManuallyDrop::take(&mut self.data) };
+        if let Some(v) = Rc::into_inner(rc) {
+            pool::put(v);
+        }
+    }
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Copy `src` into an owned buffer (recycled when available).
     pub fn copy_from_slice(src: &[u8]) -> Bytes {
-        Bytes::from(src.to_vec())
+        let mut v = pool::get();
+        v.extend_from_slice(src);
+        Bytes::from(v)
     }
 
     pub fn len(&self) -> usize {
@@ -46,7 +102,7 @@ impl Bytes {
         let (lo, hi) = range.resolve(self.len());
         assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
         Bytes {
-            data: Rc::clone(&self.data),
+            data: ManuallyDrop::new(Rc::clone(&self.data)),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -110,7 +166,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: Rc::from(v),
+            data: ManuallyDrop::new(Rc::new(v)),
             start: 0,
             end,
         }

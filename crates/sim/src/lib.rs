@@ -39,9 +39,10 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod timer;
 pub mod trace;
 
-pub use executor::{JoinHandle, Sim, TaskId};
+pub use executor::{JoinHandle, Sim, SimStats, TaskId};
 pub use resource::{FifoResource, Grant};
 pub use rng::{DetRng, RngFactory};
 pub use time::{copy_time, transmission_time, SimDuration, SimTime};

@@ -13,12 +13,18 @@ use std::rc::Rc;
 use crate::executor::Sim;
 use crate::time::{SimDuration, SimTime};
 
+struct Inner {
+    next_free: Cell<SimTime>,
+    busy_total: Cell<SimDuration>,
+    served: Cell<u64>,
+}
+
 #[derive(Clone)]
 pub struct FifoResource {
     sim: Sim,
-    next_free: Rc<Cell<SimTime>>,
-    busy_total: Rc<Cell<SimDuration>>,
-    served: Rc<Cell<u64>>,
+    // One shared allocation (not one per counter): resources are cloned on
+    // hot paths, and a clone must be a single reference-count bump.
+    inner: Rc<Inner>,
 }
 
 /// The service interval granted to one request.
@@ -34,9 +40,11 @@ impl FifoResource {
     pub fn new(sim: &Sim) -> Self {
         FifoResource {
             sim: sim.clone(),
-            next_free: Rc::new(Cell::new(SimTime::ZERO)),
-            busy_total: Rc::new(Cell::new(SimDuration::ZERO)),
-            served: Rc::new(Cell::new(0)),
+            inner: Rc::new(Inner {
+                next_free: Cell::new(SimTime::ZERO),
+                busy_total: Cell::new(SimDuration::ZERO),
+                served: Cell::new(0),
+            }),
         }
     }
 
@@ -45,11 +53,13 @@ impl FifoResource {
     /// store-and-forward semantics should `sleep_until(grant.end)`.
     pub fn enqueue(&self, service: SimDuration) -> Grant {
         let now = self.sim.now();
-        let start = self.next_free.get().max(now);
+        let start = self.inner.next_free.get().max(now);
         let end = start + service;
-        self.next_free.set(end);
-        self.busy_total.set(self.busy_total.get() + service);
-        self.served.set(self.served.get() + 1);
+        self.inner.next_free.set(end);
+        self.inner
+            .busy_total
+            .set(self.inner.busy_total.get() + service);
+        self.inner.served.set(self.inner.served.get() + 1);
         Grant { start, end }
     }
 
@@ -69,17 +79,17 @@ impl FifoResource {
 
     /// Instant at which the server next becomes free.
     pub fn next_free(&self) -> SimTime {
-        self.next_free.get().max(self.sim.now())
+        self.inner.next_free.get().max(self.sim.now())
     }
 
     /// Total busy time accumulated (utilization numerator).
     pub fn busy_total(&self) -> SimDuration {
-        self.busy_total.get()
+        self.inner.busy_total.get()
     }
 
     /// Number of requests served.
     pub fn served(&self) -> u64 {
-        self.served.get()
+        self.inner.served.get()
     }
 
     /// Utilization over the interval [0, now].
@@ -88,7 +98,7 @@ impl FifoResource {
         if now == SimTime::ZERO {
             return 0.0;
         }
-        self.busy_total.get().as_ps() as f64 / now.as_ps() as f64
+        self.inner.busy_total.get().as_ps() as f64 / now.as_ps() as f64
     }
 }
 

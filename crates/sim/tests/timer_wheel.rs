@@ -1,0 +1,121 @@
+//! Property test: the hierarchical timer wheel fires an arbitrary
+//! schedule of inserts and cancels in exactly the order a reference
+//! `BinaryHeap` model does — including same-instant `seq` tiebreaks,
+//! cancel-while-pending, and deadlines across every level of the wheel
+//! (and the overflow heap).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cord_sim::rng::DetRng;
+use cord_sim::timer::{TimerHandle, TimerWheel};
+
+/// Reference model: a sorted heap of `(at, seq)` plus an alive set — the
+/// executor's pre-wheel data structure, with cancellation as tombstones.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    alive: std::collections::HashMap<u64, u32>, // seq -> payload
+}
+
+impl HeapModel {
+    fn insert(&mut self, at: u64, seq: u64, payload: u32) {
+        self.heap.push(Reverse((at, seq)));
+        self.alive.insert(seq, payload);
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        self.alive.remove(&seq).is_some()
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64, u32)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if let Some(p) = self.alive.remove(&seq) {
+                return Some((at, seq, p));
+            }
+        }
+        None
+    }
+}
+
+/// Deadline magnitudes spanning every wheel level: same-tick, level 0,
+/// level 1, level 2, and far past the horizon (overflow heap).
+const MAGNITUDES: &[u64] = &[
+    1_000,              // sub-tick
+    200_000,            // ~2 ticks
+    5_000_000,          // level 0 (5 µs)
+    1_000_000_000,      // level 1 (1 ms)
+    10_000_000_000,     // level 2 (10 ms)
+    30_000_000_000_000, // past the horizon (30 s → overflow heap)
+];
+
+fn run_schedule(seed: u64, ops: usize) {
+    let rng = DetRng::from_seed(seed);
+    let mut wheel: TimerWheel<u32> = TimerWheel::new();
+    let mut model = HeapModel::default();
+    let mut handles: Vec<(u64, TimerHandle)> = Vec::new(); // (seq, handle)
+    let mut seq = 0u64;
+    let mut now = 0u64;
+    let mut fired = 0u64;
+
+    for _ in 0..ops {
+        match rng.uniform_range(0, 10) {
+            // ~50%: insert at a deadline of random magnitude (ties are
+            // common because offsets are coarse multiples).
+            0..=4 => {
+                let mag = MAGNITUDES[rng.uniform_range(0, MAGNITUDES.len() as u64) as usize];
+                let at = now + (rng.uniform_range(0, 8)) * mag;
+                let payload = seq as u32;
+                let h = wheel.insert(at, seq, payload);
+                model.insert(at, seq, payload);
+                handles.push((seq, h));
+                seq += 1;
+            }
+            // ~20%: cancel a random still-known handle (possibly stale).
+            5..=6 => {
+                if !handles.is_empty() {
+                    let i = rng.uniform_range(0, handles.len() as u64) as usize;
+                    let (s, h) = handles.swap_remove(i);
+                    assert_eq!(
+                        wheel.cancel(h),
+                        model.cancel(s),
+                        "cancel liveness diverged for seq {s}"
+                    );
+                }
+            }
+            // ~30%: fire the next timer; both structures must agree.
+            _ => {
+                let got = wheel.pop();
+                let want = model.pop();
+                assert_eq!(got, want, "firing order diverged after {fired} fires");
+                if let Some((at, _, _)) = got {
+                    now = at;
+                    fired += 1;
+                }
+            }
+        }
+        assert_eq!(wheel.len(), model.alive.len(), "live count diverged");
+    }
+    // Drain: the full remaining order must match.
+    loop {
+        let got = wheel.pop();
+        let want = model.pop();
+        assert_eq!(got, want, "drain order diverged");
+        if got.is_none() {
+            break;
+        }
+    }
+    assert!(wheel.is_empty());
+}
+
+#[test]
+fn wheel_matches_heap_model_across_seeds() {
+    for seed in 0..16u64 {
+        run_schedule(0xC02D ^ seed, 4_000);
+    }
+}
+
+#[test]
+fn wheel_matches_heap_model_long_run() {
+    run_schedule(42, 40_000);
+}

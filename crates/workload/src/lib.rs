@@ -48,7 +48,7 @@ pub mod spec;
 pub mod stats;
 
 pub use policy::ScopedPolicy;
-pub use runner::run_scenario;
+pub use runner::{run_scenario, run_scenario_instrumented, CoreStats};
 pub use scenarios::Scale;
 pub use spec::{Arrival, ScenarioSpec, SizeDist, TenantSpec};
 pub use stats::{ScenarioReport, TenantReport, TenantStats};

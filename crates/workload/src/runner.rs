@@ -17,10 +17,28 @@ use crate::stats::{ScenarioReport, TenantStats};
 const QOS_GUARD: SimDuration = SimDuration::from_us(10);
 const QOS_PENALTY: SimDuration = SimDuration::from_us(2);
 
+/// Simulator-core counters captured after a scenario run, for perf
+/// harnesses (`simbench`). Kept out of [`ScenarioReport`] so the loadgen
+/// JSON stays byte-stable across simulator-core changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Executor counter snapshot (polls, timer fires, alloc/scan
+    /// diagnostics).
+    pub sim: cord_sim::SimStats,
+}
+
 /// Execute `spec` to completion and return the per-tenant scoreboard.
 ///
 /// Deterministic: the same spec and seed produce identical reports.
 pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
+    run_scenario_instrumented(spec).map(|(r, _)| r)
+}
+
+/// [`run_scenario`], additionally returning the executor's core counters —
+/// the denominator data for events-per-second perf trajectories.
+pub fn run_scenario_instrumented(
+    spec: &ScenarioSpec,
+) -> Result<(ScenarioReport, CoreStats), String> {
     spec.validate()?;
     let mut machine = spec.machine.clone();
     machine.nodes = spec.nodes;
@@ -149,10 +167,11 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
         .zip(&stats)
         .map(|(t, s)| s.report(&t.name))
         .collect();
-    Ok(ScenarioReport::summarize(
-        spec,
-        qps_created,
-        elapsed,
-        tenants_report,
+    let core = CoreStats {
+        sim: fabric.sim().stats(),
+    };
+    Ok((
+        ScenarioReport::summarize(spec, qps_created, elapsed, tenants_report),
+        core,
     ))
 }
