@@ -31,7 +31,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use cord_bench::{print_table, save_json};
+use cord_bench::{append_jsonl, print_table, save_json};
 use cord_nic::CcAlgorithm;
 use cord_workload::scenarios::{self, Scale};
 use cord_workload::{run_scenario_instrumented, CoreStats, ScenarioReport, ScenarioSpec};
@@ -71,6 +71,8 @@ fn suite(quick: bool) -> Vec<Bench> {
 
 #[derive(Serialize)]
 struct SimbenchReport {
+    /// Trajectory label for this run (`--label`, e.g. "pr4").
+    label: String,
     bench: String,
     scenario: String,
     nodes: usize,
@@ -92,12 +94,13 @@ struct SimbenchReport {
     goodput_gbps: f64,
 }
 
-fn run_bench(b: &Bench, quick: bool) -> SimbenchReport {
+fn run_bench(b: &Bench, quick: bool, label: &str) -> SimbenchReport {
     let t0 = Instant::now();
     let (report, core): (ScenarioReport, CoreStats) =
         run_scenario_instrumented(&b.spec).unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let wall = t0.elapsed().as_secs_f64();
     SimbenchReport {
+        label: label.to_string(),
         bench: b.name.to_string(),
         scenario: report.scenario.clone(),
         nodes: report.nodes,
@@ -119,16 +122,25 @@ fn run_bench(b: &Bench, quick: bool) -> SimbenchReport {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: simbench [--quick] [bench ...]\nbenches: kv-fanout, incast-dcqcn, shuffle");
+    eprintln!(
+        "usage: simbench [--quick] [--label <name>] [bench ...]\n\
+         benches: kv-fanout, incast-dcqcn, shuffle"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut quick = false;
+    let mut label = String::from("dev");
     let mut picked: Vec<String> = Vec::new();
-    for a in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--label" => match args.next() {
+                Some(v) if !v.starts_with('-') => label = v,
+                _ => usage(),
+            },
             s if s.starts_with('-') => usage(),
             s => picked.push(s.to_string()),
         }
@@ -144,7 +156,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut digest = String::new();
     for b in &benches {
-        let r = run_bench(b, quick);
+        let r = run_bench(b, quick, &label);
         rows.push(vec![
             r.bench.clone(),
             format!("{:.3}", r.wall_seconds),
@@ -165,6 +177,11 @@ fn main() {
         // clobber the committed full-run trajectory files.
         let prefix = if quick { "simbench_quick" } else { "simbench" };
         save_json(&format!("{prefix}_{}", r.bench), &r);
+        // Full runs (the committed perf numbers) also accumulate into the
+        // append-only trajectory; quick smoke runs never touch it.
+        if !quick {
+            append_jsonl("simbench_trajectory", &r);
+        }
     }
     print_table(
         &format!("simbench{}", if quick { " --quick" } else { "" }),

@@ -48,6 +48,31 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Append one record to a JSON-Lines trajectory file under `results/`.
+///
+/// Unlike [`save_json`], the file is never overwritten: each full
+/// benchmark run appends its rows, so the committed file accumulates the
+/// repo's performance history (one line per bench per labelled run).
+pub fn append_jsonl<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.jsonl"));
+    if let Ok(s) = serde_json::to_string(value) {
+        let line = format!("{s}\n");
+        match fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()))
+        {
+            Ok(()) => println!("[appended {}]", path.display()),
+            Err(e) => eprintln!("[failed to append {}: {e}]", path.display()),
+        }
+    }
+}
+
 /// Geometric sweep of message sizes `lo..=hi` (powers of two).
 pub fn pow2_sizes(lo: usize, hi: usize) -> Vec<usize> {
     let mut v = Vec::new();

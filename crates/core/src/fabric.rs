@@ -16,6 +16,40 @@ use cord_sim::{JoinHandle, RngFactory, Sim, Trace};
 use cord_verbs::{Context, Dataplane};
 
 /// Builder for [`Fabric`].
+///
+/// # Examples
+///
+/// Bring up a two-node system-L cluster and time one RC send end to end:
+///
+/// ```
+/// use cord_core::Fabric;
+/// use cord_hw::system_l;
+/// use cord_verbs::qp::connect_rc_pair;
+/// use cord_verbs::{Access, Dataplane, RecvWqe, SendWqe, Sge, Transport, WrId};
+///
+/// let fabric = Fabric::builder(system_l()).seed(7).build();
+/// let ca = fabric.new_context(0, Dataplane::Cord);
+/// let cb = fabric.new_context(1, Dataplane::Bypass);
+/// fabric.block_on(async move {
+///     let (scq_a, rcq_a) = (ca.create_cq(16).await, ca.create_cq(16).await);
+///     let (scq_b, rcq_b) = (cb.create_cq(16).await, cb.create_cq(16).await);
+///     let qa = ca.create_qp(Transport::Rc, &scq_a, &rcq_a).await;
+///     let qb = cb.create_qp(Transport::Rc, &scq_b, &rcq_b).await;
+///     connect_rc_pair(&qa, &qb).await.unwrap();
+///
+///     let src = ca.alloc_from(b"hello fabric");
+///     let dst = cb.alloc(64, 0);
+///     let mra = ca.reg_mr(src, Access::all()).await;
+///     let mrb = cb.reg_mr(dst, Access::all()).await;
+///     let sge = |r: cord_hw::MemRegion, lkey| Sge { addr: r.addr, len: r.len, lkey };
+///     qb.post_recv(RecvWqe::new(WrId(1), sge(dst, mrb.lkey))).await.unwrap();
+///     qa.post_send(SendWqe::send(WrId(2), sge(src, mra.lkey))).await.unwrap();
+///
+///     let cqe = qb.recv_cq().wait_one().await;
+///     assert_eq!(cqe.byte_len, 12);
+///     assert_eq!(&cb.mem().read(dst.addr, 12).unwrap()[..], b"hello fabric");
+/// });
+/// ```
 pub struct FabricBuilder {
     spec: MachineSpec,
     seed: u64,

@@ -17,7 +17,9 @@ use crate::noise::Noise;
 /// Identifies a core within a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CoreId {
+    /// Node the core belongs to.
     pub node: usize,
+    /// Core index within the node.
     pub core: usize,
 }
 
@@ -25,6 +27,7 @@ pub struct CoreId {
 #[derive(Clone)]
 pub struct Core {
     sim: Sim,
+    /// Which (node, core) this handle executes on.
     pub id: CoreId,
     spec: Rc<CpuSpec>,
     dvfs: Dvfs,
@@ -36,6 +39,8 @@ pub struct Core {
 }
 
 impl Core {
+    /// A core on `sim`'s clock with the machine's CPU spec, DVFS governor,
+    /// and jitter source.
     pub fn new(sim: &Sim, id: CoreId, machine: &MachineSpec, dvfs: Dvfs, noise: Noise) -> Self {
         Core {
             sim: sim.clone(),
@@ -50,10 +55,12 @@ impl Core {
         }
     }
 
+    /// The CPU calibration constants this core bills against.
     pub fn spec(&self) -> &CpuSpec {
         &self.spec
     }
 
+    /// The simulation this core lives in.
     pub fn sim(&self) -> &Sim {
         &self.sim
     }
@@ -67,6 +74,45 @@ impl Core {
         }
         self.dvfs
             .record(scaled, if kernel { scaled } else { SimDuration::ZERO });
+    }
+
+    /// Whether consecutive billing sleeps on this core can be fused into
+    /// one deadline: true when the DVFS factor is pinned to 1.0 (turbo
+    /// off) and kernel entries are jitter-free (noise off). Under those
+    /// conditions `burn(a); burn(b)` and `burn(a + b)` advance the clock,
+    /// the accounting totals, and the governor state identically — the
+    /// fused form just parks the task once instead of N times.
+    fn fused_billing(&self) -> bool {
+        !self.dvfs.turbo_enabled() && !self.noise.is_enabled()
+    }
+
+    /// Burn a sequence of user-mode costs (in nanoseconds) as one fused
+    /// sleep when billing is fusable, or exactly as the equivalent
+    /// sequence of [`Core::compute_ns`] calls otherwise.
+    pub async fn compute_ns_parts(&self, parts: &[f64]) {
+        if self.fused_billing() {
+            // Round each part to picoseconds *before* summing, exactly as
+            // the unfused path does — summing the f64s first would round
+            // once and drift by a picosecond on non-integral costs.
+            let total: SimDuration = parts.iter().map(|&ns| SimDuration::from_ns_f64(ns)).sum();
+            self.burn(total, false).await;
+        } else {
+            for &ns in parts {
+                self.burn(SimDuration::from_ns_f64(ns), false).await;
+            }
+        }
+    }
+
+    /// Burn two consecutive kernel-mode costs with a single park when
+    /// billing is fusable, preserving the per-part jitter draws and DVFS
+    /// evolution of `kernel_work(a); kernel_work(b)` otherwise.
+    pub async fn kernel_work2(&self, a: SimDuration, b: SimDuration) {
+        if self.fused_billing() {
+            self.burn(a + b, true).await;
+        } else {
+            self.kernel_work(a).await;
+            self.kernel_work(b).await;
+        }
     }
 
     /// Burn user-mode CPU time.
@@ -98,12 +144,23 @@ impl Core {
     /// One CoRD data-plane crossing: user→kernel transition plus argument
     /// handling. Driver work is billed separately by the kernel driver.
     pub async fn cord_crossing(&self) {
+        self.cord_crossing_plus(SimDuration::ZERO).await;
+    }
+
+    /// A CoRD crossing immediately followed by `extra` in-kernel work
+    /// (driver execution on an op with no decision point in between),
+    /// billed as one fused sleep when the core allows it.
+    pub async fn cord_crossing_plus(&self, extra: SimDuration) {
         self.syscalls.set(self.syscalls.get() + 1);
         let mut cost = SimDuration::from_ns_f64(self.spec.cord_crossing_ns);
         if self.kpti {
             cost += SimDuration::from_ns_f64(self.spec.kpti_extra_ns);
         }
-        self.kernel_work(cost).await;
+        if extra.is_zero() {
+            self.kernel_work(cost).await;
+        } else {
+            self.kernel_work2(cost, extra).await;
+        }
     }
 
     /// A control-plane ioctl (QP/CQ/MR creation).
@@ -150,18 +207,22 @@ impl Core {
         self.dvfs.record(d, k);
     }
 
+    /// Total busy (user + kernel) time billed so far.
     pub fn busy_total(&self) -> SimDuration {
         self.busy_total.get()
     }
 
+    /// Total kernel-mode time billed so far.
     pub fn kernel_total(&self) -> SimDuration {
         self.kernel_total.get()
     }
 
+    /// Number of system-call entries billed.
     pub fn syscall_count(&self) -> u64 {
         self.syscalls.get()
     }
 
+    /// This core's DVFS governor handle.
     pub fn dvfs(&self) -> &Dvfs {
         &self.dvfs
     }

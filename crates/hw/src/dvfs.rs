@@ -30,6 +30,7 @@ pub struct Dvfs {
 }
 
 impl Dvfs {
+    /// A governor with no kernel-time history (factor 1.0).
     pub fn new(sim: &Sim, spec: DvfsSpec) -> Self {
         Dvfs {
             sim: sim.clone(),
@@ -71,8 +72,15 @@ impl Dvfs {
         }
     }
 
+    /// Current EWMA estimate of the kernel-time fraction.
     pub fn kernel_fraction(&self) -> f64 {
         self.kernel_frac.get()
+    }
+
+    /// Whether turbo is enabled (when false, `scale` is the identity and
+    /// `record` is a no-op — the precondition for fused CPU billing).
+    pub fn turbo_enabled(&self) -> bool {
+        self.spec.turbo
     }
 }
 

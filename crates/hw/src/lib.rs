@@ -8,6 +8,8 @@
 //! The presets live in [`machine::system_l`] and [`machine::system_a`];
 //! every constant is documented with the paper observation it reproduces.
 
+#![deny(missing_docs)]
+
 pub mod cpu;
 pub mod dvfs;
 pub mod link;
@@ -20,6 +22,6 @@ pub use cpu::{Core, CoreId};
 pub use dvfs::Dvfs;
 pub use link::{Fabric, Frame};
 pub use machine::{system_a, system_l, MachineSpec};
-pub use memory::{GuestMem, MemError, MemRegion, GUEST_BASE};
+pub use memory::{GuestMem, MemError, MemRegion, PayloadSeg, GUEST_BASE};
 pub use noise::Noise;
 pub use pcie::{DmaDir, DmaEngine};

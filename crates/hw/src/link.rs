@@ -31,8 +31,11 @@ use crate::machine::LinkSpec;
 
 /// A frame in flight: destination node + opaque payload.
 pub struct Frame<T> {
+    /// Source node.
     pub src: usize,
+    /// Destination node.
     pub dst: usize,
+    /// Bytes occupied on the wire (payload + headers).
     pub wire_bytes: usize,
     /// Flow label for ECMP path selection in switched topologies (the NIC
     /// derives it from the QP pair). Ignored by the full mesh.
@@ -40,6 +43,7 @@ pub struct Frame<T> {
     /// ECN congestion-experienced mark, set by switches whose egress queue
     /// is over threshold. Always false on the ideal mesh.
     pub ecn: bool,
+    /// The cargo (the NIC ships its packet type here).
     pub payload: T,
 }
 
@@ -86,10 +90,12 @@ impl<T: 'static> Fabric<T> {
         )
     }
 
+    /// Number of connected nodes.
     pub fn nodes(&self) -> usize {
         self.inner.egress.len()
     }
 
+    /// The link calibration constants.
     pub fn spec(&self) -> &LinkSpec {
         &self.inner.spec
     }

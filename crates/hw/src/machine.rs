@@ -77,8 +77,9 @@ pub struct NicSpec {
     pub cord_inline: bool,
     /// CPU cost per inline byte (copied into the WQE by the poster).
     pub inline_byte_ns: f64,
-    /// Send-queue / recv-queue depth per QP.
+    /// Send-queue depth per QP.
     pub sq_depth: usize,
+    /// Receive-queue depth per QP.
     pub rq_depth: usize,
     /// Completion-queue depth.
     pub cq_depth: usize,
@@ -156,14 +157,23 @@ pub struct NoiseSpec {
 /// Complete machine description; one per simulated cluster.
 #[derive(Debug, Clone)]
 pub struct MachineSpec {
+    /// Preset name ("system L", "system A", ...).
     pub name: &'static str,
+    /// Number of nodes in the cluster.
     pub nodes: usize,
+    /// CPU core calibration.
     pub cpu: CpuSpec,
+    /// NIC pipeline calibration.
     pub nic: NicSpec,
+    /// PCIe/DMA calibration.
     pub pcie: PcieSpec,
+    /// Link rate and propagation.
     pub link: LinkSpec,
+    /// IPoIB stack calibration.
     pub ipoib: IpoibSpec,
+    /// DVFS/turbo governor model.
     pub dvfs: DvfsSpec,
+    /// Virtualization jitter model.
     pub noise: NoiseSpec,
     /// Kernel page-table isolation (both testbeds disable it, §5).
     pub kpti: bool,

@@ -1,11 +1,38 @@
-//! Simulated process memory.
+//! Simulated process memory with a copy-on-write payload path.
 //!
-//! Every simulated process owns a `GuestMem` arena. Message payloads are
-//! real bytes copied end-to-end through the NIC pipeline, so tests can
+//! Every simulated process owns a [`GuestMem`] arena. Message payloads are
+//! real bytes carried end-to-end through the NIC pipeline, so tests can
 //! assert data integrity across segmentation, DMA, and reassembly — the
 //! same guarantee a real RDMA stack must provide.
+//!
+//! ## Zero-copy design
+//!
+//! The arena is a sequence of per-allocation *chunks*, each backed by a
+//! reference-counted buffer. [`GuestMem::read`] returns a [`PayloadSeg`] —
+//! an offset+length view over the chunk's current backing — in O(1),
+//! without copying the bytes. The snapshot is stable: a later write to the
+//! same range clones the chunk first (copy-on-write) whenever any segment
+//! still references it, so a reader always sees the bytes exactly as they
+//! were at read time, which is what the old copying `read` guaranteed.
+//!
+//! On the receive side, [`GuestMem::install`] lands an inbound fragment by
+//! *reference*: the segment (still backed by the sender's chunk) is
+//! recorded as a patch over the destination chunk instead of being copied
+//! into it. Patches are merged into the backing buffer lazily — when the
+//! range is next read or written through the plain byte APIs, or when the
+//! patch list grows past a small bound. Steady-state RX traffic that lands
+//! fragments at the same offsets over and over (every RPC reuses its
+//! receive buffer) therefore never copies payload bytes at all: each
+//! install just replaces the previous patch for that range.
+//!
+//! None of this is visible in virtual time — reads and writes are
+//! instantaneous model operations either way — so simulation results are
+//! bit-identical to the copying implementation; only wall-clock time and
+//! allocator traffic change.
 
 use std::cell::RefCell;
+use std::fmt;
+use std::ops::Deref;
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -14,7 +41,12 @@ use bytes::Bytes;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemError {
     /// Address range exceeds the allocated arena.
-    OutOfBounds { addr: u64, len: usize },
+    OutOfBounds {
+        /// Faulting virtual address.
+        addr: u64,
+        /// Length of the attempted access.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for MemError {
@@ -36,12 +68,290 @@ impl std::error::Error for MemError {}
 /// is never valid (catching "forgot to set the address" bugs).
 pub const GUEST_BASE: u64 = 0x1_0000;
 
+/// Patch-list length at which a chunk merges its patches back into the
+/// backing buffer. Small enough that patch lookups stay cheap, large
+/// enough that a windowed RPC workload (whose fragments keep landing at
+/// the same offsets and so *replace* patches instead of appending) never
+/// triggers a merge at all.
+const MAX_PATCHES: usize = 32;
+
+/// A contiguous, immutable view of payload bytes: an offset+length window
+/// over a reference-counted buffer.
+///
+/// This is what [`GuestMem::read`] returns and what NIC fragments carry
+/// through WQE → packet → frame → RX completion. Cloning and sub-slicing
+/// are O(1) (a reference-count bump); the bytes themselves are shared with
+/// the arena chunk they were read from and are guaranteed stable — the
+/// arena copies on write while any segment is alive.
+///
+/// # Examples
+///
+/// ```
+/// use cord_hw::GuestMem;
+///
+/// let mem = GuestMem::new();
+/// let region = mem.alloc_from(b"zero copy payload");
+/// let seg = mem.read(region.addr, region.len).unwrap();
+/// assert_eq!(&seg[..], b"zero copy payload");
+///
+/// // Snapshots are stable across later writes (copy-on-write):
+/// mem.write(region.addr, b"ZERO").unwrap();
+/// assert_eq!(&seg[..5], b"zero ");
+/// assert_eq!(&mem.read(region.addr, 4).unwrap()[..], b"ZERO");
+/// ```
+#[derive(Clone)]
+pub struct PayloadSeg {
+    data: Rc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl PayloadSeg {
+    /// A segment viewing `data[start..start + len]`.
+    pub(crate) fn new(data: Rc<Vec<u8>>, start: usize, len: usize) -> PayloadSeg {
+        debug_assert!(start + len <= data.len());
+        PayloadSeg { data, start, len }
+    }
+
+    /// A segment owning a fresh copy of `src`.
+    pub fn copy_from_slice(src: &[u8]) -> PayloadSeg {
+        PayloadSeg::new(Rc::new(src.to_vec()), 0, src.len())
+    }
+
+    /// Number of payload bytes in the view.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Zero-copy sub-view of `self[offset..offset + len]`.
+    pub fn slice(&self, offset: usize, len: usize) -> PayloadSeg {
+        assert!(offset + len <= self.len, "segment slice out of bounds");
+        PayloadSeg::new(Rc::clone(&self.data), self.start + offset, len)
+    }
+
+    /// Copy the viewed bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self[..].to_vec()
+    }
+
+    /// Zero-copy conversion into the workspace's [`Bytes`] type (shares
+    /// the same backing buffer).
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::from_shared(Rc::clone(&self.data), self.start, self.start + self.len)
+    }
+}
+
+impl Deref for PayloadSeg {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+}
+
+impl AsRef<[u8]> for PayloadSeg {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for PayloadSeg {
+    fn eq(&self, other: &PayloadSeg) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for PayloadSeg {}
+
+impl PartialEq<[u8]> for PayloadSeg {
+    fn eq(&self, other: &[u8]) -> bool {
+        &self[..] == other
+    }
+}
+
+impl PartialEq<&[u8]> for PayloadSeg {
+    fn eq(&self, other: &&[u8]) -> bool {
+        &self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for PayloadSeg {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<Bytes> for PayloadSeg {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl From<Vec<u8>> for PayloadSeg {
+    fn from(v: Vec<u8>) -> PayloadSeg {
+        let len = v.len();
+        PayloadSeg::new(Rc::new(v), 0, len)
+    }
+}
+
+impl fmt::Debug for PayloadSeg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PayloadSeg(b\"")?;
+        for &b in self.iter() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\")")
+    }
+}
+
+/// How a patch's range must relate to a queried range (see
+/// [`Chunk::unshadowed_patch`]).
+#[derive(Clone, Copy)]
+enum PatchRel {
+    /// Ranges identical (required for in-place replacement).
+    Exact,
+    /// Patch fully covers the queried range (sufficient for reads).
+    Covering,
+}
+
+/// One inbound segment recorded over a chunk without copying.
+struct Patch {
+    /// Offset within the chunk.
+    offset: usize,
+    seg: PayloadSeg,
+}
+
+/// One allocation's backing storage.
+struct Chunk {
+    /// First virtual address covered by this chunk.
+    base: u64,
+    /// Shared backing buffer; `Rc::strong_count > 1` means live read
+    /// snapshots exist and a write must copy first.
+    data: Rc<Vec<u8>>,
+    /// Reference-installed writes not yet merged into `data`, in
+    /// application order (later patches shadow earlier ones).
+    patches: Vec<Patch>,
+}
+
+impl Chunk {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn end(&self) -> u64 {
+        self.base + self.len() as u64
+    }
+
+    /// Mutable access to the backing buffer, cloning it first if any
+    /// outstanding [`PayloadSeg`] still references it (copy-on-write).
+    fn data_mut(&mut self) -> &mut Vec<u8> {
+        if Rc::strong_count(&self.data) > 1 {
+            self.data = Rc::new(self.data.as_ref().clone());
+        }
+        Rc::get_mut(&mut self.data).expect("uniquely owned after COW")
+    }
+
+    /// Merge all pending patches into the backing buffer.
+    fn merge_patches(&mut self) {
+        if self.patches.is_empty() {
+            return;
+        }
+        let patches = std::mem::take(&mut self.patches);
+        let buf = self.data_mut();
+        for p in patches {
+            buf[p.offset..p.offset + p.seg.len()].copy_from_slice(&p.seg);
+        }
+    }
+
+    /// Index of the most recent patch whose range relates to `[start,
+    /// start + len)` as `rel` demands (exactly equal for in-place
+    /// replacement, covering for by-reference reads) and that no *later*
+    /// patch overlaps — the one position where the patch can be used
+    /// without consulting the rest of the shadow order.
+    fn unshadowed_patch(&self, start: usize, len: usize, rel: PatchRel) -> Option<usize> {
+        let end = start + len;
+        let k = self.patches.iter().rposition(|p| match rel {
+            PatchRel::Exact => p.offset == start && p.seg.len() == len,
+            PatchRel::Covering => p.offset <= start && p.offset + p.seg.len() >= end,
+        })?;
+        let shadowed = self.patches[k + 1..]
+            .iter()
+            .any(|p| p.offset < end && p.offset + p.seg.len() > start);
+        (!shadowed).then_some(k)
+    }
+
+    /// Record `seg` at `offset` by reference. The fast path replaces an
+    /// existing unshadowed patch for the identical range (the windowed-RPC
+    /// case where every message reuses its landing offsets), so
+    /// steady-state RX installs never copy and never grow the list.
+    fn install(&mut self, offset: usize, seg: PayloadSeg) {
+        if let Some(k) = self.unshadowed_patch(offset, seg.len(), PatchRel::Exact) {
+            self.patches[k].seg = seg;
+            return;
+        }
+        self.patches.push(Patch { offset, seg });
+        if self.patches.len() >= MAX_PATCHES {
+            self.merge_patches();
+        }
+    }
+
+    /// Whether `[start, end)` (chunk-relative) overlaps any pending patch.
+    fn overlaps_patch(&self, start: usize, end: usize) -> bool {
+        self.patches
+            .iter()
+            .any(|p| p.offset < end && p.offset + p.seg.len() > start)
+    }
+}
+
 struct Inner {
-    buf: Vec<u8>,
+    /// Chunks in ascending-address order; addresses are dense, so chunk
+    /// lookup is a binary search over a handful of entries.
+    chunks: Vec<Chunk>,
     next: u64,
 }
 
+impl Inner {
+    /// Index of the chunk containing `addr`, if any.
+    fn chunk_idx(&self, addr: u64) -> Option<usize> {
+        let i = self
+            .chunks
+            .partition_point(|c| c.end() <= addr)
+            .min(self.chunks.len().saturating_sub(1));
+        let c = self.chunks.get(i)?;
+        (c.base <= addr && addr < c.end()).then_some(i)
+    }
+
+    /// Bounds check: the arena is contiguous from [`GUEST_BASE`] to the
+    /// allocation frontier, exactly as in the flat-buffer implementation.
+    fn check(&self, addr: u64, len: usize) -> Result<(), MemError> {
+        let err = MemError::OutOfBounds { addr, len };
+        if addr < GUEST_BASE || addr as u128 + len as u128 > self.next as u128 {
+            return Err(err);
+        }
+        Ok(())
+    }
+}
+
 /// A process's memory arena. Clones share the arena.
+///
+/// # Examples
+///
+/// ```
+/// use cord_hw::GuestMem;
+///
+/// let mem = GuestMem::new();
+/// let region = mem.alloc(64, 0xAA);
+/// mem.write(region.addr, &[1, 2, 3]).unwrap();
+/// let seg = mem.read(region.addr, 4).unwrap();
+/// assert_eq!(&seg[..], &[1, 2, 3, 0xAA]);
+/// ```
 #[derive(Clone)]
 pub struct GuestMem {
     inner: Rc<RefCell<Inner>>,
@@ -50,11 +360,16 @@ pub struct GuestMem {
 /// A contiguous allocation inside a [`GuestMem`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRegion {
+    /// First virtual address of the region.
     pub addr: u64,
+    /// Region length in bytes.
     pub len: usize,
 }
 
 impl MemRegion {
+    /// A sub-region `[offset, offset + len)` of this region.
+    ///
+    /// Panics if the sub-range does not fit.
     pub fn slice(&self, offset: usize, len: usize) -> MemRegion {
         assert!(offset + len <= self.len, "sub-region out of range");
         MemRegion {
@@ -63,6 +378,7 @@ impl MemRegion {
         }
     }
 
+    /// One past the last address of the region.
     pub fn end(&self) -> u64 {
         self.addr + self.len as u64
     }
@@ -75,10 +391,11 @@ impl Default for GuestMem {
 }
 
 impl GuestMem {
+    /// An empty arena.
     pub fn new() -> Self {
         GuestMem {
             inner: Rc::new(RefCell::new(Inner {
-                buf: Vec::new(),
+                chunks: Vec::new(),
                 next: GUEST_BASE,
             })),
         }
@@ -89,70 +406,163 @@ impl GuestMem {
         let mut inner = self.inner.borrow_mut();
         let addr = inner.next;
         inner.next += len as u64;
-        let new_len = (inner.next - GUEST_BASE) as usize;
-        inner.buf.resize(new_len, 0);
-        let start = (addr - GUEST_BASE) as usize;
-        inner.buf[start..start + len].fill(fill);
+        inner.chunks.push(Chunk {
+            base: addr,
+            data: Rc::new(vec![fill; len]),
+            patches: Vec::new(),
+        });
         MemRegion { addr, len }
     }
 
     /// Allocate and initialize from a slice.
     pub fn alloc_from(&self, data: &[u8]) -> MemRegion {
-        let r = self.alloc(data.len(), 0);
-        self.write(r.addr, data).expect("fresh allocation in range");
-        r
-    }
-
-    /// Bounds check against an already-borrowed arena (one `RefCell`
-    /// borrow per access, not two — reads and writes are per-fragment hot
-    /// paths).
-    fn check_in(inner: &Inner, addr: u64, len: usize) -> Result<usize, MemError> {
-        let err = MemError::OutOfBounds { addr, len };
-        if addr < GUEST_BASE {
-            return Err(err);
-        }
-        let start = (addr - GUEST_BASE) as usize;
-        if start + len > inner.buf.len() {
-            return Err(err);
-        }
-        Ok(start)
-    }
-
-    fn check(&self, addr: u64, len: usize) -> Result<usize, MemError> {
-        Self::check_in(&self.inner.borrow(), addr, len)
-    }
-
-    /// Read `len` bytes at `addr` into an owned `Bytes`.
-    pub fn read(&self, addr: u64, len: usize) -> Result<Bytes, MemError> {
-        let inner = self.inner.borrow();
-        let start = Self::check_in(&inner, addr, len)?;
-        Ok(Bytes::copy_from_slice(&inner.buf[start..start + len]))
-    }
-
-    /// Write `data` at `addr`.
-    pub fn write(&self, addr: u64, data: &[u8]) -> Result<(), MemError> {
         let mut inner = self.inner.borrow_mut();
-        let start = Self::check_in(&inner, addr, data.len())?;
-        inner.buf[start..start + data.len()].copy_from_slice(data);
+        let addr = inner.next;
+        inner.next += data.len() as u64;
+        inner.chunks.push(Chunk {
+            base: addr,
+            data: Rc::new(data.to_vec()),
+            patches: Vec::new(),
+        });
+        MemRegion {
+            addr,
+            len: data.len(),
+        }
+    }
+
+    /// Read `len` bytes at `addr` as a zero-copy [`PayloadSeg`] snapshot.
+    ///
+    /// O(1) when the range lies within one allocation (the NIC data path
+    /// always does): the segment shares the chunk's backing buffer, and
+    /// later writes copy-on-write so the snapshot stays stable. Ranges
+    /// spanning allocations fall back to a gather copy.
+    pub fn read(&self, addr: u64, len: usize) -> Result<PayloadSeg, MemError> {
+        let mut inner = self.inner.borrow_mut();
+        inner.check(addr, len)?;
+        if len == 0 {
+            return Ok(PayloadSeg::new(Rc::new(Vec::new()), 0, 0));
+        }
+        let Some(i) = inner.chunk_idx(addr) else {
+            return Err(MemError::OutOfBounds { addr, len });
+        };
+        let chunk = &mut inner.chunks[i];
+        let start = (addr - chunk.base) as usize;
+        if start + len <= chunk.len() {
+            if !chunk.patches.is_empty() {
+                // Fast path: a read inside one installed segment (whole
+                // fragment or a header peek) is served by reference, if
+                // nothing later shadows it.
+                if let Some(k) = chunk.unshadowed_patch(start, len, PatchRel::Covering) {
+                    let p = &chunk.patches[k];
+                    return Ok(p.seg.slice(start - p.offset, len));
+                }
+                if chunk.overlaps_patch(start, start + len) {
+                    chunk.merge_patches();
+                }
+            }
+            return Ok(PayloadSeg::new(Rc::clone(&chunk.data), start, len));
+        }
+        // Cross-chunk read: gather (cold path; the arena is contiguous).
+        drop(inner);
+        let mut out = vec![0u8; len];
+        self.gather(addr, &mut out)?;
+        Ok(PayloadSeg::from(out))
+    }
+
+    /// Walk the chunks spanning `[addr, addr + len)` in address order,
+    /// calling `op(chunk, start_in_chunk, span_len, done_before)` for each
+    /// span. The single home of the chunk-walk arithmetic shared by
+    /// [`GuestMem::write`], [`GuestMem::fill`], and the gather path.
+    fn for_each_span(
+        &self,
+        addr: u64,
+        len: usize,
+        mut op: impl FnMut(&mut Chunk, usize, usize, usize),
+    ) -> Result<(), MemError> {
+        let mut inner = self.inner.borrow_mut();
+        let mut done = 0;
+        while done < len {
+            let a = addr + done as u64;
+            let Some(i) = inner.chunk_idx(a) else {
+                return Err(MemError::OutOfBounds { addr, len });
+            };
+            let chunk = &mut inner.chunks[i];
+            let start = (a - chunk.base) as usize;
+            let n = (chunk.len() - start).min(len - done);
+            op(chunk, start, n, done);
+            done += n;
+        }
         Ok(())
     }
 
+    fn gather(&self, addr: u64, out: &mut [u8]) -> Result<(), MemError> {
+        self.for_each_span(addr, out.len(), |chunk, start, n, done| {
+            if chunk.overlaps_patch(start, start + n) {
+                chunk.merge_patches();
+            }
+            out[done..done + n].copy_from_slice(&chunk.data[start..start + n]);
+        })
+    }
+
+    /// Write `data` at `addr` (copy-on-write if snapshots are live).
+    pub fn write(&self, addr: u64, data: &[u8]) -> Result<(), MemError> {
+        self.inner.borrow().check(addr, data.len())?;
+        self.for_each_span(addr, data.len(), |chunk, start, n, done| {
+            if chunk.overlaps_patch(start, start + n) {
+                chunk.merge_patches();
+            }
+            chunk.data_mut()[start..start + n].copy_from_slice(&data[done..done + n]);
+        })
+    }
+
+    /// Land `seg` at `addr` by reference — the zero-copy receive path.
+    ///
+    /// Logically identical to `write(addr, &seg)`, but when the range lies
+    /// within one allocation the bytes are recorded as a patch sharing the
+    /// sender's buffer instead of being copied; the copy happens lazily if
+    /// and when the range is next accessed through the byte APIs.
+    pub fn install(&self, addr: u64, seg: &PayloadSeg) -> Result<(), MemError> {
+        let mut inner = self.inner.borrow_mut();
+        inner.check(addr, seg.len())?;
+        if seg.is_empty() {
+            return Ok(());
+        }
+        let Some(i) = inner.chunk_idx(addr) else {
+            return Err(MemError::OutOfBounds {
+                addr,
+                len: seg.len(),
+            });
+        };
+        let chunk = &mut inner.chunks[i];
+        let start = (addr - chunk.base) as usize;
+        if start + seg.len() <= chunk.len() {
+            chunk.install(start, seg.clone());
+            Ok(())
+        } else {
+            drop(inner);
+            self.write(addr, seg)
+        }
+    }
+
     /// Read a region.
-    pub fn read_region(&self, r: MemRegion) -> Result<Bytes, MemError> {
+    pub fn read_region(&self, r: MemRegion) -> Result<PayloadSeg, MemError> {
         self.read(r.addr, r.len)
     }
 
     /// Fill a region with a byte value.
     pub fn fill(&self, r: MemRegion, v: u8) -> Result<(), MemError> {
-        let start = self.check(r.addr, r.len)?;
-        let mut inner = self.inner.borrow_mut();
-        inner.buf[start..start + r.len].fill(v);
-        Ok(())
+        self.inner.borrow().check(r.addr, r.len)?;
+        self.for_each_span(r.addr, r.len, |chunk, start, n, _| {
+            if chunk.overlaps_patch(start, start + n) {
+                chunk.merge_patches();
+            }
+            chunk.data_mut()[start..start + n].fill(v);
+        })
     }
 
     /// Total bytes allocated so far.
     pub fn allocated(&self) -> usize {
-        self.inner.borrow().buf.len()
+        (self.inner.borrow().next - GUEST_BASE) as usize
     }
 }
 
@@ -165,7 +575,7 @@ mod tests {
         let m = GuestMem::new();
         let r = m.alloc(64, 0xAA);
         assert_eq!(r.addr, GUEST_BASE);
-        assert_eq!(m.read(r.addr, 64).unwrap(), Bytes::from(vec![0xAA; 64]));
+        assert_eq!(m.read(r.addr, 64).unwrap(), vec![0xAA; 64]);
         m.write(r.addr + 8, &[1, 2, 3]).unwrap();
         let b = m.read(r.addr + 8, 3).unwrap();
         assert_eq!(&b[..], &[1, 2, 3]);
@@ -177,8 +587,8 @@ mod tests {
         let a = m.alloc(16, 1);
         let b = m.alloc(16, 2);
         assert_eq!(a.end(), b.addr);
-        assert_eq!(m.read_region(a).unwrap(), Bytes::from(vec![1; 16]));
-        assert_eq!(m.read_region(b).unwrap(), Bytes::from(vec![2; 16]));
+        assert_eq!(m.read_region(a).unwrap(), vec![1; 16]);
+        assert_eq!(m.read_region(b).unwrap(), vec![2; 16]);
     }
 
     #[test]
@@ -210,5 +620,181 @@ mod tests {
     fn subregion_overflow_panics() {
         let r = MemRegion { addr: 0, len: 4 };
         let _ = r.slice(2, 3);
+    }
+
+    #[test]
+    fn read_spanning_allocations_gathers() {
+        let m = GuestMem::new();
+        let a = m.alloc(4, 1);
+        let _b = m.alloc(4, 2);
+        let got = m.read(a.addr + 2, 4).unwrap();
+        assert_eq!(&got[..], &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn write_spanning_allocations_scatters() {
+        let m = GuestMem::new();
+        let a = m.alloc(4, 0);
+        let b = m.alloc(4, 0);
+        m.write(a.addr + 2, &[7, 7, 7, 7]).unwrap();
+        assert_eq!(m.read_region(a).unwrap(), vec![0, 0, 7, 7]);
+        assert_eq!(m.read_region(b).unwrap(), vec![7, 7, 0, 0]);
+    }
+
+    #[test]
+    fn snapshots_are_stable_across_writes() {
+        let m = GuestMem::new();
+        let r = m.alloc_from(b"immutable snapshot");
+        let snap = m.read_region(r).unwrap();
+        m.write(r.addr, b"OVERWRITTEN BYTES!").unwrap();
+        assert_eq!(&snap[..], b"immutable snapshot", "COW preserved the view");
+        assert_eq!(&m.read_region(r).unwrap()[..], b"OVERWRITTEN BYTES!");
+    }
+
+    #[test]
+    fn snapshots_are_stable_across_fill() {
+        let m = GuestMem::new();
+        let r = m.alloc(8, 3);
+        let snap = m.read_region(r).unwrap();
+        m.fill(r, 9).unwrap();
+        assert_eq!(snap, vec![3; 8]);
+        assert_eq!(m.read_region(r).unwrap(), vec![9; 8]);
+    }
+
+    #[test]
+    fn install_lands_bytes_without_copy() {
+        let src = GuestMem::new();
+        let dst = GuestMem::new();
+        let sr = src.alloc_from(b"payload from the wire");
+        let dr = dst.alloc(64, 0);
+        let seg = src.read_region(sr).unwrap();
+        dst.install(dr.addr + 8, &seg).unwrap();
+        // Exact-range readback is served by reference.
+        let got = dst.read(dr.addr + 8, sr.len).unwrap();
+        assert_eq!(&got[..], b"payload from the wire");
+        // Overlapping byte reads see the merged view.
+        let merged = dst.read(dr.addr, 64).unwrap();
+        assert_eq!(&merged[..8], &[0; 8]);
+        assert_eq!(&merged[8..8 + sr.len], b"payload from the wire");
+    }
+
+    #[test]
+    fn install_snapshot_isolated_from_source_writes() {
+        let src = GuestMem::new();
+        let dst = GuestMem::new();
+        let sr = src.alloc_from(b"first");
+        let dr = dst.alloc(8, 0);
+        let seg = src.read_region(sr).unwrap();
+        dst.install(dr.addr, &seg).unwrap();
+        // The sender reuses its buffer: the installed bytes must not change.
+        src.write(sr.addr, b"xxxxx").unwrap();
+        assert_eq!(&dst.read(dr.addr, 5).unwrap()[..], b"first");
+    }
+
+    #[test]
+    fn repeated_same_range_installs_do_not_grow_patches() {
+        let src = GuestMem::new();
+        let dst = GuestMem::new();
+        let sr = src.alloc(4096, 0);
+        let dr = dst.alloc(8192, 0);
+        for round in 0..200u32 {
+            src.write(sr.addr, &round.to_le_bytes()).unwrap();
+            let seg = src.read_region(sr).unwrap();
+            dst.install(dr.addr, &seg).unwrap();
+            dst.install(dr.addr + 4096, &seg).unwrap();
+        }
+        let inner = dst.inner.borrow();
+        assert!(
+            inner.chunks[0].patches.len() <= 2,
+            "windowed installs must replace, not accumulate: {}",
+            inner.chunks[0].patches.len()
+        );
+        drop(inner);
+        assert_eq!(&dst.read(dr.addr, 4).unwrap()[..], 199u32.to_le_bytes());
+    }
+
+    #[test]
+    fn patch_merge_bound_is_enforced() {
+        let src = GuestMem::new();
+        let dst = GuestMem::new();
+        let sr = src.alloc_from(&(0u8..32).collect::<Vec<_>>());
+        let dr = dst.alloc(64, 0xFF);
+        // 40 distinct single-byte installs force at least one merge.
+        for i in 0..40usize {
+            let seg = src.read(sr.addr + (i % 32) as u64, 1).unwrap();
+            dst.install(dr.addr + (i % 64) as u64, &seg).unwrap();
+        }
+        assert!(dst.inner.borrow().chunks[0].patches.len() < MAX_PATCHES);
+        for i in 0..40usize {
+            let want = (i % 32) as u8;
+            assert_eq!(dst.read(dr.addr + i as u64, 1).unwrap()[0], want);
+        }
+    }
+
+    #[test]
+    fn header_peek_of_installed_fragment_is_by_reference() {
+        let src = GuestMem::new();
+        let dst = GuestMem::new();
+        let sr = src.alloc_from(b"HDR|payload bytes");
+        let dr = dst.alloc(64, 0);
+        let seg = src.read_region(sr).unwrap();
+        dst.install(dr.addr + 4, &seg).unwrap();
+        // A sub-range read inside the installed patch must not force a
+        // merge (the patch list survives) and must see the right bytes.
+        assert_eq!(&dst.read(dr.addr + 4, 3).unwrap()[..], b"HDR");
+        assert_eq!(&dst.read(dr.addr + 8, 7).unwrap()[..], b"payload");
+        assert_eq!(
+            dst.inner.borrow().chunks[0].patches.len(),
+            1,
+            "peek reads must not merge the patch away"
+        );
+    }
+
+    #[test]
+    fn reinstall_of_unchanged_buffer_still_overwrites_overlap() {
+        // Regression: re-sending an unmodified source buffer (retransmit,
+        // constant payload) over a range that an overlapping install
+        // touched in between must behave as a fresh write, not be
+        // shadowed by the older overlapping patch.
+        let src = GuestMem::new();
+        let dst = GuestMem::new();
+        let a = src.alloc_from(b"AAAA");
+        let b = src.alloc_from(b"BB");
+        let dr = dst.alloc(8, 0);
+        let seg_a = src.read_region(a).unwrap();
+        let seg_b = src.read_region(b).unwrap();
+        dst.install(dr.addr, &seg_a).unwrap();
+        dst.install(dr.addr + 1, &seg_b).unwrap();
+        // Same backing buffer, same range as the first install.
+        dst.install(dr.addr, &src.read_region(a).unwrap()).unwrap();
+        assert_eq!(&dst.read(dr.addr, 4).unwrap()[..], b"AAAA");
+        let _ = seg_a;
+        let _ = seg_b;
+    }
+
+    #[test]
+    fn overlapping_installs_apply_in_order() {
+        let src = GuestMem::new();
+        let dst = GuestMem::new();
+        let a = src.alloc_from(b"AAAA");
+        let b = src.alloc_from(b"BB");
+        let dr = dst.alloc(8, 0);
+        dst.install(dr.addr, &src.read_region(a).unwrap()).unwrap();
+        dst.install(dr.addr + 1, &src.read_region(b).unwrap())
+            .unwrap();
+        assert_eq!(&dst.read(dr.addr, 5).unwrap()[..], b"ABBA\0");
+    }
+
+    #[test]
+    fn payload_seg_slice_and_eq() {
+        let seg = PayloadSeg::from(b"0123456789".to_vec());
+        let s = seg.slice(3, 4);
+        assert_eq!(&s[..], b"3456");
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.to_vec(), b"3456".to_vec());
+        assert_eq!(s, PayloadSeg::from(b"3456".to_vec()));
+        let b = s.to_bytes();
+        assert_eq!(&b[..], b"3456");
     }
 }

@@ -17,6 +17,7 @@ pub struct Noise {
 }
 
 impl Noise {
+    /// A jitter source drawing from `rng` per the spec.
     pub fn new(spec: NoiseSpec, rng: DetRng) -> Self {
         Noise { spec, rng }
     }
@@ -34,6 +35,7 @@ impl Noise {
         }
     }
 
+    /// Whether jitter is being injected.
     pub fn is_enabled(&self) -> bool {
         self.spec.enabled
     }

@@ -29,6 +29,7 @@ pub struct DmaEngine {
 }
 
 impl DmaEngine {
+    /// An idle engine with the given PCIe calibration.
     pub fn new(sim: &Sim, spec: PcieSpec) -> Self {
         DmaEngine {
             sim: sim.clone(),
@@ -68,6 +69,7 @@ impl DmaEngine {
         SimDuration::from_ns_f64(self.spec.dma_latency_ns)
     }
 
+    /// Transactions completed in the given direction.
     pub fn served(&self, dir: DmaDir) -> u64 {
         self.lane(dir).served()
     }

@@ -96,6 +96,12 @@ impl Kernel {
         qpn: QpNum,
         wqe: SendWqe,
     ) -> Result<(), VerbsError> {
+        // Note: crossing and driver work are NOT fused here even though an
+        // empty policy chain would allow it arithmetically — collapsing
+        // the two parks moves this task's timer registration earlier,
+        // which reorders same-picosecond ties against unrelated events
+        // and perturbs large-scale results. poll_cq can fuse (verified
+        // bit-identical) because its wake sits alone at its instant.
         core.cord_crossing().await;
         self.inner.cord_posts.set(self.inner.cord_posts.get() + 1);
 
@@ -135,9 +141,10 @@ impl Kernel {
         }
         let policy_cost = self.inner.policies.borrow().cost();
         if !policy_cost.is_zero() {
-            core.kernel_work(policy_cost).await;
+            core.kernel_work2(policy_cost, self.driver_cost()).await;
+        } else {
+            core.kernel_work(self.driver_cost()).await;
         }
-        core.kernel_work(self.driver_cost()).await;
         // The CoRD prototype lacks inline-send support (§5).
         self.inner
             .nic
@@ -167,9 +174,10 @@ impl Kernel {
         }
         let policy_cost = self.inner.policies.borrow().cost();
         if !policy_cost.is_zero() {
-            core.kernel_work(policy_cost).await;
+            core.kernel_work2(policy_cost, self.driver_cost()).await;
+        } else {
+            core.kernel_work(self.driver_cost()).await;
         }
-        core.kernel_work(self.driver_cost()).await;
         self.inner.nic.post_recv(qpn, wqe)
     }
 
@@ -208,9 +216,10 @@ impl Kernel {
     /// Completion notifications are delivered to the policy chain grouped
     /// by the QP each CQE belongs to.
     pub async fn cord_poll_cq(&self, core: &Core, cq: &Cq, max: usize) -> Vec<Cqe> {
-        core.cord_crossing().await;
+        // Crossing and driver execution have no decision point between
+        // them, so they fuse into one park on fusable cores.
+        core.cord_crossing_plus(self.driver_cost()).await;
         self.inner.cord_polls.set(self.inner.cord_polls.get() + 1);
-        core.kernel_work(self.driver_cost()).await;
         let cqes = cq.poll(max);
         if !cqes.is_empty() {
             let policies = self.inner.policies.borrow();

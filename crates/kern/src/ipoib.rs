@@ -457,7 +457,7 @@ async fn rx_dispatch(inner: Rc<IpoibInner>) {
                 frag,
                 nfrags,
                 total_len,
-                payload: raw.slice(HDR..HDR + flen),
+                payload: raw.slice(HDR, flen).to_bytes(),
             };
             // RSS: hash the flow onto a softirq queue.
             let q = (src_node * 31 + src_sock as usize) % inner.softirq_tx.len();

@@ -529,7 +529,20 @@ async fn create_verbs_world(fabric: &Fabric, nranks: usize, mode: Dataplane) -> 
     for r in 0..nranks {
         let ctx = fabric.new_context(node_of(r, nranks, nodes), mode);
         let cq = ctx.create_cq(8192).await;
-        let arena = ctx.alloc((nranks - 1).max(1) * (TX_SLOTS + RX_SLOTS) * SLOT, 0);
+        // Allocate slot-by-slot so each eager slot is its own guest-memory
+        // chunk: copy-on-write then clones at most one SLOT when in-flight
+        // fragments pin a buffer, not the rank's whole arena. Allocations
+        // are address-contiguous, so the spanning region (and the MR over
+        // it) is identical to a single big alloc.
+        let nslots = (nranks - 1).max(1) * (TX_SLOTS + RX_SLOTS);
+        let first = ctx.alloc(SLOT, 0);
+        for _ in 1..nslots {
+            ctx.alloc(SLOT, 0);
+        }
+        let arena = MemRegion {
+            addr: first.addr,
+            len: nslots * SLOT,
+        };
         let mr = ctx.reg_mr(arena, Access::all()).await;
         raw.push((ctx, cq, arena, mr));
     }
@@ -748,7 +761,12 @@ async fn handle_cqe(_sim: &Sim, inner: &Rc<RankInner>, cqe: Cqe) {
             match cqe.opcode {
                 CqeOpcode::Recv => {
                     let buf = v.rx_bufs[peer][slot];
-                    let frame = v.ctx.mem().read(buf.addr, cqe.byte_len).expect("rx ring");
+                    let frame = v
+                        .ctx
+                        .mem()
+                        .read(buf.addr, cqe.byte_len)
+                        .expect("rx ring")
+                        .to_bytes();
                     // Repost before processing so the ring never starves.
                     repost_rx(v, peer, slot);
                     if let Some((hdr, payload)) = split_frame(&frame) {
@@ -769,7 +787,8 @@ async fn handle_cqe(_sim: &Sim, inner: &Rc<RankInner>, cqe: Cqe) {
                             .ctx
                             .mem()
                             .read(region.addr, region.len)
-                            .expect("landing zone");
+                            .expect("landing zone")
+                            .to_bytes();
                         op.complete(data);
                     }
                 }

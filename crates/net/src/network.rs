@@ -22,7 +22,8 @@
 //! Everything is deterministic: routing is a pure hash, queues are
 //! analytic FIFOs, and event scheduling order follows transmit order.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use cord_hw::link::{Fabric, Frame};
@@ -80,13 +81,45 @@ impl NetConfig {
 }
 
 /// One switch output port: FIFO serializer + occupancy accounting.
+///
+/// Occupancy is settled *lazily*: instead of scheduling a drain timer per
+/// frame (one extra executor event per frame per hop), each accepted frame
+/// pushes its `(serialization end, bytes)` onto `inflight`, and
+/// [`Port::settle`] walks the FIFO from the front whenever occupancy is
+/// next observed — on the arrival path or through a stats accessor.
+/// Virtual time is monotone and every observation settles first, so at
+/// distinct instants the occupancy any event sees matches the eager-timer
+/// scheme exactly. On an *exact tie* — a frame's serialization ending at
+/// the same picosecond another frame arrives — settling counts the ending
+/// frame as drained (`end <= now`), a fixed drain-before-arrival order,
+/// where the old per-frame drain event resolved the tie by registration
+/// sequence (either order, depending on scheduling history). The full
+/// topology×cc loadgen matrix and all three simbench scenarios reproduce
+/// byte-identically under this rule; revalidate both when touching it.
 struct Port {
     fifo: FifoResource,
     gbps: f64,
     queued: Cell<usize>,
+    /// Frames accepted but not yet fully serialized: (grant end, bytes).
+    inflight: RefCell<VecDeque<(SimTime, u32)>>,
     marks: Cell<u64>,
     drops: Cell<u64>,
     forwarded: Cell<u64>,
+}
+
+impl Port {
+    /// Retire every in-flight frame whose serialization completed at or
+    /// before `now`, releasing its buffer bytes.
+    fn settle(&self, now: SimTime) {
+        let mut inflight = self.inflight.borrow_mut();
+        while let Some(&(end, wire)) = inflight.front() {
+            if end > now {
+                break;
+            }
+            inflight.pop_front();
+            self.queued.set(self.queued.get() - wire as usize);
+        }
+    }
 }
 
 struct Switched<T> {
@@ -139,6 +172,7 @@ impl<T: 'static> Network<T> {
                         fifo: FifoResource::new(sim),
                         gbps: plan.port_gbps(i, spec.gbps),
                         queued: Cell::new(0),
+                        inflight: RefCell::new(VecDeque::new()),
                         marks: Cell::new(0),
                         drops: Cell::new(0),
                         forwarded: Cell::new(0),
@@ -219,7 +253,10 @@ impl<T: 'static> Network<T> {
     /// switch ports): discover valid indices through [`Network::plan`],
     /// which is `None` there. The `total_*` accessors are mesh-safe.
     pub fn port_queued_bytes(&self, port: usize) -> usize {
-        self.switched().ports[port].queued.get()
+        let s = self.switched();
+        let p = &s.ports[port];
+        p.settle(s.sim.now());
+        p.queued.get()
     }
 
     /// Frames ECN-marked at a switch output port (panics on the full
@@ -319,6 +356,9 @@ impl<T: 'static> Switched<T> {
             let wire = st.frame.wire_bytes;
             let grant_end = {
                 let p = &this.ports[idx];
+                // Retire frames that finished serializing before this
+                // arrival — the lazy equivalent of per-frame drain timers.
+                p.settle(sim.now());
                 if p.queued.get() + wire > this.cfg.buffer_bytes {
                     p.drops.set(p.drops.get() + 1);
                     return; // tail drop
@@ -330,15 +370,9 @@ impl<T: 'static> Switched<T> {
                 p.queued.set(p.queued.get() + wire);
                 p.forwarded.set(p.forwarded.get() + 1);
                 let g = p.fifo.enqueue(transmission_time(wire as u64, p.gbps));
+                p.inflight.borrow_mut().push_back((g.end, wire as u32));
                 g.end
             };
-            // The frame leaves the buffer when its serialization completes.
-            let drain = Rc::clone(&this);
-            let (idx32, wire32) = (idx as u32, wire as u32);
-            sim.schedule_at(grant_end, move |_| {
-                let p = &drain.ports[idx32 as usize];
-                p.queued.set(p.queued.get() - wire32 as usize);
-            });
             let next_at = grant_end + this.prop();
             if st.i + 1 == st.hops {
                 // Last port is the downlink to the destination host.

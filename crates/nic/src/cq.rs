@@ -3,9 +3,9 @@
 //! A CQ buffers CQEs written by the NIC. Two consumption styles, matching
 //! the paper's taxonomy (§2):
 //! * **polling** — the consumer repeatedly calls `poll`; the NIC still
-//!   notifies [`Cq::push_notify`] so simulated pollers can park instead of
-//!   spinning through virtual time (the detection-granularity cost is billed
-//!   by the verbs layer).
+//!   signals each push ([`Cq::wait_push`]) so simulated pollers can park
+//!   instead of spinning through virtual time (the detection-granularity
+//!   cost is billed by the verbs layer).
 //! * **events** — the consumer arms the CQ ([`Cq::arm`]) and blocks on the
 //!   completion channel; the next CQE raises a (simulated) interrupt.
 

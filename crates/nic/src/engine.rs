@@ -22,8 +22,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use bytes::Bytes;
 use cord_hw::link::Frame;
+use cord_hw::PayloadSeg;
 use cord_hw::{DmaDir, DmaEngine, MachineSpec};
 use cord_net::Network;
 use cord_sim::sync::{Notify, Receiver, Semaphore};
@@ -676,8 +676,8 @@ async fn emit_fragments(
 
         // Fetch payload: inline data was captured at post time; otherwise a
         // DMA read whose completion gates the frame's entry to the fabric.
-        let (payload, ready): (Bytes, SimTime) = if let Some(inline) = &inline {
-            (inline.slice(offset..offset + frag_len), inner.sim.now())
+        let (payload, ready): (PayloadSeg, SimTime) = if let Some(inline) = &inline {
+            (inline.slice(offset, frag_len), inner.sim.now())
         } else {
             let data = mem
                 .read(sge.addr + offset as u64, frag_len)
@@ -964,7 +964,7 @@ fn handle_send_frag(
     nfrags: u32,
     total_len: usize,
     offset: usize,
-    payload: Bytes,
+    payload: PayloadSeg,
     imm: Option<u32>,
 ) {
     let transport = qp_rc.borrow().transport;
@@ -1056,7 +1056,7 @@ fn handle_send_frag(
     let inner2 = Rc::clone(inner);
     let qp2 = Rc::clone(qp_rc);
     inner.sim.schedule_at(dma_done, move |_| {
-        mem.write(dst_addr, &payload)
+        mem.install(dst_addr, &payload)
             .expect("validated landing zone");
         if last {
             let mut qp = qp2.borrow_mut();
@@ -1099,7 +1099,7 @@ fn handle_write_frag(
     raddr: u64,
     rkey: crate::types::RKey,
     offset: usize,
-    payload: Bytes,
+    payload: PayloadSeg,
     imm: Option<u32>,
 ) {
     if qp_rc.borrow().drop_msg == Some(msg_id) {
@@ -1139,7 +1139,9 @@ fn handle_write_frag(
     let qp2 = Rc::clone(qp_rc);
     let dst = raddr + offset as u64;
     inner.sim.schedule_at(dma_done, move |_| {
-        mr.mem.write(dst, &payload).expect("validated remote range");
+        mr.mem
+            .install(dst, &payload)
+            .expect("validated remote range");
         if last {
             {
                 let mut qp = qp2.borrow_mut();
@@ -1255,7 +1257,7 @@ fn handle_read_resp(
     frag: u32,
     nfrags: u32,
     offset: usize,
-    payload: Bytes,
+    payload: PayloadSeg,
 ) {
     let pr = {
         let qp = qp_rc.borrow();
@@ -1296,7 +1298,9 @@ fn handle_read_resp(
     let qp2 = Rc::clone(qp_rc);
     let dst = pr.addr + offset as u64;
     inner.sim.schedule_at(dma_done, move |_| {
-        mr.mem.write(dst, &payload).expect("validated landing zone");
+        mr.mem
+            .install(dst, &payload)
+            .expect("validated landing zone");
         if last {
             let qpn = {
                 let mut qp = qp2.borrow_mut();

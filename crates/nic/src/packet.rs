@@ -5,7 +5,7 @@
 //! (coalesced to one per message, which is what ConnectX-class hardware
 //! converges to under load).
 
-use bytes::Bytes;
+use cord_hw::PayloadSeg;
 
 use crate::types::{NodeId, QpNum, RKey};
 
@@ -30,7 +30,7 @@ pub enum PacketKind {
         nfrags: u32,
         total_len: usize,
         offset: usize,
-        payload: Bytes,
+        payload: PayloadSeg,
         imm: Option<u32>,
     },
     /// Fragment of an RDMA write.
@@ -44,7 +44,7 @@ pub enum PacketKind {
         raddr: u64,
         rkey: RKey,
         offset: usize,
-        payload: Bytes,
+        payload: PayloadSeg,
         imm: Option<u32>,
     },
     /// RDMA read request (header only).
@@ -60,7 +60,7 @@ pub enum PacketKind {
         frag: u32,
         nfrags: u32,
         offset: usize,
-        payload: Bytes,
+        payload: PayloadSeg,
     },
     /// Positive acknowledgement of a whole message (RC).
     Ack { msg_id: u64 },
@@ -137,7 +137,7 @@ mod tests {
             nfrags: 1,
             total_len: 100,
             offset: 0,
-            payload: Bytes::from(vec![0u8; 100]),
+            payload: PayloadSeg::from(vec![0u8; 100]),
             imm: None,
         });
         assert_eq!(p.payload_len(), 100);
@@ -171,7 +171,7 @@ mod tests {
             nfrags: 1,
             total_len: 0,
             offset: 0,
-            payload: Bytes::new(),
+            payload: PayloadSeg::from(Vec::new()),
             imm: None,
         });
         assert!(p.is_data());

@@ -1,6 +1,6 @@
 //! Work-queue elements: what gets posted to send and receive queues.
 
-use bytes::Bytes;
+use cord_hw::PayloadSeg;
 
 use crate::types::{LKey, NodeId, Opcode, QpNum, RKey, WrId};
 
@@ -35,7 +35,7 @@ pub struct SendWqe {
     pub signaled: bool,
     /// Inline payload captured at post time (bypass fast path for small
     /// sends; the CoRD prototype lacks this, §5).
-    pub inline_data: Option<Bytes>,
+    pub inline_data: Option<PayloadSeg>,
 }
 
 impl SendWqe {

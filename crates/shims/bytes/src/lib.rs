@@ -89,6 +89,19 @@ impl Bytes {
         Bytes::from(v)
     }
 
+    /// Wrap an already-shared buffer without copying, viewing
+    /// `data[start..end]`. This is the zero-copy bridge from other
+    /// reference-counted byte containers (e.g. guest-memory payload
+    /// segments) into `Bytes`.
+    pub fn from_shared(data: Rc<Vec<u8>>, start: usize, end: usize) -> Bytes {
+        assert!(start <= end && end <= data.len(), "range out of bounds");
+        Bytes {
+            data: ManuallyDrop::new(data),
+            start,
+            end,
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.end - self.start
     }

@@ -234,6 +234,7 @@ impl Default for Sim {
 }
 
 impl Sim {
+    /// A fresh simulation: clock at zero, no tasks, no timers.
     pub fn new() -> Self {
         Sim {
             inner: Rc::new(Inner {
@@ -270,6 +271,25 @@ impl Sim {
     }
 
     /// Snapshot of all core counters (perf harnesses, alloc-path tests).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cord_sim::{Sim, SimDuration};
+    ///
+    /// let sim = Sim::new();
+    /// let s = sim.clone();
+    /// sim.block_on(async move {
+    ///     for _ in 0..10 {
+    ///         s.sleep(SimDuration::from_ns(100)).await;
+    ///     }
+    /// });
+    /// let stats = sim.stats();
+    /// assert_eq!(stats.spawns, 1);
+    /// assert_eq!(stats.wakers_created, stats.spawns, "one waker per task");
+    /// assert!(stats.timer_inserts >= 10);
+    /// assert!(stats.polls > 0);
+    /// ```
     pub fn stats(&self) -> SimStats {
         let timers = self.inner.timers.borrow();
         SimStats {
@@ -525,10 +545,12 @@ pub struct JoinHandle<T> {
 }
 
 impl<T> JoinHandle<T> {
+    /// The spawned task's identifier.
     pub fn id(&self) -> TaskId {
         self.id
     }
 
+    /// Whether the task has run to completion.
     pub fn is_finished(&self) -> bool {
         self.state.borrow().finished
     }

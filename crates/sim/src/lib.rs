@@ -33,6 +33,8 @@
 //! - [`rng`]: deterministic per-component random streams.
 //! - [`trace`]: optional event tracing (observability policy, tests).
 
+#![deny(missing_docs)]
+
 pub mod executor;
 pub mod resource;
 pub mod rng;

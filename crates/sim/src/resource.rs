@@ -19,6 +19,7 @@ struct Inner {
     served: Cell<u64>,
 }
 
+/// An analytic FIFO server; clone to share (clones serve one queue).
 #[derive(Clone)]
 pub struct FifoResource {
     sim: Sim,
@@ -37,6 +38,7 @@ pub struct Grant {
 }
 
 impl FifoResource {
+    /// An idle server on `sim`'s clock.
     pub fn new(sim: &Sim) -> Self {
         FifoResource {
             sim: sim.clone(),

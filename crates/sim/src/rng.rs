@@ -84,12 +84,14 @@ pub struct RngFactory {
 }
 
 impl RngFactory {
+    /// A factory whose streams are all derived from `master_seed`.
     pub fn new(master_seed: u64) -> Self {
         RngFactory {
             master: master_seed,
         }
     }
 
+    /// The master seed this factory derives every stream from.
     pub fn master_seed(&self) -> u64 {
         self.master
     }
@@ -118,12 +120,15 @@ pub struct DetRng {
 }
 
 impl DetRng {
+    /// A stream seeded directly (bypassing a [`RngFactory`]); used by
+    /// tests and property harnesses.
     pub fn from_seed(seed: u64) -> Self {
         DetRng {
             rng: Rc::new(RefCell::new(SmallRng::seed_from_u64(seed))),
         }
     }
 
+    /// The next raw 64-bit draw.
     pub fn next_u64(&self) -> u64 {
         self.rng.borrow_mut().next_u64()
     }

@@ -46,6 +46,7 @@ fn bucket_value(idx: usize) -> u64 {
 }
 
 impl Histogram {
+    /// An empty histogram covering the full `u64` range.
     pub fn new() -> Self {
         // 64 octaves * 32 sub-buckets is a safe upper bound.
         Histogram {
@@ -57,6 +58,7 @@ impl Histogram {
         }
     }
 
+    /// Record one sample.
     pub fn record(&mut self, v: u64) {
         let idx = bucket_index(v);
         self.counts[idx] += 1;
@@ -66,6 +68,7 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Record `n` samples of the same value.
     pub fn record_n(&mut self, v: u64, n: u64) {
         let idx = bucket_index(v);
         self.counts[idx] += n;
@@ -75,14 +78,17 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Total number of recorded samples.
     pub fn count(&self) -> u64 {
         self.total
     }
 
+    /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.total == 0
     }
 
+    /// Exact arithmetic mean of the recorded samples (`NaN` when empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
             f64::NAN
@@ -91,6 +97,7 @@ impl Histogram {
         }
     }
 
+    /// Smallest recorded sample (0 when empty).
     pub fn min(&self) -> u64 {
         if self.total == 0 {
             0
@@ -99,6 +106,7 @@ impl Histogram {
         }
     }
 
+    /// Largest recorded sample (0 when empty).
     pub fn max(&self) -> u64 {
         self.max
     }
@@ -126,10 +134,12 @@ impl Histogram {
         self.max
     }
 
+    /// The 50th-percentile value.
     pub fn median(&self) -> u64 {
         self.quantile(0.5)
     }
 
+    /// Fold another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;

@@ -9,9 +9,13 @@
 /// Result of a two-cluster split.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ModeSplit {
+    /// Centroid of the lower cluster.
     pub low_mean: f64,
+    /// Centroid of the upper cluster.
     pub high_mean: f64,
+    /// Samples assigned to the lower cluster.
     pub low_count: usize,
+    /// Samples assigned to the upper cluster.
     pub high_count: usize,
     /// Centroid separation in units of the pooled within-cluster standard
     /// deviation. A 2-means split of *any* distribution produces nonzero
@@ -21,6 +25,8 @@ pub struct ModeSplit {
 }
 
 impl ModeSplit {
+    /// Whether the split indicates genuine bimodality (both clusters
+    /// populated and separation well above the unimodal baseline).
     pub fn is_bimodal(&self) -> bool {
         self.low_count > 0 && self.high_count > 0 && self.separation > 4.0
     }

@@ -12,6 +12,7 @@ pub struct OnlineStats {
 }
 
 impl OnlineStats {
+    /// An empty accumulator.
     pub fn new() -> Self {
         OnlineStats {
             n: 0,
@@ -22,6 +23,7 @@ impl OnlineStats {
         }
     }
 
+    /// Fold one sample into the running moments.
     pub fn record(&mut self, x: f64) {
         self.n += 1;
         let d = x - self.mean;
@@ -31,10 +33,12 @@ impl OnlineStats {
         self.max = self.max.max(x);
     }
 
+    /// Number of recorded samples.
     pub fn count(&self) -> u64 {
         self.n
     }
 
+    /// Running mean (`NaN` when empty).
     pub fn mean(&self) -> f64 {
         if self.n == 0 {
             f64::NAN
@@ -52,14 +56,17 @@ impl OnlineStats {
         }
     }
 
+    /// Population standard deviation.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
 
+    /// Smallest recorded sample (`+inf` when empty).
     pub fn min(&self) -> f64 {
         self.min
     }
 
+    /// Largest recorded sample (`-inf` when empty).
     pub fn max(&self) -> f64 {
         self.max
     }

@@ -4,18 +4,23 @@
 /// One point of a sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SeriesPoint {
+    /// The sweep parameter (e.g. message size).
     pub x: f64,
+    /// The measured value at `x`.
     pub y: f64,
 }
 
 /// A named series of sweep points (e.g. "Send/RC relative throughput").
 #[derive(Debug, Clone, Default)]
 pub struct Series {
+    /// Display name, matching the paper's legend where applicable.
     pub name: String,
+    /// Points in push order (harnesses push in increasing x).
     pub points: Vec<SeriesPoint>,
 }
 
 impl Series {
+    /// An empty series with the given name.
     pub fn new(name: impl Into<String>) -> Self {
         Series {
             name: name.into(),
@@ -23,14 +28,17 @@ impl Series {
         }
     }
 
+    /// Append one point.
     pub fn push(&mut self, x: f64, y: f64) {
         self.points.push(SeriesPoint { x, y });
     }
 
+    /// Number of points.
     pub fn len(&self) -> usize {
         self.points.len()
     }
 
+    /// Whether the series has no points.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
@@ -74,6 +82,7 @@ impl Series {
         None
     }
 
+    /// Largest y value, if any points exist.
     pub fn max_y(&self) -> Option<f64> {
         self.points.iter().map(|p| p.y).fold(None, |acc, y| {
             Some(match acc {
@@ -83,6 +92,7 @@ impl Series {
         })
     }
 
+    /// Smallest y value, if any points exist.
     pub fn min_y(&self) -> Option<f64> {
         self.points.iter().map(|p| p.y).fold(None, |acc, y| {
             Some(match acc {

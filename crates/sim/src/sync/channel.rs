@@ -80,10 +80,12 @@ fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     )
 }
 
+/// Sending half of a channel; clone to add producers.
 pub struct Sender<T> {
     chan: Rc<RefCell<Chan<T>>>,
 }
 
+/// Receiving half of a channel; clone to add consumers.
 pub struct Receiver<T> {
     chan: Rc<RefCell<Chan<T>>>,
 }
@@ -157,15 +159,18 @@ impl<T> Sender<T> {
         self.chan.borrow().queue.len()
     }
 
+    /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// Whether every receiver has been dropped.
     pub fn is_closed(&self) -> bool {
         self.chan.borrow().receivers == 0
     }
 }
 
+/// Future returned by [`Sender::send`].
 pub struct Send<'a, T> {
     sender: &'a Sender<T>,
     value: Option<T>,
@@ -215,15 +220,18 @@ impl<T> Receiver<T> {
         Recv { receiver: self }
     }
 
+    /// Current queue length (diagnostics).
     pub fn len(&self) -> usize {
         self.chan.borrow().queue.len()
     }
 
+    /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 }
 
+/// Future returned by [`Receiver::recv`].
 pub struct Recv<'a, T> {
     receiver: &'a Receiver<T>,
 }

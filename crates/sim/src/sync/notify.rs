@@ -27,6 +27,7 @@ pub struct Notify {
 }
 
 impl Notify {
+    /// A fresh cell with no stored permit.
     pub fn new() -> Self {
         Self::default()
     }
@@ -57,11 +58,13 @@ impl Notify {
         }
     }
 
+    /// Number of currently parked waiters (diagnostics).
     pub fn waiter_count(&self) -> usize {
         self.inner.borrow().waiters.len()
     }
 }
 
+/// Future returned by [`Notify::notified`].
 pub struct Notified {
     notify: Notify,
     id: Option<u64>,

@@ -23,6 +23,7 @@ pub struct Semaphore {
 }
 
 impl Semaphore {
+    /// A semaphore with `permits` initial permits.
     pub fn new(permits: usize) -> Self {
         Semaphore {
             inner: Rc::new(RefCell::new(Inner {
@@ -33,6 +34,7 @@ impl Semaphore {
         }
     }
 
+    /// Permits currently available (not held and not reserved).
     pub fn available(&self) -> usize {
         self.inner.borrow().permits
     }
@@ -75,6 +77,7 @@ impl Semaphore {
     }
 }
 
+/// Future returned by [`Semaphore::acquire`].
 pub struct Acquire {
     sem: Semaphore,
     n: usize,

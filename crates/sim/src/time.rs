@@ -18,25 +18,30 @@ pub struct SimTime(pub u64);
 pub struct SimDuration(pub u64);
 
 impl SimTime {
+    /// The simulation epoch (t = 0).
     pub const ZERO: SimTime = SimTime(0);
     /// The largest representable instant; used as "never".
     pub const MAX: SimTime = SimTime(u64::MAX);
 
+    /// The instant as integer picoseconds since simulation start.
     #[inline]
     pub fn as_ps(self) -> u64 {
         self.0
     }
 
+    /// The instant in (fractional) nanoseconds.
     #[inline]
     pub fn as_ns_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
+    /// The instant in (fractional) microseconds.
     #[inline]
     pub fn as_us_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
+    /// The instant in (fractional) seconds.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e12
@@ -50,6 +55,9 @@ impl SimTime {
         SimDuration(self.0 - earlier.0)
     }
 
+    /// Like [`SimTime::since`], but clamps negative spans to zero instead
+    /// of panicking (used where `earlier` may legitimately be ahead, e.g.
+    /// open-loop arrival schedules).
     #[inline]
     pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(earlier.0))
@@ -57,28 +65,34 @@ impl SimTime {
 }
 
 impl SimDuration {
+    /// The empty span.
     pub const ZERO: SimDuration = SimDuration(0);
 
+    /// A span of `ps` picoseconds.
     #[inline]
     pub const fn from_ps(ps: u64) -> Self {
         SimDuration(ps)
     }
 
+    /// A span of `ns` nanoseconds.
     #[inline]
     pub const fn from_ns(ns: u64) -> Self {
         SimDuration(ns * 1_000)
     }
 
+    /// A span of `us` microseconds.
     #[inline]
     pub const fn from_us(us: u64) -> Self {
         SimDuration(us * 1_000_000)
     }
 
+    /// A span of `ms` milliseconds.
     #[inline]
     pub const fn from_ms(ms: u64) -> Self {
         SimDuration(ms * 1_000_000_000)
     }
 
+    /// A span of `s` seconds.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
         SimDuration(s * 1_000_000_000_000)
@@ -91,31 +105,37 @@ impl SimDuration {
         SimDuration((ns * 1e3).round() as u64)
     }
 
+    /// The span as integer picoseconds.
     #[inline]
     pub fn as_ps(self) -> u64 {
         self.0
     }
 
+    /// The span in (fractional) nanoseconds.
     #[inline]
     pub fn as_ns_f64(self) -> f64 {
         self.0 as f64 / 1e3
     }
 
+    /// The span in (fractional) microseconds.
     #[inline]
     pub fn as_us_f64(self) -> f64 {
         self.0 as f64 / 1e6
     }
 
+    /// The span in (fractional) seconds.
     #[inline]
     pub fn as_secs_f64(self) -> f64 {
         self.0 as f64 / 1e12
     }
 
+    /// Whether the span is empty.
     #[inline]
     pub fn is_zero(self) -> bool {
         self.0 == 0
     }
 
+    /// `self - other`, clamped to zero on underflow.
     #[inline]
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))

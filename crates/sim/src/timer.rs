@@ -60,6 +60,7 @@ use std::collections::BinaryHeap;
 const GRANULARITY_SHIFT: u32 = 17;
 /// log2(slots per level).
 const SLOT_BITS: u32 = 9;
+/// Slots per wheel level.
 pub const SLOTS_PER_LEVEL: usize = 1 << SLOT_BITS;
 /// Wheel depth (512³ ticks ≈ 17.6 virtual seconds before overflow).
 pub const LEVELS: usize = 3;
@@ -262,6 +263,7 @@ impl<T> Default for TimerWheel<T> {
 }
 
 impl<T> TimerWheel<T> {
+    /// An empty wheel based at tick 0.
     pub fn new() -> Self {
         TimerWheel {
             entries: Vec::new(),
@@ -277,10 +279,12 @@ impl<T> TimerWheel<T> {
         }
     }
 
+    /// Number of live (armed, not cancelled) timers.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// Whether no timers are armed.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }

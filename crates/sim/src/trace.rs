@@ -12,20 +12,30 @@ use crate::time::SimTime;
 /// Category of a trace record; coarse filters for tests/tools.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceCategory {
+    /// System-call entries/exits (CoRD crossings, ioctls).
     Syscall,
+    /// NIC engine events (WQE processing, CQEs, CNPs).
     Nic,
+    /// DMA transactions between host memory and the NIC.
     Dma,
+    /// Link/fabric transmissions.
     Link,
+    /// CoRD policy decisions.
     Policy,
+    /// MPI layer events.
     Mpi,
+    /// Application-level markers.
     App,
 }
 
 /// One trace record.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
+    /// Virtual instant the event was recorded at.
     pub at: SimTime,
+    /// Coarse category, for filtering.
     pub category: TraceCategory,
+    /// Human-readable description.
     pub message: String,
 }
 
@@ -59,10 +69,13 @@ impl Trace {
         }
     }
 
+    /// Whether records are being retained.
     pub fn is_enabled(&self) -> bool {
         self.inner.borrow().enabled
     }
 
+    /// Record an event; `message` is only rendered when tracing is
+    /// enabled, so a disabled trace costs one branch per call.
     pub fn record(&self, at: SimTime, category: TraceCategory, message: impl FnOnce() -> String) {
         let mut inner = self.inner.borrow_mut();
         if !inner.enabled {
@@ -79,10 +92,12 @@ impl Trace {
         });
     }
 
+    /// Number of retained records.
     pub fn len(&self) -> usize {
         self.inner.borrow().events.len()
     }
 
+    /// Whether no records are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -102,6 +117,7 @@ impl Trace {
             .count()
     }
 
+    /// Drop all retained records.
     pub fn clear(&self) {
         self.inner.borrow_mut().events.clear();
     }

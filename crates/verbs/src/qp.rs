@@ -90,16 +90,17 @@ impl UserQp {
         match self.ctx.mode() {
             Dataplane::Bypass => {
                 let spec = core.spec();
-                // Build the WQE in user space.
-                core.compute_ns(spec.post_wqe_ns).await;
                 let nic_spec = self.ctx.nic().spec().nic.clone();
-                // Inline copy happens on the CPU at post time.
+                // WQE build, optional inline copy, and the MMIO doorbell
+                // are consecutive user-mode costs: one fused park.
                 if wqe.opcode == cord_nic::Opcode::Send && wqe.sge.len <= nic_spec.inline_cap {
-                    core.compute_ns(nic_spec.inline_byte_ns * wqe.sge.len as f64)
+                    let inline_ns = nic_spec.inline_byte_ns * wqe.sge.len as f64;
+                    core.compute_ns_parts(&[spec.post_wqe_ns, inline_ns, nic_spec.doorbell_ns])
+                        .await;
+                } else {
+                    core.compute_ns_parts(&[spec.post_wqe_ns, nic_spec.doorbell_ns])
                         .await;
                 }
-                // MMIO doorbell.
-                core.compute_ns(nic_spec.doorbell_ns).await;
                 self.ctx.nic().post_send(self.qpn, wqe, true)
             }
             Dataplane::Cord => self.ctx.kernel().cord_post_send(&core, self.qpn, wqe).await,
@@ -113,8 +114,11 @@ impl UserQp {
         match self.ctx.mode() {
             Dataplane::Bypass => {
                 let spec = core.spec();
-                core.compute_ns(spec.post_wqe_ns * wqes.len() as f64).await;
-                core.compute_ns(self.ctx.nic().spec().nic.doorbell_ns).await;
+                core.compute_ns_parts(&[
+                    spec.post_wqe_ns * wqes.len() as f64,
+                    self.ctx.nic().spec().nic.doorbell_ns,
+                ])
+                .await;
                 for wqe in wqes {
                     self.ctx.nic().post_recv(self.qpn, wqe)?;
                 }
@@ -135,8 +139,8 @@ impl UserQp {
         match self.ctx.mode() {
             Dataplane::Bypass => {
                 let spec = core.spec();
-                core.compute_ns(spec.post_wqe_ns).await;
-                core.compute_ns(self.ctx.nic().spec().nic.doorbell_ns).await;
+                core.compute_ns_parts(&[spec.post_wqe_ns, self.ctx.nic().spec().nic.doorbell_ns])
+                    .await;
                 self.ctx.nic().post_recv(self.qpn, wqe)
             }
             Dataplane::Cord => self.ctx.kernel().cord_post_recv(&core, self.qpn, wqe).await,
