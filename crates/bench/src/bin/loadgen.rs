@@ -13,8 +13,12 @@
 //! (`full-mesh`; `fat-tree` = two-tier, radix sized to `--nodes`;
 //! `dumbbell` = the shared `scenarios::DUMBBELL` bottleneck); `--cc`
 //! selects per-QP congestion control (`none`, `dcqcn` — DCQCN binds to
-//! RC tenants; UD traffic is unaffected). Both are recorded in the
-//! results JSON.
+//! RC tenants; UD traffic is unaffected). `--pfc` forces lossless-fabric
+//! pause frames on or off (inert on the full mesh) and `--rc-retx`
+//! forces RC go-back-N retransmission, overriding the scenario defaults
+//! (`pfc-hol-blocking`/`pause-storm` default PFC on; `lossy-incast-rc`
+//! defaults retransmission on). All knobs are recorded in the results
+//! JSON; fabric runs additionally record drop/pause/replay counters.
 //!
 //! Results land in `results/loadgen_<scenario>.json`. Runs are
 //! deterministic: the same arguments produce byte-identical JSON.
@@ -29,10 +33,20 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen <scenario|all> [--nodes N] [--tenants T] [--requests R] [--seed S]\n\
          \x20              [--topology full-mesh|fat-tree|dumbbell] [--cc none|dcqcn]\n\
+         \x20              [--pfc on|off] [--rc-retx on|off]\n\
          scenarios: {}",
         scenarios::NAMES.join(", ")
     );
     std::process::exit(2);
+}
+
+/// `on`/`off` boolean flag values.
+fn parse_switch(v: &str) -> bool {
+    match v {
+        "on" => true,
+        "off" => false,
+        _ => usage(),
+    }
 }
 
 /// Resolved once all flags are parsed, so `fat-tree` can size its radix
@@ -64,6 +78,8 @@ fn parse_args() -> (Vec<String>, Scale) {
             "--seed" => scale.seed = parse(&value),
             "--topology" => topology = Some(value),
             "--cc" => scale.cc = value.parse::<CcAlgorithm>().unwrap_or_else(|_| usage()),
+            "--pfc" => scale.pfc = Some(parse_switch(&value)),
+            "--rc-retx" => scale.rc_retx = Some(parse_switch(&value)),
             _ => usage(),
         }
     }

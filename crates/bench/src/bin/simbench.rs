@@ -18,6 +18,10 @@
 //!   alpha/recovery timers on every QP).
 //! * `shuffle`     — all-to-all 16 KiB exchange, ~960 concurrent QPs; the
 //!   task-count / ready-queue stress.
+//! * `lossy-retx`  — the incast on a small-buffer tail-dropping fat tree
+//!   with RC retransmission armed: the go-back-N window, sequence NAKs,
+//!   and tombstone-cancelled retransmit timers on the hot path. Its
+//!   digest line additionally pins the drop/replay counters.
 //!
 //! Results land in `results/simbench_<name>.json` (`--quick` writes
 //! `simbench_quick_<name>.json`, so smoke runs never clobber the
@@ -66,6 +70,19 @@ fn suite(quick: bool) -> Vec<Bench> {
             name: "shuffle",
             spec: scenarios::shuffle(scale(300, CcAlgorithm::None)),
         },
+        Bench {
+            name: "lossy-retx",
+            // Half the tenant fan-in of the other benches: a sustained
+            // 600-request run at the full 32-tenant overload drives some
+            // QPs into (legitimate, deterministic) retry exhaustion;
+            // 16 tenants keep the bench lossy but fully recoverable, so
+            // the digest pins `completed` at the issued count.
+            spec: scenarios::lossy_incast_rc(Scale {
+                tenants: 16,
+                requests: req(600),
+                ..Scale::default()
+            }),
+        },
     ]
 }
 
@@ -94,12 +111,19 @@ struct SimbenchReport {
     goodput_gbps: f64,
 }
 
-fn run_bench(b: &Bench, quick: bool, label: &str) -> SimbenchReport {
+/// Run one bench; returns the perf report plus the scenario's fabric
+/// counters (digest-only — the JSON stays pure perf data).
+fn run_bench(
+    b: &Bench,
+    quick: bool,
+    label: &str,
+) -> (SimbenchReport, Option<cord_workload::FabricCounters>) {
     let t0 = Instant::now();
     let (report, core): (ScenarioReport, CoreStats) =
         run_scenario_instrumented(&b.spec).unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let wall = t0.elapsed().as_secs_f64();
-    SimbenchReport {
+    let fabric = report.fabric;
+    let r = SimbenchReport {
         label: label.to_string(),
         bench: b.name.to_string(),
         scenario: report.scenario.clone(),
@@ -118,13 +142,14 @@ fn run_bench(b: &Bench, quick: bool, label: &str) -> SimbenchReport {
         timer_fires_per_sec: core.sim.timer_fires as f64 / wall,
         completed: report.total_completed,
         goodput_gbps: report.total_goodput_gbps,
-    }
+    };
+    (r, fabric)
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: simbench [--quick] [--label <name>] [bench ...]\n\
-         benches: kv-fanout, incast-dcqcn, shuffle"
+         benches: kv-fanout, incast-dcqcn, shuffle, lossy-retx"
     );
     std::process::exit(2);
 }
@@ -156,7 +181,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut digest = String::new();
     for b in &benches {
-        let r = run_bench(b, quick, &label);
+        let (r, fabric) = run_bench(b, quick, &label);
         rows.push(vec![
             r.bench.clone(),
             format!("{:.3}", r.wall_seconds),
@@ -167,12 +192,24 @@ fn main() {
             format!("{:.2e}", r.timer_fires_per_sec),
         ]);
         // Everything in the digest must be bit-reproducible across runs.
-        writeln!(
+        write!(
             digest,
             "{} virtual_ms={} polls={} timer_fires={} completed={} goodput_gbps={}",
             r.bench, r.virtual_ms, r.polls, r.timer_fires, r.completed, r.goodput_gbps
         )
         .unwrap();
+        // Fabric benches (PFC / RC retransmission) also pin their
+        // loss-recovery counters — these are simulation semantics, so they
+        // belong with the byte-exact fields, not the perf ones.
+        if let Some(f) = &fabric {
+            write!(
+                digest,
+                " drops={} pauses={} pause_ms={} retx={}",
+                f.net_drops, f.net_pauses, f.net_pause_ms, f.retx_replays
+            )
+            .unwrap();
+        }
+        writeln!(digest).unwrap();
         // Quick smoke runs write under a different name so they never
         // clobber the committed full-run trajectory files.
         let prefix = if quick { "simbench_quick" } else { "simbench" };

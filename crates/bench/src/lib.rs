@@ -1,10 +1,13 @@
-//! Shared plumbing for the figure-harness binaries: table rendering and
-//! JSON result persistence (under `results/`).
+//! Shared plumbing for the figure-harness binaries: table rendering, JSON
+//! result persistence (under `results/`), and the CI perf-regression gate
+//! over simbench digests ([`gate`]).
 
 use std::fs;
 use std::path::PathBuf;
 
 use serde::Serialize;
+
+pub mod gate;
 
 /// Pretty-print a table with a header row.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

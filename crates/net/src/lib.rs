@@ -25,6 +25,17 @@
 //! `CcAlgorithm::{None, Dcqcn}`). End to end the loop is deterministic:
 //! the same spec and seed yield byte-identical results.
 //!
+//! ## Lossless mode (PFC)
+//!
+//! With [`PfcConfig::enabled`] the fabric becomes lossless: a port whose
+//! queue crosses the XOFF watermark pauses the upstream feeders that
+//! serialize into it, the backlog propagates hop by hop into the hosts'
+//! egress queues, and nothing is ever tail-dropped. The price is
+//! head-of-line blocking — victim flows parked behind a paused head frame
+//! — and, under oversubscription, fabric-wide pause storms; both are
+//! reproducible pathologies (see the `pfc-hol-blocking` and `pause-storm`
+//! workload scenarios).
+//!
 //! ## Knobs
 //!
 //! | Knob | Where | Default |
@@ -32,13 +43,15 @@
 //! | topology | [`NetConfig::topology`] | `FullMesh` |
 //! | ECN threshold | [`EcnConfig::threshold_bytes`] | 64 KiB |
 //! | port buffer | [`NetConfig::buffer_bytes`] | 16 MiB |
+//! | PFC on/off | [`PfcConfig::enabled`] | off |
+//! | PFC XOFF / XON | [`PfcConfig::xoff_bytes`] / [`PfcConfig::xon_bytes`] | 128 / 64 KiB |
 //! | fat-tree radix | [`Topology::FatTree`] | — (8 in the workload layer) |
 //! | bottleneck rate | [`Topology::Dumbbell`] | — |
 
 pub mod network;
 pub mod route;
 
-pub use network::{EcnConfig, NetConfig, Network};
+pub use network::{EcnConfig, NetConfig, Network, PfcConfig};
 pub use route::{ecmp_hash, PortKind, RoutePlan, Topology};
 
 // Re-export the frame type networks carry, so `cord-nic` has one import

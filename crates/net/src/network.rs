@@ -18,9 +18,23 @@
 //!   `threshold_bytes`, its ECN bit is set (DCQCN-style marking on egress
 //!   queue depth). The receiving NIC echoes a CNP to the sender, which is
 //!   where `cord-nic`'s DCQCN rate limiter reacts.
+//! * **PFC** ([`PfcConfig`]) — lossless operation: when a port's queue
+//!   crosses the XOFF watermark it asserts pause toward the entities that
+//!   feed it (upstream switch ports and host egress links). A paused
+//!   feeder parks its serializer instead of launching its head frame, so
+//!   frames behind that head — including *victim* flows bound for
+//!   uncongested ports — are head-of-line blocked, and the backlog
+//!   propagates upstream hop by hop all the way into the hosts' egress
+//!   queues (the pause-storm pathology DCQCN exists to avoid). The pause
+//!   de-asserts once the queue drains to the XON watermark (hysteresis).
+//!   With PFC enabled frames are never tail-dropped; the gap between
+//!   `xoff_bytes` and `buffer_bytes` is the headroom that absorbs frames
+//!   already serialized when the pause asserts (the model's pause signal
+//!   is instantaneous, so one frame per feeder suffices).
 //!
 //! Everything is deterministic: routing is a pure hash, queues are
-//! analytic FIFOs, and event scheduling order follows transmit order.
+//! analytic FIFOs (event-driven FIFOs under PFC), and event scheduling
+//! order follows transmit order; parked feeders wake in park order.
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
@@ -51,13 +65,43 @@ impl Default for EcnConfig {
     }
 }
 
+/// Priority-flow-control (pause frame) knobs for switch ports.
+///
+/// Watermarks follow the usual lossless-Ethernet discipline:
+/// `xon_bytes < xoff_bytes < buffer_bytes`, with the ECN threshold below
+/// XOFF so DCQCN (when armed) reacts before pauses assert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PfcConfig {
+    pub enabled: bool,
+    /// Assert pause toward upstream feeders when a port's queue reaches
+    /// this many bytes.
+    pub xoff_bytes: usize,
+    /// De-assert (resume upstream feeders) once the queue drains to this
+    /// level — the hysteresis band that prevents pause flapping.
+    pub xon_bytes: usize,
+}
+
+impl Default for PfcConfig {
+    fn default() -> Self {
+        PfcConfig {
+            enabled: false,
+            xoff_bytes: 128 << 10,
+            xon_bytes: 64 << 10,
+        }
+    }
+}
+
 /// Complete network configuration: shape + queue behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
     pub topology: Topology,
     pub ecn: EcnConfig,
     /// Per-output-port buffer capacity in bytes (tail drop beyond it).
+    /// Ignored as a drop bound when PFC is enabled (lossless mode).
     pub buffer_bytes: usize,
+    /// Lossless-fabric pause frames (off by default: the seed's lossy
+    /// tail-drop behavior).
+    pub pfc: PfcConfig,
 }
 
 impl Default for NetConfig {
@@ -66,6 +110,7 @@ impl Default for NetConfig {
             topology: Topology::FullMesh,
             ecn: EcnConfig::default(),
             buffer_bytes: 16 << 20,
+            pfc: PfcConfig::default(),
         }
     }
 }
@@ -122,6 +167,74 @@ impl Port {
     }
 }
 
+/// Which entity feeds a paused port (for the waiter list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FeederId {
+    /// A host's egress link.
+    Host(usize),
+    /// An upstream switch output port.
+    Port(usize),
+}
+
+/// One PFC-mode serializer: an explicit frame FIFO plus busy/parked state.
+///
+/// The analytic [`FifoResource`] grants service intervals eagerly at
+/// enqueue time, which cannot model a serializer that must *stop* when its
+/// downstream asserts pause. Under PFC every entity that serializes frames
+/// (host egress links and switch output ports) runs this event-driven
+/// queue instead: the head frame is launched only when the next-hop port
+/// is not asserting XOFF, otherwise the whole feeder parks — which is
+/// exactly how pause frames head-of-line-block victim traffic queued
+/// behind a frame bound for the congested port.
+struct FeederQ<T> {
+    q: RefCell<VecDeque<Box<HopState<T>>>>,
+    busy: Cell<bool>,
+    parked: Cell<bool>,
+}
+
+impl<T> Default for FeederQ<T> {
+    fn default() -> Self {
+        FeederQ {
+            q: RefCell::new(VecDeque::new()),
+            busy: Cell::new(false),
+            parked: Cell::new(false),
+        }
+    }
+}
+
+/// PFC pause state for one switch output port.
+struct PfcPort<T> {
+    feeder: FeederQ<T>,
+    /// Currently asserting pause toward upstream feeders.
+    xoff: Cell<bool>,
+    pause_since: Cell<SimTime>,
+    /// XOFF assertions (pause frames sent upstream, coalesced per episode).
+    pause_events: Cell<u64>,
+    /// Cumulative time spent asserting pause (completed episodes).
+    pause_total: Cell<SimDuration>,
+    /// Feeders parked on this port's XON, woken in park order.
+    waiters: RefCell<VecDeque<FeederId>>,
+}
+
+impl<T> Default for PfcPort<T> {
+    fn default() -> Self {
+        PfcPort {
+            feeder: FeederQ::default(),
+            xoff: Cell::new(false),
+            pause_since: Cell::new(SimTime::ZERO),
+            pause_events: Cell::new(0),
+            pause_total: Cell::new(SimDuration::ZERO),
+            waiters: RefCell::new(VecDeque::new()),
+        }
+    }
+}
+
+/// Event-driven serializer state, allocated only when PFC is enabled.
+struct PfcFabric<T> {
+    hosts: Vec<FeederQ<T>>,
+    ports: Vec<PfcPort<T>>,
+}
+
 struct Switched<T> {
     sim: Sim,
     spec: LinkSpec,
@@ -130,6 +243,8 @@ struct Switched<T> {
     host_egress: Vec<FifoResource>,
     ports: Vec<Port>,
     ingress_tx: Vec<Sender<Frame<T>>>,
+    /// `Some` iff `cfg.pfc.enabled`: the pause-aware serialization path.
+    pfc: Option<PfcFabric<T>>,
 }
 
 enum Kind<T> {
@@ -185,6 +300,16 @@ impl<T: 'static> Network<T> {
                     ingress_tx.push(tx);
                     ingress_rx.push(rx);
                 }
+                let pfc = cfg.pfc.enabled.then(|| {
+                    assert!(
+                        cfg.pfc.xon_bytes <= cfg.pfc.xoff_bytes,
+                        "PFC XON watermark must not exceed XOFF"
+                    );
+                    PfcFabric {
+                        hosts: (0..nodes).map(|_| FeederQ::default()).collect(),
+                        ports: (0..plan.num_ports()).map(|_| PfcPort::default()).collect(),
+                    }
+                });
                 let sw = Rc::new(Switched {
                     sim: sim.clone(),
                     spec,
@@ -193,6 +318,7 @@ impl<T: 'static> Network<T> {
                     host_egress: (0..nodes).map(|_| FifoResource::new(sim)).collect(),
                     ports,
                     ingress_tx,
+                    pfc,
                 });
                 (
                     Network {
@@ -293,6 +419,63 @@ impl<T: 'static> Network<T> {
         }
     }
 
+    /// Whether the fabric runs in lossless (PFC) mode.
+    pub fn pfc_enabled(&self) -> bool {
+        match &self.kind {
+            Kind::Mesh(_) => false,
+            Kind::Switched(s) => s.pfc.is_some(),
+        }
+    }
+
+    /// XOFF episodes asserted by a switch port (panics on the full mesh,
+    /// see [`Network::port_queued_bytes`]). Zero when PFC is off.
+    pub fn port_pauses(&self, port: usize) -> u64 {
+        self.switched()
+            .pfc
+            .as_ref()
+            .map_or(0, |p| p.ports[port].pause_events.get())
+    }
+
+    /// Whether a switch port is currently asserting pause upstream
+    /// (panics on the full mesh, see [`Network::port_queued_bytes`]).
+    pub fn port_paused(&self, port: usize) -> bool {
+        self.switched()
+            .pfc
+            .as_ref()
+            .is_some_and(|p| p.ports[port].xoff.get())
+    }
+
+    /// Total XOFF episodes across all switch ports (0 on the mesh or with
+    /// PFC off).
+    pub fn total_pauses(&self) -> u64 {
+        match &self.kind {
+            Kind::Mesh(_) => 0,
+            Kind::Switched(s) => s
+                .pfc
+                .as_ref()
+                .map_or(0, |p| p.ports.iter().map(|pp| pp.pause_events.get()).sum()),
+        }
+    }
+
+    /// Cumulative pause time across all switch ports, including episodes
+    /// still asserted at the current instant.
+    pub fn total_pause_time(&self) -> SimDuration {
+        match &self.kind {
+            Kind::Mesh(_) => SimDuration::ZERO,
+            Kind::Switched(s) => s.pfc.as_ref().map_or(SimDuration::ZERO, |p| {
+                let now = s.sim.now();
+                p.ports.iter().fold(SimDuration::ZERO, |acc, pp| {
+                    let open = if pp.xoff.get() {
+                        now.since(pp.pause_since.get())
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    acc + pp.pause_total.get() + open
+                })
+            }),
+        }
+    }
+
     fn switched(&self) -> &Switched<T> {
         match &self.kind {
             Kind::Mesh(_) => panic!("full mesh has no switch ports"),
@@ -317,6 +500,10 @@ impl<T: 'static> Switched<T> {
     fn transmit(this: &Rc<Self>, frame: Frame<T>) {
         let nodes = this.plan.nodes();
         assert!(frame.src < nodes && frame.dst < nodes);
+        if this.pfc.is_some() {
+            Self::pfc_transmit(this, frame);
+            return;
+        }
         let ser = transmission_time(frame.wire_bytes as u64, this.spec.gbps);
         let grant = this.host_egress[frame.src].enqueue(ser);
         if frame.src == frame.dst {
@@ -384,5 +571,184 @@ impl<T: 'static> Switched<T> {
                 Self::hop(Rc::clone(&this), st, next_at);
             }
         });
+    }
+
+    // ===================== PFC (lossless) path =====================
+    //
+    // Same route, same per-hop timing as the analytic path when nothing is
+    // paused, but every serializer is an explicit event-driven FIFO
+    // (`FeederQ`) so it can *stop*: before launching its head frame, a
+    // feeder checks the next-hop port's XOFF state and parks if pause is
+    // asserted. Parked feeders are woken in park order when the port
+    // drains to XON. Frames are never dropped on this path.
+
+    fn pfc(&self) -> &PfcFabric<T> {
+        self.pfc.as_ref().expect("PFC path requires pfc state")
+    }
+
+    fn pfc_transmit(this: &Rc<Self>, frame: Frame<T>) {
+        let st = if frame.src == frame.dst {
+            // Loopback: NIC-internal path, no switches (hops = 0).
+            Box::new(HopState {
+                frame,
+                path: [0; RoutePlan::MAX_PATH],
+                hops: 0,
+                i: 0,
+            })
+        } else {
+            let mut path = [0; RoutePlan::MAX_PATH];
+            let hops = this
+                .plan
+                .route_into(frame.src, frame.dst, frame.flow, &mut path);
+            Box::new(HopState {
+                frame,
+                path: path.map(|p| p as u32),
+                hops: hops as u8,
+                i: 0,
+            })
+        };
+        let node = st.frame.src;
+        this.pfc().hosts[node].q.borrow_mut().push_back(st);
+        Self::pfc_kick_host(this, node);
+    }
+
+    /// Try to start the host-egress serializer for `node`'s head frame.
+    fn pfc_kick_host(this: &Rc<Self>, node: usize) {
+        let pfc = this.pfc();
+        let h = &pfc.hosts[node];
+        if h.busy.get() || h.parked.get() {
+            return;
+        }
+        let first_port = match h.q.borrow().front() {
+            None => return,
+            Some(st) if st.hops > 0 => Some(st.path[0] as usize),
+            Some(_) => None, // loopback: no downstream port to pause us
+        };
+        if let Some(q) = first_port {
+            if pfc.ports[q].xoff.get() {
+                h.parked.set(true);
+                pfc.ports[q]
+                    .waiters
+                    .borrow_mut()
+                    .push_back(FeederId::Host(node));
+                return;
+            }
+        }
+        h.busy.set(true);
+        let st = h.q.borrow_mut().pop_front().expect("head checked above");
+        let ser = transmission_time(st.frame.wire_bytes as u64, this.spec.gbps);
+        let sw = Rc::clone(this);
+        this.sim.schedule_after(ser, move |sim| {
+            let node = st.frame.src;
+            sw.pfc().hosts[node].busy.set(false);
+            if st.hops == 0 {
+                // Loopback delivers at serialization end, as on the
+                // analytic path.
+                let _ = sw.ingress_tx[st.frame.dst].try_send(st.frame);
+            } else {
+                let at = sim.now() + sw.prop();
+                let sw2 = Rc::clone(&sw);
+                sim.schedule_at(at, move |_| Self::pfc_arrive(&sw2, st));
+            }
+            Self::pfc_kick_host(&sw, node);
+        });
+    }
+
+    /// A frame lands in port `st.path[st.i]`'s buffer: account occupancy,
+    /// ECN-mark, assert XOFF at the watermark, and kick the serializer.
+    fn pfc_arrive(this: &Rc<Self>, mut st: Box<HopState<T>>) {
+        let idx = st.path[st.i as usize] as usize;
+        let wire = st.frame.wire_bytes;
+        let p = &this.ports[idx];
+        // Same marking rule (and check-before-add order) as the analytic
+        // hop; no drop branch — PFC mode is lossless by construction.
+        if this.cfg.ecn.enabled && p.queued.get() >= this.cfg.ecn.threshold_bytes {
+            st.frame.ecn = true;
+            p.marks.set(p.marks.get() + 1);
+        }
+        p.queued.set(p.queued.get() + wire);
+        p.forwarded.set(p.forwarded.get() + 1);
+        let pp = &this.pfc().ports[idx];
+        if !pp.xoff.get() && p.queued.get() >= this.cfg.pfc.xoff_bytes {
+            pp.xoff.set(true);
+            pp.pause_events.set(pp.pause_events.get() + 1);
+            pp.pause_since.set(this.sim.now());
+        }
+        pp.feeder.q.borrow_mut().push_back(st);
+        Self::pfc_kick_port(this, idx);
+    }
+
+    /// Try to start port `idx`'s serializer for its head frame, parking on
+    /// the next-hop port if that port is asserting pause.
+    fn pfc_kick_port(this: &Rc<Self>, idx: usize) {
+        let pfc = this.pfc();
+        let pp = &pfc.ports[idx];
+        if pp.feeder.busy.get() || pp.feeder.parked.get() {
+            return;
+        }
+        let next_port = match pp.feeder.q.borrow().front() {
+            None => return,
+            Some(st) if st.i + 1 < st.hops => Some(st.path[st.i as usize + 1] as usize),
+            Some(_) => None, // last hop: the destination host never pauses
+        };
+        if let Some(nxt) = next_port {
+            if pfc.ports[nxt].xoff.get() {
+                pp.feeder.parked.set(true);
+                pfc.ports[nxt]
+                    .waiters
+                    .borrow_mut()
+                    .push_back(FeederId::Port(idx));
+                return;
+            }
+        }
+        pp.feeder.busy.set(true);
+        let st = pp.feeder.q.borrow_mut().pop_front().expect("head checked");
+        let ser = transmission_time(st.frame.wire_bytes as u64, this.ports[idx].gbps);
+        let sw = Rc::clone(this);
+        this.sim
+            .schedule_after(ser, move |_| Self::pfc_port_done(&sw, st));
+    }
+
+    /// Port `st.path[st.i]` finished serializing `st.frame`: release its
+    /// buffer bytes, de-assert XOFF at the XON watermark (waking parked
+    /// feeders in park order), forward the frame, and continue the queue.
+    fn pfc_port_done(this: &Rc<Self>, mut st: Box<HopState<T>>) {
+        let idx = st.path[st.i as usize] as usize;
+        let wire = st.frame.wire_bytes;
+        let p = &this.ports[idx];
+        p.queued.set(p.queued.get() - wire);
+        let pfc = this.pfc();
+        let pp = &pfc.ports[idx];
+        pp.feeder.busy.set(false);
+        if pp.xoff.get() && p.queued.get() <= this.cfg.pfc.xon_bytes {
+            pp.xoff.set(false);
+            pp.pause_total
+                .set(pp.pause_total.get() + this.sim.now().since(pp.pause_since.get()));
+            let waiters: Vec<FeederId> = pp.waiters.borrow_mut().drain(..).collect();
+            for w in waiters {
+                match w {
+                    FeederId::Host(n) => {
+                        pfc.hosts[n].parked.set(false);
+                        Self::pfc_kick_host(this, n);
+                    }
+                    FeederId::Port(i) => {
+                        pfc.ports[i].feeder.parked.set(false);
+                        Self::pfc_kick_port(this, i);
+                    }
+                }
+            }
+        }
+        let at = this.sim.now() + this.prop();
+        let last = st.i + 1 == st.hops;
+        let sw = Rc::clone(this);
+        if last {
+            this.sim.schedule_at(at, move |_| {
+                let _ = sw.ingress_tx[st.frame.dst].try_send(st.frame);
+            });
+        } else {
+            st.i += 1;
+            this.sim.schedule_at(at, move |_| Self::pfc_arrive(&sw, st));
+        }
+        Self::pfc_kick_port(this, idx);
     }
 }

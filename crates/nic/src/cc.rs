@@ -21,10 +21,11 @@
 //! Timers are evaluated lazily: state advances when the TX scheduler or a
 //! CNP touches the QP, so an idle QP costs nothing. DCQCN is an RC
 //! mechanism: UD receivers never echo CNPs, so UD traffic is never
-//! throttled even with the knob set. The limiter paces data
-//! fragments only — ACKs, NAKs, read requests, and CNPs themselves are
-//! never throttled, and RDMA-read responders are not paced (the paper's
-//! workloads are send/write-driven).
+//! throttled even with the knob set. The limiter paces data fragments
+//! only — ACKs, NAKs, read requests, and CNPs themselves are never
+//! throttled. RDMA-read responder fragments share the QP's rate-limiter
+//! gate with the send/write path, so read-heavy workloads cannot stream
+//! past their CNP-cut rate.
 //!
 //! Everything here is pure state arithmetic on `SimTime`, so the loop is
 //! deterministic end to end.

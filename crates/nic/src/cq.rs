@@ -27,6 +27,9 @@ pub enum CqeStatus {
     RemoteAccessErr,
     /// Receiver had no receive WQE posted (RNR retries exhausted).
     RnrRetryExceeded,
+    /// Transport retries exhausted: the RC retransmit timer fired more
+    /// than `max_retries` times without an ACK (`IBV_WC_RETRY_EXC_ERR`).
+    RetryExcErr,
     /// WQE flushed because the QP entered the error state.
     WrFlushErr,
 }

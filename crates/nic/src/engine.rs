@@ -33,7 +33,9 @@ use crate::cc::{CcAlgorithm, Dcqcn, CNP_MIN_INTERVAL};
 use crate::cq::{Cq, Cqe, CqeOpcode, CqeStatus};
 use crate::mr::{MrError, MrTable};
 use crate::packet::{NakReason, Packet, PacketKind};
-use crate::qp::{PendingAck, PendingRead, Qp, RecvAssembly, TxProgress};
+use crate::qp::{
+    PendingAck, PendingRead, Qp, RecvAssembly, RetxConfig, RetxEntry, RetxState, RxSeq, TxProgress,
+};
 use crate::types::{CqId, NodeId, Opcode, QpNum, QpState, Transport, VerbsError};
 use crate::wqe::{RecvWqe, SendWqe};
 
@@ -66,6 +68,10 @@ pub(crate) struct NicInner {
     trace: Trace,
     /// Packets handled by the RX pipeline (diagnostics).
     rx_packets: Cell<u64>,
+    /// Messages queued for go-back-N replay across all QPs (diagnostics).
+    retx_replays: Cell<u64>,
+    /// QPs errored out after exhausting their retransmit budget.
+    retx_exhausted: Cell<u64>,
 }
 
 /// A simulated RDMA NIC. Cheap to clone.
@@ -103,6 +109,8 @@ impl Nic {
                 started: Cell::new(false),
                 trace,
                 rx_packets: Cell::new(0),
+                retx_replays: Cell::new(0),
+                retx_exhausted: Cell::new(0),
             }),
         };
         nic.start();
@@ -226,6 +234,54 @@ impl Nic {
 
     pub fn qp_cc(&self, qpn: QpNum) -> Result<CcAlgorithm, VerbsError> {
         Ok(self.qp(qpn)?.borrow().cc())
+    }
+
+    /// Arm (or disarm, with `None`) RC retransmission on a QP: a go-back-N
+    /// unacked window with a per-QP retransmit timer on the sender side,
+    /// and in-order sequence tracking with coalesced sequence NAKs on the
+    /// receiver side. Like the DCQCN knob it must be set symmetrically on
+    /// both ends of a connection before traffic flows, and like DCQCN it
+    /// is accepted but inert on UD QPs (datagrams have no ACK protocol to
+    /// retransmit from).
+    pub fn set_rc_retx(&self, qpn: QpNum, cfg: Option<RetxConfig>) -> Result<(), VerbsError> {
+        let qp = self.qp(qpn)?;
+        let mut qp = qp.borrow_mut();
+        if qp.transport != Transport::Rc {
+            return Ok(());
+        }
+        // Arming after traffic has flowed cannot work: pre-arm messages
+        // are outside the window and the fresh receiver sequence state
+        // misaligns with the peer's message ids — a silent deadlock.
+        // Reject it like any out-of-order `ibv_modify_qp`.
+        if cfg.is_some()
+            && (qp.next_msg_id > 1 || qp.rx_msgs > 0 || qp.tx.is_some() || qp.cur_recv.is_some())
+        {
+            return Err(VerbsError::InvalidState {
+                expected: "no prior traffic (arm retransmission at connect)",
+                actual: qp.state,
+            });
+        }
+        if let Some(rx) = qp.retx.take() {
+            if let Some(h) = rx.timer {
+                self.inner.sim.cancel_scheduled(h);
+            }
+        }
+        qp.retx = cfg.map(RetxState::new);
+        Ok(())
+    }
+
+    /// Whether RC retransmission is armed on a QP.
+    pub fn qp_retx(&self, qpn: QpNum) -> Result<bool, VerbsError> {
+        Ok(self.qp(qpn)?.borrow().retx.is_some())
+    }
+
+    /// `(messages queued for replay, QPs that exhausted their retry
+    /// budget)` across this NIC's lifetime.
+    pub fn retx_stats(&self) -> (u64, u64) {
+        (
+            self.inner.retx_replays.get(),
+            self.inner.retx_exhausted.get(),
+        )
     }
 
     /// Snapshot of a DCQCN QP's `(rate_gbps, cnps, cuts)` (diagnostics).
@@ -382,6 +438,61 @@ fn deliver_cqe(inner: &Rc<NicInner>, cq: &Cq, cqe: Cqe) {
 }
 
 fn flush_qp(inner: &Rc<NicInner>, qp: &mut Qp) {
+    // Tear down retransmission: cancel the pending timer (tombstone in
+    // the wheel) and drop the window — errored QPs never replay.
+    if let Some(rx) = qp.retx.as_mut() {
+        if let Some(h) = rx.timer.take() {
+            inner.sim.cancel_scheduled(h);
+        }
+        rx.window.clear();
+        rx.rtx.clear();
+    }
+    let flush_cqe = |qp: &Qp, wr_id, opcode: CqeOpcode| Cqe {
+        wr_id,
+        status: CqeStatus::WrFlushErr,
+        opcode,
+        byte_len: 0,
+        qp: qp.num,
+        imm: None,
+        src_qp: None,
+        src_node: None,
+    };
+    // Outstanding (already transmitted, awaiting ACK/response) WQEs flush
+    // too — IB errors out *every* posted WR, not just the still-queued
+    // ones. Drained in message order: HashMap iteration order is not
+    // deterministic and CQE order is observable.
+    let mut acks: Vec<(u64, PendingAck)> = qp.pending_acks.drain().collect();
+    acks.sort_by_key(|(m, _)| *m);
+    let acked_msgs: Vec<u64> = acks.iter().map(|(m, _)| *m).collect();
+    for (_, pa) in acks {
+        if pa.signaled {
+            push_cqe(&qp.send_cq, flush_cqe(qp, pa.wr_id, pa.opcode.into()));
+        }
+    }
+    let mut reads: Vec<(u64, PendingRead)> = qp.pending_reads.drain().collect();
+    reads.sort_by_key(|(m, _)| *m);
+    for (_, pr) in reads {
+        if pr.signaled {
+            push_cqe(&qp.send_cq, flush_cqe(qp, pr.wr_id, CqeOpcode::RdmaRead));
+        }
+    }
+    qp.outstanding_reads = 0;
+    qp.stalled_rd = false;
+    // The WQE mid-segmentation — unless it is a *replay* of a message
+    // whose first pass already has a pending-ack entry drained above.
+    if let Some(tx) = qp.tx.take() {
+        if tx.wqe.signaled && !acked_msgs.contains(&tx.msg_id) {
+            push_cqe(
+                &qp.send_cq,
+                flush_cqe(qp, tx.wqe.wr_id, tx.wqe.opcode.into()),
+            );
+        }
+    }
+    // A receive WQE bound to a half-assembled inbound message was popped
+    // from the RQ; flush it like the rest of the RQ.
+    if let Some(asm) = qp.cur_recv.take() {
+        push_cqe(&qp.recv_cq, flush_cqe(qp, asm.wqe.wr_id, CqeOpcode::Recv));
+    }
     let (sq, rq) = qp.enter_error();
     for w in sq {
         if w.signaled {
@@ -418,6 +529,137 @@ fn flush_qp(inner: &Rc<NicInner>, qp: &mut Qp) {
     inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
         format!("qp{} entered ERROR, queues flushed", qp.num.0)
     });
+}
+
+/// ===================== RC retransmission =====================
+///
+/// Sender side of go-back-N. The window holds every unacked WQE in
+/// message order; one timer per QP covers the oldest unacked message and
+/// is re-armed (tombstone-cancel + fresh wheel insert, no allocation) on
+/// every ACK. A timeout or sequence NAK queues every fully transmitted
+/// window entry for replay; the TX scheduler drains that queue ahead of
+/// fresh sends, reusing the original message ids so the receiver's
+/// in-order tracking accepts the replay. Retry exhaustion surfaces as a
+/// `RetryExcErr` completion and flushes the QP.
+/// Reset the QP's retransmit timer to `timeout` from now (cancelling any
+/// pending one); disarms when the window is empty.
+fn arm_retx_timer(inner: &Rc<NicInner>, qp: &mut Qp) {
+    let qpn = qp.num;
+    let Some(rx) = qp.retx.as_mut() else { return };
+    if let Some(h) = rx.timer.take() {
+        inner.sim.cancel_scheduled(h);
+    }
+    if rx.window.is_empty() {
+        return;
+    }
+    let at = inner.sim.now() + rx.cfg.backoff(rx.retries);
+    let inner2 = Rc::clone(inner);
+    rx.timer = Some(
+        inner
+            .sim
+            .schedule_cancellable_at(at, move |_| retx_timeout(&inner2, qpn)),
+    );
+}
+
+/// A message finished its (first or replayed) pass to the fabric: mark
+/// its window entry replayable and make sure a retransmit timer covers
+/// the window.
+fn mark_sent_and_arm(inner: &Rc<NicInner>, qp: &mut Qp, msg_id: u64) {
+    let Some(rx) = qp.retx.as_mut() else { return };
+    if let Some(e) = rx.window.iter_mut().find(|e| e.msg_id == msg_id) {
+        e.sent = true;
+    }
+    if rx.timer.is_none() {
+        arm_retx_timer(inner, qp);
+    }
+}
+
+/// Retransmit timer fired: replay the window, or error out the QP once
+/// the retry budget is exhausted.
+fn retx_timeout(inner: &Rc<NicInner>, qpn: QpNum) {
+    let Some(qp_rc) = inner.qp_rc(qpn) else {
+        return;
+    };
+    let mut qp = qp_rc.borrow_mut();
+    if qp.state != QpState::Rts {
+        return;
+    }
+    let Some(rx) = qp.retx.as_mut() else { return };
+    rx.timer = None;
+    if rx.window.is_empty() {
+        return;
+    }
+    if !rx.window.iter().any(|e| e.sent) {
+        // Nothing fully transmitted yet — a large message still streaming
+        // (e.g. paced to a deep DCQCN cut) is not a loss signal. Re-arm
+        // without consuming retry budget.
+        arm_retx_timer(inner, &mut qp);
+        return;
+    }
+    rx.retries += 1;
+    if rx.retries > rx.cfg.max_retries {
+        // Retry exhausted: error completion for the oldest unacked WQE,
+        // then flush the QP (IB semantics for transport retry errors).
+        let e = rx.window.front().expect("window checked non-empty");
+        let (wr_id, opcode, msg_id) = (e.wqe.wr_id, e.wqe.opcode, e.msg_id);
+        inner.retx_exhausted.set(inner.retx_exhausted.get() + 1);
+        qp.pending_acks.remove(&msg_id);
+        if qp.pending_reads.remove(&msg_id).is_some() {
+            qp.outstanding_reads -= 1;
+        }
+        // The WQE gets its terminal CQE below; if a replay of it is
+        // mid-segmentation, drop that progress so flush_qp cannot emit a
+        // second completion for the same WR.
+        if qp.tx.as_ref().is_some_and(|tx| tx.msg_id == msg_id) {
+            qp.tx = None;
+        }
+        push_cqe(
+            &qp.send_cq,
+            Cqe {
+                wr_id,
+                status: CqeStatus::RetryExcErr,
+                opcode: opcode.into(),
+                byte_len: 0,
+                qp: qp.num,
+                imm: None,
+                src_qp: None,
+                src_node: None,
+            },
+        );
+        inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
+            format!("qp{} retx exhausted on msg {msg_id}", qpn.0)
+        });
+        flush_qp(inner, &mut qp);
+        return;
+    }
+    let queued = rx.queue_replay();
+    inner.retx_replays.set(inner.retx_replays.get() + queued);
+    arm_retx_timer(inner, &mut qp);
+    drop(qp);
+    if queued > 0 {
+        ring_qp(inner, qpn);
+    }
+}
+
+/// Go-back-N trigger from a sequence NAK: replay from the responder's
+/// first missing message (`from`) — older window entries were delivered
+/// and their ACKs are merely in flight, so replaying them would waste
+/// bottleneck bandwidth on duplicates. NAK-triggered replays do not
+/// consume retries — only silent timeouts do; ACK progress resets the
+/// count.
+fn retx_go_back(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, from: u64) {
+    let qpn = {
+        let mut qp = qp_rc.borrow_mut();
+        let Some(rx) = qp.retx.as_mut() else { return };
+        let queued = rx.queue_replay_from(from);
+        inner.retx_replays.set(inner.retx_replays.get() + queued);
+        arm_retx_timer(inner, &mut qp);
+        if queued == 0 {
+            return;
+        }
+        qp.num
+    };
+    ring_qp(inner, qpn);
 }
 
 /// ===================== TX scheduler =====================
@@ -493,6 +735,11 @@ enum StartOutcome {
 }
 
 async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartOutcome {
+    // Go-back-N replays run ahead of fresh sends (the receiver is waiting
+    // on exactly these message ids).
+    if let Some(out) = start_replay(inner, qp_rc).await {
+        return out;
+    }
     // Peek first: reads may stall without consuming the WQE.
     {
         let qp = qp_rc.borrow();
@@ -516,6 +763,15 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
             return StartOutcome::NothingToDo;
         };
         let msg_id = qp.alloc_msg_id();
+        if qp.transport == Transport::Rc {
+            if let Some(rx) = qp.retx.as_mut() {
+                rx.window.push_back(RetxEntry {
+                    msg_id,
+                    wqe: wqe.clone(),
+                    sent: false,
+                });
+            }
+        }
         let peer = qp.peer;
         (wqe, msg_id, peer)
     };
@@ -565,6 +821,7 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
                         addr: wqe.sge.addr,
                         len: wqe.sge.len,
                         lkey: wqe.sge.lkey,
+                        next_frag: 0,
                     },
                 );
             }
@@ -585,6 +842,10 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
                     },
                 },
             );
+            {
+                let mut qp = qp_rc.borrow_mut();
+                mark_sent_and_arm(inner, &mut qp, msg_id);
+            }
             StartOutcome::Consumed(1)
         }
         Opcode::Send | Opcode::RdmaWrite => {
@@ -597,6 +858,113 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
                 mem: mr.mem,
             });
             StartOutcome::Started
+        }
+    }
+}
+
+/// Pull the next queued go-back-N replay, if any: re-segment a send/write
+/// from its window snapshot (original message id, payload re-read from
+/// guest memory) or re-issue a read request. Returns `None` when there is
+/// nothing to replay.
+async fn start_replay(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> Option<StartOutcome> {
+    // Cheap peek before billing the pipeline.
+    {
+        let qp = qp_rc.borrow();
+        match &qp.retx {
+            Some(rx) if !rx.rtx.is_empty() => {}
+            _ => return None,
+        }
+    }
+    inner
+        .tx_pipeline
+        .use_for(SimDuration::from_ns_f64(inner.spec.nic.wqe_proc_ns))
+        .await;
+    let (msg_id, wqe, peer) = {
+        let mut qp = qp_rc.borrow_mut();
+        let peer = qp.peer;
+        let rx = qp.retx.as_mut()?;
+        let mut found = None;
+        while let Some(mid) = rx.rtx.pop_front() {
+            // ACKed while queued for replay: skip.
+            if let Some(e) = rx.window.iter().find(|e| e.msg_id == mid) {
+                found = Some((mid, e.wqe.clone()));
+                break;
+            }
+        }
+        let (mid, wqe) = found?;
+        (mid, wqe, peer)
+    };
+    inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
+        format!("qp{} replaying msg {msg_id}", qp_rc.borrow().num.0)
+    });
+    match wqe.opcode {
+        Opcode::RdmaRead => {
+            // Re-issue the read request iff the read is still outstanding
+            // (its completion may have raced the replay decision).
+            let pending = qp_rc.borrow().pending_reads.contains_key(&msg_id);
+            if pending {
+                let (raddr, rkey) = wqe.remote.expect("validated at post");
+                let (dst_node, dst_qpn) = peer.expect("RC read on connected QP");
+                let src_qpn = qp_rc.borrow().num;
+                transmit(
+                    inner,
+                    Packet {
+                        src_node: inner.node,
+                        dst_node,
+                        src_qpn,
+                        dst_qpn,
+                        ecn: false,
+                        kind: PacketKind::ReadReq {
+                            msg_id,
+                            raddr,
+                            rkey,
+                            len: wqe.sge.len,
+                        },
+                    },
+                );
+            }
+            Some(StartOutcome::Consumed(1))
+        }
+        Opcode::Send | Opcode::RdmaWrite => {
+            let mr = match inner
+                .mrs
+                .check_local(wqe.sge.lkey, wqe.sge.addr, wqe.sge.len, false)
+            {
+                Ok(mr) => mr,
+                Err(_) => {
+                    // The source region vanished between transmissions:
+                    // surface it exactly like a fresh-WQE failure. The
+                    // message's first-pass pending-ack record must go
+                    // first — this CQE is the WR's terminal completion,
+                    // and flush_qp would otherwise emit a second one.
+                    let mut qp = qp_rc.borrow_mut();
+                    qp.pending_acks.remove(&msg_id);
+                    push_cqe(
+                        &qp.send_cq,
+                        Cqe {
+                            wr_id: wqe.wr_id,
+                            status: CqeStatus::LocalProtErr,
+                            opcode: wqe.opcode.into(),
+                            byte_len: 0,
+                            qp: qp.num,
+                            imm: None,
+                            src_qp: None,
+                            src_node: None,
+                        },
+                    );
+                    flush_qp(inner, &mut qp);
+                    return Some(StartOutcome::Consumed(1));
+                }
+            };
+            let nfrags = inner.spec.fragments(wqe.sge.len) as u32;
+            qp_rc.borrow_mut().tx = Some(TxProgress {
+                wqe,
+                msg_id,
+                next_frag: 0,
+                nfrags,
+                mem: mr.mem,
+            });
+            Some(StartOutcome::Started)
         }
     }
 }
@@ -736,8 +1104,23 @@ async fn emit_fragments(
             inner2.tx_window.release(1);
             if last {
                 let mut qp = qp2.borrow_mut();
-                qp.tx_msgs += 1;
-                qp.tx_bytes += total_len as u64;
+                // Which pass just finished? On a retransmitting QP the
+                // window entry tells: missing = the ACK landed mid-replay
+                // (do nothing — re-inserting pending_acks here would pair
+                // with the receiver's duplicate re-ACK into a second
+                // completion); `sent` already true = a replay pass (await
+                // the ACK again but don't re-count the message).
+                let (first_pass, acked) = match qp.retx.as_ref() {
+                    None => (true, false),
+                    Some(rx) => match rx.window.iter().find(|e| e.msg_id == msg_id) {
+                        None => (false, true),
+                        Some(e) => (!e.sent, false),
+                    },
+                };
+                if first_pass {
+                    qp.tx_msgs += 1;
+                    qp.tx_bytes += total_len as u64;
+                }
                 match transport {
                     Transport::Ud => {
                         // UD: local completion once the NIC owns the data.
@@ -757,7 +1140,7 @@ async fn emit_fragments(
                             deliver_cqe(&inner2, &cq, cqe);
                         }
                     }
-                    Transport::Rc => {
+                    Transport::Rc if !acked => {
                         qp.pending_acks.insert(
                             msg_id,
                             PendingAck {
@@ -767,7 +1150,9 @@ async fn emit_fragments(
                                 byte_len: total_len,
                             },
                         );
+                        mark_sent_and_arm(&inner2, &mut qp, msg_id);
                     }
+                    Transport::Rc => {}
                 }
             }
         });
@@ -940,6 +1325,26 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
     }
 }
 
+/// Receiver-side go-back-N gate for request packets. A no-op
+/// ([`RxSeq::Accept`]) unless retransmission is armed on the QP; emits the
+/// coalesced sequence NAK (naming the first missing message) when the
+/// check reports a fresh gap.
+fn rx_gate(
+    inner: &Rc<NicInner>,
+    qp_rc: &Rc<RefCell<Qp>>,
+    hdr: PktHdr,
+    msg_id: u64,
+    frag: u32,
+    last: bool,
+) -> RxSeq {
+    let decision = qp_rc.borrow_mut().rx_seq_check(msg_id, frag, last);
+    if let RxSeq::Drop { nak: true } = decision {
+        let missing = qp_rc.borrow().rx_expected_msg();
+        nak(inner, hdr, missing, NakReason::Sequence);
+    }
+    decision
+}
+
 fn handle_cnp(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) {
     let now = inner.sim.now();
     let mut qp = qp_rc.borrow_mut();
@@ -968,6 +1373,17 @@ fn handle_send_frag(
     imm: Option<u32>,
 ) {
     let transport = qp_rc.borrow().transport;
+    // Lossless-recovery gate: out-of-order arrivals on a retransmitting QP
+    // are dropped (and NAKed once per gap) instead of being reassembled.
+    match rx_gate(inner, qp_rc, hdr, msg_id, frag, frag + 1 == nfrags) {
+        RxSeq::Accept => {}
+        RxSeq::Drop { .. } => return,
+        RxSeq::DupAck => {
+            // The whole message already completed; its ACK was lost.
+            ack(inner, hdr, msg_id);
+            return;
+        }
+    }
     if frag == 0 {
         // Start of a message: bind a receive WQE.
         let popped = qp_rc.borrow_mut().rq.pop_front();
@@ -1102,6 +1518,14 @@ fn handle_write_frag(
     payload: PayloadSeg,
     imm: Option<u32>,
 ) {
+    match rx_gate(inner, qp_rc, hdr, msg_id, frag, frag + 1 == nfrags) {
+        RxSeq::Accept => {}
+        RxSeq::Drop { .. } => return,
+        RxSeq::DupAck => {
+            ack(inner, hdr, msg_id);
+            return;
+        }
+    }
     if qp_rc.borrow().drop_msg == Some(msg_id) {
         if frag + 1 == nfrags {
             qp_rc.borrow_mut().drop_msg = None;
@@ -1191,6 +1615,14 @@ fn handle_read_req(
     rkey: crate::types::RKey,
     len: usize,
 ) {
+    let dup = match rx_gate(inner, qp_rc, hdr, msg_id, 0, true) {
+        RxSeq::Accept => false,
+        RxSeq::Drop { .. } => return,
+        // Replayed read request: the response (or its tail) was lost.
+        // Re-streaming is idempotent — the requester discards fragments
+        // it already landed — so serve it again without re-counting.
+        RxSeq::DupAck => true,
+    };
     let mr = match inner.mrs.check_remote(rkey, raddr, len, false) {
         Ok(mr) => mr,
         Err(e) => {
@@ -1202,7 +1634,7 @@ fn handle_read_req(
             return;
         }
     };
-    {
+    if !dup {
         let mut qp = qp_rc.borrow_mut();
         qp.rx_msgs += 1;
         qp.rx_bytes += len as u64;
@@ -1210,12 +1642,35 @@ fn handle_read_req(
     // Stream the response: one task per read (responder CPU stays idle —
     // the property Fig. 3 depends on).
     let inner2 = Rc::clone(inner);
+    let qp2 = Rc::clone(qp_rc);
     inner.sim.spawn(async move {
         let mtu = inner2.spec.nic.mtu;
+        let header = inner2.spec.nic.header_bytes;
         let nfrags = inner2.spec.fragments(len) as u32;
         for frag in 0..nfrags {
             let offset = frag as usize * mtu;
             let flen = (len - offset).min(mtu);
+            // DCQCN pacing: responder fragments go through the same per-QP
+            // rate-limiter gate as the TX scheduler's send/write path, so
+            // a read-heavy workload cannot stream past its CNP-cut rate.
+            // Gate *before* taking a window credit (same order as the TX
+            // scheduler): a throttled QP must not park the NIC-global
+            // in-flight window for its inter-packet gap.
+            loop {
+                let now = inner2.sim.now();
+                let gate = qp2.borrow_mut().dcqcn.as_mut().and_then(|d| d.gate(now));
+                match gate {
+                    Some(at) => inner2.sim.sleep_until(at).await,
+                    None => break,
+                }
+            }
+            {
+                let now = inner2.sim.now();
+                let mut qp = qp2.borrow_mut();
+                if let Some(d) = qp.dcqcn.as_mut() {
+                    d.charge(now, flen + header);
+                }
+            }
             inner2.tx_window.acquire(1).await;
             let payload = mr
                 .mem
@@ -1260,9 +1715,20 @@ fn handle_read_resp(
     payload: PayloadSeg,
 ) {
     let pr = {
-        let qp = qp_rc.borrow();
-        match qp.pending_reads.get(&msg_id) {
-            Some(pr) => pr.clone(),
+        let mut qp = qp_rc.borrow_mut();
+        let retx_armed = qp.retx.is_some();
+        match qp.pending_reads.get_mut(&msg_id) {
+            Some(pr) => {
+                if retx_armed {
+                    // In-order gate: drop replay duplicates and post-loss
+                    // tails; the retransmit timer re-issues the request.
+                    if frag != pr.next_frag {
+                        return;
+                    }
+                    pr.next_frag += 1;
+                }
+                pr.clone()
+            }
             None => return,
         }
     };
@@ -1306,6 +1772,9 @@ fn handle_read_resp(
                 let mut qp = qp2.borrow_mut();
                 qp.pending_reads.remove(&msg_id);
                 qp.outstanding_reads -= 1;
+                if qp.retx.as_mut().is_some_and(|rx| rx.ack(msg_id)) {
+                    arm_retx_timer(&inner2, &mut qp);
+                }
                 qp.tx_msgs += 1;
                 qp.tx_bytes += pr.len as u64;
                 if pr.signaled {
@@ -1337,6 +1806,11 @@ fn handle_read_resp(
 
 fn handle_ack(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64) {
     let mut qp = qp_rc.borrow_mut();
+    // ACK progress shrinks the go-back-N window, resets the retry count,
+    // and re-covers the (new) oldest unacked message with a fresh timer.
+    if qp.retx.as_mut().is_some_and(|rx| rx.ack(msg_id)) {
+        arm_retx_timer(inner, &mut qp);
+    }
     if let Some(pa) = qp.pending_acks.remove(&msg_id) {
         if pa.signaled {
             let cqe = Cqe {
@@ -1357,12 +1831,21 @@ fn handle_ack(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64) {
 }
 
 fn handle_nak(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64, reason: NakReason) {
+    if reason == NakReason::Sequence {
+        // Recoverable: the responder is missing `msg_id` onward — go back
+        // to it and replay, instead of erroring the QP.
+        retx_go_back(inner, qp_rc, msg_id);
+        return;
+    }
     let mut qp = qp_rc.borrow_mut();
     let status = match reason {
         NakReason::Rnr => CqeStatus::RnrRetryExceeded,
         NakReason::RemoteAccess | NakReason::LengthError => CqeStatus::RemoteAccessErr,
+        NakReason::Sequence => unreachable!("handled above"),
     };
+    let mut terminal = false;
     if let Some(pa) = qp.pending_acks.remove(&msg_id) {
+        terminal = true;
         push_cqe(
             &qp.send_cq,
             Cqe {
@@ -1377,6 +1860,7 @@ fn handle_nak(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64, reason
             },
         );
     } else if let Some(pr) = qp.pending_reads.remove(&msg_id) {
+        terminal = true;
         qp.outstanding_reads -= 1;
         push_cqe(
             &qp.send_cq,
@@ -1391,6 +1875,11 @@ fn handle_nak(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64, reason
                 src_node: None,
             },
         );
+    }
+    // If the NAKed WQE just got its terminal CQE, a mid-segmentation
+    // replay of it must not produce a second (flush) completion.
+    if terminal && qp.tx.as_ref().is_some_and(|tx| tx.msg_id == msg_id) {
+        qp.tx = None;
     }
     flush_qp(inner, &mut qp);
 }

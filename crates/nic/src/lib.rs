@@ -28,6 +28,7 @@ pub use cq::{Cq, Cqe, CqeOpcode, CqeStatus};
 pub use engine::{Nic, TX_BURST, TX_WINDOW};
 pub use mr::{Mr, MrError, MrTable};
 pub use packet::{NakReason, Packet, PacketKind};
+pub use qp::{RetxConfig, RetxState, RxSeq};
 pub use types::{
     Access, CqId, LKey, NodeId, Opcode, QpNum, QpState, RKey, Transport, VerbsError, WrId,
 };

@@ -18,6 +18,12 @@ pub enum NakReason {
     RemoteAccess,
     /// Message longer than the posted receive buffer.
     LengthError,
+    /// Out-of-sequence arrival on a retransmitting QP (IB's PSN sequence
+    /// error): `msg_id` names the first message the responder is missing,
+    /// and the requester goes back to it and replays. Only emitted when
+    /// RC retransmission is armed; unlike the other reasons it is
+    /// recoverable, not fatal.
+    Sequence,
 }
 
 /// Packet body variants.

@@ -1,8 +1,9 @@
-//! Queue pairs: state machine, work queues, and in-flight transfer state.
+//! Queue pairs: state machine, work queues, in-flight transfer state, and
+//! the RC retransmission (go-back-N) state machine.
 
 use std::collections::{HashMap, VecDeque};
 
-use cord_sim::SimTime;
+use cord_sim::{SimDuration, SimTime, TimerHandle};
 
 use crate::cc::{CcAlgorithm, Dcqcn};
 use crate::cq::Cq;
@@ -27,6 +28,145 @@ pub struct PendingRead {
     pub addr: u64,
     pub len: usize,
     pub lkey: crate::types::LKey,
+    /// Next response fragment expected, when retransmission is armed:
+    /// replay duplicates (`<`) and post-loss tails (`>`) are discarded, so
+    /// completion fires only after a gap-free pass (the retransmit timer
+    /// re-issues the request after a loss).
+    pub next_frag: u32,
+}
+
+/// RC retransmission knobs (per QP, like `ibv_modify_qp`'s timeout /
+/// retry_cnt attributes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetxConfig {
+    /// Base retransmit timer period: how long the oldest unacked message
+    /// may wait before a go-back-N replay. Must exceed the uncongested
+    /// RTT; consecutive unproductive timeouts back off exponentially
+    /// (doubling, capped at 64×), which both tolerates congested RTTs and
+    /// de-synchronizes the replay storms of QPs sharing a hot port.
+    pub timeout: SimDuration,
+    /// Timeouts tolerated before the QP errors out with
+    /// [`crate::cq::CqeStatus::RetryExcErr`]. ACK progress resets the count.
+    pub max_retries: u32,
+}
+
+impl Default for RetxConfig {
+    fn default() -> Self {
+        RetxConfig {
+            timeout: SimDuration::from_us(200),
+            max_retries: 8,
+        }
+    }
+}
+
+impl RetxConfig {
+    /// Timer period for the next arm given `retries` consecutive
+    /// unproductive timeouts: exponential backoff, capped at 64× base.
+    pub fn backoff(&self, retries: u32) -> SimDuration {
+        SimDuration::from_ps(self.timeout.as_ps() << retries.min(6))
+    }
+}
+
+/// One unacked WQE in the retransmit window.
+#[derive(Debug, Clone)]
+pub struct RetxEntry {
+    pub msg_id: u64,
+    /// Snapshot of the WQE for go-back-N replay (payload re-read from
+    /// guest memory at replay time, exactly like the original pass).
+    pub wqe: SendWqe,
+    /// Whether the message has been fully handed to the fabric at least
+    /// once — only such entries are replayed (the tail still streaming
+    /// through the TX scheduler retransmits on a later round if needed).
+    pub sent: bool,
+}
+
+/// What the receive path should do with an arriving request packet, as
+/// decided by [`Qp::rx_seq_check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxSeq {
+    /// In sequence: process normally.
+    Accept,
+    /// Out of sequence or duplicate: discard. `nak` asks the engine to
+    /// send one coalesced sequence NAK for the first missing message.
+    Drop { nak: bool },
+    /// Duplicate of a fully delivered message: discard but re-ACK (the
+    /// original ACK may have been lost).
+    DupAck,
+}
+
+/// Go-back-N retransmission state for one RC QP (sender and receiver
+/// roles), armed by `Nic::set_rc_retx`.
+#[derive(Debug)]
+pub struct RetxState {
+    pub cfg: RetxConfig,
+    /// Unacked WQEs in message order (the go-back-N window).
+    pub window: VecDeque<RetxEntry>,
+    /// Messages queued for replay, consumed by the TX scheduler ahead of
+    /// fresh sends.
+    pub rtx: VecDeque<u64>,
+    /// Pending retransmit timer (tombstone-cancelled on ACK progress).
+    pub timer: Option<TimerHandle>,
+    /// Consecutive timeouts without ACK progress.
+    pub retries: u32,
+    /// Receiver side: next message id expected to make progress.
+    pub expected_msg: u64,
+    /// Receiver side: next fragment expected within `expected_msg`.
+    pub expected_frag: u32,
+    /// One sequence NAK per gap: suppressed until in-order progress.
+    pub nak_sent: bool,
+    /// Messages queued for replay over the QP's lifetime (diagnostics).
+    pub replayed: u64,
+}
+
+impl RetxState {
+    pub fn new(cfg: RetxConfig) -> RetxState {
+        RetxState {
+            cfg,
+            window: VecDeque::new(),
+            rtx: VecDeque::new(),
+            timer: None,
+            retries: 0,
+            expected_msg: 1,
+            expected_frag: 0,
+            nak_sent: false,
+            replayed: 0,
+        }
+    }
+
+    /// Queue every fully transmitted unacked message for replay, in
+    /// message order. Returns how many were queued.
+    pub fn queue_replay(&mut self) -> u64 {
+        self.queue_replay_from(0)
+    }
+
+    /// [`RetxState::queue_replay`] restricted to messages at or after
+    /// `from` — a sequence NAK names the responder's first missing
+    /// message, and replaying anything older would only burn bottleneck
+    /// bandwidth on duplicates the receiver discards.
+    pub fn queue_replay_from(&mut self, from: u64) -> u64 {
+        self.rtx.clear();
+        let mut n = 0;
+        for e in &self.window {
+            if e.sent && e.msg_id >= from {
+                self.rtx.push_back(e.msg_id);
+                n += 1;
+            }
+        }
+        self.replayed += n;
+        n
+    }
+
+    /// Drop `msg_id` from the window (and any queued replay of it) after
+    /// its ACK / read completion. Returns whether it was present.
+    pub fn ack(&mut self, msg_id: u64) -> bool {
+        let Some(pos) = self.window.iter().position(|e| e.msg_id == msg_id) else {
+            return false;
+        };
+        self.window.remove(pos);
+        self.rtx.retain(|&m| m != msg_id);
+        self.retries = 0;
+        true
+    }
 }
 
 /// Responder-side reassembly of the in-progress inbound send (RC is
@@ -82,6 +222,10 @@ pub struct Qp {
     /// DCQCN sender state (`Some` iff the QP's CC knob is `Dcqcn`). On the
     /// receive side its presence also enables CNP echo for marked arrivals.
     pub dcqcn: Option<Dcqcn>,
+    /// RC retransmission state (`Some` iff armed via `Nic::set_rc_retx`).
+    /// Sender side: unacked window + retransmit timer; receiver side:
+    /// in-order sequence tracking and NAK suppression.
+    pub retx: Option<RetxState>,
     /// Last CNP echoed from this QP (receiver-side CNP rate limiting).
     pub last_cnp_tx: Option<SimTime>,
     /// Counters for observability (exported by the CoRD stats policy).
@@ -123,6 +267,7 @@ impl Qp {
             cur_recv: None,
             drop_msg: None,
             dcqcn: None,
+            retx: None,
             last_cnp_tx: None,
             tx_msgs: 0,
             rx_msgs: 0,
@@ -249,6 +394,62 @@ impl Qp {
         let id = self.next_msg_id;
         self.next_msg_id += 1;
         id
+    }
+
+    /// Receiver-side go-back-N sequence check for an arriving request
+    /// fragment (`frag`/`last` are 0/`true` for single-packet requests
+    /// like read requests). No-op ([`RxSeq::Accept`]) unless
+    /// retransmission is armed.
+    ///
+    /// In-sequence arrivals advance the expected position and clear NAK
+    /// suppression; a gap (lost fragment or whole message) discards the
+    /// arrival, rewinds any partial send reassembly so the replay can
+    /// rebind its receive WQE from fragment 0, and asks for one coalesced
+    /// sequence NAK naming the first missing message.
+    pub fn rx_seq_check(&mut self, msg_id: u64, frag: u32, last: bool) -> RxSeq {
+        let Some(rx) = self.retx.as_mut() else {
+            return RxSeq::Accept;
+        };
+        if msg_id < rx.expected_msg {
+            // Replay of a message already delivered: its ACK was lost or
+            // slow. Re-ACK on the last fragment so the sender's window
+            // clears; drop the payload either way.
+            return if last {
+                RxSeq::DupAck
+            } else {
+                RxSeq::Drop { nak: false }
+            };
+        }
+        if msg_id > rx.expected_msg || frag > rx.expected_frag {
+            // Gap: a whole message or a fragment went missing. Rewind the
+            // partial reassembly (the replay restarts at fragment 0) and
+            // NAK once per gap episode.
+            let nak = !rx.nak_sent;
+            rx.nak_sent = true;
+            rx.expected_frag = 0;
+            if let Some(asm) = self.cur_recv.take() {
+                self.rq.push_front(asm.wqe);
+            }
+            return RxSeq::Drop { nak };
+        }
+        if frag < rx.expected_frag {
+            // Replay duplicate of a fragment already landed; the tail of
+            // the replay will line up with `expected_frag`.
+            return RxSeq::Drop { nak: false };
+        }
+        rx.expected_frag += 1;
+        rx.nak_sent = false;
+        if last {
+            rx.expected_msg += 1;
+            rx.expected_frag = 0;
+        }
+        RxSeq::Accept
+    }
+
+    /// The first message the receive side is missing (what a sequence NAK
+    /// reports). Panics if retransmission is not armed.
+    pub fn rx_expected_msg(&self) -> u64 {
+        self.retx.as_ref().expect("retx armed").expected_msg
     }
 
     /// Move to the error state; remaining queued WQEs flush with errors.
@@ -420,5 +621,105 @@ mod tests {
         let a = qp.alloc_msg_id();
         let b = qp.alloc_msg_id();
         assert_ne!(a, b);
+    }
+
+    fn mk_retx_qp() -> Qp {
+        let mut qp = mk_qp(Transport::Rc);
+        qp.retx = Some(RetxState::new(RetxConfig::default()));
+        qp
+    }
+
+    #[test]
+    fn rx_seq_accepts_in_order_and_advances() {
+        let mut qp = mk_retx_qp();
+        // msg 1: three fragments in order, then msg 2 single-fragment.
+        assert_eq!(qp.rx_seq_check(1, 0, false), RxSeq::Accept);
+        assert_eq!(qp.rx_seq_check(1, 1, false), RxSeq::Accept);
+        assert_eq!(qp.rx_seq_check(1, 2, true), RxSeq::Accept);
+        assert_eq!(qp.rx_seq_check(2, 0, true), RxSeq::Accept);
+        assert_eq!(qp.rx_expected_msg(), 3);
+        // Without retx armed, everything is accepted untracked.
+        let mut plain = mk_qp(Transport::Rc);
+        assert_eq!(plain.rx_seq_check(9, 5, false), RxSeq::Accept);
+    }
+
+    #[test]
+    fn rx_seq_naks_once_per_gap_and_resumes_on_progress() {
+        let mut qp = mk_retx_qp();
+        assert_eq!(qp.rx_seq_check(1, 0, false), RxSeq::Accept);
+        // Fragment 1 lost: 2 arrives out of order — one NAK, then silence.
+        assert_eq!(qp.rx_seq_check(1, 2, false), RxSeq::Drop { nak: true });
+        assert_eq!(qp.rx_seq_check(1, 3, true), RxSeq::Drop { nak: false });
+        // Later messages during the same gap stay suppressed too.
+        assert_eq!(qp.rx_seq_check(2, 0, true), RxSeq::Drop { nak: false });
+        // Go-back-N replay restarts msg 1 from fragment 0 and is accepted;
+        // progress re-arms NAK for the next gap.
+        assert_eq!(qp.rx_seq_check(1, 0, false), RxSeq::Accept);
+        assert_eq!(qp.rx_seq_check(1, 1, false), RxSeq::Accept);
+        assert_eq!(qp.rx_seq_check(1, 3, true), RxSeq::Drop { nak: true });
+    }
+
+    #[test]
+    fn rx_seq_gap_rewinds_partial_reassembly() {
+        let mut qp = mk_retx_qp();
+        qp.to_init().unwrap();
+        // Bind a fake in-progress reassembly for msg 1.
+        qp.cur_recv = Some(RecvAssembly {
+            msg_id: 1,
+            wqe: RecvWqe::new(WrId(77), sge(64)),
+            received: 16,
+            total_len: 64,
+            mem: cord_hw::GuestMem::new(),
+        });
+        assert_eq!(qp.rx_seq_check(1, 0, false), RxSeq::Accept);
+        assert_eq!(qp.rx_seq_check(1, 2, true), RxSeq::Drop { nak: true });
+        // The bound receive WQE went back to the front of the RQ so the
+        // replay can rebind it from fragment 0.
+        assert!(qp.cur_recv.is_none());
+        assert_eq!(qp.rq.front().unwrap().wr_id, WrId(77));
+    }
+
+    #[test]
+    fn rx_seq_duplicates_reack_only_on_last_fragment() {
+        let mut qp = mk_retx_qp();
+        assert_eq!(qp.rx_seq_check(1, 0, true), RxSeq::Accept);
+        // Replay of the delivered message: drop payload, re-ACK at the end.
+        assert_eq!(qp.rx_seq_check(1, 0, false), RxSeq::Drop { nak: false });
+        assert_eq!(qp.rx_seq_check(1, 0, true), RxSeq::DupAck);
+        // Replay duplicate of an already-landed fragment inside the
+        // current message: silent drop, no rewind.
+        assert_eq!(qp.rx_seq_check(2, 0, false), RxSeq::Accept);
+        assert_eq!(qp.rx_seq_check(2, 1, false), RxSeq::Accept);
+        assert_eq!(qp.rx_seq_check(2, 0, false), RxSeq::Drop { nak: false });
+        assert_eq!(qp.rx_seq_check(2, 2, true), RxSeq::Accept);
+        assert_eq!(qp.rx_expected_msg(), 3);
+    }
+
+    #[test]
+    fn retx_window_acks_in_any_order_and_queues_sent_entries() {
+        let mut rx = RetxState::new(RetxConfig::default());
+        for id in 1..=4u64 {
+            rx.window.push_back(RetxEntry {
+                msg_id: id,
+                wqe: SendWqe::send(WrId(id), sge(64)),
+                sent: id <= 3, // msg 4 still streaming
+            });
+        }
+        assert_eq!(rx.queue_replay(), 3, "only fully-sent entries replay");
+        assert_eq!(rx.rtx, [1, 2, 3]);
+        // ACK for msg 2 (out of order): removed from window and replay
+        // queue; retries reset.
+        rx.retries = 5;
+        assert!(rx.ack(2));
+        assert!(!rx.ack(2), "double ACK is a no-op");
+        assert_eq!(rx.retries, 0);
+        assert_eq!(rx.rtx, [1, 3]);
+        assert_eq!(
+            rx.window.iter().map(|e| e.msg_id).collect::<Vec<_>>(),
+            [1, 3, 4]
+        );
+        // Replay ordering is message order, regardless of ACK history.
+        assert_eq!(rx.queue_replay(), 2);
+        assert_eq!(rx.rtx, [1, 3]);
     }
 }

@@ -385,6 +385,20 @@ impl Sim {
 
     /// Run `f` at virtual instant `at`.
     pub fn schedule_at<F: FnOnce(&Sim) + 'static>(&self, at: SimTime, f: F) {
+        let _ = self.schedule_cancellable_at(at, f);
+    }
+
+    /// [`Sim::schedule_at`], returning a [`TimerHandle`] that
+    /// [`Sim::cancel_scheduled`] accepts. Cancellation is an O(1)
+    /// tombstone in the timer wheel: the slab entry's payload is dropped
+    /// immediately and the wheel slot is reclaimed lazily when it
+    /// surfaces, so an arm/cancel/re-arm cycle (e.g. an RC retransmit
+    /// timer reset by every ACK) allocates nothing in steady state.
+    pub fn schedule_cancellable_at<F: FnOnce(&Sim) + 'static>(
+        &self,
+        at: SimTime,
+        f: F,
+    ) -> TimerHandle {
         assert!(at >= self.now(), "scheduling into the past");
         let seq = self.inner.timer_seq.get();
         self.inner.timer_seq.set(seq + 1);
@@ -394,7 +408,14 @@ impl Sim {
             } else {
                 TimerAction::Call(Box::new(f))
             };
-        self.inner.timers.borrow_mut().insert(at.0, seq, action);
+        self.inner.timers.borrow_mut().insert(at.0, seq, action)
+    }
+
+    /// Cancel a timer scheduled with [`Sim::schedule_cancellable_at`].
+    /// Returns `true` if the timer was still pending; stale handles
+    /// (fired or already-cancelled timers) are a no-op returning `false`.
+    pub fn cancel_scheduled(&self, h: TimerHandle) -> bool {
+        self.inner.timers.borrow_mut().cancel(h)
     }
 
     /// Run `f` after virtual delay `d`.

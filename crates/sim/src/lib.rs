@@ -48,4 +48,5 @@ pub use executor::{JoinHandle, Sim, SimStats, TaskId};
 pub use resource::{FifoResource, Grant};
 pub use rng::{DetRng, RngFactory};
 pub use time::{copy_time, transmission_time, SimDuration, SimTime};
+pub use timer::TimerHandle;
 pub use trace::{Trace, TraceCategory, TraceEvent};

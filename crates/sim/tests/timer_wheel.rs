@@ -119,3 +119,62 @@ fn wheel_matches_heap_model_across_seeds() {
 fn wheel_matches_heap_model_long_run() {
     run_schedule(42, 40_000);
 }
+
+/// The public cancellable-schedule API: `schedule_cancellable_at` returns
+/// a handle whose `cancel_scheduled` is an O(1) tombstone — the closure
+/// never runs, stale handles are no-ops, and a cancelled timer neither
+/// fires nor keeps the simulation alive.
+#[test]
+fn cancellable_schedules_tombstone_cleanly() {
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    use cord_sim::{Sim, SimDuration, SimTime};
+
+    let sim = Sim::new();
+    let fired = Rc::new(Cell::new(0u32));
+    let kept = Rc::new(Cell::new(false));
+
+    let f = Rc::clone(&fired);
+    let h1 = sim.schedule_cancellable_at(SimTime::ZERO + SimDuration::from_us(5), move |_| {
+        f.set(f.get() + 1);
+    });
+    let k = Rc::clone(&kept);
+    let _h2 = sim.schedule_cancellable_at(SimTime::ZERO + SimDuration::from_us(7), move |_| {
+        k.set(true);
+    });
+
+    assert!(sim.cancel_scheduled(h1), "pending timer cancels");
+    assert!(!sim.cancel_scheduled(h1), "stale handle is a no-op");
+
+    let s = sim.clone();
+    sim.block_on(async move {
+        s.sleep(SimDuration::from_us(10)).await;
+    });
+    assert_eq!(fired.get(), 0, "cancelled closure must never run");
+    assert!(kept.get(), "uncancelled timer still fires");
+    // Re-arm/cancel churn in a *running* simulation reuses slab entries:
+    // tombstones are reclaimed as virtual time passes their deadlines, so
+    // sustained arm-on-send / cancel-on-ACK cycles (the RC retransmit
+    // pattern) hold the slab at its high-water mark instead of growing
+    // per cycle.
+    let before = sim.stats().timer_slab_allocs;
+    let s = sim.clone();
+    sim.block_on(async move {
+        for _round in 0..10 {
+            for i in 0..100u64 {
+                let at = s.now() + SimDuration::from_ns(500 + i);
+                let h = s.schedule_cancellable_at(at, move |_| {});
+                s.cancel_scheduled(h);
+            }
+            // Advance past the cancelled deadlines: the wheel sweeps the
+            // tombstones and their slab entries return to the free list.
+            s.sleep(SimDuration::from_us(2)).await;
+        }
+    });
+    let grown = sim.stats().timer_slab_allocs - before;
+    assert!(
+        grown <= 110,
+        "arm/cancel churn allocated {grown} slab entries for 1000 cycles"
+    );
+}

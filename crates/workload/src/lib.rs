@@ -51,7 +51,7 @@ pub use policy::ScopedPolicy;
 pub use runner::{run_scenario, run_scenario_instrumented, CoreStats};
 pub use scenarios::Scale;
 pub use spec::{Arrival, ScenarioSpec, SizeDist, TenantSpec};
-pub use stats::{ScenarioReport, TenantReport, TenantStats};
+pub use stats::{FabricCounters, ScenarioReport, TenantReport, TenantStats};
 
 #[cfg(test)]
 mod tests {
@@ -80,7 +80,9 @@ mod tests {
     fn every_builtin_scenario_completes() {
         for &name in scenarios::NAMES {
             let r = run_scenario(&tiny(name)).unwrap();
-            assert_eq!(r.tenants.len(), 4, "{name}");
+            // The HoL scenario rides one extra probe tenant (the victim).
+            let expected = if name == "pfc-hol-blocking" { 5 } else { 4 };
+            assert_eq!(r.tenants.len(), expected, "{name}");
             assert!(r.total_completed > 0, "{name}: no traffic");
             for t in &r.tenants {
                 assert_eq!(

@@ -210,10 +210,17 @@ pub async fn drive_client(ep: Endpoint, cfg: ClientCfg, stats: Rc<TenantStats>, 
         }
 
         if !recv_credit {
-            ep.qp
+            let posted = ep
+                .qp
                 .post_recv(RecvWqe::new(WrId((1u64 << 32) | seq), ep.rx_sge()))
-                .await
-                .expect("client RQ sized for window");
+                .await;
+            if posted.is_err() {
+                // The QP died (e.g. retransmission retries exhausted on a
+                // lossy fabric): this request and everything still queued
+                // behind it are lost, not a harness crash.
+                stats.on_drop();
+                break;
+            }
         }
         let req_len = req_size.sample(&rng);
         let mut wqe = SendWqe::send(WrId(seq), ep.tx_sge(req_len));
@@ -231,6 +238,10 @@ pub async fn drive_client(ep: Endpoint, cfg: ClientCfg, stats: Rc<TenantStats>, 
             Err(VerbsError::PolicyDenied(_)) => {
                 stats.on_drop();
                 recv_credit = true;
+            }
+            Err(VerbsError::InvalidState { .. }) => {
+                stats.on_drop();
+                break; // dead QP, see above
             }
             Err(e) => panic!("client post_send failed: {e}"),
         }

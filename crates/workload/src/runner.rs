@@ -5,12 +5,14 @@ use std::rc::Rc;
 
 use cord_core::Fabric;
 use cord_kern::{QosPolicy, QuotaPolicy, RateLimitPolicy};
+use cord_net::{NetConfig, Topology};
+use cord_nic::RetxConfig;
 use cord_sim::SimDuration;
 
 use crate::policy::ScopedPolicy;
 use crate::rpc::{drive_client, establish, serve, ClientCfg};
 use crate::spec::ScenarioSpec;
-use crate::stats::{ScenarioReport, TenantStats};
+use crate::stats::{FabricCounters, ScenarioReport, TenantStats};
 
 /// QoS guard window / low-priority penalty used when any tenant declares a
 /// QoS class (one `QosPolicy` instance per node).
@@ -42,11 +44,16 @@ pub fn run_scenario_instrumented(
     spec.validate()?;
     let mut machine = spec.machine.clone();
     machine.nodes = spec.nodes;
-    let fabric = Fabric::builder(machine)
-        .seed(spec.seed)
-        .topology(spec.topology)
-        .build();
+    let mut net = NetConfig::for_topology(spec.topology);
+    if let Some(bytes) = spec.buffer_bytes {
+        net.buffer_bytes = bytes;
+    }
+    // PFC pauses switch ports; the full mesh has none, so there the knob
+    // is accepted but inert (mirroring DCQCN on UD transports).
+    net.pfc.enabled = spec.pfc && spec.topology != Topology::FullMesh;
+    let fabric = Fabric::builder(machine).seed(spec.seed).net(net).build();
     let cc = spec.cc;
+    let rc_retx = spec.rc_retx;
     // Guard against accidental busy loops in workload logic.
     fabric.sim().set_max_polls(4_000_000_000);
 
@@ -101,6 +108,17 @@ pub fn run_scenario_instrumented(
                     // (the server side is what echoes CNPs).
                     f.nic(t.home).set_cc(conn.client.qp.qpn(), cc).unwrap();
                     f.nic(server_node).set_cc(conn.server.qp.qpn(), cc).unwrap();
+                    // RC retransmission is a connection attribute: armed
+                    // symmetrically before any traffic (inert on UD).
+                    if rc_retx {
+                        let retx = Some(RetxConfig::default());
+                        f.nic(t.home)
+                            .set_rc_retx(conn.client.qp.qpn(), retx)
+                            .unwrap();
+                        f.nic(server_node)
+                            .set_rc_retx(conn.server.qp.qpn(), retx)
+                            .unwrap();
+                    }
                     if let Some(p) = &rate {
                         p.attach(conn.client.qp.qpn());
                     }
@@ -167,11 +185,33 @@ pub fn run_scenario_instrumented(
         .zip(&stats)
         .map(|(t, s)| s.report(&t.name))
         .collect();
+    // Fabric-level loss/pause/retransmit counters, reported only when one
+    // of the new fabric knobs is in play so that every pre-existing
+    // configuration serializes byte-identically.
+    let fabric_counters = (spec.pfc || spec.rc_retx || spec.buffer_bytes.is_some()).then(|| {
+        let network = fabric.nic(0).network();
+        let (mut replays, mut exhausted) = (0u64, 0u64);
+        for node in 0..spec.nodes {
+            let (r, e) = fabric.nic(node).retx_stats();
+            replays += r;
+            exhausted += e;
+        }
+        FabricCounters {
+            pfc: network.pfc_enabled(),
+            rc_retx: spec.rc_retx,
+            buffer_bytes: spec.buffer_bytes.map(|b| b as u64),
+            net_drops: network.total_drops(),
+            net_pauses: network.total_pauses(),
+            net_pause_ms: network.total_pause_time().as_us_f64() / 1e3,
+            retx_replays: replays,
+            retx_exhausted: exhausted,
+        }
+    });
     let core = CoreStats {
         sim: fabric.sim().stats(),
     };
     Ok((
-        ScenarioReport::summarize(spec, qps_created, elapsed, tenants_report),
+        ScenarioReport::summarize(spec, qps_created, elapsed, tenants_report, fabric_counters),
         core,
     ))
 }

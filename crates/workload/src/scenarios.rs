@@ -23,6 +23,9 @@ pub const NAMES: &[&str] = &[
     "broadcast",
     "mixed",
     "dumbbell-incast",
+    "pfc-hol-blocking",
+    "pause-storm",
+    "lossy-incast-rc",
 ];
 
 /// Shared scale knobs for the built-in scenarios.
@@ -39,6 +42,13 @@ pub struct Scale {
     pub topology: Option<Topology>,
     /// Congestion control for every tenant QP.
     pub cc: CcAlgorithm,
+    /// Override the scenario's default PFC setting (`None` keeps it: on
+    /// for `pfc-hol-blocking`/`pause-storm`, off elsewhere). Inert on the
+    /// full mesh.
+    pub pfc: Option<bool>,
+    /// Override the scenario's default RC-retransmission setting (`None`
+    /// keeps it: on for `lossy-incast-rc`, off elsewhere).
+    pub rc_retx: Option<bool>,
 }
 
 impl Default for Scale {
@@ -50,6 +60,8 @@ impl Default for Scale {
             seed: 0xC0BD,
             topology: None,
             cc: CcAlgorithm::None,
+            pfc: None,
+            rc_retx: None,
         }
     }
 }
@@ -59,10 +71,15 @@ fn machine() -> MachineSpec {
 }
 
 /// Congestion-prone scenarios default to a switched fabric; the rest keep
-/// the seed-comparable full mesh.
+/// the seed-comparable full mesh. Scale overrides win over the scenario's
+/// own topology/cc/pfc/retx defaults.
 fn shape(spec: ScenarioSpec, scale: Scale, default: Topology) -> ScenarioSpec {
+    let pfc = scale.pfc.unwrap_or(spec.pfc);
+    let rc_retx = scale.rc_retx.unwrap_or(spec.rc_retx);
     spec.topology(scale.topology.unwrap_or(default))
         .cc(scale.cc)
+        .pfc(pfc)
+        .rc_retx(rc_retx)
 }
 
 /// Dumbbell with the bottleneck at a quarter of the host line rate — the
@@ -90,6 +107,9 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ScenarioSpec> {
         "broadcast" => Some(broadcast(scale)),
         "mixed" => Some(mixed(scale)),
         "dumbbell-incast" => Some(dumbbell_incast(scale)),
+        "pfc-hol-blocking" => Some(pfc_hol_blocking(scale)),
+        "pause-storm" => Some(pause_storm(scale)),
+        "lossy-incast-rc" => Some(lossy_incast_rc(scale)),
         _ => None,
     }
 }
@@ -267,6 +287,96 @@ pub fn dumbbell_incast(scale: Scale) -> ScenarioSpec {
     shape(spec, scale, DUMBBELL)
 }
 
+/// Switch-port buffer small enough that an incast actually pressures it,
+/// yet holding several 32 KiB messages — the go-back-N progress headroom
+/// (a replay round must fit the oldest message in full).
+const SMALL_BUFFER: usize = 256 << 10;
+
+/// One latency-sensitive probe tenant between two *idle* hosts, used by
+/// the PFC scenarios to expose head-of-line blocking: its path shares
+/// upstream ports with the incast but its destination downlink is cold.
+fn victim_tenant(scale: Scale, requests: usize) -> TenantSpec {
+    // Victim home on the second leaf (node 5 at radix 8), destination on
+    // the aggregator's leaf but a different host (node 1): the flow rides
+    // leaf-1 uplinks and leaf-0 spine-down ports that also carry parked
+    // incast frames, then exits through an uncongested downlink.
+    let home = 5.min(scale.nodes - 1).max(1);
+    let dst = usize::from(home != 1);
+    let mut v = TenantSpec::new("victim", home, vec![dst]);
+    v.arrival = Arrival::Closed {
+        think: SimDuration::from_us(2),
+    };
+    v.req_size = SizeDist::Fixed(512);
+    v.resp_size = SizeDist::Fixed(512);
+    v.requests = requests;
+    v.service_ns = 100.0;
+    v
+}
+
+/// Incast tenants: open-loop 32 KiB PUTs from every non-aggregator node
+/// into node 0 (the shape `incast` uses, parameterized for reuse).
+fn incast_tenants(spec: &mut ScenarioSpec, scale: Scale, rate_per_s: f64, window: usize) {
+    for i in 0..scale.tenants {
+        let home = 1 + i % (scale.nodes - 1);
+        let mut t = TenantSpec::new(format!("in{i:02}"), home, vec![0]);
+        t.dataplane = dataplane_for(i);
+        t.conns_per_server = 2;
+        t.arrival = Arrival::Open { rate_per_s };
+        t.window = window;
+        t.req_size = SizeDist::Fixed(32 * 1024);
+        t.resp_size = SizeDist::Fixed(16);
+        t.requests = scale.requests;
+        t.service_ns = 100.0;
+        spec.tenants.push(t);
+    }
+}
+
+/// PFC head-of-line blocking: an incast into node 0 on a lossless
+/// small-buffer fat tree, plus a `victim` probe between two idle hosts
+/// whose path shares upstream ports with the incast. With PFC on
+/// (default) the fabric drops nothing but the victim's p99 explodes —
+/// parked incast frames block its frames on the shared spine-down port.
+/// Re-run with `pfc: Some(false)`, `cc: Dcqcn`, `rc_retx: Some(true)` for
+/// the DCQCN counterfactual where the blowup disappears.
+pub fn pfc_hol_blocking(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("pfc-hol-blocking", machine(), scale.nodes)
+        .seed(scale.seed)
+        .pfc(true)
+        .buffer_bytes(SMALL_BUFFER);
+    incast_tenants(&mut spec, scale, 40_000.0, 4);
+    spec = spec.tenant(victim_tenant(scale, scale.requests));
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// Pause storm: a deliberately oversubscribed incast (double connections,
+/// deep windows, high arrival rate) on a lossless small-buffer fat tree
+/// with DCQCN off. XOFF cascades from the aggregator downlink through the
+/// spine layer into every host uplink — the fabric-wide pathology DCQCN
+/// exists to avoid; the report's `net_pauses`/`net_pause_ms` quantify it.
+pub fn pause_storm(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("pause-storm", machine(), scale.nodes)
+        .seed(scale.seed)
+        .pfc(true)
+        .buffer_bytes(SMALL_BUFFER);
+    incast_tenants(&mut spec, scale, 120_000.0, 8);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// Lossy incast recovered by RC retransmission: the same incast on a
+/// small-buffer fat tree with PFC *off*, so the aggregator downlink
+/// tail-drops — which deadlocked every RC workload before go-back-N
+/// existed. With `rc_retx` on (default) the scenario completes and keeps
+/// most of its goodput; the report's `net_drops`/`retx_replays` show the
+/// recovery working.
+pub fn lossy_incast_rc(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("lossy-incast-rc", machine(), scale.nodes)
+        .seed(scale.seed)
+        .rc_retx(true)
+        .buffer_bytes(SMALL_BUFFER);
+    incast_tenants(&mut spec, scale, 30_000.0, 4);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,11 +396,42 @@ mod tests {
         for &name in NAMES {
             let s = by_name(name, Scale::default()).unwrap();
             s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert_eq!(s.tenants.len(), 32, "{name}");
+            // The HoL scenario rides one extra probe tenant (the victim).
+            let expected = if name == "pfc-hol-blocking" { 33 } else { 32 };
+            assert_eq!(s.tenants.len(), expected, "{name}");
             let s = by_name(name, small()).unwrap();
             s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
         }
         assert!(by_name("nope", small()).is_none());
+    }
+
+    #[test]
+    fn fabric_scenarios_set_their_defaults_and_scale_overrides_win() {
+        let hol = pfc_hol_blocking(Scale::default());
+        assert!(hol.pfc && !hol.rc_retx);
+        assert_eq!(hol.buffer_bytes, Some(SMALL_BUFFER));
+        assert_eq!(hol.topology, Topology::FatTree { radix: 8 });
+        assert!(hol.tenants.iter().any(|t| t.name == "victim"));
+
+        let storm = pause_storm(Scale::default());
+        assert!(storm.pfc && !storm.rc_retx);
+
+        let lossy = lossy_incast_rc(Scale::default());
+        assert!(!lossy.pfc && lossy.rc_retx);
+
+        // The DCQCN counterfactual: PFC forced off, retx forced on.
+        let over = Scale {
+            pfc: Some(false),
+            rc_retx: Some(true),
+            cc: CcAlgorithm::Dcqcn,
+            ..Scale::default()
+        };
+        let s = pfc_hol_blocking(over);
+        assert!(!s.pfc && s.rc_retx);
+        assert_eq!(s.cc, CcAlgorithm::Dcqcn);
+        // Pre-existing scenarios keep the fabric knobs off by default.
+        let inc = incast(Scale::default());
+        assert!(!inc.pfc && !inc.rc_retx && inc.buffer_bytes.is_none());
     }
 
     #[test]

@@ -201,6 +201,16 @@ pub struct ScenarioSpec {
     /// and — like real RoCE NICs — only on RC transport: UD tenants
     /// (e.g. `broadcast`) run unthrottled whatever this is set to.
     pub cc: CcAlgorithm,
+    /// Lossless fabric: PFC pause frames on every switch port. Inert on
+    /// the full mesh (no switches to pause), like DCQCN on UD.
+    pub pfc: bool,
+    /// Arm RC retransmission (go-back-N + retransmit timers) on every
+    /// tenant RC QP — required for lossy (small-buffer, PFC-off)
+    /// scenarios to make forward progress after tail drops.
+    pub rc_retx: bool,
+    /// Override the per-port switch buffer (`None`: cord-net's 16 MiB
+    /// default, deep enough that windowed workloads never drop).
+    pub buffer_bytes: Option<usize>,
     pub tenants: Vec<TenantSpec>,
 }
 
@@ -213,6 +223,9 @@ impl ScenarioSpec {
             seed: 0xC0BD,
             topology: Topology::FullMesh,
             cc: CcAlgorithm::None,
+            pfc: false,
+            rc_retx: false,
+            buffer_bytes: None,
             tenants: Vec::new(),
         }
     }
@@ -232,6 +245,21 @@ impl ScenarioSpec {
         self
     }
 
+    pub fn pfc(mut self, pfc: bool) -> Self {
+        self.pfc = pfc;
+        self
+    }
+
+    pub fn rc_retx(mut self, rc_retx: bool) -> Self {
+        self.rc_retx = rc_retx;
+        self
+    }
+
+    pub fn buffer_bytes(mut self, bytes: usize) -> Self {
+        self.buffer_bytes = Some(bytes);
+        self
+    }
+
     pub fn tenant(mut self, t: TenantSpec) -> Self {
         self.tenants.push(t);
         self
@@ -246,6 +274,11 @@ impl ScenarioSpec {
             .map_err(|e| format!("{}: {e}", self.name))?;
         if self.tenants.is_empty() {
             return Err("scenario has no tenants".into());
+        }
+        if let Some(b) = self.buffer_bytes {
+            if b == 0 {
+                return Err(format!("{}: buffer_bytes must be nonzero", self.name));
+            }
         }
         let mtu = self.machine.nic.mtu;
         let mut names = std::collections::BTreeSet::new();

@@ -132,8 +132,32 @@ pub struct TenantReport {
     pub goodput_gbps: f64,
 }
 
+/// Fabric-level loss/pause/retransmission counters, present in a report
+/// only when the scenario engaged one of the new fabric knobs (PFC, RC
+/// retransmission, or a buffer override).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricCounters {
+    /// PFC effectively enabled (false when requested on the full mesh,
+    /// where the knob is inert).
+    pub pfc: bool,
+    /// RC retransmission armed on tenant QPs.
+    pub rc_retx: bool,
+    /// Per-port buffer override, if any.
+    pub buffer_bytes: Option<u64>,
+    /// Frames tail-dropped by switch ports.
+    pub net_drops: u64,
+    /// XOFF pause episodes asserted across all switch ports.
+    pub net_pauses: u64,
+    /// Cumulative pause time across all switch ports, ms.
+    pub net_pause_ms: f64,
+    /// Messages queued for go-back-N replay across all NICs.
+    pub retx_replays: u64,
+    /// QPs errored out after exhausting their retry budget.
+    pub retx_exhausted: u64,
+}
+
 /// Whole-scenario result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScenarioReport {
     pub scenario: String,
     pub machine: String,
@@ -143,6 +167,9 @@ pub struct ScenarioReport {
     pub topology: String,
     /// Congestion control applied to tenant QPs (`none` or `dcqcn`).
     pub cc: String,
+    /// Loss/pause/retransmit counters (`None` for pre-existing
+    /// configurations, keeping their JSON byte-identical).
+    pub fabric: Option<FabricCounters>,
     pub connections: usize,
     pub qps_created: usize,
     pub elapsed_ms: f64,
@@ -152,12 +179,54 @@ pub struct ScenarioReport {
     pub tenants: Vec<TenantReport>,
 }
 
+// Hand-written (rather than derived) so the fabric-counter block is
+// *omitted* — not serialized as nulls — when absent: every scenario that
+// existed before PFC/retransmission must keep byte-identical JSON.
+impl Serialize for ScenarioReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("scenario".into(), self.scenario.to_value()),
+            ("machine".into(), self.machine.to_value()),
+            ("nodes".into(), self.nodes.to_value()),
+            ("seed".into(), self.seed.to_value()),
+            ("topology".into(), self.topology.to_value()),
+            ("cc".into(), self.cc.to_value()),
+        ];
+        if let Some(f) = &self.fabric {
+            fields.push(("pfc".into(), f.pfc.to_value()));
+            fields.push(("rc_retx".into(), f.rc_retx.to_value()));
+            if let Some(b) = f.buffer_bytes {
+                fields.push(("buffer_bytes".into(), b.to_value()));
+            }
+            fields.push(("net_drops".into(), f.net_drops.to_value()));
+            fields.push(("net_pauses".into(), f.net_pauses.to_value()));
+            fields.push(("net_pause_ms".into(), f.net_pause_ms.to_value()));
+            fields.push(("retx_replays".into(), f.retx_replays.to_value()));
+            fields.push(("retx_exhausted".into(), f.retx_exhausted.to_value()));
+        }
+        fields.extend([
+            ("connections".into(), self.connections.to_value()),
+            ("qps_created".into(), self.qps_created.to_value()),
+            ("elapsed_ms".into(), self.elapsed_ms.to_value()),
+            ("total_completed".into(), self.total_completed.to_value()),
+            ("total_dropped".into(), self.total_dropped.to_value()),
+            (
+                "total_goodput_gbps".into(),
+                self.total_goodput_gbps.to_value(),
+            ),
+            ("tenants".into(), self.tenants.to_value()),
+        ]);
+        serde::Value::Object(fields)
+    }
+}
+
 impl ScenarioReport {
     pub fn summarize(
         spec: &crate::spec::ScenarioSpec,
         qps_created: usize,
         elapsed: SimDuration,
         tenants: Vec<TenantReport>,
+        fabric: Option<FabricCounters>,
     ) -> ScenarioReport {
         let secs = elapsed.as_secs_f64();
         let total_bytes: u64 = tenants.iter().map(|t| t.bytes_moved).sum();
@@ -168,6 +237,7 @@ impl ScenarioReport {
             seed: spec.seed,
             topology: spec.topology.to_string(),
             cc: spec.cc.to_string(),
+            fabric,
             connections: spec.total_connections(),
             qps_created,
             elapsed_ms: elapsed.as_us_f64() / 1e3,
