@@ -17,8 +17,12 @@
 //! pause frames on or off (inert on the full mesh) and `--rc-retx`
 //! forces RC go-back-N retransmission, overriding the scenario defaults
 //! (`pfc-hol-blocking`/`pause-storm` default PFC on; `lossy-incast-rc`
-//! defaults retransmission on). All knobs are recorded in the results
-//! JSON; fabric runs additionally record drop/pause/replay counters.
+//! defaults retransmission on). `--faults off` strips a chaos scenario's
+//! built-in fault schedule (`link-flap-recovery`, `switch-death-reroute`,
+//! `straggler-nic`, `pfc-deadlock`) for fault-free baseline runs;
+//! `--faults on` keeps it (the default). All knobs are recorded in the
+//! results JSON; fabric runs additionally record drop/pause/replay
+//! counters and chaos runs the fault detection counters.
 //!
 //! Results land in `results/loadgen_<scenario>.json`. Runs are
 //! deterministic: the same arguments produce byte-identical JSON.
@@ -33,7 +37,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen <scenario|all> [--nodes N] [--tenants T] [--requests R] [--seed S]\n\
          \x20              [--topology full-mesh|fat-tree|dumbbell] [--cc none|dcqcn]\n\
-         \x20              [--pfc on|off] [--rc-retx on|off]\n\
+         \x20              [--pfc on|off] [--rc-retx on|off] [--faults on|off]\n\
          scenarios: {}",
         scenarios::NAMES.join(", ")
     );
@@ -80,6 +84,7 @@ fn parse_args() -> (Vec<String>, Scale) {
             "--cc" => scale.cc = value.parse::<CcAlgorithm>().unwrap_or_else(|_| usage()),
             "--pfc" => scale.pfc = Some(parse_switch(&value)),
             "--rc-retx" => scale.rc_retx = Some(parse_switch(&value)),
+            "--faults" => scale.faults = Some(parse_switch(&value)),
             _ => usage(),
         }
     }

@@ -1,0 +1,37 @@
+//! # cord-chaos: the deterministic fault-injection plane
+//!
+//! Everything else in the workspace simulates *healthy* hardware; this
+//! crate breaks it on purpose. A [`FaultSchedule`] is a typed list of
+//! fault events — link flaps, link degradation, spine-switch death,
+//! straggler NICs, and the lossless-fabric pathologies (pause storms and
+//! cyclic buffer dependencies) — with virtual-time stamps relative to the
+//! instant the schedule is installed. [`ChaosPlane::install`] arms the
+//! schedule on the sim clock, driving the fault hooks the lower layers
+//! expose (`cord-net` admin state and reroutes, `cord-hw` link mutation,
+//! `cord-nic` pipeline slowdown).
+//!
+//! ## Determinism
+//!
+//! The fault plane is part of the scenario, not an outside perturbation:
+//! every event fires at a deterministic virtual instant, the only
+//! randomness is an optional per-event jitter drawn from a dedicated
+//! `DetRng` stream, and detection counters ([`ChaosStats`]) are plain
+//! event counts. Same seed + same schedule ⇒ byte-identical runs; an
+//! empty schedule leaves the simulation bit-identical to one with no
+//! chaos plane at all (determinism invariant #9, see ARCHITECTURE.md).
+//!
+//! ## Detection
+//!
+//! Faults that the stack should *survive* (flaps, spine death, stragglers)
+//! are observed through recovery counters — reroutes and frames lost to
+//! dead hardware. Faults that wedge a lossless fabric (a cyclic buffer
+//! dependency holding pause forever) are caught by a SONiC-style PFC
+//! no-progress watchdog: ports continuously paused past the threshold are
+//! counted as detected deadlocks and forcibly released so the run always
+//! terminates with evidence instead of hanging.
+
+pub mod plane;
+pub mod schedule;
+
+pub use plane::{ChaosPlane, ChaosStats};
+pub use schedule::{FaultEvent, FaultSchedule};

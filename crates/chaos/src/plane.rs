@@ -1,0 +1,212 @@
+//! The chaos plane: arms a [`FaultSchedule`] on a running fabric.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use cord_net::{Network, PortKind};
+use cord_nic::{Nic, Packet};
+use cord_sim::{DetRng, Sim, SimDuration, SimTime};
+
+use crate::schedule::{FaultEvent, FaultSchedule};
+
+/// Detection counters exported by the plane, for report JSON and
+/// scenario assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChaosStats {
+    /// Fault events actually injected (a flap or degrade counts once, at
+    /// its onset).
+    pub injected: u64,
+    /// Events skipped as inapplicable to this fabric (wrong topology,
+    /// PFC off, node out of range) — skipping is not an error, so one
+    /// schedule can ride a whole scenario matrix.
+    pub skipped: u64,
+    /// Frames rerouted around dead spines.
+    pub reroutes: u64,
+    /// Frames lost to dead hardware (dead ports, downed host links,
+    /// serializer queues stranded by a switch death).
+    pub dead_frames: u64,
+    /// PFC deadlocks detected (and broken) by the no-progress watchdog:
+    /// ports continuously asserting pause past the schedule's threshold.
+    pub pfc_deadlocks: u64,
+}
+
+struct PlaneInner {
+    sim: Sim,
+    net: Rc<Network<Packet>>,
+    nics: Vec<Nic>,
+    /// The applicable events, in schedule order (skipped ones never make
+    /// it here).
+    events: Vec<FaultEvent>,
+    watchdog: SimDuration,
+    injected: Cell<u64>,
+    skipped: Cell<u64>,
+    deadlocks: Cell<u64>,
+}
+
+/// A fault schedule armed on the sim clock. Dropping the handle does not
+/// disarm the scheduled events; keep it around to read [`ChaosPlane::stats`].
+pub struct ChaosPlane {
+    inner: Rc<PlaneInner>,
+}
+
+impl ChaosPlane {
+    /// Arm `schedule` on `sim`, injecting faults into the fabric shared
+    /// by `nics`. Event times are relative to the current sim instant;
+    /// per-event jitter (if configured) is drawn from `rng`, which must be
+    /// a stream dedicated to the chaos plane so fault timing never
+    /// perturbs any other component's random sequence.
+    ///
+    /// Inapplicable events — a [`FaultEvent::SwitchDeath`] on a
+    /// spine-less topology, a pause injector with PFC off, a node index
+    /// beyond the cluster — are counted as skipped, not errors. When the
+    /// fabric is lossless and at least one event applies, a PFC
+    /// no-progress watchdog is armed alongside the schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nics` is empty or `schedule.validate` fails.
+    pub fn install(sim: &Sim, rng: &DetRng, nics: &[Nic], schedule: &FaultSchedule) -> ChaosPlane {
+        assert!(!nics.is_empty(), "chaos plane needs at least one NIC");
+        schedule
+            .validate(nics.len())
+            .expect("invalid fault schedule");
+        let net = nics[0].network();
+        let spines = net.plan().map_or(0, |p| p.spines());
+        let pfc = net.pfc_enabled();
+
+        let mut events = Vec::new();
+        let mut skipped = 0u64;
+        let mut arm: Vec<(usize, SimDuration, bool)> = Vec::new();
+        for e in &schedule.events {
+            let applicable = match *e {
+                FaultEvent::LinkFlap { node, .. } | FaultEvent::LinkDegrade { node, .. } => {
+                    node < nics.len()
+                }
+                FaultEvent::SwitchDeath { spine, .. } => spine < spines,
+                FaultEvent::StragglerNic { node, .. } => node < nics.len(),
+                FaultEvent::PauseStorm { .. } => pfc,
+                FaultEvent::CyclicBufferDependency { .. } => pfc && spines > 0,
+            };
+            if !applicable {
+                skipped += 1;
+                continue;
+            }
+            // One jitter draw per applicable event, onset and clearance
+            // shifted together so windows keep their length.
+            let jitter = if schedule.jitter > SimDuration::ZERO {
+                SimDuration::from_ps(rng.uniform_range(0, schedule.jitter.as_ps()))
+            } else {
+                SimDuration::ZERO
+            };
+            let idx = events.len();
+            match *e {
+                FaultEvent::LinkFlap { down_at, up_at, .. } => {
+                    arm.push((idx, down_at + jitter, true));
+                    arm.push((idx, up_at + jitter, false));
+                }
+                FaultEvent::LinkDegrade { from, until, .. }
+                | FaultEvent::StragglerNic { from, until, .. }
+                | FaultEvent::PauseStorm { from, until } => {
+                    arm.push((idx, from + jitter, true));
+                    arm.push((idx, until + jitter, false));
+                }
+                FaultEvent::SwitchDeath { at, .. } | FaultEvent::CyclicBufferDependency { at } => {
+                    arm.push((idx, at + jitter, true));
+                }
+            }
+            events.push(*e);
+        }
+
+        let inner = Rc::new(PlaneInner {
+            sim: sim.clone(),
+            net,
+            nics: nics.to_vec(),
+            events,
+            watchdog: schedule.watchdog,
+            injected: Cell::new(0),
+            skipped: Cell::new(skipped),
+            deadlocks: Cell::new(0),
+        });
+        let t0 = sim.now();
+        for (idx, offset, apply) in arm {
+            let inner2 = Rc::clone(&inner);
+            let idx = idx as u32;
+            sim.schedule_at(t0 + offset, move |_| fire(&inner2, idx, apply));
+        }
+        if pfc && !inner.events.is_empty() && inner.watchdog > SimDuration::ZERO {
+            let inner2 = Rc::clone(&inner);
+            sim.schedule_at(t0 + inner.watchdog, move |_| watchdog_tick(&inner2));
+        }
+        ChaosPlane { inner }
+    }
+
+    /// Detection counters so far (monotone over a run).
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            injected: self.inner.injected.get(),
+            skipped: self.inner.skipped.get(),
+            reroutes: self.inner.net.fault_reroutes(),
+            dead_frames: self.inner.net.fault_dead_drops(),
+            pfc_deadlocks: self.inner.deadlocks.get(),
+        }
+    }
+}
+
+/// Apply (`apply = true`) or clear one armed event.
+fn fire(inner: &Rc<PlaneInner>, idx: u32, apply: bool) {
+    if apply {
+        inner.injected.set(inner.injected.get() + 1);
+    }
+    match inner.events[idx as usize] {
+        FaultEvent::LinkFlap { node, .. } => inner.net.set_host_link_down(node, apply),
+        FaultEvent::LinkDegrade {
+            node,
+            rate_factor,
+            extra_latency_ns,
+            ..
+        } => {
+            if apply {
+                inner
+                    .net
+                    .set_host_link_degrade(node, rate_factor, extra_latency_ns);
+            } else {
+                inner.net.set_host_link_degrade(node, 1.0, 0.0);
+            }
+        }
+        FaultEvent::SwitchDeath { spine, .. } => inner.net.kill_spine(spine),
+        FaultEvent::StragglerNic { node, slowdown, .. } => {
+            inner.nics[node].set_slowdown(if apply { slowdown } else { 1.0 });
+        }
+        FaultEvent::PauseStorm { .. } => {
+            let plan = inner.net.plan().expect("gated on a switched fabric");
+            for host in 0..plan.nodes() {
+                inner.net.force_pause(plan.host_down_port(host), apply);
+            }
+        }
+        FaultEvent::CyclicBufferDependency { .. } => {
+            // Wedge the pause cycle between leaf 0 and the spines: leaf
+            // 0's uplinks and every spine port facing leaf 0 hold XOFF
+            // forever. Only the watchdog can break this.
+            let plan = inner.net.plan().expect("gated on a fat tree");
+            for port in 0..plan.num_ports() {
+                let wedge = matches!(
+                    plan.port_kind(port),
+                    PortKind::LeafUp { leaf: 0, .. } | PortKind::SpineDown { leaf: 0, .. }
+                );
+                if wedge {
+                    inner.net.force_pause(port, true);
+                }
+            }
+        }
+    }
+}
+
+/// Periodic PFC no-progress scan: break ports continuously paused past
+/// the threshold, count each as a detected deadlock, and reschedule.
+fn watchdog_tick(inner: &Rc<PlaneInner>) {
+    let broken = inner.net.pfc_watchdog_scan(inner.watchdog);
+    inner.deadlocks.set(inner.deadlocks.get() + broken);
+    let at: SimTime = inner.sim.now() + inner.watchdog;
+    let inner2 = Rc::clone(inner);
+    inner.sim.schedule_at(at, move |_| watchdog_tick(&inner2));
+}

@@ -1,0 +1,224 @@
+//! Typed fault schedules: what breaks, when, and for how long.
+
+use cord_sim::SimDuration;
+
+/// One fault event. All times are offsets from the instant the schedule
+/// is installed (scenario start), in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Host `node`'s link goes administratively down at `down_at` and
+    /// comes back at `up_at`. Lossy fabrics drop frames touching the dead
+    /// link; under PFC the host's egress parks (lossless) until link-up.
+    LinkFlap {
+        node: usize,
+        down_at: SimDuration,
+        up_at: SimDuration,
+    },
+    /// Host `node`'s link runs at `rate_factor` × line rate with
+    /// `extra_latency_ns` of added one-way latency over `[from, until)`.
+    LinkDegrade {
+        node: usize,
+        rate_factor: f64,
+        extra_latency_ns: f64,
+        from: SimDuration,
+        until: SimDuration,
+    },
+    /// Fat-tree spine `spine` dies at `at`: all its ports go dark,
+    /// in-flight frames on them are lost, and subsequent cross-leaf paths
+    /// reroute deterministically around it. Permanent (switches do not
+    /// resurrect mid-scenario).
+    SwitchDeath { spine: usize, at: SimDuration },
+    /// NIC `node`'s processing pipelines run `slowdown` × slower over
+    /// `[from, until)` — wire rates are untouched, only per-WQE and
+    /// per-packet processing cost inflates (a misbehaving firmware or
+    /// thermally throttled NIC).
+    StragglerNic {
+        node: usize,
+        slowdown: f64,
+        from: SimDuration,
+        until: SimDuration,
+    },
+    /// Force pause on every host-facing switch port over `[from, until)`:
+    /// the whole lossless fabric freezes behind XOFF and must drain
+    /// cleanly (no drops) when the storm lifts. Requires PFC.
+    PauseStorm {
+        from: SimDuration,
+        until: SimDuration,
+    },
+    /// Wedge leaf 0 and its spine ports in a permanent pause cycle at
+    /// `at` — the classic PFC cyclic-buffer-dependency deadlock. Nothing
+    /// releases it except the no-progress watchdog, whose detections are
+    /// the scenario's assertion target. Requires PFC on a fat tree.
+    CyclicBufferDependency { at: SimDuration },
+}
+
+/// A deterministic fault schedule: the `faults` half of a scenario spec.
+///
+/// The default schedule is empty and injects nothing; an empty schedule
+/// leaves every simulation result byte-identical to a run with no chaos
+/// plane installed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// The fault events, fired in virtual-time order.
+    pub events: Vec<FaultEvent>,
+    /// Optional uniform jitter added to every event time, drawn once per
+    /// event from the plane's dedicated `DetRng` stream. Zero (the
+    /// default) fires events exactly at their nominal instants.
+    pub jitter: SimDuration,
+    /// PFC no-progress watchdog threshold and scan period: a port
+    /// continuously asserting pause for this long is a detected deadlock
+    /// and is forcibly released.
+    pub watchdog: SimDuration,
+}
+
+impl Default for FaultSchedule {
+    fn default() -> Self {
+        FaultSchedule {
+            events: Vec::new(),
+            jitter: SimDuration::ZERO,
+            watchdog: SimDuration::from_us(100),
+        }
+    }
+}
+
+impl FaultSchedule {
+    /// An empty schedule (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event (builder style).
+    pub fn event(mut self, e: FaultEvent) -> Self {
+        self.events.push(e);
+        self
+    }
+
+    /// Set the per-event jitter (builder style).
+    pub fn jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Set the PFC watchdog threshold (builder style).
+    pub fn watchdog(mut self, watchdog: SimDuration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Whether the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Validate against a cluster of `nodes` hosts. Topology-dependent
+    /// applicability (a `SwitchDeath` on a dumbbell, a `PauseStorm` with
+    /// PFC off) is *not* an error here — the plane counts those events as
+    /// skipped at install time instead, so one schedule can ride a whole
+    /// scenario matrix.
+    pub fn validate(&self, nodes: usize) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            let err = |msg: String| Err(format!("fault event {i}: {msg}"));
+            match *e {
+                FaultEvent::LinkFlap {
+                    node,
+                    down_at,
+                    up_at,
+                } => {
+                    if node >= nodes {
+                        return err(format!("node {node} out of range (nodes = {nodes})"));
+                    }
+                    if up_at <= down_at {
+                        return err("link must come back after it goes down".into());
+                    }
+                }
+                FaultEvent::LinkDegrade {
+                    node,
+                    rate_factor,
+                    extra_latency_ns,
+                    from,
+                    until,
+                } => {
+                    if node >= nodes {
+                        return err(format!("node {node} out of range (nodes = {nodes})"));
+                    }
+                    if !(rate_factor > 0.0 && rate_factor.is_finite()) {
+                        return err("rate factor must be positive and finite".into());
+                    }
+                    if !(extra_latency_ns >= 0.0 && extra_latency_ns.is_finite()) {
+                        return err("extra latency must be non-negative and finite".into());
+                    }
+                    if until <= from {
+                        return err("degrade window must be non-empty".into());
+                    }
+                }
+                FaultEvent::SwitchDeath { .. } => {}
+                FaultEvent::StragglerNic {
+                    node,
+                    slowdown,
+                    from,
+                    until,
+                } => {
+                    if node >= nodes {
+                        return err(format!("node {node} out of range (nodes = {nodes})"));
+                    }
+                    if !(slowdown > 0.0 && slowdown.is_finite()) {
+                        return err("slowdown must be positive and finite".into());
+                    }
+                    if until <= from {
+                        return err("straggler window must be non-empty".into());
+                    }
+                }
+                FaultEvent::PauseStorm { from, until } => {
+                    if until <= from {
+                        return err("storm window must be non-empty".into());
+                    }
+                }
+                FaultEvent::CyclicBufferDependency { .. } => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_events() {
+        let ok = FaultSchedule::new().event(FaultEvent::LinkFlap {
+            node: 1,
+            down_at: SimDuration::from_us(10),
+            up_at: SimDuration::from_us(20),
+        });
+        assert!(ok.validate(4).is_ok());
+        assert!(ok.validate(1).is_err(), "node out of range");
+
+        let inverted = FaultSchedule::new().event(FaultEvent::LinkFlap {
+            node: 0,
+            down_at: SimDuration::from_us(20),
+            up_at: SimDuration::from_us(10),
+        });
+        assert!(inverted.validate(4).is_err());
+
+        let bad_rate = FaultSchedule::new().event(FaultEvent::LinkDegrade {
+            node: 0,
+            rate_factor: 0.0,
+            extra_latency_ns: 0.0,
+            from: SimDuration::ZERO,
+            until: SimDuration::from_us(1),
+        });
+        assert!(bad_rate.validate(4).is_err());
+
+        let bad_slow = FaultSchedule::new().event(FaultEvent::StragglerNic {
+            node: 0,
+            slowdown: f64::INFINITY,
+            from: SimDuration::ZERO,
+            until: SimDuration::from_us(1),
+        });
+        assert!(bad_slow.validate(4).is_err());
+
+        assert!(FaultSchedule::new().is_empty());
+        assert!(!ok.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Chaos-plane behavior against real fabrics: applicability gating,
+//! injection timing, and the PFC-deadlock watchdog.
+
+use cord_chaos::{ChaosPlane, FaultEvent, FaultSchedule};
+use cord_hw::system_l;
+use cord_net::{NetConfig, Topology};
+use cord_nic::build_cluster_with;
+use cord_sim::{RngFactory, Sim, SimDuration, Trace};
+
+fn cluster(nodes: usize, cfg: NetConfig) -> (Sim, Vec<cord_nic::Nic>) {
+    let sim = Sim::new();
+    let mut spec = system_l();
+    spec.nodes = nodes;
+    let nics = build_cluster_with(&sim, &spec, cfg, Trace::disabled());
+    (sim, nics)
+}
+
+#[test]
+fn inapplicable_events_are_skipped_not_fatal() {
+    // A full mesh has no spines and no PFC: every switch/pause event in
+    // the schedule must be counted as skipped, and nothing may panic.
+    let (sim, nics) = cluster(4, NetConfig::default());
+    let rng = RngFactory::new(7).stream("chaos");
+    let schedule = FaultSchedule::new()
+        .event(FaultEvent::SwitchDeath {
+            spine: 0,
+            at: SimDuration::from_us(5),
+        })
+        .event(FaultEvent::PauseStorm {
+            from: SimDuration::from_us(5),
+            until: SimDuration::from_us(10),
+        })
+        .event(FaultEvent::CyclicBufferDependency {
+            at: SimDuration::from_us(5),
+        })
+        .event(FaultEvent::LinkFlap {
+            node: 1,
+            down_at: SimDuration::from_us(5),
+            up_at: SimDuration::from_us(10),
+        });
+    let plane = ChaosPlane::install(&sim, &rng, &nics, &schedule);
+    sim.block_on({
+        let s = sim.clone();
+        async move { s.sleep(SimDuration::from_us(20)).await }
+    });
+    let stats = plane.stats();
+    assert_eq!(stats.skipped, 3, "switch death + both pause injectors");
+    assert_eq!(stats.injected, 1, "the flap still fires on the mesh");
+    assert_eq!(stats.pfc_deadlocks, 0);
+}
+
+#[test]
+fn events_fire_at_their_scheduled_instants() {
+    let (sim, nics) = cluster(4, NetConfig::for_topology(Topology::FatTree { radix: 4 }));
+    let rng = RngFactory::new(7).stream("chaos");
+    let schedule = FaultSchedule::new()
+        .event(FaultEvent::LinkDegrade {
+            node: 0,
+            rate_factor: 0.5,
+            extra_latency_ns: 100.0,
+            from: SimDuration::from_us(10),
+            until: SimDuration::from_us(30),
+        })
+        .event(FaultEvent::StragglerNic {
+            node: 1,
+            slowdown: 8.0,
+            from: SimDuration::from_us(20),
+            until: SimDuration::from_us(40),
+        });
+    let plane = ChaosPlane::install(&sim, &rng, &nics, &schedule);
+    let sleep_to = |us: u64| {
+        sim.block_on({
+            let s = sim.clone();
+            async move {
+                let target = cord_sim::SimTime::ZERO + SimDuration::from_us(us);
+                s.sleep_until(target).await;
+            }
+        })
+    };
+    assert_eq!(plane.stats().injected, 0, "nothing before t=10µs");
+    sleep_to(15);
+    assert_eq!(plane.stats().injected, 1, "degrade applied at t=10µs");
+    sleep_to(25);
+    assert_eq!(plane.stats().injected, 2, "straggler applied at t=20µs");
+    sleep_to(50);
+    // Clearing events do not re-count: both windows have closed.
+    assert_eq!(plane.stats().injected, 2);
+    assert_eq!(plane.stats().skipped, 0);
+}
+
+#[test]
+fn cyclic_buffer_dependency_is_detected_and_broken_by_the_watchdog() {
+    let mut cfg = NetConfig::for_topology(Topology::FatTree { radix: 4 });
+    cfg.pfc.enabled = true;
+    let (sim, nics) = cluster(4, cfg);
+    let rng = RngFactory::new(7).stream("chaos");
+    let schedule = FaultSchedule::new()
+        .event(FaultEvent::CyclicBufferDependency {
+            at: SimDuration::from_us(10),
+        })
+        .watchdog(SimDuration::from_us(50));
+    let plane = ChaosPlane::install(&sim, &rng, &nics, &schedule);
+    sim.block_on({
+        let s = sim.clone();
+        async move { s.sleep(SimDuration::from_us(200)).await }
+    });
+    let stats = plane.stats();
+    assert_eq!(stats.injected, 1);
+    // Every wedged port (leaf 0's uplinks plus the spine ports facing
+    // leaf 0) was continuously paused past the threshold, detected, and
+    // forcibly released.
+    let net = nics[0].network();
+    let spines = net.plan().unwrap().spines();
+    assert_eq!(stats.pfc_deadlocks, 2 * spines as u64);
+    // Broken means released: no port still holds pause afterwards.
+    assert_eq!(net.pfc_watchdog_scan(SimDuration::ZERO), 0);
+}

@@ -22,6 +22,7 @@
 //! Note that `transmit` consults only per-port state in deterministic call
 //! order, so runs are reproducible.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use cord_sim::sync::{channel, Receiver, Sender};
@@ -47,12 +48,29 @@ pub struct Frame<T> {
     pub payload: T,
 }
 
+/// Runtime per-link fault state (set by the `cord-chaos` plane through
+/// `cord-net`'s fault API). `active` stays `false` until the first
+/// injection, so the healthy transmit path pays one predictable branch
+/// and stays bit-identical to a fault-free build.
+struct MeshFaults {
+    active: Cell<bool>,
+    /// Node links administratively down (frames touching one are lost).
+    down: Vec<Cell<bool>>,
+    /// Egress line-rate multiplier per node (1.0 = healthy).
+    rate: Vec<Cell<f64>>,
+    /// Extra one-way latency per node's egress hop, ns.
+    extra_ns: Vec<Cell<f64>>,
+    /// Frames lost to downed links.
+    drops: Cell<u64>,
+}
+
 struct FabricInner<T> {
     sim: Sim,
     spec: LinkSpec,
     egress: Vec<FifoResource>,
     ingress: Vec<FifoResource>,
     ingress_tx: Vec<Sender<Frame<T>>>,
+    faults: MeshFaults,
 }
 
 /// Shared fabric connecting `n` nodes. The state lives behind one `Rc` so
@@ -84,6 +102,13 @@ impl<T: 'static> Fabric<T> {
                     egress,
                     ingress,
                     ingress_tx,
+                    faults: MeshFaults {
+                        active: Cell::new(false),
+                        down: (0..nodes).map(|_| Cell::new(false)).collect(),
+                        rate: (0..nodes).map(|_| Cell::new(1.0)).collect(),
+                        extra_ns: (0..nodes).map(|_| Cell::new(0.0)).collect(),
+                        drops: Cell::new(0),
+                    },
                 }),
             },
             ingress_rx,
@@ -112,7 +137,22 @@ impl<T: 'static> Fabric<T> {
     pub fn transmit(&self, frame: Frame<T>) {
         assert!(frame.src < self.nodes() && frame.dst < self.nodes());
         let inner = &self.inner;
-        let ser = self.serialize_time(frame.wire_bytes);
+        // Fault plane: a downed link at either end loses the frame at
+        // transmit time (loopback is NIC-internal and never touches the
+        // wire); a degraded source link serializes slower and adds
+        // latency. Frames already in flight are past the decision point.
+        let f = &inner.faults;
+        let mut extra = SimDuration::ZERO;
+        let mut gbps = inner.spec.gbps;
+        if f.active.get() {
+            if frame.src != frame.dst && (f.down[frame.src].get() || f.down[frame.dst].get()) {
+                f.drops.set(f.drops.get() + 1);
+                return;
+            }
+            gbps *= f.rate[frame.src].get();
+            extra = SimDuration::from_ns_f64(f.extra_ns[frame.src].get());
+        }
+        let ser = cord_sim::transmission_time(frame.wire_bytes as u64, gbps);
         let grant = inner.egress[frame.src].enqueue(ser);
         // Boxed once: the delivery closures then capture a pointer (small
         // enough for the executor's inline-closure path) instead of the
@@ -132,15 +172,45 @@ impl<T: 'static> Fabric<T> {
         // The first bit reaches the destination at grant.start + prop; the
         // ingress port then receives for one serialization time (ending at
         // grant.end + prop when the RX wire is idle).
-        let first_bit = grant.start + SimDuration::from_ns_f64(inner.spec.propagation_ns);
+        let first_bit = grant.start + SimDuration::from_ns_f64(inner.spec.propagation_ns) + extra;
         let fab = Rc::clone(inner);
         inner.sim.schedule_at(first_bit, move |sim| {
             let ser = cord_sim::transmission_time(frame.wire_bytes as u64, fab.spec.gbps);
             let g = fab.ingress[frame.dst].enqueue(ser);
             sim.schedule_at(g.end, move |_| {
+                if fab.faults.active.get() && fab.faults.down[frame.dst].get() {
+                    fab.faults.drops.set(fab.faults.drops.get() + 1);
+                    return;
+                }
                 let _ = fab.ingress_tx[frame.dst].try_send(*frame);
             });
         });
+    }
+
+    /// Administratively down (or restore) a node's link: frames to or
+    /// from it are dropped and counted in [`Fabric::link_drops`].
+    pub fn set_link_down(&self, node: usize, down: bool) {
+        self.inner.faults.active.set(true);
+        self.inner.faults.down[node].set(down);
+    }
+
+    /// Degrade a node's link: multiply its egress line rate by
+    /// `rate_factor` and add `extra_ns` of one-way latency. `(1.0, 0.0)`
+    /// restores the healthy link.
+    pub fn set_link_degrade(&self, node: usize, rate_factor: f64, extra_ns: f64) {
+        assert!(
+            rate_factor > 0.0 && rate_factor.is_finite(),
+            "rate factor must be positive"
+        );
+        assert!(extra_ns >= 0.0, "extra latency must be non-negative");
+        self.inner.faults.active.set(true);
+        self.inner.faults.rate[node].set(rate_factor);
+        self.inner.faults.extra_ns[node].set(extra_ns);
+    }
+
+    /// Frames lost to downed links.
+    pub fn link_drops(&self) -> u64 {
+        self.inner.faults.drops.get()
     }
 
     /// Egress utilization of a node's port.
@@ -274,6 +344,49 @@ mod tests {
                 assert!((fab.egress_utilization(0) - 0.1).abs() < 1e-9);
                 assert_eq!(fab.egress_frames(0), 1);
                 assert_eq!(fab.ingress_frames(1), 1);
+            }
+        });
+    }
+
+    #[test]
+    fn link_faults_drop_degrade_and_restore() {
+        let sim = Sim::new();
+        let (fab, mut rx) = Fabric::<u32>::new(&sim, spec(), 3);
+        let rx1 = rx.remove(1);
+        sim.block_on({
+            let sim = sim.clone();
+            async move {
+                // Down: frames touching the link die at transmit, both
+                // directions, and are counted.
+                fab.set_link_down(2, true);
+                fab.transmit(frame(2, 1, 1250, 0));
+                fab.transmit(frame(1, 2, 1250, 1));
+                sim.sleep(SimDuration::from_us(1)).await;
+                assert!(rx1.try_recv().is_none());
+                assert_eq!(fab.link_drops(), 2);
+                // Restore: timing matches the healthy link exactly.
+                fab.set_link_down(2, false);
+                let t0 = sim.now();
+                fab.transmit(frame(2, 1, 1250, 2));
+                assert_eq!(rx1.recv().await.unwrap().payload, 2);
+                assert_eq!(sim.now().since(t0).as_ns_f64(), 300.0);
+                // Degrade node 2 to quarter rate with 100 ns extra: the
+                // first frame pays the added latency; the second also
+                // waits out the slowed 400 ns egress serialization.
+                fab.set_link_degrade(2, 0.25, 100.0);
+                let t0 = sim.now();
+                fab.transmit(frame(2, 1, 1250, 3));
+                fab.transmit(frame(2, 1, 1250, 4));
+                assert_eq!(rx1.recv().await.unwrap().payload, 3);
+                assert_eq!(sim.now().since(t0).as_ns_f64(), 400.0);
+                assert_eq!(rx1.recv().await.unwrap().payload, 4);
+                assert_eq!(sim.now().since(t0).as_ns_f64(), 800.0);
+                // Full restore: back to the healthy 300 ns.
+                fab.set_link_degrade(2, 1.0, 0.0);
+                let t0 = sim.now();
+                fab.transmit(frame(2, 1, 1250, 5));
+                assert_eq!(rx1.recv().await.unwrap().payload, 5);
+                assert_eq!(sim.now().since(t0).as_ns_f64(), 300.0);
             }
         });
     }

@@ -29,8 +29,17 @@
 //!   de-asserts once the queue drains to the XON watermark (hysteresis).
 //!   With PFC enabled frames are never tail-dropped; the gap between
 //!   `xoff_bytes` and `buffer_bytes` is the headroom that absorbs frames
-//!   already serialized when the pause asserts (the model's pause signal
-//!   is instantaneous, so one frame per feeder suffices).
+//!   launched while the pause signal is in flight: XOFF/XON transitions
+//!   reach upstream feeders one propagation delay after they assert,
+//!   like a real pause frame crossing the link.
+//! * **Faults** — a runtime fault plane (driven by the `cord-chaos`
+//!   crate) can down or degrade host links, kill a fat-tree spine
+//!   (subsequent cross-leaf paths reroute deterministically around it;
+//!   frames on dead hardware are counted as lost), wedge pause state,
+//!   and break PFC deadlocks with a no-progress watchdog. With no fault
+//!   injected the hot path pays one predictable branch, schedules zero
+//!   extra events, and results stay byte-identical to a fault-free
+//!   build.
 //!
 //! Everything is deterministic: routing is a pure hash, queues are
 //! analytic FIFOs (event-driven FIFOs under PFC), and event scheduling
@@ -45,7 +54,7 @@ use cord_hw::machine::LinkSpec;
 use cord_sim::sync::{channel, Receiver, Sender};
 use cord_sim::{transmission_time, FifoResource, Sim, SimDuration, SimTime};
 
-use crate::route::{RoutePlan, Topology};
+use crate::route::{PortKind, RoutePlan, Topology};
 
 /// ECN marking knobs for switch output ports.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -205,8 +214,20 @@ impl<T> Default for FeederQ<T> {
 /// PFC pause state for one switch output port.
 struct PfcPort<T> {
     feeder: FeederQ<T>,
-    /// Currently asserting pause toward upstream feeders.
+    /// Locally asserting pause (the switch's own view; pause accounting
+    /// and the deadlock watchdog run off this).
     xoff: Cell<bool>,
+    /// Pause state as *observed* by upstream feeders: transitions lag
+    /// `xoff` by one propagation delay (the pause frame crossing the
+    /// link), so frames already launched in that window still land — the
+    /// traffic the XOFF/buffer headroom exists to absorb.
+    xoff_seen: Cell<bool>,
+    /// Transition counter: each in-flight pause signal carries the epoch
+    /// it was sent under and is discarded once superseded.
+    epoch: Cell<u32>,
+    /// Pause wedged on by the fault plane (exempt from the XON drain
+    /// rule; only [`Switched::force_pause`] or the watchdog clears it).
+    forced: Cell<bool>,
     pause_since: Cell<SimTime>,
     /// XOFF assertions (pause frames sent upstream, coalesced per episode).
     pause_events: Cell<u64>,
@@ -221,11 +242,62 @@ impl<T> Default for PfcPort<T> {
         PfcPort {
             feeder: FeederQ::default(),
             xoff: Cell::new(false),
+            xoff_seen: Cell::new(false),
+            epoch: Cell::new(0),
+            forced: Cell::new(false),
             pause_since: Cell::new(SimTime::ZERO),
             pause_events: Cell::new(0),
             pause_total: Cell::new(SimDuration::ZERO),
             waiters: RefCell::new(VecDeque::new()),
         }
+    }
+}
+
+/// Runtime fault-plane state for a switched fabric, mutated by the
+/// `cord-chaos` crate through [`Network`]'s fault API.
+///
+/// Always allocated, but `active` stays `false` until the first
+/// injection, so the healthy hot path pays exactly one predictable branch
+/// per check and schedules zero extra events — a run that never injects a
+/// fault is byte-identical to a build without this struct (revalidated by
+/// the loadgen matrix and the simbench digest in CI).
+struct FaultState {
+    /// Latched by the first injection; never cleared (a *cleared* fault
+    /// still leaves history in the counters below).
+    active: Cell<bool>,
+    /// Host links administratively down (link flap).
+    host_down: Vec<Cell<bool>>,
+    /// Host-egress line-rate multiplier (1.0 = healthy).
+    host_rate: Vec<Cell<f64>>,
+    /// Extra one-way latency on the host's egress hop, ns.
+    host_extra_ns: Vec<Cell<f64>>,
+    /// Switch ports gone dark (switch death).
+    port_dead: Vec<Cell<bool>>,
+    /// Bitmask of dead fat-tree spines, consulted by reroute.
+    dead_spines: Cell<u64>,
+    /// Frames lost to dead hardware: dead ports, downed host links, and
+    /// serializer queues stranded by a switch death.
+    dead_drops: Cell<u64>,
+    /// Frames whose path avoided a dead spine via deterministic reroute.
+    reroutes: Cell<u64>,
+}
+
+impl FaultState {
+    fn new(nodes: usize, ports: usize) -> FaultState {
+        FaultState {
+            active: Cell::new(false),
+            host_down: (0..nodes).map(|_| Cell::new(false)).collect(),
+            host_rate: (0..nodes).map(|_| Cell::new(1.0)).collect(),
+            host_extra_ns: (0..nodes).map(|_| Cell::new(0.0)).collect(),
+            port_dead: (0..ports).map(|_| Cell::new(false)).collect(),
+            dead_spines: Cell::new(0),
+            dead_drops: Cell::new(0),
+            reroutes: Cell::new(0),
+        }
+    }
+
+    fn dead_drop(&self) {
+        self.dead_drops.set(self.dead_drops.get() + 1);
     }
 }
 
@@ -245,6 +317,8 @@ struct Switched<T> {
     ingress_tx: Vec<Sender<Frame<T>>>,
     /// `Some` iff `cfg.pfc.enabled`: the pause-aware serialization path.
     pfc: Option<PfcFabric<T>>,
+    /// Fault-plane admin state (inert until the first injection).
+    faults: FaultState,
 }
 
 enum Kind<T> {
@@ -310,6 +384,7 @@ impl<T: 'static> Network<T> {
                         ports: (0..plan.num_ports()).map(|_| PfcPort::default()).collect(),
                     }
                 });
+                let faults = FaultState::new(nodes, plan.num_ports());
                 let sw = Rc::new(Switched {
                     sim: sim.clone(),
                     spec,
@@ -319,6 +394,7 @@ impl<T: 'static> Network<T> {
                     ports,
                     ingress_tx,
                     pfc,
+                    faults,
                 });
                 (
                     Network {
@@ -476,7 +552,117 @@ impl<T: 'static> Network<T> {
         }
     }
 
+    // ================== fault plane (cord-chaos API) ==================
+
+    /// Administratively down (`true`) or restore (`false`) a host link.
+    ///
+    /// On the full mesh and the switched analytic path, frames touching a
+    /// downed link are dropped and counted in
+    /// [`Network::fault_dead_drops`]. Under PFC the host's egress
+    /// serializer instead *parks* until the link returns (lossless-fabric
+    /// behavior), though frames bound *to* the dead host are still lost
+    /// at delivery.
+    pub fn set_host_link_down(&self, node: usize, down: bool) {
+        match &self.kind {
+            Kind::Mesh(f) => f.set_link_down(node, down),
+            Kind::Switched(s) => Switched::set_host_link_down(s, node, down),
+        }
+    }
+
+    /// Degrade `node`'s host link: multiply its line rate by
+    /// `rate_factor` and add `extra_ns` of one-way latency on its egress
+    /// hop. `(1.0, 0.0)` restores the healthy link.
+    pub fn set_host_link_degrade(&self, node: usize, rate_factor: f64, extra_ns: f64) {
+        assert!(
+            rate_factor > 0.0 && rate_factor.is_finite(),
+            "rate factor must be positive"
+        );
+        assert!(extra_ns >= 0.0, "extra latency must be non-negative");
+        match &self.kind {
+            Kind::Mesh(f) => f.set_link_degrade(node, rate_factor, extra_ns),
+            Kind::Switched(s) => {
+                s.faults.active.set(true);
+                s.faults.host_rate[node].set(rate_factor);
+                s.faults.host_extra_ns[node].set(extra_ns);
+            }
+        }
+    }
+
+    /// Kill fat-tree spine switch `spine`: its downlinks and the leaf
+    /// uplinks wired to them go dark. Subsequent cross-leaf paths reroute
+    /// deterministically around the corpse
+    /// ([`RoutePlan::route_avoiding`]); frames already committed to dead
+    /// hardware are lost and counted. Panics on the full mesh (see
+    /// [`Network::port_queued_bytes`]) and on non-fat-tree plans.
+    pub fn kill_spine(&self, spine: usize) {
+        let s = self.switched_rc();
+        assert!(
+            matches!(s.cfg.topology, Topology::FatTree { .. }),
+            "kill_spine requires a fat tree"
+        );
+        assert!(spine < s.plan.spines(), "spine {spine} out of range");
+        Switched::kill_spine(s, spine);
+    }
+
+    /// Force (`on = true`) or release pause on a switch port regardless
+    /// of its occupancy — the injector behind pause-storm and
+    /// cyclic-buffer-dependency wedges. No-op when PFC is disabled;
+    /// panics on the full mesh (see [`Network::port_queued_bytes`]).
+    pub fn force_pause(&self, port: usize, on: bool) {
+        Switched::force_pause(self.switched_rc(), port, on);
+    }
+
+    /// PFC no-progress watchdog (SONiC-style): break every port that has
+    /// been continuously asserting pause for at least `stuck_for`,
+    /// forcibly releasing it so the fabric makes progress again. Returns
+    /// the number of ports broken — the deadlock detection counter.
+    /// Always 0 on the full mesh or with PFC off.
+    pub fn pfc_watchdog_scan(&self, stuck_for: SimDuration) -> u64 {
+        match &self.kind {
+            Kind::Mesh(_) => 0,
+            Kind::Switched(s) => Switched::pfc_watchdog_scan(s, stuck_for),
+        }
+    }
+
+    /// Frames rerouted around dead spines (0 on the full mesh).
+    pub fn fault_reroutes(&self) -> u64 {
+        match &self.kind {
+            Kind::Mesh(_) => 0,
+            Kind::Switched(s) => s.faults.reroutes.get(),
+        }
+    }
+
+    /// Frames lost to dead hardware: dead ports, downed host links, and
+    /// serializer queues stranded by a switch death.
+    pub fn fault_dead_drops(&self) -> u64 {
+        match &self.kind {
+            Kind::Mesh(f) => f.link_drops(),
+            Kind::Switched(s) => s.faults.dead_drops.get(),
+        }
+    }
+
+    /// Cumulative pause time billed to one switch port, including an
+    /// episode still open at the current instant — the per-victim
+    /// pause-time counter (panics on the full mesh, see
+    /// [`Network::port_queued_bytes`]). Zero when PFC is off.
+    pub fn port_pause_time(&self, port: usize) -> SimDuration {
+        let s = self.switched();
+        s.pfc.as_ref().map_or(SimDuration::ZERO, |p| {
+            let pp = &p.ports[port];
+            let open = if pp.xoff.get() {
+                s.sim.now().since(pp.pause_since.get())
+            } else {
+                SimDuration::ZERO
+            };
+            pp.pause_total.get() + open
+        })
+    }
+
     fn switched(&self) -> &Switched<T> {
+        self.switched_rc()
+    }
+
+    fn switched_rc(&self) -> &Rc<Switched<T>> {
         match &self.kind {
             Kind::Mesh(_) => panic!("full mesh has no switch ports"),
             Kind::Switched(s) => s,
@@ -504,7 +690,16 @@ impl<T: 'static> Switched<T> {
             Self::pfc_transmit(this, frame);
             return;
         }
-        let ser = transmission_time(frame.wire_bytes as u64, this.spec.gbps);
+        // Lossy path: a downed host link at either end drops the frame at
+        // transmit time (loopback is NIC-internal and never touches it).
+        if this.faults.active.get()
+            && frame.src != frame.dst
+            && (this.faults.host_down[frame.src].get() || this.faults.host_down[frame.dst].get())
+        {
+            this.faults.dead_drop();
+            return;
+        }
+        let ser = transmission_time(frame.wire_bytes as u64, this.host_gbps(frame.src));
         let grant = this.host_egress[frame.src].enqueue(ser);
         if frame.src == frame.dst {
             // Loopback: NIC-internal path, no switches.
@@ -516,10 +711,10 @@ impl<T: 'static> Switched<T> {
             return;
         }
         let mut path = [0; RoutePlan::MAX_PATH];
-        let hops = this
-            .plan
-            .route_into(frame.src, frame.dst, frame.flow, &mut path);
-        let at = grant.end + this.prop();
+        let Some(hops) = this.fault_route(&frame, &mut path) else {
+            return; // no live path: the frame died with the fabric
+        };
+        let at = grant.end + this.prop() + this.host_extra(frame.src);
         let st = Box::new(HopState {
             frame,
             path: path.map(|p| p as u32),
@@ -533,6 +728,53 @@ impl<T: 'static> Switched<T> {
         SimDuration::from_ns_f64(self.spec.propagation_ns)
     }
 
+    /// Host-egress line rate, honoring a degraded link. With no fault
+    /// active this is exactly `spec.gbps` (bit-identical serialization).
+    fn host_gbps(&self, node: usize) -> f64 {
+        if self.faults.active.get() {
+            self.spec.gbps * self.faults.host_rate[node].get()
+        } else {
+            self.spec.gbps
+        }
+    }
+
+    /// Extra one-way latency billed on a degraded host link's egress hop.
+    fn host_extra(&self, node: usize) -> SimDuration {
+        if self.faults.active.get() {
+            SimDuration::from_ns_f64(self.faults.host_extra_ns[node].get())
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// Route `frame`, honoring the dead-spine mask. `None` means no live
+    /// path exists (already counted as lost to dead hardware).
+    fn fault_route(
+        &self,
+        frame: &Frame<T>,
+        path: &mut [usize; RoutePlan::MAX_PATH],
+    ) -> Option<usize> {
+        let dead = self.faults.dead_spines.get();
+        if dead == 0 {
+            return Some(self.plan.route_into(frame.src, frame.dst, frame.flow, path));
+        }
+        match self
+            .plan
+            .route_avoiding(frame.src, frame.dst, frame.flow, dead, path)
+        {
+            None => {
+                self.faults.dead_drop();
+                None
+            }
+            Some((hops, rerouted)) => {
+                if rerouted {
+                    self.faults.reroutes.set(self.faults.reroutes.get() + 1);
+                }
+                Some(hops)
+            }
+        }
+    }
+
     /// Process hop `st.i` of the path at time `at`: run the frame through
     /// the port's buffer/ECN checks and serializer, then forward or
     /// deliver.
@@ -540,6 +782,10 @@ impl<T: 'static> Switched<T> {
         let sim = this.sim.clone();
         sim.schedule_at(at, move |sim| {
             let idx = st.path[st.i as usize] as usize;
+            if this.faults.active.get() && this.faults.port_dead[idx].get() {
+                this.faults.dead_drop();
+                return; // the frame arrived at a dead port
+            }
             let wire = st.frame.wire_bytes;
             let grant_end = {
                 let p = &this.ports[idx];
@@ -564,6 +810,10 @@ impl<T: 'static> Switched<T> {
             if st.i + 1 == st.hops {
                 // Last port is the downlink to the destination host.
                 sim.schedule_at(next_at, move |_| {
+                    if this.faults.active.get() && this.faults.host_down[st.frame.dst].get() {
+                        this.faults.dead_drop();
+                        return;
+                    }
                     let _ = this.ingress_tx[st.frame.dst].try_send(st.frame);
                 });
             } else {
@@ -597,9 +847,9 @@ impl<T: 'static> Switched<T> {
             })
         } else {
             let mut path = [0; RoutePlan::MAX_PATH];
-            let hops = this
-                .plan
-                .route_into(frame.src, frame.dst, frame.flow, &mut path);
+            let Some(hops) = this.fault_route(&frame, &mut path) else {
+                return; // no live path: the frame died with the fabric
+            };
             Box::new(HopState {
                 frame,
                 path: path.map(|p| p as u32),
@@ -619,13 +869,18 @@ impl<T: 'static> Switched<T> {
         if h.busy.get() || h.parked.get() {
             return;
         }
+        // A downed link is dark, not dropping: lossless-fabric frames wait
+        // in the feeder until the flap clears (the link-up path re-kicks).
+        if this.faults.active.get() && this.faults.host_down[node].get() {
+            return;
+        }
         let first_port = match h.q.borrow().front() {
             None => return,
             Some(st) if st.hops > 0 => Some(st.path[0] as usize),
             Some(_) => None, // loopback: no downstream port to pause us
         };
         if let Some(q) = first_port {
-            if pfc.ports[q].xoff.get() {
+            if pfc.ports[q].xoff_seen.get() {
                 h.parked.set(true);
                 pfc.ports[q]
                     .waiters
@@ -636,7 +891,7 @@ impl<T: 'static> Switched<T> {
         }
         h.busy.set(true);
         let st = h.q.borrow_mut().pop_front().expect("head checked above");
-        let ser = transmission_time(st.frame.wire_bytes as u64, this.spec.gbps);
+        let ser = transmission_time(st.frame.wire_bytes as u64, this.host_gbps(node));
         let sw = Rc::clone(this);
         this.sim.schedule_after(ser, move |sim| {
             let node = st.frame.src;
@@ -646,7 +901,7 @@ impl<T: 'static> Switched<T> {
                 // analytic path.
                 let _ = sw.ingress_tx[st.frame.dst].try_send(st.frame);
             } else {
-                let at = sim.now() + sw.prop();
+                let at = sim.now() + sw.prop() + sw.host_extra(node);
                 let sw2 = Rc::clone(&sw);
                 sim.schedule_at(at, move |_| Self::pfc_arrive(&sw2, st));
             }
@@ -658,6 +913,12 @@ impl<T: 'static> Switched<T> {
     /// ECN-mark, assert XOFF at the watermark, and kick the serializer.
     fn pfc_arrive(this: &Rc<Self>, mut st: Box<HopState<T>>) {
         let idx = st.path[st.i as usize] as usize;
+        if this.faults.active.get() && this.faults.port_dead[idx].get() {
+            // PFC cannot pause a corpse: frames committed to a dead port
+            // are the one loss a lossless fabric admits under faults.
+            this.faults.dead_drop();
+            return;
+        }
         let wire = st.frame.wire_bytes;
         let p = &this.ports[idx];
         // Same marking rule (and check-before-add order) as the analytic
@@ -670,12 +931,70 @@ impl<T: 'static> Switched<T> {
         p.forwarded.set(p.forwarded.get() + 1);
         let pp = &this.pfc().ports[idx];
         if !pp.xoff.get() && p.queued.get() >= this.cfg.pfc.xoff_bytes {
-            pp.xoff.set(true);
-            pp.pause_events.set(pp.pause_events.get() + 1);
-            pp.pause_since.set(this.sim.now());
+            Self::set_pause(this, idx, true);
         }
         pp.feeder.q.borrow_mut().push_back(st);
         Self::pfc_kick_port(this, idx);
+    }
+
+    /// Flip port `idx`'s local pause state. Accounting (episode count,
+    /// pause clock) runs at the local instant — the switch's own view —
+    /// while upstream feeders *observe* the transition one propagation
+    /// delay later via [`Switched::pause_signal`], like a real pause
+    /// frame crossing the link (the PR-6 propagation-delay refinement).
+    fn set_pause(this: &Rc<Self>, idx: usize, on: bool) {
+        let pp = &this.pfc().ports[idx];
+        debug_assert_ne!(pp.xoff.get(), on, "pause transition must flip");
+        pp.xoff.set(on);
+        if on {
+            pp.pause_events.set(pp.pause_events.get() + 1);
+            pp.pause_since.set(this.sim.now());
+        } else {
+            pp.pause_total
+                .set(pp.pause_total.get() + this.sim.now().since(pp.pause_since.get()));
+        }
+        let epoch = pp.epoch.get().wrapping_add(1);
+        pp.epoch.set(epoch);
+        // Pack (epoch, on) into one word so the closure captures
+        // (Rc, u32, u32) and stays within the executor's inline budget.
+        let word = (epoch << 1) | u32::from(on);
+        let idx = idx as u32;
+        let sw = Rc::clone(this);
+        this.sim
+            .schedule_after(this.prop(), move |_| Self::pause_signal(&sw, idx, word));
+    }
+
+    /// A pause transition reaches port `idx`'s feeders: update the
+    /// observed state and, on XON, wake parked feeders in park order.
+    /// Signals superseded by a newer transition are discarded.
+    fn pause_signal(this: &Rc<Self>, idx: u32, word: u32) {
+        let pp = &this.pfc().ports[idx as usize];
+        if pp.epoch.get() & 0x7FFF_FFFF != word >> 1 {
+            return; // superseded
+        }
+        let on = word & 1 == 1;
+        pp.xoff_seen.set(on);
+        if !on {
+            Self::wake_waiters(this, idx as usize);
+        }
+    }
+
+    /// Wake every feeder parked on port `idx`, in park order.
+    fn wake_waiters(this: &Rc<Self>, idx: usize) {
+        let pfc = this.pfc();
+        let waiters: Vec<FeederId> = pfc.ports[idx].waiters.borrow_mut().drain(..).collect();
+        for w in waiters {
+            match w {
+                FeederId::Host(n) => {
+                    pfc.hosts[n].parked.set(false);
+                    Self::pfc_kick_host(this, n);
+                }
+                FeederId::Port(i) => {
+                    pfc.ports[i].feeder.parked.set(false);
+                    Self::pfc_kick_port(this, i);
+                }
+            }
+        }
     }
 
     /// Try to start port `idx`'s serializer for its head frame, parking on
@@ -692,7 +1011,7 @@ impl<T: 'static> Switched<T> {
             Some(_) => None, // last hop: the destination host never pauses
         };
         if let Some(nxt) = next_port {
-            if pfc.ports[nxt].xoff.get() {
+            if pfc.ports[nxt].xoff_seen.get() {
                 pp.feeder.parked.set(true);
                 pfc.ports[nxt]
                     .waiters
@@ -710,39 +1029,28 @@ impl<T: 'static> Switched<T> {
     }
 
     /// Port `st.path[st.i]` finished serializing `st.frame`: release its
-    /// buffer bytes, de-assert XOFF at the XON watermark (waking parked
-    /// feeders in park order), forward the frame, and continue the queue.
+    /// buffer bytes, de-assert XOFF at the XON watermark (parked feeders
+    /// wake once the XON signal propagates), forward the frame, and
+    /// continue the queue.
     fn pfc_port_done(this: &Rc<Self>, mut st: Box<HopState<T>>) {
         let idx = st.path[st.i as usize] as usize;
         let wire = st.frame.wire_bytes;
         let p = &this.ports[idx];
         p.queued.set(p.queued.get() - wire);
-        let pfc = this.pfc();
-        let pp = &pfc.ports[idx];
+        let pp = &this.pfc().ports[idx];
         pp.feeder.busy.set(false);
-        if pp.xoff.get() && p.queued.get() <= this.cfg.pfc.xon_bytes {
-            pp.xoff.set(false);
-            pp.pause_total
-                .set(pp.pause_total.get() + this.sim.now().since(pp.pause_since.get()));
-            let waiters: Vec<FeederId> = pp.waiters.borrow_mut().drain(..).collect();
-            for w in waiters {
-                match w {
-                    FeederId::Host(n) => {
-                        pfc.hosts[n].parked.set(false);
-                        Self::pfc_kick_host(this, n);
-                    }
-                    FeederId::Port(i) => {
-                        pfc.ports[i].feeder.parked.set(false);
-                        Self::pfc_kick_port(this, i);
-                    }
-                }
-            }
+        if pp.xoff.get() && !pp.forced.get() && p.queued.get() <= this.cfg.pfc.xon_bytes {
+            Self::set_pause(this, idx, false);
         }
         let at = this.sim.now() + this.prop();
         let last = st.i + 1 == st.hops;
         let sw = Rc::clone(this);
         if last {
             this.sim.schedule_at(at, move |_| {
+                if sw.faults.active.get() && sw.faults.host_down[st.frame.dst].get() {
+                    sw.faults.dead_drop();
+                    return;
+                }
                 let _ = sw.ingress_tx[st.frame.dst].try_send(st.frame);
             });
         } else {
@@ -750,5 +1058,93 @@ impl<T: 'static> Switched<T> {
             this.sim.schedule_at(at, move |_| Self::pfc_arrive(&sw, st));
         }
         Self::pfc_kick_port(this, idx);
+    }
+
+    // ===================== fault plane internals =====================
+
+    fn set_host_link_down(this: &Rc<Self>, node: usize, down: bool) {
+        this.faults.active.set(true);
+        this.faults.host_down[node].set(down);
+        if !down && this.pfc.is_some() {
+            // Link restored: resume the frames that waited out the flap.
+            Self::pfc_kick_host(this, node);
+        }
+    }
+
+    /// Switch death: mark every port on `spine` (downlinks and the leaf
+    /// uplinks wired to it) dead, flush stranded serializer queues, and —
+    /// under PFC — tear down the corpse's pause state so nothing stays
+    /// parked on it forever. A dead link carries no pause signal, so the
+    /// teardown is immediate, not propagated.
+    fn kill_spine(this: &Rc<Self>, spine: usize) {
+        let f = &this.faults;
+        f.active.set(true);
+        f.dead_spines.set(f.dead_spines.get() | 1 << spine);
+        for idx in 0..this.plan.num_ports() {
+            let on_spine = match this.plan.port_kind(idx) {
+                PortKind::LeafUp { spine: s, .. } | PortKind::SpineDown { spine: s, .. } => {
+                    s == spine
+                }
+                _ => false,
+            };
+            if !on_spine || f.port_dead[idx].get() {
+                continue;
+            }
+            f.port_dead[idx].set(true);
+            if let Some(pfc) = &this.pfc {
+                let pp = &pfc.ports[idx];
+                // Frames waiting in the dead port's serializer are lost.
+                let stranded = pp.feeder.q.borrow_mut().drain(..).count() as u64;
+                f.dead_drops.set(f.dead_drops.get() + stranded);
+                pp.forced.set(false);
+                if pp.xoff.get() {
+                    pp.xoff.set(false);
+                    pp.pause_total
+                        .set(pp.pause_total.get() + this.sim.now().since(pp.pause_since.get()));
+                }
+                // Invalidate in-flight pause signals and release every
+                // feeder parked on the corpse.
+                pp.epoch.set(pp.epoch.get().wrapping_add(1));
+                pp.xoff_seen.set(false);
+                Self::wake_waiters(this, idx);
+            }
+        }
+    }
+
+    /// Chaos injector: wedge (`on`) or release port `idx`'s pause state
+    /// regardless of occupancy. A release only de-asserts immediately
+    /// when the queue sits at or below XON; otherwise the natural drain
+    /// path finishes the job.
+    fn force_pause(this: &Rc<Self>, idx: usize, on: bool) {
+        if this.pfc.is_none() {
+            return;
+        }
+        this.faults.active.set(true);
+        let pp = &this.pfc().ports[idx];
+        pp.forced.set(on);
+        if on && !pp.xoff.get() {
+            Self::set_pause(this, idx, true);
+        } else if !on && pp.xoff.get() && this.ports[idx].queued.get() <= this.cfg.pfc.xon_bytes {
+            Self::set_pause(this, idx, false);
+        }
+    }
+
+    /// One watchdog sweep: break every port continuously paused for at
+    /// least `stuck_for`, returning how many were broken.
+    fn pfc_watchdog_scan(this: &Rc<Self>, stuck_for: SimDuration) -> u64 {
+        let Some(pfc) = &this.pfc else {
+            return 0;
+        };
+        let now = this.sim.now();
+        let mut broken = 0;
+        for idx in 0..pfc.ports.len() {
+            let pp = &pfc.ports[idx];
+            if pp.xoff.get() && now.since(pp.pause_since.get()) >= stuck_for {
+                pp.forced.set(false);
+                Self::set_pause(this, idx, false);
+                broken += 1;
+            }
+        }
+        broken
     }
 }

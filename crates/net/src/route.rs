@@ -271,6 +271,53 @@ impl RoutePlan {
         }
     }
 
+    /// Fat-tree spine count (0 on other topologies).
+    pub fn spines(&self) -> usize {
+        self.spines
+    }
+
+    /// [`RoutePlan::route_into`], avoiding fat-tree spines whose bit is set
+    /// in `dead_spines` (the fault plane's switch-death mask; spine `s` is
+    /// bit `1 << s`, so up to 64 spines — radix 128 — are addressable).
+    ///
+    /// The primary spine is the ECMP choice; when it is dead the probe
+    /// walks `(spine + k) % spines` for `k = 1, 2, ...` and takes the
+    /// first live spine, so the reroute is a pure function of
+    /// `(src, dst, flow, dead_spines)` and same-seed runs stay
+    /// byte-identical. Returns `Some((hops, rerouted))`, or `None` when a
+    /// cross-leaf path exists but every spine is dead. Same-leaf fat-tree
+    /// paths and all dumbbell paths never touch a spine; they delegate to
+    /// [`RoutePlan::route_into`] with `rerouted = false`.
+    pub fn route_avoiding(
+        &self,
+        src: usize,
+        dst: usize,
+        flow: u64,
+        dead_spines: u64,
+        out: &mut [usize; Self::MAX_PATH],
+    ) -> Option<(usize, bool)> {
+        if let Topology::FatTree { .. } = self.topology {
+            let (ls, ld) = (self.leaf_of(src), self.leaf_of(dst));
+            if ls != ld {
+                let primary = (ecmp_hash(src, dst, flow) % self.spines as u64) as usize;
+                let mut spine = primary;
+                let mut k = 0;
+                while dead_spines & (1 << spine) != 0 {
+                    k += 1;
+                    if k == self.spines {
+                        return None; // every spine is dead
+                    }
+                    spine = (primary + k) % self.spines;
+                }
+                out[0] = ls * self.spines + spine;
+                out[1] = self.leaves * self.spines + spine * self.leaves + ld;
+                out[2] = self.host_down_port(dst);
+                return Some((3, spine != primary));
+            }
+        }
+        Some((self.route_into(src, dst, flow, out), false))
+    }
+
     /// [`RoutePlan::route_into`], returning the path as a `Vec`.
     pub fn route(&self, src: usize, dst: usize, flow: u64) -> Vec<usize> {
         let mut out = [0; Self::MAX_PATH];
@@ -396,6 +443,47 @@ mod tests {
         assert_eq!(s2, spine, "same spine down as up");
         assert_eq!(l2, p.leaf_of(13));
         assert_eq!(p.port_kind(path[2]), PortKind::HostDown { host: 13 });
+    }
+
+    #[test]
+    fn route_avoiding_skips_dead_spines_deterministically() {
+        let p = RoutePlan::new(Topology::FatTree { radix: 8 }, 16);
+        let mut out = [0; RoutePlan::MAX_PATH];
+        // No dead spines: identical to route_into, never flagged rerouted.
+        for flow in 0..32u64 {
+            let (hops, rerouted) = p.route_avoiding(0, 12, flow, 0, &mut out).unwrap();
+            assert_eq!((hops, rerouted), (3, false));
+            assert_eq!(out[..3].to_vec(), p.route(0, 12, flow));
+        }
+        // Kill the primary spine of one flow: its path moves to a live
+        // spine and is flagged; an unaffected flow keeps its path.
+        let primary = |flow: u64| {
+            let PortKind::LeafUp { spine, .. } = p.port_kind(p.route(0, 12, flow)[0]) else {
+                panic!("first hop must go up");
+            };
+            spine
+        };
+        let f = (0..64u64).find(|&f| primary(f) == 1).unwrap();
+        let (hops, rerouted) = p.route_avoiding(0, 12, f, 1 << 1, &mut out).unwrap();
+        assert_eq!((hops, rerouted), (3, true));
+        let PortKind::LeafUp { spine, .. } = p.port_kind(out[0]) else {
+            panic!();
+        };
+        assert_eq!(spine, 2, "probe walks to the next live spine");
+        let unaffected = (0..64u64).find(|&f| primary(f) == 3).unwrap();
+        let (_, moved) = p
+            .route_avoiding(0, 12, unaffected, 1 << 1, &mut out)
+            .unwrap();
+        assert!(!moved, "flows off the dead spine keep their path");
+        // Deterministic: same inputs, same reroute.
+        let a = p.route_avoiding(0, 12, f, 1 << 1, &mut out);
+        let path_a = out;
+        let b = p.route_avoiding(0, 12, f, 1 << 1, &mut out);
+        assert_eq!((a, path_a), (b, out));
+        // Same-leaf traffic ignores the mask entirely.
+        assert_eq!(p.route_avoiding(0, 1, 9, 0xF, &mut out), Some((1, false)));
+        // All spines dead: no cross-leaf path remains.
+        assert_eq!(p.route_avoiding(0, 12, f, 0xF, &mut out), None);
     }
 
     #[test]

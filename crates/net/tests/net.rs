@@ -238,17 +238,21 @@ fn pfc_pause_asserts_at_xoff_and_releases_at_xon_with_hysteresis() {
         async move {
             let bott = net.plan().unwrap().bottleneck_port(true);
             // Three frames from node 0 arrive at the bottleneck at t=300,
-            // 400, 500 ns; occupancy hits XOFF on the third.
+            // 400, 500 ns; occupancy hits XOFF on the third. The pause
+            // signal takes one 200 ns propagation to reach the feeders,
+            // so it is *observed* upstream at t=700.
             for i in 0..3 {
                 net.transmit(frame(0, 6, 1250, 1, i));
             }
             sim.sleep(SimDuration::from_ns(550)).await;
             assert!(net.port_paused(bott), "XOFF at the watermark");
             assert_eq!(net.port_pauses(bott), 1);
-            // A fourth frame from another host parks at its egress link:
-            // the bottleneck's queue must not grow while paused.
+            // A fourth frame from another host, launched after the pause
+            // frame has crossed the link, parks at its egress link: the
+            // bottleneck's queue must not grow while paused.
+            sim.sleep(SimDuration::from_ns(200)).await; // t=750
             net.transmit(frame(1, 6, 1250, 1, 3));
-            sim.sleep(SimDuration::from_ns(400)).await; // t=950
+            sim.sleep(SimDuration::from_ns(200)).await; // t=950
             assert_eq!(net.port_queued_bytes(bott), 3750, "feeder parked");
             // First frame drains at t=1300: occupancy 2500 sits between
             // XON and XOFF — hysteresis keeps the pause asserted.
@@ -256,11 +260,14 @@ fn pfc_pause_asserts_at_xoff_and_releases_at_xon_with_hysteresis() {
             assert_eq!(net.port_queued_bytes(bott), 2500);
             assert!(net.port_paused(bott), "pause holds inside the band");
             // Second frame drains at t=2300: occupancy 1250 <= XON
-            // releases the pause and wakes the parked feeder.
+            // releases the pause; the XON signal lands at t=2500 and
+            // wakes the parked feeder.
             sim.sleep(SimDuration::from_ns(1000)).await; // t=2400
             assert!(!net.port_paused(bott), "XON releases the pause");
             assert_eq!(net.port_pauses(bott), 1, "one coalesced episode");
-            assert!(net.total_pause_time() > SimDuration::from_ns(1500));
+            // Episode ran t=500 to t=2300.
+            assert_eq!(net.total_pause_time(), SimDuration::from_ns(1800));
+            assert_eq!(net.port_pause_time(bott), SimDuration::from_ns(1800));
             // Everything is delivered, in order, with zero drops.
             let order: Vec<u32> = [rx6.recv().await, rx6.recv().await, rx6.recv().await]
                 .into_iter()
@@ -375,6 +382,125 @@ fn pfc_runs_are_deterministic() {
     let a = hol_run(true, true);
     let b = hol_run(true, true);
     assert_eq!(a, b);
+}
+
+#[test]
+fn switch_death_drops_inflight_frames_and_reroutes_new_ones() {
+    let sim = Sim::new();
+    let cfg = NetConfig::for_topology(Topology::FatTree { radix: 8 });
+    let (net, mut rx) = build(&sim, 16, cfg);
+    let rx12 = rx.remove(12);
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            // Host 0 sits on leaf 0, so its leaf-up port index equals the
+            // spine number; pick a flow whose ECMP primary is spine 0.
+            let plan = net.plan().unwrap();
+            let flow = (0..64u64).find(|&f| plan.route(0, 12, f)[0] == 0).unwrap();
+            // Launch a frame down that path, then kill spine 0 while the
+            // frame is still crossing the leaf→spine link: it arrives at
+            // a dead spine port and is lost.
+            net.transmit(frame(0, 12, 1250, flow, 1));
+            sim.sleep(SimDuration::from_ns(400)).await;
+            net.kill_spine(0);
+            sim.sleep(SimDuration::from_us(2)).await;
+            assert!(rx12.try_recv().is_none(), "in-flight frame must die");
+            assert_eq!(net.fault_dead_drops(), 1);
+            assert_eq!(net.fault_reroutes(), 0);
+            // The same flow transmitted after the death reroutes around
+            // the corpse and arrives.
+            net.transmit(frame(0, 12, 1250, flow, 2));
+            assert_eq!(rx12.recv().await.unwrap().payload, 2);
+            assert_eq!(net.fault_reroutes(), 1);
+            assert_eq!(net.total_drops(), 0, "reroute, not tail drop");
+        }
+    });
+}
+
+#[test]
+fn host_link_flap_drops_lossy_and_parks_lossless() {
+    // Lossy (analytic) path: frames touching a downed link die at
+    // transmit and are counted as dead-hardware drops.
+    let sim = Sim::new();
+    let cfg = NetConfig::for_topology(Topology::FatTree { radix: 8 });
+    let (net, mut rx) = build(&sim, 16, cfg);
+    let rx12 = rx.remove(12);
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            net.set_host_link_down(0, true);
+            net.transmit(frame(0, 12, 1250, 1, 1));
+            net.transmit(frame(12, 0, 1250, 1, 2));
+            sim.sleep(SimDuration::from_us(2)).await;
+            assert!(rx12.try_recv().is_none());
+            assert_eq!(net.fault_dead_drops(), 2);
+            net.set_host_link_down(0, false);
+            net.transmit(frame(0, 12, 1250, 1, 3));
+            assert_eq!(rx12.recv().await.unwrap().payload, 3);
+        }
+    });
+
+    // Lossless (PFC) path: the downed link parks the host's serializer
+    // instead — every frame waits out the flap and then arrives, in
+    // order, with nothing lost.
+    let sim = Sim::new();
+    let mut cfg = NetConfig::for_topology(Topology::FatTree { radix: 8 });
+    cfg.pfc.enabled = true;
+    let (net, mut rx) = build(&sim, 16, cfg);
+    let rx12 = rx.remove(12);
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            net.set_host_link_down(0, true);
+            for i in 0..3 {
+                net.transmit(frame(0, 12, 1250, 1, i));
+            }
+            sim.sleep(SimDuration::from_us(5)).await;
+            assert!(rx12.try_recv().is_none(), "link is dark");
+            assert_eq!(net.fault_dead_drops(), 0, "lossless: parked, not lost");
+            net.set_host_link_down(0, false);
+            for i in 0..3 {
+                assert_eq!(rx12.recv().await.unwrap().payload, i);
+            }
+        }
+    });
+}
+
+#[test]
+fn forced_pause_wedges_the_fabric_until_the_watchdog_breaks_it() {
+    let sim = Sim::new();
+    let mut cfg = NetConfig::for_topology(Topology::Dumbbell {
+        bottleneck_gbps: 10.0,
+    });
+    cfg.pfc.enabled = true;
+    let (net, mut rx) = build(&sim, 8, cfg);
+    let rx6 = rx.remove(6);
+    sim.block_on({
+        let sim = sim.clone();
+        async move {
+            let bott = net.plan().unwrap().bottleneck_port(true);
+            // Wedge the bottleneck with no congestion at all, wait for
+            // the pause signal to propagate, then transmit: the frame
+            // parks at its host egress link indefinitely.
+            net.force_pause(bott, true);
+            sim.sleep(SimDuration::from_ns(250)).await;
+            net.transmit(frame(0, 6, 1250, 1, 7));
+            sim.sleep(SimDuration::from_us(20)).await;
+            assert!(rx6.try_recv().is_none(), "fabric is wedged");
+            assert!(net.port_paused(bott));
+            // A scan below the stuck threshold sees no deadlock; one
+            // above it breaks the wedge and the frame flows.
+            assert_eq!(net.pfc_watchdog_scan(SimDuration::from_us(100)), 0);
+            assert_eq!(net.pfc_watchdog_scan(SimDuration::from_us(10)), 1);
+            assert!(!net.port_paused(bott));
+            assert_eq!(rx6.recv().await.unwrap().payload, 7);
+            // Pause time covers the whole wedge, and the episode count
+            // pins the pathology.
+            assert!(net.port_pause_time(bott) >= SimDuration::from_us(20));
+            assert_eq!(net.port_pauses(bott), 1);
+            assert_eq!(net.total_drops(), 0);
+        }
+    });
 }
 
 #[test]

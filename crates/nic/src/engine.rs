@@ -72,6 +72,10 @@ pub(crate) struct NicInner {
     retx_replays: Cell<u64>,
     /// QPs errored out after exhausting their retransmit budget.
     retx_exhausted: Cell<u64>,
+    /// Pipeline slowdown factor (chaos straggler injection): every per-WQE
+    /// and per-packet processing cost is multiplied by this. 1.0 (the
+    /// default) is bit-identical to an unscaled pipeline.
+    slowdown: Cell<f64>,
 }
 
 /// A simulated RDMA NIC. Cheap to clone.
@@ -111,6 +115,7 @@ impl Nic {
                 rx_packets: Cell::new(0),
                 retx_replays: Cell::new(0),
                 retx_exhausted: Cell::new(0),
+                slowdown: Cell::new(1.0),
             }),
         };
         nic.start();
@@ -299,6 +304,19 @@ impl Nic {
         Rc::clone(&self.inner.fabric)
     }
 
+    /// Scale every per-WQE and per-packet pipeline cost by `factor`
+    /// (chaos straggler-NIC injection). `factor` ≥ 1 slows the NIC's
+    /// processing pipelines without touching wire rates; 1.0 restores the
+    /// healthy, bit-identical behavior. Takes effect on the next pipeline
+    /// use — costs already in flight keep their original duration.
+    pub fn set_slowdown(&self, factor: f64) {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "slowdown factor must be positive and finite"
+        );
+        self.inner.slowdown.set(factor);
+    }
+
     /// (tx_msgs, rx_msgs, tx_bytes, rx_bytes) counters for a QP.
     pub fn qp_counters(&self, qpn: QpNum) -> Result<(u64, u64, u64, u64), VerbsError> {
         let qp = self.qp(qpn)?;
@@ -362,6 +380,13 @@ impl NicInner {
     #[inline]
     fn qp_rc(&self, qpn: QpNum) -> Option<Rc<RefCell<Qp>>> {
         self.qps.borrow().get(qpn.0 as usize)?.clone()
+    }
+
+    /// Pipeline occupancy for `ns` nanoseconds of nominal processing cost,
+    /// scaled by the straggler slowdown factor.
+    #[inline]
+    fn pipe_cost(&self, ns: f64) -> SimDuration {
+        SimDuration::from_ns_f64(ns * self.slowdown.get())
     }
 }
 
@@ -442,6 +467,9 @@ fn flush_qp(inner: &Rc<NicInner>, qp: &mut Qp) {
     // the wheel) and drop the window — errored QPs never replay.
     if let Some(rx) = qp.retx.as_mut() {
         if let Some(h) = rx.timer.take() {
+            inner.sim.cancel_scheduled(h);
+        }
+        if let Some(h) = rx.rnr_timer.take() {
             inner.sim.cancel_scheduled(h);
         }
         rx.window.clear();
@@ -662,6 +690,60 @@ fn retx_go_back(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, from: u64) {
     ring_qp(inner, qpn);
 }
 
+/// RNR NAK with retransmission armed: the responder had no receive WQE for
+/// `msg_id`. Arm a backoff timer (same wheel as the loss timer, shorter
+/// base period — `ibv_modify_qp`'s rnr_timer attribute) that replays from
+/// the NAKed message, giving the application time to post a buffer. ACK
+/// progress resets the RNR count. Returns whether the NAK was absorbed;
+/// `false` (budget exhausted, or retransmission unarmed) sends the caller
+/// down the fatal `RnrRetryExceeded` path.
+fn rnr_defer(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64) -> bool {
+    let mut qp = qp_rc.borrow_mut();
+    let qpn = qp.num;
+    let Some(rx) = qp.retx.as_mut() else {
+        return false;
+    };
+    rx.rnr_retries += 1;
+    if rx.rnr_retries > rx.cfg.max_rnr_retries {
+        inner.retx_exhausted.set(inner.retx_exhausted.get() + 1);
+        inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
+            format!("qp{} rnr retries exhausted on msg {msg_id}", qpn.0)
+        });
+        return false;
+    }
+    let delay = rx.cfg.rnr_backoff(rx.rnr_retries - 1);
+    rx.rnr_from = msg_id;
+    if let Some(h) = rx.rnr_timer.take() {
+        inner.sim.cancel_scheduled(h);
+    }
+    let at = inner.sim.now() + delay;
+    let inner2 = Rc::clone(inner);
+    rx.rnr_timer = Some(
+        inner
+            .sim
+            .schedule_cancellable_at(at, move |_| rnr_fire(&inner2, qpn)),
+    );
+    true
+}
+
+/// RNR backoff timer fired: replay from the NAKed message (the receiver's
+/// sequence state was rewound to it when the NAK was generated).
+fn rnr_fire(inner: &Rc<NicInner>, qpn: QpNum) {
+    let Some(qp_rc) = inner.qp_rc(qpn) else {
+        return;
+    };
+    let from = {
+        let mut qp = qp_rc.borrow_mut();
+        if qp.state != QpState::Rts {
+            return;
+        }
+        let Some(rx) = qp.retx.as_mut() else { return };
+        rx.rnr_timer = None;
+        rx.rnr_from
+    };
+    retx_go_back(inner, &qp_rc, from);
+}
+
 /// ===================== TX scheduler =====================
 async fn tx_loop(inner: Rc<NicInner>) {
     loop {
@@ -754,7 +836,7 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
     // Per-WQE NIC processing cost.
     inner
         .tx_pipeline
-        .use_for(SimDuration::from_ns_f64(inner.spec.nic.wqe_proc_ns))
+        .use_for(inner.pipe_cost(inner.spec.nic.wqe_proc_ns))
         .await;
 
     let (wqe, msg_id, peer) = {
@@ -877,7 +959,7 @@ async fn start_replay(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> Option<S
     }
     inner
         .tx_pipeline
-        .use_for(SimDuration::from_ns_f64(inner.spec.nic.wqe_proc_ns))
+        .use_for(inner.pipe_cost(inner.spec.nic.wqe_proc_ns))
         .await;
     let (msg_id, wqe, peer) = {
         let mut qp = qp_rc.borrow_mut();
@@ -1160,7 +1242,7 @@ async fn emit_fragments(
         // Pace the scheduler: per-packet pipeline occupancy.
         inner
             .tx_pipeline
-            .use_for(SimDuration::from_ns_f64(inner.spec.nic.tx_pkt_ns))
+            .use_for(inner.pipe_cost(inner.spec.nic.tx_pkt_ns))
             .await;
 
         budget -= 1;
@@ -1181,7 +1263,7 @@ async fn rx_loop(inner: Rc<NicInner>) {
         let Ok(frame) = rx.recv().await else { return };
         inner
             .rx_pipeline
-            .use_for(SimDuration::from_ns_f64(inner.spec.nic.rx_pkt_ns))
+            .use_for(inner.pipe_cost(inner.spec.nic.rx_pkt_ns))
             .await;
         inner.rx_packets.set(inner.rx_packets.get() + 1);
         // Surface the fabric's ECN mark in the packet header.
@@ -1389,6 +1471,10 @@ fn handle_send_frag(
         let popped = qp_rc.borrow_mut().rq.pop_front();
         let Some(rwqe) = popped else {
             if transport == Transport::Rc {
+                // The in-order gate above already advanced past `msg_id`;
+                // rewind so the post-backoff replay is accepted from
+                // fragment 0 instead of being classified as a duplicate.
+                qp_rc.borrow_mut().rx_rnr_rewind(msg_id);
                 nak(inner, hdr, msg_id, NakReason::Rnr);
             }
             return; // UD silently drops
@@ -1432,6 +1518,7 @@ fn handle_send_frag(
                     },
                 );
                 if transport == Transport::Rc {
+                    qp_rc.borrow_mut().rx_rnr_rewind(msg_id);
                     nak(inner, hdr, msg_id, NakReason::Rnr);
                 }
                 return;
@@ -1596,6 +1683,10 @@ fn handle_write_frag(
                         deliver_cqe(&inner2, &cq, cqe);
                     }
                     None => {
+                        // DMA completion runs after the gate advanced; the
+                        // replayed write re-lands idempotently and retries
+                        // the immediate's receive-WQE consumption.
+                        qp2.borrow_mut().rx_rnr_rewind(msg_id);
                         nak(&inner2, hdr, msg_id, NakReason::Rnr);
                         return;
                     }
@@ -1698,7 +1789,7 @@ fn handle_read_req(
             });
             inner2
                 .tx_pipeline
-                .use_for(SimDuration::from_ns_f64(inner2.spec.nic.tx_pkt_ns))
+                .use_for(inner2.pipe_cost(inner2.spec.nic.tx_pkt_ns))
                 .await;
         }
     });
@@ -1835,6 +1926,13 @@ fn handle_nak(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64, reason
         // Recoverable: the responder is missing `msg_id` onward — go back
         // to it and replay, instead of erroring the QP.
         retx_go_back(inner, qp_rc, msg_id);
+        return;
+    }
+    // Receiver-not-ready with retransmission armed is recoverable too:
+    // back off and replay, hoping the application posts a receive buffer
+    // in the meantime. Only budget exhaustion (or an unarmed QP, the
+    // seed's behavior) falls through to the fatal path below.
+    if reason == NakReason::Rnr && rnr_defer(inner, qp_rc, msg_id) {
         return;
     }
     let mut qp = qp_rc.borrow_mut();

@@ -48,6 +48,15 @@ pub struct RetxConfig {
     /// Timeouts tolerated before the QP errors out with
     /// [`crate::cq::CqeStatus::RetryExcErr`]. ACK progress resets the count.
     pub max_retries: u32,
+    /// Base delay before replaying a message the responder RNR-NAKed
+    /// (receiver not ready: no receive WQE posted yet). Much shorter than
+    /// the loss `timeout` — the application is expected to post a buffer
+    /// imminently; consecutive RNR rounds back off exponentially.
+    pub rnr_timeout: SimDuration,
+    /// RNR NAKs tolerated before the QP errors out with
+    /// [`crate::cq::CqeStatus::RnrRetryExceeded`]. ACK progress resets
+    /// the count.
+    pub max_rnr_retries: u32,
 }
 
 impl Default for RetxConfig {
@@ -55,6 +64,8 @@ impl Default for RetxConfig {
         RetxConfig {
             timeout: SimDuration::from_us(200),
             max_retries: 8,
+            rnr_timeout: SimDuration::from_us(20),
+            max_rnr_retries: 8,
         }
     }
 }
@@ -64,6 +75,12 @@ impl RetxConfig {
     /// unproductive timeouts: exponential backoff, capped at 64× base.
     pub fn backoff(&self, retries: u32) -> SimDuration {
         SimDuration::from_ps(self.timeout.as_ps() << retries.min(6))
+    }
+
+    /// Replay delay after the `retries`-th consecutive RNR NAK: same
+    /// exponential shape as [`RetxConfig::backoff`] on the RNR base.
+    pub fn rnr_backoff(&self, retries: u32) -> SimDuration {
+        SimDuration::from_ps(self.rnr_timeout.as_ps() << retries.min(6))
     }
 }
 
@@ -108,6 +125,13 @@ pub struct RetxState {
     pub timer: Option<TimerHandle>,
     /// Consecutive timeouts without ACK progress.
     pub retries: u32,
+    /// Consecutive RNR NAKs without ACK progress.
+    pub rnr_retries: u32,
+    /// Pending RNR backoff timer (cancelled on flush).
+    pub rnr_timer: Option<TimerHandle>,
+    /// First message to replay when the RNR backoff fires (the message
+    /// the responder RNR-NAKed).
+    pub rnr_from: u64,
     /// Receiver side: next message id expected to make progress.
     pub expected_msg: u64,
     /// Receiver side: next fragment expected within `expected_msg`.
@@ -126,6 +150,9 @@ impl RetxState {
             rtx: VecDeque::new(),
             timer: None,
             retries: 0,
+            rnr_retries: 0,
+            rnr_timer: None,
+            rnr_from: 0,
             expected_msg: 1,
             expected_frag: 0,
             nak_sent: false,
@@ -165,6 +192,7 @@ impl RetxState {
         self.window.remove(pos);
         self.rtx.retain(|&m| m != msg_id);
         self.retries = 0;
+        self.rnr_retries = 0;
         true
     }
 }
@@ -450,6 +478,22 @@ impl Qp {
     /// reports). Panics if retransmission is not armed.
     pub fn rx_expected_msg(&self) -> u64 {
         self.retx.as_ref().expect("retx armed").expected_msg
+    }
+
+    /// Receiver-side rewind after an RNR NAK for `msg_id`: the arriving
+    /// fragment already advanced the expected position in
+    /// [`Qp::rx_seq_check`], but its payload was discarded, so the replay
+    /// must be re-accepted from fragment 0 of the NAKed message (and its
+    /// trailing in-flight fragments dropped rather than DupAcked). Also
+    /// suppresses sequence NAKs until in-order progress resumes — the
+    /// sender already knows where to restart. No-op when retransmission
+    /// is not armed (RNR is then fatal and the QP flushes).
+    pub fn rx_rnr_rewind(&mut self, msg_id: u64) {
+        if let Some(rx) = self.retx.as_mut() {
+            rx.expected_msg = msg_id;
+            rx.expected_frag = 0;
+            rx.nak_sent = true;
+        }
     }
 
     /// Move to the error state; remaining queued WQEs flush with errors.

@@ -22,7 +22,11 @@
 //! * [`stats`] — per-tenant p50/p99/p999 latency, goodput, and
 //!   policy-drop counts on `cord_sim::stats` histograms.
 //! * [`scenarios`] — built-ins: `kv-fanout`, `incast`, `shuffle`,
-//!   `broadcast`, `mixed` (bulk scan vs latency-sensitive foreground).
+//!   `broadcast`, `mixed` (bulk scan vs latency-sensitive foreground),
+//!   the fabric pathology set (`pfc-hol-blocking`, `pause-storm`,
+//!   `lossy-incast-rc`), and the chaos set with built-in fault schedules
+//!   (`link-flap-recovery`, `switch-death-reroute`, `straggler-nic`,
+//!   `pfc-deadlock`).
 //! * [`runner`] — [`run_scenario`]: fabric bring-up, policy installation,
 //!   connection wiring, concurrent execution, scoreboard.
 //!
@@ -51,7 +55,7 @@ pub use policy::ScopedPolicy;
 pub use runner::{run_scenario, run_scenario_instrumented, CoreStats};
 pub use scenarios::Scale;
 pub use spec::{Arrival, ScenarioSpec, SizeDist, TenantSpec};
-pub use stats::{FabricCounters, ScenarioReport, TenantReport, TenantStats};
+pub use stats::{ChaosCounters, FabricCounters, ScenarioReport, TenantReport, TenantStats};
 
 #[cfg(test)]
 mod tests {

@@ -1,8 +1,10 @@
 //! Scenario orchestration: build a fabric, install per-tenant policies,
 //! wire every connection, run all tenants concurrently, and summarize.
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
+use cord_chaos::ChaosPlane;
 use cord_core::Fabric;
 use cord_kern::{QosPolicy, QuotaPolicy, RateLimitPolicy};
 use cord_net::{NetConfig, Topology};
@@ -12,7 +14,7 @@ use cord_sim::SimDuration;
 use crate::policy::ScopedPolicy;
 use crate::rpc::{drive_client, establish, serve, ClientCfg};
 use crate::spec::ScenarioSpec;
-use crate::stats::{FabricCounters, ScenarioReport, TenantStats};
+use crate::stats::{ChaosCounters, FabricCounters, ScenarioReport, TenantStats};
 
 /// QoS guard window / low-priority penalty used when any tenant declares a
 /// QoS class (one `QosPolicy` instance per node).
@@ -57,6 +59,10 @@ pub fn run_scenario_instrumented(
     // Guard against accidental busy loops in workload logic.
     fabric.sim().set_max_polls(4_000_000_000);
 
+    // Filled at t0 (traffic launch) so fault times are relative to the
+    // traffic, not diluted by the connection-establishment phase.
+    let chaos_plane: Rc<RefCell<Option<ChaosPlane>>> = Rc::new(RefCell::new(None));
+
     // Node-wide QoS arbitration, when any tenant declares a class.
     let qos: Vec<Rc<QosPolicy>> = if spec.tenants.iter().any(|t| t.qos.is_some()) {
         (0..spec.nodes)
@@ -75,6 +81,9 @@ pub fn run_scenario_instrumented(
     let f = fabric.clone();
     let tenants = spec.tenants.clone();
     let stats2 = stats.clone();
+    let faults = spec.faults.clone();
+    let nodes = spec.nodes;
+    let chaos_slot = Rc::clone(&chaos_plane);
     let (elapsed, qps_created) = fabric.block_on(async move {
         let rng = f.rng().clone();
         let mut qps_created = 0usize;
@@ -149,6 +158,18 @@ pub fn run_scenario_instrumented(
         // Phase 2: launch all servers and clients at one instant, so the
         // arrival processes of every tenant overlap from t0.
         let t0 = f.sim().now();
+        // Arm the fault schedule at t0: event times count from the
+        // instant traffic launches. Skipped when empty so fault-free
+        // runs carry no chaos plane (and draw no chaos RNG stream).
+        if !faults.is_empty() {
+            let nics: Vec<_> = (0..nodes).map(|n| f.nic(n).clone()).collect();
+            *chaos_slot.borrow_mut() = Some(ChaosPlane::install(
+                f.sim(),
+                &f.rng().stream("chaos"),
+                &nics,
+                &faults,
+            ));
+        }
         let mut handles = Vec::new();
         for (conn, peer, ti, nreq, crng, srng) in clients {
             let t = &tenants[ti];
@@ -207,11 +228,28 @@ pub fn run_scenario_instrumented(
             retx_exhausted: exhausted,
         }
     });
+    let chaos_counters = chaos_plane.borrow().as_ref().map(|p| {
+        let s = p.stats();
+        ChaosCounters {
+            faults: s.injected,
+            faults_skipped: s.skipped,
+            chaos_reroutes: s.reroutes,
+            chaos_dead_frames: s.dead_frames,
+            chaos_pfc_deadlocks: s.pfc_deadlocks,
+        }
+    });
     let core = CoreStats {
         sim: fabric.sim().stats(),
     };
     Ok((
-        ScenarioReport::summarize(spec, qps_created, elapsed, tenants_report, fabric_counters),
+        ScenarioReport::summarize(
+            spec,
+            qps_created,
+            elapsed,
+            tenants_report,
+            fabric_counters,
+            chaos_counters,
+        ),
         core,
     ))
 }

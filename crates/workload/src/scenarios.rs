@@ -6,6 +6,7 @@
 //! All of them mix CoRD and Bypass tenants (3:1) so policy interposition
 //! runs under contention while bypass traffic shares the same fabric.
 
+use cord_chaos::{FaultEvent, FaultSchedule};
 use cord_hw::{system_l, MachineSpec};
 use cord_kern::QosClass;
 use cord_net::Topology;
@@ -26,6 +27,10 @@ pub const NAMES: &[&str] = &[
     "pfc-hol-blocking",
     "pause-storm",
     "lossy-incast-rc",
+    "link-flap-recovery",
+    "switch-death-reroute",
+    "straggler-nic",
+    "pfc-deadlock",
 ];
 
 /// Shared scale knobs for the built-in scenarios.
@@ -49,6 +54,12 @@ pub struct Scale {
     /// Override the scenario's default RC-retransmission setting (`None`
     /// keeps it: on for `lossy-incast-rc`, off elsewhere).
     pub rc_retx: Option<bool>,
+    /// Fault-schedule override. `Some(false)` strips the scenario's
+    /// built-in schedule (running the chaos scenarios fault-free for
+    /// baseline comparison); `None`/`Some(true)` keep it. Scenarios
+    /// without a built-in schedule have nothing to enable, so `Some(true)`
+    /// is inert there.
+    pub faults: Option<bool>,
 }
 
 impl Default for Scale {
@@ -62,6 +73,7 @@ impl Default for Scale {
             cc: CcAlgorithm::None,
             pfc: None,
             rc_retx: None,
+            faults: None,
         }
     }
 }
@@ -76,6 +88,11 @@ fn machine() -> MachineSpec {
 fn shape(spec: ScenarioSpec, scale: Scale, default: Topology) -> ScenarioSpec {
     let pfc = scale.pfc.unwrap_or(spec.pfc);
     let rc_retx = scale.rc_retx.unwrap_or(spec.rc_retx);
+    let spec = if scale.faults == Some(false) {
+        spec.faults(FaultSchedule::default())
+    } else {
+        spec
+    };
     spec.topology(scale.topology.unwrap_or(default))
         .cc(scale.cc)
         .pfc(pfc)
@@ -110,6 +127,10 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ScenarioSpec> {
         "pfc-hol-blocking" => Some(pfc_hol_blocking(scale)),
         "pause-storm" => Some(pause_storm(scale)),
         "lossy-incast-rc" => Some(lossy_incast_rc(scale)),
+        "link-flap-recovery" => Some(link_flap_recovery(scale)),
+        "switch-death-reroute" => Some(switch_death_reroute(scale)),
+        "straggler-nic" => Some(straggler_nic(scale)),
+        "pfc-deadlock" => Some(pfc_deadlock(scale)),
         _ => None,
     }
 }
@@ -377,6 +398,84 @@ pub fn lossy_incast_rc(scale: Scale) -> ScenarioSpec {
     shape(spec, scale, Topology::fat_tree_for(scale.nodes))
 }
 
+/// Link-flap recovery: the incast with RC retransmission armed, plus
+/// sender node 1's host link administratively downed for a 160 µs window
+/// mid-run. Frames crossing the dead link are lost
+/// (`chaos_dead_frames`); go-back-N replays them once the link returns,
+/// so every flow still completes with zero retry exhaustion — the
+/// recovery the scenario exists to assert.
+pub fn link_flap_recovery(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("link-flap-recovery", machine(), scale.nodes)
+        .seed(scale.seed)
+        .rc_retx(true)
+        .faults(FaultSchedule::new().event(FaultEvent::LinkFlap {
+            node: 1,
+            down_at: SimDuration::from_us(80),
+            up_at: SimDuration::from_us(240),
+        }));
+    incast_tenants(&mut spec, scale, 30_000.0, 4);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// Switch-death reroute: the incast with RC retransmission armed, plus
+/// spine 1 dying 60 µs into the run. In-flight frames committed to the
+/// corpse are lost (`chaos_dead_frames`) and recovered by go-back-N;
+/// every later cross-leaf frame that hashed onto the dead spine takes the
+/// deterministic detour (`chaos_reroutes`), so the run completes on the
+/// surviving spines.
+pub fn switch_death_reroute(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("switch-death-reroute", machine(), scale.nodes)
+        .seed(scale.seed)
+        .rc_retx(true)
+        .faults(FaultSchedule::new().event(FaultEvent::SwitchDeath {
+            spine: 1,
+            at: SimDuration::from_us(60),
+        }));
+    incast_tenants(&mut spec, scale, 30_000.0, 4);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// Straggler NIC: the incast with the aggregator's NIC pipeline slowed
+/// 20× over a 40–400 µs window — the gray-failure host that drags a
+/// whole fan-in without dropping a single frame. At 20× the receive
+/// pipeline (not the downlink) becomes the bottleneck, so backlog
+/// accumulates for the whole window. Nothing is lost and the run
+/// completes; the damage shows up purely in the latency distribution
+/// versus a fault-free run.
+pub fn straggler_nic(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("straggler-nic", machine(), scale.nodes)
+        .seed(scale.seed)
+        .faults(FaultSchedule::new().event(FaultEvent::StragglerNic {
+            node: 0,
+            slowdown: 20.0,
+            from: SimDuration::from_us(40),
+            until: SimDuration::from_us(400),
+        }));
+    incast_tenants(&mut spec, scale, 30_000.0, 4);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// PFC deadlock: the lossless small-buffer incast, wedged 60 µs in by a
+/// cyclic-buffer-dependency injection that force-pauses every port on
+/// the aggregator's leaf loop. Without the watchdog the fabric would
+/// hang forever (lossless fabrics don't drop their way out); the
+/// no-progress watchdog detects the stuck ports and breaks them —
+/// `chaos_pfc_deadlocks` pins the pathology while the run still
+/// completes.
+pub fn pfc_deadlock(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("pfc-deadlock", machine(), scale.nodes)
+        .seed(scale.seed)
+        .pfc(true)
+        .buffer_bytes(SMALL_BUFFER)
+        .faults(
+            FaultSchedule::new().event(FaultEvent::CyclicBufferDependency {
+                at: SimDuration::from_us(60),
+            }),
+        );
+    incast_tenants(&mut spec, scale, 40_000.0, 4);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +531,33 @@ mod tests {
         // Pre-existing scenarios keep the fabric knobs off by default.
         let inc = incast(Scale::default());
         assert!(!inc.pfc && !inc.rc_retx && inc.buffer_bytes.is_none());
+    }
+
+    #[test]
+    fn chaos_builtins_carry_schedules_and_scale_can_strip_them() {
+        // Each chaos builtin ships exactly one fault event; everything
+        // else stays fault-free.
+        for &name in NAMES {
+            let s = by_name(name, Scale::default()).unwrap();
+            let chaos = matches!(
+                name,
+                "link-flap-recovery" | "switch-death-reroute" | "straggler-nic" | "pfc-deadlock"
+            );
+            assert_eq!(s.faults.events.len(), usize::from(chaos), "{name}");
+        }
+        // Recovery scenarios arm retransmission; the deadlock one is
+        // lossless with the wedge-prone small buffer.
+        assert!(link_flap_recovery(Scale::default()).rc_retx);
+        assert!(switch_death_reroute(Scale::default()).rc_retx);
+        let wedge = pfc_deadlock(Scale::default());
+        assert!(wedge.pfc);
+        assert_eq!(wedge.buffer_bytes, Some(SMALL_BUFFER));
+        // `faults: Some(false)` strips the schedule for baseline runs.
+        let off = Scale {
+            faults: Some(false),
+            ..Scale::default()
+        };
+        assert!(switch_death_reroute(off).faults.is_empty());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! message-size distributions, transport, dataplane, and optional kernel
 //! policies (QoS class, rate limit, outstanding-op quota).
 
+use cord_chaos::FaultSchedule;
 use cord_hw::MachineSpec;
 use cord_kern::QosClass;
 use cord_net::Topology;
@@ -211,6 +212,10 @@ pub struct ScenarioSpec {
     /// Override the per-port switch buffer (`None`: cord-net's 16 MiB
     /// default, deep enough that windowed workloads never drop).
     pub buffer_bytes: Option<usize>,
+    /// Deterministic fault schedule (`cord-chaos`), armed at scenario
+    /// start. The default (empty) schedule injects nothing and leaves the
+    /// run byte-identical to one without a chaos plane.
+    pub faults: FaultSchedule,
     pub tenants: Vec<TenantSpec>,
 }
 
@@ -226,6 +231,7 @@ impl ScenarioSpec {
             pfc: false,
             rc_retx: false,
             buffer_bytes: None,
+            faults: FaultSchedule::default(),
             tenants: Vec::new(),
         }
     }
@@ -260,6 +266,11 @@ impl ScenarioSpec {
         self
     }
 
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
     pub fn tenant(mut self, t: TenantSpec) -> Self {
         self.tenants.push(t);
         self
@@ -280,6 +291,9 @@ impl ScenarioSpec {
                 return Err(format!("{}: buffer_bytes must be nonzero", self.name));
             }
         }
+        self.faults
+            .validate(self.nodes)
+            .map_err(|e| format!("{}: {e}", self.name))?;
         let mtu = self.machine.nic.mtu;
         let mut names = std::collections::BTreeSet::new();
         for t in &self.tenants {

@@ -156,6 +156,22 @@ pub struct FabricCounters {
     pub retx_exhausted: u64,
 }
 
+/// Chaos-plane detection counters, present in a report only when the
+/// scenario carried a non-empty fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosCounters {
+    /// Fault events injected (each counted once, at onset).
+    pub faults: u64,
+    /// Events skipped as inapplicable to this fabric.
+    pub faults_skipped: u64,
+    /// Frames rerouted around dead spines.
+    pub chaos_reroutes: u64,
+    /// Frames lost to dead hardware.
+    pub chaos_dead_frames: u64,
+    /// PFC deadlocks detected (and broken) by the no-progress watchdog.
+    pub chaos_pfc_deadlocks: u64,
+}
+
 /// Whole-scenario result.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -170,6 +186,9 @@ pub struct ScenarioReport {
     /// Loss/pause/retransmit counters (`None` for pre-existing
     /// configurations, keeping their JSON byte-identical).
     pub fabric: Option<FabricCounters>,
+    /// Chaos detection counters (`None` with an empty fault schedule,
+    /// keeping fault-free JSON byte-identical).
+    pub chaos: Option<ChaosCounters>,
     pub connections: usize,
     pub qps_created: usize,
     pub elapsed_ms: f64,
@@ -204,6 +223,16 @@ impl Serialize for ScenarioReport {
             fields.push(("retx_replays".into(), f.retx_replays.to_value()));
             fields.push(("retx_exhausted".into(), f.retx_exhausted.to_value()));
         }
+        if let Some(c) = &self.chaos {
+            fields.push(("faults".into(), c.faults.to_value()));
+            fields.push(("faults_skipped".into(), c.faults_skipped.to_value()));
+            fields.push(("chaos_reroutes".into(), c.chaos_reroutes.to_value()));
+            fields.push(("chaos_dead_frames".into(), c.chaos_dead_frames.to_value()));
+            fields.push((
+                "chaos_pfc_deadlocks".into(),
+                c.chaos_pfc_deadlocks.to_value(),
+            ));
+        }
         fields.extend([
             ("connections".into(), self.connections.to_value()),
             ("qps_created".into(), self.qps_created.to_value()),
@@ -227,6 +256,7 @@ impl ScenarioReport {
         elapsed: SimDuration,
         tenants: Vec<TenantReport>,
         fabric: Option<FabricCounters>,
+        chaos: Option<ChaosCounters>,
     ) -> ScenarioReport {
         let secs = elapsed.as_secs_f64();
         let total_bytes: u64 = tenants.iter().map(|t| t.bytes_moved).sum();
@@ -238,6 +268,7 @@ impl ScenarioReport {
             topology: spec.topology.to_string(),
             cc: spec.cc.to_string(),
             fabric,
+            chaos,
             connections: spec.total_connections(),
             qps_created,
             elapsed_ms: elapsed.as_us_f64() / 1e3,

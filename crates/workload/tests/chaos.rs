@@ -1,0 +1,155 @@
+//! End-to-end chaos scenarios: every builtin either asserts recovery
+//! (the run completes despite the fault, retransmission absorbing the
+//! loss) or pins the pathology via the chaos detection counters — and
+//! fault injection stays bit-deterministic.
+
+use cord_workload::scenarios::{
+    link_flap_recovery, pfc_deadlock, straggler_nic, switch_death_reroute, Scale,
+};
+use cord_workload::{run_scenario, ScenarioReport};
+
+fn scale() -> Scale {
+    Scale {
+        nodes: 16,
+        tenants: 8,
+        requests: 15,
+        seed: 0xC0BD,
+        ..Scale::default()
+    }
+}
+
+fn issued(r: &ScenarioReport) -> u64 {
+    r.tenants.iter().map(|t| t.issued).sum()
+}
+
+/// A host link dies for 160 µs mid-incast: frames crossing it are lost
+/// to dead hardware, go-back-N replays them once the link returns, and
+/// every flow still completes — recovery, asserted end to end.
+#[test]
+fn link_flap_recovery_replays_the_lost_frames_and_completes() {
+    let r = run_scenario(&link_flap_recovery(scale())).unwrap();
+    assert_eq!(r.total_completed, issued(&r), "must recover, not stall");
+
+    let c = r.chaos.expect("chaos counters with a non-empty schedule");
+    assert_eq!(c.faults, 1, "the flap fires exactly once");
+    assert_eq!(c.faults_skipped, 0);
+    assert!(
+        c.chaos_dead_frames > 0,
+        "the flap must actually lose frames"
+    );
+    assert_eq!(c.chaos_pfc_deadlocks, 0, "no PFC in play");
+
+    let f = r.fabric.expect("fabric counters when retx on");
+    assert!(f.retx_replays > 0, "retransmission must do the recovering");
+    assert_eq!(f.retx_exhausted, 0, "no QP may exhaust its retries");
+}
+
+/// A spine dies mid-incast: in-flight frames on the corpse are lost and
+/// replayed, and every later cross-leaf frame that hashed onto it takes
+/// the deterministic detour — the run completes on the survivors.
+#[test]
+fn switch_death_reroutes_around_the_corpse_and_completes() {
+    let r = run_scenario(&switch_death_reroute(scale())).unwrap();
+    assert_eq!(r.total_completed, issued(&r), "must recover, not stall");
+
+    let c = r.chaos.expect("chaos counters with a non-empty schedule");
+    assert_eq!(c.faults, 1);
+    assert!(c.chaos_reroutes > 0, "traffic must detour the dead spine");
+    assert!(
+        c.chaos_dead_frames > 0,
+        "the death strands in-flight frames"
+    );
+
+    let f = r.fabric.expect("fabric counters when retx on");
+    assert!(f.retx_replays > 0);
+    assert_eq!(f.retx_exhausted, 0);
+}
+
+/// A gray-failure NIC: the aggregator's pipeline runs 8× slow for 360 µs.
+/// Nothing is lost — the damage is pure slowdown, visible across the
+/// latency distribution of every tenant funneling into the straggler.
+#[test]
+fn straggler_nic_drags_the_run_without_losing_anything() {
+    let slow = run_scenario(&straggler_nic(scale())).unwrap();
+    let healthy = run_scenario(&straggler_nic(Scale {
+        faults: Some(false),
+        ..scale()
+    }))
+    .unwrap();
+
+    assert_eq!(slow.total_completed, issued(&slow));
+    let c = slow
+        .chaos
+        .expect("chaos counters with a non-empty schedule");
+    assert_eq!(c.faults, 1);
+    assert_eq!(c.chaos_dead_frames, 0, "stragglers drop nothing");
+
+    // The baseline run carries no chaos plane at all.
+    assert!(healthy.chaos.is_none());
+    // The slow window covers most of the run, so mean sojourn rises for
+    // the fan-in as a whole (elapsed can stay flat: the last completions
+    // land after the window closes).
+    let mean = |r: &ScenarioReport| {
+        r.tenants.iter().map(|t| t.mean_us).sum::<f64>() / r.tenants.len() as f64
+    };
+    let (ms, mh) = (mean(&slow), mean(&healthy));
+    assert!(
+        ms > 1.2 * mh,
+        "an 8× straggler must drag the fan-in's mean latency: {ms} vs {mh} µs"
+    );
+}
+
+/// A cyclic buffer dependency wedges the lossless fabric: without the
+/// watchdog the run would hang forever. The no-progress watchdog detects
+/// the stuck ports and breaks them — pathology pinned by the counter,
+/// while the fabric stays lossless and the run completes.
+#[test]
+fn pfc_deadlock_is_detected_broken_and_survived() {
+    let r = run_scenario(&pfc_deadlock(scale())).unwrap();
+    assert_eq!(r.total_completed, issued(&r), "watchdog must unwedge");
+
+    let c = r.chaos.expect("chaos counters with a non-empty schedule");
+    assert_eq!(c.faults, 1);
+    assert!(c.chaos_pfc_deadlocks > 0, "the wedge must be detected");
+
+    let f = r.fabric.expect("fabric counters when PFC on");
+    assert!(f.pfc);
+    assert_eq!(f.net_drops, 0, "lossless even through the deadlock");
+}
+
+/// The determinism property the whole plane is built on: any fault
+/// schedule, run twice with the same seed, serializes to byte-identical
+/// report JSON.
+#[test]
+fn fault_injection_is_bit_deterministic() {
+    for spec in [
+        link_flap_recovery(scale()),
+        switch_death_reroute(scale()),
+        straggler_nic(scale()),
+        pfc_deadlock(scale()),
+    ] {
+        let a = serde_json::to_string_pretty(&run_scenario(&spec).unwrap()).unwrap();
+        let b = serde_json::to_string_pretty(&run_scenario(&spec).unwrap()).unwrap();
+        assert_eq!(a, b, "{}", spec.name);
+        assert!(
+            a.contains("\"chaos_pfc_deadlocks\""),
+            "{}: chaos block must be reported",
+            spec.name
+        );
+    }
+}
+
+/// An empty schedule is not a quieter chaos run — it is no chaos run:
+/// the report carries no chaos block, byte-identical to a world where
+/// the plane never existed.
+#[test]
+fn empty_schedules_leave_reports_untouched() {
+    let spec = switch_death_reroute(Scale {
+        faults: Some(false),
+        ..scale()
+    });
+    assert!(spec.faults.is_empty());
+    let json = serde_json::to_string_pretty(&run_scenario(&spec).unwrap()).unwrap();
+    assert!(!json.contains("\"faults\""), "no chaos keys without faults");
+    assert!(!json.contains("\"chaos_reroutes\""));
+}

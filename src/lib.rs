@@ -1,5 +1,6 @@
 //! Root facade crate: re-exports the whole CoRD workspace for the examples
 //! and integration tests. See `cord-core` for the primary API.
+pub use cord_chaos as chaos;
 pub use cord_core as core;
 pub use cord_hw as hw;
 pub use cord_kern as kern;
