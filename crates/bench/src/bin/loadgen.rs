@@ -5,9 +5,13 @@
 //! cargo run --release --bin loadgen -- incast
 //! cargo run --release --bin loadgen -- all --nodes 16 --tenants 32
 //! cargo run --release --bin loadgen -- mixed --requests 300 --seed 7
-//! cargo run --release --bin loadgen -- dumbbell-incast --cc dcqcn
-//! cargo run --release --bin loadgen -- shuffle --topology fat-tree --cc dcqcn
+//! cargo run --release --bin loadgen -- kv-fanout shuffle --cc dcqcn
+//! cargo run --release --bin loadgen -- pfc-hol-blocking --trace trace.json
 //! ```
+//!
+//! One or more scenario names (or `all`) run in order; each persists its
+//! scoreboard before the next starts, so a bad name late in the list
+//! never discards the results already on disk.
 //!
 //! `--topology` overrides the scenario's default network shape
 //! (`full-mesh`; `fat-tree` = two-tier, radix sized to `--nodes`;
@@ -24,20 +28,37 @@
 //! results JSON; fabric runs additionally record drop/pause/replay
 //! counters and chaos runs the fault detection counters.
 //!
+//! `--trace <out.json>` arms the packet-lifecycle trace and exports it
+//! as Chrome `trace_event` JSON — load the file in `chrome://tracing`
+//! or <https://ui.perfetto.dev> to see pause episodes, replay windows,
+//! fault windows, and per-message spans on virtual time. With several
+//! scenarios the name gains a per-scenario suffix (`out_<scenario>.json`).
+//! Tracing observes the run without perturbing it: the scoreboard JSON
+//! is byte-identical with and without `--trace`.
+//!
 //! Results land in `results/loadgen_<scenario>.json`. Runs are
-//! deterministic: the same arguments produce byte-identical JSON.
+//! deterministic: the same arguments produce byte-identical JSON (and
+//! byte-identical traces).
 
+use std::path::{Path, PathBuf};
+
+use cord_bench::perfetto::write_chrome_trace;
 use cord_bench::{print_table, save_json};
 use cord_net::Topology;
 use cord_nic::CcAlgorithm;
 use cord_workload::scenarios::{self, Scale};
-use cord_workload::{run_scenario, ScenarioReport};
+use cord_workload::{run_scenario_full, RunOptions, ScenarioReport};
+
+/// Ring capacity for `--trace`: big enough that small/medium runs keep
+/// every event, bounded so pathological runs can't eat the heap.
+const TRACE_CAPACITY: usize = 1 << 20;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen <scenario|all> [--nodes N] [--tenants T] [--requests R] [--seed S]\n\
+        "usage: loadgen <scenario...|all> [--nodes N] [--tenants T] [--requests R] [--seed S]\n\
          \x20              [--topology full-mesh|fat-tree|dumbbell] [--cc none|dcqcn]\n\
          \x20              [--pfc on|off] [--rc-retx on|off] [--faults on|off]\n\
+         \x20              [--trace out.json]\n\
          scenarios: {}",
         scenarios::NAMES.join(", ")
     );
@@ -64,14 +85,28 @@ fn parse_topology(v: &str, nodes: usize) -> Topology {
     }
 }
 
-fn parse_args() -> (Vec<String>, Scale) {
-    let mut args = std::env::args().skip(1);
-    let Some(which) = args.next() else { usage() };
-    if which.starts_with('-') {
+struct Args {
+    names: Vec<String>,
+    scale: Scale,
+    trace: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut args = std::env::args().skip(1).peekable();
+    // Leading positionals: one or more scenario names, or `all`.
+    let mut names = Vec::new();
+    while let Some(next) = args.peek() {
+        if next.starts_with('-') {
+            break;
+        }
+        names.push(args.next().unwrap());
+    }
+    if names.is_empty() {
         usage();
     }
     let mut scale = Scale::default();
     let mut topology = None;
+    let mut trace = None;
     while let Some(flag) = args.next() {
         let Some(value) = args.next() else { usage() };
         let parse = |v: &str| v.parse::<u64>().unwrap_or_else(|_| usage());
@@ -85,16 +120,30 @@ fn parse_args() -> (Vec<String>, Scale) {
             "--pfc" => scale.pfc = Some(parse_switch(&value)),
             "--rc-retx" => scale.rc_retx = Some(parse_switch(&value)),
             "--faults" => scale.faults = Some(parse_switch(&value)),
+            "--trace" => trace = Some(PathBuf::from(value)),
             _ => usage(),
         }
     }
     scale.topology = topology.map(|t| parse_topology(&t, scale.nodes));
-    let names: Vec<String> = if which == "all" {
-        scenarios::NAMES.iter().map(|s| s.to_string()).collect()
-    } else {
-        vec![which]
-    };
-    (names, scale)
+    if names.iter().any(|n| n == "all") {
+        names = scenarios::NAMES.iter().map(|s| s.to_string()).collect();
+    }
+    Args {
+        names,
+        scale,
+        trace,
+    }
+}
+
+/// Per-scenario trace path: the flag value as-is for a single scenario,
+/// `stem_<scenario>.ext` when several scenarios share one run.
+fn trace_path(base: &Path, scenario: &str, solo: bool) -> PathBuf {
+    if solo {
+        return base.to_path_buf();
+    }
+    let stem = base.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
+    let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("json");
+    base.with_file_name(format!("{stem}_{scenario}.{ext}"))
 }
 
 fn show(report: &ScenarioReport) {
@@ -137,20 +186,44 @@ fn show(report: &ScenarioReport) {
 }
 
 fn main() {
-    let (names, scale) = parse_args();
-    for name in &names {
-        let Some(spec) = scenarios::by_name(name, scale) else {
-            eprintln!("unknown scenario: {name}");
-            usage();
+    let args = parse_args();
+    let solo = args.names.len() == 1;
+    for name in &args.names {
+        // Resolve each name only when its turn comes: scenarios earlier
+        // in the list have already saved their results by the time a bad
+        // name is hit, and those files survive the error exit.
+        let Some(spec) = scenarios::by_name(name, args.scale) else {
+            eprintln!(
+                "unknown scenario: {name}\nvalid scenarios: {}",
+                scenarios::NAMES.join(", ")
+            );
+            std::process::exit(1);
         };
-        let report = match run_scenario(&spec) {
-            Ok(r) => r,
+        let opts = RunOptions {
+            trace_capacity: args.trace.as_ref().map(|_| TRACE_CAPACITY),
+        };
+        let out = match run_scenario_full(&spec, opts) {
+            Ok(o) => o,
             Err(e) => {
                 eprintln!("{name}: {e}");
                 std::process::exit(1);
             }
         };
-        show(&report);
-        save_json(&format!("loadgen_{name}"), &report);
+        show(&out.report);
+        save_json(&format!("loadgen_{name}"), &out.report);
+        if let (Some(base), Some(events)) = (&args.trace, &out.trace) {
+            let path = trace_path(base, name, solo);
+            match write_chrome_trace(&path, events) {
+                Ok(()) => println!(
+                    "trace: {} events -> {} (chrome://tracing, ui.perfetto.dev)",
+                    events.len(),
+                    path.display()
+                ),
+                Err(e) => {
+                    eprintln!("{name}: trace write failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
 }

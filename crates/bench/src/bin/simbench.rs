@@ -31,16 +31,32 @@
 //! reproduce exactly is written separately to
 //! `results/simbench_digest.txt` — CI runs the bench twice and diffs that
 //! file byte-for-byte.
+//!
+//! Two observability side-channels ride along without touching the
+//! digest: `results/simbench_attr.txt` attributes every bench's polls
+//! and timer fires to the subsystem that caused them (NIC engines,
+//! switch ports, CPU billing, other — the executor's [`Subsystem`]
+//! tags), and `--trace` arms the packet-lifecycle ring during each bench
+//! and exports `results/simbench[_quick]_trace_<bench>.json` in Chrome
+//! trace_event form. Tracing observes without perturbing: the digest is
+//! byte-identical with and without `--trace`.
+//!
+//! [`Subsystem`]: cord_sim::Subsystem
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use cord_bench::perfetto::write_chrome_trace;
 use cord_bench::{append_jsonl, print_table, save_json};
 use cord_nic::CcAlgorithm;
+use cord_sim::Subsystem;
 use cord_workload::scenarios::{self, Scale};
-use cord_workload::{run_scenario_instrumented, CoreStats, ScenarioReport, ScenarioSpec};
+use cord_workload::{run_scenario_full, RunOptions, ScenarioSpec};
 
 use serde::Serialize;
+
+/// Ring capacity for `--trace` (same bound as loadgen's).
+const TRACE_CAPACITY: usize = 1 << 20;
 
 /// One benchmark = one fully pinned scenario.
 struct Bench {
@@ -111,18 +127,48 @@ struct SimbenchReport {
     goodput_gbps: f64,
 }
 
-/// Run one bench; returns the perf report plus the scenario's fabric
-/// counters (digest-only — the JSON stays pure perf data).
-fn run_bench(
-    b: &Bench,
-    quick: bool,
-    label: &str,
-) -> (SimbenchReport, Option<cord_workload::FabricCounters>) {
+/// What one bench run leaves behind: the perf report, the scenario's
+/// fabric counters (digest-only — the JSON stays pure perf data), the
+/// per-subsystem attribution line, and the lifecycle trace if armed.
+struct BenchRun {
+    report: SimbenchReport,
+    fabric: Option<cord_workload::FabricCounters>,
+    attr: String,
+    trace: Option<Vec<cord_sim::TraceEvent>>,
+}
+
+fn run_bench(b: &Bench, quick: bool, label: &str, trace: bool) -> BenchRun {
+    let opts = RunOptions {
+        trace_capacity: trace.then_some(TRACE_CAPACITY),
+    };
     let t0 = Instant::now();
-    let (report, core): (ScenarioReport, CoreStats) =
-        run_scenario_instrumented(&b.spec).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+    let out = run_scenario_full(&b.spec, opts).unwrap_or_else(|e| panic!("{}: {e}", b.name));
     let wall = t0.elapsed().as_secs_f64();
+    let (report, core) = (out.report, out.core);
     let fabric = report.fabric;
+    // Attribution: deterministic counts, but deliberately NOT part of the
+    // digest — the digest's poll/fire totals are perf-gated (±tolerance),
+    // and splitting them there would turn every executor tweak into four
+    // baseline refreshes. The side file keeps the breakdown inspectable.
+    let mut attr = b.name.to_string();
+    for sub in Subsystem::ALL {
+        write!(
+            attr,
+            " polls[{}]={}",
+            sub.label(),
+            core.sim.polls_by[sub as usize]
+        )
+        .unwrap();
+    }
+    for sub in Subsystem::ALL {
+        write!(
+            attr,
+            " fires[{}]={}",
+            sub.label(),
+            core.sim.timer_fires_by[sub as usize]
+        )
+        .unwrap();
+    }
     let r = SimbenchReport {
         label: label.to_string(),
         bench: b.name.to_string(),
@@ -143,12 +189,17 @@ fn run_bench(
         completed: report.total_completed,
         goodput_gbps: report.total_goodput_gbps,
     };
-    (r, fabric)
+    BenchRun {
+        report: r,
+        fabric,
+        attr,
+        trace: out.trace,
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simbench [--quick] [--label <name>] [bench ...]\n\
+        "usage: simbench [--quick] [--trace] [--label <name>] [bench ...]\n\
          benches: kv-fanout, incast-dcqcn, shuffle, lossy-retx"
     );
     std::process::exit(2);
@@ -156,12 +207,14 @@ fn usage() -> ! {
 
 fn main() {
     let mut quick = false;
+    let mut trace = false;
     let mut label = String::from("dev");
     let mut picked: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--trace" => trace = true,
             "--label" => match args.next() {
                 Some(v) if !v.starts_with('-') => label = v,
                 _ => usage(),
@@ -180,8 +233,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut digest = String::new();
+    let mut attr = String::new();
     for b in &benches {
-        let (r, fabric) = run_bench(b, quick, &label);
+        let run = run_bench(b, quick, &label, trace);
+        let (r, fabric) = (run.report, run.fabric);
+        writeln!(attr, "{}", run.attr).unwrap();
         rows.push(vec![
             r.bench.clone(),
             format!("{:.3}", r.wall_seconds),
@@ -214,6 +270,13 @@ fn main() {
         // clobber the committed full-run trajectory files.
         let prefix = if quick { "simbench_quick" } else { "simbench" };
         save_json(&format!("{prefix}_{}", r.bench), &r);
+        if let Some(events) = &run.trace {
+            let path = format!("results/{prefix}_trace_{}.json", r.bench);
+            match write_chrome_trace(std::path::Path::new(&path), events) {
+                Ok(()) => println!("[saved {path} — {} trace events]", events.len()),
+                Err(e) => eprintln!("{}: trace write failed: {e}", r.bench),
+            }
+        }
         // Full runs (the committed perf numbers) also accumulate into the
         // append-only trajectory; quick smoke runs never touch it.
         if !quick {
@@ -231,5 +294,10 @@ fn main() {
         && std::fs::write("results/simbench_digest.txt", &digest).is_ok()
     {
         println!("[saved results/simbench_digest.txt]");
+    }
+    // The attribution breakdown lives beside the digest, never in it:
+    // deterministic and diffable, but not a gate.
+    if std::fs::write("results/simbench_attr.txt", &attr).is_ok() {
+        println!("[saved results/simbench_attr.txt]");
     }
 }

@@ -1,6 +1,7 @@
 //! Shared plumbing for the figure-harness binaries: table rendering, JSON
-//! result persistence (under `results/`), and the CI perf-regression gate
-//! over simbench digests ([`gate`]).
+//! result persistence (under `results/`), the CI perf-regression gate
+//! over simbench digests ([`gate`]), and the Chrome/Perfetto trace
+//! exporter ([`perfetto`]).
 
 use std::fs;
 use std::path::PathBuf;
@@ -8,6 +9,7 @@ use std::path::PathBuf;
 use serde::Serialize;
 
 pub mod gate;
+pub mod perfetto;
 
 /// Pretty-print a table with a header row.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

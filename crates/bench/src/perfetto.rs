@@ -1,0 +1,558 @@
+//! Chrome `trace_event` export of the lifecycle trace.
+//!
+//! Converts a [`TraceEvent`] buffer (see `cord_sim::trace`) into the JSON
+//! Trace Event Format that `chrome://tracing` and Perfetto load directly:
+//! an object with a `traceEvents` array of `{name, cat, ph, ts, pid, tid}`
+//! records, timestamps in microseconds of *virtual* time.
+//!
+//! Track model:
+//!
+//! * **pid 0 — "fabric"**: one thread per switch port (pause episodes as
+//!   `B`/`E` duration events, queue-depth `C` counters, drop instants),
+//!   plus dedicated threads for fault windows, the PFC watchdog, and
+//!   full-mesh transmits.
+//! * **pid N+1 — "node N"**: one thread per QP. Message lifecycles run as
+//!   async `b`/`e` spans (WQE post → CQE) so overlapping messages on one
+//!   QP don't have to nest; replay windows are sync `B`/`E` durations;
+//!   rate cuts are `C` counters; frags, flushes, denials and retry
+//!   exhaustion are instants.
+//!
+//! The trace buffer is a bounded ring, so a window's opening edge may
+//! have been evicted (or the run may end inside a window). The exporter
+//! synthesizes the missing edge at the buffer's first/last timestamp —
+//! every `B` has its `E`, every `b` its `e`, which the structure test
+//! below pins.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+use cord_sim::{TraceEvent, TraceKind};
+use serde::{Serialize, Value};
+
+/// Fabric-process (pid 0) thread ids for tracks that are not ports.
+/// Port indices are small (well under the fat tree's few hundred), so
+/// high tids can't collide.
+const MESH_TID: u64 = 800_000;
+const WATCHDOG_TID: u64 = 900_000;
+const FAULT_TID_BASE: u64 = 1_000_000;
+
+/// The fabric process id; node `n` maps to pid `n + 1`.
+const FABRIC_PID: u64 = 0;
+
+fn node_pid(node: u32) -> u64 {
+    node as u64 + 1
+}
+
+/// One output record under construction: the common fields every
+/// trace_event shares, in fixed key order so export is deterministic.
+fn record(name: &str, cat: &str, ph: &str, ts: f64, pid: u64, tid: u64) -> Vec<(String, Value)> {
+    vec![
+        ("name".into(), name.to_value()),
+        ("cat".into(), cat.to_value()),
+        ("ph".into(), ph.to_value()),
+        ("ts".into(), ts.to_value()),
+        ("pid".into(), pid.to_value()),
+        ("tid".into(), tid.to_value()),
+    ]
+}
+
+fn with_args(mut rec: Vec<(String, Value)>, args: Vec<(String, Value)>) -> Vec<(String, Value)> {
+    rec.push(("args".into(), Value::Object(args)));
+    rec
+}
+
+/// Async span id: unique per in-flight message.
+fn msg_id(node: u32, qpn: u32, wr_id: u64) -> String {
+    format!("n{node}.q{qpn}.w{wr_id}")
+}
+
+/// Exporter state: open sync/async windows plus the track registry.
+#[derive(Default)]
+struct Exporter {
+    out: Vec<Value>,
+    /// Ports currently holding XOFF (open "pause" `B`).
+    pause_open: BTreeSet<u32>,
+    /// QPs (node, qpn) inside a replay window (open "replay" `B`).
+    replay_open: BTreeSet<(u32, u32)>,
+    /// Fault indices currently applied (open "fault" `B`).
+    fault_open: BTreeSet<u32>,
+    /// In-flight async message spans, keyed by id.
+    msg_open: BTreeMap<String, (u64, u64)>,
+    /// (pid, name) process-name metadata to emit.
+    pids: BTreeMap<u64, String>,
+    /// (pid, tid, name) thread-name metadata to emit.
+    tids: BTreeMap<(u64, u64), String>,
+}
+
+impl Exporter {
+    fn push(&mut self, rec: Vec<(String, Value)>) {
+        self.out.push(Value::Object(rec));
+    }
+
+    fn fabric_track(&mut self, tid: u64, name: String) -> (u64, u64) {
+        self.pids
+            .entry(FABRIC_PID)
+            .or_insert_with(|| "fabric".into());
+        self.tids.entry((FABRIC_PID, tid)).or_insert(name);
+        (FABRIC_PID, tid)
+    }
+
+    fn qp_track(&mut self, node: u32, qpn: u32) -> (u64, u64) {
+        let pid = node_pid(node);
+        self.pids
+            .entry(pid)
+            .or_insert_with(|| format!("node {node}"));
+        self.tids
+            .entry((pid, qpn as u64))
+            .or_insert_with(|| format!("qp {qpn}"));
+        (pid, qpn as u64)
+    }
+
+    fn port_track(&mut self, port: u32) -> (u64, u64) {
+        self.fabric_track(port as u64, format!("port {port}"))
+    }
+
+    fn event(&mut self, e: &TraceEvent, first_ts: f64) {
+        let ts = e.at.as_us_f64();
+        match e.kind {
+            TraceKind::WqeStart {
+                node,
+                qpn,
+                wr_id,
+                bytes,
+            } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                let id = msg_id(node, qpn, wr_id);
+                let mut rec = record("msg", "msg", "b", ts, pid, tid);
+                rec.push(("id".into(), id.to_value()));
+                let rec = with_args(rec, vec![("bytes".into(), bytes.to_value())]);
+                self.push(rec);
+                self.msg_open.insert(id, (pid, tid));
+            }
+            TraceKind::CqeDone { node, qpn, wr_id } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                let id = msg_id(node, qpn, wr_id);
+                if self.msg_open.remove(&id).is_none() {
+                    // Opening edge evicted from the ring: synthesize it.
+                    let mut b = record("msg", "msg", "b", first_ts, pid, tid);
+                    b.push(("id".into(), id.to_value()));
+                    self.push(b);
+                }
+                let mut rec = record("msg", "msg", "e", ts, pid, tid);
+                rec.push(("id".into(), id.to_value()));
+                self.push(rec);
+            }
+            TraceKind::FragTx {
+                node,
+                qpn,
+                dst,
+                msg_seq,
+                frag,
+                bytes,
+            } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                let rec = with_args(
+                    record("tx", "frag", "i", ts, pid, tid),
+                    vec![
+                        ("dst".into(), dst.to_value()),
+                        ("seq".into(), msg_seq.to_value()),
+                        ("frag".into(), frag.to_value()),
+                        ("bytes".into(), bytes.to_value()),
+                    ],
+                );
+                self.push(rec);
+            }
+            TraceKind::FragRx {
+                node,
+                qpn,
+                src,
+                msg_seq,
+                frag,
+                bytes,
+            } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                let rec = with_args(
+                    record("rx", "frag", "i", ts, pid, tid),
+                    vec![
+                        ("src".into(), src.to_value()),
+                        ("seq".into(), msg_seq.to_value()),
+                        ("frag".into(), frag.to_value()),
+                        ("bytes".into(), bytes.to_value()),
+                    ],
+                );
+                self.push(rec);
+            }
+            TraceKind::QpFlush { node, qpn } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                // A flush tears down the QP: any open replay window ends.
+                if self.replay_open.remove(&(node, qpn)) {
+                    self.push(record("replay", "retx", "E", ts, pid, tid));
+                }
+                self.push(record("flush", "nic", "i", ts, pid, tid));
+            }
+            TraceKind::PortEnqueue { port, queued_bytes } => {
+                let (pid, tid) = self.port_track(port);
+                let rec = with_args(
+                    record("queued", "port", "C", ts, pid, tid),
+                    vec![("bytes".into(), queued_bytes.to_value())],
+                );
+                self.push(rec);
+            }
+            TraceKind::PortDrop { port, bytes } => {
+                let (pid, tid) = self.port_track(port);
+                let rec = with_args(
+                    record("drop", "port", "i", ts, pid, tid),
+                    vec![("bytes".into(), bytes.to_value())],
+                );
+                self.push(rec);
+            }
+            TraceKind::PauseOn { port } => {
+                let (pid, tid) = self.port_track(port);
+                if self.pause_open.insert(port) {
+                    self.push(record("pause", "pfc", "B", ts, pid, tid));
+                }
+            }
+            TraceKind::PauseOff { port } => {
+                let (pid, tid) = self.port_track(port);
+                if !self.pause_open.remove(&port) {
+                    self.push(record("pause", "pfc", "B", first_ts, pid, tid));
+                }
+                self.push(record("pause", "pfc", "E", ts, pid, tid));
+            }
+            TraceKind::ReplayStart { node, qpn, msg_seq } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                // Several messages can queue for one replay round; the
+                // first opens the window, the rest ride inside it.
+                if self.replay_open.insert((node, qpn)) {
+                    let rec = with_args(
+                        record("replay", "retx", "B", ts, pid, tid),
+                        vec![("seq".into(), msg_seq.to_value())],
+                    );
+                    self.push(rec);
+                }
+            }
+            TraceKind::ReplayEnd { node, qpn } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                if !self.replay_open.remove(&(node, qpn)) {
+                    self.push(record("replay", "retx", "B", first_ts, pid, tid));
+                }
+                self.push(record("replay", "retx", "E", ts, pid, tid));
+            }
+            TraceKind::RetxExhausted { node, qpn } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                self.push(record("retx-exhausted", "nic", "i", ts, pid, tid));
+            }
+            TraceKind::RnrExhausted { node, qpn } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                self.push(record("rnr-exhausted", "nic", "i", ts, pid, tid));
+            }
+            TraceKind::RateCut {
+                node,
+                qpn,
+                rate_mbps,
+            } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                let rec = with_args(
+                    record("rate", "cc", "C", ts, pid, tid),
+                    vec![("mbps".into(), rate_mbps.to_value())],
+                );
+                self.push(rec);
+            }
+            TraceKind::MeshTx { src, dst, bytes } => {
+                let (pid, tid) = self.fabric_track(MESH_TID, "mesh".into());
+                let rec = with_args(
+                    record("mesh-tx", "link", "i", ts, pid, tid),
+                    vec![
+                        ("src".into(), src.to_value()),
+                        ("dst".into(), dst.to_value()),
+                        ("bytes".into(), bytes.to_value()),
+                    ],
+                );
+                self.push(rec);
+            }
+            TraceKind::PolicyDeny { node, qpn } => {
+                let (pid, tid) = self.qp_track(node, qpn);
+                self.push(record("policy-deny", "policy", "i", ts, pid, tid));
+            }
+            TraceKind::FaultOn { idx } => {
+                let (pid, tid) =
+                    self.fabric_track(FAULT_TID_BASE + idx as u64, format!("fault {idx}"));
+                if self.fault_open.insert(idx) {
+                    self.push(record("fault", "fault", "B", ts, pid, tid));
+                }
+            }
+            TraceKind::FaultOff { idx } => {
+                let (pid, tid) =
+                    self.fabric_track(FAULT_TID_BASE + idx as u64, format!("fault {idx}"));
+                if !self.fault_open.remove(&idx) {
+                    self.push(record("fault", "fault", "B", first_ts, pid, tid));
+                }
+                self.push(record("fault", "fault", "E", ts, pid, tid));
+            }
+            TraceKind::DeadlockBreak { ports } => {
+                let (pid, tid) = self.fabric_track(WATCHDOG_TID, "watchdog".into());
+                let rec = with_args(
+                    record("deadlock-break", "fault", "i", ts, pid, tid),
+                    vec![("ports".into(), ports.to_value())],
+                );
+                self.push(rec);
+            }
+        }
+    }
+
+    /// Close every window still open at the end of the buffer: one-shot
+    /// faults never clear, and the run may simply end mid-episode.
+    fn finish(&mut self, last_ts: f64) {
+        for port in std::mem::take(&mut self.pause_open) {
+            let (pid, tid) = self.port_track(port);
+            self.push(record("pause", "pfc", "E", last_ts, pid, tid));
+        }
+        for (node, qpn) in std::mem::take(&mut self.replay_open) {
+            let (pid, tid) = self.qp_track(node, qpn);
+            self.push(record("replay", "retx", "E", last_ts, pid, tid));
+        }
+        for idx in std::mem::take(&mut self.fault_open) {
+            let (pid, tid) = self.fabric_track(FAULT_TID_BASE + idx as u64, format!("fault {idx}"));
+            self.push(record("fault", "fault", "E", last_ts, pid, tid));
+        }
+        for (id, (pid, tid)) in std::mem::take(&mut self.msg_open) {
+            let mut rec = record("msg", "msg", "e", last_ts, pid, tid);
+            rec.push(("id".into(), id.to_value()));
+            self.push(rec);
+        }
+    }
+
+    /// Process/thread-name metadata records, emitted ahead of the events.
+    fn metadata(&self) -> Vec<Value> {
+        let mut meta = Vec::new();
+        for (&pid, name) in &self.pids {
+            let rec = with_args(
+                record("process_name", "__metadata", "M", 0.0, pid, 0),
+                vec![("name".into(), name.to_value())],
+            );
+            meta.push(Value::Object(rec));
+        }
+        for (&(pid, tid), name) in &self.tids {
+            let rec = with_args(
+                record("thread_name", "__metadata", "M", 0.0, pid, tid),
+                vec![("name".into(), name.to_value())],
+            );
+            meta.push(Value::Object(rec));
+        }
+        meta
+    }
+}
+
+/// Convert a trace buffer into a Chrome trace_event JSON tree.
+///
+/// Deterministic: the same buffer always yields the same tree (and the
+/// same serialized bytes).
+pub fn chrome_trace(events: &[TraceEvent]) -> Value {
+    let mut ex = Exporter::default();
+    let first_ts = events.first().map_or(0.0, |e| e.at.as_us_f64());
+    let last_ts = events.last().map_or(0.0, |e| e.at.as_us_f64());
+    for e in events {
+        ex.event(e, first_ts);
+    }
+    // The buffer is emission-ordered and CQE completions are stamped at
+    // their (future) DMA instant, so the true end of the window is the
+    // maximum timestamp, not the last record's.
+    let last_ts = events
+        .iter()
+        .map(|e| e.at.as_us_f64())
+        .fold(last_ts, f64::max);
+    ex.finish(last_ts);
+    let mut all = ex.metadata();
+    all.append(&mut ex.out);
+    Value::Object(vec![
+        ("traceEvents".into(), Value::Array(all)),
+        ("displayTimeUnit".into(), "ms".to_value()),
+    ])
+}
+
+/// Serialize `events` as Chrome trace_event JSON into `path`.
+pub fn write_chrome_trace(path: &Path, events: &[TraceEvent]) -> io::Result<()> {
+    let json = serde_json::to_string_pretty(&chrome_trace(events))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_sim::SimTime;
+
+    fn at(us: u64) -> SimTime {
+        SimTime(us * 1_000_000)
+    }
+
+    fn ev(us: u64, kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: at(us), kind }
+    }
+
+    /// Pull `(ph, pid, tid, name)` tuples out of a rendered trace.
+    fn phases(v: &Value) -> Vec<(String, u64, u64, String)> {
+        let Value::Object(fields) = v else { panic!() };
+        let Value::Array(events) = &fields[0].1 else {
+            panic!()
+        };
+        events
+            .iter()
+            .map(|e| {
+                let Value::Object(f) = e else { panic!() };
+                let get = |k: &str| {
+                    f.iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| v.clone())
+                        .unwrap()
+                };
+                let s = |v: Value| match v {
+                    Value::Str(s) => s,
+                    other => panic!("{other:?}"),
+                };
+                let n = |v: Value| match v {
+                    Value::UInt(n) => n,
+                    other => panic!("{other:?}"),
+                };
+                (s(get("ph")), n(get("pid")), n(get("tid")), s(get("name")))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_record_carries_the_required_fields() {
+        let events = [
+            ev(1, TraceKind::PauseOn { port: 3 }),
+            ev(2, TraceKind::PortDrop { port: 3, bytes: 64 }),
+            ev(
+                3,
+                TraceKind::WqeStart {
+                    node: 0,
+                    qpn: 7,
+                    wr_id: 1,
+                    bytes: 512,
+                },
+            ),
+            ev(4, TraceKind::PauseOff { port: 3 }),
+        ];
+        let v = chrome_trace(&events);
+        let Value::Object(top) = &v else { panic!() };
+        assert_eq!(top[0].0, "traceEvents");
+        let Value::Array(out) = &top[0].1 else {
+            panic!()
+        };
+        for e in out {
+            let Value::Object(f) = e else { panic!() };
+            for key in ["name", "cat", "ph", "ts", "pid", "tid"] {
+                assert!(f.iter().any(|(k, _)| k == key), "missing {key}: {f:?}");
+            }
+        }
+    }
+
+    /// The invariant chrome://tracing needs: every `B` is closed by an
+    /// `E` on the same track, every async `b` by an `e` — including
+    /// windows whose opening edge was evicted or that never closed.
+    #[test]
+    fn durations_balance_even_with_missing_edges() {
+        let events = [
+            // PauseOff with no PauseOn in the buffer (evicted).
+            ev(5, TraceKind::PauseOff { port: 1 }),
+            // PauseOn never released (run ended paused).
+            ev(6, TraceKind::PauseOn { port: 2 }),
+            // Two ReplayStarts coalesce into one window, closed once.
+            ev(
+                7,
+                TraceKind::ReplayStart {
+                    node: 0,
+                    qpn: 4,
+                    msg_seq: 9,
+                },
+            ),
+            ev(
+                8,
+                TraceKind::ReplayStart {
+                    node: 0,
+                    qpn: 4,
+                    msg_seq: 10,
+                },
+            ),
+            ev(9, TraceKind::ReplayEnd { node: 0, qpn: 4 }),
+            // CqeDone with no WqeStart; WqeStart with no CqeDone.
+            ev(
+                10,
+                TraceKind::CqeDone {
+                    node: 1,
+                    qpn: 2,
+                    wr_id: 77,
+                },
+            ),
+            ev(
+                11,
+                TraceKind::WqeStart {
+                    node: 1,
+                    qpn: 2,
+                    wr_id: 78,
+                    bytes: 64,
+                },
+            ),
+            // One-shot fault: applied, never cleared.
+            ev(12, TraceKind::FaultOn { idx: 0 }),
+        ];
+        let v = chrome_trace(&events);
+        let mut sync: BTreeMap<(u64, u64), i64> = BTreeMap::new();
+        let (mut b, mut e) = (0i64, 0i64);
+        for (ph, pid, tid, _) in phases(&v) {
+            match ph.as_str() {
+                "B" => *sync.entry((pid, tid)).or_default() += 1,
+                "E" => *sync.entry((pid, tid)).or_default() -= 1,
+                "b" => b += 1,
+                "e" => e += 1,
+                _ => {}
+            }
+        }
+        assert!(sync.values().all(|&depth| depth == 0), "{sync:?}");
+        assert_eq!(b, e, "async spans must pair");
+    }
+
+    #[test]
+    fn pause_episode_renders_as_one_duration_on_the_port_track() {
+        let events = [
+            ev(1, TraceKind::PauseOn { port: 3 }),
+            ev(2, TraceKind::PauseOn { port: 3 }), // duplicate assert: coalesced
+            ev(9, TraceKind::PauseOff { port: 3 }),
+        ];
+        let ph = phases(&chrome_trace(&events));
+        let pauses: Vec<_> = ph.iter().filter(|(_, _, _, n)| n == "pause").collect();
+        assert_eq!(pauses.len(), 2, "{pauses:?}");
+        assert_eq!(pauses[0].0, "B");
+        assert_eq!(pauses[1].0, "E");
+        assert_eq!(pauses[0].2, 3, "pause rides the port's tid");
+    }
+
+    #[test]
+    fn empty_trace_exports_an_empty_event_array() {
+        let v = chrome_trace(&[]);
+        let Value::Object(top) = &v else { panic!() };
+        assert_eq!(top[0].1, Value::Array(Vec::new()));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = [
+            ev(1, TraceKind::PauseOn { port: 0 }),
+            ev(
+                2,
+                TraceKind::MeshTx {
+                    src: 0,
+                    dst: 1,
+                    bytes: 4096,
+                },
+            ),
+            ev(3, TraceKind::PauseOff { port: 0 }),
+        ];
+        let a = serde_json::to_string_pretty(&chrome_trace(&events)).unwrap();
+        let b = serde_json::to_string_pretty(&chrome_trace(&events)).unwrap();
+        assert_eq!(a, b);
+    }
+}

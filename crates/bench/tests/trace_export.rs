@@ -1,0 +1,134 @@
+//! End-to-end trace export: run a builtin scenario with the lifecycle
+//! trace armed, render it as Chrome trace_event JSON, and check both the
+//! structure (required fields, metadata, nesting balance) and the
+//! semantics the pathology promises (PFC pause episodes as duration
+//! events, victim messages spanning them).
+
+use cord_bench::perfetto::chrome_trace;
+use cord_workload::scenarios::{by_name, Scale};
+use cord_workload::{run_scenario_full, RunOptions};
+use serde::Value;
+
+fn scale() -> Scale {
+    Scale {
+        nodes: 8,
+        tenants: 4,
+        requests: 20,
+        seed: 0x7AC3,
+        ..Scale::default()
+    }
+}
+
+fn run_traced(name: &str) -> (Vec<cord_sim::TraceEvent>, Value) {
+    let spec = by_name(name, scale()).unwrap();
+    let out = run_scenario_full(
+        &spec,
+        RunOptions {
+            trace_capacity: Some(1 << 20),
+        },
+    )
+    .unwrap();
+    let events = out.trace.expect("trace was armed");
+    assert!(!events.is_empty(), "{name}: lifecycle trace must fill");
+    let json = chrome_trace(&events);
+    (events, json)
+}
+
+fn records(v: &Value) -> &[Value] {
+    let Value::Object(top) = v else { panic!() };
+    let (key, Value::Array(events)) = &top[0] else {
+        panic!()
+    };
+    assert_eq!(key, "traceEvents");
+    events
+}
+
+fn field<'a>(rec: &'a Value, key: &str) -> &'a Value {
+    let Value::Object(f) = rec else { panic!() };
+    &f.iter().find(|(k, _)| k == key).expect(key).1
+}
+
+fn as_str(v: &Value) -> &str {
+    match v {
+        Value::Str(s) => s,
+        other => panic!("{other:?}"),
+    }
+}
+
+/// The headline acceptance test: `pfc-hol-blocking` traced end to end
+/// yields a loadable Chrome trace with pause episodes as balanced `B`/`E`
+/// duration events on port tracks and victim messages as async spans.
+#[test]
+fn pfc_hol_blocking_exports_pause_episodes_as_durations() {
+    let (events, json) = run_traced("pfc-hol-blocking");
+
+    // The scenario's whole point is HoL blocking via PFC.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, cord_sim::TraceKind::PauseOn { .. })),
+        "the pathology must pause"
+    );
+
+    let recs = records(&json);
+    let mut pause_depth: i64 = 0;
+    let mut pause_b = 0u64;
+    let (mut msg_b, mut msg_e) = (0u64, 0u64);
+    for r in recs {
+        let name = as_str(field(r, "name"));
+        let ph = as_str(field(r, "ph"));
+        match (name, ph) {
+            ("pause", "B") => {
+                pause_depth += 1;
+                pause_b += 1;
+            }
+            ("pause", "E") => pause_depth -= 1,
+            ("msg", "b") => msg_b += 1,
+            ("msg", "e") => msg_e += 1,
+            _ => {}
+        }
+        assert!(pause_depth >= 0, "E before B");
+    }
+    assert!(pause_b > 0, "pause episodes must render as durations");
+    assert_eq!(pause_depth, 0, "every pause B needs its E");
+    assert!(msg_b > 0, "victim messages must render as async spans");
+    assert_eq!(msg_b, msg_e, "every message span must close");
+
+    // Port tracks are named in the metadata so the UI shows "port N",
+    // not a bare tid.
+    assert!(recs
+        .iter()
+        .any(|r| { as_str(field(r, "ph")) == "M" && as_str(field(r, "name")) == "thread_name" }));
+}
+
+/// Same seed, same spec → byte-identical trace JSON: the exporter adds
+/// no nondeterminism on top of the simulator's.
+#[test]
+fn same_seed_trace_export_is_byte_identical() {
+    let (_, a) = run_traced("pfc-hol-blocking");
+    let (_, b) = run_traced("pfc-hol-blocking");
+    let a = serde_json::to_string_pretty(&a).unwrap();
+    let b = serde_json::to_string_pretty(&b).unwrap();
+    assert_eq!(a, b);
+}
+
+/// Arming the trace must not perturb the simulation: virtual time and
+/// all completion accounting match the untraced run exactly.
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let spec = by_name("pfc-hol-blocking", scale()).unwrap();
+    let plain = run_scenario_full(&spec, RunOptions::default()).unwrap();
+    let traced = run_scenario_full(
+        &spec,
+        RunOptions {
+            trace_capacity: Some(1 << 20),
+        },
+    )
+    .unwrap();
+    assert!(plain.trace.is_none());
+    assert_eq!(plain.report.elapsed_ms, traced.report.elapsed_ms);
+    assert_eq!(plain.report.total_completed, traced.report.total_completed);
+    let a = serde_json::to_string_pretty(&plain.report).unwrap();
+    let b = serde_json::to_string_pretty(&traced.report).unwrap();
+    assert_eq!(a, b, "the report must not see the observer");
+}

@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use cord_net::{Network, PortKind};
 use cord_nic::{Nic, Packet};
-use cord_sim::{DetRng, Sim, SimDuration, SimTime};
+use cord_sim::{DetRng, Sim, SimDuration, SimTime, Trace, TraceKind};
 
 use crate::schedule::{FaultEvent, FaultSchedule};
 
@@ -41,6 +41,15 @@ struct PlaneInner {
     injected: Cell<u64>,
     skipped: Cell<u64>,
     deadlocks: Cell<u64>,
+    /// Shared trace sink (the cluster's): fault windows land in it.
+    trace: Trace,
+    /// Virtual instant of the first fault onset, once one fires.
+    first_onset: Cell<Option<SimTime>>,
+    /// Virtual instant of the latest fault clearance (for one-shot events
+    /// like a switch death, the onset — the fabric never heals, recovery
+    /// is rerouting around the corpse). A watchdog deadlock break also
+    /// counts: that is the instant the fabric can make progress again.
+    last_clearance: Cell<Option<SimTime>>,
 }
 
 /// A fault schedule armed on the sim clock. Dropping the handle does not
@@ -126,6 +135,9 @@ impl ChaosPlane {
             injected: Cell::new(0),
             skipped: Cell::new(skipped),
             deadlocks: Cell::new(0),
+            trace: nics[0].trace(),
+            first_onset: Cell::new(None),
+            last_clearance: Cell::new(None),
         });
         let t0 = sim.now();
         for (idx, offset, apply) in arm {
@@ -138,6 +150,18 @@ impl ChaosPlane {
             sim.schedule_at(t0 + inner.watchdog, move |_| watchdog_tick(&inner2));
         }
         ChaosPlane { inner }
+    }
+
+    /// Virtual instant of the first fault onset, if one has fired.
+    pub fn first_onset(&self) -> Option<SimTime> {
+        self.inner.first_onset.get()
+    }
+
+    /// Virtual instant of the latest fault clearance, if one has fired.
+    /// One-shot events (switch death, cyclic buffer dependency) clear at
+    /// their onset; a watchdog deadlock break also registers here.
+    pub fn last_clearance(&self) -> Option<SimTime> {
+        self.inner.last_clearance.get()
     }
 
     /// Detection counters so far (monotone over a run).
@@ -154,10 +178,27 @@ impl ChaosPlane {
 
 /// Apply (`apply = true`) or clear one armed event.
 fn fire(inner: &Rc<PlaneInner>, idx: u32, apply: bool) {
+    let now = inner.sim.now();
+    let event = inner.events[idx as usize];
     if apply {
         inner.injected.set(inner.injected.get() + 1);
+        inner.trace.emit(now, TraceKind::FaultOn { idx });
+        if inner.first_onset.get().is_none() {
+            inner.first_onset.set(Some(now));
+        }
+        // One-shot events have no clearing edge: the fabric is permanently
+        // altered at onset, so recovery is measured from here.
+        if matches!(
+            event,
+            FaultEvent::SwitchDeath { .. } | FaultEvent::CyclicBufferDependency { .. }
+        ) {
+            inner.last_clearance.set(Some(now));
+        }
+    } else {
+        inner.trace.emit(now, TraceKind::FaultOff { idx });
+        inner.last_clearance.set(Some(now));
     }
-    match inner.events[idx as usize] {
+    match event {
         FaultEvent::LinkFlap { node, .. } => inner.net.set_host_link_down(node, apply),
         FaultEvent::LinkDegrade {
             node,
@@ -206,6 +247,17 @@ fn fire(inner: &Rc<PlaneInner>, idx: u32, apply: bool) {
 fn watchdog_tick(inner: &Rc<PlaneInner>) {
     let broken = inner.net.pfc_watchdog_scan(inner.watchdog);
     inner.deadlocks.set(inner.deadlocks.get() + broken);
+    if broken > 0 {
+        let now = inner.sim.now();
+        inner.trace.emit(
+            now,
+            TraceKind::DeadlockBreak {
+                ports: broken as u32,
+            },
+        );
+        // Breaking a wedge is the moment the fabric can move again.
+        inner.last_clearance.set(Some(now));
+    }
     let at: SimTime = inner.sim.now() + inner.watchdog;
     let inner2 = Rc::clone(inner);
     inner.sim.schedule_at(at, move |_| watchdog_tick(&inner2));

@@ -8,7 +8,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use cord_sim::{Sim, SimDuration};
+use cord_sim::{Sim, SimDuration, Subsystem};
 
 use crate::dvfs::Dvfs;
 use crate::machine::{CpuSpec, MachineSpec};
@@ -67,7 +67,12 @@ impl Core {
 
     async fn burn(&self, d: SimDuration, kernel: bool) {
         let scaled = self.dvfs.scale(d);
-        self.sim.sleep(scaled).await;
+        // Billing sleeps carry the CPU bucket in the executor's
+        // per-subsystem counters (the tag is captured at creation, so it
+        // survives the await).
+        self.sim
+            .with_tag(Subsystem::CpuBilling, || self.sim.sleep(scaled))
+            .await;
         self.busy_total.set(self.busy_total.get() + scaled);
         if kernel {
             self.kernel_total.set(self.kernel_total.get() + scaled);

@@ -26,7 +26,7 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use cord_sim::sync::{channel, Receiver, Sender};
-use cord_sim::{FifoResource, Sim, SimDuration};
+use cord_sim::{FifoResource, Sim, SimDuration, Trace, TraceKind};
 
 use crate::machine::LinkSpec;
 
@@ -71,6 +71,7 @@ struct FabricInner<T> {
     ingress: Vec<FifoResource>,
     ingress_tx: Vec<Sender<Frame<T>>>,
     faults: MeshFaults,
+    trace: Trace,
 }
 
 /// Shared fabric connecting `n` nodes. The state lives behind one `Rc` so
@@ -83,6 +84,17 @@ pub struct Fabric<T> {
 impl<T: 'static> Fabric<T> {
     /// Build a fabric; returns the fabric and each node's ingress receiver.
     pub fn new(sim: &Sim, spec: LinkSpec, nodes: usize) -> (Self, Vec<Receiver<Frame<T>>>) {
+        Self::new_traced(sim, spec, nodes, Trace::disabled())
+    }
+
+    /// [`Fabric::new`] with a trace sink: every frame crossing the mesh
+    /// emits a [`TraceKind::MeshTx`] at its transmit instant.
+    pub fn new_traced(
+        sim: &Sim,
+        spec: LinkSpec,
+        nodes: usize,
+        trace: Trace,
+    ) -> (Self, Vec<Receiver<Frame<T>>>) {
         let mut egress = Vec::with_capacity(nodes);
         let mut ingress = Vec::with_capacity(nodes);
         let mut ingress_tx = Vec::with_capacity(nodes);
@@ -109,6 +121,7 @@ impl<T: 'static> Fabric<T> {
                         extra_ns: (0..nodes).map(|_| Cell::new(0.0)).collect(),
                         drops: Cell::new(0),
                     },
+                    trace,
                 }),
             },
             ingress_rx,
@@ -152,6 +165,14 @@ impl<T: 'static> Fabric<T> {
             gbps *= f.rate[frame.src].get();
             extra = SimDuration::from_ns_f64(f.extra_ns[frame.src].get());
         }
+        inner.trace.emit(
+            inner.sim.now(),
+            TraceKind::MeshTx {
+                src: frame.src as u32,
+                dst: frame.dst as u32,
+                bytes: frame.wire_bytes as u32,
+            },
+        );
         let ser = cord_sim::transmission_time(frame.wire_bytes as u64, gbps);
         let grant = inner.egress[frame.src].enqueue(ser);
         // Boxed once: the delivery closures then capture a pointer (small

@@ -16,7 +16,7 @@ use std::rc::Rc;
 
 use cord_hw::{Core, MachineSpec};
 use cord_nic::{Cq, Cqe, Nic, QpNum, RecvWqe, SendWqe, VerbsError};
-use cord_sim::{Sim, SimDuration, Trace, TraceCategory};
+use cord_sim::{Sim, SimDuration, Trace, TraceKind};
 
 use crate::policy::{CordPolicy, PolicyChain, PolicyCtx, PolicyDecision};
 
@@ -119,14 +119,13 @@ impl Kernel {
                 PolicyDecision::Allow => break,
                 PolicyDecision::Deny(reason) => {
                     self.inner.denials.set(self.inner.denials.get() + 1);
-                    self.inner
-                        .trace
-                        .record(self.inner.sim.now(), TraceCategory::Policy, || {
-                            format!(
-                                "node{} qp{} post_send denied: {reason}",
-                                self.inner.node, qpn.0
-                            )
-                        });
+                    self.inner.trace.emit(
+                        self.inner.sim.now(),
+                        TraceKind::PolicyDeny {
+                            node: self.inner.node as u32,
+                            qpn: qpn.0,
+                        },
+                    );
                     return Err(VerbsError::PolicyDenied(reason));
                 }
                 PolicyDecision::Delay(d) => {

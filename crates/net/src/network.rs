@@ -52,7 +52,9 @@ use std::rc::Rc;
 use cord_hw::link::{Fabric, Frame};
 use cord_hw::machine::LinkSpec;
 use cord_sim::sync::{channel, Receiver, Sender};
-use cord_sim::{transmission_time, FifoResource, Sim, SimDuration, SimTime};
+use cord_sim::{
+    transmission_time, FifoResource, Sim, SimDuration, SimTime, Subsystem, Trace, TraceKind,
+};
 
 use crate::route::{PortKind, RoutePlan, Topology};
 
@@ -319,6 +321,8 @@ struct Switched<T> {
     pfc: Option<PfcFabric<T>>,
     /// Fault-plane admin state (inert until the first injection).
     faults: FaultState,
+    /// Observability sink: port occupancy, drops, pause transitions.
+    trace: Trace,
 }
 
 enum Kind<T> {
@@ -341,12 +345,25 @@ impl<T: 'static> Network<T> {
         nodes: usize,
         cfg: NetConfig,
     ) -> (Self, Vec<Receiver<Frame<T>>>) {
+        Self::new_traced(sim, spec, nodes, cfg, Trace::disabled())
+    }
+
+    /// [`Network::new`] with an observability sink: port occupancy,
+    /// drops, and pause transitions are emitted as typed trace events
+    /// (one predictable branch per event when the sink is disabled).
+    pub fn new_traced(
+        sim: &Sim,
+        spec: LinkSpec,
+        nodes: usize,
+        cfg: NetConfig,
+        trace: Trace,
+    ) -> (Self, Vec<Receiver<Frame<T>>>) {
         cfg.topology
             .validate(nodes)
             .expect("topology validated before network build");
         match cfg.topology {
             Topology::FullMesh => {
-                let (fab, rxs) = Fabric::new(sim, spec, nodes);
+                let (fab, rxs) = Fabric::new_traced(sim, spec, nodes, trace);
                 (
                     Network {
                         kind: Kind::Mesh(fab),
@@ -395,6 +412,7 @@ impl<T: 'static> Network<T> {
                     ingress_tx,
                     pfc,
                     faults,
+                    trace,
                 });
                 (
                     Network {
@@ -683,7 +701,17 @@ struct HopState<T> {
 }
 
 impl<T: 'static> Switched<T> {
+    /// Entry from the NIC: every event the switched fabric schedules from
+    /// here on (per-hop arrivals, serializer completions, pause signals)
+    /// is attributed to the [`Subsystem::SwitchPort`] bucket — the tag is
+    /// captured at schedule time and re-installed when each timer fires,
+    /// so it propagates through chained reschedules without plumbing.
     fn transmit(this: &Rc<Self>, frame: Frame<T>) {
+        let sim = this.sim.clone();
+        sim.with_tag(Subsystem::SwitchPort, || Self::transmit_inner(this, frame));
+    }
+
+    fn transmit_inner(this: &Rc<Self>, frame: Frame<T>) {
         let nodes = this.plan.nodes();
         assert!(frame.src < nodes && frame.dst < nodes);
         if this.pfc.is_some() {
@@ -794,6 +822,13 @@ impl<T: 'static> Switched<T> {
                 p.settle(sim.now());
                 if p.queued.get() + wire > this.cfg.buffer_bytes {
                     p.drops.set(p.drops.get() + 1);
+                    this.trace.emit(
+                        sim.now(),
+                        TraceKind::PortDrop {
+                            port: idx as u32,
+                            bytes: wire as u32,
+                        },
+                    );
                     return; // tail drop
                 }
                 if this.cfg.ecn.enabled && p.queued.get() >= this.cfg.ecn.threshold_bytes {
@@ -802,6 +837,13 @@ impl<T: 'static> Switched<T> {
                 }
                 p.queued.set(p.queued.get() + wire);
                 p.forwarded.set(p.forwarded.get() + 1);
+                this.trace.emit(
+                    sim.now(),
+                    TraceKind::PortEnqueue {
+                        port: idx as u32,
+                        queued_bytes: p.queued.get() as u32,
+                    },
+                );
                 let g = p.fifo.enqueue(transmission_time(wire as u64, p.gbps));
                 p.inflight.borrow_mut().push_back((g.end, wire as u32));
                 g.end
@@ -929,6 +971,13 @@ impl<T: 'static> Switched<T> {
         }
         p.queued.set(p.queued.get() + wire);
         p.forwarded.set(p.forwarded.get() + 1);
+        this.trace.emit(
+            this.sim.now(),
+            TraceKind::PortEnqueue {
+                port: idx as u32,
+                queued_bytes: p.queued.get() as u32,
+            },
+        );
         let pp = &this.pfc().ports[idx];
         if !pp.xoff.get() && p.queued.get() >= this.cfg.pfc.xoff_bytes {
             Self::set_pause(this, idx, true);
@@ -949,9 +998,13 @@ impl<T: 'static> Switched<T> {
         if on {
             pp.pause_events.set(pp.pause_events.get() + 1);
             pp.pause_since.set(this.sim.now());
+            this.trace
+                .emit(this.sim.now(), TraceKind::PauseOn { port: idx as u32 });
         } else {
             pp.pause_total
                 .set(pp.pause_total.get() + this.sim.now().since(pp.pause_since.get()));
+            this.trace
+                .emit(this.sim.now(), TraceKind::PauseOff { port: idx as u32 });
         }
         let epoch = pp.epoch.get().wrapping_add(1);
         pp.epoch.set(epoch);

@@ -27,7 +27,7 @@ use cord_hw::PayloadSeg;
 use cord_hw::{DmaDir, DmaEngine, MachineSpec};
 use cord_net::Network;
 use cord_sim::sync::{Notify, Receiver, Semaphore};
-use cord_sim::{FifoResource, Sim, SimDuration, SimTime, Trace, TraceCategory};
+use cord_sim::{FifoResource, Sim, SimDuration, SimTime, Subsystem, Trace, TraceKind};
 
 use crate::cc::{CcAlgorithm, Dcqcn, CNP_MIN_INTERVAL};
 use crate::cq::{Cq, Cqe, CqeOpcode, CqeStatus};
@@ -122,18 +122,24 @@ impl Nic {
         nic
     }
 
-    /// Spawn the TX and RX tasks (idempotent).
+    /// Spawn the TX and RX tasks (idempotent). Both carry the
+    /// [`Subsystem::NicEngine`] tag, so their polls — and every timer they
+    /// schedule (DMA completions, retransmit timers, pacing gates) — land
+    /// in the NIC bucket of [`cord_sim::SimStats`].
     fn start(&self) {
         if self.inner.started.replace(true) {
             return;
         }
-        let tx_inner = Rc::clone(&self.inner);
-        self.inner.sim.spawn(async move {
-            tx_loop(tx_inner).await;
-        });
-        let rx_inner = Rc::clone(&self.inner);
-        self.inner.sim.spawn(async move {
-            rx_loop(rx_inner).await;
+        let sim = self.inner.sim.clone();
+        sim.with_tag(Subsystem::NicEngine, || {
+            let tx_inner = Rc::clone(&self.inner);
+            self.inner.sim.spawn(async move {
+                tx_loop(tx_inner).await;
+            });
+            let rx_inner = Rc::clone(&self.inner);
+            self.inner.sim.spawn(async move {
+                rx_loop(rx_inner).await;
+            });
         });
     }
 
@@ -304,6 +310,12 @@ impl Nic {
         Rc::clone(&self.inner.fabric)
     }
 
+    /// The shared trace sink this NIC (and the whole cluster it was built
+    /// with) emits lifecycle events into.
+    pub fn trace(&self) -> Trace {
+        self.inner.trace.clone()
+    }
+
     /// Scale every per-WQE and per-packet pipeline cost by `factor`
     /// (chaos straggler-NIC injection). `factor` ≥ 1 slows the NIC's
     /// processing pipelines without touching wire rates; 1.0 restores the
@@ -351,7 +363,17 @@ impl Nic {
                     }
                 }
             }
+            let (wr_id, bytes) = (wqe.wr_id.0, wqe.sge.len as u32);
             qp.push_send(wqe, self.inner.spec.nic.mtu)?;
+            self.inner.trace.emit(
+                self.inner.sim.now(),
+                TraceKind::WqeStart {
+                    node: self.inner.node as u32,
+                    qpn: qpn.0,
+                    wr_id,
+                    bytes,
+                },
+            );
         }
         self.ring(qpn);
         Ok(())
@@ -404,19 +426,21 @@ fn ring_qp(inner: &Rc<NicInner>, qpn: QpNum) {
 
 fn transmit(inner: &Rc<NicInner>, pkt: Packet) {
     let wire = pkt.wire_bytes(inner.spec.nic.header_bytes);
-    inner
-        .trace
-        .record(inner.sim.now(), TraceCategory::Link, || {
-            format!(
-                "tx node{} qp{} -> node{} qp{} {:?} ({} B wire)",
-                pkt.src_node,
-                pkt.src_qpn.0,
-                pkt.dst_node,
-                pkt.dst_qpn.0,
-                kind_name(&pkt.kind),
-                wire
-            )
-        });
+    if inner.trace.is_enabled() {
+        if let Some((msg_seq, frag)) = frag_info(&pkt.kind) {
+            inner.trace.emit(
+                inner.sim.now(),
+                TraceKind::FragTx {
+                    node: inner.node as u32,
+                    qpn: pkt.src_qpn.0,
+                    dst: pkt.dst_node as u32,
+                    msg_seq,
+                    frag,
+                    bytes: wire as u32,
+                },
+            );
+        }
+    }
     inner.fabric.transmit(Frame {
         src: pkt.src_node,
         dst: pkt.dst_node,
@@ -433,15 +457,14 @@ fn flow_label(pkt: &Packet) -> u64 {
     ((pkt.src_qpn.0 as u64) << 32) | pkt.dst_qpn.0 as u64
 }
 
-fn kind_name(k: &PacketKind) -> &'static str {
+/// `(msg_seq, frag)` for data-bearing packet kinds; control packets
+/// (ACK/NAK/CNP, read requests) carry no fragment lifecycle.
+fn frag_info(k: &PacketKind) -> Option<(u32, u32)> {
     match k {
-        PacketKind::SendFrag { .. } => "SendFrag",
-        PacketKind::WriteFrag { .. } => "WriteFrag",
-        PacketKind::ReadReq { .. } => "ReadReq",
-        PacketKind::ReadResp { .. } => "ReadResp",
-        PacketKind::Ack { .. } => "Ack",
-        PacketKind::Nak { .. } => "Nak",
-        PacketKind::Cnp => "Cnp",
+        PacketKind::SendFrag { msg_id, frag, .. }
+        | PacketKind::WriteFrag { msg_id, frag, .. }
+        | PacketKind::ReadResp { msg_id, frag, .. } => Some((*msg_id as u32, *frag)),
+        _ => None,
     }
 }
 
@@ -458,6 +481,16 @@ const CQE_BYTES: usize = 64;
 /// writes that precede them.
 fn deliver_cqe(inner: &Rc<NicInner>, cq: &Cq, cqe: Cqe) {
     let at = inner.dma.enqueue(DmaDir::ToHost, CQE_BYTES);
+    // Stamped with the DMA completion instant — when the CQE becomes
+    // visible to software — not the enqueue instant.
+    inner.trace.emit(
+        at,
+        TraceKind::CqeDone {
+            node: inner.node as u32,
+            qpn: cqe.qp.0,
+            wr_id: cqe.wr_id.0,
+        },
+    );
     let cq = cq.clone();
     inner.sim.schedule_at(at, move |_| cq.push(cqe));
 }
@@ -554,9 +587,13 @@ fn flush_qp(inner: &Rc<NicInner>, qp: &mut Qp) {
             },
         );
     }
-    inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
-        format!("qp{} entered ERROR, queues flushed", qp.num.0)
-    });
+    inner.trace.emit(
+        inner.sim.now(),
+        TraceKind::QpFlush {
+            node: inner.node as u32,
+            qpn: qp.num.0,
+        },
+    );
 }
 
 /// ===================== RC retransmission =====================
@@ -654,9 +691,13 @@ fn retx_timeout(inner: &Rc<NicInner>, qpn: QpNum) {
                 src_node: None,
             },
         );
-        inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
-            format!("qp{} retx exhausted on msg {msg_id}", qpn.0)
-        });
+        inner.trace.emit(
+            inner.sim.now(),
+            TraceKind::RetxExhausted {
+                node: inner.node as u32,
+                qpn: qpn.0,
+            },
+        );
         flush_qp(inner, &mut qp);
         return;
     }
@@ -706,9 +747,13 @@ fn rnr_defer(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64) -> bool
     rx.rnr_retries += 1;
     if rx.rnr_retries > rx.cfg.max_rnr_retries {
         inner.retx_exhausted.set(inner.retx_exhausted.get() + 1);
-        inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
-            format!("qp{} rnr retries exhausted on msg {msg_id}", qpn.0)
-        });
+        inner.trace.emit(
+            inner.sim.now(),
+            TraceKind::RnrExhausted {
+                node: inner.node as u32,
+                qpn: qpn.0,
+            },
+        );
         return false;
     }
     let delay = rx.cfg.rnr_backoff(rx.rnr_retries - 1);
@@ -961,9 +1006,10 @@ async fn start_replay(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> Option<S
         .tx_pipeline
         .use_for(inner.pipe_cost(inner.spec.nic.wqe_proc_ns))
         .await;
-    let (msg_id, wqe, peer) = {
+    let (msg_id, wqe, peer, qpn, drained) = {
         let mut qp = qp_rc.borrow_mut();
         let peer = qp.peer;
+        let qpn = qp.num;
         let rx = qp.retx.as_mut()?;
         let mut found = None;
         while let Some(mid) = rx.rtx.pop_front() {
@@ -973,12 +1019,29 @@ async fn start_replay(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> Option<S
                 break;
             }
         }
+        let drained = rx.rtx.is_empty();
         let (mid, wqe) = found?;
-        (mid, wqe, peer)
+        (mid, wqe, peer, qpn, drained)
     };
-    inner.trace.record(inner.sim.now(), TraceCategory::Nic, || {
-        format!("qp{} replaying msg {msg_id}", qp_rc.borrow().num.0)
-    });
+    inner.trace.emit(
+        inner.sim.now(),
+        TraceKind::ReplayStart {
+            node: inner.node as u32,
+            qpn: qpn.0,
+            msg_seq: msg_id as u32,
+        },
+    );
+    if drained {
+        // The last queued message entered replay: the window closes here
+        // (the exporter pairs the first ReplayStart with this).
+        inner.trace.emit(
+            inner.sim.now(),
+            TraceKind::ReplayEnd {
+                node: inner.node as u32,
+                qpn: qpn.0,
+            },
+        );
+    }
     match wqe.opcode {
         Opcode::RdmaRead => {
             // Re-issue the read request iff the read is still outstanding
@@ -1355,6 +1418,21 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
     let Some(qp_rc) = inner.qp_rc(pkt.dst_qpn) else {
         return; // stale packet to a destroyed QP
     };
+    if inner.trace.is_enabled() {
+        if let Some((msg_seq, frag)) = frag_info(&pkt.kind) {
+            inner.trace.emit(
+                inner.sim.now(),
+                TraceKind::FragRx {
+                    node: inner.node as u32,
+                    qpn: pkt.dst_qpn.0,
+                    src: pkt.src_node as u32,
+                    msg_seq,
+                    frag,
+                    bytes: pkt.wire_bytes(inner.spec.nic.header_bytes) as u32,
+                },
+            );
+        }
+    }
     // Congestion feedback is independent of WQE state: echo a CNP for any
     // marked data-bearing arrival before normal processing.
     if pkt.ecn && pkt.is_data() {
@@ -1432,12 +1510,17 @@ fn handle_cnp(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) {
     let mut qp = qp_rc.borrow_mut();
     if let Some(d) = qp.dcqcn.as_mut() {
         d.on_cnp(now);
-        let (rate, cuts) = (d.rate_gbps, d.cuts);
+        let rate = d.rate_gbps;
         let qpn = qp.num;
         drop(qp);
-        inner.trace.record(now, TraceCategory::Nic, || {
-            format!("qp{} CNP: rate {rate:.1} Gb/s after {cuts} cuts", qpn.0)
-        });
+        inner.trace.emit(
+            now,
+            TraceKind::RateCut {
+                node: inner.node as u32,
+                qpn: qpn.0,
+                rate_mbps: (rate * 1000.0) as u32,
+            },
+        );
     }
 }
 

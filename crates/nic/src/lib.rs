@@ -50,7 +50,7 @@ pub fn build_cluster(sim: &Sim, spec: &MachineSpec, trace: Trace) -> Vec<Nic> {
 /// Build `spec.nodes` NICs over an explicit network configuration
 /// (topology, ECN thresholds, buffer sizes — see `cord-net`).
 pub fn build_cluster_with(sim: &Sim, spec: &MachineSpec, cfg: NetConfig, trace: Trace) -> Vec<Nic> {
-    let (net, rxs) = Network::new(sim, spec.link.clone(), spec.nodes, cfg);
+    let (net, rxs) = Network::new_traced(sim, spec.link.clone(), spec.nodes, cfg, trace.clone());
     let net = Rc::new(net);
     rxs.into_iter()
         .enumerate()

@@ -41,6 +41,56 @@ use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 use crate::time::{SimDuration, SimTime};
 use crate::timer::{TimerHandle, TimerWheel};
 
+/// Coarse attribution bucket for executor work. Each task and each timer
+/// carries the bucket that was current when it was spawned/registered, so
+/// [`SimStats::polls_by`] and [`SimStats::timer_fires_by`] break the
+/// aggregate counters down by subsystem — the measured input the
+/// hybrid-fidelity and sharding work needs. Tags ride alongside the
+/// payload and never influence ordering, so tagged and untagged runs are
+/// bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum Subsystem {
+    /// Untagged work: workload tasks, tests, glue.
+    #[default]
+    Other = 0,
+    /// NIC engine pipelines: tx/rx loops, DMA completions, congestion
+    /// control, retransmit/RNR timers.
+    NicEngine = 1,
+    /// Switched-fabric ports: serialization, per-hop arrivals, PFC.
+    SwitchPort = 2,
+    /// CPU time billing: core compute sleeps, DVFS accounting.
+    CpuBilling = 3,
+}
+
+impl Subsystem {
+    /// Number of buckets (the per-subsystem counter array length).
+    pub const COUNT: usize = 4;
+
+    /// All buckets, in counter-array index order.
+    pub const ALL: [Subsystem; Subsystem::COUNT] = [
+        Subsystem::Other,
+        Subsystem::NicEngine,
+        Subsystem::SwitchPort,
+        Subsystem::CpuBilling,
+    ];
+
+    /// Stable short label for reports and digests.
+    pub fn label(self) -> &'static str {
+        match self {
+            Subsystem::Other => "other",
+            Subsystem::NicEngine => "nic",
+            Subsystem::SwitchPort => "switch",
+            Subsystem::CpuBilling => "cpu",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
 /// Identifies a spawned task within one [`Sim`]: slab index in the low
 /// 32 bits, slot generation in the high 32 (stale wakes of a reused slot
 /// are ignored by the generation check).
@@ -169,6 +219,9 @@ struct TaskCell {
     fut: Option<LocalFuture>,
     hook: Rc<TaskHook>,
     waker: Waker,
+    /// Attribution bucket captured at spawn; every poll of this task
+    /// re-installs it as the current tag.
+    tag: Subsystem,
 }
 
 struct TaskSlot {
@@ -200,12 +253,17 @@ pub struct SimStats {
     pub timer_slab_allocs: u64,
     /// Timer-wheel entries examined during min-extraction scans.
     pub timer_scan_steps: u64,
+    /// `polls` broken down by [`Subsystem`] (indexed by the enum's
+    /// discriminant; sums to `polls`).
+    pub polls_by: [u64; Subsystem::COUNT],
+    /// `timer_fires` broken down by [`Subsystem`] (sums to `timer_fires`).
+    pub timer_fires_by: [u64; Subsystem::COUNT],
 }
 
 struct Inner {
     now: Cell<SimTime>,
     timer_seq: Cell<u64>,
-    timers: RefCell<TimerWheel<TimerAction>>,
+    timers: RefCell<TimerWheel<(TimerAction, Subsystem)>>,
     tasks: RefCell<Vec<TaskSlot>>,
     free_head: Cell<u32>,
     live: Cell<usize>,
@@ -218,6 +276,14 @@ struct Inner {
     max_polls: Cell<u64>,
     spawns: Cell<u64>,
     wakers_created: Cell<u64>,
+    /// Attribution bucket applied to work created right now: captured by
+    /// every spawn, timer registration, and sleep creation. Set by
+    /// [`Sim::with_tag`], and restored to the owning task's/timer's tag
+    /// at every poll and fire so tags propagate through chains of
+    /// reschedules without any per-call plumbing.
+    current_tag: Cell<Subsystem>,
+    polls_by: [Cell<u64>; Subsystem::COUNT],
+    timer_fires_by: [Cell<u64>; Subsystem::COUNT],
 }
 
 /// Handle to the simulation. Cheap to clone; all clones share the same
@@ -250,6 +316,9 @@ impl Sim {
                 max_polls: Cell::new(0),
                 spawns: Cell::new(0),
                 wakers_created: Cell::new(0),
+                current_tag: Cell::new(Subsystem::Other),
+                polls_by: Default::default(),
+                timer_fires_by: Default::default(),
             }),
         }
     }
@@ -300,7 +369,45 @@ impl Sim {
             timer_inserts: timers.inserts(),
             timer_slab_allocs: timers.slab_allocs(),
             timer_scan_steps: timers.scan_steps(),
+            polls_by: std::array::from_fn(|i| self.inner.polls_by[i].get()),
+            timer_fires_by: std::array::from_fn(|i| self.inner.timer_fires_by[i].get()),
         }
+    }
+
+    /// Run `f` with [`Subsystem`] `tag` as the current attribution
+    /// bucket. Tasks spawned, timers scheduled, and sleeps created inside
+    /// `f` carry the tag; the bucket then propagates automatically
+    /// through everything those tasks/timers themselves create. Restores
+    /// the previous tag on return. Pure accounting — the tag never
+    /// affects scheduling order, so results are bit-identical with or
+    /// without tagging.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cord_sim::{Sim, SimDuration, Subsystem};
+    ///
+    /// let sim = Sim::new();
+    /// let s = sim.clone();
+    /// sim.with_tag(Subsystem::NicEngine, || {
+    ///     let s2 = s.clone();
+    ///     s.spawn(async move { s2.sleep(SimDuration::from_ns(5)).await });
+    /// });
+    /// sim.run();
+    /// let stats = sim.stats();
+    /// assert_eq!(stats.timer_fires_by[Subsystem::NicEngine as usize], 1);
+    /// assert_eq!(stats.polls_by[Subsystem::NicEngine as usize], 2);
+    /// ```
+    pub fn with_tag<R>(&self, tag: Subsystem, f: impl FnOnce() -> R) -> R {
+        let prev = self.inner.current_tag.replace(tag);
+        let r = f();
+        self.inner.current_tag.set(prev);
+        r
+    }
+
+    /// The attribution bucket work created right now would carry.
+    pub fn current_tag(&self) -> Subsystem {
+        self.inner.current_tag.get()
     }
 
     /// Abort the run with a panic after this many task polls (0 = unlimited).
@@ -356,6 +463,7 @@ impl Sim {
             fut: Some(wrapped),
             hook: Rc::clone(&hook),
             waker,
+            tag: self.inner.current_tag.get(),
         });
         drop(tasks);
         self.inner.live.set(self.inner.live.get() + 1);
@@ -367,15 +475,15 @@ impl Sim {
         JoinHandle { id, state: join }
     }
 
-    /// Register a timer that wakes `waker` at instant `at`.
-    /// Returns a slot handle for O(1) cancellation.
-    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker) -> TimerHandle {
+    /// Register a timer that wakes `waker` at instant `at`, attributed to
+    /// `tag`. Returns a slot handle for O(1) cancellation.
+    pub(crate) fn register_timer(&self, at: SimTime, waker: Waker, tag: Subsystem) -> TimerHandle {
         let seq = self.inner.timer_seq.get();
         self.inner.timer_seq.set(seq + 1);
         self.inner
             .timers
             .borrow_mut()
-            .insert(at.0, seq, TimerAction::Wake(waker))
+            .insert(at.0, seq, (TimerAction::Wake(waker), tag))
     }
 
     /// Cancel a registered timer (no-op on stale handles).
@@ -408,7 +516,11 @@ impl Sim {
             } else {
                 TimerAction::Call(Box::new(f))
             };
-        self.inner.timers.borrow_mut().insert(at.0, seq, action)
+        let tag = self.inner.current_tag.get();
+        self.inner
+            .timers
+            .borrow_mut()
+            .insert(at.0, seq, (action, tag))
     }
 
     /// Cancel a timer scheduled with [`Sim::schedule_cancellable_at`].
@@ -424,7 +536,7 @@ impl Sim {
     }
 
     fn poll_task(&self, id: TaskId) {
-        let (mut fut, waker) = {
+        let (mut fut, waker, tag) = {
             let mut tasks = self.inner.tasks.borrow_mut();
             let Some(slot) = tasks.get_mut(id.idx() as usize) else {
                 return;
@@ -447,8 +559,13 @@ impl Sim {
                 "duplicate ready entry: task {id:?} polled while already being polled"
             );
             let Some(fut) = fut else { return };
-            (fut, cell.waker.clone())
+            (fut, cell.waker.clone(), cell.tag)
         };
+        // The task's tag becomes current for the whole poll, so timers and
+        // spawns it creates inherit its attribution bucket.
+        self.inner.current_tag.set(tag);
+        let by = &self.inner.polls_by[tag.idx()];
+        by.set(by.get() + 1);
         let n = self.inner.polls.get() + 1;
         self.inner.polls.set(n);
         let max = self.inner.max_polls.get();
@@ -500,6 +617,12 @@ impl Sim {
         debug_assert!(SimTime(at) >= self.now(), "timer in the past");
         self.inner.now.set(SimTime(at));
         self.inner.timer_fires.set(self.inner.timer_fires.get() + 1);
+        let (action, tag) = action;
+        let by = &self.inner.timer_fires_by[tag.idx()];
+        by.set(by.get() + 1);
+        // The timer's tag becomes current for the callback, so chained
+        // reschedules keep their originating subsystem's attribution.
+        self.inner.current_tag.set(tag);
         match action {
             TimerAction::Wake(w) => w.wake(),
             TimerAction::CallSmall(f) => f.invoke(self),
@@ -600,6 +723,10 @@ pub struct Sleep {
     sim: Sim,
     at: SimTime,
     registered: Option<TimerHandle>,
+    /// Attribution bucket captured at creation (not first poll): a sleep
+    /// built inside [`Sim::with_tag`] keeps that tag even though its
+    /// timer only registers when the owning task first polls it.
+    tag: Subsystem,
 }
 
 impl Future for Sleep {
@@ -615,7 +742,8 @@ impl Future for Sleep {
             return Poll::Ready(());
         }
         if self.registered.is_none() {
-            let h = self.sim.register_timer(self.at, cx.waker().clone());
+            let tag = self.tag;
+            let h = self.sim.register_timer(self.at, cx.waker().clone(), tag);
             self.registered = Some(h);
         }
         Poll::Pending
@@ -642,6 +770,7 @@ impl Sim {
             sim: self.clone(),
             at,
             registered: None,
+            tag: self.inner.current_tag.get(),
         }
     }
 
@@ -965,6 +1094,81 @@ mod tests {
             // … and must not create any wakers at all.
             assert_eq!(steady.wakers_created, warm.wakers_created);
         });
+    }
+
+    #[test]
+    fn subsystem_tags_attribute_polls_and_fires() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        // A NIC-tagged task: its polls, sleeps, and everything it
+        // schedules downstream carry the NicEngine bucket.
+        sim.with_tag(Subsystem::NicEngine, || {
+            let s2 = s.clone();
+            s.spawn(async move {
+                s2.sleep(D::from_ns(10)).await;
+                // A reschedule from inside tagged context inherits.
+                s2.schedule_after(D::from_ns(10), |_| {});
+            });
+        });
+        // An untagged task with a CPU-billed sleep created inside
+        // with_tag: the sleep's timer is attributed at creation.
+        let s3 = s.clone();
+        sim.spawn(async move {
+            let nap = s3.with_tag(Subsystem::CpuBilling, || s3.sleep(D::from_ns(25)));
+            nap.await;
+        });
+        sim.run();
+        let st = sim.stats();
+        let nic = Subsystem::NicEngine as usize;
+        let cpu = Subsystem::CpuBilling as usize;
+        assert_eq!(st.timer_fires_by[nic], 2, "sleep + chained reschedule");
+        assert_eq!(st.timer_fires_by[cpu], 1, "tag captured at sleep creation");
+        assert!(
+            st.polls_by[nic] >= 2,
+            "tagged task polls land in its bucket"
+        );
+        assert_eq!(
+            st.polls_by.iter().sum::<u64>(),
+            st.polls,
+            "buckets partition polls"
+        );
+        assert_eq!(
+            st.timer_fires_by.iter().sum::<u64>(),
+            st.timer_fires,
+            "buckets partition timer fires"
+        );
+    }
+
+    #[test]
+    fn tagging_never_perturbs_execution_order() {
+        fn run(tagged: bool) -> Vec<u64> {
+            let sim = Sim::new();
+            let s = sim.clone();
+            let log: Rc<RefCell<Vec<u64>>> = Rc::default();
+            let l = Rc::clone(&log);
+            let spawn_all = {
+                let s = s.clone();
+                move || {
+                    for i in 0..6u64 {
+                        let s2 = s.clone();
+                        let l2 = Rc::clone(&l);
+                        s.spawn(async move {
+                            s2.sleep(D::from_ns(100 * ((i * 7) % 5 + 1))).await;
+                            l2.borrow_mut().push(i);
+                        });
+                    }
+                }
+            };
+            if tagged {
+                sim.with_tag(Subsystem::SwitchPort, spawn_all);
+            } else {
+                spawn_all();
+            }
+            sim.run();
+            let v = log.borrow().clone();
+            v
+        }
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

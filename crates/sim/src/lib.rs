@@ -31,7 +31,7 @@
 //! - [`resource`]: analytic FIFO servers for links/DMA/pipelines.
 //! - [`stats`]: histograms, online moments, bimodality detection, series.
 //! - [`rng`]: deterministic per-component random streams.
-//! - [`trace`]: optional event tracing (observability policy, tests).
+//! - [`trace`]: typed lifecycle tracing (the observability plane's spine).
 
 #![deny(missing_docs)]
 
@@ -44,9 +44,9 @@ pub mod time;
 pub mod timer;
 pub mod trace;
 
-pub use executor::{JoinHandle, Sim, SimStats, TaskId};
+pub use executor::{JoinHandle, Sim, SimStats, Subsystem, TaskId};
 pub use resource::{FifoResource, Grant};
 pub use rng::{DetRng, RngFactory};
 pub use time::{copy_time, transmission_time, SimDuration, SimTime};
 pub use timer::TimerHandle;
-pub use trace::{Trace, TraceCategory, TraceEvent};
+pub use trace::{Trace, TraceCategory, TraceEvent, TraceKind};

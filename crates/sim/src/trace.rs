@@ -1,100 +1,316 @@
-//! Lightweight event tracing.
+//! Typed, deterministic event tracing — the observability plane's spine.
 //!
-//! The observability CoRD policy and the test suite both consume this: a
-//! shared, optionally-enabled ring of `(time, category, message)` records.
-//! Disabled tracing costs one branch per call.
+//! Every layer of the stack emits compact [`TraceKind`] records into one
+//! shared ring: WQE acceptance, per-fragment TX/RX, switch-port
+//! occupancy and PFC pause transitions, retransmission windows, DCQCN
+//! rate cuts, fault onsets/clearances. Records carry stable integer IDs
+//! (node, QP, port, message sequence) instead of rendered strings, so
+//! recording is allocation-free and a disabled trace costs exactly one
+//! branch per call — the healthy path stays byte-identical whether or
+//! not a trace object exists.
+//!
+//! Tracing must never perturb virtual time: [`Trace::emit`] only copies
+//! a few words into the ring, never touches the sim clock, schedules
+//! nothing, and allocates only when the ring grows toward its cap.
+//! Consumers (the Perfetto exporter in `cord-bench`, tests) snapshot the
+//! ring after the run.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use crate::time::SimTime;
 
-/// Category of a trace record; coarse filters for tests/tools.
+/// Coarse category of a trace record, for filtering in tests and tools.
+/// Derived from the [`TraceKind`], never stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceCategory {
     /// System-call entries/exits (CoRD crossings, ioctls).
     Syscall,
-    /// NIC engine events (WQE processing, CQEs, CNPs).
+    /// NIC engine events (WQE processing, CQEs, replays, rate cuts).
     Nic,
     /// DMA transactions between host memory and the NIC.
     Dma,
-    /// Link/fabric transmissions.
+    /// Link/fabric transmissions (per-fragment TX/RX, mesh hops).
     Link,
+    /// Switch-port events (occupancy, drops, PFC pause transitions).
+    Port,
     /// CoRD policy decisions.
     Policy,
+    /// Chaos-plane fault injection and detection.
+    Fault,
     /// MPI layer events.
     Mpi,
     /// Application-level markers.
     App,
 }
 
-/// One trace record.
-#[derive(Debug, Clone)]
+/// One typed lifecycle event. Variants are compact and `Copy`: stable
+/// integer IDs only, no strings, so emitting never allocates.
+///
+/// The WQE→packet→switch-port→RX→CQE path maps to `WqeStart` →
+/// `FragTx`* → `PortEnqueue`* → `FragRx`* → `CqeDone`; the loss regimes
+/// add pause windows (`PauseOn`/`PauseOff`), drops (`PortDrop`), and
+/// replay windows (`ReplayStart`/`ReplayEnd`); the chaos plane brackets
+/// each fault with `FaultOn`/`FaultOff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A send WQE was accepted by the NIC engine.
+    WqeStart {
+        /// Posting node.
+        node: u32,
+        /// Posting QP number.
+        qpn: u32,
+        /// Caller's work-request ID.
+        wr_id: u64,
+        /// Total message bytes.
+        bytes: u32,
+    },
+    /// One fragment left the NIC serializer toward the fabric.
+    FragTx {
+        /// Source node.
+        node: u32,
+        /// Source QP number.
+        qpn: u32,
+        /// Destination node.
+        dst: u32,
+        /// Message sequence number on this QP.
+        msg_seq: u32,
+        /// Fragment index within the message.
+        frag: u32,
+        /// Fragment payload bytes.
+        bytes: u32,
+    },
+    /// One fragment arrived at the destination NIC's receive pipeline.
+    FragRx {
+        /// Receiving node.
+        node: u32,
+        /// Receiving QP number.
+        qpn: u32,
+        /// Source node.
+        src: u32,
+        /// Message sequence number on the sending QP.
+        msg_seq: u32,
+        /// Fragment index within the message.
+        frag: u32,
+        /// Fragment payload bytes.
+        bytes: u32,
+    },
+    /// A completion queue entry was delivered.
+    CqeDone {
+        /// Completing node.
+        node: u32,
+        /// Completing QP number.
+        qpn: u32,
+        /// Work-request ID being completed.
+        wr_id: u64,
+    },
+    /// A QP entered the ERROR state and flushed its queues.
+    QpFlush {
+        /// Node owning the QP.
+        node: u32,
+        /// The flushed QP.
+        qpn: u32,
+    },
+    /// A switch port accepted a frame; `queued_bytes` is the port's
+    /// occupancy after the enqueue.
+    PortEnqueue {
+        /// Global port index in the topology's route plan.
+        port: u32,
+        /// Queue occupancy in bytes, post-enqueue.
+        queued_bytes: u32,
+    },
+    /// A switch port dropped a frame (finite buffer, lossy regime).
+    PortDrop {
+        /// Global port index.
+        port: u32,
+        /// Bytes of the dropped frame.
+        bytes: u32,
+    },
+    /// A port asserted PFC pause (XOFF) toward its feeder.
+    PauseOn {
+        /// Global port index.
+        port: u32,
+    },
+    /// A port released PFC pause (XON).
+    PauseOff {
+        /// Global port index.
+        port: u32,
+    },
+    /// Go-back-N replay began on a QP (retransmit window opens).
+    ReplayStart {
+        /// Replaying node.
+        node: u32,
+        /// Replaying QP.
+        qpn: u32,
+        /// First message sequence being replayed.
+        msg_seq: u32,
+    },
+    /// The replay window closed: the QP caught back up to new traffic.
+    ReplayEnd {
+        /// Replaying node.
+        node: u32,
+        /// Replaying QP.
+        qpn: u32,
+    },
+    /// A QP exhausted its retransmit retries (fatal).
+    RetxExhausted {
+        /// Node owning the QP.
+        node: u32,
+        /// The exhausted QP.
+        qpn: u32,
+    },
+    /// A QP exhausted its RNR retries (fatal).
+    RnrExhausted {
+        /// Node owning the QP.
+        node: u32,
+        /// The exhausted QP.
+        qpn: u32,
+    },
+    /// DCQCN cut a QP's sending rate in response to a CNP.
+    RateCut {
+        /// Node owning the QP.
+        node: u32,
+        /// The rate-limited QP.
+        qpn: u32,
+        /// New sending rate in megabits per second.
+        rate_mbps: u32,
+    },
+    /// A frame crossed the ideal full-mesh fabric (no switched path).
+    MeshTx {
+        /// Source node.
+        src: u32,
+        /// Destination node.
+        dst: u32,
+        /// Frame payload bytes.
+        bytes: u32,
+    },
+    /// A CoRD policy denied a post.
+    PolicyDeny {
+        /// Node whose kernel denied.
+        node: u32,
+        /// The denied QP.
+        qpn: u32,
+    },
+    /// The chaos plane applied fault `idx` of its schedule.
+    FaultOn {
+        /// Index into the plane's applicable-event list.
+        idx: u32,
+    },
+    /// The chaos plane cleared fault `idx`.
+    FaultOff {
+        /// Index into the plane's applicable-event list.
+        idx: u32,
+    },
+    /// The PFC no-progress watchdog broke wedged ports.
+    DeadlockBreak {
+        /// Number of ports force-released in this scan.
+        ports: u32,
+    },
+}
+
+impl TraceKind {
+    /// The coarse category this kind belongs to.
+    pub fn category(&self) -> TraceCategory {
+        match self {
+            TraceKind::WqeStart { .. }
+            | TraceKind::CqeDone { .. }
+            | TraceKind::QpFlush { .. }
+            | TraceKind::ReplayStart { .. }
+            | TraceKind::ReplayEnd { .. }
+            | TraceKind::RetxExhausted { .. }
+            | TraceKind::RnrExhausted { .. }
+            | TraceKind::RateCut { .. } => TraceCategory::Nic,
+            TraceKind::FragTx { .. } | TraceKind::FragRx { .. } | TraceKind::MeshTx { .. } => {
+                TraceCategory::Link
+            }
+            TraceKind::PortEnqueue { .. }
+            | TraceKind::PortDrop { .. }
+            | TraceKind::PauseOn { .. }
+            | TraceKind::PauseOff { .. } => TraceCategory::Port,
+            TraceKind::PolicyDeny { .. } => TraceCategory::Policy,
+            TraceKind::FaultOn { .. }
+            | TraceKind::FaultOff { .. }
+            | TraceKind::DeadlockBreak { .. } => TraceCategory::Fault,
+        }
+    }
+}
+
+/// One trace record: a typed event stamped with its virtual instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Virtual instant the event was recorded at.
     pub at: SimTime,
-    /// Coarse category, for filtering.
-    pub category: TraceCategory,
-    /// Human-readable description.
-    pub message: String,
+    /// The typed event.
+    pub kind: TraceKind,
 }
 
-#[derive(Default)]
 struct Inner {
+    /// Immutable after construction: one branch decides everything.
     enabled: bool,
-    events: Vec<TraceEvent>,
+    buf: RefCell<VecDeque<TraceEvent>>,
     cap: usize,
 }
 
-/// Shared trace sink.
-#[derive(Clone, Default)]
+/// Shared trace sink. Cheap to clone (all clones share the ring).
+#[derive(Clone)]
 pub struct Trace {
-    inner: Rc<RefCell<Inner>>,
+    inner: Rc<Inner>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::disabled()
+    }
 }
 
 impl Trace {
-    /// A disabled trace; `record` is a no-op.
+    /// A disabled trace; [`Trace::emit`] is a no-op costing one branch.
     pub fn disabled() -> Self {
-        Self::default()
+        Trace {
+            inner: Rc::new(Inner {
+                enabled: false,
+                buf: RefCell::new(VecDeque::new()),
+                cap: 0,
+            }),
+        }
     }
 
     /// An enabled trace retaining up to `cap` records (FIFO eviction).
     pub fn enabled(cap: usize) -> Self {
         Trace {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Rc::new(Inner {
                 enabled: true,
-                events: Vec::new(),
+                buf: RefCell::new(VecDeque::new()),
                 cap,
-            })),
+            }),
         }
     }
 
     /// Whether records are being retained.
+    #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.inner.borrow().enabled
+        self.inner.enabled
     }
 
-    /// Record an event; `message` is only rendered when tracing is
-    /// enabled, so a disabled trace costs one branch per call.
-    pub fn record(&self, at: SimTime, category: TraceCategory, message: impl FnOnce() -> String) {
-        let mut inner = self.inner.borrow_mut();
-        if !inner.enabled {
+    /// Record a typed event. Disabled traces return after one branch;
+    /// enabled ones copy a few words into the ring (no formatting, no
+    /// per-event allocation once the ring is at capacity).
+    #[inline]
+    pub fn emit(&self, at: SimTime, kind: TraceKind) {
+        if !self.inner.enabled {
             return;
         }
-        if inner.events.len() >= inner.cap {
-            inner.events.remove(0);
+        let mut buf = self.inner.buf.borrow_mut();
+        if buf.len() >= self.inner.cap {
+            buf.pop_front();
         }
-        let msg = message();
-        inner.events.push(TraceEvent {
-            at,
-            category,
-            message: msg,
-        });
+        buf.push_back(TraceEvent { at, kind });
     }
 
     /// Number of retained records.
     pub fn len(&self) -> usize {
-        self.inner.borrow().events.len()
+        self.inner.buf.borrow().len()
     }
 
     /// Whether no records are retained.
@@ -102,24 +318,34 @@ impl Trace {
         self.len() == 0
     }
 
-    /// Snapshot of all records (clones; intended for tests/tools).
+    /// Snapshot of all records in emission order.
     pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.clone()
+        self.inner.buf.borrow().iter().copied().collect()
     }
 
     /// Count records in a category.
     pub fn count(&self, category: TraceCategory) -> usize {
         self.inner
+            .buf
             .borrow()
-            .events
             .iter()
-            .filter(|e| e.category == category)
+            .filter(|e| e.kind.category() == category)
+            .count()
+    }
+
+    /// Count records matching a predicate on the kind.
+    pub fn count_kind(&self, mut pred: impl FnMut(&TraceKind) -> bool) -> usize {
+        self.inner
+            .buf
+            .borrow()
+            .iter()
+            .filter(|e| pred(&e.kind))
             .count()
     }
 
     /// Drop all retained records.
     pub fn clear(&self) {
-        self.inner.borrow_mut().events.clear();
+        self.inner.buf.borrow_mut().clear();
     }
 }
 
@@ -130,7 +356,7 @@ mod tests {
     #[test]
     fn disabled_records_nothing() {
         let t = Trace::disabled();
-        t.record(SimTime::ZERO, TraceCategory::Nic, || "x".into());
+        t.emit(SimTime::ZERO, TraceKind::PauseOn { port: 3 });
         assert!(t.is_empty());
         assert!(!t.is_enabled());
     }
@@ -138,34 +364,87 @@ mod tests {
     #[test]
     fn enabled_records_and_filters() {
         let t = Trace::enabled(16);
-        t.record(SimTime(1), TraceCategory::Nic, || "a".into());
-        t.record(SimTime(2), TraceCategory::Syscall, || "b".into());
-        t.record(SimTime(3), TraceCategory::Nic, || "c".into());
+        t.emit(
+            SimTime(1),
+            TraceKind::WqeStart {
+                node: 0,
+                qpn: 8,
+                wr_id: 42,
+                bytes: 4096,
+            },
+        );
+        t.emit(SimTime(2), TraceKind::PauseOn { port: 5 });
+        t.emit(
+            SimTime(3),
+            TraceKind::CqeDone {
+                node: 1,
+                qpn: 9,
+                wr_id: 42,
+            },
+        );
         assert_eq!(t.len(), 3);
         assert_eq!(t.count(TraceCategory::Nic), 2);
+        assert_eq!(t.count(TraceCategory::Port), 1);
         assert_eq!(t.count(TraceCategory::Policy), 0);
         let snap = t.snapshot();
-        assert_eq!(snap[1].message, "b");
         assert_eq!(snap[1].at, SimTime(2));
+        assert_eq!(snap[1].kind, TraceKind::PauseOn { port: 5 });
+        assert_eq!(
+            t.count_kind(|k| matches!(k, TraceKind::WqeStart { qpn: 8, .. })),
+            1
+        );
     }
 
     #[test]
     fn capacity_evicts_oldest() {
         let t = Trace::enabled(2);
-        for i in 0..5u64 {
-            t.record(SimTime(i), TraceCategory::App, || format!("{i}"));
+        for i in 0..5u32 {
+            t.emit(
+                SimTime(u64::from(i)),
+                TraceKind::PortDrop { port: i, bytes: 1 },
+            );
         }
         let snap = t.snapshot();
         assert_eq!(snap.len(), 2);
-        assert_eq!(snap[0].message, "3");
-        assert_eq!(snap[1].message, "4");
+        assert_eq!(snap[0].kind, TraceKind::PortDrop { port: 3, bytes: 1 });
+        assert_eq!(snap[1].kind, TraceKind::PortDrop { port: 4, bytes: 1 });
     }
 
     #[test]
     fn clear_empties() {
         let t = Trace::enabled(8);
-        t.record(SimTime::ZERO, TraceCategory::App, || "x".into());
+        t.emit(SimTime::ZERO, TraceKind::PauseOff { port: 0 });
         t.clear();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn categories_are_derived_consistently() {
+        // Every kind maps to exactly one category; pin a representative
+        // of each arm so a refactor can't silently recategorize.
+        assert_eq!(
+            TraceKind::FragTx {
+                node: 0,
+                qpn: 0,
+                dst: 1,
+                msg_seq: 0,
+                frag: 0,
+                bytes: 0
+            }
+            .category(),
+            TraceCategory::Link
+        );
+        assert_eq!(
+            TraceKind::FaultOn { idx: 0 }.category(),
+            TraceCategory::Fault
+        );
+        assert_eq!(
+            TraceKind::PolicyDeny { node: 0, qpn: 0 }.category(),
+            TraceCategory::Policy
+        );
+        assert_eq!(
+            TraceKind::DeadlockBreak { ports: 2 }.category(),
+            TraceCategory::Fault
+        );
     }
 }

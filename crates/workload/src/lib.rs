@@ -50,12 +50,18 @@ pub mod runner;
 pub mod scenarios;
 pub mod spec;
 pub mod stats;
+mod telemetry;
 
 pub use policy::ScopedPolicy;
-pub use runner::{run_scenario, run_scenario_instrumented, CoreStats};
+pub use runner::{
+    run_scenario, run_scenario_full, run_scenario_instrumented, CoreStats, RunOptions, RunOutput,
+};
 pub use scenarios::Scale;
 pub use spec::{Arrival, ScenarioSpec, SizeDist, TenantSpec};
-pub use stats::{ChaosCounters, FabricCounters, ScenarioReport, TenantReport, TenantStats};
+pub use stats::{
+    ChaosCounters, FabricCounters, ScenarioReport, TelemetryReport, TenantRecovery, TenantReport,
+    TenantSeries, TenantStats,
+};
 
 #[cfg(test)]
 mod tests {

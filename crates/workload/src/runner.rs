@@ -8,13 +8,14 @@ use cord_chaos::ChaosPlane;
 use cord_core::Fabric;
 use cord_kern::{QosPolicy, QuotaPolicy, RateLimitPolicy};
 use cord_net::{NetConfig, Topology};
-use cord_nic::RetxConfig;
-use cord_sim::SimDuration;
+use cord_nic::{CcAlgorithm, RetxConfig, Transport};
+use cord_sim::{SimDuration, TraceEvent};
 
 use crate::policy::ScopedPolicy;
 use crate::rpc::{drive_client, establish, serve, ClientCfg};
 use crate::spec::ScenarioSpec;
 use crate::stats::{ChaosCounters, FabricCounters, ScenarioReport, TenantStats};
+use crate::telemetry::{compute_recovery, Telemetry};
 
 /// QoS guard window / low-priority penalty used when any tenant declares a
 /// QoS class (one `QosPolicy` instance per node).
@@ -31,6 +32,29 @@ pub struct CoreStats {
     pub sim: cord_sim::SimStats,
 }
 
+/// Optional instrumentation for one scenario run, beyond what the spec
+/// itself asks for. The default runs exactly as before: no trace buffer,
+/// nothing extra returned.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Arm the fabric-wide lifecycle trace with this ring capacity
+    /// (events). The buffer is returned in [`RunOutput::trace`]; when the
+    /// run emits more events than fit, the oldest are evicted.
+    pub trace_capacity: Option<usize>,
+}
+
+/// Everything a fully instrumented run produces.
+pub struct RunOutput {
+    /// The per-tenant scoreboard (with telemetry/recovery blocks when the
+    /// spec armed them).
+    pub report: ScenarioReport,
+    /// Executor core counters (perf harnesses).
+    pub core: CoreStats,
+    /// The lifecycle trace, when [`RunOptions::trace_capacity`] asked for
+    /// one, in emission order.
+    pub trace: Option<Vec<TraceEvent>>,
+}
+
 /// Execute `spec` to completion and return the per-tenant scoreboard.
 ///
 /// Deterministic: the same spec and seed produce identical reports.
@@ -43,6 +67,12 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<ScenarioReport, String> {
 pub fn run_scenario_instrumented(
     spec: &ScenarioSpec,
 ) -> Result<(ScenarioReport, CoreStats), String> {
+    run_scenario_full(spec, RunOptions::default()).map(|o| (o.report, o.core))
+}
+
+/// [`run_scenario`] with explicit instrumentation options — the entry
+/// point the `loadgen --trace` path uses.
+pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOutput, String> {
     spec.validate()?;
     let mut machine = spec.machine.clone();
     machine.nodes = spec.nodes;
@@ -53,7 +83,11 @@ pub fn run_scenario_instrumented(
     // PFC pauses switch ports; the full mesh has none, so there the knob
     // is accepted but inert (mirroring DCQCN on UD transports).
     net.pfc.enabled = spec.pfc && spec.topology != Topology::FullMesh;
-    let fabric = Fabric::builder(machine).seed(spec.seed).net(net).build();
+    let mut builder = Fabric::builder(machine).seed(spec.seed).net(net);
+    if let Some(cap) = opts.trace_capacity {
+        builder = builder.trace(cap);
+    }
+    let fabric = builder.build();
     let cc = spec.cc;
     let rc_retx = spec.rc_retx;
     // Guard against accidental busy loops in workload logic.
@@ -62,6 +96,9 @@ pub fn run_scenario_instrumented(
     // Filled at t0 (traffic launch) so fault times are relative to the
     // traffic, not diluted by the connection-establishment phase.
     let chaos_plane: Rc<RefCell<Option<ChaosPlane>>> = Rc::new(RefCell::new(None));
+    // Likewise filled at t0: the samplers measure the traffic, not the
+    // establishment phase.
+    let telemetry: Rc<RefCell<Option<Telemetry>>> = Rc::new(RefCell::new(None));
 
     // Node-wide QoS arbitration, when any tenant declares a class.
     let qos: Vec<Rc<QosPolicy>> = if spec.tenants.iter().any(|t| t.qos.is_some()) {
@@ -84,10 +121,14 @@ pub fn run_scenario_instrumented(
     let faults = spec.faults.clone();
     let nodes = spec.nodes;
     let chaos_slot = Rc::clone(&chaos_plane);
+    let telemetry_slot = Rc::clone(&telemetry);
+    let cadence = spec.telemetry;
     let (elapsed, qps_created) = fabric.block_on(async move {
         let rng = f.rng().clone();
         let mut qps_created = 0usize;
         let mut clients = Vec::new();
+        // Tenant client QPs whose DCQCN rate the samplers will read.
+        let mut dcqcn_qps = Vec::new();
 
         // Phase 1: establish every connection (server windows preposted),
         // collecting the client drivers to launch together.
@@ -138,6 +179,13 @@ pub fn run_scenario_instrumented(
                         qos[t.home].classify(conn.client.qp.qpn().0, class);
                         qos[server_node].classify(conn.server.qp.qpn().0, class);
                     }
+                    // Like real RoCE NICs, DCQCN state only exists on RC.
+                    if cadence.is_some()
+                        && cc == CcAlgorithm::Dcqcn
+                        && conn.transport == Transport::Rc
+                    {
+                        dcqcn_qps.push((f.nic(t.home).clone(), conn.client.qp.qpn()));
+                    }
 
                     // Requests are spread round-robin across connections.
                     let nreq = t.requests / nconn + usize::from(conn_idx < t.requests % nconn);
@@ -168,6 +216,18 @@ pub fn run_scenario_instrumented(
                 &f.rng().stream("chaos"),
                 &nics,
                 &faults,
+            ));
+        }
+        // Arm the time-series samplers at t0 on the same clock. Reads
+        // only — the workload's behavior (and every digest field) is
+        // identical with or without them.
+        if let Some(cadence) = cadence {
+            *telemetry_slot.borrow_mut() = Some(Telemetry::install(
+                f.sim(),
+                f.nic(0).network(),
+                dcqcn_qps,
+                stats2.clone(),
+                cadence,
             ));
         }
         let mut handles = Vec::new();
@@ -238,18 +298,37 @@ pub fn run_scenario_instrumented(
             chaos_pfc_deadlocks: s.pfc_deadlocks,
         }
     });
+    let names: Vec<String> = spec.tenants.iter().map(|t| t.name.clone()).collect();
+    let telemetry_report = telemetry.borrow().as_ref().map(|t| t.report(&names));
+    // Recovery verdicts need both a witnessed fault window (the chaos
+    // plane saw an onset and a clearance) and the goodput series to
+    // measure restoration against.
+    let recovery = telemetry_report.as_ref().and_then(|tr| {
+        let plane = chaos_plane.borrow();
+        let plane = plane.as_ref()?;
+        let (onset, clearance) = (plane.first_onset()?, plane.last_clearance()?);
+        let t0 = telemetry.borrow().as_ref().map(|t| t.t0())?;
+        Some(compute_recovery(tr, t0, onset, clearance, &stats))
+    });
     let core = CoreStats {
         sim: fabric.sim().stats(),
     };
-    Ok((
-        ScenarioReport::summarize(
+    let trace = fabric
+        .trace()
+        .is_enabled()
+        .then(|| fabric.trace().snapshot());
+    Ok(RunOutput {
+        report: ScenarioReport::summarize(
             spec,
             qps_created,
             elapsed,
             tenants_report,
             fabric_counters,
             chaos_counters,
+            recovery,
+            telemetry_report,
         ),
         core,
-    ))
+        trace,
+    })
 }

@@ -308,6 +308,11 @@ pub fn dumbbell_incast(scale: Scale) -> ScenarioSpec {
     shape(spec, scale, DUMBBELL)
 }
 
+/// Sampling cadence the chaos builtins arm by default: fine enough to
+/// catch a 160 µs fault window with several samples on either side, while
+/// keeping the report's telemetry block small.
+const CHAOS_TELEMETRY: SimDuration = SimDuration::from_us(20);
+
 /// Switch-port buffer small enough that an incast actually pressures it,
 /// yet holding several 32 KiB messages — the go-back-N progress headroom
 /// (a replay round must fit the oldest message in full).
@@ -408,6 +413,7 @@ pub fn link_flap_recovery(scale: Scale) -> ScenarioSpec {
     let mut spec = ScenarioSpec::new("link-flap-recovery", machine(), scale.nodes)
         .seed(scale.seed)
         .rc_retx(true)
+        .telemetry(CHAOS_TELEMETRY)
         .faults(FaultSchedule::new().event(FaultEvent::LinkFlap {
             node: 1,
             down_at: SimDuration::from_us(80),
@@ -427,6 +433,7 @@ pub fn switch_death_reroute(scale: Scale) -> ScenarioSpec {
     let mut spec = ScenarioSpec::new("switch-death-reroute", machine(), scale.nodes)
         .seed(scale.seed)
         .rc_retx(true)
+        .telemetry(CHAOS_TELEMETRY)
         .faults(FaultSchedule::new().event(FaultEvent::SwitchDeath {
             spine: 1,
             at: SimDuration::from_us(60),
@@ -445,6 +452,7 @@ pub fn switch_death_reroute(scale: Scale) -> ScenarioSpec {
 pub fn straggler_nic(scale: Scale) -> ScenarioSpec {
     let mut spec = ScenarioSpec::new("straggler-nic", machine(), scale.nodes)
         .seed(scale.seed)
+        .telemetry(CHAOS_TELEMETRY)
         .faults(FaultSchedule::new().event(FaultEvent::StragglerNic {
             node: 0,
             slowdown: 20.0,
@@ -467,6 +475,7 @@ pub fn pfc_deadlock(scale: Scale) -> ScenarioSpec {
         .seed(scale.seed)
         .pfc(true)
         .buffer_bytes(SMALL_BUFFER)
+        .telemetry(CHAOS_TELEMETRY)
         .faults(
             FaultSchedule::new().event(FaultEvent::CyclicBufferDependency {
                 at: SimDuration::from_us(60),

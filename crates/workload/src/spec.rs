@@ -216,6 +216,13 @@ pub struct ScenarioSpec {
     /// start. The default (empty) schedule injects nothing and leaves the
     /// run byte-identical to one without a chaos plane.
     pub faults: FaultSchedule,
+    /// Telemetry sampling cadence. `Some(c)` arms deterministic
+    /// time-series samplers (per-port queue depth and pause state,
+    /// per-QP DCQCN rate, per-tenant in-flight and windowed goodput) on
+    /// the sim clock every `c` of virtual time, adding a `telemetry`
+    /// block to the report. `None` (the default) samples nothing and
+    /// keeps every pre-existing report byte-identical.
+    pub telemetry: Option<SimDuration>,
     pub tenants: Vec<TenantSpec>,
 }
 
@@ -232,6 +239,7 @@ impl ScenarioSpec {
             rc_retx: false,
             buffer_bytes: None,
             faults: FaultSchedule::default(),
+            telemetry: None,
             tenants: Vec::new(),
         }
     }
@@ -271,6 +279,12 @@ impl ScenarioSpec {
         self
     }
 
+    /// Arm the deterministic time-series samplers at `cadence`.
+    pub fn telemetry(mut self, cadence: SimDuration) -> Self {
+        self.telemetry = Some(cadence);
+        self
+    }
+
     pub fn tenant(mut self, t: TenantSpec) -> Self {
         self.tenants.push(t);
         self
@@ -294,6 +308,9 @@ impl ScenarioSpec {
         self.faults
             .validate(self.nodes)
             .map_err(|e| format!("{}: {e}", self.name))?;
+        if self.telemetry == Some(SimDuration::ZERO) {
+            return Err(format!("{}: telemetry cadence must be nonzero", self.name));
+        }
         let mtu = self.machine.nic.mtu;
         let mut names = std::collections::BTreeSet::new();
         for t in &self.tenants {

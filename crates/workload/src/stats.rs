@@ -65,6 +65,20 @@ impl TenantStats {
         self.inner.borrow().dropped
     }
 
+    /// Snapshot `(issued, completed, bytes_moved)` for the telemetry
+    /// samplers: in-flight is `issued - completed - dropped`, windowed
+    /// goodput is the delta of `bytes_moved` across one cadence.
+    pub fn progress(&self) -> (u64, u64, u64) {
+        let s = self.inner.borrow();
+        (s.issued, s.completed + s.dropped, s.bytes_moved)
+    }
+
+    /// Virtual instant of the tenant's last issue/completion (recovery
+    /// accounting for tenants that finish before the next sample lands).
+    pub fn last_event(&self) -> SimTime {
+        self.inner.borrow().last_event
+    }
+
     /// Freeze into a report. Goodput is computed over the tenant's own
     /// active span (first arrival to last completion), so tenants that
     /// finish early aren't diluted by a long-running scenario.
@@ -172,6 +186,79 @@ pub struct ChaosCounters {
     pub chaos_pfc_deadlocks: u64,
 }
 
+/// One tenant's time series from the telemetry samplers, columnar: entry
+/// `k` of every vector belongs to the `k`-th sample instant.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantSeries {
+    pub tenant: String,
+    /// Requests issued but not yet completed or dropped at each sample.
+    pub inflight: Vec<u64>,
+    /// Goodput over the window ending at each sample, Gbit/s.
+    pub goodput_gbps: Vec<f64>,
+}
+
+/// Deterministic time-series telemetry: fixed-cadence samples driven by
+/// the sim clock (never ambient time), present in a report only when the
+/// scenario armed `ScenarioSpec::telemetry`.
+#[derive(Debug, Clone)]
+pub struct TelemetryReport {
+    /// Sampling cadence, µs of virtual time.
+    pub cadence_us: f64,
+    /// Sample instants, µs since traffic launch (t0).
+    pub t_us: Vec<f64>,
+    /// Deepest switch-port queue at each sample, bytes (0 on a mesh).
+    pub max_port_queued: Vec<u64>,
+    /// Switch ports holding XOFF at each sample (0 without PFC).
+    pub paused_ports: Vec<u64>,
+    /// Slowest DCQCN rate across tenant client QPs at each sample,
+    /// Gbit/s; `None` when no QP runs DCQCN.
+    pub min_dcqcn_gbps: Option<Vec<f64>>,
+    /// Per-tenant series, in scenario tenant order.
+    pub tenants: Vec<TenantSeries>,
+}
+
+impl Serialize for TelemetryReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("cadence_us".into(), self.cadence_us.to_value()),
+            ("t_us".into(), self.t_us.to_value()),
+            ("max_port_queued".into(), self.max_port_queued.to_value()),
+            ("paused_ports".into(), self.paused_ports.to_value()),
+        ];
+        if let Some(r) = &self.min_dcqcn_gbps {
+            fields.push(("min_dcqcn_gbps".into(), r.to_value()));
+        }
+        fields.push(("tenants".into(), self.tenants.to_value()));
+        serde::Value::Object(fields)
+    }
+}
+
+/// One tenant's recovery verdict after a fault cleared: the time from
+/// clearance until windowed goodput returned to within 10% of the
+/// pre-fault rate (or until the tenant finished everything it had left).
+#[derive(Debug, Clone)]
+pub struct TenantRecovery {
+    pub tenant: String,
+    /// Whether the tenant got back to ≥ 90% of its pre-fault goodput (or
+    /// completed all requests) after the last fault clearance.
+    pub recovered: bool,
+    /// Clearance-to-recovery time, µs; absent when not recovered.
+    pub recovery_us: Option<f64>,
+}
+
+impl Serialize for TenantRecovery {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("tenant".into(), self.tenant.to_value()),
+            ("recovered".into(), self.recovered.to_value()),
+        ];
+        if let Some(us) = self.recovery_us {
+            fields.push(("recovery_us".into(), us.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
 /// Whole-scenario result.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
@@ -189,6 +276,13 @@ pub struct ScenarioReport {
     /// Chaos detection counters (`None` with an empty fault schedule,
     /// keeping fault-free JSON byte-identical).
     pub chaos: Option<ChaosCounters>,
+    /// Per-tenant recovery-time verdicts (`None` unless a fault actually
+    /// cleared *and* the telemetry samplers were armed to witness the
+    /// recovery).
+    pub recovery: Option<Vec<TenantRecovery>>,
+    /// Deterministic time series (`None` unless the scenario armed
+    /// `ScenarioSpec::telemetry`).
+    pub telemetry: Option<TelemetryReport>,
     pub connections: usize,
     pub qps_created: usize,
     pub elapsed_ms: f64,
@@ -233,6 +327,12 @@ impl Serialize for ScenarioReport {
                 c.chaos_pfc_deadlocks.to_value(),
             ));
         }
+        if let Some(r) = &self.recovery {
+            fields.push(("recovery".into(), r.to_value()));
+        }
+        if let Some(t) = &self.telemetry {
+            fields.push(("telemetry".into(), t.to_value()));
+        }
         fields.extend([
             ("connections".into(), self.connections.to_value()),
             ("qps_created".into(), self.qps_created.to_value()),
@@ -250,6 +350,7 @@ impl Serialize for ScenarioReport {
 }
 
 impl ScenarioReport {
+    #[allow(clippy::too_many_arguments)]
     pub fn summarize(
         spec: &crate::spec::ScenarioSpec,
         qps_created: usize,
@@ -257,6 +358,8 @@ impl ScenarioReport {
         tenants: Vec<TenantReport>,
         fabric: Option<FabricCounters>,
         chaos: Option<ChaosCounters>,
+        recovery: Option<Vec<TenantRecovery>>,
+        telemetry: Option<TelemetryReport>,
     ) -> ScenarioReport {
         let secs = elapsed.as_secs_f64();
         let total_bytes: u64 = tenants.iter().map(|t| t.bytes_moved).sum();
@@ -269,6 +372,8 @@ impl ScenarioReport {
             cc: spec.cc.to_string(),
             fabric,
             chaos,
+            recovery,
+            telemetry,
             connections: spec.total_connections(),
             qps_created,
             elapsed_ms: elapsed.as_us_f64() / 1e3,

@@ -1,0 +1,229 @@
+//! Deterministic time-series telemetry: fixed-cadence samplers on the
+//! sim clock.
+//!
+//! When a scenario arms [`crate::ScenarioSpec::telemetry`], a sampler
+//! chain is scheduled at traffic launch (t0) and re-arms itself every
+//! cadence of *virtual* time — never ambient time, so the series is as
+//! reproducible as the run itself. Each tick reads:
+//!
+//! * per-port queue depth and PFC pause state (switched fabrics),
+//! * the slowest DCQCN rate across tenant client QPs,
+//! * per-tenant in-flight requests and windowed goodput.
+//!
+//! Every read is observation-only (lazy port settlement merely
+//! materializes drain that already happened in virtual time), so arming
+//! the samplers never changes what the workload does — only
+//! `polls`/`timer_fires` style executor counters move, and those are
+//! perf-class, not part of any byte-stable report.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cord_net::Network;
+use cord_nic::{Nic, Packet, QpNum};
+use cord_sim::{Sim, SimDuration, SimTime};
+
+use crate::stats::{TelemetryReport, TenantRecovery, TenantSeries, TenantStats};
+
+/// Hard cap on collected samples: a runaway scenario stops sampling (and
+/// re-arming) rather than growing without bound. 4096 samples cover any
+/// built-in scenario at the default cadence with two orders of margin.
+const MAX_SAMPLES: usize = 4096;
+
+/// Goodput-restoration threshold: a tenant has recovered once its
+/// windowed goodput is back within 10% of the pre-fault rate.
+const RECOVERY_FRACTION: f64 = 0.9;
+
+struct SamplerState {
+    sim: Sim,
+    cadence: SimDuration,
+    t0: SimTime,
+    net: Rc<Network<Packet>>,
+    /// Tenant client QPs running DCQCN, with the NIC that owns each.
+    dcqcn: Vec<(Nic, QpNum)>,
+    tenants: Vec<Rc<TenantStats>>,
+    /// `bytes_moved` at the previous sample, per tenant (windowed-goodput
+    /// numerator).
+    prev_bytes: RefCell<Vec<u64>>,
+    samples: RefCell<RawSamples>,
+}
+
+#[derive(Default)]
+struct RawSamples {
+    t: Vec<SimTime>,
+    max_port_queued: Vec<u64>,
+    paused_ports: Vec<u64>,
+    min_dcqcn_gbps: Vec<f64>,
+    /// Indexed `[tenant][sample]`.
+    inflight: Vec<Vec<u64>>,
+    goodput: Vec<Vec<f64>>,
+}
+
+/// A live sampler chain; hold it across the run, then freeze with
+/// [`Telemetry::report`].
+pub(crate) struct Telemetry {
+    state: Rc<SamplerState>,
+}
+
+impl Telemetry {
+    /// Arm the sampler chain: first tick one cadence after now (the t0
+    /// sample would be all zeros), re-arming until [`MAX_SAMPLES`].
+    pub(crate) fn install(
+        sim: &Sim,
+        net: Rc<Network<Packet>>,
+        dcqcn: Vec<(Nic, QpNum)>,
+        tenants: Vec<Rc<TenantStats>>,
+        cadence: SimDuration,
+    ) -> Telemetry {
+        let n = tenants.len();
+        let state = Rc::new(SamplerState {
+            sim: sim.clone(),
+            cadence,
+            t0: sim.now(),
+            net,
+            dcqcn,
+            tenants,
+            prev_bytes: RefCell::new(vec![0; n]),
+            samples: RefCell::new(RawSamples {
+                inflight: vec![Vec::new(); n],
+                goodput: vec![Vec::new(); n],
+                ..RawSamples::default()
+            }),
+        });
+        let s2 = Rc::clone(&state);
+        sim.schedule_at(state.t0 + cadence, move |_| tick(&s2));
+        Telemetry { state }
+    }
+
+    /// Traffic-launch instant the series is measured from.
+    pub(crate) fn t0(&self) -> SimTime {
+        self.state.t0
+    }
+
+    /// Freeze the collected series into report form. `names` is the
+    /// scenario's tenant list, in spec order.
+    pub(crate) fn report(&self, names: &[String]) -> TelemetryReport {
+        let s = self.state.samples.borrow();
+        let t0 = self.state.t0;
+        TelemetryReport {
+            cadence_us: self.state.cadence.as_us_f64(),
+            t_us: s.t.iter().map(|&t| t.since(t0).as_us_f64()).collect(),
+            max_port_queued: s.max_port_queued.clone(),
+            paused_ports: s.paused_ports.clone(),
+            min_dcqcn_gbps: (!self.state.dcqcn.is_empty()).then(|| s.min_dcqcn_gbps.clone()),
+            tenants: names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| TenantSeries {
+                    tenant: name.clone(),
+                    inflight: s.inflight[i].clone(),
+                    goodput_gbps: s.goodput[i].clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One sampler tick: read everything, then re-arm.
+fn tick(state: &Rc<SamplerState>) {
+    let now = state.sim.now();
+    {
+        let mut s = state.samples.borrow_mut();
+        if s.t.len() >= MAX_SAMPLES {
+            return;
+        }
+        let (mut maxq, mut paused) = (0u64, 0u64);
+        if state.net.plan().is_some() {
+            let ports = state.net.plan().map_or(0, |p| p.num_ports());
+            for port in 0..ports {
+                maxq = maxq.max(state.net.port_queued_bytes(port) as u64);
+                paused += u64::from(state.net.port_paused(port));
+            }
+        }
+        let min_rate = state
+            .dcqcn
+            .iter()
+            .filter_map(|(nic, qpn)| {
+                nic.dcqcn_snapshot(*qpn)
+                    .ok()
+                    .flatten()
+                    .map(|(rate, _, _)| rate)
+            })
+            .fold(f64::INFINITY, f64::min);
+        let window_s = state.cadence.as_secs_f64();
+        let mut prev = state.prev_bytes.borrow_mut();
+        for (i, t) in state.tenants.iter().enumerate() {
+            let (issued, done, bytes) = t.progress();
+            s.inflight[i].push(issued - done);
+            s.goodput[i].push((bytes - prev[i]) as f64 * 8.0 / window_s / 1e9);
+            prev[i] = bytes;
+        }
+        s.t.push(now);
+        s.max_port_queued.push(maxq);
+        s.paused_ports.push(paused);
+        s.min_dcqcn_gbps
+            .push(if min_rate.is_finite() { min_rate } else { 0.0 });
+    }
+    let at = now + state.cadence;
+    let s2 = Rc::clone(state);
+    state.sim.schedule_at(at, move |_| tick(&s2));
+}
+
+/// Per-tenant recovery verdicts from a fault's last clearance.
+///
+/// A tenant's pre-fault rate is its mean windowed goodput over the
+/// samples taken before the first fault onset. It has *recovered* at the
+/// first post-clearance sample whose windowed goodput is back to
+/// [`RECOVERY_FRACTION`] of that rate — or, failing that, at its final
+/// issue/completion if it finished every request it issued (a tenant
+/// with nothing left to send has trivially recovered). Tenants that
+/// never again reach the threshold and never finish are reported
+/// unrecovered.
+pub(crate) fn compute_recovery(
+    telemetry: &TelemetryReport,
+    t0: SimTime,
+    onset: SimTime,
+    clearance: SimTime,
+    tenants: &[Rc<TenantStats>],
+) -> Vec<TenantRecovery> {
+    let onset_us = onset.saturating_since(t0).as_us_f64();
+    let clearance_us = clearance.saturating_since(t0).as_us_f64();
+    telemetry
+        .tenants
+        .iter()
+        .zip(tenants)
+        .map(|(series, stats)| {
+            let pre: Vec<f64> = telemetry
+                .t_us
+                .iter()
+                .zip(&series.goodput_gbps)
+                .filter(|(t, _)| **t <= onset_us)
+                .map(|(_, g)| *g)
+                .collect();
+            let pre_rate = if pre.is_empty() {
+                0.0
+            } else {
+                pre.iter().sum::<f64>() / pre.len() as f64
+            };
+            let threshold = RECOVERY_FRACTION * pre_rate;
+            let by_goodput = telemetry
+                .t_us
+                .iter()
+                .zip(&series.goodput_gbps)
+                .find(|(t, g)| **t > clearance_us && **g >= threshold)
+                .map(|(t, _)| t - clearance_us);
+            let (issued, done, _) = stats.progress();
+            let recovery_us = by_goodput.or_else(|| {
+                // Finished tenants recovered at their last event (which
+                // may predate the clearance: clamp to zero).
+                (issued == done && issued > 0)
+                    .then(|| stats.last_event().saturating_since(clearance).as_us_f64())
+            });
+            TenantRecovery {
+                tenant: series.tenant.clone(),
+                recovered: recovery_us.is_some(),
+                recovery_us,
+            }
+        })
+        .collect()
+}

@@ -42,6 +42,20 @@ fn link_flap_recovery_replays_the_lost_frames_and_completes() {
     let f = r.fabric.expect("fabric counters when retx on");
     assert!(f.retx_replays > 0, "retransmission must do the recovering");
     assert_eq!(f.retx_exhausted, 0, "no QP may exhaust its retries");
+
+    // The telemetry samplers witnessed the fault window, so the report
+    // carries a per-tenant recovery verdict — and every tenant must have
+    // finite clearance-to-recovery time (it completed, after all).
+    let rec = r.recovery.as_ref().expect("recovery block with telemetry");
+    assert_eq!(rec.len(), r.tenants.len());
+    for t in rec {
+        assert!(t.recovered, "{} never recovered", t.tenant);
+        let us = t.recovery_us.expect("recovered implies a time");
+        assert!(us.is_finite() && us >= 0.0, "{}: {us}", t.tenant);
+    }
+    let tel = r.telemetry.as_ref().expect("chaos builtins arm telemetry");
+    assert!(!tel.t_us.is_empty(), "samplers must have fired");
+    assert_eq!(tel.tenants.len(), r.tenants.len());
 }
 
 /// A spine dies mid-incast: in-flight frames on the corpse are lost and
@@ -63,6 +77,11 @@ fn switch_death_reroutes_around_the_corpse_and_completes() {
     let f = r.fabric.expect("fabric counters when retx on");
     assert!(f.retx_replays > 0);
     assert_eq!(f.retx_exhausted, 0);
+
+    // A switch death never "clears" — recovery is measured from the
+    // death itself, and rerouting must still bring every tenant back.
+    let rec = r.recovery.as_ref().expect("recovery block with telemetry");
+    assert!(rec.iter().all(|t| t.recovered), "reroute must recover all");
 }
 
 /// A gray-failure NIC: the aggregator's pipeline runs 8× slow for 360 µs.
@@ -152,4 +171,21 @@ fn empty_schedules_leave_reports_untouched() {
     let json = serde_json::to_string_pretty(&run_scenario(&spec).unwrap()).unwrap();
     assert!(!json.contains("\"faults\""), "no chaos keys without faults");
     assert!(!json.contains("\"chaos_reroutes\""));
+}
+
+/// Recovery is a chaos metric: a fault-free run (schedule stripped) keeps
+/// its telemetry series but must not report recovery verdicts — there is
+/// no clearance to measure from.
+#[test]
+fn fault_free_runs_carry_no_recovery_block() {
+    let spec = link_flap_recovery(Scale {
+        faults: Some(false),
+        ..scale()
+    });
+    let r = run_scenario(&spec).unwrap();
+    assert!(r.telemetry.is_some(), "telemetry stays armed");
+    assert!(r.recovery.is_none(), "no recovery without a fault");
+    let json = serde_json::to_string_pretty(&r).unwrap();
+    assert!(!json.contains("\"recovery\""));
+    assert!(json.contains("\"telemetry\""));
 }
