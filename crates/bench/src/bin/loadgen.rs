@@ -21,7 +21,11 @@
 //! pause frames on or off (inert on the full mesh) and `--rc-retx`
 //! forces RC go-back-N retransmission, overriding the scenario defaults
 //! (`pfc-hol-blocking`/`pause-storm` default PFC on; `lossy-incast-rc`
-//! defaults retransmission on). `--faults off` strips a chaos scenario's
+//! defaults retransmission on). `--routing spray` switches cross-leaf
+//! fat-tree traffic to congestion-aware per-packet spray and
+//! `--retx-mode sr` selects the selective-repeat receiver it requires
+//! (`spray-incast` defaults both on; spray without selective repeat is
+//! rejected). `--faults off` strips a chaos scenario's
 //! built-in fault schedule (`link-flap-recovery`, `switch-death-reroute`,
 //! `straggler-nic`, `pfc-deadlock`) for fault-free baseline runs;
 //! `--faults on` keeps it (the default). All knobs are recorded in the
@@ -44,8 +48,8 @@ use std::path::{Path, PathBuf};
 
 use cord_bench::perfetto::write_chrome_trace;
 use cord_bench::{print_table, save_json};
-use cord_net::Topology;
-use cord_nic::CcAlgorithm;
+use cord_net::{Routing, Topology};
+use cord_nic::{CcAlgorithm, RetxMode};
 use cord_workload::scenarios::{self, Scale};
 use cord_workload::{run_scenario_full, RunOptions, ScenarioReport};
 
@@ -58,6 +62,7 @@ fn usage() -> ! {
         "usage: loadgen <scenario...|all> [--nodes N] [--tenants T] [--requests R] [--seed S]\n\
          \x20              [--topology full-mesh|fat-tree|dumbbell] [--cc none|dcqcn]\n\
          \x20              [--pfc on|off] [--rc-retx on|off] [--faults on|off]\n\
+         \x20              [--routing ecmp|spray] [--retx-mode gbn|sr]\n\
          \x20              [--trace out.json]\n\
          scenarios: {}",
         scenarios::NAMES.join(", ")
@@ -119,6 +124,20 @@ fn parse_args() -> Args {
             "--cc" => scale.cc = value.parse::<CcAlgorithm>().unwrap_or_else(|_| usage()),
             "--pfc" => scale.pfc = Some(parse_switch(&value)),
             "--rc-retx" => scale.rc_retx = Some(parse_switch(&value)),
+            "--routing" => {
+                scale.routing = Some(match value.as_str() {
+                    "ecmp" => Routing::Ecmp,
+                    "spray" => Routing::Spray,
+                    _ => usage(),
+                })
+            }
+            "--retx-mode" => {
+                scale.retx_mode = Some(match value.as_str() {
+                    "gbn" => RetxMode::Gbn,
+                    "sr" => RetxMode::Sr,
+                    _ => usage(),
+                })
+            }
             "--faults" => scale.faults = Some(parse_switch(&value)),
             "--trace" => trace = Some(PathBuf::from(value)),
             _ => usage(),

@@ -22,6 +22,11 @@
 //!   with RC retransmission armed: the go-back-N window, sequence NAKs,
 //!   and tombstone-cancelled retransmit timers on the hot path. Its
 //!   digest line additionally pins the drop/replay counters.
+//! * `lossy-retx-spray` — the same lossy fan-in under per-packet spray
+//!   routing with the selective-repeat receiver: per-packet congestion
+//!   snapshots, out-of-order fragment installs, SACK-driven partial
+//!   replays. Its digest line pins spray determinism and the SACK
+//!   replay economy.
 //!
 //! Results land in `results/simbench_<name>.json` (`--quick` writes
 //! `simbench_quick_<name>.json`, so smoke runs never clobber the
@@ -94,6 +99,21 @@ fn suite(quick: bool) -> Vec<Bench> {
             // 16 tenants keep the bench lossy but fully recoverable, so
             // the digest pins `completed` at the issued count.
             spec: scenarios::lossy_incast_rc(Scale {
+                tenants: 16,
+                requests: req(600),
+                ..Scale::default()
+            }),
+        },
+        Bench {
+            name: "lossy-retx-spray",
+            // The same lossy fan-in under congestion-aware per-packet
+            // spray and selective repeat: every cross-leaf packet takes a
+            // per-packet congestion snapshot and the receiver runs the
+            // SACK/out-of-order-install path — the multipath hot path.
+            // Its digest line pins both spray determinism (packet-level
+            // path choices feed `drops`) and the SACK replay economy
+            // (`retx` is the selective-repeat replay count).
+            spec: scenarios::spray_incast(Scale {
                 tenants: 16,
                 requests: req(600),
                 ..Scale::default()
@@ -200,7 +220,7 @@ fn run_bench(b: &Bench, quick: bool, label: &str, trace: bool) -> BenchRun {
 fn usage() -> ! {
     eprintln!(
         "usage: simbench [--quick] [--trace] [--label <name>] [bench ...]\n\
-         benches: kv-fanout, incast-dcqcn, shuffle, lossy-retx"
+         benches: kv-fanout, incast-dcqcn, shuffle, lossy-retx, lossy-retx-spray"
     );
     std::process::exit(2);
 }

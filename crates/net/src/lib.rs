@@ -15,7 +15,11 @@
 //!   ([`EcnConfig`]).
 //! * [`RoutePlan`] — pure, unit-testable routing: ECMP hashed on
 //!   `(src, dst, flow)`, so a QP's fragments share one path and RC
-//!   ordering survives multipathing.
+//!   ordering survives multipathing. [`Routing::Spray`] switches
+//!   cross-leaf fat-tree traffic to congestion-aware per-packet spray
+//!   ([`RoutePlan::spray_spine`]): each packet picks the least-congested
+//!   live spine off the source leaf, reordering fragments by design —
+//!   pair it with `cord-nic`'s selective-repeat receiver.
 //!
 //! ## The congestion-control loop
 //!
@@ -41,6 +45,7 @@
 //! | Knob | Where | Default |
 //! |---|---|---|
 //! | topology | [`NetConfig::topology`] | `FullMesh` |
+//! | routing policy | [`NetConfig::routing`] | `Ecmp` |
 //! | ECN threshold | [`EcnConfig::threshold_bytes`] | 64 KiB |
 //! | port buffer | [`NetConfig::buffer_bytes`] | 16 MiB |
 //! | PFC on/off | [`PfcConfig::enabled`] | off |
@@ -51,7 +56,7 @@
 pub mod network;
 pub mod route;
 
-pub use network::{EcnConfig, NetConfig, Network, PfcConfig};
+pub use network::{EcnConfig, NetConfig, Network, PfcConfig, Routing};
 pub use route::{ecmp_hash, PortKind, RoutePlan, Topology};
 
 // Re-export the frame type networks carry, so `cord-nic` has one import

@@ -47,6 +47,7 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
+use std::fmt;
 use std::rc::Rc;
 
 use cord_hw::link::{Fabric, Frame};
@@ -102,6 +103,32 @@ impl Default for PfcConfig {
     }
 }
 
+/// Path-selection policy for fat-tree cross-leaf traffic.
+///
+/// [`Routing::Ecmp`] (the default) hashes `(src, dst, flow)` once, so a
+/// QP's whole lifetime rides one spine — the seed behavior every existing
+/// result is pinned against. [`Routing::Spray`] re-selects the spine *per
+/// packet* via [`RoutePlan::spray_spine`], preferring the least-congested
+/// uplink of the source leaf; it reorders fragments by design, so pair it
+/// with a reorder-tolerant receiver (`cord-nic`'s selective repeat).
+/// Topologies with a single path per node pair (same-leaf, dumbbell,
+/// full mesh) behave identically under both policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Routing {
+    #[default]
+    Ecmp,
+    Spray,
+}
+
+impl fmt::Display for Routing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Routing::Ecmp => write!(f, "ecmp"),
+            Routing::Spray => write!(f, "spray"),
+        }
+    }
+}
+
 /// Complete network configuration: shape + queue behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetConfig {
@@ -113,6 +140,9 @@ pub struct NetConfig {
     /// Lossless-fabric pause frames (off by default: the seed's lossy
     /// tail-drop behavior).
     pub pfc: PfcConfig,
+    /// Path selection for fat-tree cross-leaf traffic (ECMP by default:
+    /// byte-identical to every pre-spray result).
+    pub routing: Routing,
 }
 
 impl Default for NetConfig {
@@ -122,6 +152,7 @@ impl Default for NetConfig {
             ecn: EcnConfig::default(),
             buffer_bytes: 16 << 20,
             pfc: PfcConfig::default(),
+            routing: Routing::Ecmp,
         }
     }
 }
@@ -319,6 +350,10 @@ struct Switched<T> {
     ingress_tx: Vec<Sender<Frame<T>>>,
     /// `Some` iff `cfg.pfc.enabled`: the pause-aware serialization path.
     pfc: Option<PfcFabric<T>>,
+    /// Per-packet sequence for spray selection, incremented once per
+    /// routed frame. Transmit order is deterministic, so the counter —
+    /// and therefore every spray decision — is too.
+    spray_seq: Cell<u64>,
     /// Fault-plane admin state (inert until the first injection).
     faults: FaultState,
     /// Observability sink: port occupancy, drops, pause transitions.
@@ -411,6 +446,7 @@ impl<T: 'static> Network<T> {
                     ports,
                     ingress_tx,
                     pfc,
+                    spray_seq: Cell::new(0),
                     faults,
                     trace,
                 });
@@ -442,6 +478,15 @@ impl<T: 'static> Network<T> {
         match &self.kind {
             Kind::Mesh(_) => Topology::FullMesh,
             Kind::Switched(s) => s.cfg.topology,
+        }
+    }
+
+    /// Path-selection policy in effect (the full mesh has one path per
+    /// pair, so it always reports [`Routing::Ecmp`]).
+    pub fn routing(&self) -> Routing {
+        match &self.kind {
+            Kind::Mesh(_) => Routing::Ecmp,
+            Kind::Switched(s) => s.cfg.routing,
         }
     }
 
@@ -783,12 +828,64 @@ impl<T: 'static> Switched<T> {
         path: &mut [usize; RoutePlan::MAX_PATH],
     ) -> Option<usize> {
         let dead = self.faults.dead_spines.get();
+        if self.cfg.routing == Routing::Spray {
+            return self.spray_route(frame, dead, path);
+        }
         if dead == 0 {
             return Some(self.plan.route_into(frame.src, frame.dst, frame.flow, path));
         }
         match self
             .plan
             .route_avoiding(frame.src, frame.dst, frame.flow, dead, path)
+        {
+            None => {
+                self.faults.dead_drop();
+                None
+            }
+            Some((hops, rerouted)) => {
+                if rerouted {
+                    self.faults.reroutes.set(self.faults.reroutes.get() + 1);
+                }
+                Some(hops)
+            }
+        }
+    }
+
+    /// Per-packet spray routing: snapshot the source leaf's uplink queue
+    /// depths (the congestion signal) and hand the pure policy on
+    /// [`RoutePlan`] the frame key plus this fabric's packet sequence.
+    /// Both serialization paths (analytic and PFC) route here exactly
+    /// once per frame, at fabric entry, so the sequence — and with it the
+    /// whole spray schedule — is deterministic in transmit order.
+    fn spray_route(
+        &self,
+        frame: &Frame<T>,
+        dead: u64,
+        path: &mut [usize; RoutePlan::MAX_PATH],
+    ) -> Option<usize> {
+        let seq = self.spray_seq.get();
+        self.spray_seq.set(seq.wrapping_add(1));
+        // Congestion snapshot, gathered only when the policy actually
+        // chooses among spines (fat-tree cross-leaf); `dead_spines` caps
+        // addressable spines at 64, so a stack buffer suffices.
+        let mut congestion = [0usize; 64];
+        let mut snapshot: &[usize] = &[];
+        if let Topology::FatTree { .. } = self.cfg.topology {
+            let spines = self.plan.spines();
+            let ls = self.plan.leaf_of(frame.src);
+            if ls != self.plan.leaf_of(frame.dst) {
+                let now = self.sim.now();
+                for (s, c) in congestion.iter_mut().enumerate().take(spines) {
+                    let p = &self.ports[ls * spines + s];
+                    p.settle(now);
+                    *c = p.queued.get();
+                }
+                snapshot = &congestion[..spines.min(64)];
+            }
+        }
+        match self
+            .plan
+            .spray_route_into(frame.src, frame.dst, frame.flow, seq, snapshot, dead, path)
         {
             None => {
                 self.faults.dead_drop();

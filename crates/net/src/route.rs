@@ -318,6 +318,76 @@ impl RoutePlan {
         Some((self.route_into(src, dst, flow, out), false))
     }
 
+    /// Per-packet spray spine selection — the adaptive-routing policy
+    /// proper, pure in `(src, dst, flow, pkt_seq, congestion, dead_spines)`
+    /// so same-seed runs stay byte-identical and the policy is directly
+    /// unit-testable.
+    ///
+    /// `congestion[s]` is the queued-byte depth of the source leaf's uplink
+    /// toward spine `s` at selection time (missing entries read as 0). The
+    /// least-congested live spine wins; ties break toward the first spine
+    /// scanned from a start offset hashed over `(src, dst, flow, pkt_seq)`,
+    /// so equally idle spines are sprayed packet by packet instead of
+    /// pinning the whole flow. Returns `None` when every spine is dead.
+    pub fn spray_spine(
+        &self,
+        src: usize,
+        dst: usize,
+        flow: u64,
+        pkt_seq: u64,
+        congestion: &[usize],
+        dead_spines: u64,
+    ) -> Option<usize> {
+        let n = self.spines;
+        let start = (ecmp_hash(src, dst, flow ^ mix(pkt_seq)) % n as u64) as usize;
+        let mut best: Option<(usize, usize)> = None;
+        for k in 0..n {
+            let s = (start + k) % n;
+            if dead_spines & (1 << s) != 0 {
+                continue;
+            }
+            let q = congestion.get(s).copied().unwrap_or(0);
+            if best.is_none_or(|(bq, _)| q < bq) {
+                best = Some((q, s));
+            }
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// [`RoutePlan::route_avoiding`] with per-packet spray: fat-tree
+    /// cross-leaf paths pick their spine via [`RoutePlan::spray_spine`]
+    /// instead of the static ECMP hash; everything else (same-leaf,
+    /// dumbbell) has a single path and delegates unchanged. The `rerouted`
+    /// flag reports whether dead-spine avoidance moved the packet off the
+    /// spine spray would have chosen on a healthy fabric, mirroring the
+    /// ECMP reroute accounting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spray_route_into(
+        &self,
+        src: usize,
+        dst: usize,
+        flow: u64,
+        pkt_seq: u64,
+        congestion: &[usize],
+        dead_spines: u64,
+        out: &mut [usize; Self::MAX_PATH],
+    ) -> Option<(usize, bool)> {
+        if let Topology::FatTree { .. } = self.topology {
+            let (ls, ld) = (self.leaf_of(src), self.leaf_of(dst));
+            if ls != ld {
+                let spine = self.spray_spine(src, dst, flow, pkt_seq, congestion, dead_spines)?;
+                let healthy = self
+                    .spray_spine(src, dst, flow, pkt_seq, congestion, 0)
+                    .expect("at least one spine exists");
+                out[0] = ls * self.spines + spine;
+                out[1] = self.leaves * self.spines + spine * self.leaves + ld;
+                out[2] = self.host_down_port(dst);
+                return Some((3, spine != healthy));
+            }
+        }
+        self.route_avoiding(src, dst, flow, dead_spines, out)
+    }
+
     /// [`RoutePlan::route_into`], returning the path as a `Vec`.
     pub fn route(&self, src: usize, dst: usize, flow: u64) -> Vec<usize> {
         let mut out = [0; Self::MAX_PATH];
@@ -484,6 +554,89 @@ mod tests {
         assert_eq!(p.route_avoiding(0, 1, 9, 0xF, &mut out), Some((1, false)));
         // All spines dead: no cross-leaf path remains.
         assert_eq!(p.route_avoiding(0, 12, f, 0xF, &mut out), None);
+    }
+
+    #[test]
+    fn spray_spine_is_pure_and_congestion_aware() {
+        let p = RoutePlan::new(Topology::FatTree { radix: 8 }, 16);
+        // Pure: same tuple, same spine, every time.
+        for pkt in 0..16u64 {
+            let a = p.spray_spine(0, 12, 7, pkt, &[10, 20, 30, 40], 0);
+            let b = p.spray_spine(0, 12, 7, pkt, &[10, 20, 30, 40], 0);
+            assert_eq!(a, b);
+        }
+        // Strictly least-congested spine wins regardless of pkt_seq.
+        for pkt in 0..32u64 {
+            assert_eq!(p.spray_spine(0, 12, 7, pkt, &[9, 5, 7, 8], 0), Some(1));
+        }
+        // A congested pick is abandoned even if it is the hash favorite.
+        let favorite = p.spray_spine(0, 12, 7, 3, &[0, 0, 0, 0], 0).unwrap();
+        let mut load = [0usize; 4];
+        load[favorite] = 1 << 20;
+        assert_ne!(p.spray_spine(0, 12, 7, 3, &load, 0), Some(favorite));
+        // Short congestion slices read as idle rather than panicking.
+        assert!(p.spray_spine(0, 12, 7, 3, &[], 0).is_some());
+    }
+
+    #[test]
+    fn spray_spreads_ties_per_packet_and_respects_dead_spines() {
+        let p = RoutePlan::new(Topology::FatTree { radix: 8 }, 16);
+        // Equal congestion: successive packets of ONE flow visit more than
+        // one spine — the per-packet spread ECMP cannot give.
+        let spines: std::collections::BTreeSet<usize> = (0..64u64)
+            .filter_map(|pkt| p.spray_spine(0, 12, 7, pkt, &[0, 0, 0, 0], 0))
+            .collect();
+        assert!(spines.len() > 1, "spray never spread: {spines:?}");
+        // Dead spines are never chosen, even when least congested.
+        for pkt in 0..32u64 {
+            let s = p.spray_spine(0, 12, 7, pkt, &[0, 99, 99, 99], 1 << 0);
+            assert_ne!(s, Some(0));
+        }
+        // All dead: no path.
+        assert_eq!(p.spray_spine(0, 12, 7, 0, &[0; 4], 0xF), None);
+    }
+
+    #[test]
+    fn spray_route_matches_layout_and_delegates_off_fat_tree() {
+        let p = RoutePlan::new(Topology::FatTree { radix: 8 }, 16);
+        let mut out = [0; RoutePlan::MAX_PATH];
+        let (hops, rerouted) = p
+            .spray_route_into(2, 13, 77, 5, &[0, 64, 0, 0], 0, &mut out)
+            .unwrap();
+        assert_eq!((hops, rerouted), (3, false));
+        let PortKind::LeafUp { leaf, spine } = p.port_kind(out[0]) else {
+            panic!("first hop must go up");
+        };
+        assert_eq!(leaf, p.leaf_of(2));
+        assert_ne!(spine, 1, "congested spine avoided");
+        let PortKind::SpineDown {
+            spine: s2,
+            leaf: l2,
+        } = p.port_kind(out[1])
+        else {
+            panic!("second hop must come down");
+        };
+        assert_eq!((s2, l2), (spine, p.leaf_of(13)));
+        assert_eq!(p.port_kind(out[2]), PortKind::HostDown { host: 13 });
+        // Killing the chosen spine reroutes and flags it.
+        let (_, moved) = p
+            .spray_route_into(2, 13, 77, 5, &[0, 64, 0, 0], 1 << spine, &mut out)
+            .unwrap();
+        assert!(moved);
+        // Same-leaf fat-tree traffic and dumbbells have one path: spray
+        // degenerates to the static route.
+        assert_eq!(
+            p.spray_route_into(0, 1, 9, 42, &[0; 4], 0, &mut out),
+            Some((1, false))
+        );
+        let d = RoutePlan::new(
+            Topology::Dumbbell {
+                bottleneck_gbps: 25.0,
+            },
+            8,
+        );
+        let (hops, _) = d.spray_route_into(1, 6, 1, 3, &[], 0, &mut out).unwrap();
+        assert_eq!(out[..hops].to_vec(), d.route(1, 6, 1));
     }
 
     #[test]

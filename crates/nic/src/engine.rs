@@ -34,7 +34,8 @@ use crate::cq::{Cq, Cqe, CqeOpcode, CqeStatus};
 use crate::mr::{MrError, MrTable};
 use crate::packet::{NakReason, Packet, PacketKind};
 use crate::qp::{
-    PendingAck, PendingRead, Qp, RecvAssembly, RetxConfig, RetxEntry, RetxState, RxSeq, TxProgress,
+    PendingAck, PendingRead, Qp, RecvAssembly, RetxConfig, RetxEntry, RetxMode, RetxState, RxSeq,
+    SrAction, SrKind, TxProgress,
 };
 use crate::types::{CqId, NodeId, Opcode, QpNum, QpState, Transport, VerbsError};
 use crate::wqe::{RecvWqe, SendWqe};
@@ -265,7 +266,11 @@ impl Nic {
         // misaligns with the peer's message ids — a silent deadlock.
         // Reject it like any out-of-order `ibv_modify_qp`.
         if cfg.is_some()
-            && (qp.next_msg_id > 1 || qp.rx_msgs > 0 || qp.tx.is_some() || qp.cur_recv.is_some())
+            && (qp.next_msg_id > 1
+                || qp.rx_msgs > 0
+                || qp.tx.is_some()
+                || qp.cur_recv.is_some()
+                || !qp.sr_recv.is_empty())
         {
             return Err(VerbsError::InvalidState {
                 expected: "no prior traffic (arm retransmission at connect)",
@@ -507,6 +512,7 @@ fn flush_qp(inner: &Rc<NicInner>, qp: &mut Qp) {
         }
         rx.window.clear();
         rx.rtx.clear();
+        rx.rtx_mask.clear();
     }
     let flush_cqe = |qp: &Qp, wr_id, opcode: CqeOpcode| Cqe {
         wr_id,
@@ -552,6 +558,12 @@ fn flush_qp(inner: &Rc<NicInner>, qp: &mut Qp) {
     // A receive WQE bound to a half-assembled inbound message was popped
     // from the RQ; flush it like the rest of the RQ.
     if let Some(asm) = qp.cur_recv.take() {
+        push_cqe(&qp.recv_cq, flush_cqe(qp, asm.wqe.wr_id, CqeOpcode::Recv));
+    }
+    // Selective repeat holds several open reassemblies at once, each with
+    // a popped receive WQE; flush them in message order (BTreeMap).
+    let sr_asms = std::mem::take(&mut qp.sr_recv);
+    for (_, asm) in sr_asms {
         push_cqe(&qp.recv_cq, flush_cqe(qp, asm.wqe.wr_id, CqeOpcode::Recv));
     }
     let (sq, rq) = qp.enter_error();
@@ -949,6 +961,7 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
                         len: wqe.sge.len,
                         lkey: wqe.sge.lkey,
                         next_frag: 0,
+                        got: 0,
                     },
                 );
             }
@@ -983,6 +996,7 @@ async fn start_next_wqe(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> StartO
                 next_frag: 0,
                 nfrags,
                 mem: mr.mem,
+                skip: 0,
             });
             StartOutcome::Started
         }
@@ -1006,7 +1020,7 @@ async fn start_replay(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> Option<S
         .tx_pipeline
         .use_for(inner.pipe_cost(inner.spec.nic.wqe_proc_ns))
         .await;
-    let (msg_id, wqe, peer, qpn, drained) = {
+    let (msg_id, wqe, peer, qpn, drained, skip) = {
         let mut qp = qp_rc.borrow_mut();
         let peer = qp.peer;
         let qpn = qp.num;
@@ -1021,7 +1035,12 @@ async fn start_replay(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> Option<S
         }
         let drained = rx.rtx.is_empty();
         let (mid, wqe) = found?;
-        (mid, wqe, peer, qpn, drained)
+        // Selective repeat: the receiver's SACK said which fragments it
+        // already holds — this replay pass skips them. Consumed here; a
+        // later round re-learns the (monotonically grown) bitmap from the
+        // next SACK.
+        let skip = rx.rtx_mask.remove(&mid).unwrap_or(0);
+        (mid, wqe, peer, qpn, drained, skip)
     };
     inner.trace.emit(
         inner.sim.now(),
@@ -1108,6 +1127,7 @@ async fn start_replay(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>) -> Option<S
                 next_frag: 0,
                 nfrags,
                 mem: mr.mem,
+                skip,
             });
             Some(StartOutcome::Started)
         }
@@ -1126,6 +1146,27 @@ async fn emit_fragments(
     loop {
         if budget == 0 {
             return Some(0);
+        }
+        // Selective-repeat replay: advance past fragments the receiver
+        // SACKed as already held. A pass that ends on a skipped tail needs
+        // no completion bookkeeping — the first pass installed the
+        // pending-ack record and the replay trigger armed the timer.
+        {
+            let mut qp = qp_rc.borrow_mut();
+            if let Some(tx) = &mut qp.tx {
+                if tx.skip != 0 {
+                    while tx.next_frag < tx.nfrags
+                        && tx.next_frag < 64
+                        && tx.skip >> tx.next_frag & 1 == 1
+                    {
+                        tx.next_frag += 1;
+                    }
+                    if tx.next_frag >= tx.nfrags {
+                        qp.tx = None;
+                        return Some(budget);
+                    }
+                }
+            }
         }
         // DCQCN pacing: a rate-limited QP may not launch its next data
         // fragment before the inter-packet gap at its current rate.
@@ -1384,6 +1425,27 @@ fn ack(inner: &Rc<NicInner>, hdr: PktHdr, msg_id: u64) {
     );
 }
 
+fn sack(inner: &Rc<NicInner>, hdr: PktHdr, msg_id: u64, received: u64) {
+    transmit(
+        inner,
+        Packet {
+            src_node: inner.node,
+            dst_node: hdr.src_node,
+            src_qpn: hdr.dst_qpn,
+            dst_qpn: hdr.src_qpn,
+            ecn: false,
+            kind: PacketKind::Sack { msg_id, received },
+        },
+    );
+}
+
+/// Whether the QP's armed retransmission discipline is selective repeat.
+fn sr_mode(qp: &Qp) -> bool {
+    qp.retx
+        .as_ref()
+        .is_some_and(|rx| rx.cfg.mode == RetxMode::Sr)
+}
+
 /// Echo a congestion notification for an ECN-marked arrival, if the
 /// receiving QP participates in DCQCN and its per-QP CNP budget allows.
 fn maybe_echo_cnp(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, pkt: &Packet) {
@@ -1481,6 +1543,7 @@ fn handle_packet(inner: &Rc<NicInner>, pkt: Packet) {
         } => handle_read_resp(inner, &qp_rc, msg_id, frag, nfrags, offset, payload),
         PacketKind::Ack { msg_id } => handle_ack(inner, &qp_rc, msg_id),
         PacketKind::Nak { msg_id, reason } => handle_nak(inner, &qp_rc, msg_id, reason),
+        PacketKind::Sack { msg_id, received } => handle_sack(inner, &qp_rc, msg_id, received),
         PacketKind::Cnp => handle_cnp(inner, &qp_rc),
     }
 }
@@ -1538,6 +1601,11 @@ fn handle_send_frag(
     imm: Option<u32>,
 ) {
     let transport = qp_rc.borrow().transport;
+    if sr_mode(&qp_rc.borrow()) {
+        return sr_handle_send_frag(
+            inner, qp_rc, hdr, msg_id, frag, nfrags, total_len, offset, payload, imm,
+        );
+    }
     // Lossless-recovery gate: out-of-order arrivals on a retransmitting QP
     // are dropped (and NAKed once per gap) instead of being reassembled.
     match rx_gate(inner, qp_rc, hdr, msg_id, frag, frag + 1 == nfrags) {
@@ -1673,6 +1741,330 @@ fn handle_send_frag(
     });
 }
 
+/// ===================== Selective-repeat RX =====================
+///
+/// Fragments install out of order through the idempotent
+/// `GuestMem::install` patch path; each message ACKs individually on
+/// completion so the sender's window drains selectively, and a SACK (one
+/// per gap episode) tells the sender exactly which fragments of the first
+/// missing message to replay. Sends still bind receive WQEs in strict
+/// message order — [`SrRxWindow`](crate::qp::SrRxWindow)'s binding floor —
+/// so WQE↔message pairing is identical to go-back-N delivery.
+/// Bind receive WQEs for sends at the selective-repeat binding floor.
+/// `(arr_msg, arr_frag)` identify the arriving fragment that triggered
+/// the attempt: RNR NAKs fire only when fragment 0 of the stalled message
+/// itself arrives, bounding NAK traffic to one per replay round (the
+/// go-back-N discipline).
+fn sr_bind_ready(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, hdr: PktHdr, arr: (u64, u32)) {
+    loop {
+        let (m, total_len) = {
+            let mut qp = qp_rc.borrow_mut();
+            let Some(rx) = qp.retx.as_mut() else { return };
+            match rx.sr.next_bind() {
+                Some(m) => (m, rx.sr.total_len(m)),
+                None => return,
+            }
+        };
+        let popped = qp_rc.borrow_mut().rq.pop_front();
+        let Some(rwqe) = popped else {
+            if arr == (m, 0) {
+                nak(inner, hdr, m, NakReason::Rnr);
+            }
+            return;
+        };
+        if total_len > rwqe.sge.len {
+            let mut qp = qp_rc.borrow_mut();
+            push_cqe(
+                &qp.recv_cq,
+                Cqe {
+                    wr_id: rwqe.wr_id,
+                    status: CqeStatus::LocalProtErr,
+                    opcode: CqeOpcode::Recv,
+                    byte_len: 0,
+                    qp: qp.num,
+                    imm: None,
+                    src_qp: None,
+                    src_node: None,
+                },
+            );
+            if let Some(rx) = qp.retx.as_mut() {
+                // Entry exists (the floor pointed at it); nfrags/kind are
+                // only used when creating a missing one.
+                rx.sr.poison(m, 1, SrKind::Send);
+            }
+            drop(qp);
+            nak(inner, hdr, m, NakReason::LengthError);
+            continue;
+        }
+        let mr = match inner
+            .mrs
+            .check_local(rwqe.sge.lkey, rwqe.sge.addr, rwqe.sge.len, true)
+        {
+            Ok(mr) => mr,
+            Err(_) => {
+                let qp = qp_rc.borrow_mut();
+                push_cqe(
+                    &qp.recv_cq,
+                    Cqe {
+                        wr_id: rwqe.wr_id,
+                        status: CqeStatus::LocalProtErr,
+                        opcode: CqeOpcode::Recv,
+                        byte_len: 0,
+                        qp: qp.num,
+                        imm: None,
+                        src_qp: None,
+                        src_node: None,
+                    },
+                );
+                drop(qp);
+                // The WQE is consumed and errored; the message stays
+                // unbound so the post-backoff replay binds the next one.
+                if arr == (m, 0) {
+                    nak(inner, hdr, m, NakReason::Rnr);
+                }
+                return;
+            }
+        };
+        let mut qp = qp_rc.borrow_mut();
+        qp.sr_recv.insert(
+            m,
+            RecvAssembly {
+                msg_id: m,
+                wqe: rwqe,
+                received: 0,
+                total_len,
+                mem: mr.mem,
+            },
+        );
+        if let Some(rx) = qp.retx.as_mut() {
+            rx.sr.bound(m);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sr_handle_send_frag(
+    inner: &Rc<NicInner>,
+    qp_rc: &Rc<RefCell<Qp>>,
+    hdr: PktHdr,
+    msg_id: u64,
+    frag: u32,
+    nfrags: u32,
+    total_len: usize,
+    offset: usize,
+    payload: PayloadSeg,
+    imm: Option<u32>,
+) {
+    let on_frag = || {
+        let mut qp = qp_rc.borrow_mut();
+        let rx = qp.retx.as_mut().expect("SR mode implies armed");
+        let d = rx.sr.on_frag(msg_id, frag, nfrags, SrKind::Send);
+        rx.sr.note_total_len(msg_id, total_len);
+        d
+    };
+    let mut d = on_frag();
+    if let Some((m, bits)) = d.sack {
+        sack(inner, hdr, m, bits);
+    }
+    if matches!(d.action, SrAction::Unbound) {
+        // Binding may now be possible (this fragment classified its
+        // message); bind what the floor allows, then retry the fragment.
+        sr_bind_ready(inner, qp_rc, hdr, (msg_id, frag));
+        d = on_frag();
+        if let Some((m, bits)) = d.sack {
+            sack(inner, hdr, m, bits);
+        }
+    }
+    let completes = match d.action {
+        SrAction::Duplicate { reack } => {
+            if reack {
+                ack(inner, hdr, msg_id);
+            }
+            return;
+        }
+        SrAction::Unbound => return,
+        SrAction::Install { completes } => completes,
+    };
+    let (dst_addr, mem, rwr_id) = {
+        let mut qp = qp_rc.borrow_mut();
+        let Some(asm) = qp.sr_recv.get_mut(&msg_id) else {
+            return; // reassembly flushed while the fragment was in flight
+        };
+        asm.received += payload.len();
+        let out = (
+            asm.wqe.sge.addr + offset as u64,
+            asm.mem.clone(),
+            asm.wqe.wr_id,
+        );
+        if completes {
+            qp.sr_recv.remove(&msg_id);
+        }
+        out
+    };
+    let dma_done = inner.dma.enqueue(DmaDir::ToHost, payload.len());
+    let inner2 = Rc::clone(inner);
+    let qp2 = Rc::clone(qp_rc);
+    inner.sim.schedule_at(dma_done, move |_| {
+        mem.install(dst_addr, &payload)
+            .expect("validated landing zone");
+        if completes {
+            let mut qp = qp2.borrow_mut();
+            qp.rx_msgs += 1;
+            qp.rx_bytes += total_len as u64;
+            let cqe = Cqe {
+                wr_id: rwr_id,
+                status: CqeStatus::Success,
+                opcode: if imm.is_some() {
+                    CqeOpcode::RecvWithImm
+                } else {
+                    CqeOpcode::Recv
+                },
+                byte_len: total_len,
+                qp: qp.num,
+                imm,
+                src_qp: Some(hdr.src_qpn),
+                src_node: Some(hdr.src_node),
+            };
+            let recv_cq = qp.recv_cq.clone();
+            drop(qp);
+            deliver_cqe(&inner2, &recv_cq, cqe);
+            ack(&inner2, hdr, msg_id);
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sr_handle_write_frag(
+    inner: &Rc<NicInner>,
+    qp_rc: &Rc<RefCell<Qp>>,
+    hdr: PktHdr,
+    msg_id: u64,
+    frag: u32,
+    nfrags: u32,
+    total_len: usize,
+    raddr: u64,
+    rkey: crate::types::RKey,
+    offset: usize,
+    payload: PayloadSeg,
+    imm: Option<u32>,
+) {
+    // Validate before touching the window so a rejected fragment never
+    // marks its receive bit: the whole-message range on first contact
+    // (go-back-N checks it on fragment 0), then the fragment's own range.
+    let fresh = {
+        let qp = qp_rc.borrow();
+        !qp.retx
+            .as_ref()
+            .expect("SR mode implies armed")
+            .sr
+            .knows(msg_id)
+    };
+    if fresh
+        && inner
+            .mrs
+            .check_remote(rkey, raddr, total_len, true)
+            .is_err()
+    {
+        if let Some(rx) = qp_rc.borrow_mut().retx.as_mut() {
+            rx.sr.poison(msg_id, nfrags, SrKind::Write);
+        }
+        nak(inner, hdr, msg_id, NakReason::RemoteAccess);
+        return;
+    }
+    let mr = match inner
+        .mrs
+        .check_remote(rkey, raddr + offset as u64, payload.len(), true)
+    {
+        Ok(mr) => mr,
+        Err(_) => {
+            nak(inner, hdr, msg_id, NakReason::RemoteAccess);
+            return;
+        }
+    };
+    // Write-with-immediate consumes a receive WQE at completion, and the
+    // out-of-order window has no rewind — so check availability before
+    // committing the completing fragment, and RNR-NAK it back instead.
+    if imm.is_some() {
+        let rnr = {
+            let qp = qp_rc.borrow();
+            let rx = qp.retx.as_ref().expect("SR mode implies armed");
+            rx.sr.completes_with(msg_id, frag, nfrags) && qp.rq.is_empty()
+        };
+        if rnr {
+            nak(inner, hdr, msg_id, NakReason::Rnr);
+            return;
+        }
+    }
+    let d = {
+        let mut qp = qp_rc.borrow_mut();
+        let rx = qp.retx.as_mut().expect("SR mode implies armed");
+        rx.sr.on_frag(msg_id, frag, nfrags, SrKind::Write)
+    };
+    if let Some((m, bits)) = d.sack {
+        sack(inner, hdr, m, bits);
+    }
+    let completes = match d.action {
+        SrAction::Duplicate { reack } => {
+            if reack {
+                ack(inner, hdr, msg_id);
+            }
+            return;
+        }
+        SrAction::Unbound => return, // unreachable: writes never bind
+        SrAction::Install { completes } => completes,
+    };
+    let dma_done = inner.dma.enqueue(DmaDir::ToHost, payload.len());
+    let inner2 = Rc::clone(inner);
+    let qp2 = Rc::clone(qp_rc);
+    let dst = raddr + offset as u64;
+    inner.sim.schedule_at(dma_done, move |_| {
+        mr.mem
+            .install(dst, &payload)
+            .expect("validated remote range");
+        if completes {
+            {
+                let mut qp = qp2.borrow_mut();
+                qp.rx_msgs += 1;
+                qp.rx_bytes += total_len as u64;
+            }
+            if let Some(imm) = imm {
+                let popped = qp2.borrow_mut().rq.pop_front();
+                match popped {
+                    Some(rwqe) => {
+                        let (cq, cqe) = {
+                            let qp = qp2.borrow();
+                            (
+                                qp.recv_cq.clone(),
+                                Cqe {
+                                    wr_id: rwqe.wr_id,
+                                    status: CqeStatus::Success,
+                                    opcode: CqeOpcode::RecvWithImm,
+                                    byte_len: total_len,
+                                    qp: qp.num,
+                                    imm: Some(imm),
+                                    src_qp: Some(hdr.src_qpn),
+                                    src_node: Some(hdr.src_node),
+                                },
+                            )
+                        };
+                        deliver_cqe(&inner2, &cq, cqe);
+                    }
+                    None => {
+                        // Pre-checked at arrival; only two immediates
+                        // completing in the same instant can land here.
+                        // Withhold the ACK — the replay's duplicate pass
+                        // re-ACKs, degrading to a lost-CQE corner rather
+                        // than corrupting WQE pairing.
+                        nak(&inner2, hdr, msg_id, NakReason::Rnr);
+                        return;
+                    }
+                }
+            }
+            ack(&inner2, hdr, msg_id);
+        }
+    });
+}
+
 #[allow(clippy::too_many_arguments)]
 fn handle_write_frag(
     inner: &Rc<NicInner>,
@@ -1688,6 +2080,11 @@ fn handle_write_frag(
     payload: PayloadSeg,
     imm: Option<u32>,
 ) {
+    if sr_mode(&qp_rc.borrow()) {
+        return sr_handle_write_frag(
+            inner, qp_rc, hdr, msg_id, frag, nfrags, total_len, raddr, rkey, offset, payload, imm,
+        );
+    }
     match rx_gate(inner, qp_rc, hdr, msg_id, frag, frag + 1 == nfrags) {
         RxSeq::Accept => {}
         RxSeq::Drop { .. } => return,
@@ -1789,13 +2186,32 @@ fn handle_read_req(
     rkey: crate::types::RKey,
     len: usize,
 ) {
-    let dup = match rx_gate(inner, qp_rc, hdr, msg_id, 0, true) {
-        RxSeq::Accept => false,
-        RxSeq::Drop { .. } => return,
-        // Replayed read request: the response (or its tail) was lost.
-        // Re-streaming is idempotent — the requester discards fragments
-        // it already landed — so serve it again without re-counting.
-        RxSeq::DupAck => true,
+    let dup = if sr_mode(&qp_rc.borrow()) {
+        // Single-packet message through the out-of-order window: served on
+        // arrival; a duplicate means the response (or its tail) was lost,
+        // so re-serve idempotently without re-counting.
+        let d = {
+            let mut qp = qp_rc.borrow_mut();
+            let rx = qp.retx.as_mut().expect("SR mode implies armed");
+            rx.sr.on_frag(msg_id, 0, 1, SrKind::Read)
+        };
+        if let Some((m, bits)) = d.sack {
+            sack(inner, hdr, m, bits);
+        }
+        match d.action {
+            SrAction::Install { .. } => false,
+            SrAction::Duplicate { .. } => true,
+            SrAction::Unbound => return, // unreachable: reads never bind
+        }
+    } else {
+        match rx_gate(inner, qp_rc, hdr, msg_id, 0, true) {
+            RxSeq::Accept => false,
+            RxSeq::Drop { .. } => return,
+            // Replayed read request: the response (or its tail) was lost.
+            // Re-streaming is idempotent — the requester discards fragments
+            // it already landed — so serve it again without re-counting.
+            RxSeq::DupAck => true,
+        }
     };
     let mr = match inner.mrs.check_remote(rkey, raddr, len, false) {
         Ok(mr) => mr,
@@ -1888,20 +2304,36 @@ fn handle_read_resp(
     offset: usize,
     payload: PayloadSeg,
 ) {
-    let pr = {
+    let (pr, last) = {
         let mut qp = qp_rc.borrow_mut();
-        let retx_armed = qp.retx.is_some();
+        let mode = qp.retx.as_ref().map(|rx| rx.cfg.mode);
         match qp.pending_reads.get_mut(&msg_id) {
             Some(pr) => {
-                if retx_armed {
-                    // In-order gate: drop replay duplicates and post-loss
-                    // tails; the retransmit timer re-issues the request.
-                    if frag != pr.next_frag {
-                        return;
+                let last = match mode {
+                    None => frag + 1 == nfrags,
+                    Some(RetxMode::Sr) if nfrags <= 64 => {
+                        // Out-of-order bitmap: duplicates drop, holes fill
+                        // from the re-served stream, completion fires when
+                        // the bitmap is full.
+                        if pr.got >> frag & 1 == 1 {
+                            return;
+                        }
+                        pr.got |= 1 << frag;
+                        pr.got.count_ones() == nfrags
                     }
-                    pr.next_frag += 1;
-                }
-                pr.clone()
+                    _ => {
+                        // Go-back-N (and >64-fragment reads under
+                        // selective repeat): in-order gate — drop replay
+                        // duplicates and post-loss tails; the retransmit
+                        // timer re-issues the request.
+                        if frag != pr.next_frag {
+                            return;
+                        }
+                        pr.next_frag += 1;
+                        frag + 1 == nfrags
+                    }
+                };
+                (pr.clone(), last)
             }
             None => return,
         }
@@ -1932,7 +2364,6 @@ fn handle_read_resp(
             return;
         }
     };
-    let last = frag + 1 == nfrags;
     let dma_done = inner.dma.enqueue(DmaDir::ToHost, payload.len());
     let inner2 = Rc::clone(inner);
     let qp2 = Rc::clone(qp_rc);
@@ -2002,6 +2433,22 @@ fn handle_ack(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64) {
             deliver_cqe(inner, &cq, cqe);
         }
     }
+}
+
+/// SACK from a selective-repeat responder: remember which fragments of
+/// the first missing message it already holds (the replay pass skips
+/// them), then replay the unacked window from that message. Individually
+/// ACKed messages are no longer in the window, so — unlike go-back-N —
+/// only messages actually missing something go back on the wire.
+fn handle_sack(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64, received: u64) {
+    {
+        let mut qp = qp_rc.borrow_mut();
+        let Some(rx) = qp.retx.as_mut() else { return };
+        if received != 0 {
+            rx.rtx_mask.insert(msg_id, received);
+        }
+    }
+    retx_go_back(inner, qp_rc, msg_id);
 }
 
 fn handle_nak(inner: &Rc<NicInner>, qp_rc: &Rc<RefCell<Qp>>, msg_id: u64, reason: NakReason) {

@@ -72,6 +72,11 @@ pub enum PacketKind {
     Ack { msg_id: u64 },
     /// Negative acknowledgement (RC).
     Nak { msg_id: u64, reason: NakReason },
+    /// Selective acknowledgement (RC with selective repeat armed): names
+    /// the first message the responder is missing plus the bitmap of that
+    /// message's fragments already held, so the requester replays only
+    /// the holes. Fragments past bit 63 are always replayed.
+    Sack { msg_id: u64, received: u64 },
     /// Congestion notification packet: the receiver's echo of an
     /// ECN-marked arrival back to the sender (DCQCN's feedback signal).
     Cnp,
@@ -101,6 +106,7 @@ impl Packet {
             PacketKind::ReadReq { .. }
             | PacketKind::Ack { .. }
             | PacketKind::Nak { .. }
+            | PacketKind::Sack { .. }
             | PacketKind::Cnp => 0,
         }
     }

@@ -1,7 +1,8 @@
 //! Queue pairs: state machine, work queues, in-flight transfer state, and
-//! the RC retransmission (go-back-N) state machine.
+//! the RC retransmission state machines (go-back-N and selective repeat).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
 
 use cord_sim::{SimDuration, SimTime, TimerHandle};
 
@@ -28,17 +29,49 @@ pub struct PendingRead {
     pub addr: u64,
     pub len: usize,
     pub lkey: crate::types::LKey,
-    /// Next response fragment expected, when retransmission is armed:
-    /// replay duplicates (`<`) and post-loss tails (`>`) are discarded, so
-    /// completion fires only after a gap-free pass (the retransmit timer
-    /// re-issues the request after a loss).
+    /// Next response fragment expected, when go-back-N retransmission is
+    /// armed: replay duplicates (`<`) and post-loss tails (`>`) are
+    /// discarded, so completion fires only after a gap-free pass (the
+    /// retransmit timer re-issues the request after a loss).
     pub next_frag: u32,
+    /// Selective repeat: bitmap of response fragments already landed —
+    /// out-of-order responses install directly and the read completes
+    /// when the bitmap fills (reads over 64 fragments fall back to the
+    /// in-order gate above).
+    pub got: u64,
+}
+
+/// Loss-recovery discipline for an RC QP with retransmission armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetxMode {
+    /// Go-back-N: the receiver accepts only in-order arrivals and the
+    /// sender replays the whole unacked window from the first missing
+    /// message, re-sending fragments the receiver already holds.
+    #[default]
+    Gbn,
+    /// Selective repeat: the receiver installs out-of-order fragments
+    /// through the idempotent `GuestMem::install` patch path, ACKs each
+    /// message individually as it completes, and NAKs with a SACK bitmap
+    /// so the sender replays only what is actually missing. Required for
+    /// per-packet spray routing, which reorders by design.
+    Sr,
+}
+
+impl fmt::Display for RetxMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RetxMode::Gbn => "gbn",
+            RetxMode::Sr => "sr",
+        })
+    }
 }
 
 /// RC retransmission knobs (per QP, like `ibv_modify_qp`'s timeout /
 /// retry_cnt attributes).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RetxConfig {
+    /// Loss-recovery discipline: go-back-N (default) or selective repeat.
+    pub mode: RetxMode,
     /// Base retransmit timer period: how long the oldest unacked message
     /// may wait before a go-back-N replay. Must exceed the uncongested
     /// RTT; consecutive unproductive timeouts back off exponentially
@@ -62,6 +95,7 @@ pub struct RetxConfig {
 impl Default for RetxConfig {
     fn default() -> Self {
         RetxConfig {
+            mode: RetxMode::Gbn,
             timeout: SimDuration::from_us(200),
             max_retries: 8,
             rnr_timeout: SimDuration::from_us(20),
@@ -111,6 +145,256 @@ pub enum RxSeq {
     DupAck,
 }
 
+/// How an arriving request message consumes receiver resources, as far as
+/// the selective-repeat window cares: sends bind a receive WQE in strict
+/// message order, writes and reads do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrKind {
+    Send,
+    Write,
+    Read,
+}
+
+/// What the engine should do with a fragment, per [`SrRxWindow::on_frag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrAction {
+    /// Fresh fragment of a live message: install the payload.
+    /// `completes` means every fragment of the message has now landed.
+    Install { completes: bool },
+    /// Send fragment whose message cannot bind a receive WQE yet (an
+    /// earlier message is still unclassified or unbound): drop the
+    /// payload; SACK-driven replay recovers it.
+    Unbound,
+    /// Duplicate (or fragment of a poisoned message): drop the payload.
+    /// `reack` asks for a duplicate ACK — the original was likely lost.
+    Duplicate { reack: bool },
+}
+
+/// [`SrRxWindow::on_frag`] verdict plus an optional SACK to emit: the
+/// first missing message and the bitmap of its fragments already held
+/// (low 64; anything past bit 63 is replayed unconditionally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrDecision {
+    pub action: SrAction,
+    pub sack: Option<(u64, u64)>,
+}
+
+/// Per-message fragment tracking inside the selective-repeat window.
+#[derive(Debug, Clone)]
+struct SrMsgState {
+    kind: SrKind,
+    nfrags: u32,
+    total_len: usize,
+    /// Received-fragment bitmap, 64 fragments per word.
+    received: Vec<u64>,
+    count: u32,
+    /// Sends: whether a receive WQE has been bound (writes/reads: true).
+    bound: bool,
+    /// Message rejected (length / protection error): drop everything.
+    poisoned: bool,
+}
+
+/// Receiver-side selective-repeat window: accepts fragments in any order,
+/// tracks per-message receive bitmaps, completes messages out of order,
+/// and decides when to emit a SACK. Pure state machine — the engine owns
+/// WQE binding, memory installs, and packet emission — so it is directly
+/// property-testable against a naive model.
+#[derive(Debug, Default)]
+pub struct SrRxWindow {
+    /// Every message below this id is fully delivered.
+    expected_msg: u64,
+    /// Messages at or above `expected_msg` that completed out of order.
+    done: BTreeSet<u64>,
+    /// In-progress messages.
+    msgs: BTreeMap<u64, SrMsgState>,
+    /// Lowest message id not yet resolved for WQE binding: sends bind in
+    /// strict message order, so a send can bind only once every earlier
+    /// message is delivered, bound, or known not to need a WQE.
+    floor: u64,
+    /// One SACK per gap episode, cleared when `expected_msg` advances.
+    sack_sent: bool,
+}
+
+impl SrRxWindow {
+    pub fn new() -> SrRxWindow {
+        SrRxWindow {
+            expected_msg: 1,
+            done: BTreeSet::new(),
+            msgs: BTreeMap::new(),
+            floor: 1,
+            sack_sent: false,
+        }
+    }
+
+    /// Next message id not yet fully delivered.
+    pub fn expected_msg(&self) -> u64 {
+        self.expected_msg
+    }
+
+    /// Whether the window has ever seen (or delivered) `msg_id`.
+    pub fn knows(&self, msg_id: u64) -> bool {
+        msg_id < self.expected_msg || self.done.contains(&msg_id) || self.msgs.contains_key(&msg_id)
+    }
+
+    /// Whether landing `frag` would complete `msg_id` (used by the engine
+    /// to pre-check receiver resources before committing the fragment).
+    pub fn completes_with(&self, msg_id: u64, frag: u32, nfrags: u32) -> bool {
+        match self.msgs.get(&msg_id) {
+            Some(m) => {
+                m.bound
+                    && !m.poisoned
+                    && m.count + 1 == m.nfrags
+                    && m.received[frag as usize / 64] >> (frag % 64) & 1 == 0
+            }
+            None => !self.knows(msg_id) && nfrags == 1,
+        }
+    }
+
+    /// Total length of an in-progress message (recorded from its first
+    /// arrived fragment; every fragment carries it on the wire).
+    pub fn total_len(&self, msg_id: u64) -> usize {
+        self.msgs.get(&msg_id).map_or(0, |m| m.total_len)
+    }
+
+    fn lowest_missing(&self, msg_id: u64) -> u32 {
+        let Some(m) = self.msgs.get(&msg_id) else {
+            return 0;
+        };
+        for f in 0..m.nfrags {
+            if m.received[f as usize / 64] >> (f % 64) & 1 == 0 {
+                return f;
+            }
+        }
+        m.nfrags
+    }
+
+    fn received_low64(&self, msg_id: u64) -> u64 {
+        self.msgs.get(&msg_id).map_or(0, |m| m.received[0])
+    }
+
+    /// Process one arriving fragment. Classifies the message on first
+    /// contact, tracks the receive bitmap, advances the cumulative
+    /// delivery point on completion, and decides whether to SACK: once
+    /// per gap episode, when the arrival lands ahead of the first missing
+    /// position (a later message, or a fragment past the lowest hole of
+    /// the expected message).
+    pub fn on_frag(&mut self, msg_id: u64, frag: u32, nfrags: u32, kind: SrKind) -> SrDecision {
+        debug_assert!(frag < nfrags);
+        if msg_id < self.expected_msg || self.done.contains(&msg_id) {
+            return SrDecision {
+                action: SrAction::Duplicate {
+                    reack: frag + 1 == nfrags,
+                },
+                sack: None,
+            };
+        }
+        let e = self.msgs.entry(msg_id).or_insert_with(|| SrMsgState {
+            kind,
+            nfrags,
+            total_len: 0,
+            received: vec![0; (nfrags as usize).div_ceil(64)],
+            count: 0,
+            bound: !matches!(kind, SrKind::Send),
+            poisoned: false,
+        });
+        let action = if e.poisoned {
+            SrAction::Duplicate { reack: false }
+        } else if !e.bound {
+            SrAction::Unbound
+        } else if e.received[frag as usize / 64] >> (frag % 64) & 1 == 1 {
+            SrAction::Duplicate { reack: false }
+        } else {
+            e.received[frag as usize / 64] |= 1 << (frag % 64);
+            e.count += 1;
+            if e.count == e.nfrags {
+                self.msgs.remove(&msg_id);
+                self.done.insert(msg_id);
+                let before = self.expected_msg;
+                while self.done.remove(&self.expected_msg) {
+                    self.expected_msg += 1;
+                }
+                if self.expected_msg > before {
+                    self.sack_sent = false;
+                }
+                if self.floor < self.expected_msg {
+                    self.floor = self.expected_msg;
+                }
+                SrAction::Install { completes: true }
+            } else {
+                SrAction::Install { completes: false }
+            }
+        };
+        let gap = msg_id > self.expected_msg
+            || (msg_id == self.expected_msg && frag > self.lowest_missing(msg_id));
+        let sack = if gap && !self.sack_sent && !matches!(action, SrAction::Duplicate { .. }) {
+            self.sack_sent = true;
+            Some((self.expected_msg, self.received_low64(self.expected_msg)))
+        } else {
+            None
+        };
+        SrDecision { action, sack }
+    }
+
+    /// Record the total message length from a fragment header (idempotent;
+    /// the engine calls this so WQE binding can length-check the message
+    /// even when fragment 0 has not arrived).
+    pub fn note_total_len(&mut self, msg_id: u64, total_len: usize) {
+        if let Some(m) = self.msgs.get_mut(&msg_id) {
+            m.total_len = total_len;
+        }
+    }
+
+    /// The next send message ready to bind a receive WQE, if any: the
+    /// binding floor advances over delivered / bound / poisoned messages
+    /// and stalls on the first unclassified gap (replay fills it) or the
+    /// first unbound send (which this returns).
+    pub fn next_bind(&mut self) -> Option<u64> {
+        loop {
+            if self.floor < self.expected_msg {
+                self.floor = self.expected_msg;
+                continue;
+            }
+            if self.done.contains(&self.floor) {
+                self.floor += 1;
+                continue;
+            }
+            match self.msgs.get(&self.floor) {
+                Some(m) if m.bound || m.poisoned => {
+                    self.floor += 1;
+                    continue;
+                }
+                Some(m) => {
+                    debug_assert!(matches!(m.kind, SrKind::Send));
+                    return Some(self.floor);
+                }
+                None => return None,
+            }
+        }
+    }
+
+    /// Mark a send message as having bound its receive WQE.
+    pub fn bound(&mut self, msg_id: u64) {
+        if let Some(m) = self.msgs.get_mut(&msg_id) {
+            m.bound = true;
+        }
+    }
+
+    /// Reject a message (length / protection error): all of its fragments
+    /// drop silently from now on and it never blocks the binding floor.
+    pub fn poison(&mut self, msg_id: u64, nfrags: u32, kind: SrKind) {
+        let e = self.msgs.entry(msg_id).or_insert_with(|| SrMsgState {
+            kind,
+            nfrags,
+            total_len: 0,
+            received: vec![0; (nfrags as usize).div_ceil(64)],
+            count: 0,
+            bound: !matches!(kind, SrKind::Send),
+            poisoned: true,
+        });
+        e.poisoned = true;
+    }
+}
+
 /// Go-back-N retransmission state for one RC QP (sender and receiver
 /// roles), armed by `Nic::set_rc_retx`.
 #[derive(Debug)]
@@ -140,6 +424,14 @@ pub struct RetxState {
     pub nak_sent: bool,
     /// Messages queued for replay over the QP's lifetime (diagnostics).
     pub replayed: u64,
+    /// Sender side, selective repeat: per-message bitmaps of fragments
+    /// the receiver SACKed as already held — skipped on replay. Bits are
+    /// sticky-correct (an installed fragment never un-installs), so stale
+    /// masks can only suppress redundant traffic, never lose data.
+    pub rtx_mask: HashMap<u64, u64>,
+    /// Receiver side, selective repeat: the out-of-order receive window.
+    /// Unused (empty) in go-back-N mode.
+    pub sr: SrRxWindow,
 }
 
 impl RetxState {
@@ -157,6 +449,8 @@ impl RetxState {
             expected_frag: 0,
             nak_sent: false,
             replayed: 0,
+            rtx_mask: HashMap::new(),
+            sr: SrRxWindow::new(),
         }
     }
 
@@ -191,6 +485,7 @@ impl RetxState {
         };
         self.window.remove(pos);
         self.rtx.retain(|&m| m != msg_id);
+        self.rtx_mask.remove(&msg_id);
         self.retries = 0;
         self.rnr_retries = 0;
         true
@@ -218,6 +513,10 @@ pub struct TxProgress {
     pub nfrags: u32,
     /// Source arena resolved from the WQE's lkey.
     pub mem: cord_hw::GuestMem,
+    /// Selective-repeat replay: bitmap of fragments the receiver SACKed
+    /// as already held — the segmenter skips them (0 on first passes and
+    /// in go-back-N mode; fragments ≥ 64 always transmit).
+    pub skip: u64,
 }
 
 /// A queue pair.
@@ -245,6 +544,10 @@ pub struct Qp {
     pub pending_acks: HashMap<u64, PendingAck>,
     pub pending_reads: HashMap<u64, PendingRead>,
     pub cur_recv: Option<RecvAssembly>,
+    /// Selective repeat: concurrent inbound send reassemblies keyed by
+    /// message id (out-of-order arrival means several can be open at
+    /// once). Go-back-N uses the single `cur_recv` slot instead.
+    pub sr_recv: BTreeMap<u64, RecvAssembly>,
     /// Inbound write message currently being dropped after a NAK.
     pub drop_msg: Option<u64>,
     /// DCQCN sender state (`Some` iff the QP's CC knob is `Dcqcn`). On the
@@ -293,6 +596,7 @@ impl Qp {
             pending_acks: HashMap::new(),
             pending_reads: HashMap::new(),
             cur_recv: None,
+            sr_recv: BTreeMap::new(),
             drop_msg: None,
             dcqcn: None,
             retx: None,
@@ -765,5 +1069,121 @@ mod tests {
         // Replay ordering is message order, regardless of ACK history.
         assert_eq!(rx.queue_replay(), 2);
         assert_eq!(rx.rtx, [1, 3]);
+    }
+
+    #[test]
+    fn sr_window_accepts_out_of_order_and_completes() {
+        let mut w = SrRxWindow::new();
+        // Writes need no WQE binding: fragments land in any order.
+        let d = w.on_frag(1, 2, 3, SrKind::Write);
+        assert_eq!(d.action, SrAction::Install { completes: false });
+        // Arrival past the first hole of the expected message → SACK
+        // naming msg 1 with bit 2 set.
+        assert_eq!(d.sack, Some((1, 0b100)));
+        let d = w.on_frag(1, 0, 3, SrKind::Write);
+        assert_eq!(d.action, SrAction::Install { completes: false });
+        assert_eq!(d.sack, None, "one SACK per gap episode");
+        let d = w.on_frag(1, 1, 3, SrKind::Write);
+        assert_eq!(d.action, SrAction::Install { completes: true });
+        assert_eq!(w.expected_msg(), 2);
+        // Message 3 completes before message 2: delivery point holds.
+        assert_eq!(
+            w.on_frag(3, 0, 1, SrKind::Write).action,
+            SrAction::Install { completes: true }
+        );
+        assert_eq!(w.expected_msg(), 2);
+        assert_eq!(
+            w.on_frag(2, 0, 1, SrKind::Write).action,
+            SrAction::Install { completes: true }
+        );
+        assert_eq!(w.expected_msg(), 4, "delivery point jumps over done msgs");
+    }
+
+    #[test]
+    fn sr_window_duplicates_reack_only_on_last_fragment() {
+        let mut w = SrRxWindow::new();
+        assert_eq!(
+            w.on_frag(1, 0, 2, SrKind::Write).action,
+            SrAction::Install { completes: false }
+        );
+        // Same fragment again: silent drop.
+        assert_eq!(
+            w.on_frag(1, 0, 2, SrKind::Write).action,
+            SrAction::Duplicate { reack: false }
+        );
+        assert_eq!(
+            w.on_frag(1, 1, 2, SrKind::Write).action,
+            SrAction::Install { completes: true }
+        );
+        // Replay of the delivered message: re-ACK only on its last frag.
+        assert_eq!(
+            w.on_frag(1, 0, 2, SrKind::Write).action,
+            SrAction::Duplicate { reack: false }
+        );
+        assert_eq!(
+            w.on_frag(1, 1, 2, SrKind::Write).action,
+            SrAction::Duplicate { reack: true }
+        );
+    }
+
+    #[test]
+    fn sr_window_binds_sends_in_message_order() {
+        let mut w = SrRxWindow::new();
+        // Msg 2's fragment arrives before anything of msg 1: it cannot
+        // bind (msg 1 unclassified), so the payload drops.
+        assert_eq!(w.on_frag(2, 0, 2, SrKind::Send).action, SrAction::Unbound);
+        assert_eq!(w.next_bind(), None, "floor stalls on unclassified msg 1");
+        // Msg 1 turns out to be a write: the floor advances and msg 2
+        // becomes bindable.
+        assert_eq!(
+            w.on_frag(1, 0, 1, SrKind::Write).action,
+            SrAction::Install { completes: true }
+        );
+        assert_eq!(w.next_bind(), Some(2));
+        w.bound(2);
+        assert_eq!(w.next_bind(), None);
+        // Bound now: the retried fragment installs.
+        assert_eq!(
+            w.on_frag(2, 0, 2, SrKind::Send).action,
+            SrAction::Install { completes: false }
+        );
+        assert_eq!(
+            w.on_frag(2, 1, 2, SrKind::Send).action,
+            SrAction::Install { completes: true }
+        );
+        assert_eq!(w.expected_msg(), 3);
+    }
+
+    #[test]
+    fn sr_window_poisoned_messages_drop_and_skip_floor() {
+        let mut w = SrRxWindow::new();
+        w.poison(1, 2, SrKind::Send);
+        assert_eq!(w.next_bind(), None, "poisoned send never binds");
+        assert_eq!(
+            w.on_frag(1, 0, 2, SrKind::Send).action,
+            SrAction::Duplicate { reack: false }
+        );
+        // A later send is still bindable: the floor skips the poisoned msg.
+        assert_eq!(w.on_frag(2, 0, 1, SrKind::Send).action, SrAction::Unbound);
+        assert_eq!(w.next_bind(), Some(2));
+    }
+
+    #[test]
+    fn sr_window_sack_carries_expected_msg_bitmap() {
+        let mut w = SrRxWindow::new();
+        // Msg 1 partially lands, then msg 2 arrives: the SACK names msg 1
+        // (first missing) with its received bitmap.
+        assert_eq!(w.on_frag(1, 0, 4, SrKind::Write).sack, None);
+        assert_eq!(w.on_frag(1, 3, 4, SrKind::Write).sack, Some((1, 0b1001)));
+        // Suppressed until progress...
+        assert_eq!(w.on_frag(2, 0, 1, SrKind::Write).sack, None);
+        assert_eq!(w.on_frag(1, 1, 4, SrKind::Write).sack, None);
+        // ...completing msg 1 advances the point and re-arms the SACK.
+        let d = w.on_frag(1, 2, 4, SrKind::Write);
+        assert_eq!(d.action, SrAction::Install { completes: true });
+        assert_eq!(w.expected_msg(), 3);
+        let d = w.on_frag(4, 0, 1, SrKind::Write);
+        assert_eq!(d.action, SrAction::Install { completes: true });
+        assert_eq!(d.sack, Some((3, 0)), "never-seen msg SACKs an empty bitmap");
     }
 }

@@ -3,10 +3,10 @@
 //! and a DCQCN sender cutting + recovering its rate.
 
 use cord_hw::{system_l, GuestMem, MachineSpec};
-use cord_net::{NetConfig, Topology};
+use cord_net::{NetConfig, Routing, Topology};
 use cord_nic::{
     build_cluster, build_cluster_with, Access, CcAlgorithm, Cq, CqeStatus, Nic, QpNum, RecvWqe,
-    SendWqe, Sge, Transport, WrId,
+    RetxConfig, RetxMode, SendWqe, Sge, Transport, WrId, CNP_MIN_INTERVAL,
 };
 use cord_sim::{Sim, Trace};
 
@@ -163,6 +163,171 @@ fn full_mesh_default_never_marks() {
     let (rate, cnps, cuts) = a.nic.dcqcn_snapshot(a.qpn).unwrap().unwrap();
     assert_eq!((cnps, cuts), (0, 0));
     assert_eq!(rate, a.nic.spec().link.gbps);
+}
+
+fn eight_nodes() -> MachineSpec {
+    let mut spec = system_l();
+    spec.nodes = 8;
+    spec
+}
+
+/// Radix-8 fat tree (4 hosts per leaf, 4 spines) spraying every packet
+/// across the least-loaded source-leaf uplink.
+fn sprayed_fabric() -> NetConfig {
+    let mut cfg = NetConfig::for_topology(Topology::fat_tree_for(8));
+    cfg.routing = Routing::Spray;
+    cfg
+}
+
+/// Cross-leaf incast under per-packet spray: nodes 0..=2 (leaf 0) all
+/// target node 4 (leaf 1), so the shared leaf-1 downlink queues and marks
+/// ECN while each flow's fragments fan out over all four spines. The
+/// observed sender (node 0) runs DCQCN; the other two stay uncontrolled
+/// so the downlink keeps marking. Every end arms selective repeat —
+/// spray reorders, and go-back-N would treat every reordering as loss.
+/// Returns the observed sender endpoint after verifying payload
+/// integrity on all three flows.
+fn sprayed_incast(nics: &[Nic], sim: &Sim) -> Endpoint {
+    let (msgs, len) = (10usize, 64 << 10);
+    let dst = 4usize;
+    let data: Vec<u8> = (0..len).map(|i| (i * 131 + 3) as u8).collect();
+    let mut waits = Vec::new();
+    let mut observed = None;
+    for (k, src) in [0usize, 1, 2].into_iter().enumerate() {
+        let a = endpoint(&nics[src]);
+        let b = endpoint(&nics[dst]);
+        a.nic.connect(a.qpn, Some((dst, b.qpn))).unwrap();
+        b.nic.connect(b.qpn, Some((src, a.qpn))).unwrap();
+        for e in [&a, &b] {
+            let sr = RetxConfig {
+                mode: RetxMode::Sr,
+                ..RetxConfig::default()
+            };
+            e.nic.set_rc_retx(e.qpn, Some(sr)).unwrap();
+            let cc = if k == 0 {
+                CcAlgorithm::Dcqcn
+            } else {
+                CcAlgorithm::None
+            };
+            e.nic.set_cc(e.qpn, cc).unwrap();
+        }
+
+        let src_region = a.mem.alloc_from(&data);
+        let dst_region = b.mem.alloc(len, 0);
+        let mra = a
+            .nic
+            .mr_table()
+            .register(a.mem.clone(), src_region, Access::all());
+        let mrb = b
+            .nic
+            .mr_table()
+            .register(b.mem.clone(), dst_region, Access::all());
+        for i in 0..msgs {
+            b.nic
+                .post_recv(
+                    b.qpn,
+                    RecvWqe::new(
+                        WrId(100 + i as u64),
+                        Sge {
+                            addr: dst_region.addr,
+                            len: dst_region.len,
+                            lkey: mrb.lkey,
+                        },
+                    ),
+                )
+                .unwrap();
+            a.nic
+                .post_send(
+                    a.qpn,
+                    SendWqe::send(
+                        WrId(i as u64),
+                        Sge {
+                            addr: src_region.addr,
+                            len,
+                            lkey: mra.lkey,
+                        },
+                    ),
+                    false,
+                )
+                .unwrap();
+        }
+        waits.push((
+            a.send_cq.clone(),
+            b.recv_cq.clone(),
+            b.mem.clone(),
+            dst_region,
+        ));
+        if k == 0 {
+            observed = Some(a);
+        }
+    }
+    sim.block_on({
+        let data = data.clone();
+        async move {
+            for (send_cq, recv_cq, bmem, dst_region) in waits {
+                for _ in 0..msgs {
+                    assert_eq!(wait_cqe(&recv_cq).await.status, CqeStatus::Success);
+                    assert_eq!(wait_cqe(&send_cq).await.status, CqeStatus::Success);
+                }
+                // Byte-perfect despite constant cross-spine reordering.
+                let got = bmem.read(dst_region.addr, len).unwrap();
+                assert_eq!(&got[..], &data[..]);
+            }
+        }
+    });
+    observed.unwrap()
+}
+
+/// The spray regression DCQCN must survive: one flow's fragments arrive
+/// interleaved across four sprayed spine paths, each carrying ECN marks
+/// picked up at the congested downlink. Those marks must coalesce into
+/// ONE per-QP rate state — CNPs rate-limited by [`CNP_MIN_INTERVAL`] no
+/// matter which path the marked fragment rode — rather than one echo per
+/// marked arrival (which would crater the rate).
+#[test]
+fn sprayed_marks_coalesce_into_one_per_qp_rate_state() {
+    let sim = Sim::new();
+    let nics = build_cluster_with(&sim, &eight_nodes(), sprayed_fabric(), Trace::disabled());
+    let a = sprayed_incast(&nics, &sim);
+
+    let net = a.nic.network();
+    assert_eq!(net.routing(), Routing::Spray);
+    let marks = net.total_marks();
+    assert!(marks > 0, "the incast downlink must mark ECN");
+    let (rate, cnps, cuts) = a.nic.dcqcn_snapshot(a.qpn).unwrap().unwrap();
+    assert!(cnps > 0, "receiver must echo CNPs for the sprayed flow");
+    assert!(cuts > 0, "sender must cut on those CNPs");
+    assert!(
+        rate < a.nic.spec().link.gbps,
+        "rate must sit below line after cuts: {rate}"
+    );
+    // Coalescing, quantified: many marked arrivals, CNPs capped at one
+    // per CNP_MIN_INTERVAL per QP.
+    assert!(
+        marks > cnps,
+        "marks must outnumber the CNPs they coalesce into: {marks} vs {cnps}"
+    );
+    let cap = sim.now().as_ps() / CNP_MIN_INTERVAL.as_ps() + 1;
+    assert!(
+        cnps <= cap,
+        "CNP echo must honor the per-QP min interval: {cnps} > {cap}"
+    );
+    // Selective repeat absorbed the reordering without exhausting anyone.
+    let (_, exhausted) = a.nic.retx_stats();
+    assert_eq!(exhausted, 0, "no QP may exhaust its retries");
+}
+
+/// Spray + selective repeat + DCQCN together stay bit-deterministic.
+#[test]
+fn sprayed_dcqcn_incast_is_deterministic() {
+    fn run() -> (u64, u64, u64, u64) {
+        let sim = Sim::new();
+        let nics = build_cluster_with(&sim, &eight_nodes(), sprayed_fabric(), Trace::disabled());
+        let a = sprayed_incast(&nics, &sim);
+        let (_, cnps, cuts) = a.nic.dcqcn_snapshot(a.qpn).unwrap().unwrap();
+        (sim.now().as_ps(), cnps, cuts, a.nic.retx_stats().0)
+    }
+    assert_eq!(run(), run());
 }
 
 #[test]

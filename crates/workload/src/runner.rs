@@ -80,6 +80,7 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
     if let Some(bytes) = spec.buffer_bytes {
         net.buffer_bytes = bytes;
     }
+    net.routing = spec.routing;
     // PFC pauses switch ports; the full mesh has none, so there the knob
     // is accepted but inert (mirroring DCQCN on UD transports).
     net.pfc.enabled = spec.pfc && spec.topology != Topology::FullMesh;
@@ -90,6 +91,7 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
     let fabric = builder.build();
     let cc = spec.cc;
     let rc_retx = spec.rc_retx;
+    let retx_mode = spec.retx_mode;
     // Guard against accidental busy loops in workload logic.
     fabric.sim().set_max_polls(4_000_000_000);
 
@@ -161,7 +163,10 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
                     // RC retransmission is a connection attribute: armed
                     // symmetrically before any traffic (inert on UD).
                     if rc_retx {
-                        let retx = Some(RetxConfig::default());
+                        let retx = Some(RetxConfig {
+                            mode: retx_mode,
+                            ..RetxConfig::default()
+                        });
                         f.nic(t.home)
                             .set_rc_retx(conn.client.qp.qpn(), retx)
                             .unwrap();
@@ -280,6 +285,8 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
         FabricCounters {
             pfc: network.pfc_enabled(),
             rc_retx: spec.rc_retx,
+            routing: spec.routing,
+            retx_mode: spec.retx_mode,
             buffer_bytes: spec.buffer_bytes.map(|b| b as u64),
             net_drops: network.total_drops(),
             net_pauses: network.total_pauses(),

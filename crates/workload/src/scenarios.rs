@@ -9,8 +9,8 @@
 use cord_chaos::{FaultEvent, FaultSchedule};
 use cord_hw::{system_l, MachineSpec};
 use cord_kern::QosClass;
-use cord_net::Topology;
-use cord_nic::{CcAlgorithm, Transport};
+use cord_net::{Routing, Topology};
+use cord_nic::{CcAlgorithm, RetxMode, Transport};
 use cord_sim::SimDuration;
 use cord_verbs::Dataplane;
 
@@ -27,6 +27,7 @@ pub const NAMES: &[&str] = &[
     "pfc-hol-blocking",
     "pause-storm",
     "lossy-incast-rc",
+    "spray-incast",
     "link-flap-recovery",
     "switch-death-reroute",
     "straggler-nic",
@@ -54,6 +55,15 @@ pub struct Scale {
     /// Override the scenario's default RC-retransmission setting (`None`
     /// keeps it: on for `lossy-incast-rc`, off elsewhere).
     pub rc_retx: Option<bool>,
+    /// Override the scenario's default routing policy (`None` keeps it:
+    /// spray for `spray-incast`, ECMP elsewhere). Spray demands
+    /// `rc_retx` with selective repeat — validation rejects the torn
+    /// combinations.
+    pub routing: Option<Routing>,
+    /// Override the scenario's default retransmission flavor (`None`
+    /// keeps it: selective repeat for `spray-incast`, go-back-N
+    /// elsewhere).
+    pub retx_mode: Option<RetxMode>,
     /// Fault-schedule override. `Some(false)` strips the scenario's
     /// built-in schedule (running the chaos scenarios fault-free for
     /// baseline comparison); `None`/`Some(true)` keep it. Scenarios
@@ -73,6 +83,8 @@ impl Default for Scale {
             cc: CcAlgorithm::None,
             pfc: None,
             rc_retx: None,
+            routing: None,
+            retx_mode: None,
             faults: None,
         }
     }
@@ -88,6 +100,8 @@ fn machine() -> MachineSpec {
 fn shape(spec: ScenarioSpec, scale: Scale, default: Topology) -> ScenarioSpec {
     let pfc = scale.pfc.unwrap_or(spec.pfc);
     let rc_retx = scale.rc_retx.unwrap_or(spec.rc_retx);
+    let routing = scale.routing.unwrap_or(spec.routing);
+    let retx_mode = scale.retx_mode.unwrap_or(spec.retx_mode);
     let spec = if scale.faults == Some(false) {
         spec.faults(FaultSchedule::default())
     } else {
@@ -97,6 +111,8 @@ fn shape(spec: ScenarioSpec, scale: Scale, default: Topology) -> ScenarioSpec {
         .cc(scale.cc)
         .pfc(pfc)
         .rc_retx(rc_retx)
+        .routing(routing)
+        .retx_mode(retx_mode)
 }
 
 /// Dumbbell with the bottleneck at a quarter of the host line rate — the
@@ -127,6 +143,7 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ScenarioSpec> {
         "pfc-hol-blocking" => Some(pfc_hol_blocking(scale)),
         "pause-storm" => Some(pause_storm(scale)),
         "lossy-incast-rc" => Some(lossy_incast_rc(scale)),
+        "spray-incast" => Some(spray_incast(scale)),
         "link-flap-recovery" => Some(link_flap_recovery(scale)),
         "switch-death-reroute" => Some(switch_death_reroute(scale)),
         "straggler-nic" => Some(straggler_nic(scale)),
@@ -403,6 +420,26 @@ pub fn lossy_incast_rc(scale: Scale) -> ScenarioSpec {
     shape(spec, scale, Topology::fat_tree_for(scale.nodes))
 }
 
+/// The lossy incast under per-packet spray: same small-buffer PFC-off
+/// fat tree as `lossy-incast-rc`, but every cross-leaf packet picks the
+/// least-congested live spine instead of riding its flow's ECMP hash.
+/// Spray reorders fragments by design, so the scenario arms selective
+/// repeat — the receiver installs fragments out of order, SACKs the
+/// holes, and the sender replays only what is actually missing. Compare
+/// `retx_replays` against `lossy-incast-rc` to see both effects: spray
+/// spreads the fan-in over all spines, and SACK replays fewer messages
+/// for the drops that remain.
+pub fn spray_incast(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("spray-incast", machine(), scale.nodes)
+        .seed(scale.seed)
+        .rc_retx(true)
+        .retx_mode(RetxMode::Sr)
+        .routing(Routing::Spray)
+        .buffer_bytes(SMALL_BUFFER);
+    incast_tenants(&mut spec, scale, 30_000.0, 4);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
 /// Link-flap recovery: the incast with RC retransmission armed, plus
 /// sender node 1's host link administratively downed for a 160 µs window
 /// mid-run. Frames crossing the dead link are lost
@@ -526,6 +563,8 @@ mod tests {
 
         let lossy = lossy_incast_rc(Scale::default());
         assert!(!lossy.pfc && lossy.rc_retx);
+        assert_eq!(lossy.routing, Routing::Ecmp);
+        assert_eq!(lossy.retx_mode, RetxMode::Gbn);
 
         // The DCQCN counterfactual: PFC forced off, retx forced on.
         let over = Scale {
@@ -590,6 +629,39 @@ mod tests {
         let s = incast(over);
         assert_eq!(s.topology, Topology::FullMesh);
         assert_eq!(s.cc, CcAlgorithm::Dcqcn);
+    }
+
+    #[test]
+    fn spray_incast_arms_spray_and_selective_repeat() {
+        let s = spray_incast(Scale::default());
+        assert_eq!(s.routing, Routing::Spray);
+        assert_eq!(s.retx_mode, RetxMode::Sr);
+        assert!(s.rc_retx && !s.pfc);
+        assert_eq!(s.buffer_bytes, Some(SMALL_BUFFER));
+        assert_eq!(s.topology, Topology::FatTree { radix: 8 });
+        s.validate().unwrap();
+        // Scale can retarget any scenario onto spray + selective repeat
+        // (the loadgen `--routing spray --retx-mode sr` path)...
+        let over = Scale {
+            routing: Some(Routing::Spray),
+            rc_retx: Some(true),
+            retx_mode: Some(RetxMode::Sr),
+            ..Scale::default()
+        };
+        let s = lossy_incast_rc(over);
+        assert_eq!(s.routing, Routing::Spray);
+        assert_eq!(s.retx_mode, RetxMode::Sr);
+        s.validate().unwrap();
+        // ...while a torn override (spray over go-back-N) fails closed.
+        let torn = Scale {
+            routing: Some(Routing::Spray),
+            ..Scale::default()
+        };
+        assert!(lossy_incast_rc(torn).validate().is_err());
+        // Everything else keeps the pre-spray defaults.
+        let inc = incast(Scale::default());
+        assert_eq!(inc.routing, Routing::Ecmp);
+        assert_eq!(inc.retx_mode, RetxMode::Gbn);
     }
 
     #[test]

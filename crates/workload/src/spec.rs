@@ -9,8 +9,8 @@
 use cord_chaos::FaultSchedule;
 use cord_hw::MachineSpec;
 use cord_kern::QosClass;
-use cord_net::Topology;
-use cord_nic::{CcAlgorithm, Transport};
+use cord_net::{Routing, Topology};
+use cord_nic::{CcAlgorithm, RetxMode, Transport};
 use cord_sim::{DetRng, SimDuration};
 use cord_verbs::Dataplane;
 
@@ -197,6 +197,11 @@ pub struct ScenarioSpec {
     pub seed: u64,
     /// Network shape connecting the nodes (default: ideal full mesh).
     pub topology: Topology,
+    /// Routing policy on switched fabrics. [`Routing::Spray`] re-picks
+    /// the least-congested spine per packet, reordering fragments by
+    /// design — so it demands `rc_retx` with [`RetxMode::Sr`], the only
+    /// receiver that installs fragments out of order.
+    pub routing: Routing,
     /// Congestion control applied to every tenant QP (client and server
     /// side). `Dcqcn` only bites when the topology has shared queues,
     /// and — like real RoCE NICs — only on RC transport: UD tenants
@@ -209,6 +214,10 @@ pub struct ScenarioSpec {
     /// tenant RC QP — required for lossy (small-buffer, PFC-off)
     /// scenarios to make forward progress after tail drops.
     pub rc_retx: bool,
+    /// Retransmission flavor when `rc_retx` is armed: go-back-N (the
+    /// default, replays everything from the loss) or selective repeat
+    /// (SACK-driven, replays only the holes; tolerates spray reordering).
+    pub retx_mode: RetxMode,
     /// Override the per-port switch buffer (`None`: cord-net's 16 MiB
     /// default, deep enough that windowed workloads never drop).
     pub buffer_bytes: Option<usize>,
@@ -234,9 +243,11 @@ impl ScenarioSpec {
             nodes,
             seed: 0xC0BD,
             topology: Topology::FullMesh,
+            routing: Routing::Ecmp,
             cc: CcAlgorithm::None,
             pfc: false,
             rc_retx: false,
+            retx_mode: RetxMode::Gbn,
             buffer_bytes: None,
             faults: FaultSchedule::default(),
             telemetry: None,
@@ -269,6 +280,16 @@ impl ScenarioSpec {
         self
     }
 
+    pub fn routing(mut self, routing: Routing) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    pub fn retx_mode(mut self, mode: RetxMode) -> Self {
+        self.retx_mode = mode;
+        self
+    }
+
     pub fn buffer_bytes(mut self, bytes: usize) -> Self {
         self.buffer_bytes = Some(bytes);
         self
@@ -297,6 +318,20 @@ impl ScenarioSpec {
         self.topology
             .validate(self.nodes)
             .map_err(|e| format!("{}: {e}", self.name))?;
+        // Spray delivers one flow's fragments over many paths, so the
+        // receiver *will* see reordering; only the selective-repeat
+        // receiver installs out-of-order fragments, and it only exists
+        // when retransmission is armed. Refuse the torn combinations
+        // instead of silently livelocking go-back-N.
+        if self.retx_mode == RetxMode::Sr && !self.rc_retx {
+            return Err(format!("{}: retx_mode sr requires rc_retx", self.name));
+        }
+        if self.routing == Routing::Spray && (!self.rc_retx || self.retx_mode != RetxMode::Sr) {
+            return Err(format!(
+                "{}: spray routing reorders packets and requires rc_retx with retx_mode sr",
+                self.name
+            ));
+        }
         if self.tenants.is_empty() {
             return Err("scenario has no tenants".into());
         }
@@ -389,5 +424,32 @@ mod tests {
             ScenarioSpec::new("t", system_l(), 4).tenant(TenantSpec::new("a", 0, vec![1, 2, 3]));
         assert!(spec.validate().is_ok());
         assert_eq!(spec.total_connections(), 3);
+    }
+
+    #[test]
+    fn spray_demands_selective_repeat() {
+        let base = || {
+            ScenarioSpec::new("t", system_l(), 4)
+                .topology(Topology::FatTree { radix: 4 })
+                .tenant(TenantSpec::new("a", 0, vec![1]))
+        };
+        // Spray without any retransmission: go-back-N can't even be armed.
+        let spec = base().routing(Routing::Spray);
+        assert!(spec.validate().is_err(), "spray without rc_retx");
+        // Spray over go-back-N: reordering would masquerade as loss.
+        let spec = base().routing(Routing::Spray).rc_retx(true);
+        assert!(spec.validate().is_err(), "spray with gbn");
+        // Selective repeat without retransmission armed is torn too.
+        let spec = base().retx_mode(RetxMode::Sr);
+        assert!(spec.validate().is_err(), "sr without rc_retx");
+        // The full combination is the supported one.
+        let spec = base()
+            .routing(Routing::Spray)
+            .rc_retx(true)
+            .retx_mode(RetxMode::Sr);
+        spec.validate().unwrap();
+        // Selective repeat under ECMP is fine (no reordering, just SACK).
+        let spec = base().rc_retx(true).retx_mode(RetxMode::Sr);
+        spec.validate().unwrap();
     }
 }

@@ -3,6 +3,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use cord_net::Routing;
+use cord_nic::RetxMode;
 use cord_sim::stats::Histogram;
 use cord_sim::{SimDuration, SimTime};
 use serde::Serialize;
@@ -156,6 +158,11 @@ pub struct FabricCounters {
     pub pfc: bool,
     /// RC retransmission armed on tenant QPs.
     pub rc_retx: bool,
+    /// Routing policy; serialized only when non-default (spray), so
+    /// ECMP reports stay byte-identical to their pre-spray JSON.
+    pub routing: Routing,
+    /// Retransmission flavor; serialized only when non-default (sr).
+    pub retx_mode: RetxMode,
     /// Per-port buffer override, if any.
     pub buffer_bytes: Option<u64>,
     /// Frames tail-dropped by switch ports.
@@ -308,6 +315,12 @@ impl Serialize for ScenarioReport {
         if let Some(f) = &self.fabric {
             fields.push(("pfc".into(), f.pfc.to_value()));
             fields.push(("rc_retx".into(), f.rc_retx.to_value()));
+            if f.routing != Routing::Ecmp {
+                fields.push(("routing".into(), f.routing.to_string().to_value()));
+            }
+            if f.retx_mode != RetxMode::Gbn {
+                fields.push(("retx_mode".into(), f.retx_mode.to_string().to_value()));
+            }
             if let Some(b) = f.buffer_bytes {
                 fields.push(("buffer_bytes".into(), b.to_value()));
             }

@@ -2,7 +2,10 @@
 //! (and its disappearance under DCQCN), pause storms, and RC
 //! retransmission recovering goodput on a tail-dropping fat tree.
 
-use cord_workload::scenarios::{lossy_incast_rc, pause_storm, pfc_hol_blocking, Scale};
+use cord_nic::RetxMode;
+use cord_workload::scenarios::{
+    lossy_incast_rc, pause_storm, pfc_hol_blocking, spray_incast, Scale,
+};
 use cord_workload::{run_scenario, ScenarioReport};
 
 fn scale() -> Scale {
@@ -110,14 +113,63 @@ fn lossy_incast_rc_recovers_goodput() {
     );
 }
 
-/// PFC pausing and go-back-N recovery are still bit-deterministic: same
-/// spec + seed serialize to byte-identical reports.
+/// The cluster-scale differential between the two retransmission
+/// flavors: the same lossy incast, once under go-back-N and once under
+/// selective repeat. Both must complete everything; selective repeat
+/// must replay strictly less (it never throws away delivered-but-
+/// out-of-order messages) at comparable goodput.
+#[test]
+fn selective_repeat_replays_strictly_less_than_gbn() {
+    let gbn = run_scenario(&lossy_incast_rc(scale())).unwrap();
+    let sr = run_scenario(&lossy_incast_rc(Scale {
+        retx_mode: Some(RetxMode::Sr),
+        ..scale()
+    }))
+    .unwrap();
+
+    assert_eq!(gbn.total_completed, issued(&gbn));
+    assert_eq!(sr.total_completed, issued(&sr));
+    let fg = gbn.fabric.expect("fabric counters when retx on");
+    let fs = sr.fabric.expect("fabric counters when retx on");
+    assert!(fg.net_drops > 0 && fs.net_drops > 0, "both runs must drop");
+    assert_eq!(fs.retx_exhausted, 0, "selective repeat must not exhaust");
+    assert!(
+        fs.retx_replays < fg.retx_replays,
+        "sr must replay strictly less: {} vs {}",
+        fs.retx_replays,
+        fg.retx_replays
+    );
+    assert!(
+        sr.total_goodput_gbps >= 0.9 * gbn.total_goodput_gbps,
+        "sr goodput must not collapse: {:.2} vs {:.2} Gb/s",
+        sr.total_goodput_gbps,
+        gbn.total_goodput_gbps
+    );
+}
+
+/// Per-packet spray on the lossy fat tree: reordering is constant (every
+/// packet re-picks a spine), yet the selective-repeat receiver delivers
+/// everything with zero retry exhaustion.
+#[test]
+fn spray_incast_completes_under_constant_reordering() {
+    let r = run_scenario(&spray_incast(scale())).unwrap();
+    assert_eq!(r.total_completed, issued(&r), "must not stall");
+    let f = r.fabric.expect("fabric counters when retx on");
+    assert_eq!(f.retx_exhausted, 0, "no QP may exhaust its retries");
+    assert_eq!(f.routing, cord_net::Routing::Spray);
+    assert_eq!(f.retx_mode, RetxMode::Sr);
+}
+
+/// PFC pausing, go-back-N recovery, and per-packet spray with selective
+/// repeat are all bit-deterministic: same spec + seed serialize to
+/// byte-identical reports.
 #[test]
 fn fabric_scenarios_are_seed_deterministic() {
     for spec in [
         pfc_hol_blocking(scale()),
         lossy_incast_rc(scale()),
         pause_storm(scale()),
+        spray_incast(scale()),
     ] {
         let a = serde_json::to_string_pretty(&run_scenario(&spec).unwrap()).unwrap();
         let b = serde_json::to_string_pretty(&run_scenario(&spec).unwrap()).unwrap();
