@@ -27,8 +27,14 @@
 //! (`spray-incast` defaults both on; spray without selective repeat is
 //! rejected). `--faults off` strips a chaos scenario's
 //! built-in fault schedule (`link-flap-recovery`, `switch-death-reroute`,
-//! `straggler-nic`, `pfc-deadlock`) for fault-free baseline runs;
-//! `--faults on` keeps it (the default). All knobs are recorded in the
+//! `straggler-nic`, `pfc-deadlock`, `straggler-allreduce`) for
+//! fault-free baseline runs; `--faults on` keeps it (the default). The
+//! ML builtins (`allreduce-ring`/`-tree`/`-hd`, `expert-shuffle`,
+//! `straggler-allreduce`) size their reduction with `--elems` (f64
+//! elements per rank) and report per-collective completion time, NCCL
+//! bus bandwidth, and straggler skew alongside the scoreboard;
+//! `prefill-decode` models disaggregated-serving KV-cache pushes with a
+//! per-request SLO and reports attainment. All knobs are recorded in the
 //! results JSON; fabric runs additionally record drop/pause/replay
 //! counters and chaos runs the fault detection counters.
 //!
@@ -63,7 +69,7 @@ fn usage() -> ! {
          \x20              [--topology full-mesh|fat-tree|dumbbell] [--cc none|dcqcn]\n\
          \x20              [--pfc on|off] [--rc-retx on|off] [--faults on|off]\n\
          \x20              [--routing ecmp|spray] [--retx-mode gbn|sr]\n\
-         \x20              [--trace out.json]\n\
+         \x20              [--elems N] [--trace out.json]\n\
          scenarios: {}",
         scenarios::NAMES.join(", ")
     );
@@ -121,7 +127,8 @@ fn parse_args() -> Args {
             "--requests" => scale.requests = parse(&value).max(1) as usize,
             "--seed" => scale.seed = parse(&value),
             "--topology" => topology = Some(value),
-            "--cc" => scale.cc = value.parse::<CcAlgorithm>().unwrap_or_else(|_| usage()),
+            "--cc" => scale.cc = Some(value.parse::<CcAlgorithm>().unwrap_or_else(|_| usage())),
+            "--elems" => scale.elems = Some(parse(&value).max(1) as usize),
             "--pfc" => scale.pfc = Some(parse_switch(&value)),
             "--rc-retx" => scale.rc_retx = Some(parse_switch(&value)),
             "--routing" => {
@@ -202,6 +209,21 @@ fn show(report: &ScenarioReport) {
         "totals: {} completed, {} policy drops, {:.2} Gbit/s aggregate goodput",
         report.total_completed, report.total_dropped, report.total_goodput_gbps
     );
+    for c in &report.collectives {
+        println!(
+            "collective {} ({}): {} ranks × {} iters, {:.0} KiB/rank — \
+             mean {:.1} µs, max {:.1} µs, busbw {:.2} Gbit/s, skew {:.3}",
+            c.collective,
+            c.op,
+            c.ranks,
+            c.iters,
+            c.bytes_per_rank as f64 / 1024.0,
+            c.mean_completion_us,
+            c.max_completion_us,
+            c.busbw_gbps,
+            c.straggler_skew
+        );
+    }
 }
 
 fn main() {

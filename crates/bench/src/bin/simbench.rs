@@ -27,6 +27,12 @@
 //!   snapshots, out-of-order fragment installs, SACK-driven partial
 //!   replays. Its digest line pins spray determinism and the SACK
 //!   replay economy.
+//! * `allreduce-ring` — a fabric-saturating 16-rank × 512 KiB ring
+//!   allreduce over `cord-mpi` with DCQCN: the rendezvous RTS/CTS/DATA
+//!   hot path. Its digest line pins the collective schedule end to end.
+//! * `prefill-decode` — disaggregated serving: open-loop 128 KiB
+//!   KV-cache pushes from the prefill half into the decode half of a
+//!   fat tree under a 250 µs SLO.
 //!
 //! Results land in `results/simbench_<name>.json` (`--quick` writes
 //! `simbench_quick_<name>.json`, so smoke runs never clobber the
@@ -75,7 +81,7 @@ fn suite(quick: bool) -> Vec<Bench> {
     let req = |n: usize| if quick { (n / 10).max(1) } else { n };
     let scale = |requests: usize, cc: CcAlgorithm| Scale {
         requests: req(requests),
-        cc,
+        cc: Some(cc),
         ..Scale::default()
     };
     vec![
@@ -116,6 +122,29 @@ fn suite(quick: bool) -> Vec<Bench> {
             spec: scenarios::spray_incast(Scale {
                 tenants: 16,
                 requests: req(600),
+                ..Scale::default()
+            }),
+        },
+        Bench {
+            name: "allreduce-ring",
+            // A fabric-saturating ring allreduce (16 ranks × 512 KiB):
+            // the rendezvous hot path — every chunk is an RTS/CTS/DATA
+            // exchange — plus DCQCN timers on every rank's QPs. Its
+            // digest line pins the collective schedule end to end
+            // (virtual_ms moves if a single chunk reorders).
+            spec: scenarios::allreduce_ring(Scale {
+                requests: req(600),
+                ..Scale::default()
+            }),
+        },
+        Bench {
+            name: "prefill-decode",
+            // Disaggregated serving: open-loop 128 KiB KV-cache pushes
+            // from the prefill half into the decode half of a fat tree,
+            // DCQCN armed, 250 µs SLO. The digest pins completion and
+            // goodput; SLO attainment lives in the loadgen scoreboard.
+            spec: scenarios::prefill_decode(Scale {
+                requests: req(150),
                 ..Scale::default()
             }),
         },
@@ -220,7 +249,8 @@ fn run_bench(b: &Bench, quick: bool, label: &str, trace: bool) -> BenchRun {
 fn usage() -> ! {
     eprintln!(
         "usage: simbench [--quick] [--trace] [--label <name>] [bench ...]\n\
-         benches: kv-fanout, incast-dcqcn, shuffle, lossy-retx, lossy-retx-spray"
+         benches: kv-fanout, incast-dcqcn, shuffle, lossy-retx, lossy-retx-spray,\n\
+         \x20        allreduce-ring, prefill-decode"
     );
     std::process::exit(2);
 }

@@ -14,9 +14,11 @@
 //! same-node ranks talk through the NIC loopback exactly as the paper's
 //! runs did.
 
+#![deny(missing_docs)]
+
 pub mod collectives;
 pub mod rank;
 pub mod wire;
 
-pub use collectives::ReduceOp;
+pub use collectives::{AllreduceAlgo, ReduceOp};
 pub use rank::{create_world, Comm, MpiTransport, EAGER_MAX};

@@ -205,16 +205,31 @@ fn wr_rndv(msg_id: u32) -> WrId {
 }
 
 impl Comm {
+    /// This rank's index in `0..size()`.
     pub fn rank(&self) -> usize {
         self.inner.rank
     }
 
+    /// Number of ranks in the world.
     pub fn size(&self) -> usize {
         self.inner.size
     }
 
+    /// The CPU core this rank's library code is billed on.
     pub fn core(&self) -> &Core {
         &self.inner.core
+    }
+
+    /// The `(node, qpn)` pair of every peer QP this rank owns, in peer-rank
+    /// order — the hook the workload runner uses to arm congestion control
+    /// and retransmission on collective traffic without reaching into the
+    /// world's internals. Empty over IPoIB (sockets have no QPs to arm).
+    pub fn endpoints(&self) -> Vec<(usize, cord_verbs::QpNum)> {
+        let Some(v) = self.inner.verbs.as_ref() else {
+            return Vec::new();
+        };
+        let node = v.ctx.node();
+        v.qps.iter().flatten().map(|qp| (node, qp.qpn())).collect()
     }
 
     /// Model a compute phase of `ns` nanoseconds on this rank's core.

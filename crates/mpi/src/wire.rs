@@ -27,13 +27,17 @@ impl Kind {
     }
 }
 
+/// Encoded header length in bytes (every eager-path frame starts with one).
 pub const HDR_LEN: usize = 28;
 
 /// Decoded header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Header {
+    /// Which protocol message this frame carries.
     pub kind: Kind,
+    /// MPI tag (0 for CTS, which matches on `msg_id` instead).
     pub tag: u32,
+    /// Per-sender sequential message id.
     pub msg_id: u32,
     /// Eager: payload length. RTS: full message length. CTS: echo.
     pub len: u32,
@@ -44,6 +48,7 @@ pub struct Header {
 }
 
 impl Header {
+    /// Serialize to the fixed wire layout.
     pub fn encode(&self) -> [u8; HDR_LEN] {
         let mut b = [0u8; HDR_LEN];
         b[0] = self.kind as u8;
@@ -55,6 +60,7 @@ impl Header {
         b
     }
 
+    /// Parse a header from the front of `b`; `None` if short or malformed.
     pub fn decode(b: &[u8]) -> Option<Header> {
         if b.len() < HDR_LEN {
             return None;
@@ -69,6 +75,7 @@ impl Header {
         })
     }
 
+    /// Header for an eager message of `len` payload bytes.
     pub fn eager(tag: u32, msg_id: u32, len: usize) -> Header {
         Header {
             kind: Kind::Eager,
@@ -80,6 +87,7 @@ impl Header {
         }
     }
 
+    /// Rendezvous request-to-send announcing a `len`-byte message.
     pub fn rts(tag: u32, msg_id: u32, len: usize) -> Header {
         Header {
             kind: Kind::Rts,
@@ -91,6 +99,7 @@ impl Header {
         }
     }
 
+    /// Clear-to-send carrying the receiver's landing zone for `msg_id`.
     pub fn cts(msg_id: u32, len: usize, raddr: u64, rkey: u32) -> Header {
         Header {
             kind: Kind::Cts,

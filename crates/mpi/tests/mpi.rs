@@ -1,7 +1,7 @@
 //! MPI-layer integration tests across all three transports.
 
 use cord_core::prelude::*;
-use cord_mpi::{create_world, Comm, MpiTransport, ReduceOp, EAGER_MAX};
+use cord_mpi::{create_world, AllreduceAlgo, Comm, MpiTransport, ReduceOp, EAGER_MAX};
 
 fn transports() -> Vec<MpiTransport> {
     vec![
@@ -206,6 +206,103 @@ fn allreduce_sums_across_ranks() {
             },
         );
     }
+}
+
+#[test]
+fn allreduce_algos_agree_with_reference() {
+    // Every schedule, power-of-two and odd world sizes, uneven chunk
+    // lengths (777 % 6 != 0), checked against the closed-form sum.
+    let algos = [
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::Tree,
+        AllreduceAlgo::Ring,
+        AllreduceAlgo::HalvingDoubling,
+    ];
+    for &p in &[4usize, 6] {
+        for algo in algos {
+            run_world(
+                MpiTransport::Verbs(Dataplane::Bypass),
+                p,
+                move |c| async move {
+                    let n = 777;
+                    let mine: Vec<f64> =
+                        (0..n).map(|i| ((c.rank() + 1) * (i + 3)) as f64).collect();
+                    let out = c.allreduce_algo(algo, 0, &mine, ReduceOp::Sum).await;
+                    assert_eq!(out.len(), n);
+                    for (i, v) in out.iter().enumerate() {
+                        let expect: f64 = (0..p).map(|r| ((r + 1) * (i + 3)) as f64).sum();
+                        assert!(
+                            (v - expect).abs() < 1e-9,
+                            "{algo} p={p} i={i}: {v} != {expect}"
+                        );
+                    }
+                },
+            );
+        }
+    }
+}
+
+/// Run one allreduce under `algo` with DetRng-drawn integer-valued inputs
+/// and return every rank's reduced buffer as raw little-endian bytes.
+fn allreduce_buffers(algo: AllreduceAlgo, p: usize, n: usize, seed: u64) -> Vec<Vec<u8>> {
+    let t = MpiTransport::Verbs(Dataplane::Bypass);
+    let fabric = Fabric::builder(system_l()).seed(seed).build();
+    let f2 = fabric.clone();
+    fabric.block_on(async move {
+        let comms = create_world(&f2, p, t).await;
+        let mut handles = Vec::new();
+        for c in comms {
+            let rng = f2.rng().stream_indexed("allreduce-input", c.rank() as u64);
+            handles.push(f2.spawn(async move {
+                // Integer-valued draws keep f64 addition exact, so the two
+                // schedules' different summation orders cannot diverge.
+                let mine: Vec<f64> = (0..n)
+                    .map(|_| rng.uniform_range(0, 1 << 20) as f64)
+                    .collect();
+                let out = c.allreduce_algo(algo, 0, &mine, ReduceOp::Sum).await;
+                out.iter()
+                    .flat_map(|v| v.to_le_bytes())
+                    .collect::<Vec<u8>>()
+            }));
+        }
+        let mut bufs = Vec::new();
+        for h in handles {
+            bufs.push(h.await);
+        }
+        bufs
+    })
+}
+
+#[test]
+fn ring_and_halving_doubling_reduce_identically() {
+    // Differential: same seed, same inputs → bit-identical reduced buffers
+    // from the bandwidth-optimal schedules (and from the tree reference),
+    // on every rank. 1003 elements exercises uneven chunk boundaries.
+    let (p, n, seed) = (8usize, 1003usize, 0xA11Au64);
+    let ring = allreduce_buffers(AllreduceAlgo::Ring, p, n, seed);
+    let hd = allreduce_buffers(AllreduceAlgo::HalvingDoubling, p, n, seed);
+    let tree = allreduce_buffers(AllreduceAlgo::Tree, p, n, seed);
+    for r in 0..p {
+        assert_eq!(ring[r], hd[r], "rank {r}: ring vs halving-doubling");
+        assert_eq!(ring[r], tree[r], "rank {r}: ring vs tree");
+        assert_eq!(ring[r], ring[0], "rank {r}: ranks must agree");
+    }
+}
+
+#[test]
+fn allreduce_auto_crossover_picks_bandwidth_schedules() {
+    let small = AllreduceAlgo::CROSSOVER_ELEMS - 1;
+    let large = AllreduceAlgo::CROSSOVER_ELEMS;
+    assert_eq!(
+        AllreduceAlgo::auto(8, small),
+        AllreduceAlgo::RecursiveDoubling
+    );
+    assert_eq!(
+        AllreduceAlgo::auto(8, large),
+        AllreduceAlgo::HalvingDoubling
+    );
+    assert_eq!(AllreduceAlgo::auto(6, small), AllreduceAlgo::Tree);
+    assert_eq!(AllreduceAlgo::auto(6, large), AllreduceAlgo::Ring);
 }
 
 #[test]

@@ -1,0 +1,425 @@
+//! Collective-shaped jobs: MPI worlds driven inside a scenario.
+//!
+//! A [`CollectiveJob`] embeds a `cord-mpi` world in a scenario run: the
+//! runner builds the world during the establishment phase (so setup never
+//! pollutes the traffic clock), arms the scenario's congestion-control and
+//! retransmission knobs on every collective QP via
+//! [`cord_mpi::Comm::endpoints`], and launches one driver task per rank at
+//! t0 alongside the tenant RPC traffic. Each driver repeats the job's
+//! operation for `iters` iterations, timestamping every rank's iteration
+//! span, so the report can state the three numbers every collective
+//! benchmark states:
+//!
+//! * **completion time** per iteration — last rank out minus first rank in,
+//! * **bus bandwidth** — algorithm bandwidth (`bytes_per_rank / mean
+//!   completion`) scaled by the NCCL convention factor (`2(P-1)/P` for
+//!   allreduce, `(P-1)/P` for all-to-all), which normalizes out the
+//!   algorithm so the number is comparable to link speed,
+//! * **straggler skew** — the worst ratio of slowest to mean per-rank
+//!   iteration duration, the metric that exposes a gray-failure host.
+//!
+//! Same-node ranks still talk through the NIC loopback (the paper bars MPI
+//! from shared memory, §5), so every byte of a collective crosses the
+//! simulated fabric and contends with tenant traffic.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cord_mpi::{AllreduceAlgo, Comm, ReduceOp};
+use cord_sim::{DetRng, Sim, SimTime};
+use cord_verbs::Dataplane;
+use serde::Serialize;
+
+use crate::stats::TenantStats;
+
+/// Bytes of `(src_rank, token_idx)` header at the front of every
+/// expert-shuffle token (two little-endian `u32`s).
+pub const TOKEN_HEADER: usize = 8;
+
+/// What one collective job runs per iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollectiveOp {
+    /// An `elems`-element f64 allreduce (sum) under an explicit algorithm.
+    Allreduce {
+        /// Schedule to run — `auto` selection is deliberate *not* an
+        /// option here: a scenario names its algorithm so reports and
+        /// digests never shift when the crossover heuristic moves.
+        algo: AllreduceAlgo,
+        /// f64 elements reduced per rank per iteration.
+        elems: usize,
+    },
+    /// An MoE-style expert shuffle: every rank holds `tokens_per_rank`
+    /// tokens of `token_bytes` each, assigns every token to a
+    /// deterministically-drawn destination rank (its "expert"), and
+    /// exchanges them with one `alltoallv`.
+    ExpertShuffle {
+        /// Tokens each rank contributes per iteration.
+        tokens_per_rank: usize,
+        /// Bytes per token, including the [`TOKEN_HEADER`].
+        token_bytes: usize,
+    },
+}
+
+impl CollectiveOp {
+    /// Payload bytes one rank contributes per iteration — the `S` in the
+    /// bandwidth formulas.
+    pub fn bytes_per_rank(&self) -> u64 {
+        match *self {
+            CollectiveOp::Allreduce { elems, .. } => elems as u64 * 8,
+            CollectiveOp::ExpertShuffle {
+                tokens_per_rank,
+                token_bytes,
+            } => tokens_per_rank as u64 * token_bytes as u64,
+        }
+    }
+
+    /// NCCL bus-bandwidth convention factor: `busbw = algbw * factor`.
+    /// Allreduce moves every byte twice minus the local share
+    /// (`2(P-1)/P`); all-to-all moves each byte once, minus what stays
+    /// local (`(P-1)/P`).
+    pub fn busbw_factor(&self, ranks: usize) -> f64 {
+        let p = ranks as f64;
+        match self {
+            CollectiveOp::Allreduce { .. } => 2.0 * (p - 1.0) / p,
+            CollectiveOp::ExpertShuffle { .. } => (p - 1.0) / p,
+        }
+    }
+
+    /// Short label for the report (`allreduce/ring`, `expert-shuffle`).
+    pub fn label(&self) -> String {
+        match self {
+            CollectiveOp::Allreduce { algo, .. } => format!("allreduce/{algo}"),
+            CollectiveOp::ExpertShuffle { .. } => "expert-shuffle".to_string(),
+        }
+    }
+}
+
+/// One collective job inside a scenario: an MPI world of `ranks` ranks
+/// (spread block-wise over the scenario's nodes, exactly as
+/// `cord_mpi::create_world` places them) running `op` for `iters`
+/// iterations.
+#[derive(Debug, Clone)]
+pub struct CollectiveJob {
+    /// Display name; keys the job's RNG stream and its report rows, so it
+    /// must be unique among tenants *and* jobs.
+    pub name: String,
+    /// The operation each iteration runs.
+    pub op: CollectiveOp,
+    /// World size. May exceed the node count — extra ranks share nodes
+    /// and talk through the NIC loopback.
+    pub ranks: usize,
+    /// Iterations to run back-to-back (no barrier in between, like a
+    /// pipelined training step).
+    pub iters: usize,
+    /// Dataplane the world's QPs ride (CoRD policies only bind on
+    /// [`Dataplane::Cord`]).
+    pub dataplane: Dataplane,
+}
+
+impl CollectiveJob {
+    /// A job with the default 4 iterations on the CoRD dataplane.
+    pub fn new(name: impl Into<String>, op: CollectiveOp, ranks: usize) -> CollectiveJob {
+        CollectiveJob {
+            name: name.into(),
+            op,
+            ranks,
+            iters: 4,
+            dataplane: Dataplane::Cord,
+        }
+    }
+
+    /// Reject degenerate shapes before any fabric is built.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.ranks < 2 {
+            return Err(format!("{}: collective needs at least 2 ranks", self.name));
+        }
+        if self.iters == 0 {
+            return Err(format!("{}: iters must be nonzero", self.name));
+        }
+        match self.op {
+            CollectiveOp::Allreduce { elems: 0, .. } => {
+                Err(format!("{}: allreduce elems must be nonzero", self.name))
+            }
+            CollectiveOp::ExpertShuffle {
+                tokens_per_rank,
+                token_bytes,
+            } if tokens_per_rank == 0 || token_bytes < TOKEN_HEADER => Err(format!(
+                "{}: shuffle needs tokens and token_bytes >= {TOKEN_HEADER}",
+                self.name
+            )),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Destination rank ("expert") of each of `tokens_per_rank` tokens, drawn
+/// from the caller's deterministic stream. Self-destinations are allowed —
+/// a token routed to its own rank stays local in the `alltoallv`, exactly
+/// like a token whose expert happens to live on the same GPU.
+pub fn expert_assignments(rng: &DetRng, ranks: usize, tokens_per_rank: usize) -> Vec<usize> {
+    (0..tokens_per_rank)
+        .map(|_| rng.uniform_range(0, ranks as u64) as usize)
+        .collect()
+}
+
+/// The bytes of one token: a [`TOKEN_HEADER`] naming `(src_rank,
+/// token_idx)` followed by a fill pattern derived from the same pair, so a
+/// receiver can verify every byte against its header alone.
+pub fn token_payload(src_rank: usize, token_idx: usize, token_bytes: usize) -> Vec<u8> {
+    assert!(token_bytes >= TOKEN_HEADER);
+    let mut t = Vec::with_capacity(token_bytes);
+    t.extend_from_slice(&(src_rank as u32).to_le_bytes());
+    t.extend_from_slice(&(token_idx as u32).to_le_bytes());
+    let fill = (src_rank as u32)
+        .wrapping_mul(0x9E37_79B9)
+        .wrapping_add(token_idx as u32);
+    t.resize(token_bytes, (fill >> 16) as u8);
+    t
+}
+
+/// Concatenate `rank`'s tokens into per-destination send buffers for one
+/// `alltoallv`: `out[d]` holds every token whose assignment is `d`, in
+/// token-index order.
+pub fn shuffle_payloads(
+    rank: usize,
+    ranks: usize,
+    token_bytes: usize,
+    assignments: &[usize],
+) -> Vec<Vec<u8>> {
+    let mut out = vec![Vec::new(); ranks];
+    for (idx, &dst) in assignments.iter().enumerate() {
+        out[dst].extend_from_slice(&token_payload(rank, idx, token_bytes));
+    }
+    out
+}
+
+/// One rank's `(start, end)` wall span for one iteration, if it finished.
+type RankSpan = Option<(SimTime, SimTime)>;
+
+/// Per-rank, per-iteration spans of one job, shared between the rank
+/// drivers and the post-run summarizer.
+pub(crate) struct JobTiming {
+    /// `[iter][rank] -> (start, end)`.
+    spans: RefCell<Vec<Vec<RankSpan>>>,
+}
+
+impl JobTiming {
+    pub(crate) fn new(iters: usize, ranks: usize) -> Rc<JobTiming> {
+        Rc::new(JobTiming {
+            spans: RefCell::new(vec![vec![None; ranks]; iters]),
+        })
+    }
+
+    fn record(&self, iter: usize, rank: usize, start: SimTime, end: SimTime) {
+        self.spans.borrow_mut()[iter][rank] = Some((start, end));
+    }
+
+    /// Freeze into the report row. Iterations no rank finished are
+    /// skipped (they cannot happen on a completed run).
+    pub(crate) fn summarize(&self, job: &CollectiveJob) -> CollectiveReport {
+        let spans = self.spans.borrow();
+        let mut completion_us = Vec::with_capacity(spans.len());
+        let mut skew: f64 = 0.0;
+        for iter in spans.iter() {
+            let done: Vec<(SimTime, SimTime)> = iter.iter().flatten().copied().collect();
+            if done.len() != job.ranks {
+                continue;
+            }
+            let first_in = done.iter().map(|s| s.0).min().expect("nonempty");
+            let last_out = done.iter().map(|s| s.1).max().expect("nonempty");
+            completion_us.push(last_out.since(first_in).as_us_f64());
+            let durs: Vec<f64> = done.iter().map(|(s, e)| e.since(*s).as_us_f64()).collect();
+            let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+            let max = durs.iter().cloned().fold(0.0, f64::max);
+            if mean > 0.0 {
+                skew = skew.max(max / mean);
+            }
+        }
+        let mean_completion_us = if completion_us.is_empty() {
+            0.0
+        } else {
+            completion_us.iter().sum::<f64>() / completion_us.len() as f64
+        };
+        let max_completion_us = completion_us.iter().cloned().fold(0.0, f64::max);
+        let bytes_per_rank = job.op.bytes_per_rank();
+        let algbw_gbps = if mean_completion_us > 0.0 {
+            bytes_per_rank as f64 * 8.0 / (mean_completion_us * 1e-6) / 1e9
+        } else {
+            0.0
+        };
+        CollectiveReport {
+            collective: job.name.clone(),
+            op: job.op.label(),
+            ranks: job.ranks,
+            iters: job.iters,
+            bytes_per_rank,
+            completion_us,
+            mean_completion_us,
+            max_completion_us,
+            algbw_gbps,
+            busbw_gbps: algbw_gbps * job.op.busbw_factor(job.ranks),
+            straggler_skew: skew,
+        }
+    }
+}
+
+/// One collective job's scoreboard: completion time, NCCL-convention
+/// bandwidths, and straggler skew.
+#[derive(Debug, Clone, Serialize)]
+pub struct CollectiveReport {
+    /// Job name from the spec.
+    pub collective: String,
+    /// Operation label (`allreduce/ring`, `expert-shuffle`).
+    pub op: String,
+    /// World size.
+    pub ranks: usize,
+    /// Iterations the spec asked for.
+    pub iters: usize,
+    /// Payload bytes contributed per rank per iteration (the `S` in the
+    /// bandwidth formulas).
+    pub bytes_per_rank: u64,
+    /// Per-iteration completion time (last rank out minus first rank in),
+    /// µs.
+    pub completion_us: Vec<f64>,
+    /// Mean of `completion_us`.
+    pub mean_completion_us: f64,
+    /// Worst iteration.
+    pub max_completion_us: f64,
+    /// Algorithm bandwidth `S / mean completion`, Gbit/s.
+    pub algbw_gbps: f64,
+    /// `algbw` scaled by the NCCL convention factor — comparable across
+    /// algorithms and to link speed.
+    pub busbw_gbps: f64,
+    /// Worst (over iterations) ratio of slowest to mean per-rank
+    /// duration; 1.0 is perfectly balanced, a gray-failure host drives it
+    /// up.
+    pub straggler_skew: f64,
+}
+
+/// One rank's driver: run the job's op `iters` times, recording this
+/// rank's span of every iteration and feeding the job's shared
+/// [`TenantStats`] (bytes from the rank's own traffic counter deltas, so
+/// windowed-goodput telemetry and recovery verdicts work unchanged).
+pub(crate) async fn drive_rank(
+    comm: Comm,
+    op: CollectiveOp,
+    iters: usize,
+    stats: Rc<TenantStats>,
+    timing: Rc<JobTiming>,
+    rng: DetRng,
+    sim: Sim,
+) {
+    let rank = comm.rank();
+    for iter in 0..iters {
+        let start = sim.now();
+        stats.on_issue(start);
+        let (bytes0, _) = comm.traffic();
+        match op {
+            CollectiveOp::Allreduce { algo, elems } => {
+                // Integer-valued draws so every summation order is exact:
+                // differential tests can demand bit-identical buffers.
+                let vals: Vec<f64> = (0..elems)
+                    .map(|_| rng.uniform_range(0, 1 << 20) as f64)
+                    .collect();
+                let out = comm
+                    .allreduce_algo(algo, iter as u32, &vals, ReduceOp::Sum)
+                    .await;
+                debug_assert_eq!(out.len(), elems);
+            }
+            CollectiveOp::ExpertShuffle {
+                tokens_per_rank,
+                token_bytes,
+            } => {
+                let assign = expert_assignments(&rng, comm.size(), tokens_per_rank);
+                let sends = shuffle_payloads(rank, comm.size(), token_bytes, &assign);
+                // `alltoallv` burns `size()` tags past its epoch, so space
+                // iterations a tag-block apart.
+                let got = comm.alltoallv(iter as u32 * 0x40, sends).await;
+                debug_assert_eq!(got.len(), comm.size());
+            }
+        }
+        let end = sim.now();
+        let (bytes1, _) = comm.traffic();
+        timing.record(iter, rank, start, end);
+        stats.on_complete(end, end.since(start), (bytes1 - bytes0) as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busbw_factors_follow_the_nccl_convention() {
+        let ar = CollectiveOp::Allreduce {
+            algo: AllreduceAlgo::Ring,
+            elems: 1024,
+        };
+        let a2a = CollectiveOp::ExpertShuffle {
+            tokens_per_rank: 4,
+            token_bytes: 64,
+        };
+        assert!((ar.busbw_factor(8) - 2.0 * 7.0 / 8.0).abs() < 1e-12);
+        assert!((a2a.busbw_factor(8) - 7.0 / 8.0).abs() < 1e-12);
+        assert_eq!(ar.bytes_per_rank(), 8192);
+        assert_eq!(a2a.bytes_per_rank(), 256);
+        assert_eq!(ar.label(), "allreduce/ring");
+        assert_eq!(a2a.label(), "expert-shuffle");
+    }
+
+    #[test]
+    fn job_validation_rejects_degenerate_shapes() {
+        let op = CollectiveOp::Allreduce {
+            algo: AllreduceAlgo::Ring,
+            elems: 16,
+        };
+        assert!(CollectiveJob::new("j", op, 1).validate().is_err());
+        let mut j = CollectiveJob::new("j", op, 4);
+        j.iters = 0;
+        assert!(j.validate().is_err());
+        let zero = CollectiveOp::Allreduce {
+            algo: AllreduceAlgo::Tree,
+            elems: 0,
+        };
+        assert!(CollectiveJob::new("j", zero, 4).validate().is_err());
+        let thin = CollectiveOp::ExpertShuffle {
+            tokens_per_rank: 4,
+            token_bytes: TOKEN_HEADER - 1,
+        };
+        assert!(CollectiveJob::new("j", thin, 4).validate().is_err());
+        assert!(CollectiveJob::new("j", op, 4).validate().is_ok());
+    }
+
+    #[test]
+    fn token_payloads_verify_against_their_headers() {
+        let t = token_payload(3, 41, 64);
+        assert_eq!(t.len(), 64);
+        assert_eq!(u32::from_le_bytes(t[0..4].try_into().unwrap()), 3);
+        assert_eq!(u32::from_le_bytes(t[4..8].try_into().unwrap()), 41);
+        assert_eq!(t, token_payload(3, 41, 64));
+        assert_ne!(t[8..], token_payload(4, 41, 64)[8..]);
+    }
+
+    #[test]
+    fn timing_summary_computes_skew_and_busbw() {
+        let job = CollectiveJob::new(
+            "j",
+            CollectiveOp::Allreduce {
+                algo: AllreduceAlgo::Ring,
+                elems: 125_000, // 1 MB
+            },
+            2,
+        );
+        let t = JobTiming::new(1, 2);
+        // Rank 0 runs 0→100 µs, rank 1 runs 20→120 µs: completion 120 µs,
+        // durations (100, 100) → skew 1.0.
+        t.record(0, 0, SimTime(0), SimTime(100_000_000));
+        t.record(0, 1, SimTime(20_000_000), SimTime(120_000_000));
+        let r = t.summarize(&job);
+        assert_eq!(r.completion_us, vec![120.0]);
+        assert!((r.straggler_skew - 1.0).abs() < 1e-12);
+        // 1 MB in 120 µs = 66.67 Gbit/s; busbw = algbw * 2(P-1)/P = algbw.
+        assert!((r.algbw_gbps - 8.0 / 120e-6 / 1e3).abs() < 1e-9);
+        assert!((r.busbw_gbps - r.algbw_gbps).abs() < 1e-12);
+    }
+}

@@ -21,12 +21,17 @@
 //!   tenant's QPs so tenants sharing a node keep independent budgets.
 //! * [`stats`] — per-tenant p50/p99/p999 latency, goodput, and
 //!   policy-drop counts on `cord_sim::stats` histograms.
+//! * [`collective`] — [`CollectiveJob`]: embed `cord-mpi` worlds (ring /
+//!   tree / halving-doubling allreduce, MoE expert shuffle) in a
+//!   scenario, with per-collective completion-time, bus-bandwidth, and
+//!   straggler-skew reporting.
 //! * [`scenarios`] — built-ins: `kv-fanout`, `incast`, `shuffle`,
 //!   `broadcast`, `mixed` (bulk scan vs latency-sensitive foreground),
 //!   the fabric pathology set (`pfc-hol-blocking`, `pause-storm`,
-//!   `lossy-incast-rc`), and the chaos set with built-in fault schedules
+//!   `lossy-incast-rc`), the chaos set with built-in fault schedules
 //!   (`link-flap-recovery`, `switch-death-reroute`, `straggler-nic`,
-//!   `pfc-deadlock`).
+//!   `pfc-deadlock`), and the ML set (`allreduce-ring`/`-tree`/`-hd`,
+//!   `expert-shuffle`, `prefill-decode`, `straggler-allreduce`).
 //! * [`runner`] — [`run_scenario`]: fabric bring-up, policy installation,
 //!   connection wiring, concurrent execution, scoreboard.
 //!
@@ -44,6 +49,9 @@
 //!
 //! Runs are deterministic: the same spec and seed yield identical reports.
 
+#![deny(missing_docs)]
+
+pub mod collective;
 pub mod policy;
 pub mod rpc;
 pub mod runner;
@@ -52,6 +60,10 @@ pub mod spec;
 pub mod stats;
 mod telemetry;
 
+pub use collective::{
+    expert_assignments, shuffle_payloads, token_payload, CollectiveJob, CollectiveOp,
+    CollectiveReport,
+};
 pub use policy::ScopedPolicy;
 pub use runner::{
     run_scenario, run_scenario_full, run_scenario_instrumented, CoreStats, RunOptions, RunOutput,
@@ -90,8 +102,18 @@ mod tests {
     fn every_builtin_scenario_completes() {
         for &name in scenarios::NAMES {
             let r = run_scenario(&tiny(name)).unwrap();
-            // The HoL scenario rides one extra probe tenant (the victim).
-            let expected = if name == "pfc-hol-blocking" { 5 } else { 4 };
+            // The HoL scenario rides one extra probe tenant (the victim);
+            // collective builtins report a single job row instead of
+            // tenant rows.
+            let expected = match name {
+                "pfc-hol-blocking" => 5,
+                "allreduce-ring"
+                | "allreduce-tree"
+                | "allreduce-hd"
+                | "expert-shuffle"
+                | "straggler-allreduce" => 1,
+                _ => 4,
+            };
             assert_eq!(r.tenants.len(), expected, "{name}");
             assert!(r.total_completed > 0, "{name}: no traffic");
             for t in &r.tenants {

@@ -14,12 +14,16 @@ use cord_kern::{CordPolicy, PolicyCtx, PolicyDecision};
 use cord_nic::{Cqe, QpNum, SendWqe};
 use cord_sim::SimDuration;
 
+/// A [`CordPolicy`] decorator that applies its inner policy only to QPs
+/// explicitly [`attach`](ScopedPolicy::attach)ed to it; everything else
+/// passes through untouched.
 pub struct ScopedPolicy {
     qpns: RefCell<BTreeSet<u32>>,
     inner: Rc<dyn CordPolicy>,
 }
 
 impl ScopedPolicy {
+    /// Wrap `inner` with an (initially empty) QP scope.
     pub fn new(inner: Rc<dyn CordPolicy>) -> Rc<ScopedPolicy> {
         Rc::new(ScopedPolicy {
             qpns: RefCell::new(BTreeSet::new()),

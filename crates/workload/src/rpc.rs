@@ -23,13 +23,17 @@ use crate::stats::TenantStats;
 
 /// One side of an established connection.
 pub struct Endpoint {
+    /// The verbs context this endpoint's resources live in.
     pub ctx: Context,
+    /// The endpoint's queue pair.
     pub qp: UserQp,
     /// Outbound payload buffer (requests / responses are read from here).
     pub tx: MemRegion,
+    /// Memory registration covering [`tx`](Endpoint::tx).
     pub tx_mr: Mr,
     /// Inbound landing buffer.
     pub rx: MemRegion,
+    /// Memory registration covering [`rx`](Endpoint::rx).
     pub rx_mr: Mr,
 }
 
@@ -54,8 +58,11 @@ impl Endpoint {
 /// An established client/server connection, with the server's receive
 /// window already preposted (so a client may fire immediately).
 pub struct Connection {
+    /// The tenant-side endpoint (lives on the tenant's home node).
     pub client: Endpoint,
+    /// The server-side endpoint.
     pub server: Endpoint,
+    /// RC or UD, as requested by the tenant spec.
     pub transport: Transport,
     /// Max requests in flight (the server preposts this many + 1 recvs).
     pub window: usize,
@@ -156,8 +163,11 @@ pub async fn serve(
 pub struct ClientCfg {
     /// Server-side (node, QPN), the UD destination.
     pub peer: (usize, QpNum),
+    /// RC or UD.
     pub transport: Transport,
+    /// The tenant's arrival process.
     pub arrival: Arrival,
+    /// Request-size distribution.
     pub req_size: SizeDist,
     /// Max requests in flight (open loop).
     pub window: usize,

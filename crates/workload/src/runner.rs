@@ -7,14 +7,16 @@ use std::rc::Rc;
 use cord_chaos::ChaosPlane;
 use cord_core::Fabric;
 use cord_kern::{QosPolicy, QuotaPolicy, RateLimitPolicy};
+use cord_mpi::{create_world, MpiTransport};
 use cord_net::{NetConfig, Topology};
 use cord_nic::{CcAlgorithm, RetxConfig, Transport};
 use cord_sim::{SimDuration, TraceEvent};
 
+use crate::collective::{drive_rank, CollectiveReport, JobTiming};
 use crate::policy::ScopedPolicy;
 use crate::rpc::{drive_client, establish, serve, ClientCfg};
 use crate::spec::ScenarioSpec;
-use crate::stats::{ChaosCounters, FabricCounters, ScenarioReport, TenantStats};
+use crate::stats::{ChaosCounters, FabricCounters, ScenarioReport, TenantReport, TenantStats};
 use crate::telemetry::{compute_recovery, Telemetry};
 
 /// QoS guard window / low-priority penalty used when any tenant declares a
@@ -115,11 +117,34 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
         Vec::new()
     };
 
-    let stats: Vec<Rc<TenantStats>> = spec.tenants.iter().map(|_| TenantStats::new()).collect();
+    let stats: Vec<Rc<TenantStats>> = spec
+        .tenants
+        .iter()
+        .map(|t| TenantStats::with_slo(t.slo))
+        .collect();
+    // Collective jobs get one shared stats block per job (fed by every
+    // rank) plus per-rank iteration spans for the collective report.
+    let coll_stats: Vec<Rc<TenantStats>> = spec
+        .collectives
+        .iter()
+        .map(|_| TenantStats::new())
+        .collect();
+    let timings: Vec<Rc<JobTiming>> = spec
+        .collectives
+        .iter()
+        .map(|j| JobTiming::new(j.iters, j.ranks))
+        .collect();
+    // Telemetry and recovery see tenants and collective jobs uniformly,
+    // in spec order: tenants first, then jobs.
+    let all_stats: Vec<Rc<TenantStats>> = stats.iter().chain(&coll_stats).cloned().collect();
 
     let f = fabric.clone();
     let tenants = spec.tenants.clone();
+    let jobs = spec.collectives.clone();
     let stats2 = stats.clone();
+    let all_stats2 = all_stats.clone();
+    let coll_stats2 = coll_stats.clone();
+    let timings2 = timings.clone();
     let faults = spec.faults.clone();
     let nodes = spec.nodes;
     let chaos_slot = Rc::clone(&chaos_plane);
@@ -208,6 +233,34 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
             }
         }
 
+        // Phase 1b: build one MPI world per collective job. World setup
+        // (QP mesh, prepost rings) runs on the establishment clock, so t0
+        // still marks pure traffic launch. The scenario's cc/retx knobs
+        // are armed symmetrically on every collective QP through the
+        // `Comm::endpoints` hook — collective traffic obeys the same
+        // fabric discipline as the tenants it contends with.
+        let mut worlds = Vec::new();
+        for job in &jobs {
+            let world = create_world(&f, job.ranks, MpiTransport::Verbs(job.dataplane)).await;
+            for comm in &world {
+                for (node, qpn) in comm.endpoints() {
+                    qps_created += 1;
+                    f.nic(node).set_cc(qpn, cc).unwrap();
+                    if rc_retx {
+                        let retx = Some(RetxConfig {
+                            mode: retx_mode,
+                            ..RetxConfig::default()
+                        });
+                        f.nic(node).set_rc_retx(qpn, retx).unwrap();
+                    }
+                    if cadence.is_some() && cc == CcAlgorithm::Dcqcn {
+                        dcqcn_qps.push((f.nic(node).clone(), qpn));
+                    }
+                }
+            }
+            worlds.push(world);
+        }
+
         // Phase 2: launch all servers and clients at one instant, so the
         // arrival processes of every tenant overlap from t0.
         let t0 = f.sim().now();
@@ -231,7 +284,7 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
                 f.sim(),
                 f.nic(0).network(),
                 dcqcn_qps,
-                stats2.clone(),
+                all_stats2.clone(),
                 cadence,
             ));
         }
@@ -259,17 +312,51 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
                 crng,
             )));
         }
+        // Collective rank drivers launch at the same t0 as the RPC
+        // clients, so collectives and tenants contend from the first
+        // instant.
+        for (ji, world) in worlds.into_iter().enumerate() {
+            let job = &jobs[ji];
+            for comm in world {
+                let crng =
+                    rng.stream_indexed(&format!("wl-collective-{}", job.name), comm.rank() as u64);
+                handles.push(f.spawn(drive_rank(
+                    comm,
+                    job.op,
+                    job.iters,
+                    Rc::clone(&coll_stats2[ji]),
+                    Rc::clone(&timings2[ji]),
+                    crng,
+                    f.sim().clone(),
+                )));
+            }
+        }
         for h in handles {
             h.await;
         }
         (f.sim().now().since(t0), qps_created)
     });
 
-    let tenants_report = spec
+    let mut tenants_report: Vec<TenantReport> = spec
         .tenants
         .iter()
         .zip(&stats)
         .map(|(t, s)| s.report(&t.name))
+        .collect();
+    // Collective jobs ride the same scoreboard: one row per job, whose
+    // "requests" are per-rank iterations and whose bytes are each rank's
+    // wire traffic.
+    tenants_report.extend(
+        spec.collectives
+            .iter()
+            .zip(&coll_stats)
+            .map(|(j, s)| s.report(&j.name)),
+    );
+    let collectives_report: Vec<CollectiveReport> = spec
+        .collectives
+        .iter()
+        .zip(&timings)
+        .map(|(j, t)| t.summarize(j))
         .collect();
     // Fabric-level loss/pause/retransmit counters, reported only when one
     // of the new fabric knobs is in play so that every pre-existing
@@ -305,7 +392,12 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
             chaos_pfc_deadlocks: s.pfc_deadlocks,
         }
     });
-    let names: Vec<String> = spec.tenants.iter().map(|t| t.name.clone()).collect();
+    let names: Vec<String> = spec
+        .tenants
+        .iter()
+        .map(|t| t.name.clone())
+        .chain(spec.collectives.iter().map(|j| j.name.clone()))
+        .collect();
     let telemetry_report = telemetry.borrow().as_ref().map(|t| t.report(&names));
     // Recovery verdicts need both a witnessed fault window (the chaos
     // plane saw an onset and a clearance) and the goodput series to
@@ -315,7 +407,7 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
         let plane = plane.as_ref()?;
         let (onset, clearance) = (plane.first_onset()?, plane.last_clearance()?);
         let t0 = telemetry.borrow().as_ref().map(|t| t.t0())?;
-        Some(compute_recovery(tr, t0, onset, clearance, &stats))
+        Some(compute_recovery(tr, t0, onset, clearance, &all_stats))
     });
     let core = CoreStats {
         sim: fabric.sim().stats(),
@@ -334,6 +426,7 @@ pub fn run_scenario_full(spec: &ScenarioSpec, opts: RunOptions) -> Result<RunOut
             chaos_counters,
             recovery,
             telemetry_report,
+            collectives_report,
         ),
         core,
         trace,

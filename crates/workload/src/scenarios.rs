@@ -9,11 +9,13 @@
 use cord_chaos::{FaultEvent, FaultSchedule};
 use cord_hw::{system_l, MachineSpec};
 use cord_kern::QosClass;
+use cord_mpi::AllreduceAlgo;
 use cord_net::{Routing, Topology};
 use cord_nic::{CcAlgorithm, RetxMode, Transport};
 use cord_sim::SimDuration;
 use cord_verbs::Dataplane;
 
+use crate::collective::{CollectiveJob, CollectiveOp};
 use crate::spec::{Arrival, ScenarioSpec, SizeDist, TenantSpec};
 
 /// Names accepted by [`by_name`], in display order.
@@ -32,22 +34,38 @@ pub const NAMES: &[&str] = &[
     "switch-death-reroute",
     "straggler-nic",
     "pfc-deadlock",
+    "allreduce-ring",
+    "allreduce-tree",
+    "allreduce-hd",
+    "expert-shuffle",
+    "prefill-decode",
+    "straggler-allreduce",
 ];
 
 /// Shared scale knobs for the built-in scenarios.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale {
+    /// Fabric size in nodes.
     pub nodes: usize,
+    /// Tenant count (collective-only builtins ignore it).
     pub tenants: usize,
-    /// Requests issued per tenant.
+    /// Requests issued per tenant. Collective builtins derive their
+    /// iteration count from it (`requests / 25`, at least 2) so one knob
+    /// scales both planes.
     pub requests: usize,
+    /// Root RNG seed.
     pub seed: u64,
     /// Override the scenario's default topology (`None` keeps it: a
     /// fat tree for `incast`/`shuffle`, a dumbbell for `dumbbell-incast`,
     /// the full mesh elsewhere).
     pub topology: Option<Topology>,
-    /// Congestion control for every tenant QP.
-    pub cc: CcAlgorithm,
+    /// Override the scenario's default congestion control (`None` keeps
+    /// it: DCQCN for the collective and `prefill-decode` builtins, none
+    /// elsewhere).
+    pub cc: Option<CcAlgorithm>,
+    /// Override the per-rank element count of the allreduce builtins
+    /// (`None` keeps the 64 Ki-element / 512 KiB default).
+    pub elems: Option<usize>,
     /// Override the scenario's default PFC setting (`None` keeps it: on
     /// for `pfc-hol-blocking`/`pause-storm`, off elsewhere). Inert on the
     /// full mesh.
@@ -80,7 +98,8 @@ impl Default for Scale {
             requests: 150,
             seed: 0xC0BD,
             topology: None,
-            cc: CcAlgorithm::None,
+            cc: None,
+            elems: None,
             pfc: None,
             rc_retx: None,
             routing: None,
@@ -98,6 +117,7 @@ fn machine() -> MachineSpec {
 /// the seed-comparable full mesh. Scale overrides win over the scenario's
 /// own topology/cc/pfc/retx defaults.
 fn shape(spec: ScenarioSpec, scale: Scale, default: Topology) -> ScenarioSpec {
+    let cc = scale.cc.unwrap_or(spec.cc);
     let pfc = scale.pfc.unwrap_or(spec.pfc);
     let rc_retx = scale.rc_retx.unwrap_or(spec.rc_retx);
     let routing = scale.routing.unwrap_or(spec.routing);
@@ -108,7 +128,7 @@ fn shape(spec: ScenarioSpec, scale: Scale, default: Topology) -> ScenarioSpec {
         spec
     };
     spec.topology(scale.topology.unwrap_or(default))
-        .cc(scale.cc)
+        .cc(cc)
         .pfc(pfc)
         .rc_retx(rc_retx)
         .routing(routing)
@@ -148,6 +168,12 @@ pub fn by_name(name: &str, scale: Scale) -> Option<ScenarioSpec> {
         "switch-death-reroute" => Some(switch_death_reroute(scale)),
         "straggler-nic" => Some(straggler_nic(scale)),
         "pfc-deadlock" => Some(pfc_deadlock(scale)),
+        "allreduce-ring" => Some(allreduce_ring(scale)),
+        "allreduce-tree" => Some(allreduce_tree(scale)),
+        "allreduce-hd" => Some(allreduce_hd(scale)),
+        "expert-shuffle" => Some(expert_shuffle(scale)),
+        "prefill-decode" => Some(prefill_decode(scale)),
+        "straggler-allreduce" => Some(straggler_allreduce(scale)),
         _ => None,
     }
 }
@@ -522,6 +548,164 @@ pub fn pfc_deadlock(scale: Scale) -> ScenarioSpec {
     shape(spec, scale, Topology::fat_tree_for(scale.nodes))
 }
 
+/// Default per-rank allreduce payload: 64 Ki f64 elements (512 KiB). At
+/// the default 16 ranks a ring step moves 32 KiB chunks — deep in the
+/// rendezvous regime, so the collective saturates the fabric instead of
+/// trickling eager copies.
+const ALLREDUCE_ELEMS: usize = 64 * 1024;
+
+/// Expert-shuffle token shape: 256 tokens of 1 KiB per rank per
+/// iteration (256 KiB contributed per rank).
+const SHUFFLE_TOKENS: usize = 256;
+const SHUFFLE_TOKEN_BYTES: usize = 1024;
+
+/// Collective iteration count derived from the shared `requests` knob, so
+/// one flag scales tenant and collective builtins alike.
+fn iters_for(scale: Scale) -> usize {
+    (scale.requests / 25).max(2)
+}
+
+/// One allreduce world spanning every node (one rank per node), explicit
+/// algorithm, DCQCN armed — the common core of the allreduce builtins.
+fn allreduce_spec(name: &'static str, algo: AllreduceAlgo, scale: Scale) -> ScenarioSpec {
+    let elems = scale.elems.unwrap_or(ALLREDUCE_ELEMS);
+    let mut job = CollectiveJob::new(
+        format!("{algo}"),
+        CollectiveOp::Allreduce { algo, elems },
+        scale.nodes,
+    );
+    job.iters = iters_for(scale);
+    let spec = ScenarioSpec::new(name, machine(), scale.nodes)
+        .seed(scale.seed)
+        .cc(CcAlgorithm::Dcqcn)
+        .collective(job);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// Ring allreduce sized to saturate the fabric: one rank per node on a
+/// fat tree, DCQCN armed, 512 KiB per rank per iteration. The
+/// bandwidth-optimal schedule — every link carries `2(P-1)/P` of the
+/// payload, so `busbw` approaches line rate on an uncongested fabric.
+pub fn allreduce_ring(scale: Scale) -> ScenarioSpec {
+    allreduce_spec("allreduce-ring", AllreduceAlgo::Ring, scale)
+}
+
+/// The same job under the binomial-tree schedule — latency-optimal but
+/// bandwidth-poor (rank 0's links carry everything). Compare `busbw`
+/// against `allreduce-ring` to see the crossover the `auto` heuristic
+/// encodes.
+pub fn allreduce_tree(scale: Scale) -> ScenarioSpec {
+    allreduce_spec("allreduce-tree", AllreduceAlgo::Tree, scale)
+}
+
+/// Rabenseifner halving-doubling allreduce on a *lossless* fabric: PFC on,
+/// DCQCN armed — the classic HPC configuration. Requires a power-of-two
+/// node count to actually run halving-doubling (it falls back to the tree
+/// schedule otherwise).
+pub fn allreduce_hd(scale: Scale) -> ScenarioSpec {
+    let elems = scale.elems.unwrap_or(ALLREDUCE_ELEMS);
+    let algo = AllreduceAlgo::HalvingDoubling;
+    let mut job = CollectiveJob::new(
+        format!("{algo}"),
+        CollectiveOp::Allreduce { algo, elems },
+        scale.nodes,
+    );
+    job.iters = iters_for(scale);
+    let spec = ScenarioSpec::new("allreduce-hd", machine(), scale.nodes)
+        .seed(scale.seed)
+        .cc(CcAlgorithm::Dcqcn)
+        .pfc(true)
+        .collective(job);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// MoE expert shuffle under the full modern-fabric stack: per-packet
+/// spray + selective repeat + DCQCN. Every rank assigns each of its 256
+/// 1 KiB tokens to a deterministically-drawn expert rank and exchanges
+/// them with one `alltoallv` per iteration — the fine-grained all-to-all
+/// that motivates packet spraying in ML fabrics.
+pub fn expert_shuffle(scale: Scale) -> ScenarioSpec {
+    let mut job = CollectiveJob::new(
+        "moe",
+        CollectiveOp::ExpertShuffle {
+            tokens_per_rank: SHUFFLE_TOKENS,
+            token_bytes: SHUFFLE_TOKEN_BYTES,
+        },
+        scale.nodes,
+    );
+    job.iters = iters_for(scale);
+    let spec = ScenarioSpec::new("expert-shuffle", machine(), scale.nodes)
+        .seed(scale.seed)
+        .cc(CcAlgorithm::Dcqcn)
+        .rc_retx(true)
+        .retx_mode(RetxMode::Sr)
+        .routing(Routing::Spray)
+        .collective(job);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// Disaggregated prefill/decode serving: prefill nodes (the left half)
+/// push KV-cache chunks to decode nodes (the right half) as large one-way
+/// RDMA writes with tiny acks, open-loop arrivals, and a tight 250 µs
+/// latency SLO per transfer. DCQCN armed — inference fabrics run it. The
+/// report's per-tenant `slo_attained` is the serving metric: the fraction
+/// of transfers that met the objective.
+pub fn prefill_decode(scale: Scale) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("prefill-decode", machine(), scale.nodes)
+        .seed(scale.seed)
+        .cc(CcAlgorithm::Dcqcn);
+    let split = scale.nodes.div_ceil(2);
+    let decode_nodes = scale.nodes - split;
+    for i in 0..scale.tenants {
+        let home = i % split;
+        let decode = split + i % decode_nodes.max(1);
+        let mut t = TenantSpec::new(format!("pd{i:02}"), home, vec![decode]);
+        t.dataplane = dataplane_for(i);
+        t.arrival = Arrival::Open {
+            rate_per_s: 20_000.0,
+        };
+        t.window = 4;
+        // One KV-cache chunk per request; the response is a bare ack.
+        t.req_size = SizeDist::Fixed(128 * 1024);
+        t.resp_size = SizeDist::Fixed(16);
+        t.requests = scale.requests;
+        t.service_ns = 100.0;
+        t.slo = Some(SimDuration::from_us(250));
+        spec = spec.tenant(t);
+    }
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
+/// The ring allreduce dragged by a gray-failure host: node 0's NIC
+/// pipeline runs 20× slow over a 40–600 µs window. Rank 0 straggles,
+/// every ring neighbor stalls behind it, and the report quantifies the
+/// damage three ways: `straggler_skew` on the collective row, the
+/// completion-time blowup versus a `faults: Some(false)` baseline, and —
+/// with telemetry armed — a per-job recovery verdict after the window
+/// clears.
+pub fn straggler_allreduce(scale: Scale) -> ScenarioSpec {
+    let elems = scale.elems.unwrap_or(ALLREDUCE_ELEMS);
+    let algo = AllreduceAlgo::Ring;
+    let mut job = CollectiveJob::new(
+        format!("{algo}"),
+        CollectiveOp::Allreduce { algo, elems },
+        scale.nodes,
+    );
+    job.iters = iters_for(scale);
+    let spec = ScenarioSpec::new("straggler-allreduce", machine(), scale.nodes)
+        .seed(scale.seed)
+        .cc(CcAlgorithm::Dcqcn)
+        .telemetry(CHAOS_TELEMETRY)
+        .faults(FaultSchedule::new().event(FaultEvent::StragglerNic {
+            node: 0,
+            slowdown: 20.0,
+            from: SimDuration::from_us(40),
+            until: SimDuration::from_us(600),
+        }))
+        .collective(job);
+    shape(spec, scale, Topology::fat_tree_for(scale.nodes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,8 +725,17 @@ mod tests {
         for &name in NAMES {
             let s = by_name(name, Scale::default()).unwrap();
             s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
-            // The HoL scenario rides one extra probe tenant (the victim).
-            let expected = if name == "pfc-hol-blocking" { 33 } else { 32 };
+            // The HoL scenario rides one extra probe tenant (the victim);
+            // the collective builtins run a single MPI world, no tenants.
+            let expected = match name {
+                "pfc-hol-blocking" => 33,
+                "allreduce-ring"
+                | "allreduce-tree"
+                | "allreduce-hd"
+                | "expert-shuffle"
+                | "straggler-allreduce" => 0,
+                _ => 32,
+            };
             assert_eq!(s.tenants.len(), expected, "{name}");
             let s = by_name(name, small()).unwrap();
             s.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -570,7 +763,7 @@ mod tests {
         let over = Scale {
             pfc: Some(false),
             rc_retx: Some(true),
-            cc: CcAlgorithm::Dcqcn,
+            cc: Some(CcAlgorithm::Dcqcn),
             ..Scale::default()
         };
         let s = pfc_hol_blocking(over);
@@ -589,7 +782,11 @@ mod tests {
             let s = by_name(name, Scale::default()).unwrap();
             let chaos = matches!(
                 name,
-                "link-flap-recovery" | "switch-death-reroute" | "straggler-nic" | "pfc-deadlock"
+                "link-flap-recovery"
+                    | "switch-death-reroute"
+                    | "straggler-nic"
+                    | "pfc-deadlock"
+                    | "straggler-allreduce"
             );
             assert_eq!(s.faults.events.len(), usize::from(chaos), "{name}");
         }
@@ -623,7 +820,7 @@ mod tests {
         // Scale overrides both knobs.
         let over = Scale {
             topology: Some(Topology::FullMesh),
-            cc: CcAlgorithm::Dcqcn,
+            cc: Some(CcAlgorithm::Dcqcn),
             ..Scale::default()
         };
         let s = incast(over);
@@ -662,6 +859,64 @@ mod tests {
         let inc = incast(Scale::default());
         assert_eq!(inc.routing, Routing::Ecmp);
         assert_eq!(inc.retx_mode, RetxMode::Gbn);
+    }
+
+    #[test]
+    fn collective_builtins_arm_the_modern_fabric_stack() {
+        // The allreduce builtins run one world spanning every node, with
+        // DCQCN on by default and the algorithm named explicitly.
+        let ring = allreduce_ring(Scale::default());
+        assert_eq!(ring.collectives.len(), 1);
+        assert_eq!(ring.collectives[0].ranks, 16);
+        assert_eq!(ring.cc, CcAlgorithm::Dcqcn);
+        assert!(matches!(
+            ring.collectives[0].op,
+            CollectiveOp::Allreduce {
+                algo: AllreduceAlgo::Ring,
+                elems: ALLREDUCE_ELEMS,
+            }
+        ));
+        // requests=150 → 6 iterations; the `elems` knob overrides sizing.
+        assert_eq!(ring.collectives[0].iters, 6);
+        let sized = allreduce_ring(Scale {
+            elems: Some(1024),
+            ..Scale::default()
+        });
+        assert!(matches!(
+            sized.collectives[0].op,
+            CollectiveOp::Allreduce { elems: 1024, .. }
+        ));
+        // HD runs lossless; expert shuffle arms spray + SR + retx.
+        assert!(allreduce_hd(Scale::default()).pfc);
+        let moe = expert_shuffle(Scale::default());
+        assert_eq!(moe.routing, Routing::Spray);
+        assert_eq!(moe.retx_mode, RetxMode::Sr);
+        assert!(moe.rc_retx);
+        moe.validate().unwrap();
+        // The straggler variant carries its schedule and telemetry.
+        let st = straggler_allreduce(Scale::default());
+        assert_eq!(st.faults.events.len(), 1);
+        assert!(st.telemetry.is_some());
+        // `cc` override still wins over the collective default.
+        let off = allreduce_ring(Scale {
+            cc: Some(CcAlgorithm::None),
+            ..Scale::default()
+        });
+        assert_eq!(off.cc, CcAlgorithm::None);
+    }
+
+    #[test]
+    fn prefill_decode_splits_the_cluster_and_sets_slos() {
+        let s = prefill_decode(Scale::default());
+        let split = Scale::default().nodes.div_ceil(2);
+        for t in &s.tenants {
+            assert!(t.home < split, "{}: prefill side", t.name);
+            assert!(t.servers.iter().all(|&d| d >= split), "{}", t.name);
+            assert_eq!(t.slo, Some(SimDuration::from_us(250)), "{}", t.name);
+            assert!(matches!(t.arrival, Arrival::Open { .. }), "{}", t.name);
+        }
+        assert_eq!(s.cc, CcAlgorithm::Dcqcn);
+        s.validate().unwrap();
     }
 
     #[test]

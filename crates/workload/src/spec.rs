@@ -14,37 +14,54 @@ use cord_nic::{CcAlgorithm, RetxMode, Transport};
 use cord_sim::{DetRng, SimDuration};
 use cord_verbs::Dataplane;
 
+use crate::collective::CollectiveJob;
+
 /// How a tenant's requests arrive.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Arrival {
     /// Open loop: requests arrive by a Poisson process at `rate_per_s`,
     /// independent of completions (queueing delay counts toward latency).
-    Open { rate_per_s: f64 },
+    Open {
+        /// Mean arrival rate, requests per second of virtual time.
+        rate_per_s: f64,
+    },
     /// Closed loop: each connection keeps one request in flight and thinks
     /// for `think` between a response and the next request.
-    Closed { think: SimDuration },
+    Closed {
+        /// Pause between a response and the next request.
+        think: SimDuration,
+    },
 }
 
 /// Message-size distribution (bytes).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SizeDist {
+    /// Every draw is exactly this size.
     Fixed(usize),
     /// Uniform in `[lo, hi]`.
     Uniform {
+        /// Inclusive lower bound.
         lo: usize,
+        /// Inclusive upper bound.
         hi: usize,
     },
     /// Lognormal with the underlying normal's location/scale, capped.
     Lognormal {
+        /// Location of the underlying normal.
         mu: f64,
+        /// Scale of the underlying normal.
         sigma: f64,
+        /// Hard upper bound on draws.
         cap: usize,
     },
     /// `large_frac` of draws are `large`, the rest `small` — the classic
     /// RPC mix (tiny control messages, occasional bulk payloads).
     Bimodal {
+        /// The common small size.
         small: usize,
+        /// The occasional bulk size.
         large: usize,
+        /// Fraction of draws that are `large`.
         large_frac: f64,
     },
 }
@@ -95,13 +112,18 @@ pub struct TenantSpec {
     /// Nodes hosting this tenant's servers; one connection (QP pair) is
     /// created per server per `conns_per_server`.
     pub servers: Vec<usize>,
+    /// Parallel connections to each server node.
     pub conns_per_server: usize,
+    /// RC or UD transport for every connection.
     pub transport: Transport,
     /// Which dataplane the tenant's endpoints use. Policies only bind under
     /// [`Dataplane::Cord`] — a Bypass tenant slips past every control.
     pub dataplane: Dataplane,
+    /// Open (Poisson) or closed (think-time) arrival process.
     pub arrival: Arrival,
+    /// Request payload size distribution.
     pub req_size: SizeDist,
+    /// Response payload size distribution.
     pub resp_size: SizeDist,
     /// Total requests the tenant issues (spread round-robin over its
     /// connections).
@@ -118,6 +140,11 @@ pub struct TenantSpec {
     pub rate_limit_gbps: Option<f64>,
     /// Per-QP outstanding-op quota on the home node.
     pub quota: Option<usize>,
+    /// Latency SLO on request sojourn time. `Some(d)` makes the tenant's
+    /// report carry `slo_us`/`slo_attained` (the fraction of completed
+    /// requests whose arrival-to-response time met the objective); `None`
+    /// (the default) keeps every pre-existing report byte-identical.
+    pub slo: Option<SimDuration>,
 }
 
 impl TenantSpec {
@@ -141,6 +168,7 @@ impl TenantSpec {
             qos: None,
             rate_limit_gbps: None,
             quota: None,
+            slo: None,
         }
     }
 
@@ -188,12 +216,26 @@ impl TenantSpec {
 }
 
 /// A complete cluster-scale experiment.
+///
+/// ```
+/// use cord_workload::{ScenarioSpec, TenantSpec};
+/// use cord_hw::system_l;
+///
+/// let spec = ScenarioSpec::new("demo", system_l(), 4)
+///     .seed(7)
+///     .tenant(TenantSpec::new("a", 0, vec![1, 2]));
+/// spec.validate().unwrap();
+/// assert_eq!(spec.total_connections(), 2);
+/// ```
 pub struct ScenarioSpec {
+    /// Display name, echoed as the report's `scenario` field.
     pub name: String,
     /// Machine preset the fabric is cloned from; `nodes` overrides the
     /// preset's node count.
     pub machine: MachineSpec,
+    /// Fabric size in nodes.
     pub nodes: usize,
+    /// Root seed for every deterministic RNG stream in the run.
     pub seed: u64,
     /// Network shape connecting the nodes (default: ideal full mesh).
     pub topology: Topology,
@@ -232,10 +274,17 @@ pub struct ScenarioSpec {
     /// block to the report. `None` (the default) samples nothing and
     /// keeps every pre-existing report byte-identical.
     pub telemetry: Option<SimDuration>,
+    /// RPC traffic sources.
     pub tenants: Vec<TenantSpec>,
+    /// Collective-shaped jobs (MPI worlds) run alongside the tenants.
+    /// Empty (the default) keeps every pre-existing report
+    /// byte-identical; a scenario may also run collectives alone.
+    pub collectives: Vec<CollectiveJob>,
 }
 
 impl ScenarioSpec {
+    /// A scenario with every knob at its default: full mesh, no CC, no
+    /// PFC, no retransmission, no faults, no telemetry, no traffic.
     pub fn new(name: impl Into<String>, machine: MachineSpec, nodes: usize) -> Self {
         ScenarioSpec {
             name: name.into(),
@@ -252,49 +301,59 @@ impl ScenarioSpec {
             faults: FaultSchedule::default(),
             telemetry: None,
             tenants: Vec::new(),
+            collectives: Vec::new(),
         }
     }
 
+    /// Set the root RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
+    /// Set the network shape.
     pub fn topology(mut self, topology: Topology) -> Self {
         self.topology = topology;
         self
     }
 
+    /// Set the congestion-control algorithm for every QP in the run.
     pub fn cc(mut self, cc: CcAlgorithm) -> Self {
         self.cc = cc;
         self
     }
 
+    /// Enable/disable PFC pause frames on switch ports.
     pub fn pfc(mut self, pfc: bool) -> Self {
         self.pfc = pfc;
         self
     }
 
+    /// Arm RC retransmission on every RC QP.
     pub fn rc_retx(mut self, rc_retx: bool) -> Self {
         self.rc_retx = rc_retx;
         self
     }
 
+    /// Set the routing policy on switched fabrics.
     pub fn routing(mut self, routing: Routing) -> Self {
         self.routing = routing;
         self
     }
 
+    /// Set the retransmission flavor used when `rc_retx` is armed.
     pub fn retx_mode(mut self, mode: RetxMode) -> Self {
         self.retx_mode = mode;
         self
     }
 
+    /// Override the per-port switch buffer.
     pub fn buffer_bytes(mut self, bytes: usize) -> Self {
         self.buffer_bytes = Some(bytes);
         self
     }
 
+    /// Install a deterministic fault schedule.
     pub fn faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = faults;
         self
@@ -306,11 +365,22 @@ impl ScenarioSpec {
         self
     }
 
+    /// Add one tenant.
     pub fn tenant(mut self, t: TenantSpec) -> Self {
         self.tenants.push(t);
         self
     }
 
+    /// Add one collective job.
+    pub fn collective(mut self, job: CollectiveJob) -> Self {
+        self.collectives.push(job);
+        self
+    }
+
+    /// Fail-closed validation of the whole spec: torn knob combinations
+    /// (spray without selective repeat, SR without retransmission),
+    /// out-of-range node indices, duplicate names, and degenerate shapes
+    /// are rejected before any fabric is built.
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes < 2 {
             return Err("scenario needs at least 2 nodes".into());
@@ -332,8 +402,8 @@ impl ScenarioSpec {
                 self.name
             ));
         }
-        if self.tenants.is_empty() {
-            return Err("scenario has no tenants".into());
+        if self.tenants.is_empty() && self.collectives.is_empty() {
+            return Err("scenario has no tenants or collectives".into());
         }
         if let Some(b) = self.buffer_bytes {
             if b == 0 {
@@ -354,6 +424,14 @@ impl ScenarioSpec {
             // tenants correlated draws and indistinguishable scoreboards.
             if !names.insert(t.name.as_str()) {
                 return Err(format!("duplicate tenant name: {}", t.name));
+            }
+        }
+        // Collective jobs share the same namespace: their names key RNG
+        // streams and report rows just like tenant names do.
+        for j in &self.collectives {
+            j.validate()?;
+            if !names.insert(j.name.as_str()) {
+                return Err(format!("duplicate tenant/collective name: {}", j.name));
             }
         }
         Ok(())
@@ -424,6 +502,31 @@ mod tests {
             ScenarioSpec::new("t", system_l(), 4).tenant(TenantSpec::new("a", 0, vec![1, 2, 3]));
         assert!(spec.validate().is_ok());
         assert_eq!(spec.total_connections(), 3);
+    }
+
+    #[test]
+    fn collective_jobs_validate_inside_the_spec() {
+        use crate::collective::{CollectiveJob, CollectiveOp};
+        use cord_mpi::AllreduceAlgo;
+        let op = CollectiveOp::Allreduce {
+            algo: AllreduceAlgo::Ring,
+            elems: 64,
+        };
+        // A collective-only scenario is valid — no tenants required.
+        let spec =
+            ScenarioSpec::new("c", system_l(), 4).collective(CollectiveJob::new("ring", op, 4));
+        spec.validate().unwrap();
+        // But a scenario with neither tenants nor collectives is not.
+        assert!(ScenarioSpec::new("c", system_l(), 4).validate().is_err());
+        // Jobs share the tenant namespace.
+        let spec = ScenarioSpec::new("c", system_l(), 4)
+            .tenant(TenantSpec::new("ring", 0, vec![1]))
+            .collective(CollectiveJob::new("ring", op, 4));
+        assert!(spec.validate().is_err(), "duplicate name across planes");
+        // Degenerate job shapes fail closed.
+        let spec =
+            ScenarioSpec::new("c", system_l(), 4).collective(CollectiveJob::new("ring", op, 1));
+        assert!(spec.validate().is_err(), "1-rank collective");
     }
 
     #[test]

@@ -27,13 +27,26 @@ struct StatsInner {
     /// (its goodput denominator — tenants finish at different times).
     first_issue: Option<SimTime>,
     last_event: SimTime,
+    /// Latency objective, when the tenant declared one; completions whose
+    /// sojourn met it are counted in `slo_ok`.
+    slo: Option<SimDuration>,
+    slo_ok: u64,
 }
 
 impl TenantStats {
+    /// Fresh counters with no latency objective.
     pub fn new() -> Rc<TenantStats> {
         Rc::new(TenantStats::default())
     }
 
+    /// Fresh counters, tracking SLO attainment when `slo` is `Some`.
+    pub fn with_slo(slo: Option<SimDuration>) -> Rc<TenantStats> {
+        let st = TenantStats::default();
+        st.inner.borrow_mut().slo = slo;
+        Rc::new(st)
+    }
+
+    /// A request entered the system at `now`.
     pub fn on_issue(&self, now: SimTime) {
         let mut s = self.inner.borrow_mut();
         s.issued += 1;
@@ -49,6 +62,9 @@ impl TenantStats {
         s.completed += 1;
         s.bytes_moved += bytes as u64;
         s.last_event = s.last_event.max(now);
+        if s.slo.is_some_and(|slo| sojourn <= slo) {
+            s.slo_ok += 1;
+        }
         s.latency
             .get_or_insert_with(Histogram::new)
             .record(sojourn.as_ps());
@@ -59,10 +75,12 @@ impl TenantStats {
         self.inner.borrow_mut().dropped += 1;
     }
 
+    /// Requests completed so far.
     pub fn completed(&self) -> u64 {
         self.inner.borrow().completed
     }
 
+    /// Requests refused by kernel policies so far.
     pub fn dropped(&self) -> u64 {
         self.inner.borrow().dropped
     }
@@ -123,22 +141,38 @@ impl TenantStats {
             } else {
                 0.0
             },
+            slo_us: s.slo.map(|d| d.as_us_f64()),
+            slo_attained: s.slo.map(|_| {
+                if s.completed > 0 {
+                    s.slo_ok as f64 / s.completed as f64
+                } else {
+                    0.0
+                }
+            }),
         }
     }
 }
 
 /// Immutable per-tenant scoreboard.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct TenantReport {
+    /// Tenant (or collective job) name from the spec.
     pub tenant: String,
+    /// Requests that entered the system.
     pub issued: u64,
+    /// Requests that finished.
     pub completed: u64,
     /// Requests refused by kernel policies.
     pub dropped: u64,
+    /// Median sojourn time, µs.
     pub p50_us: f64,
+    /// 99th-percentile sojourn time, µs.
     pub p99_us: f64,
+    /// 99.9th-percentile sojourn time, µs.
     pub p999_us: f64,
+    /// Mean sojourn time, µs.
     pub mean_us: f64,
+    /// Worst sojourn time, µs.
     pub max_us: f64,
     /// Payload bytes moved (request + response) by completed requests.
     pub bytes_moved: u64,
@@ -146,6 +180,38 @@ pub struct TenantReport {
     pub active_ms: f64,
     /// Payload bits moved per second of the tenant's active span.
     pub goodput_gbps: f64,
+    /// Latency objective, µs — only when the tenant declared one.
+    pub slo_us: Option<f64>,
+    /// Fraction of completed requests whose sojourn met the objective —
+    /// only when the tenant declared one.
+    pub slo_attained: Option<f64>,
+}
+
+// Hand-written so the SLO pair is *omitted* — not serialized as nulls —
+// for tenants without an objective: every pre-existing report must stay
+// byte-identical.
+impl Serialize for TenantReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("tenant".into(), self.tenant.to_value()),
+            ("issued".into(), self.issued.to_value()),
+            ("completed".into(), self.completed.to_value()),
+            ("dropped".into(), self.dropped.to_value()),
+            ("p50_us".into(), self.p50_us.to_value()),
+            ("p99_us".into(), self.p99_us.to_value()),
+            ("p999_us".into(), self.p999_us.to_value()),
+            ("mean_us".into(), self.mean_us.to_value()),
+            ("max_us".into(), self.max_us.to_value()),
+            ("bytes_moved".into(), self.bytes_moved.to_value()),
+            ("active_ms".into(), self.active_ms.to_value()),
+            ("goodput_gbps".into(), self.goodput_gbps.to_value()),
+        ];
+        if let (Some(slo), Some(attained)) = (self.slo_us, self.slo_attained) {
+            fields.push(("slo_us".into(), slo.to_value()));
+            fields.push(("slo_attained".into(), attained.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 /// Fabric-level loss/pause/retransmission counters, present in a report
@@ -197,6 +263,7 @@ pub struct ChaosCounters {
 /// `k` of every vector belongs to the `k`-th sample instant.
 #[derive(Debug, Clone, Serialize)]
 pub struct TenantSeries {
+    /// Tenant (or collective job) name from the spec.
     pub tenant: String,
     /// Requests issued but not yet completed or dropped at each sample.
     pub inflight: Vec<u64>,
@@ -245,6 +312,7 @@ impl Serialize for TelemetryReport {
 /// pre-fault rate (or until the tenant finished everything it had left).
 #[derive(Debug, Clone)]
 pub struct TenantRecovery {
+    /// Tenant (or collective job) name from the spec.
     pub tenant: String,
     /// Whether the tenant got back to ≥ 90% of its pre-fault goodput (or
     /// completed all requests) after the last fault clearance.
@@ -269,9 +337,13 @@ impl Serialize for TenantRecovery {
 /// Whole-scenario result.
 #[derive(Debug, Clone)]
 pub struct ScenarioReport {
+    /// Scenario name from the spec.
     pub scenario: String,
+    /// Machine preset the fabric was cloned from.
     pub machine: String,
+    /// Fabric size in nodes.
     pub nodes: usize,
+    /// Root RNG seed of the run.
     pub seed: u64,
     /// Network shape (e.g. `full-mesh`, `fat-tree/8`, `dumbbell/25g`).
     pub topology: String,
@@ -290,13 +362,26 @@ pub struct ScenarioReport {
     /// Deterministic time series (`None` unless the scenario armed
     /// `ScenarioSpec::telemetry`).
     pub telemetry: Option<TelemetryReport>,
+    /// Client connections (QP pairs) the tenants opened.
     pub connections: usize,
+    /// Total QPs created across tenants and collective worlds.
     pub qps_created: usize,
+    /// Traffic-launch to last-completion, ms of virtual time.
     pub elapsed_ms: f64,
+    /// Requests completed across all tenants (collective rows count one
+    /// completion per rank per iteration).
     pub total_completed: u64,
+    /// Requests refused by kernel policies, across all tenants.
     pub total_dropped: u64,
+    /// Payload bits moved per second of the whole run.
     pub total_goodput_gbps: f64,
+    /// Per-tenant scoreboards, spec order; collective jobs append one row
+    /// each after the tenants.
     pub tenants: Vec<TenantReport>,
+    /// Per-collective completion/bandwidth/skew rows. Empty (and omitted
+    /// from the JSON) when the scenario ran no collectives, keeping every
+    /// pre-existing report byte-identical.
+    pub collectives: Vec<crate::collective::CollectiveReport>,
 }
 
 // Hand-written (rather than derived) so the fabric-counter block is
@@ -358,11 +443,15 @@ impl Serialize for ScenarioReport {
             ),
             ("tenants".into(), self.tenants.to_value()),
         ]);
+        if !self.collectives.is_empty() {
+            fields.push(("collectives".into(), self.collectives.to_value()));
+        }
         serde::Value::Object(fields)
     }
 }
 
 impl ScenarioReport {
+    /// Assemble the report from a finished run's parts.
     #[allow(clippy::too_many_arguments)]
     pub fn summarize(
         spec: &crate::spec::ScenarioSpec,
@@ -373,6 +462,7 @@ impl ScenarioReport {
         chaos: Option<ChaosCounters>,
         recovery: Option<Vec<TenantRecovery>>,
         telemetry: Option<TelemetryReport>,
+        collectives: Vec<crate::collective::CollectiveReport>,
     ) -> ScenarioReport {
         let secs = elapsed.as_secs_f64();
         let total_bytes: u64 = tenants.iter().map(|t| t.bytes_moved).sum();
@@ -398,6 +488,7 @@ impl ScenarioReport {
                 0.0
             },
             tenants,
+            collectives,
         }
     }
 }
@@ -426,6 +517,29 @@ mod tests {
         // 100 kB over a 100 µs active span = 8 Gbit/s.
         assert!((r.active_ms - 0.1).abs() < 1e-9, "{}", r.active_ms);
         assert!((r.goodput_gbps - 8.0).abs() < 0.01, "{}", r.goodput_gbps);
+    }
+
+    #[test]
+    fn slo_attainment_counts_only_within_objective() {
+        let st = TenantStats::with_slo(Some(SimDuration::from_us(50)));
+        st.on_issue(SimTime::ZERO);
+        for i in 1..=10u64 {
+            if i > 1 {
+                st.on_issue(SimTime(i * 1_000_000));
+            }
+            // Sojourns 10, 20, ..., 100 µs: exactly 5 meet the 50 µs SLO.
+            st.on_complete(SimTime(i * 1_000_000), SimDuration::from_us(i * 10), 100);
+        }
+        let r = st.report("slo");
+        assert_eq!(r.slo_us, Some(50.0));
+        assert_eq!(r.slo_attained, Some(0.5));
+        // Unarmed tenants serialize without the SLO pair at all.
+        let bare = TenantStats::new().report("bare");
+        assert!(bare.slo_us.is_none());
+        let json = serde_json::to_string(&bare).unwrap();
+        assert!(!json.contains("slo"), "{json}");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"slo_attained\""), "{json}");
     }
 
     #[test]

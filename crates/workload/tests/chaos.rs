@@ -4,7 +4,8 @@
 //! fault injection stays bit-deterministic.
 
 use cord_workload::scenarios::{
-    link_flap_recovery, pfc_deadlock, straggler_nic, switch_death_reroute, Scale,
+    link_flap_recovery, pfc_deadlock, straggler_allreduce, straggler_nic, switch_death_reroute,
+    Scale,
 };
 use cord_workload::{run_scenario, ScenarioReport};
 
@@ -115,6 +116,56 @@ fn straggler_nic_drags_the_run_without_losing_anything() {
     assert!(
         ms > 1.2 * mh,
         "an 8× straggler must drag the fan-in's mean latency: {ms} vs {mh} µs"
+    );
+}
+
+/// A gray-failure NIC under a ring allreduce: the collective is a
+/// synchronous pipeline, so one slow rank gates every rank. The run must
+/// still finish (nothing is lost, only delayed), the recovery block must
+/// report finite clearance-to-recovery for the job, and completion time
+/// must blow up against a fault-free baseline — the straggler tax,
+/// measured at the collective level.
+#[test]
+fn straggler_under_ring_allreduce_gates_the_whole_ring() {
+    let slow = run_scenario(&straggler_allreduce(scale())).unwrap();
+    let healthy = run_scenario(&straggler_allreduce(Scale {
+        faults: Some(false),
+        ..scale()
+    }))
+    .unwrap();
+
+    assert_eq!(slow.total_completed, issued(&slow), "nothing may be lost");
+    let c = slow
+        .chaos
+        .expect("chaos counters with a non-empty schedule");
+    assert_eq!(c.faults, 1);
+    assert_eq!(c.chaos_dead_frames, 0, "stragglers drop nothing");
+    assert!(healthy.chaos.is_none());
+
+    // PR-7 recovery metrics apply to the collective's scoreboard row:
+    // the fault clears mid-run and the job must come back.
+    let rec = slow.recovery.as_ref().expect("telemetry armed + fault");
+    assert!(!rec.is_empty());
+    for t in rec {
+        assert!(t.recovered, "{} never recovered", t.tenant);
+        let us = t.recovery_us.expect("recovered implies a time");
+        assert!(us.is_finite() && us >= 0.0, "{}: {us}", t.tenant);
+    }
+
+    // The collective-level damage: a 20× slow NIC inside the ring window
+    // must stretch the worst iteration well past the healthy baseline.
+    let (cs, ch) = (&slow.collectives[0], &healthy.collectives[0]);
+    assert!(
+        cs.max_completion_us > 1.2 * ch.max_completion_us,
+        "straggler must gate the ring: {} vs {} µs",
+        cs.max_completion_us,
+        ch.max_completion_us
+    );
+    assert!(
+        cs.straggler_skew >= ch.straggler_skew,
+        "skew must not shrink under a straggler: {} vs {}",
+        cs.straggler_skew,
+        ch.straggler_skew
     );
 }
 

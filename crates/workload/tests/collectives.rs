@@ -1,0 +1,195 @@
+//! End-to-end collective scenarios: the ML builtins produce finite
+//! fabric-level metrics, differential runs agree across allreduce
+//! algorithms, the expert-shuffle permutation conserves every byte,
+//! and everything stays bit-deterministic.
+
+use std::collections::BTreeSet;
+
+use cord_sim::RngFactory;
+use cord_workload::scenarios::{
+    allreduce_hd, allreduce_ring, allreduce_tree, expert_shuffle, prefill_decode, Scale,
+};
+use cord_workload::{expert_assignments, run_scenario, token_payload, CollectiveReport};
+use cord_workload::{shuffle_payloads, ScenarioReport};
+
+fn scale() -> Scale {
+    Scale {
+        nodes: 8,
+        tenants: 0,
+        requests: 50,
+        seed: 0x00C0_11EC,
+        ..Scale::default()
+    }
+}
+
+fn only_collective(r: &ScenarioReport) -> &CollectiveReport {
+    assert_eq!(r.collectives.len(), 1);
+    &r.collectives[0]
+}
+
+/// The headline metrics of a saturating ring allreduce: per-iteration
+/// completion times, NCCL-convention bus bandwidth, and straggler skew
+/// are all present, finite, and self-consistent.
+#[test]
+fn ring_allreduce_reports_finite_fabric_metrics() {
+    let r = run_scenario(&allreduce_ring(scale())).unwrap();
+    let c = only_collective(&r);
+    assert_eq!(c.op, "allreduce/ring");
+    assert_eq!(c.ranks, 8);
+    assert_eq!(c.completion_us.len(), c.iters);
+    for &us in &c.completion_us {
+        assert!(us.is_finite() && us > 0.0, "completion {us} µs");
+    }
+    assert!(c.mean_completion_us <= c.max_completion_us);
+    assert!(c.algbw_gbps > 0.0 && c.algbw_gbps.is_finite());
+    // busbw = algbw × 2(P−1)/P for allreduce.
+    let factor = 2.0 * 7.0 / 8.0;
+    assert!((c.busbw_gbps - c.algbw_gbps * factor).abs() < 1e-9);
+    assert!(c.straggler_skew >= 1.0, "skew is max/mean ≥ 1");
+    // The collective also rides the tenant scoreboard: one row, with the
+    // fabric bytes it actually moved.
+    assert_eq!(r.tenants.len(), 1);
+    assert!(r.tenants[0].bytes_moved > 0);
+    assert_eq!(r.tenants[0].issued, r.tenants[0].completed);
+}
+
+/// Differential test: ring and halving-doubling are different schedules
+/// over the same fabric, but the reduction is exact (integer-valued
+/// doubles), so both must move the same per-rank byte count and agree
+/// with the tree variant on shape. The reduced values themselves are
+/// checked rank-by-rank inside `cord-mpi`; here we pin the workload-level
+/// contract: same input size, same seed, consistent reports.
+#[test]
+fn ring_and_halving_doubling_agree_on_the_collective_contract() {
+    let ring = run_scenario(&allreduce_ring(scale())).unwrap();
+    let hd = run_scenario(&allreduce_hd(scale())).unwrap();
+    let tree = run_scenario(&allreduce_tree(scale())).unwrap();
+    let (cr, ch, ct) = (
+        only_collective(&ring),
+        only_collective(&hd),
+        only_collective(&tree),
+    );
+    assert_eq!(cr.bytes_per_rank, ch.bytes_per_rank);
+    assert_eq!(cr.bytes_per_rank, ct.bytes_per_rank);
+    assert_eq!(cr.iters, ch.iters);
+    // Every algorithm completes every iteration on the same fabric.
+    for c in [cr, ch, ct] {
+        assert!(c.completion_us.iter().all(|us| us.is_finite() && *us > 0.0));
+    }
+}
+
+/// The expert-shuffle permutation, checked as a pure function the way the
+/// fabric would see it: across every (ranks, tokens, bytes) shape, gather
+/// what each destination receives, parse each token's header, and verify
+/// the multiset of (src, idx) pairs is exactly {every token, once} with
+/// payload bytes matching the generator — every byte lands exactly once.
+#[test]
+fn expert_shuffle_permutation_lands_every_byte_exactly_once() {
+    for (ranks, tokens_per_rank, token_bytes) in
+        [(2, 1, 8), (4, 7, 32), (8, 64, 96), (16, 33, 1024)]
+    {
+        for seed in [1u64, 0xDEAD_BEEF, 42] {
+            let rng = RngFactory::new(seed);
+            let assignments: Vec<Vec<usize>> = (0..ranks)
+                .map(|r| {
+                    expert_assignments(
+                        &rng.stream_indexed("rank", r as u64),
+                        ranks,
+                        tokens_per_rank,
+                    )
+                })
+                .collect();
+            // What destination `d` receives from every source rank.
+            let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+            let mut received = 0usize;
+            for d in 0..ranks {
+                for (src, asg) in assignments.iter().enumerate() {
+                    let sends = shuffle_payloads(src, ranks, token_bytes, asg);
+                    let buf = &sends[d];
+                    assert_eq!(buf.len() % token_bytes, 0);
+                    for tok in buf.chunks(token_bytes) {
+                        let s = u32::from_le_bytes(tok[0..4].try_into().unwrap()) as usize;
+                        let i = u32::from_le_bytes(tok[4..8].try_into().unwrap()) as usize;
+                        assert_eq!(s, src, "token src header");
+                        assert_eq!(asg[i], d, "token routed to its expert");
+                        assert_eq!(tok, token_payload(s, i, token_bytes), "payload bytes");
+                        assert!(seen.insert((s, i)), "token ({s},{i}) delivered twice");
+                        received += 1;
+                    }
+                }
+            }
+            assert_eq!(
+                received,
+                ranks * tokens_per_rank,
+                "ranks={ranks} tokens={tokens_per_rank}: every token exactly once"
+            );
+        }
+    }
+}
+
+/// The MoE builtin end to end: spray + selective-repeat + DCQCN armed,
+/// all-to-all completes, and the report carries the (P−1)/P bus-bandwidth
+/// convention.
+#[test]
+fn expert_shuffle_builtin_completes_with_the_modern_stack_armed() {
+    let r = run_scenario(&expert_shuffle(scale())).unwrap();
+    let c = only_collective(&r);
+    assert_eq!(c.op, "expert-shuffle");
+    let factor = 7.0 / 8.0;
+    assert!((c.busbw_gbps - c.algbw_gbps * factor).abs() < 1e-9);
+    assert!(c.completion_us.iter().all(|us| us.is_finite() && *us > 0.0));
+    let f = r.fabric.expect("retx armed implies fabric counters");
+    assert_eq!(f.retx_exhausted, 0, "no QP may die on a healthy fabric");
+}
+
+/// Disaggregated serving: the prefill→decode KV-cache push is open-loop
+/// with a 250 µs SLO; the report must carry SLO attainment for every
+/// decode stream and total attainment must be meaningful (not all-zero).
+#[test]
+fn prefill_decode_reports_slo_attainment() {
+    let r = run_scenario(&prefill_decode(Scale {
+        tenants: 6,
+        ..scale()
+    }))
+    .unwrap();
+    assert_eq!(r.tenants.len(), 6);
+    let mut attained_any = false;
+    for t in &r.tenants {
+        let slo = t.slo_us.expect("prefill-decode sets an SLO");
+        assert!((slo - 250.0).abs() < 1e-9);
+        let att = t.slo_attained.expect("attainment reported with an SLO");
+        assert!((0.0..=1.0).contains(&att), "{}: {att}", t.tenant);
+        attained_any |= att > 0.0;
+    }
+    assert!(attained_any, "at least one stream must meet the SLO");
+    let json = serde_json::to_string_pretty(&r).unwrap();
+    assert!(json.contains("\"slo_attained\""));
+}
+
+/// SLO keys are chaos-style opt-in: builtins without an SLO serialize
+/// byte-identically to the pre-SLO world.
+#[test]
+fn unarmed_scenarios_carry_no_slo_keys() {
+    let json =
+        serde_json::to_string_pretty(&run_scenario(&allreduce_ring(scale())).unwrap()).unwrap();
+    assert!(!json.contains("\"slo_us\""));
+    assert!(!json.contains("\"slo_attained\""));
+}
+
+/// The determinism property, extended to the ML plane: collective and
+/// serving builtins run twice serialize to byte-identical report JSON.
+#[test]
+fn ml_builtins_are_bit_deterministic() {
+    for spec in [
+        allreduce_ring(scale()),
+        expert_shuffle(scale()),
+        prefill_decode(Scale {
+            tenants: 6,
+            ..scale()
+        }),
+    ] {
+        let a = serde_json::to_string_pretty(&run_scenario(&spec).unwrap()).unwrap();
+        let b = serde_json::to_string_pretty(&run_scenario(&spec).unwrap()).unwrap();
+        assert_eq!(a, b, "{}", spec.name);
+    }
+}

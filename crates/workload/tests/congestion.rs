@@ -22,7 +22,7 @@ fn incast_report(senders: usize, cc: CcAlgorithm, dataplane: Dataplane) -> Scena
         tenants: senders,
         requests: 20,
         seed: 42,
-        cc,
+        cc: Some(cc),
         ..Scale::default()
     };
     let mut spec = dumbbell_incast(scale);

@@ -40,7 +40,7 @@ fn pfc_hol_blocking_vs_dcqcn() {
     let dcqcn = run_scenario(&pfc_hol_blocking(Scale {
         pfc: Some(false),
         rc_retx: Some(true), // lossy now: retransmission keeps it live
-        cc: cord_nic::CcAlgorithm::Dcqcn,
+        cc: Some(cord_nic::CcAlgorithm::Dcqcn),
         ..scale()
     }))
     .unwrap();
